@@ -1,0 +1,92 @@
+//! Engine-layer micro-benchmarks: index construction, Boolean and
+//! ranked evaluation, term statistics, content-summary generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use starts_bench::standard_corpus;
+use starts_corpus::{generate_corpus, CorpusConfig};
+use starts_index::{BoolNode, DocId, Document, Engine, EngineConfig, RankNode, TermSpec};
+use starts_source::{Source, SourceConfig};
+
+fn docs_of_size(n: usize) -> Vec<Document> {
+    generate_corpus(&CorpusConfig {
+        n_sources: 1,
+        docs_per_source: n,
+        seed: 8080,
+        ..CorpusConfig::default()
+    })
+    .sources
+    .remove(0)
+    .docs
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    for n in [100usize, 500, 1000] {
+        let docs = docs_of_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
+            b.iter(|| Engine::build(black_box(docs), EngineConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let corpus = standard_corpus();
+    let engine = Engine::build(&corpus.all_docs(), EngineConfig::default());
+    let and = BoolNode::and(
+        BoolNode::Term(TermSpec::any("w0001")),
+        BoolNode::Term(TermSpec::any("w0002")),
+    );
+    c.bench_function("eval/boolean_and", |b| {
+        b.iter(|| engine.eval_filter(black_box(&and)))
+    });
+    let or = BoolNode::or(
+        BoolNode::Term(TermSpec::any("w0001")),
+        BoolNode::Term(TermSpec::any("w0002")),
+    );
+    c.bench_function("eval/boolean_or", |b| {
+        b.iter(|| engine.eval_filter(black_box(&or)))
+    });
+    let prox = BoolNode::Prox {
+        left: TermSpec::any("w0001"),
+        right: TermSpec::any("w0002"),
+        distance: 3,
+        ordered: true,
+    };
+    c.bench_function("eval/prox_3_ordered", |b| {
+        b.iter(|| engine.eval_filter(black_box(&prox)))
+    });
+    let ranked = RankNode::List(vec![
+        RankNode::term(TermSpec::fielded("body-of-text", "w0001")),
+        RankNode::term(TermSpec::fielded("body-of-text", "w0002")),
+        RankNode::term(TermSpec::fielded("body-of-text", "w0005")),
+    ]);
+    c.bench_function("eval/ranked_list_3_terms", |b| {
+        b.iter(|| engine.eval_ranking(black_box(&ranked)))
+    });
+    let stem = BoolNode::Term(
+        TermSpec::any("w0001").with(starts_index::TermMatch::Stem),
+    );
+    c.bench_function("eval/stem_vocab_scan", |b| {
+        b.iter(|| engine.eval_filter(black_box(&stem)))
+    });
+    c.bench_function("eval/term_stats", |b| {
+        let spec = TermSpec::fielded("body-of-text", "w0001");
+        b.iter(|| engine.term_stats(black_box(DocId(0)), black_box(&spec)))
+    });
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let docs = docs_of_size(500);
+    let source = Source::build(SourceConfig::new("Bench"), &docs);
+    c.bench_function("summary/generate_500_docs", |b| {
+        b.iter(|| source.content_summary())
+    });
+    let summary = source.content_summary();
+    c.bench_function("summary/encode_soif", |b| {
+        b.iter(|| starts_soif::write_object(black_box(&summary.to_soif())))
+    });
+}
+
+criterion_group!(benches, bench_index_build, bench_eval, bench_summary);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Protocol-layer micro-benchmarks: query-language parsing/printing,
+//! SOIF encode/decode, and the ZDSR bridge.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use starts_proto::query::{parse_filter, parse_ranking, print_filter, print_ranking};
+use starts_proto::{AnswerSpec, Field, Query};
+use starts_soif::{parse_one, write_object, ParseMode};
+
+const FILTER: &str = r#"(((author "Ullman") and (title stem "databases")) or ((body-of-text "retrieval") and-not (date-last-modified < "1995-01-01")))"#;
+const RANKING: &str = r#"list((body-of-text "distributed" 0.7) (body-of-text "databases" 0.3) ("metasearch" 0.5) (title "protocol"))"#;
+
+fn example_query() -> Query {
+    Query {
+        filter: Some(parse_filter(FILTER).unwrap()),
+        ranking: Some(parse_ranking(RANKING).unwrap()),
+        answer: AnswerSpec {
+            fields: vec![Field::Title, Field::Author],
+            min_doc_score: 0.5,
+            max_documents: 20,
+            ..AnswerSpec::default()
+        },
+        ..Query::default()
+    }
+}
+
+fn bench_query_language(c: &mut Criterion) {
+    c.bench_function("parse_filter/nested", |b| {
+        b.iter(|| parse_filter(black_box(FILTER)).unwrap())
+    });
+    c.bench_function("parse_ranking/weighted_list", |b| {
+        b.iter(|| parse_ranking(black_box(RANKING)).unwrap())
+    });
+    let f = parse_filter(FILTER).unwrap();
+    let r = parse_ranking(RANKING).unwrap();
+    c.bench_function("print_filter/nested", |b| {
+        b.iter(|| print_filter(black_box(&f)))
+    });
+    c.bench_function("print_ranking/weighted_list", |b| {
+        b.iter(|| print_ranking(black_box(&r)))
+    });
+}
+
+fn bench_soif(c: &mut Criterion) {
+    let q = example_query();
+    c.bench_function("soif/encode_query", |b| {
+        b.iter(|| write_object(black_box(&q.to_soif())))
+    });
+    let bytes = write_object(&q.to_soif());
+    c.bench_function("soif/parse_query_object", |b| {
+        b.iter(|| parse_one(black_box(&bytes), ParseMode::Strict).unwrap())
+    });
+    let obj = parse_one(&bytes, ParseMode::Strict).unwrap();
+    c.bench_function("soif/decode_query", |b| {
+        b.iter(|| Query::from_soif(black_box(&obj)).unwrap())
+    });
+}
+
+fn bench_zdsr(c: &mut Criterion) {
+    let f = parse_filter(
+        r#"((author "Ullman") and ((title stem "databases") or (body-of-text "retrieval")))"#,
+    )
+    .unwrap();
+    c.bench_function("zdsr/to_pqf", |b| {
+        b.iter(|| starts_zdsr::to_pqf(black_box(&f)).unwrap())
+    });
+    let pqf = starts_zdsr::to_pqf(&f).unwrap();
+    c.bench_function("zdsr/from_pqf", |b| {
+        b.iter(|| starts_zdsr::from_pqf(black_box(&pqf)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_query_language, bench_soif, bench_zdsr);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Shared scaffolding for the STARTS experiment binaries (X1–X12) and
+//! Criterion benchmarks.
+//!
+//! Every experiment binary regenerates one artifact of the paper (a
+//! figure, a table, or a claim); DESIGN.md §4 maps them and
+//! EXPERIMENTS.md records paper-vs-measured. Binaries print plain-text
+//! tables to stdout so their output can be diffed between runs.
+
+use starts_corpus::{generate_corpus, generate_workload, CorpusConfig, GeneratedCorpus, Workload, WorkloadConfig};
+use starts_net::{host::wire_source, LinkProfile, SimNet, StartsClient};
+use starts_meta::catalog::Catalog;
+use starts_source::{Source, SourceConfig};
+
+/// The standard experiment corpus: 12 sources, 4 topics, moderate skew.
+pub fn standard_corpus() -> GeneratedCorpus {
+    generate_corpus(&CorpusConfig {
+        n_sources: 12,
+        docs_per_source: 80,
+        n_topics: 4,
+        background_vocab: 1500,
+        topic_vocab: 100,
+        doc_len: (25, 90),
+        topic_skew: 0.35,
+        bilingual_fraction: 0.0,
+        seed: 19970526, // SIGMOD'97 started May 26, 1997 (Tucson, AZ)
+    })
+}
+
+/// The standard workload over [`standard_corpus`].
+pub fn standard_workload(corpus: &GeneratedCorpus) -> Workload {
+    generate_workload(
+        corpus,
+        &WorkloadConfig {
+            n_queries: 40,
+            terms_per_query: (1, 3),
+            max_documents: 30,
+            seed: 1996,
+        },
+    )
+}
+
+/// Publish each corpus source with the default (Acme) personality and
+/// discover them into a catalog.
+pub fn wire_and_discover(net: &SimNet, corpus: &GeneratedCorpus) -> Catalog {
+    for s in &corpus.sources {
+        wire_source(
+            net,
+            Source::build(SourceConfig::new(&s.id), &s.docs),
+            LinkProfile::default(),
+        );
+    }
+    let client = StartsClient::new(net);
+    let mut catalog = Catalog::default();
+    for s in &corpus.sources {
+        catalog
+            .discover_source(
+                &client,
+                &format!("starts://{}/metadata", s.id.to_lowercase()),
+                LinkProfile::default(),
+                false,
+            )
+            .expect("discovery");
+    }
+    catalog
+}
+
+/// Print a ruled header line.
+pub fn header(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Print a sub-header.
+pub fn section(title: &str) {
+    println!();
+    println!("-- {title}");
+}
+
+/// Render a simple aligned table.
+pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(4)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = columns.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Yes/no marker for capability matrices.
+pub fn mark(b: bool) -> String {
+    if b { "yes".to_string() } else { "-".to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_corpus_is_deterministic() {
+        let a = standard_corpus();
+        let b = standard_corpus();
+        assert_eq!(a.total_docs(), b.total_docs());
+        assert_eq!(a.sources.len(), 12);
+    }
+
+    #[test]
+    fn wiring_discovers_all_sources() {
+        let corpus = generate_corpus(&CorpusConfig {
+            n_sources: 3,
+            docs_per_source: 5,
+            ..CorpusConfig::default()
+        });
+        let net = SimNet::new();
+        let catalog = wire_and_discover(&net, &corpus);
+        assert_eq!(catalog.len(), 3);
+    }
+}

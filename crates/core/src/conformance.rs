@@ -1,0 +1,159 @@
+//! Conformance checking: what a STARTS source *must* support, and
+//! whether a given metadata declaration meets it.
+//!
+//! §4: "our protocol keeps the requirements to a minimum, while it
+//! provides optional features that sophisticated sources can use if they
+//! wish." The minimum is:
+//!
+//! * recognize the four required Basic-1 fields (Title,
+//!   Date/time-last-modified, Any, Linkage) — §4.1.1;
+//! * if filter expressions are supported at all, support **all** of
+//!   `and`, `or`, `and-not`, `prox` — §4.1.1;
+//! * if ranking expressions are supported, support those plus `list`;
+//! * export the required MBasic-1 metadata attributes — §4.3.1;
+//! * export a content summary and a resource listing.
+//!
+//! This module also carries the §4.3.1 metadata-attribute table
+//! (experiment X4 regenerates it).
+
+use crate::metadata::SourceMetadata;
+
+/// One row of the §4.3.1 MBasic-1 table: (attribute, required, new).
+pub static MBASIC1_ATTRS: &[(&str, bool, bool)] = &[
+    ("FieldsSupported", true, true),
+    ("ModifiersSupported", true, true),
+    ("FieldModifierCombinations", true, true),
+    ("QueryPartsSupported", false, true),
+    ("ScoreRange", true, true),
+    ("RankingAlgorithmID", true, true),
+    ("TokenizerIDList", false, true),
+    ("SampleDatabaseResults", true, true),
+    ("StopWordList", true, true),
+    ("TurnOffStopWords", true, true),
+    ("SourceLanguages", false, false),
+    ("SourceName", false, false),
+    ("Linkage", true, false),
+    ("ContentSummaryLinkage", true, true),
+    ("DateChanged", false, false),
+    ("DateExpires", false, false),
+    ("Abstract", false, false),
+    ("AccessConstraints", false, false),
+    ("Contact", false, false),
+];
+
+/// A conformance violation found in a source's exported metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which requirement is violated.
+    pub requirement: String,
+}
+
+/// Check a metadata object against the required MBasic-1 attributes and
+/// protocol constraints. Returns all violations (empty = conformant).
+pub fn check_metadata(m: &SourceMetadata) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut need = |cond: bool, msg: &str| {
+        if !cond {
+            v.push(Violation {
+                requirement: msg.to_string(),
+            });
+        }
+    };
+    need(!m.source_id.is_empty(), "SourceID must be present");
+    need(
+        !m.ranking_algorithm_id.is_empty() || !m.query_parts_supported.supports_ranking(),
+        "RankingAlgorithmID is required for sources that rank",
+    );
+    need(
+        m.score_range.0 <= m.score_range.1,
+        "ScoreRange minimum must not exceed maximum",
+    );
+    need(!m.linkage.is_empty(), "Linkage (query URL) is required");
+    need(
+        !m.content_summary_linkage.is_empty(),
+        "ContentSummaryLinkage is required",
+    );
+    need(
+        !m.sample_database_results.is_empty(),
+        "SampleDatabaseResults is required",
+    );
+    // The StopWordList attribute is required, but an empty list is a
+    // valid value (a source with no stop words). TurnOffStopWords is a
+    // bool and always present in our model. FieldsSupported /
+    // ModifiersSupported / FieldModifierCombinations may be empty lists.
+    v
+}
+
+/// Whether the metadata passes all checks.
+pub fn is_conformant(m: &SourceMetadata) -> bool {
+    check_metadata(m).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::QueryParts;
+
+    fn conformant() -> SourceMetadata {
+        SourceMetadata {
+            source_id: "S".to_string(),
+            ranking_algorithm_id: "Acme-1".to_string(),
+            linkage: "http://s/query".to_string(),
+            content_summary_linkage: "http://s/summary".to_string(),
+            sample_database_results: "http://s/sample".to_string(),
+            ..SourceMetadata::default()
+        }
+    }
+
+    #[test]
+    fn table_matches_paper() {
+        assert_eq!(MBASIC1_ATTRS.len(), 19);
+        let required = MBASIC1_ATTRS.iter().filter(|(_, r, _)| *r).count();
+        assert_eq!(required, 10);
+        let new = MBASIC1_ATTRS.iter().filter(|(_, _, n)| *n).count();
+        assert_eq!(new, 11);
+        // Spot checks against the paper's table.
+        let row = |name: &str| {
+            MBASIC1_ATTRS
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .copied()
+                .unwrap()
+        };
+        assert_eq!(row("QueryPartsSupported"), ("QueryPartsSupported", false, true));
+        assert_eq!(row("Linkage"), ("Linkage", true, false));
+        assert_eq!(row("Contact"), ("Contact", false, false));
+        assert_eq!(row("ScoreRange"), ("ScoreRange", true, true));
+    }
+
+    #[test]
+    fn conformant_source_passes() {
+        assert!(is_conformant(&conformant()));
+    }
+
+    #[test]
+    fn violations_detected() {
+        let mut m = conformant();
+        m.content_summary_linkage.clear();
+        m.linkage.clear();
+        let v = check_metadata(&m);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn pure_boolean_source_needs_no_ranking_id() {
+        let mut m = conformant();
+        m.ranking_algorithm_id.clear();
+        m.query_parts_supported = QueryParts::Filter;
+        assert!(is_conformant(&m));
+        m.query_parts_supported = QueryParts::Both;
+        assert!(!is_conformant(&m));
+    }
+
+    #[test]
+    fn inverted_score_range_flagged() {
+        let mut m = conformant();
+        m.score_range = (1.0, 0.0);
+        assert!(!is_conformant(&m));
+    }
+}

@@ -1,0 +1,117 @@
+//! Protocol-level errors.
+//!
+//! Note that these are *local* errors (malformed input, failed parses).
+//! STARTS itself has no error-reporting channel: "we do not deal with any
+//! security issues, or with error reporting in our proposal" (§4). A
+//! conforming source never sends an error to a client — it executes what
+//! it can and reports the actual query.
+
+use std::fmt;
+
+/// Errors raised while parsing or validating STARTS objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// Query-language syntax error.
+    QuerySyntax {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the expression text.
+        offset: usize,
+    },
+    /// SOIF framing error.
+    Soif(starts_soif::ParseError),
+    /// A required SOIF attribute is missing from a protocol object.
+    MissingAttribute {
+        /// The SOIF template type.
+        template: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// An attribute value failed to parse.
+    InvalidValue {
+        /// The attribute.
+        attribute: String,
+        /// Why the value is invalid.
+        message: String,
+    },
+    /// The object's template type was not the expected one.
+    WrongTemplate {
+        /// Expected template.
+        expected: &'static str,
+        /// What arrived.
+        found: String,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::QuerySyntax { message, offset } => {
+                write!(f, "query syntax error at byte {offset}: {message}")
+            }
+            ProtoError::Soif(e) => write!(f, "SOIF error: {e}"),
+            ProtoError::MissingAttribute {
+                template,
+                attribute,
+            } => write!(f, "@{template} object is missing attribute {attribute:?}"),
+            ProtoError::InvalidValue { attribute, message } => {
+                write!(f, "invalid value for {attribute:?}: {message}")
+            }
+            ProtoError::WrongTemplate { expected, found } => {
+                write!(f, "expected @{expected} object, found @{found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<starts_soif::ParseError> for ProtoError {
+    fn from(e: starts_soif::ParseError) -> Self {
+        ProtoError::Soif(e)
+    }
+}
+
+impl ProtoError {
+    /// Shorthand for a syntax error.
+    pub fn syntax(message: impl Into<String>, offset: usize) -> Self {
+        ProtoError::QuerySyntax {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Shorthand for a missing attribute.
+    pub fn missing(template: &str, attribute: &str) -> Self {
+        ProtoError::MissingAttribute {
+            template: template.to_string(),
+            attribute: attribute.to_string(),
+        }
+    }
+
+    /// Shorthand for an invalid value.
+    pub fn invalid(attribute: &str, message: impl Into<String>) -> Self {
+        ProtoError::InvalidValue {
+            attribute: attribute.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ProtoError::syntax("unexpected ')'", 12);
+        assert!(e.to_string().contains("byte 12"));
+        let e = ProtoError::missing("SQuery", "Version");
+        assert!(e.to_string().contains("@SQuery"));
+        let e = ProtoError::WrongTemplate {
+            expected: "SQResults",
+            found: "SQuery".to_string(),
+        };
+        assert!(e.to_string().contains("expected @SQResults"));
+    }
+}

@@ -1,0 +1,717 @@
+//! Source metadata — the "MBasic-1" attribute set (§4.3.1) and its
+//! `@SMetaAttributes` SOIF binding (Example 10).
+//!
+//! "Each source exports information about itself by giving values to the
+//! metadata attributes below. A metasearcher can use this information to
+//! rewrite the queries that it sends to each source." The set borrows
+//! from Z39.50-1995 Exp-1 and GILS, with several new attributes the
+//! participants deemed necessary (capability declarations, score ranges,
+//! tokenizer ids, sample-database results).
+
+use starts_soif::{SoifObject, STARTS_VERSION, VERSION_ATTR};
+use starts_text::LangTag;
+
+use crate::attrs::{Field, Modifier, ATTRSET_BASIC1, ATTRSET_MBASIC1};
+use crate::error::ProtoError;
+use crate::query::parse_bool;
+
+/// `QueryPartsSupported`: "whether the source supports ranking
+/// expressions only, filter expressions only, or both."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryParts {
+    /// `R` — ranking expressions only (pure vector-space engines).
+    Ranking,
+    /// `F` — filter expressions only (pure Boolean engines, e.g. the
+    /// paper's Glimpse example).
+    Filter,
+    /// `RF` — both.
+    #[default]
+    Both,
+}
+
+impl QueryParts {
+    /// Wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryParts::Ranking => "R",
+            QueryParts::Filter => "F",
+            QueryParts::Both => "RF",
+        }
+    }
+
+    /// Parse the wire form.
+    pub fn parse(s: &str) -> Result<Self, ProtoError> {
+        match s.trim() {
+            "R" => Ok(QueryParts::Ranking),
+            "F" => Ok(QueryParts::Filter),
+            "RF" | "FR" => Ok(QueryParts::Both),
+            other => Err(ProtoError::invalid(
+                "QueryPartsSupported",
+                format!("expected R, F or RF, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Does the source accept filter expressions?
+    pub fn supports_filter(self) -> bool {
+        matches!(self, QueryParts::Filter | QueryParts::Both)
+    }
+
+    /// Does the source accept ranking expressions?
+    pub fn supports_ranking(self) -> bool {
+        matches!(self, QueryParts::Ranking | QueryParts::Both)
+    }
+}
+
+/// One legal field–modifier combination (`FieldModifierCombinations`):
+/// e.g. "asking that an author name be stemmed might be illegal at a
+/// source, even if the Author field and the Stem modifier are supported
+/// in other contexts."
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldModCombo {
+    /// The field.
+    pub field: Field,
+    /// The modifiers that may accompany it (one combination may list
+    /// several, all legal together).
+    pub modifiers: Vec<Modifier>,
+}
+
+/// The exported metadata of one source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceMetadata {
+    /// The source's identifier (Example 10's `SourceID`).
+    pub source_id: String,
+    /// Optional fields supported for querying, each with the languages
+    /// used in that field at the source. Required fields may also be
+    /// listed to declare their languages.
+    pub fields_supported: Vec<(Field, Vec<LangTag>)>,
+    /// Modifiers supported, each with the languages it works for
+    /// ("modifiers like Stem are language dependent").
+    pub modifiers_supported: Vec<(Modifier, Vec<LangTag>)>,
+    /// Legal field–modifier combinations.
+    pub field_modifier_combinations: Vec<FieldModCombo>,
+    /// Which query parts the source accepts.
+    pub query_parts_supported: QueryParts,
+    /// Score range `[min, max]` (may be infinite).
+    pub score_range: (f64, f64),
+    /// Opaque ranking-algorithm identifier: "even when we do not know
+    /// the actual algorithm used it is useful to know that two sources
+    /// use the same algorithm."
+    pub ranking_algorithm_id: String,
+    /// Tokenizers per language, e.g. `(Acme-1 en-US) (Acme-2 es)`.
+    pub tokenizer_id_list: Vec<(String, LangTag)>,
+    /// URL of query results for the sample document collection (§4.2's
+    /// black-box calibration hook).
+    pub sample_database_results: String,
+    /// The source's stop words.
+    pub stop_word_list: Vec<String>,
+    /// Whether `DropStopWords: F` is honoured.
+    pub turn_off_stop_words: bool,
+    /// Languages of the source's documents.
+    pub source_languages: Vec<LangTag>,
+    /// Human-readable name.
+    pub source_name: String,
+    /// "The URL where the source should be queried."
+    pub linkage: String,
+    /// "The URL of the content summary of the source."
+    pub content_summary_linkage: String,
+    /// `DateChanged` (ISO date), if known.
+    pub date_changed: Option<String>,
+    /// `DateExpires` (ISO date), if set.
+    pub date_expires: Option<String>,
+    /// Free-text abstract of the collection.
+    pub abstract_text: Option<String>,
+    /// Access constraints (e.g. fees), free text.
+    pub access_constraints: Option<String>,
+    /// Administrative contact.
+    pub contact: Option<String>,
+}
+
+impl Default for SourceMetadata {
+    fn default() -> Self {
+        SourceMetadata {
+            source_id: String::new(),
+            fields_supported: Vec::new(),
+            modifiers_supported: Vec::new(),
+            field_modifier_combinations: Vec::new(),
+            query_parts_supported: QueryParts::Both,
+            score_range: (0.0, 1.0),
+            ranking_algorithm_id: String::new(),
+            tokenizer_id_list: Vec::new(),
+            sample_database_results: String::new(),
+            stop_word_list: Vec::new(),
+            turn_off_stop_words: true,
+            source_languages: Vec::new(),
+            source_name: String::new(),
+            linkage: String::new(),
+            content_summary_linkage: String::new(),
+            date_changed: None,
+            date_expires: None,
+            abstract_text: None,
+            access_constraints: None,
+            contact: None,
+        }
+    }
+}
+
+impl SourceMetadata {
+    /// Whether the source declares support for a field (required Basic-1
+    /// fields are always supported: "the source must recognize these
+    /// fields").
+    pub fn supports_field(&self, field: &Field) -> bool {
+        field.required() || self.fields_supported.iter().any(|(f, _)| f == field)
+    }
+
+    /// Whether the source declares support for a modifier. Comparison
+    /// modifiers are grouped: declaring one `Cmp` declares them all (the
+    /// paper's table treats `<, <=, =, >=, >, !=` as one row).
+    pub fn supports_modifier(&self, modifier: &Modifier) -> bool {
+        self.modifiers_supported.iter().any(|(m, _)| {
+            m == modifier
+                || matches!((m, modifier), (Modifier::Cmp(_), Modifier::Cmp(_)))
+        })
+    }
+
+    /// Whether a field+modifier combination is legal. With an empty
+    /// combination table, any supported field × supported modifier is
+    /// legal; with a non-empty table, the table is authoritative for
+    /// modified terms.
+    pub fn combination_legal(&self, field: &Field, modifiers: &[Modifier]) -> bool {
+        if modifiers.is_empty() {
+            return self.supports_field(field);
+        }
+        if !self.supports_field(field) || !modifiers.iter().all(|m| self.supports_modifier(m)) {
+            return false;
+        }
+        if self.field_modifier_combinations.is_empty() {
+            return true;
+        }
+        self.field_modifier_combinations.iter().any(|combo| {
+            &combo.field == field
+                && modifiers.iter().all(|m| {
+                    combo.modifiers.iter().any(|cm| {
+                        cm == m || matches!((cm, m), (Modifier::Cmp(_), Modifier::Cmp(_)))
+                    })
+                })
+        })
+    }
+
+    /// Encode as an `@SMetaAttributes` object (Example 10's layout).
+    pub fn to_soif(&self) -> SoifObject {
+        let mut o = SoifObject::new("SMetaAttributes");
+        o.push_str(VERSION_ATTR, STARTS_VERSION);
+        o.push_str("SourceID", &self.source_id);
+        o.push_str(
+            "FieldsSupported",
+            encode_lang_tagged(&self.fields_supported, |f| {
+                format!("[{ATTRSET_BASIC1} {}]", f.name())
+            }),
+        );
+        o.push_str(
+            "ModifiersSupported",
+            encode_lang_tagged(&self.modifiers_supported, |m| {
+                format!("{{{ATTRSET_BASIC1} {}}}", m.name())
+            }),
+        );
+        o.push_str(
+            "FieldModifierCombinations",
+            self.field_modifier_combinations
+                .iter()
+                .map(encode_combo)
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        o.push_str("QueryPartsSupported", self.query_parts_supported.as_str());
+        o.push_str(
+            "ScoreRange",
+            format!(
+                "{} {}",
+                fmt_score_bound(self.score_range.0),
+                fmt_score_bound(self.score_range.1)
+            ),
+        );
+        o.push_str("RankingAlgorithmID", &self.ranking_algorithm_id);
+        if !self.tokenizer_id_list.is_empty() {
+            let parts: Vec<String> = self
+                .tokenizer_id_list
+                .iter()
+                .map(|(id, lang)| format!("({id} {lang})"))
+                .collect();
+            o.push_str("TokenizerIDList", parts.join(" "));
+        }
+        o.push_str("SampleDatabaseResults", &self.sample_database_results);
+        o.push_str("StopWordList", self.stop_word_list.join(" "));
+        o.push_str(
+            "TurnOffStopWords",
+            if self.turn_off_stop_words { "T" } else { "F" },
+        );
+        o.push_str("DefaultMetaAttributeSet", ATTRSET_MBASIC1);
+        if !self.source_languages.is_empty() {
+            let langs: Vec<String> = self.source_languages.iter().map(LangTag::to_string).collect();
+            o.push_str("source-languages", langs.join(" "));
+        }
+        if !self.source_name.is_empty() {
+            o.push_str("source-name", &self.source_name);
+        }
+        o.push_str("linkage", &self.linkage);
+        o.push_str("content-summary-linkage", &self.content_summary_linkage);
+        if let Some(d) = &self.date_changed {
+            o.push_str("date-changed", d);
+        }
+        if let Some(d) = &self.date_expires {
+            o.push_str("date-expires", d);
+        }
+        if let Some(a) = &self.abstract_text {
+            o.push_str("abstract", a);
+        }
+        if let Some(a) = &self.access_constraints {
+            o.push_str("access-constraints", a);
+        }
+        if let Some(c) = &self.contact {
+            o.push_str("contact", c);
+        }
+        o
+    }
+
+    /// Decode from an `@SMetaAttributes` object.
+    pub fn from_soif(o: &SoifObject) -> Result<SourceMetadata, ProtoError> {
+        if !o.template.eq_ignore_ascii_case("SMetaAttributes") {
+            return Err(ProtoError::WrongTemplate {
+                expected: "SMetaAttributes",
+                found: o.template.clone(),
+            });
+        }
+        let mut m = SourceMetadata {
+            source_id: o
+                .get_str("SourceID")
+                .ok_or_else(|| ProtoError::missing("SMetaAttributes", "SourceID"))?
+                .to_string(),
+            ..SourceMetadata::default()
+        };
+        if let Some(v) = o.get_str("FieldsSupported") {
+            m.fields_supported = decode_lang_tagged(v, '[', ']', Field::parse)?;
+        }
+        if let Some(v) = o.get_str("ModifiersSupported") {
+            m.modifiers_supported = decode_lang_tagged(v, '{', '}', Modifier::parse)?;
+        }
+        if let Some(v) = o.get_str("FieldModifierCombinations") {
+            m.field_modifier_combinations = decode_combos(v)?;
+        }
+        if let Some(v) = o.get_str("QueryPartsSupported") {
+            m.query_parts_supported = QueryParts::parse(v)?;
+        }
+        if let Some(v) = o.get_str("ScoreRange") {
+            let parts: Vec<&str> = v.split_whitespace().collect();
+            if parts.len() != 2 {
+                return Err(ProtoError::invalid("ScoreRange", "expected two bounds"));
+            }
+            m.score_range = (parse_score_bound(parts[0])?, parse_score_bound(parts[1])?);
+        }
+        if let Some(v) = o.get_str("RankingAlgorithmID") {
+            m.ranking_algorithm_id = v.to_string();
+        }
+        if let Some(v) = o.get_str("TokenizerIDList") {
+            m.tokenizer_id_list = decode_tokenizers(v)?;
+        }
+        if let Some(v) = o.get_str("SampleDatabaseResults") {
+            m.sample_database_results = v.to_string();
+        }
+        if let Some(v) = o.get_str("StopWordList") {
+            m.stop_word_list = v.split_whitespace().map(str::to_string).collect();
+        }
+        if let Some(v) = o.get_str("TurnOffStopWords") {
+            m.turn_off_stop_words = parse_bool("TurnOffStopWords", v)?;
+        }
+        if let Some(v) = o.get_str("source-languages") {
+            m.source_languages = v
+                .split_whitespace()
+                .map(|t| {
+                    LangTag::parse(t)
+                        .map_err(|e| ProtoError::invalid("source-languages", e.to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(v) = o.get_str("source-name") {
+            m.source_name = v.to_string();
+        }
+        if let Some(v) = o.get_str("linkage") {
+            m.linkage = v.to_string();
+        }
+        if let Some(v) = o.get_str("content-summary-linkage") {
+            m.content_summary_linkage = v.to_string();
+        }
+        m.date_changed = o.get_str("date-changed").map(str::to_string);
+        m.date_expires = o.get_str("date-expires").map(str::to_string);
+        m.abstract_text = o.get_str("abstract").map(str::to_string);
+        m.access_constraints = o.get_str("access-constraints").map(str::to_string);
+        m.contact = o.get_str("contact").map(str::to_string);
+        Ok(m)
+    }
+}
+
+fn fmt_score_bound(v: f64) -> String {
+    if v == f64::INFINITY {
+        "Infinity".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Infinity".to_string()
+    } else {
+        // Always show a decimal point for finite bounds ("0.0 1.0").
+        if v.fract() == 0.0 {
+            format!("{v:.1}")
+        } else {
+            crate::query::fmt_weight(v)
+        }
+    }
+}
+
+fn parse_score_bound(s: &str) -> Result<f64, ProtoError> {
+    match s {
+        "Infinity" | "+Infinity" | "inf" => Ok(f64::INFINITY),
+        "-Infinity" | "-inf" => Ok(f64::NEG_INFINITY),
+        _ => s
+            .parse()
+            .map_err(|_| ProtoError::invalid("ScoreRange", format!("bad bound {s:?}"))),
+    }
+}
+
+/// Encode `[set name] (lang…)` lists: each item optionally followed by
+/// its language list in parentheses-free space form is ambiguous, so
+/// languages are appended inside the brackets after a `;` when present:
+/// `[basic-1 author; en-US es]`.
+fn encode_lang_tagged<T>(items: &[(T, Vec<LangTag>)], render: impl Fn(&T) -> String) -> String {
+    items
+        .iter()
+        .map(|(item, langs)| {
+            let base = render(item);
+            if langs.is_empty() {
+                base
+            } else {
+                let langs: Vec<String> = langs.iter().map(LangTag::to_string).collect();
+                // Insert "; langs" before the closing delimiter.
+                let (head, close) = base.split_at(base.len() - 1);
+                format!("{head}; {}{close}", langs.join(" "))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn decode_lang_tagged<T>(
+    v: &str,
+    open: char,
+    close: char,
+    parse: impl Fn(&str) -> T,
+) -> Result<Vec<(T, Vec<LangTag>)>, ProtoError> {
+    let mut out = Vec::new();
+    let mut rest = v.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with(open) {
+            return Err(ProtoError::invalid(
+                "FieldsSupported/ModifiersSupported",
+                format!("expected {open:?} in {v:?}"),
+            ));
+        }
+        let end = rest.find(close).ok_or_else(|| {
+            ProtoError::invalid(
+                "FieldsSupported/ModifiersSupported",
+                format!("missing {close:?} in {v:?}"),
+            )
+        })?;
+        let body = &rest[1..end];
+        let (spec, langs_part) = match body.split_once(';') {
+            Some((s, l)) => (s.trim(), Some(l.trim())),
+            None => (body.trim(), None),
+        };
+        // spec = "attrset name" or just "name".
+        let name = spec.split_whitespace().last().ok_or_else(|| {
+            ProtoError::invalid("FieldsSupported/ModifiersSupported", "empty item")
+        })?;
+        let langs = match langs_part {
+            None => Vec::new(),
+            Some(ls) => ls
+                .split_whitespace()
+                .map(|t| {
+                    LangTag::parse(t).map_err(|e| {
+                        ProtoError::invalid("FieldsSupported/ModifiersSupported", e.to_string())
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        out.push((parse(name), langs));
+        rest = rest[end + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+fn encode_combo(c: &FieldModCombo) -> String {
+    let mut parts = vec![format!("[{ATTRSET_BASIC1} {}]", c.field.name())];
+    for m in &c.modifiers {
+        parts.push(format!("{{{ATTRSET_BASIC1} {}}}", m.name()));
+    }
+    format!("({})", parts.join(" "))
+}
+
+fn decode_combos(v: &str) -> Result<Vec<FieldModCombo>, ProtoError> {
+    let mut out = Vec::new();
+    let mut rest = v.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('(') {
+            return Err(ProtoError::invalid(
+                "FieldModifierCombinations",
+                format!("expected '(' in {v:?}"),
+            ));
+        }
+        let end = rest
+            .find(')')
+            .ok_or_else(|| ProtoError::invalid("FieldModifierCombinations", "missing ')'"))?;
+        let body = &rest[1..end];
+        let mut field = None;
+        let mut modifiers = Vec::new();
+        let mut inner = body.trim();
+        while !inner.is_empty() {
+            let (open, close) = match inner.chars().next().unwrap() {
+                '[' => ('[', ']'),
+                '{' => ('{', '}'),
+                other => {
+                    return Err(ProtoError::invalid(
+                        "FieldModifierCombinations",
+                        format!("unexpected {other:?}"),
+                    ))
+                }
+            };
+            let iend = inner.find(close).ok_or_else(|| {
+                ProtoError::invalid("FieldModifierCombinations", format!("missing {close:?}"))
+            })?;
+            let name = inner[1..iend]
+                .split_whitespace()
+                .last()
+                .ok_or_else(|| ProtoError::invalid("FieldModifierCombinations", "empty item"))?;
+            if open == '[' {
+                field = Some(Field::parse(name));
+            } else {
+                modifiers.push(Modifier::parse(name));
+            }
+            inner = inner[iend + 1..].trim_start();
+        }
+        let field = field.ok_or_else(|| {
+            ProtoError::invalid("FieldModifierCombinations", "combination without a field")
+        })?;
+        out.push(FieldModCombo { field, modifiers });
+        rest = rest[end + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+fn decode_tokenizers(v: &str) -> Result<Vec<(String, LangTag)>, ProtoError> {
+    let mut out = Vec::new();
+    let mut rest = v.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('(') {
+            return Err(ProtoError::invalid(
+                "TokenizerIDList",
+                format!("expected '(' in {v:?}"),
+            ));
+        }
+        let end = rest
+            .find(')')
+            .ok_or_else(|| ProtoError::invalid("TokenizerIDList", "missing ')'"))?;
+        let body = &rest[1..end];
+        let mut parts = body.split_whitespace();
+        let id = parts
+            .next()
+            .ok_or_else(|| ProtoError::invalid("TokenizerIDList", "empty entry"))?;
+        let lang = parts
+            .next()
+            .ok_or_else(|| ProtoError::invalid("TokenizerIDList", "missing language"))?;
+        let lang = LangTag::parse(lang)
+            .map_err(|e| ProtoError::invalid("TokenizerIDList", e.to_string()))?;
+        out.push((id.to_string(), lang));
+        rest = rest[end + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::CmpOp;
+    use starts_soif::{parse_one, write_object, ParseMode};
+
+    fn example10_metadata() -> SourceMetadata {
+        SourceMetadata {
+            source_id: "Source-1".to_string(),
+            fields_supported: vec![(Field::Author, vec![])],
+            modifiers_supported: vec![(Modifier::Phonetic, vec![])],
+            field_modifier_combinations: vec![FieldModCombo {
+                field: Field::Author,
+                modifiers: vec![Modifier::Phonetic],
+            }],
+            query_parts_supported: QueryParts::Both,
+            score_range: (0.0, 1.0),
+            ranking_algorithm_id: "Acme-1".to_string(),
+            tokenizer_id_list: vec![
+                ("Acme-1".to_string(), LangTag::en_us()),
+                ("Acme-2".to_string(), LangTag::es()),
+            ],
+            sample_database_results: "ftp://www-db.stanford.edu/sample_results.txt".to_string(),
+            stop_word_list: vec!["the".to_string(), "of".to_string()],
+            turn_off_stop_words: true,
+            source_languages: vec![LangTag::en_us(), LangTag::es()],
+            source_name: "Stanford DB Group".to_string(),
+            linkage: "http://www-db.stanford.edu/cgi-bin/query".to_string(),
+            content_summary_linkage: "ftp://www-db.stanford.edu/cont_sum.txt".to_string(),
+            date_changed: Some("1996-03-31".to_string()),
+            date_expires: None,
+            abstract_text: None,
+            access_constraints: None,
+            contact: None,
+        }
+    }
+
+    #[test]
+    fn example10_encoding_values() {
+        let o = example10_metadata().to_soif();
+        assert_eq!(o.get_str("SourceID"), Some("Source-1"));
+        assert_eq!(o.get_str("FieldsSupported"), Some("[basic-1 author]"));
+        assert_eq!(o.get_str("ModifiersSupported"), Some("{basic-1 phonetic}"));
+        assert_eq!(
+            o.get_str("FieldModifierCombinations"),
+            Some("([basic-1 author] {basic-1 phonetic})")
+        );
+        assert_eq!(o.get_str("QueryPartsSupported"), Some("RF"));
+        assert_eq!(o.get_str("ScoreRange"), Some("0.0 1.0"));
+        assert_eq!(o.get_str("RankingAlgorithmID"), Some("Acme-1"));
+        assert_eq!(
+            o.get_str("TokenizerIDList"),
+            Some("(Acme-1 en-US) (Acme-2 es)")
+        );
+        assert_eq!(o.get_str("DefaultMetaAttributeSet"), Some("mbasic-1"));
+        assert_eq!(o.get_str("source-languages"), Some("en-US es"));
+        assert_eq!(o.get_str("source-name"), Some("Stanford DB Group"));
+        assert_eq!(o.get_str("date-changed"), Some("1996-03-31"));
+    }
+
+    #[test]
+    fn soif_round_trip() {
+        let m = example10_metadata();
+        let bytes = write_object(&m.to_soif());
+        let back =
+            SourceMetadata::from_soif(&parse_one(&bytes, ParseMode::Strict).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn round_trip_with_languages_on_fields() {
+        let m = SourceMetadata {
+            source_id: "S".to_string(),
+            fields_supported: vec![
+                (Field::Title, vec![LangTag::en_us(), LangTag::es()]),
+                (Field::Author, vec![]),
+            ],
+            modifiers_supported: vec![(Modifier::Stem, vec![LangTag::en()])],
+            ..SourceMetadata::default()
+        };
+        let o = m.to_soif();
+        assert_eq!(
+            o.get_str("FieldsSupported"),
+            Some("[basic-1 title; en-US es] [basic-1 author]")
+        );
+        assert_eq!(
+            o.get_str("ModifiersSupported"),
+            Some("{basic-1 stem; en}")
+        );
+        let back = SourceMetadata::from_soif(&o).unwrap();
+        assert_eq!(back.fields_supported, m.fields_supported);
+        assert_eq!(back.modifiers_supported, m.modifiers_supported);
+    }
+
+    #[test]
+    fn infinite_score_range() {
+        let m = SourceMetadata {
+            source_id: "S".to_string(),
+            score_range: (0.0, f64::INFINITY),
+            ..SourceMetadata::default()
+        };
+        let o = m.to_soif();
+        assert_eq!(o.get_str("ScoreRange"), Some("0.0 Infinity"));
+        let back = SourceMetadata::from_soif(&o).unwrap();
+        assert_eq!(back.score_range, (0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn required_fields_always_supported() {
+        let m = SourceMetadata::default();
+        assert!(m.supports_field(&Field::Title));
+        assert!(m.supports_field(&Field::Any));
+        assert!(m.supports_field(&Field::Linkage));
+        assert!(m.supports_field(&Field::DateLastModified));
+        assert!(!m.supports_field(&Field::Author));
+        assert!(!m.supports_field(&Field::Other("abstract".to_string())));
+    }
+
+    #[test]
+    fn modifier_support_groups_comparisons() {
+        let m = SourceMetadata {
+            modifiers_supported: vec![(Modifier::Cmp(CmpOp::Eq), vec![])],
+            ..SourceMetadata::default()
+        };
+        assert!(m.supports_modifier(&Modifier::Cmp(CmpOp::Gt)));
+        assert!(!m.supports_modifier(&Modifier::Stem));
+    }
+
+    #[test]
+    fn combination_legality() {
+        let m = example10_metadata();
+        // author+phonetic is declared legal.
+        assert!(m.combination_legal(&Field::Author, &[Modifier::Phonetic]));
+        // author+stem: stem is not even supported.
+        assert!(!m.combination_legal(&Field::Author, &[Modifier::Stem]));
+        // title (required) with no modifiers: legal.
+        assert!(m.combination_legal(&Field::Title, &[]));
+        // title+phonetic: both supported individually but the combination
+        // table does not list it.
+        assert!(!m.combination_legal(&Field::Title, &[Modifier::Phonetic]));
+    }
+
+    #[test]
+    fn combination_open_when_table_empty() {
+        let m = SourceMetadata {
+            fields_supported: vec![(Field::Author, vec![])],
+            modifiers_supported: vec![(Modifier::Stem, vec![])],
+            ..SourceMetadata::default()
+        };
+        assert!(m.combination_legal(&Field::Author, &[Modifier::Stem]));
+        assert!(!m.combination_legal(&Field::Author, &[Modifier::Phonetic]));
+    }
+
+    #[test]
+    fn query_parts() {
+        assert_eq!(QueryParts::parse("R").unwrap(), QueryParts::Ranking);
+        assert_eq!(QueryParts::parse("F").unwrap(), QueryParts::Filter);
+        assert_eq!(QueryParts::parse("RF").unwrap(), QueryParts::Both);
+        assert!(QueryParts::parse("X").is_err());
+        assert!(QueryParts::Filter.supports_filter());
+        assert!(!QueryParts::Filter.supports_ranking());
+        assert!(QueryParts::Both.supports_ranking());
+    }
+
+    #[test]
+    fn missing_source_id_rejected() {
+        let o = SoifObject::new("SMetaAttributes");
+        assert!(matches!(
+            SourceMetadata::from_soif(&o),
+            Err(ProtoError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_lists_rejected() {
+        let mut o = SourceMetadata {
+            source_id: "S".to_string(),
+            ..SourceMetadata::default()
+        }
+        .to_soif();
+        o.push_str("TokenizerIDList", "(Acme-1");
+        assert!(SourceMetadata::from_soif(&o).is_err());
+    }
+}

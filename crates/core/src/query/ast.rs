@@ -1,0 +1,267 @@
+//! Abstract syntax of STARTS filter and ranking expressions (§4.1.1).
+
+use crate::attrs::{Field, Modifier};
+use crate::lstring::LString;
+
+/// An atomic term: "a term in our query language is an l-string modified
+/// by an unordered list of attributes", where an attribute is a field or
+/// a modifier, and "at most one \[field\] should be specified for each
+/// term. If no field is specified, `Any` is assumed."
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTerm {
+    /// The field, or `None` for the `Any` default.
+    pub field: Option<Field>,
+    /// Zero or more modifiers.
+    pub modifiers: Vec<Modifier>,
+    /// The l-string.
+    pub value: LString,
+}
+
+impl QTerm {
+    /// A bare term: just an l-string.
+    pub fn bare(text: impl Into<String>) -> Self {
+        QTerm {
+            field: None,
+            modifiers: Vec::new(),
+            value: LString::plain(text),
+        }
+    }
+
+    /// A fielded term.
+    pub fn fielded(field: Field, text: impl Into<String>) -> Self {
+        QTerm {
+            field: Some(field),
+            modifiers: Vec::new(),
+            value: LString::plain(text),
+        }
+    }
+
+    /// Builder-style: add a modifier.
+    pub fn with(mut self, m: Modifier) -> Self {
+        self.modifiers.push(m);
+        self
+    }
+
+    /// The effective field (`Any` when unspecified).
+    pub fn effective_field(&self) -> Field {
+        self.field.clone().unwrap_or(Field::Any)
+    }
+
+    /// Whether the term has neither field nor modifiers (prints as a
+    /// bare l-string).
+    pub fn is_bare(&self) -> bool {
+        self.field.is_none() && self.modifiers.is_empty()
+    }
+}
+
+/// Proximity parameters: `prox[distance,order]` (Example 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProxSpec {
+    /// Maximum number of words between the two terms.
+    pub distance: u32,
+    /// `T` = the first term must appear before the second.
+    pub ordered: bool,
+}
+
+/// A filter expression — the Boolean component of a query. "The
+/// 'Basic-1'-type filter expressions use the following operators. If a
+/// source supports filter expressions, it must support all these
+/// operators": `and`, `or`, `and-not`, `prox`. There is no unary `not`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    /// An atomic term.
+    Term(QTerm),
+    /// Conjunction.
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    /// Disjunction.
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    /// `and-not` — the only form of negation: "all queries always have a
+    /// 'positive' component."
+    AndNot(Box<FilterExpr>, Box<FilterExpr>),
+    /// Word-distance proximity between two *terms* (not subexpressions;
+    /// the operator was deliberately simplified to this form).
+    Prox(QTerm, ProxSpec, QTerm),
+}
+
+impl FilterExpr {
+    /// Term constructor.
+    pub fn term(t: QTerm) -> Self {
+        FilterExpr::Term(t)
+    }
+    /// `a and b`.
+    pub fn and(a: FilterExpr, b: FilterExpr) -> Self {
+        FilterExpr::And(Box::new(a), Box::new(b))
+    }
+    /// `a or b`.
+    pub fn or(a: FilterExpr, b: FilterExpr) -> Self {
+        FilterExpr::Or(Box::new(a), Box::new(b))
+    }
+    /// `a and-not b`.
+    pub fn and_not(a: FilterExpr, b: FilterExpr) -> Self {
+        FilterExpr::AndNot(Box::new(a), Box::new(b))
+    }
+
+    /// All terms in the expression, left to right.
+    pub fn terms(&self) -> Vec<&QTerm> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a QTerm>) {
+        match self {
+            FilterExpr::Term(t) => out.push(t),
+            FilterExpr::And(a, b) | FilterExpr::Or(a, b) | FilterExpr::AndNot(a, b) => {
+                a.collect_terms(out);
+                b.collect_terms(out);
+            }
+            FilterExpr::Prox(l, _, r) => {
+                out.push(l);
+                out.push(r);
+            }
+        }
+    }
+}
+
+/// A term with an optional weight: "the terms of a ranking expression may
+/// have a weight associated with them (a number between 0 and 1),
+/// indicating their relative importance" (Example 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedTerm {
+    /// The term.
+    pub term: QTerm,
+    /// The weight, if given.
+    pub weight: Option<f64>,
+}
+
+impl WeightedTerm {
+    /// Unweighted.
+    pub fn plain(term: QTerm) -> Self {
+        WeightedTerm { term, weight: None }
+    }
+
+    /// Weighted.
+    pub fn weighted(term: QTerm, weight: f64) -> Self {
+        WeightedTerm {
+            term,
+            weight: Some(weight),
+        }
+    }
+
+    /// The effective weight (1.0 when unspecified).
+    pub fn effective_weight(&self) -> f64 {
+        self.weight.unwrap_or(1.0)
+    }
+}
+
+/// A ranking expression — the vector-space component. Uses the filter
+/// operators **plus** `list`, "which simply groups together a set of
+/// terms" and "represents the most common way of constructing
+/// vector-space queries". The Boolean-like operators were added at the
+/// vendors' request; sources may interpret them as fuzzy operators or
+/// ignore them (Example 4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankExpr {
+    /// An atomic (optionally weighted) term.
+    Term(WeightedTerm),
+    /// Flat grouping.
+    List(Vec<RankExpr>),
+    /// Fuzzy conjunction.
+    And(Box<RankExpr>, Box<RankExpr>),
+    /// Fuzzy disjunction.
+    Or(Box<RankExpr>, Box<RankExpr>),
+    /// Fuzzy and-not.
+    AndNot(Box<RankExpr>, Box<RankExpr>),
+    /// Proximity between two terms.
+    Prox(WeightedTerm, ProxSpec, WeightedTerm),
+}
+
+impl RankExpr {
+    /// An unweighted term.
+    pub fn term(t: QTerm) -> Self {
+        RankExpr::Term(WeightedTerm::plain(t))
+    }
+
+    /// A flat list of unweighted terms.
+    pub fn list_of(terms: impl IntoIterator<Item = QTerm>) -> Self {
+        RankExpr::List(terms.into_iter().map(RankExpr::term).collect())
+    }
+
+    /// All weighted terms, left to right.
+    pub fn terms(&self) -> Vec<&WeightedTerm> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a WeightedTerm>) {
+        match self {
+            RankExpr::Term(t) => out.push(t),
+            RankExpr::List(items) => {
+                for i in items {
+                    i.collect_terms(out);
+                }
+            }
+            RankExpr::And(a, b) | RankExpr::Or(a, b) | RankExpr::AndNot(a, b) => {
+                a.collect_terms(out);
+                b.collect_terms(out);
+            }
+            RankExpr::Prox(l, _, r) => {
+                out.push(l);
+                out.push(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_field_defaults_to_any() {
+        assert_eq!(QTerm::bare("x").effective_field(), Field::Any);
+        assert_eq!(
+            QTerm::fielded(Field::Title, "x").effective_field(),
+            Field::Title
+        );
+    }
+
+    #[test]
+    fn filter_terms_in_order() {
+        let f = FilterExpr::and(
+            FilterExpr::term(QTerm::fielded(Field::Author, "Ullman")),
+            FilterExpr::Prox(
+                QTerm::bare("a"),
+                ProxSpec {
+                    distance: 3,
+                    ordered: true,
+                },
+                QTerm::bare("b"),
+            ),
+        );
+        let names: Vec<&str> = f.terms().iter().map(|t| t.value.text.as_str()).collect();
+        assert_eq!(names, vec!["Ullman", "a", "b"]);
+    }
+
+    #[test]
+    fn rank_terms_and_weights() {
+        let r = RankExpr::List(vec![
+            RankExpr::Term(WeightedTerm::weighted(QTerm::bare("distributed"), 0.7)),
+            RankExpr::Term(WeightedTerm::weighted(QTerm::bare("databases"), 0.3)),
+        ]);
+        let ws: Vec<f64> = r.terms().iter().map(|t| t.effective_weight()).collect();
+        assert_eq!(ws, vec![0.7, 0.3]);
+        assert_eq!(
+            RankExpr::term(QTerm::bare("x")).terms()[0].effective_weight(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn bare_detection() {
+        assert!(QTerm::bare("x").is_bare());
+        assert!(!QTerm::fielded(Field::Title, "x").is_bare());
+        assert!(!QTerm::bare("x").with(Modifier::Stem).is_bare());
+    }
+}

@@ -1,0 +1,193 @@
+//! Canonical printer for filter and ranking expressions.
+//!
+//! The printer emits exactly the concrete syntax of the paper's examples
+//! (single spaces, `list(...)`, `prox[d,T]`), so that SOIF-encoded
+//! queries round-trip through the parser and byte counts are stable.
+
+use crate::query::ast::{FilterExpr, ProxSpec, QTerm, RankExpr, WeightedTerm};
+
+/// Render a term: bare l-strings print unparenthesized (`"databases"`);
+/// terms with a field and/or modifiers print as
+/// `(field modifiers "text")`.
+pub fn print_term(t: &QTerm) -> String {
+    if t.is_bare() {
+        return t.value.to_query_syntax();
+    }
+    let mut parts: Vec<String> = Vec::with_capacity(2 + t.modifiers.len());
+    if let Some(f) = &t.field {
+        parts.push(f.name().to_string());
+    }
+    for m in &t.modifiers {
+        parts.push(m.name().to_string());
+    }
+    parts.push(t.value.to_query_syntax());
+    format!("({})", parts.join(" "))
+}
+
+fn print_prox(spec: &ProxSpec) -> String {
+    format!(
+        "prox[{},{}]",
+        spec.distance,
+        if spec.ordered { "T" } else { "F" }
+    )
+}
+
+/// Render a filter expression in canonical syntax.
+pub fn print_filter(e: &FilterExpr) -> String {
+    match e {
+        FilterExpr::Term(t) => print_term(t),
+        FilterExpr::And(a, b) => format!("({} and {})", print_filter(a), print_filter(b)),
+        FilterExpr::Or(a, b) => format!("({} or {})", print_filter(a), print_filter(b)),
+        FilterExpr::AndNot(a, b) => {
+            format!("({} and-not {})", print_filter(a), print_filter(b))
+        }
+        FilterExpr::Prox(l, spec, r) => format!(
+            "({} {} {})",
+            print_term(l),
+            print_prox(spec),
+            print_term(r)
+        ),
+    }
+}
+
+/// Render a weighted term. Weighted bare terms print `("text" w)`;
+/// weighted fielded terms print `((field "text") w)`.
+pub fn print_weighted(t: &WeightedTerm) -> String {
+    match t.weight {
+        None => print_term(&t.term),
+        Some(w) => format!("({} {})", print_term(&t.term), fmt_weight(w)),
+    }
+}
+
+/// Render a ranking expression in canonical syntax.
+pub fn print_ranking(e: &RankExpr) -> String {
+    match e {
+        RankExpr::Term(t) => print_weighted(t),
+        RankExpr::List(items) => {
+            let inner: Vec<String> = items.iter().map(print_ranking).collect();
+            format!("list({})", inner.join(" "))
+        }
+        RankExpr::And(a, b) => format!("({} and {})", print_ranking(a), print_ranking(b)),
+        RankExpr::Or(a, b) => format!("({} or {})", print_ranking(a), print_ranking(b)),
+        RankExpr::AndNot(a, b) => {
+            format!("({} and-not {})", print_ranking(a), print_ranking(b))
+        }
+        RankExpr::Prox(l, spec, r) => format!(
+            "({} {} {})",
+            print_weighted(l),
+            print_prox(spec),
+            print_weighted(r)
+        ),
+    }
+}
+
+/// Format a weight or score. Rust's `Display` for `f64` prints the
+/// shortest decimal that round-trips exactly, which matches the paper's
+/// rendering for its values (`0.7`, `0.31`, `0.82`, `1`) *and* preserves
+/// full precision for engine-produced scores through SOIF encode/decode.
+pub fn fmt_weight(w: f64) -> String {
+    format!("{w}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{CmpOp, Field, Modifier};
+    use crate::query::parser::{parse_filter, parse_ranking};
+
+    #[test]
+    fn prints_example1_filter() {
+        let f = parse_filter(r#"((author "Ullman") and (title "databases"))"#).unwrap();
+        assert_eq!(
+            print_filter(&f),
+            r#"((author "Ullman") and (title "databases"))"#
+        );
+    }
+
+    #[test]
+    fn prints_example6_expressions_with_paper_byte_counts() {
+        // The paper's Example 6 declares FilterExpression{48} and
+        // RankingExpression{61}; our canonical print must hit exactly
+        // those byte counts (the proof that the canonical syntax is the
+        // paper's).
+        let f = parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap();
+        let printed = print_filter(&f);
+        assert_eq!(printed.len(), 48);
+        let r = parse_ranking(
+            r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
+        )
+        .unwrap();
+        let printed = print_ranking(&r);
+        assert_eq!(printed.len(), 61);
+        // And Example 8's ActualRankingExpression{26}.
+        let r = parse_ranking(r#"(body-of-text "databases")"#).unwrap();
+        assert_eq!(print_ranking(&r).len(), 26);
+    }
+
+    #[test]
+    fn prints_comparison() {
+        let t = QTerm::fielded(Field::DateLastModified, "1996-08-01")
+            .with(Modifier::Cmp(CmpOp::Gt));
+        assert_eq!(print_term(&t), r#"(date-last-modified > "1996-08-01")"#);
+    }
+
+    #[test]
+    fn prints_prox() {
+        let f = parse_filter(r#"("distributed" prox[3,T] "databases")"#).unwrap();
+        assert_eq!(
+            print_filter(&f),
+            r#"("distributed" prox[3,T] "databases")"#
+        );
+    }
+
+    #[test]
+    fn prints_weights() {
+        let r = parse_ranking(r#"list(("distributed" 0.7) ("databases" 0.3))"#).unwrap();
+        assert_eq!(
+            print_ranking(&r),
+            r#"list(("distributed" 0.7) ("databases" 0.3))"#
+        );
+    }
+
+    #[test]
+    fn weight_formatting() {
+        assert_eq!(fmt_weight(0.7), "0.7");
+        assert_eq!(fmt_weight(0.31), "0.31");
+        assert_eq!(fmt_weight(1.0), "1");
+        assert_eq!(fmt_weight(0.0), "0");
+        assert_eq!(fmt_weight(0.82), "0.82"); // Example 8's RawScore
+        // Shortest round-trip: parsing the output recovers the value.
+        let w = 0.123456789012345;
+        assert_eq!(fmt_weight(w).parse::<f64>().unwrap(), w);
+    }
+
+    #[test]
+    fn round_trip_via_parser() {
+        for src in [
+            r#"(title stem "databases")"#,
+            r#"((author "Ullman") and (title stem "databases"))"#,
+            r#"(("a" or "b") and-not (title "c"))"#,
+            r#"("x" prox[0,F] "y")"#,
+            r#"(date-last-modified >= "1996-01-01")"#,
+            r#"(title [en-US "behavior"])"#,
+        ] {
+            let ast = parse_filter(src).unwrap();
+            let printed = print_filter(&ast);
+            assert_eq!(printed, src, "canonical form differs");
+            assert_eq!(parse_filter(&printed).unwrap(), ast);
+        }
+        for src in [
+            r#"list("a" "b")"#,
+            r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
+            r#"list(("distributed" 0.7) ("databases" 0.3))"#,
+            r#"("distributed" and "databases")"#,
+            r#"list()"#,
+            r#"("a" prox[2,T] "b")"#,
+        ] {
+            let ast = parse_ranking(src).unwrap();
+            let printed = print_ranking(&ast);
+            assert_eq!(printed, src, "canonical form differs");
+            assert_eq!(parse_ranking(&printed).unwrap(), ast);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Resource definitions (§4.3.3) and the `@SResource` SOIF binding
+//! (Example 12).
+//!
+//! "Our model allows several sources to be grouped together as a single
+//! resource (e.g., Knight-Ridder's Dialog information service). Each
+//! resource exports contact information about the sources that it
+//! contains … its list of sources, together with the URLs where the
+//! metadata attributes for the sources can be accessed."
+
+use starts_soif::{SoifObject, STARTS_VERSION, VERSION_ATTR};
+
+use crate::error::ProtoError;
+
+/// A resource's exported source list: `(source id, metadata URL)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Resource {
+    /// The sources available at this resource.
+    pub sources: Vec<(String, String)>,
+}
+
+impl Resource {
+    /// Build from pairs.
+    pub fn new(sources: impl IntoIterator<Item = (String, String)>) -> Self {
+        Resource {
+            sources: sources.into_iter().collect(),
+        }
+    }
+
+    /// The metadata URL for a source id.
+    pub fn metadata_url(&self, source_id: &str) -> Option<&str> {
+        self.sources
+            .iter()
+            .find(|(id, _)| id == source_id)
+            .map(|(_, url)| url.as_str())
+    }
+
+    /// Source ids in declaration order.
+    pub fn source_ids(&self) -> impl Iterator<Item = &str> {
+        self.sources.iter().map(|(id, _)| id.as_str())
+    }
+
+    /// Encode as an `@SResource` object (Example 12).
+    pub fn to_soif(&self) -> SoifObject {
+        let mut o = SoifObject::new("SResource");
+        o.push_str(VERSION_ATTR, STARTS_VERSION);
+        let lines: Vec<String> = self
+            .sources
+            .iter()
+            .map(|(id, url)| format!("{id} {url}"))
+            .collect();
+        o.push_str("SourceList", lines.join("\n"));
+        o
+    }
+
+    /// Decode from an `@SResource` object.
+    pub fn from_soif(o: &SoifObject) -> Result<Resource, ProtoError> {
+        if !o.template.eq_ignore_ascii_case("SResource") {
+            return Err(ProtoError::WrongTemplate {
+                expected: "SResource",
+                found: o.template.clone(),
+            });
+        }
+        let list = o
+            .get_str("SourceList")
+            .ok_or_else(|| ProtoError::missing("SResource", "SourceList"))?;
+        let mut sources = Vec::new();
+        for line in list.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let id = parts
+                .next()
+                .ok_or_else(|| ProtoError::invalid("SourceList", "empty line"))?;
+            let url = parts.next().ok_or_else(|| {
+                ProtoError::invalid("SourceList", format!("missing URL for {id:?}"))
+            })?;
+            sources.push((id.to_string(), url.to_string()));
+        }
+        Ok(Resource { sources })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_soif::{parse_one, write_object, ParseMode};
+
+    fn example12_resource() -> Resource {
+        Resource::new([
+            (
+                "Source-1".to_string(),
+                "ftp://www.stanford.edu/source_1".to_string(),
+            ),
+            (
+                "Source-2".to_string(),
+                "ftp://www.stanford.edu/source_2".to_string(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn example12_encoding() {
+        let r = example12_resource();
+        let o = r.to_soif();
+        assert_eq!(
+            o.get_str("SourceList"),
+            Some(
+                "Source-1 ftp://www.stanford.edu/source_1\n\
+                 Source-2 ftp://www.stanford.edu/source_2"
+            )
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = example12_resource();
+        let bytes = write_object(&r.to_soif());
+        let back = Resource::from_soif(&parse_one(&bytes, ParseMode::Strict).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn lookups() {
+        let r = example12_resource();
+        assert_eq!(
+            r.metadata_url("Source-2"),
+            Some("ftp://www.stanford.edu/source_2")
+        );
+        assert_eq!(r.metadata_url("Source-9"), None);
+        let ids: Vec<&str> = r.source_ids().collect();
+        assert_eq!(ids, vec!["Source-1", "Source-2"]);
+    }
+
+    #[test]
+    fn decode_errors() {
+        let o = SoifObject::new("SResource");
+        assert!(Resource::from_soif(&o).is_err());
+        let mut o = SoifObject::new("SResource");
+        o.push_str("SourceList", "OnlyAnId");
+        assert!(Resource::from_soif(&o).is_err());
+    }
+
+    #[test]
+    fn empty_resource_round_trips() {
+        let r = Resource::default();
+        let back = Resource::from_soif(&r.to_soif()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,422 @@
+//! Source content summaries (§4.3.2) and their `@SContentSummary` SOIF
+//! binding (Example 11).
+//!
+//! "We require that each source export partial data about its contents.
+//! This data is automatically generated, is orders of magnitude smaller
+//! than the original contents, and has proven useful in distinguishing
+//! the more useful from the less useful sources for a given query
+//! [GlOSS, refs 7–8]." A summary is a word list with per-word statistics
+//! (total postings and/or document frequency) plus the total document
+//! count, optionally sectioned by field and language.
+
+use starts_soif::{SoifObject, STARTS_VERSION, VERSION_ATTR};
+use starts_text::LangTag;
+
+use crate::error::ProtoError;
+use crate::query::parse_bool;
+
+/// Statistics for one word. "Statistics for each word listed, including
+/// at least one of: total number of postings …, document frequency."
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermSummary {
+    /// The word (unstemmed and case-preserved "if possible").
+    pub term: String,
+    /// Total occurrences in the source.
+    pub total_postings: Option<u64>,
+    /// Number of documents containing the word.
+    pub doc_freq: Option<u32>,
+}
+
+/// One section of the summary: the words of one field–language slice
+/// (Example 11 has an `en-US` title section and an `es` title section).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SummarySection {
+    /// The field the words occurred in, if field-qualified.
+    pub field: Option<String>,
+    /// The language of the words, if qualified.
+    pub language: Option<LangTag>,
+    /// The words with their statistics.
+    pub terms: Vec<TermSummary>,
+}
+
+/// A source's exported content summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ContentSummary {
+    /// Whether the listed words are stemmed ("if possible … not").
+    pub stemmed: bool,
+    /// Whether the list includes stop words ("should include" them; the
+    /// flag is `T` when stop words are ABSENT in the original Harvest
+    /// sense — here: `stop_words_included = F` ⇔ Example 11's
+    /// `StopWords{1}: F` meaning the list has none removed... The paper's
+    /// flag reads "whether the words listed include stop words or not";
+    /// we store exactly that.
+    pub stop_words_included: bool,
+    /// Whether the words are case sensitive.
+    pub case_sensitive: bool,
+    /// Total number of documents in the source.
+    pub num_docs: u32,
+    /// The word sections. With field qualification off, a single section
+    /// with `field: None`.
+    pub sections: Vec<SummarySection>,
+}
+
+impl ContentSummary {
+    /// Whether words carry field qualification (the `Fields` flag).
+    pub fn fields_qualified(&self) -> bool {
+        self.sections.iter().any(|s| s.field.is_some())
+    }
+
+    /// Total number of distinct (section, word) entries.
+    pub fn total_terms(&self) -> usize {
+        self.sections.iter().map(|s| s.terms.len()).sum()
+    }
+
+    /// Look up a word's statistics in a given field (None = any
+    /// section), case per the summary's own flag.
+    pub fn lookup(&self, field: Option<&str>, term: &str) -> Option<&TermSummary> {
+        for section in &self.sections {
+            if let Some(f) = field {
+                match &section.field {
+                    Some(sf) if sf.eq_ignore_ascii_case(f) => {}
+                    // Unqualified summaries match any requested field.
+                    None => {}
+                    _ => continue,
+                }
+            }
+            let found = section.terms.iter().find(|t| {
+                if self.case_sensitive {
+                    t.term == term
+                } else {
+                    t.term.eq_ignore_ascii_case(term)
+                }
+            });
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Document frequency of a word (0 when absent) — the statistic
+    /// GlOSS-style source selection consumes.
+    pub fn df(&self, field: Option<&str>, term: &str) -> u32 {
+        self.lookup(field, term)
+            .and_then(|t| t.doc_freq)
+            .unwrap_or(0)
+    }
+
+    /// Encode as an `@SContentSummary` object (Example 11's layout:
+    /// header flags, then repeated `Field`/`Language`/`TermDocFreq`
+    /// attribute groups).
+    pub fn to_soif(&self) -> SoifObject {
+        let mut o = SoifObject::new("SContentSummary");
+        o.push_str(VERSION_ATTR, STARTS_VERSION);
+        o.push_str("Stemming", tf(self.stemmed));
+        o.push_str("StopWords", tf(self.stop_words_included));
+        o.push_str("CaseSensitive", tf(self.case_sensitive));
+        o.push_str("Fields", tf(self.fields_qualified()));
+        o.push_str("NumDocs", self.num_docs.to_string());
+        for section in &self.sections {
+            if let Some(f) = &section.field {
+                o.push_str("Field", f);
+            }
+            if let Some(l) = &section.language {
+                o.push_str("Language", l.to_string());
+            }
+            let lines: Vec<String> = section.terms.iter().map(encode_term).collect();
+            o.push_str("TermDocFreq", lines.join("\n"));
+        }
+        o
+    }
+
+    /// Decode from an `@SContentSummary` object.
+    pub fn from_soif(o: &SoifObject) -> Result<ContentSummary, ProtoError> {
+        if !o.template.eq_ignore_ascii_case("SContentSummary") {
+            return Err(ProtoError::WrongTemplate {
+                expected: "SContentSummary",
+                found: o.template.clone(),
+            });
+        }
+        let mut summary = ContentSummary {
+            stemmed: o
+                .get_str("Stemming")
+                .map(|v| parse_bool("Stemming", v))
+                .transpose()?
+                .unwrap_or(false),
+            stop_words_included: o
+                .get_str("StopWords")
+                .map(|v| parse_bool("StopWords", v))
+                .transpose()?
+                .unwrap_or(true),
+            case_sensitive: o
+                .get_str("CaseSensitive")
+                .map(|v| parse_bool("CaseSensitive", v))
+                .transpose()?
+                .unwrap_or(false),
+            num_docs: o
+                .get_str("NumDocs")
+                .ok_or_else(|| ProtoError::missing("SContentSummary", "NumDocs"))?
+                .trim()
+                .parse()
+                .map_err(|_| ProtoError::invalid("NumDocs", "not an integer"))?,
+            sections: Vec::new(),
+        };
+        // Walk attributes in order, building sections: Field/Language
+        // attrs set the pending section header; TermDocFreq closes it.
+        let mut pending_field: Option<String> = None;
+        let mut pending_lang: Option<LangTag> = None;
+        for attr in o.iter() {
+            let value = std::str::from_utf8(&attr.value)
+                .map_err(|_| ProtoError::invalid(&attr.name, "not UTF-8"))?;
+            match attr.name.to_ascii_lowercase().as_str() {
+                "field" => pending_field = Some(value.trim().to_string()),
+                "language" => {
+                    pending_lang = Some(
+                        LangTag::parse(value.trim())
+                            .map_err(|e| ProtoError::invalid("Language", e.to_string()))?,
+                    )
+                }
+                "termdocfreq" => {
+                    let terms = value
+                        .lines()
+                        .filter(|l| !l.trim().is_empty())
+                        .map(decode_term)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    summary.sections.push(SummarySection {
+                        field: pending_field.take(),
+                        language: pending_lang.take(),
+                        terms,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(summary)
+    }
+}
+
+fn tf(b: bool) -> &'static str {
+    if b {
+        "T"
+    } else {
+        "F"
+    }
+}
+
+/// `"term" postings df`, with `-` for an absent statistic (the paper
+/// requires at least one of the two).
+fn encode_term(t: &TermSummary) -> String {
+    format!(
+        "{} {} {}",
+        crate::lstring::quote(&t.term),
+        t.total_postings
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_string()),
+        t.doc_freq
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_string()),
+    )
+}
+
+fn decode_term(line: &str) -> Result<TermSummary, ProtoError> {
+    let trimmed = line.trim();
+    if !trimmed.starts_with('"') {
+        return Err(ProtoError::invalid(
+            "TermDocFreq",
+            format!("expected quoted term in {line:?}"),
+        ));
+    }
+    // Find the closing quote (terms are single words; no escapes in
+    // practice, but honour them anyway).
+    let mut end = None;
+    let bytes = trimmed.as_bytes();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                end = Some(i);
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let end = end.ok_or_else(|| ProtoError::invalid("TermDocFreq", "unterminated term"))?;
+    let term = crate::lstring::unquote_contents(&trimmed[1..end], 0)?;
+    let stats: Vec<&str> = trimmed[end + 1..].split_whitespace().collect();
+    if stats.len() != 2 {
+        return Err(ProtoError::invalid(
+            "TermDocFreq",
+            format!("expected two statistics in {line:?}"),
+        ));
+    }
+    let parse_stat = |s: &str| -> Result<Option<u64>, ProtoError> {
+        if s == "-" {
+            Ok(None)
+        } else {
+            s.parse()
+                .map(Some)
+                .map_err(|_| ProtoError::invalid("TermDocFreq", format!("bad statistic {s:?}")))
+        }
+    };
+    let total_postings = parse_stat(stats[0])?;
+    let doc_freq = parse_stat(stats[1])?.map(|v| v as u32);
+    if total_postings.is_none() && doc_freq.is_none() {
+        return Err(ProtoError::invalid(
+            "TermDocFreq",
+            "at least one statistic (postings or document frequency) is required",
+        ));
+    }
+    Ok(TermSummary {
+        term,
+        total_postings,
+        doc_freq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_soif::{parse_one, write_object, ParseMode};
+
+    fn example11_summary() -> ContentSummary {
+        ContentSummary {
+            stemmed: false,
+            stop_words_included: false,
+            case_sensitive: false,
+            num_docs: 892,
+            sections: vec![
+                SummarySection {
+                    field: Some("title".to_string()),
+                    language: Some(LangTag::en_us()),
+                    terms: vec![
+                        TermSummary {
+                            term: "algorithm".to_string(),
+                            total_postings: Some(100),
+                            doc_freq: Some(53),
+                        },
+                        TermSummary {
+                            term: "analysis".to_string(),
+                            total_postings: Some(50),
+                            doc_freq: Some(23),
+                        },
+                    ],
+                },
+                SummarySection {
+                    field: Some("title".to_string()),
+                    language: Some(LangTag::es()),
+                    terms: vec![
+                        TermSummary {
+                            term: "algoritmo".to_string(),
+                            total_postings: Some(23),
+                            doc_freq: Some(11),
+                        },
+                        TermSummary {
+                            term: "datos".to_string(),
+                            total_postings: Some(59),
+                            doc_freq: Some(12),
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn example11_encoding() {
+        let s = example11_summary();
+        let o = s.to_soif();
+        assert_eq!(o.get_str("Stemming"), Some("F"));
+        assert_eq!(o.get_str("StopWords"), Some("F"));
+        assert_eq!(o.get_str("CaseSensitive"), Some("F"));
+        assert_eq!(o.get_str("Fields"), Some("T"));
+        assert_eq!(o.get_str("NumDocs"), Some("892"));
+        let fields: Vec<&str> = o.get_all_str("Field").collect();
+        assert_eq!(fields, vec!["title", "title"]);
+        let langs: Vec<&str> = o.get_all_str("Language").collect();
+        assert_eq!(langs, vec!["en-US", "es"]);
+        let tdf: Vec<&str> = o.get_all_str("TermDocFreq").collect();
+        assert_eq!(tdf[0], "\"algorithm\" 100 53\n\"analysis\" 50 23");
+        assert_eq!(tdf[1], "\"algoritmo\" 23 11\n\"datos\" 59 12");
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = example11_summary();
+        let bytes = write_object(&s.to_soif());
+        let back =
+            ContentSummary::from_soif(&parse_one(&bytes, ParseMode::Strict).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn lookup_and_df() {
+        let s = example11_summary();
+        // The paper's reading of Example 11: "the English word
+        // 'algorithm' appears in the title of 53 documents, while the
+        // Spanish word 'datos' appears in the title of 12 documents."
+        assert_eq!(s.df(Some("title"), "algorithm"), 53);
+        assert_eq!(s.df(Some("title"), "datos"), 12);
+        assert_eq!(s.df(Some("title"), "missing"), 0);
+        assert_eq!(s.df(Some("author"), "algorithm"), 0);
+        // Case-insensitive summary.
+        assert_eq!(s.df(Some("title"), "Algorithm"), 53);
+    }
+
+    #[test]
+    fn case_sensitive_lookup() {
+        let mut s = example11_summary();
+        s.case_sensitive = true;
+        assert_eq!(s.df(Some("title"), "Algorithm"), 0);
+        assert_eq!(s.df(Some("title"), "algorithm"), 53);
+    }
+
+    #[test]
+    fn unqualified_summary() {
+        let s = ContentSummary {
+            num_docs: 10,
+            sections: vec![SummarySection {
+                field: None,
+                language: None,
+                terms: vec![TermSummary {
+                    term: "word".to_string(),
+                    total_postings: None,
+                    doc_freq: Some(4),
+                }],
+            }],
+            ..ContentSummary::default()
+        };
+        let o = s.to_soif();
+        assert_eq!(o.get_str("Fields"), Some("F"));
+        assert!(!o.has("Field"));
+        // Absent postings encodes as '-'.
+        assert_eq!(o.get_str("TermDocFreq"), Some("\"word\" - 4"));
+        let back = ContentSummary::from_soif(&o).unwrap();
+        assert_eq!(back, s);
+        // Field-qualified lookup still finds unqualified entries.
+        assert_eq!(s.df(Some("title"), "word"), 4);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert!(decode_term("unquoted 1 2").is_err());
+        assert!(decode_term("\"unterminated 1 2").is_err());
+        assert!(decode_term("\"x\" 1").is_err());
+        assert!(decode_term("\"x\" - -").is_err());
+        assert!(decode_term("\"x\" a b").is_err());
+    }
+
+    #[test]
+    fn missing_numdocs_rejected() {
+        let o = SoifObject::new("SContentSummary");
+        assert!(matches!(
+            ContentSummary::from_soif(&o),
+            Err(ProtoError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn total_terms() {
+        assert_eq!(example11_summary().total_terms(), 4);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests: arbitrary query ASTs round-trip through the
+//! canonical printer and the parser, and all protocol objects round-trip
+//! through SOIF.
+
+use proptest::prelude::*;
+use starts_proto::attrs::CmpOp;
+use starts_proto::query::{
+    parse_filter, parse_ranking, print_filter, print_ranking, FilterExpr, ProxSpec, QTerm,
+    RankExpr, WeightedTerm,
+};
+use starts_proto::{Field, LString, Modifier, Query};
+use starts_text::LangTag;
+
+fn arb_word() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,11}"
+}
+
+fn arb_lstring() -> impl Strategy<Value = LString> {
+    (
+        arb_word(),
+        proptest::option::of(prop_oneof![
+            Just(LangTag::en_us()),
+            Just(LangTag::es()),
+            Just(LangTag::parse("en-GB").unwrap()),
+        ]),
+    )
+        .prop_map(|(text, lang)| LString { lang, text })
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        Just(Field::Title),
+        Just(Field::Author),
+        Just(Field::BodyOfText),
+        Just(Field::DateLastModified),
+        Just(Field::Linkage),
+        Just(Field::Any),
+        "[a-z]{3,8}"
+            .prop_filter("field names must not collide with reserved words", |w| {
+                // A field name that parses as a modifier or operator would
+                // legitimately re-parse differently.
+                matches!(Modifier::parse(w), Modifier::Other(_))
+                    && !matches!(w.as_str(), "and" | "or" | "and-not" | "prox" | "list" | "not")
+            })
+            .prop_map(Field::Other),
+    ]
+}
+
+fn arb_modifier() -> impl Strategy<Value = Modifier> {
+    prop_oneof![
+        Just(Modifier::Stem),
+        Just(Modifier::Phonetic),
+        Just(Modifier::Thesaurus),
+        Just(Modifier::RightTruncation),
+        Just(Modifier::LeftTruncation),
+        Just(Modifier::CaseSensitive),
+        Just(Modifier::Cmp(CmpOp::Gt)),
+        Just(Modifier::Cmp(CmpOp::Le)),
+        Just(Modifier::Cmp(CmpOp::Ne)),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = QTerm> {
+    (
+        proptest::option::of(arb_field()),
+        proptest::collection::vec(arb_modifier(), 0..3),
+        arb_lstring(),
+    )
+        .prop_map(|(field, modifiers, value)| QTerm {
+            field,
+            modifiers,
+            value,
+        })
+}
+
+fn arb_prox() -> impl Strategy<Value = ProxSpec> {
+    (0u32..20, any::<bool>()).prop_map(|(distance, ordered)| ProxSpec { distance, ordered })
+}
+
+fn arb_filter() -> impl Strategy<Value = FilterExpr> {
+    let leaf = arb_term().prop_map(FilterExpr::Term);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FilterExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FilterExpr::or(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| FilterExpr::and_not(a, b)),
+            (arb_term(), arb_prox(), arb_term())
+                .prop_map(|(l, p, r)| FilterExpr::Prox(l, p, r)),
+        ]
+    })
+}
+
+fn arb_weight() -> impl Strategy<Value = Option<f64>> {
+    proptest::option::of((0u32..=100).prop_map(|w| f64::from(w) / 100.0))
+}
+
+fn arb_wterm() -> impl Strategy<Value = WeightedTerm> {
+    (arb_term(), arb_weight()).prop_map(|(term, weight)| WeightedTerm { term, weight })
+}
+
+fn arb_ranking() -> impl Strategy<Value = RankExpr> {
+    let leaf = arb_wterm().prop_map(RankExpr::Term);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(RankExpr::List),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RankExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RankExpr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| RankExpr::AndNot(Box::new(a), Box::new(b))),
+            (arb_wterm(), arb_prox(), arb_wterm())
+                .prop_map(|(l, p, r)| RankExpr::Prox(l, p, r)),
+        ]
+    })
+}
+
+proptest! {
+    /// print ∘ parse = identity on filter expressions.
+    #[test]
+    fn filter_print_parse_round_trip(f in arb_filter()) {
+        let printed = print_filter(&f);
+        let parsed = parse_filter(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on {printed:?}: {e}"));
+        prop_assert_eq!(parsed, f);
+    }
+
+    /// print ∘ parse = identity on ranking expressions.
+    #[test]
+    fn ranking_print_parse_round_trip(r in arb_ranking()) {
+        let printed = print_ranking(&r);
+        let parsed = parse_ranking(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on {printed:?}: {e}"));
+        prop_assert_eq!(parsed, r);
+    }
+
+    /// Whole queries round-trip through SOIF.
+    #[test]
+    fn query_soif_round_trip(
+        filter in proptest::option::of(arb_filter()),
+        ranking in proptest::option::of(arb_ranking()),
+        drop_stop_words in any::<bool>(),
+        max_docs in proptest::option::of(1usize..1000),
+        min_score in proptest::option::of((0u32..=100).prop_map(|w| f64::from(w) / 100.0)),
+    ) {
+        let q = Query {
+            filter,
+            ranking,
+            drop_stop_words,
+            answer: starts_proto::AnswerSpec {
+                max_documents: max_docs.unwrap_or(usize::MAX),
+                min_doc_score: min_score.unwrap_or(f64::NEG_INFINITY),
+                ..Default::default()
+            },
+            ..Query::default()
+        };
+        let bytes = starts_soif::write_object(&q.to_soif());
+        let parsed = starts_soif::parse_one(&bytes, starts_soif::ParseMode::Strict).unwrap();
+        let back = Query::from_soif(&parsed).unwrap();
+        prop_assert_eq!(back, q);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_total(junk in "[ -~]{0,80}") {
+        let _ = parse_filter(&junk);
+        let _ = parse_ranking(&junk);
+    }
+}

@@ -1,0 +1,304 @@
+//! Corpus generation: topic-skewed, multi-source synthetic collections.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starts_index::Document;
+use starts_text::LangTag;
+
+use crate::zipf::Zipf;
+
+/// Configuration of a generated multi-source corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Documents per source.
+    pub docs_per_source: usize,
+    /// Number of distinct topics; source `i` specializes in topic
+    /// `i % n_topics`.
+    pub n_topics: usize,
+    /// Background vocabulary size (shared across topics).
+    pub background_vocab: usize,
+    /// Topic vocabulary size (per topic, disjoint from background).
+    pub topic_vocab: usize,
+    /// Tokens per document body, min and max (uniform).
+    pub doc_len: (usize, usize),
+    /// Probability that a token is drawn from the source's topic
+    /// vocabulary rather than the background (§3.2's specialization).
+    pub topic_skew: f64,
+    /// Fraction of sources that also hold Spanish documents (their even
+    /// documents are generated with Spanish-ish vocabulary and tagged
+    /// `es`).
+    pub bilingual_fraction: f64,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_sources: 10,
+            docs_per_source: 100,
+            n_topics: 5,
+            background_vocab: 2000,
+            topic_vocab: 120,
+            doc_len: (30, 120),
+            topic_skew: 0.35,
+            bilingual_fraction: 0.0,
+            seed: 4217,
+        }
+    }
+}
+
+/// One generated source.
+#[derive(Debug, Clone)]
+pub struct GeneratedSource {
+    /// Source id (`Gen-0`, `Gen-1`, …).
+    pub id: String,
+    /// The topic this source specializes in.
+    pub topic: usize,
+    /// Whether this source holds Spanish documents too.
+    pub bilingual: bool,
+    /// The documents.
+    pub docs: Vec<Document>,
+}
+
+/// A generated corpus: sources plus the vocabulary metadata needed to
+/// build query workloads with known answers.
+#[derive(Debug, Clone)]
+pub struct GeneratedCorpus {
+    /// The sources.
+    pub sources: Vec<GeneratedSource>,
+    /// Per-topic vocabularies (`topics[t]` is the word list of topic t).
+    pub topics: Vec<Vec<String>>,
+    /// The background vocabulary.
+    pub background: Vec<String>,
+    /// The configuration that produced this corpus.
+    pub config: CorpusConfig,
+}
+
+/// The word at a background rank.
+fn background_word(rank: usize) -> String {
+    format!("w{rank:04}")
+}
+
+/// The word at a topic rank.
+fn topic_word(topic: usize, rank: usize) -> String {
+    format!("t{topic}x{rank:03}")
+}
+
+/// Spanish-ish background word (disjoint vocabulary, tagged `es`).
+fn spanish_word(rank: usize) -> String {
+    format!("es{rank:04}")
+}
+
+/// Generate a corpus.
+pub fn generate(config: &CorpusConfig) -> GeneratedCorpus {
+    assert!(config.n_topics > 0, "need at least one topic");
+    assert!(config.doc_len.0 > 0 && config.doc_len.0 <= config.doc_len.1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let background_zipf = Zipf::new(config.background_vocab, 1.0);
+    let topic_zipf = Zipf::new(config.topic_vocab, 0.8);
+    let topics: Vec<Vec<String>> = (0..config.n_topics)
+        .map(|t| (0..config.topic_vocab).map(|r| topic_word(t, r)).collect())
+        .collect();
+    let background: Vec<String> = (0..config.background_vocab).map(background_word).collect();
+
+    let mut sources = Vec::with_capacity(config.n_sources);
+    for s in 0..config.n_sources {
+        let topic = s % config.n_topics;
+        let bilingual =
+            ((s as f64 + 0.5) / config.n_sources as f64) < config.bilingual_fraction;
+        let mut docs = Vec::with_capacity(config.docs_per_source);
+        for d in 0..config.docs_per_source {
+            let spanish = bilingual && d % 2 == 0;
+            let len = rng.gen_range(config.doc_len.0..=config.doc_len.1);
+            let mut body = String::with_capacity(len * 7);
+            for i in 0..len {
+                if i > 0 {
+                    body.push(' ');
+                }
+                let word = if spanish {
+                    spanish_word(background_zipf.sample(&mut rng))
+                } else if rng.gen_bool(config.topic_skew) {
+                    topic_word(topic, topic_zipf.sample(&mut rng))
+                } else {
+                    background_word(background_zipf.sample(&mut rng))
+                };
+                body.push_str(&word);
+            }
+            // Title: a short sample of the same mixture.
+            let title_len = rng.gen_range(2..=5);
+            let mut title = String::new();
+            for i in 0..title_len {
+                if i > 0 {
+                    title.push(' ');
+                }
+                let word = if spanish {
+                    spanish_word(background_zipf.sample(&mut rng))
+                } else if rng.gen_bool(config.topic_skew) {
+                    topic_word(topic, topic_zipf.sample(&mut rng))
+                } else {
+                    background_word(background_zipf.sample(&mut rng))
+                };
+                title.push_str(&word);
+            }
+            let year = 1994 + rng.gen_range(0..3);
+            let month = rng.gen_range(1..=12);
+            let day = rng.gen_range(1..=28);
+            let lang = if spanish {
+                LangTag::es()
+            } else {
+                LangTag::en_us()
+            };
+            let doc = Document::new()
+                .field_lang("title", title, lang.clone())
+                .field("author", format!("Author {}-{}", s, d % 17))
+                .field_lang("body-of-text", body, lang)
+                .field("date-last-modified", format!("{year}-{month:02}-{day:02}"))
+                .field("linkage", format!("gen://src-{s}/doc-{d}"));
+            docs.push(doc);
+        }
+        sources.push(GeneratedSource {
+            id: format!("Gen-{s}"),
+            topic,
+            bilingual,
+            docs,
+        });
+    }
+    GeneratedCorpus {
+        sources,
+        topics,
+        background,
+        config: config.clone(),
+    }
+}
+
+impl GeneratedCorpus {
+    /// All documents across all sources (the "single combined source"
+    /// baseline a metasearcher pretends to offer).
+    pub fn all_docs(&self) -> Vec<Document> {
+        self.sources
+            .iter()
+            .flat_map(|s| s.docs.iter().cloned())
+            .collect()
+    }
+
+    /// Total document count.
+    pub fn total_docs(&self) -> usize {
+        self.sources.iter().map(|s| s.docs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            n_sources: 4,
+            docs_per_source: 20,
+            n_topics: 2,
+            background_vocab: 200,
+            topic_vocab: 30,
+            doc_len: (10, 30),
+            topic_skew: 0.5,
+            bilingual_fraction: 0.25,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.total_docs(), b.total_docs());
+        assert_eq!(
+            a.sources[0].docs[0].get("body-of-text"),
+            b.sources[0].docs[0].get("body-of-text")
+        );
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let c = generate(&small());
+        assert_eq!(c.sources.len(), 4);
+        assert_eq!(c.total_docs(), 80);
+        assert_eq!(c.topics.len(), 2);
+        assert_eq!(c.sources[0].topic, 0);
+        assert_eq!(c.sources[1].topic, 1);
+        assert_eq!(c.sources[2].topic, 0);
+        for s in &c.sources {
+            for d in &s.docs {
+                assert!(d.get("title").is_some());
+                assert!(d.get("linkage").is_some());
+                let len = d.get("body-of-text").unwrap().split(' ').count();
+                assert!((10..=30).contains(&len));
+            }
+        }
+    }
+
+    #[test]
+    fn topic_skew_shows_in_text() {
+        let c = generate(&small());
+        // Source 0 (topic 0) should contain topic-0 words and hardly any
+        // topic-1 words.
+        let text: String = c.sources[0]
+            .docs
+            .iter()
+            .map(|d| d.get("body-of-text").unwrap())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let t0 = text.matches("t0x").count();
+        let t1 = text.matches("t1x").count();
+        assert!(t0 > 20, "topic words missing: {t0}");
+        assert_eq!(t1, 0, "foreign topic words leaked in");
+    }
+
+    #[test]
+    fn bilingual_sources_exist_and_are_tagged() {
+        let c = generate(&small());
+        let bilingual: Vec<&GeneratedSource> =
+            c.sources.iter().filter(|s| s.bilingual).collect();
+        assert_eq!(bilingual.len(), 1); // 25% of 4
+        let s = bilingual[0];
+        let spanish_docs = s
+            .docs
+            .iter()
+            .filter(|d| {
+                d.fields()
+                    .iter()
+                    .any(|f| f.lang == Some(LangTag::es()))
+            })
+            .count();
+        assert_eq!(spanish_docs, 10); // every even doc
+        let text = s.docs[0].get("body-of-text").unwrap();
+        assert!(text.starts_with("es"), "spanish vocab expected: {text}");
+    }
+
+    #[test]
+    fn linkage_urls_unique() {
+        let c = generate(&small());
+        let mut urls: Vec<&str> = c
+            .sources
+            .iter()
+            .flat_map(|s| s.docs.iter().map(|d| d.get("linkage").unwrap()))
+            .collect();
+        let n = urls.len();
+        urls.sort_unstable();
+        urls.dedup();
+        assert_eq!(urls.len(), n);
+    }
+
+    #[test]
+    fn dates_are_valid_iso() {
+        let c = generate(&small());
+        for s in &c.sources {
+            for d in &s.docs {
+                let date = d.get("date-last-modified").unwrap();
+                assert_eq!(date.len(), 10);
+                assert!(date[..4].parse::<u32>().is_ok());
+            }
+        }
+    }
+}

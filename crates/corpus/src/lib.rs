@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! `starts-corpus` — synthetic document collections and query workloads
+//! for the STARTS experiments.
+//!
+//! The paper evaluates nothing itself (it is an experience paper), but
+//! every claim it makes about metasearch — topic-skewed collections make
+//! scores incomparable (§3.2), content summaries suffice for source
+//! selection (§3.3/§4.3.2), term statistics enable re-ranking (§4.2) —
+//! is only testable against collections whose *relevance ground truth is
+//! known*. This crate generates them:
+//!
+//! * Zipfian background vocabulary (natural-language-like frequency
+//!   distribution);
+//! * per-source **topic skew**: each source specializes in one topic,
+//!   reproducing §3.2's "a source S1 specializes in computer science,
+//!   the word *databases* might appear in many of its documents";
+//! * optional bilingual sources (English/Spanish, like the paper's
+//!   Source-1 in Examples 10–11);
+//! * query workloads whose relevant-document sets are computed exactly
+//!   from the generated text.
+
+pub mod gen;
+pub mod workload;
+pub mod zipf;
+
+pub use gen::{generate as generate_corpus, CorpusConfig, GeneratedCorpus, GeneratedSource};
+pub use workload::{generate as generate_workload, GenQuery, Workload, WorkloadConfig};
+pub use zipf::Zipf;

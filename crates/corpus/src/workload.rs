@@ -1,0 +1,222 @@
+//! Query workloads with generator-known relevance.
+//!
+//! A workload query draws 1–3 words from one topic's vocabulary. The
+//! relevant set is computed exactly by scanning the generated text: a
+//! document is relevant iff it contains **all** query words. That makes
+//! recall/precision of source selection (X6) and rank-merging quality
+//! (X7) measurable without human judgments.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starts_proto::query::ast::{QTerm, RankExpr};
+use starts_proto::{AnswerSpec, Field, Query};
+
+use crate::gen::GeneratedCorpus;
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub n_queries: usize,
+    /// Words per query, min and max.
+    pub terms_per_query: (usize, usize),
+    /// Maximum documents requested per query.
+    pub max_documents: usize,
+    /// Seed (independent of the corpus seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_queries: 50,
+            terms_per_query: (1, 3),
+            max_documents: 20,
+            seed: 271828,
+        }
+    }
+}
+
+/// One generated query with its ground truth.
+#[derive(Debug, Clone)]
+pub struct GenQuery {
+    /// The STARTS query (a flat `list` ranking expression over
+    /// `body-of-text`, the workload shape §4.1.1 calls "the most common
+    /// way of constructing vector-space queries").
+    pub query: Query,
+    /// The query words.
+    pub terms: Vec<String>,
+    /// The topic the words came from.
+    pub topic: usize,
+    /// Linkage URLs of all relevant documents (contain ALL query words).
+    pub relevant: HashSet<String>,
+    /// Per-source count of relevant documents (`relevant_by_source[i]`
+    /// is the number of relevant docs held by corpus source `i`) — the
+    /// ideal "goodness" vector GlOSS-style selection tries to estimate.
+    pub relevant_by_source: Vec<u32>,
+}
+
+/// A full workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queries.
+    pub queries: Vec<GenQuery>,
+}
+
+/// Generate a workload for a corpus.
+pub fn generate(corpus: &GeneratedCorpus, config: &WorkloadConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut queries = Vec::with_capacity(config.n_queries);
+    while queries.len() < config.n_queries {
+        let topic = rng.gen_range(0..corpus.topics.len());
+        let vocab = &corpus.topics[topic];
+        let k = rng.gen_range(config.terms_per_query.0..=config.terms_per_query.1);
+        // Draw k distinct words, preferring mid-rank words (rank 1..40)
+        // which are discriminative but not vanishingly rare.
+        let mut terms: Vec<String> = Vec::with_capacity(k);
+        let hi = vocab.len().min(40);
+        let mut guard = 0;
+        while terms.len() < k && guard < 100 {
+            guard += 1;
+            let w = vocab[rng.gen_range(0..hi)].clone();
+            if !terms.contains(&w) {
+                terms.push(w);
+            }
+        }
+        let (relevant, relevant_by_source) = ground_truth(corpus, &terms);
+        if relevant.is_empty() {
+            continue; // unanswerable queries carry no signal; redraw
+        }
+        let ranking = RankExpr::list_of(
+            terms
+                .iter()
+                .map(|t| QTerm::fielded(Field::BodyOfText, t.clone())),
+        );
+        let query = Query {
+            ranking: Some(ranking),
+            answer: AnswerSpec {
+                fields: vec![Field::Title],
+                max_documents: config.max_documents,
+                ..AnswerSpec::default()
+            },
+            ..Query::default()
+        };
+        queries.push(GenQuery {
+            query,
+            terms,
+            topic,
+            relevant,
+            relevant_by_source,
+        });
+    }
+    Workload { queries }
+}
+
+/// Compute the exact relevant set: documents whose body contains all
+/// query words.
+fn ground_truth(corpus: &GeneratedCorpus, terms: &[String]) -> (HashSet<String>, Vec<u32>) {
+    let mut relevant = HashSet::new();
+    let mut by_source = vec![0u32; corpus.sources.len()];
+    for (si, source) in corpus.sources.iter().enumerate() {
+        for doc in &source.docs {
+            let body = doc.get("body-of-text").unwrap_or("");
+            let words: HashSet<&str> = body.split_whitespace().collect();
+            if terms.iter().all(|t| words.contains(t.as_str())) {
+                relevant.insert(doc.get("linkage").unwrap_or("").to_string());
+                by_source[si] += 1;
+            }
+        }
+    }
+    (relevant, by_source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate as gen_corpus, CorpusConfig};
+
+    fn corpus() -> GeneratedCorpus {
+        gen_corpus(&CorpusConfig {
+            n_sources: 4,
+            docs_per_source: 50,
+            n_topics: 2,
+            background_vocab: 300,
+            topic_vocab: 40,
+            doc_len: (20, 60),
+            topic_skew: 0.5,
+            bilingual_fraction: 0.0,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn workload_shape() {
+        let c = corpus();
+        let w = generate(&c, &WorkloadConfig::default());
+        assert_eq!(w.queries.len(), 50);
+        for q in &w.queries {
+            assert!(!q.terms.is_empty() && q.terms.len() <= 3);
+            assert!(!q.relevant.is_empty());
+            assert!(q.query.ranking.is_some());
+            assert_eq!(q.query.answer.max_documents, 20);
+            // Ground truth consistency: per-source counts sum to total.
+            let sum: u32 = q.relevant_by_source.iter().sum();
+            assert_eq!(sum as usize, q.relevant.len());
+        }
+    }
+
+    #[test]
+    fn relevance_is_exact() {
+        let c = corpus();
+        let w = generate(&c, &WorkloadConfig::default());
+        let q = &w.queries[0];
+        // Check by brute force on the corpus.
+        for source in &c.sources {
+            for doc in &source.docs {
+                let body = doc.get("body-of-text").unwrap();
+                let words: HashSet<&str> = body.split_whitespace().collect();
+                let is_relevant = q.terms.iter().all(|t| words.contains(t.as_str()));
+                let url = doc.get("linkage").unwrap();
+                assert_eq!(
+                    q.relevant.contains(url),
+                    is_relevant,
+                    "ground truth mismatch for {url}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topic_queries_favor_topic_sources() {
+        // Relevant documents should concentrate in sources of the query's
+        // topic — the premise of source selection.
+        let c = corpus();
+        let w = generate(&c, &WorkloadConfig { n_queries: 30, ..WorkloadConfig::default() });
+        let mut in_topic = 0u32;
+        let mut off_topic = 0u32;
+        for q in &w.queries {
+            for (si, count) in q.relevant_by_source.iter().enumerate() {
+                if c.sources[si].topic == q.topic {
+                    in_topic += count;
+                } else {
+                    off_topic += count;
+                }
+            }
+        }
+        assert!(
+            in_topic > 10 * off_topic.max(1),
+            "topic concentration too weak: {in_topic} vs {off_topic}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corpus();
+        let a = generate(&c, &WorkloadConfig::default());
+        let b = generate(&c, &WorkloadConfig::default());
+        assert_eq!(a.queries[0].terms, b.queries[0].terms);
+        assert_eq!(a.queries[10].relevant, b.queries[10].relevant);
+    }
+}

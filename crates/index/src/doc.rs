@@ -1,0 +1,120 @@
+//! The document model: flat, fielded text documents.
+//!
+//! Section 3 of the paper: "A source is a collection of text documents …
+//! We assume that documents are 'flat', in the sense that we do not, for
+//! example, allow any nesting of documents. We do not consider non-textual
+//! documents or data either." A document is therefore just an ordered list
+//! of named text fields, each optionally tagged with its RFC 1766
+//! language (the paper's Source-1 holds `en-US` and `es` documents).
+
+use starts_text::LangTag;
+
+/// Identifier of a document inside one source's index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// One named field of a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldValue {
+    /// Field name, e.g. `title`, `author`, `body-of-text`, `linkage`.
+    pub name: String,
+    /// The field's text.
+    pub text: String,
+    /// Language of the text, if known.
+    pub lang: Option<LangTag>,
+}
+
+/// A flat document: an ordered list of fields.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    fields: Vec<FieldValue>,
+}
+
+impl Document {
+    /// An empty document.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Builder-style: add a field with no language tag.
+    pub fn field(mut self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.fields.push(FieldValue {
+            name: name.into(),
+            text: text.into(),
+            lang: None,
+        });
+        self
+    }
+
+    /// Builder-style: add a language-tagged field.
+    pub fn field_lang(
+        mut self,
+        name: impl Into<String>,
+        text: impl Into<String>,
+        lang: LangTag,
+    ) -> Self {
+        self.fields.push(FieldValue {
+            name: name.into(),
+            text: text.into(),
+            lang: Some(lang),
+        });
+        self
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[FieldValue] {
+        &self.fields
+    }
+
+    /// First value of the named field (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|f| f.name.eq_ignore_ascii_case(name))
+            .map(|f| f.text.as_str())
+    }
+
+    /// Total byte size of all field text — the basis of the `DocSize`
+    /// statistic (reported in KBytes per §4.2).
+    pub fn byte_size(&self) -> usize {
+        self.fields.iter().map(|f| f.text.len()).sum()
+    }
+
+    /// Whether the document has any fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let d = Document::new()
+            .field("title", "Database Research")
+            .field("author", "Jeffrey D. Ullman")
+            .field_lang("body-of-text", "datos distribuidos", LangTag::es());
+        assert_eq!(d.get("Title"), Some("Database Research"));
+        assert_eq!(d.get("AUTHOR"), Some("Jeffrey D. Ullman"));
+        assert_eq!(d.get("missing"), None);
+        assert_eq!(d.fields().len(), 3);
+        assert_eq!(d.fields()[2].lang, Some(LangTag::es()));
+    }
+
+    #[test]
+    fn byte_size_sums_fields() {
+        let d = Document::new().field("a", "12345").field("b", "123");
+        assert_eq!(d.byte_size(), 8);
+    }
+
+    #[test]
+    fn repeated_fields_first_wins_on_get() {
+        let d = Document::new()
+            .field("author", "First Author")
+            .field("author", "Second Author");
+        assert_eq!(d.get("author"), Some("First Author"));
+        assert_eq!(d.fields().len(), 2);
+    }
+}

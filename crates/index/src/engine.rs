@@ -1,0 +1,965 @@
+//! The search engine: Boolean and vector-space evaluation over an index,
+//! under one (proprietary) ranking algorithm.
+//!
+//! One `Engine` models one vendor's product. Its observable behaviour —
+//! which query constructs work, how scores are scaled, what the actual
+//! executed query was — is what the STARTS source layer
+//! (`starts-source`) wraps and exports.
+
+use std::collections::HashMap;
+
+use starts_text::{Analyzer, AnalyzerConfig, Thesaurus};
+
+use crate::boolean::{difference, intersect, prox_match, union, BoolNode};
+use crate::doc::{DocId, Document};
+use crate::index::{Index, IndexBuilder, Posting};
+use crate::matchspec::{CmpOp, TermSpec};
+use crate::ranking::{RankingAlgorithm, TermDocStats};
+use crate::schema::{FieldId, ANY_FIELD};
+
+/// A ranking-expression tree at the engine level. Leaves carry the
+/// query-assigned weight (§4.1.1: "Each term in a ranking expression may
+/// have an associated weight (a number between 0 and 1)").
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankNode {
+    /// A weighted term.
+    Term {
+        /// What to match.
+        spec: TermSpec,
+        /// Query weight in `[0, 1]` (1.0 when unspecified).
+        weight: f64,
+    },
+    /// The `list` operator: "simply groups together a set of terms".
+    List(Vec<RankNode>),
+    /// Fuzzy `and` (Example 4 interprets it as `min`).
+    And(Vec<RankNode>),
+    /// Fuzzy `or` (`max`).
+    Or(Vec<RankNode>),
+    /// Fuzzy `and-not`: positive score attenuated by the negative one.
+    AndNot(Box<RankNode>, Box<RankNode>),
+    /// Proximity in a ranking expression: scored like `and`, zeroed when
+    /// the proximity condition fails.
+    Prox {
+        /// Left term.
+        left: Box<RankNode>,
+        /// Right term (both must be `Term` leaves for the positional
+        /// check; other shapes degrade to fuzzy `and`).
+        right: Box<RankNode>,
+        /// Max words between.
+        distance: u32,
+        /// Order matters.
+        ordered: bool,
+    },
+}
+
+impl RankNode {
+    /// A weight-1 term leaf.
+    pub fn term(spec: TermSpec) -> Self {
+        RankNode::Term { spec, weight: 1.0 }
+    }
+
+    /// A weighted term leaf.
+    pub fn weighted(spec: TermSpec, weight: f64) -> Self {
+        RankNode::Term { spec, weight }
+    }
+
+    /// All term specs in the tree.
+    pub fn terms(&self) -> Vec<&TermSpec> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a TermSpec>) {
+        match self {
+            RankNode::Term { spec, .. } => out.push(spec),
+            RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => {
+                for n in c {
+                    n.collect(out);
+                }
+            }
+            RankNode::AndNot(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+            RankNode::Prox { left, right, .. } => {
+                left.collect(out);
+                right.collect(out);
+            }
+        }
+    }
+
+    /// Flatten to a plain `list` of the leaves — the degradation the
+    /// paper allows: "a source might choose to simply ignore the
+    /// Boolean-like operators … and process a ranking expression like
+    /// `("distributed" and "databases")` as if it were
+    /// `list("distributed" "databases")`". `and-not` right-hand sides are
+    /// dropped (they are not "desired" terms).
+    pub fn flatten_to_list(&self) -> RankNode {
+        let mut leaves = Vec::new();
+        self.flatten_into(&mut leaves);
+        RankNode::List(leaves)
+    }
+
+    fn flatten_into(&self, out: &mut Vec<RankNode>) {
+        match self {
+            RankNode::Term { .. } => out.push(self.clone()),
+            RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => {
+                for n in c {
+                    n.flatten_into(out);
+                }
+            }
+            RankNode::AndNot(a, _) => a.flatten_into(out),
+            RankNode::Prox { left, right, .. } => {
+                left.flatten_into(out);
+                right.flatten_into(out);
+            }
+        }
+    }
+}
+
+/// One search hit. `score` is `None` for filter-only queries (the result
+/// is a set, not a rank — the Boolean model of §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching document.
+    pub doc: DocId,
+    /// The engine's raw score (`RawScore` in results), if ranked.
+    pub score: Option<f64>,
+}
+
+/// Per-term, per-document statistics — one line of the `TermStats`
+/// result attribute (§4.2): term frequency, the engine's term weight, and
+/// the collection document frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermStat {
+    /// `Term-frequency`: occurrences of the term in the document.
+    pub tf: u32,
+    /// `Term-weight`: the engine-assigned weight.
+    pub weight: f64,
+    /// `Document-frequency`: documents in the source containing the term.
+    pub df: u32,
+}
+
+/// Engine configuration: the vendor's whole observable personality.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The text pipeline (tokenizer, case, stemming, stop words).
+    pub analyzer: AnalyzerConfig,
+    /// `RankingAlgorithmID` to use (see [`crate::ranking::ranking_by_id`]).
+    pub ranking_id: String,
+    /// Whether Boolean-like operators in ranking expressions get a fuzzy
+    /// interpretation (`true`) or are ignored and flattened to `list`
+    /// (`false`) — both behaviours are sanctioned by §4.1.1.
+    pub fuzzy_ranking_ops: bool,
+    /// The engine's thesaurus (for the `Thesaurus` modifier).
+    pub thesaurus: Thesaurus,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            analyzer: AnalyzerConfig::default(),
+            ranking_id: "Acme-1".to_string(),
+            fuzzy_ranking_ops: true,
+            thesaurus: Thesaurus::empty(),
+        }
+    }
+}
+
+/// A complete, queryable engine.
+pub struct Engine {
+    index: Index,
+    ranking: Box<dyn RankingAlgorithm>,
+    fuzzy_ranking_ops: bool,
+    thesaurus: Thesaurus,
+    doc_norms: Vec<f64>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n_docs", &self.index.n_docs())
+            .field("ranking", &self.ranking.id())
+            .field("fuzzy_ranking_ops", &self.fuzzy_ranking_ops)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Index `docs` and build an engine per `config`.
+    ///
+    /// # Panics
+    /// Panics if `config.ranking_id` is unknown — engines are constructed
+    /// by the test/bench harness with known vendors.
+    pub fn build(docs: &[Document], config: EngineConfig) -> Self {
+        let mut builder = IndexBuilder::new(Analyzer::new(config.analyzer.clone()));
+        for d in docs {
+            builder.add(d);
+        }
+        Self::from_index(builder.build(), config)
+    }
+
+    /// Wrap an already-built index.
+    pub fn from_index(index: Index, config: EngineConfig) -> Self {
+        let ranking = crate::ranking::ranking_by_id(&config.ranking_id)
+            .unwrap_or_else(|| panic!("unknown RankingAlgorithmID {:?}", config.ranking_id));
+        let doc_norms = if ranking.needs_doc_norms() {
+            compute_doc_norms(&index, ranking.as_ref())
+        } else {
+            vec![1.0; index.n_docs() as usize]
+        };
+        Engine {
+            index,
+            ranking,
+            fuzzy_ranking_ops: config.fuzzy_ranking_ops,
+            thesaurus: config.thesaurus,
+            doc_norms,
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+
+    /// The ranking algorithm.
+    pub fn ranking(&self) -> &dyn RankingAlgorithm {
+        self.ranking.as_ref()
+    }
+
+    /// The engine's thesaurus.
+    pub fn thesaurus(&self) -> &Thesaurus {
+        &self.thesaurus
+    }
+
+    /// Whether ranking-expression Boolean operators are fuzzy-interpreted.
+    pub fn fuzzy_ranking_ops(&self) -> bool {
+        self.fuzzy_ranking_ops
+    }
+
+    /// Execute a query: an optional filter expression, an optional
+    /// ranking expression (§4.1.1: "a query need not contain a filter
+    /// expression … similarly, a query need not contain a ranking
+    /// expression").
+    ///
+    /// * filter only → the matching set, unscored, in doc order;
+    /// * ranking only → all docs with positive scores, ranked;
+    /// * both → the filter set, ranked by the ranking expression (docs
+    ///   scoring 0 stay in the set — the filter decides membership);
+    /// * neither → empty.
+    pub fn search(&self, filter: Option<&BoolNode>, ranking: Option<&RankNode>) -> Vec<Hit> {
+        match (filter, ranking) {
+            (None, None) => Vec::new(),
+            (Some(f), None) => self
+                .eval_filter(f)
+                .into_iter()
+                .map(|doc| Hit { doc, score: None })
+                .collect(),
+            (None, Some(r)) => self
+                .eval_ranking(r)
+                .into_iter()
+                .map(|(doc, score)| Hit {
+                    doc,
+                    score: Some(score),
+                })
+                .collect(),
+            (Some(f), Some(r)) => {
+                let set = self.eval_filter(f);
+                let scores: HashMap<DocId, f64> = self.eval_ranking(r).into_iter().collect();
+                let mut hits: Vec<Hit> = set
+                    .into_iter()
+                    .map(|doc| Hit {
+                        doc,
+                        score: Some(scores.get(&doc).copied().unwrap_or(0.0)),
+                    })
+                    .collect();
+                hits.sort_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.doc.cmp(&b.doc))
+                });
+                hits
+            }
+        }
+    }
+
+    /// Evaluate a Boolean filter expression to a sorted doc-id set.
+    pub fn eval_filter(&self, node: &BoolNode) -> Vec<DocId> {
+        match node {
+            BoolNode::Term(spec) => self.eval_term(spec),
+            BoolNode::And(a, b) => intersect(&self.eval_filter(a), &self.eval_filter(b)),
+            BoolNode::Or(a, b) => union(&self.eval_filter(a), &self.eval_filter(b)),
+            BoolNode::AndNot(a, b) => difference(&self.eval_filter(a), &self.eval_filter(b)),
+            BoolNode::Prox {
+                left,
+                right,
+                distance,
+                ordered,
+            } => self.eval_prox(left, right, *distance, *ordered),
+        }
+    }
+
+    /// Evaluate a ranking expression: positive-scoring docs, best first.
+    pub fn eval_ranking(&self, node: &RankNode) -> Vec<(DocId, f64)> {
+        let effective;
+        let node = if self.fuzzy_ranking_ops {
+            node
+        } else {
+            effective = node.flatten_to_list();
+            &effective
+        };
+        // Candidate docs: any doc matching any leaf term.
+        let mut candidates: Vec<DocId> = Vec::new();
+        for spec in node.terms() {
+            candidates = union(&candidates, &self.eval_term(spec));
+        }
+        let mut scores: Vec<(DocId, f64)> = candidates
+            .into_iter()
+            .map(|doc| (doc, self.score_node(node, doc)))
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        self.ranking.finalize(&mut scores);
+        scores.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scores
+    }
+
+    /// The `TermStats` entry for one term of the ranking expression in
+    /// one result document (§4.2).
+    pub fn term_stats(&self, doc: DocId, spec: &TermSpec) -> TermStat {
+        let Some(field) = self.resolve_field(spec) else {
+            return TermStat {
+                tf: 0,
+                weight: 0.0,
+                df: 0,
+            };
+        };
+        let keys = self.resolve_keys(field, spec);
+        let (tf, df) = self.tf_df(doc, field, &keys);
+        let weight = self.ranking.term_weight(&self.stats_for(doc, tf, df));
+        TermStat { tf, weight, df }
+    }
+
+    // ---- internals ----
+
+    fn resolve_field(&self, spec: &TermSpec) -> Option<FieldId> {
+        match &spec.field {
+            None => Some(ANY_FIELD),
+            Some(name) if name.eq_ignore_ascii_case("any") => Some(ANY_FIELD),
+            Some(name) => self.index.schema().get(name),
+        }
+    }
+
+    /// Resolve a spec to the set of index-vocabulary terms it matches.
+    fn resolve_keys(&self, field: FieldId, spec: &TermSpec) -> Vec<String> {
+        let cfg = self.index.analyzer().config();
+        if spec.needs_scan(cfg.stem, cfg.case) {
+            let pred = spec.vocab_predicate(&self.thesaurus);
+            // When the engine stems its index, compare against stems of
+            // the query term too (normalize first).
+            let query = &spec.term;
+            let mut keys: Vec<String> = self
+                .index
+                .field_vocabulary(field)
+                .filter(|(vocab, _)| pred(query, vocab))
+                .map(|(vocab, _)| vocab.to_string())
+                .collect();
+            keys.sort_unstable();
+            keys
+        } else if spec.has(crate::matchspec::TermMatch::Thesaurus) {
+            let mut keys: Vec<String> = self
+                .thesaurus
+                .expand(&spec.term)
+                .into_iter()
+                .map(|w| self.index.analyzer().normalize_term(&w))
+                .filter(|w| self.index.postings(field, w).is_some())
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        } else {
+            let key = self.index.analyzer().normalize_term(&spec.term);
+            if self.index.postings(field, &key).is_some() {
+                vec![key]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Docs matching a term spec (sorted).
+    fn eval_term(&self, spec: &TermSpec) -> Vec<DocId> {
+        // Comparison modifiers match on stored field values, not the
+        // inverted index (dates and the like).
+        if let Some(op) = spec.cmp {
+            return self.eval_cmp(spec, op);
+        }
+        let Some(field) = self.resolve_field(spec) else {
+            return Vec::new();
+        };
+        let mut docs: Vec<DocId> = Vec::new();
+        for key in self.resolve_keys(field, spec) {
+            if let Some(postings) = self.index.postings(field, &key) {
+                let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
+                docs = union(&docs, &ids);
+            }
+        }
+        docs
+    }
+
+    fn eval_cmp(&self, spec: &TermSpec, op: CmpOp) -> Vec<DocId> {
+        let Some(field) = self.resolve_field(spec) else {
+            return Vec::new();
+        };
+        if field == ANY_FIELD {
+            // Comparisons need a concrete field; `Any` makes no sense.
+            return Vec::new();
+        }
+        let query = spec.term.trim();
+        self.index
+            .all_docs()
+            .filter(|&doc| {
+                self.index
+                    .doc_field(doc, field)
+                    .is_some_and(|stored| op.test(stored.trim().cmp(query)))
+            })
+            .collect()
+    }
+
+    fn eval_prox(
+        &self,
+        left: &TermSpec,
+        right: &TermSpec,
+        distance: u32,
+        ordered: bool,
+    ) -> Vec<DocId> {
+        let (Some(lf), Some(rf)) = (self.resolve_field(left), self.resolve_field(right)) else {
+            return Vec::new();
+        };
+        let lkeys = self.resolve_keys(lf, left);
+        let rkeys = self.resolve_keys(rf, right);
+        let ldocs = self.docs_of_keys(lf, &lkeys);
+        let rdocs = self.docs_of_keys(rf, &rkeys);
+        intersect(&ldocs, &rdocs)
+            .into_iter()
+            .filter(|&doc| {
+                let lpos = self.positions_of(doc, lf, &lkeys);
+                let rpos = self.positions_of(doc, rf, &rkeys);
+                prox_match(&lpos, &rpos, distance, ordered)
+            })
+            .collect()
+    }
+
+    fn docs_of_keys(&self, field: FieldId, keys: &[String]) -> Vec<DocId> {
+        let mut docs = Vec::new();
+        for key in keys {
+            if let Some(postings) = self.index.postings(field, key) {
+                let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
+                docs = union(&docs, &ids);
+            }
+        }
+        docs
+    }
+
+    fn positions_of(&self, doc: DocId, field: FieldId, keys: &[String]) -> Vec<u32> {
+        let mut pos = Vec::new();
+        for key in keys {
+            if let Some(postings) = self.index.postings(field, key) {
+                if let Some(p) = find_posting(postings, doc) {
+                    pos.extend_from_slice(&p.positions);
+                }
+            }
+        }
+        pos.sort_unstable();
+        pos
+    }
+
+    fn tf_df(&self, doc: DocId, field: FieldId, keys: &[String]) -> (u32, u32) {
+        let mut tf = 0;
+        let mut df = 0;
+        for key in keys {
+            if let Some(postings) = self.index.postings(field, key) {
+                df = df.max(postings.len() as u32);
+                if let Some(p) = find_posting(postings, doc) {
+                    tf += p.tf();
+                }
+            }
+        }
+        (tf, df)
+    }
+
+    fn stats_for(&self, doc: DocId, tf: u32, df: u32) -> TermDocStats {
+        TermDocStats {
+            tf,
+            df,
+            n_docs: self.index.n_docs(),
+            doc_tokens: self.index.doc_token_count(doc),
+            avg_tokens: self.index.avg_doc_tokens(),
+            doc_norm: self.doc_norms[doc.0 as usize],
+        }
+    }
+
+    /// Fuzzy evaluation of a ranking node for one document.
+    fn score_node(&self, node: &RankNode, doc: DocId) -> f64 {
+        match node {
+            RankNode::Term { spec, weight } => {
+                let Some(field) = self.resolve_field(spec) else {
+                    return 0.0;
+                };
+                let keys = self.resolve_keys(field, spec);
+                let (tf, df) = self.tf_df(doc, field, &keys);
+                if tf == 0 {
+                    return 0.0;
+                }
+                weight * self.ranking.term_weight(&self.stats_for(doc, tf, df))
+            }
+            RankNode::List(children) => {
+                // Weighted mean, per Example 4's 0.5·0.3 + 0.5·0.8 = 0.55
+                // reading: leaf weights are relative importances.
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for c in children {
+                    let w = leaf_weight(c);
+                    // Leaf scores already include their weight; divide by
+                    // the weight sum to make `list` a weighted average.
+                    num += self.score_node(c, doc);
+                    den += w;
+                }
+                if den > 0.0 {
+                    num / den
+                } else {
+                    0.0
+                }
+            }
+            RankNode::And(children) => {
+                if children.is_empty() {
+                    0.0
+                } else {
+                    children
+                        .iter()
+                        .map(|c| self.score_node(c, doc))
+                        .fold(f64::INFINITY, f64::min)
+                        .max(0.0)
+                }
+            }
+            RankNode::Or(children) => children
+                .iter()
+                .map(|c| self.score_node(c, doc))
+                .fold(0.0, f64::max),
+            RankNode::AndNot(a, b) => {
+                let pos = self.score_node(a, doc);
+                let neg = self.score_node(b, doc).clamp(0.0, 1.0);
+                pos * (1.0 - neg)
+            }
+            RankNode::Prox {
+                left,
+                right,
+                distance,
+                ordered,
+            } => {
+                let base = self
+                    .score_node(left, doc)
+                    .min(self.score_node(right, doc));
+                if base <= 0.0 {
+                    return 0.0;
+                }
+                // Positional check only when both sides are term leaves.
+                if let (RankNode::Term { spec: l, .. }, RankNode::Term { spec: r, .. }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let ok = self
+                        .eval_prox(l, r, *distance, *ordered)
+                        .binary_search(&doc)
+                        .is_ok();
+                    if ok {
+                        base
+                    } else {
+                        0.0
+                    }
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+fn leaf_weight(node: &RankNode) -> f64 {
+    match node {
+        RankNode::Term { weight, .. } => *weight,
+        _ => 1.0,
+    }
+}
+
+fn find_posting(postings: &[Posting], doc: DocId) -> Option<&Posting> {
+    postings
+        .binary_search_by_key(&doc, |p| p.doc)
+        .ok()
+        .map(|i| &postings[i])
+}
+
+fn compute_doc_norms(index: &Index, ranking: &dyn RankingAlgorithm) -> Vec<f64> {
+    let mut sq = vec![0.0_f64; index.n_docs() as usize];
+    let n_docs = index.n_docs();
+    let avg = index.avg_doc_tokens();
+    for (_, postings) in index.field_vocabulary(ANY_FIELD) {
+        let df = postings.len() as u32;
+        for p in postings {
+            let st = TermDocStats {
+                tf: p.tf(),
+                df,
+                n_docs,
+                doc_tokens: index.doc_token_count(p.doc),
+                avg_tokens: avg,
+                doc_norm: 1.0,
+            };
+            let w = ranking.unnormalized_weight(&st);
+            sq[p.doc.0 as usize] += w * w;
+        }
+    }
+    sq.into_iter().map(f64::sqrt).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchspec::TermMatch;
+    use starts_text::StopWordList;
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            // doc 0
+            Document::new()
+                .field("title", "Deductive and Object-Oriented Database Systems")
+                .field("author", "Jeffrey D. Ullman")
+                .field(
+                    "body-of-text",
+                    "A comparison of distributed databases and deductive databases systems",
+                )
+                .field("date-last-modified", "1996-03-31")
+                .field("linkage", "http://example.org/dood.ps"),
+            // doc 1
+            Document::new()
+                .field("title", "Database Research Achievements")
+                .field("author", "Avi Silberschatz Mike Stonebraker Jeff Ullman")
+                .field(
+                    "body-of-text",
+                    "Research achievements and opportunities for databases into the next century",
+                )
+                .field("date-last-modified", "1996-09-15")
+                .field("linkage", "http://example.org/lagunita.ps"),
+            // doc 2
+            Document::new()
+                .field("title", "Operating Systems Scheduling")
+                .field("author", "Andrew Tanenbaum")
+                .field(
+                    "body-of-text",
+                    "Scheduling and paging for distributed operating systems kernels",
+                )
+                .field("date-last-modified", "1995-01-20")
+                .field("linkage", "http://example.org/os.ps"),
+        ]
+    }
+
+    fn engine() -> Engine {
+        Engine::build(
+            &corpus(),
+            EngineConfig {
+                analyzer: AnalyzerConfig {
+                    stop_words: StopWordList::english_minimal(),
+                    ..AnalyzerConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn boolean_and() {
+        let e = engine();
+        // (author "Ullman") and (title "database"-ish)
+        let q = BoolNode::and(
+            BoolNode::Term(TermSpec::fielded("author", "Ullman")),
+            BoolNode::Term(TermSpec::fielded("title", "database")),
+        );
+        // Both Ullman docs have "database" in their titles.
+        assert_eq!(e.eval_filter(&q), vec![DocId(0), DocId(1)]);
+    }
+
+    #[test]
+    fn boolean_or_and_not() {
+        let e = engine();
+        let distributed = BoolNode::Term(TermSpec::any("distributed"));
+        let databases = BoolNode::Term(TermSpec::any("databases"));
+        let or = BoolNode::or(distributed.clone(), databases.clone());
+        assert_eq!(e.eval_filter(&or), vec![DocId(0), DocId(1), DocId(2)]);
+        let and_not = BoolNode::and_not(distributed, databases);
+        assert_eq!(e.eval_filter(&and_not), vec![DocId(2)]);
+    }
+
+    #[test]
+    fn prox_ordered() {
+        let e = engine();
+        // "distributed databases" adjacent in doc 0's body.
+        let q = BoolNode::Prox {
+            left: TermSpec::any("distributed"),
+            right: TermSpec::any("databases"),
+            distance: 0,
+            ordered: true,
+        };
+        assert_eq!(e.eval_filter(&q), vec![DocId(0)]);
+        // Reverse order matches nothing at distance 0.
+        let q = BoolNode::Prox {
+            left: TermSpec::any("databases"),
+            right: TermSpec::any("distributed"),
+            distance: 0,
+            ordered: true,
+        };
+        assert!(e.eval_filter(&q).is_empty());
+    }
+
+    #[test]
+    fn stem_modifier_via_scan() {
+        let e = engine();
+        // Engine does not stem its index, so `stem` triggers a vocabulary
+        // scan: "databases" should match title word "database".
+        let q = BoolNode::Term(
+            TermSpec::fielded("title", "databases").with(TermMatch::Stem),
+        );
+        let docs = e.eval_filter(&q);
+        assert_eq!(docs, vec![DocId(0), DocId(1)]);
+    }
+
+    #[test]
+    fn phonetic_modifier() {
+        let mut docs = corpus();
+        docs.push(Document::new().field("author", "Jeffrey Ulman")); // misspelled
+        let e = Engine::build(&docs, EngineConfig::default());
+        let q = BoolNode::Term(
+            TermSpec::fielded("author", "Ullman").with(TermMatch::Phonetic),
+        );
+        let found = e.eval_filter(&q);
+        assert!(found.contains(&DocId(3)));
+        assert!(found.contains(&DocId(0)));
+    }
+
+    #[test]
+    fn date_comparison() {
+        let e = engine();
+        // (date-last-modified > "1996-08-01") — the §4.1.1 example.
+        let q = BoolNode::Term(
+            TermSpec::fielded("date-last-modified", "1996-08-01").with_cmp(CmpOp::Gt),
+        );
+        assert_eq!(e.eval_filter(&q), vec![DocId(1)]);
+        let q = BoolNode::Term(
+            TermSpec::fielded("date-last-modified", "1996-03-31").with_cmp(CmpOp::Le),
+        );
+        assert_eq!(e.eval_filter(&q), vec![DocId(0), DocId(2)]);
+    }
+
+    #[test]
+    fn ranking_orders_by_relevance() {
+        let e = engine();
+        let r = RankNode::List(vec![
+            RankNode::term(TermSpec::fielded("body-of-text", "databases")),
+            RankNode::term(TermSpec::fielded("body-of-text", "distributed")),
+        ]);
+        let ranked = e.eval_ranking(&r);
+        assert!(!ranked.is_empty());
+        // doc 0 mentions both terms (databases twice) — it must lead.
+        assert_eq!(ranked[0].0, DocId(0));
+        // Scores bounded by Acme-1's [0,1] range.
+        for (_, s) in &ranked {
+            assert!(*s >= 0.0 && *s <= 1.0 + 1e-9, "score {s} out of range");
+        }
+    }
+
+    #[test]
+    fn fuzzy_and_is_min_like() {
+        let e = engine();
+        let and = RankNode::And(vec![
+            RankNode::term(TermSpec::any("distributed")),
+            RankNode::term(TermSpec::any("databases")),
+        ]);
+        let or = RankNode::Or(vec![
+            RankNode::term(TermSpec::any("distributed")),
+            RankNode::term(TermSpec::any("databases")),
+        ]);
+        let and_scores: HashMap<DocId, f64> = e.eval_ranking(&and).into_iter().collect();
+        let or_scores: HashMap<DocId, f64> = e.eval_ranking(&or).into_iter().collect();
+        // For any doc scored by both, and-score <= or-score.
+        for (doc, s_and) in &and_scores {
+            let s_or = or_scores.get(doc).copied().unwrap_or(0.0);
+            assert!(*s_and <= s_or + 1e-12);
+        }
+        // Doc 2 has "distributed" but not "databases": and-score 0 (absent),
+        // or-score positive.
+        assert!(!and_scores.contains_key(&DocId(2)));
+        assert!(or_scores.contains_key(&DocId(2)));
+    }
+
+    #[test]
+    fn non_fuzzy_engine_flattens_to_list() {
+        let docs = corpus();
+        let e = Engine::build(
+            &docs,
+            EngineConfig {
+                fuzzy_ranking_ops: false,
+                ..EngineConfig::default()
+            },
+        );
+        let and = RankNode::And(vec![
+            RankNode::term(TermSpec::any("distributed")),
+            RankNode::term(TermSpec::any("databases")),
+        ]);
+        let list = RankNode::List(vec![
+            RankNode::term(TermSpec::any("distributed")),
+            RankNode::term(TermSpec::any("databases")),
+        ]);
+        assert_eq!(e.eval_ranking(&and), e.eval_ranking(&list));
+        // On this engine doc 2 (only "distributed") DOES score for `and`.
+        assert!(e.eval_ranking(&and).iter().any(|(d, _)| *d == DocId(2)));
+    }
+
+    #[test]
+    fn weighted_list_prefers_weighted_term() {
+        let e = engine();
+        // Example 5: list(("distributed" 0.7) ("databases" 0.3)).
+        let favor_distributed = RankNode::List(vec![
+            RankNode::weighted(TermSpec::any("distributed"), 0.9),
+            RankNode::weighted(TermSpec::any("databases"), 0.1),
+        ]);
+        let favor_databases = RankNode::List(vec![
+            RankNode::weighted(TermSpec::any("distributed"), 0.1),
+            RankNode::weighted(TermSpec::any("databases"), 0.9),
+        ]);
+        let d: HashMap<DocId, f64> = e.eval_ranking(&favor_distributed).into_iter().collect();
+        let b: HashMap<DocId, f64> = e.eval_ranking(&favor_databases).into_iter().collect();
+        // Doc 2 (distributed only) scores better under the first query.
+        assert!(d[&DocId(2)] > b.get(&DocId(2)).copied().unwrap_or(0.0));
+    }
+
+    #[test]
+    fn filter_plus_ranking_keeps_filter_membership() {
+        let e = engine();
+        let filter = BoolNode::Term(TermSpec::fielded("author", "Ullman"));
+        let ranking = RankNode::term(TermSpec::any("scheduling"));
+        let hits = e.search(Some(&filter), Some(&ranking));
+        // Both Ullman docs stay in the result even though neither mentions
+        // scheduling (score 0) — the filter decides membership.
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.score == Some(0.0)));
+    }
+
+    #[test]
+    fn search_modes() {
+        let e = engine();
+        assert!(e.search(None, None).is_empty());
+        let f = BoolNode::Term(TermSpec::any("systems"));
+        let set = e.search(Some(&f), None);
+        assert!(set.iter().all(|h| h.score.is_none()));
+        let r = RankNode::term(TermSpec::any("systems"));
+        let ranked = e.search(None, Some(&r));
+        assert!(ranked.iter().all(|h| h.score.is_some()));
+        // Ranked results are sorted descending.
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn vendor_engine_scores_to_1000() {
+        let e = Engine::build(
+            &corpus(),
+            EngineConfig {
+                ranking_id: "Vendor-K".to_string(),
+                ..EngineConfig::default()
+            },
+        );
+        let r = RankNode::term(TermSpec::any("databases"));
+        let ranked = e.eval_ranking(&r);
+        assert!((ranked[0].1 - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn term_stats_match_paper_shape() {
+        let e = engine();
+        let spec = TermSpec::fielded("body-of-text", "databases");
+        let st = e.term_stats(DocId(0), &spec);
+        assert_eq!(st.tf, 2); // "databases" twice in doc 0's body
+        assert_eq!(st.df, 2); // docs 0 and 1 contain it in body
+        assert!(st.weight > 0.0);
+        let none = e.term_stats(DocId(2), &spec);
+        assert_eq!(none.tf, 0);
+    }
+
+    #[test]
+    fn unknown_field_matches_nothing() {
+        let e = engine();
+        let q = BoolNode::Term(TermSpec::fielded("abstract", "databases"));
+        assert!(e.eval_filter(&q).is_empty());
+        let st = e.term_stats(DocId(0), &TermSpec::fielded("abstract", "databases"));
+        assert_eq!(st.df, 0);
+    }
+
+    #[test]
+    fn stemming_engine_direct_lookup() {
+        let e = Engine::build(
+            &corpus(),
+            EngineConfig {
+                analyzer: AnalyzerConfig {
+                    stem: true,
+                    ..AnalyzerConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        // Plain query "database" matches docs containing "databases" —
+        // the engine stems everything.
+        let q = BoolNode::Term(TermSpec::any("database"));
+        let docs = e.eval_filter(&q);
+        assert!(docs.contains(&DocId(0)) && docs.contains(&DocId(1)));
+    }
+
+    #[test]
+    fn thesaurus_modifier() {
+        let e = Engine::build(
+            &corpus(),
+            EngineConfig {
+                thesaurus: starts_text::Thesaurus::computer_science(),
+                ..EngineConfig::default()
+            },
+        );
+        // "dbms" expands to database/databases via the thesaurus.
+        let q = BoolNode::Term(TermSpec::any("dbms").with(TermMatch::Thesaurus));
+        let docs = e.eval_filter(&q);
+        assert!(docs.contains(&DocId(0)));
+        assert!(docs.contains(&DocId(1)));
+    }
+
+    #[test]
+    fn truncation_modifiers() {
+        let e = engine();
+        let right = BoolNode::Term(TermSpec::any("schedul").with(TermMatch::RightTrunc));
+        assert_eq!(e.eval_filter(&right), vec![DocId(2)]);
+        let left = BoolNode::Term(TermSpec::any("bases").with(TermMatch::LeftTrunc));
+        let docs = e.eval_filter(&left);
+        assert!(docs.contains(&DocId(0)));
+    }
+
+    #[test]
+    fn empty_engine_is_sane() {
+        let e = Engine::build(&[], EngineConfig::default());
+        assert!(e
+            .eval_filter(&BoolNode::Term(TermSpec::any("anything")))
+            .is_empty());
+        assert!(e
+            .eval_ranking(&RankNode::term(TermSpec::any("anything")))
+            .is_empty());
+    }
+}

@@ -1,0 +1,427 @@
+//! The positional inverted index and its builder.
+
+use std::collections::{BTreeSet, HashMap};
+
+use starts_text::{Analyzer, LangTag};
+
+use crate::doc::{DocId, Document};
+use crate::schema::{FieldId, Schema, ANY_FIELD};
+
+/// Position gap inserted between separate field instances so that `prox`
+/// never matches across a field boundary (§4.1.1's word-distance prox is
+/// defined within running text).
+const FIELD_GAP: u32 = 100;
+
+/// Interned term identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct TermId(pub u32);
+
+/// One document's entry in a posting list, with token positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// Sorted token positions of the term within the field.
+    pub positions: Vec<u32>,
+}
+
+impl Posting {
+    /// Term frequency: the number of occurrences (the `Term-frequency`
+    /// statistic of §4.2).
+    pub fn tf(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+/// A stored document: field values plus the statistics STARTS results
+/// report (`DocSize`, `DocCount`).
+#[derive(Debug, Clone)]
+pub(crate) struct StoredDoc {
+    pub fields: Vec<(FieldId, String, Option<LangTag>)>,
+    /// Number of tokens in the document ("the number of tokens (as
+    /// determined by the source)" — `DocCount`).
+    pub token_count: u32,
+    /// Total byte size of the document text (`DocSize` reports KBytes).
+    pub byte_size: u32,
+}
+
+/// An immutable, fully-built index.
+#[derive(Debug)]
+pub struct Index {
+    schema: Schema,
+    analyzer: Analyzer,
+    terms: Vec<String>,
+    vocab: HashMap<String, TermId>,
+    postings: HashMap<(FieldId, TermId), Vec<Posting>>,
+    docs: Vec<StoredDoc>,
+    total_tokens: u64,
+    /// Languages observed per field, for metadata export.
+    field_langs: HashMap<FieldId, BTreeSet<LangTag>>,
+}
+
+/// Mutable index construction.
+#[derive(Debug)]
+pub struct IndexBuilder {
+    inner: Index,
+}
+
+impl IndexBuilder {
+    /// Start building with the engine's analyzer (the source's whole text
+    /// pipeline: tokenizer, case mode, stemming, stop list).
+    pub fn new(analyzer: Analyzer) -> Self {
+        IndexBuilder {
+            inner: Index {
+                schema: Schema::new(),
+                analyzer,
+                terms: Vec::new(),
+                vocab: HashMap::new(),
+                postings: HashMap::new(),
+                docs: Vec::new(),
+                total_tokens: 0,
+                field_langs: HashMap::new(),
+            },
+        }
+    }
+
+    /// Add a document; returns its id. Every token is indexed under its
+    /// field and under the `Any` pseudo-field (with document-global
+    /// positions, so unfielded `prox` works).
+    pub fn add(&mut self, doc: &Document) -> DocId {
+        let idx = &mut self.inner;
+        let doc_id = DocId(idx.docs.len() as u32);
+        let mut stored = Vec::with_capacity(doc.fields().len());
+        let mut token_count: u32 = 0;
+        let mut byte_size: u32 = 0;
+        // Per-field position bases (repeated fields continue with a gap).
+        let mut field_base: HashMap<FieldId, u32> = HashMap::new();
+        let mut global_base: u32 = 0;
+        for fv in doc.fields() {
+            let fid = idx.schema.intern(&fv.name);
+            byte_size += fv.text.len() as u32;
+            if let Some(lang) = &fv.lang {
+                idx.field_langs
+                    .entry(fid)
+                    .or_default()
+                    .insert(lang.clone());
+                idx.field_langs
+                    .entry(ANY_FIELD)
+                    .or_default()
+                    .insert(lang.clone());
+            }
+            let tokens = idx.analyzer.analyze(&fv.text);
+            let fbase = *field_base.get(&fid).unwrap_or(&0);
+            let mut max_pos = 0u32;
+            for tok in &tokens {
+                max_pos = max_pos.max(tok.position);
+                token_count += 1;
+                let tid = intern_term(&mut idx.vocab, &mut idx.terms, &tok.term);
+                push_position(
+                    &mut idx.postings,
+                    (fid, tid),
+                    doc_id,
+                    fbase + tok.position,
+                );
+                push_position(
+                    &mut idx.postings,
+                    (ANY_FIELD, tid),
+                    doc_id,
+                    global_base + tok.position,
+                );
+            }
+            let advance = if tokens.is_empty() { 0 } else { max_pos + 1 };
+            field_base.insert(fid, fbase + advance + FIELD_GAP);
+            global_base += advance + FIELD_GAP;
+            stored.push((fid, fv.text.clone(), fv.lang.clone()));
+        }
+        idx.total_tokens += u64::from(token_count);
+        idx.docs.push(StoredDoc {
+            fields: stored,
+            token_count,
+            byte_size,
+        });
+        doc_id
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Index {
+        self.inner
+    }
+}
+
+fn intern_term(vocab: &mut HashMap<String, TermId>, terms: &mut Vec<String>, term: &str) -> TermId {
+    if let Some(&tid) = vocab.get(term) {
+        return tid;
+    }
+    let tid = TermId(terms.len() as u32);
+    terms.push(term.to_string());
+    vocab.insert(term.to_string(), tid);
+    tid
+}
+
+fn push_position(
+    postings: &mut HashMap<(FieldId, TermId), Vec<Posting>>,
+    key: (FieldId, TermId),
+    doc: DocId,
+    position: u32,
+) {
+    let list = postings.entry(key).or_default();
+    match list.last_mut() {
+        Some(last) if last.doc == doc => last.positions.push(position),
+        _ => list.push(Posting {
+            doc,
+            positions: vec![position],
+        }),
+    }
+}
+
+impl Index {
+    /// The field schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The engine's analyzer.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Number of documents (the content summary's `NumDocs`).
+    pub fn n_docs(&self) -> u32 {
+        self.docs.len() as u32
+    }
+
+    /// Total tokens across all documents.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Mean document length in tokens (for BM25-style rankers).
+    pub fn avg_doc_tokens(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Token count of one document (`DocCount`).
+    pub fn doc_token_count(&self, doc: DocId) -> u32 {
+        self.docs[doc.0 as usize].token_count
+    }
+
+    /// Byte size of one document (`DocSize` is this, reported in KBytes).
+    pub fn doc_byte_size(&self, doc: DocId) -> u32 {
+        self.docs[doc.0 as usize].byte_size
+    }
+
+    /// Stored field values of a document, in insertion order.
+    pub fn doc_fields(&self, doc: DocId) -> impl Iterator<Item = (&str, &str, Option<&LangTag>)> {
+        self.docs[doc.0 as usize]
+            .fields
+            .iter()
+            .map(|(fid, text, lang)| (self.schema.name(*fid), text.as_str(), lang.as_ref()))
+    }
+
+    /// First stored value of the named field for a document.
+    pub fn doc_field(&self, doc: DocId, field: FieldId) -> Option<&str> {
+        self.docs[doc.0 as usize]
+            .fields
+            .iter()
+            .find(|(fid, _, _)| *fid == field)
+            .map(|(_, text, _)| text.as_str())
+    }
+
+    /// The posting list for a (field, term) pair. The term must be in
+    /// index-normalized form (the caller normalizes via the analyzer).
+    pub fn postings(&self, field: FieldId, term: &str) -> Option<&[Posting]> {
+        let tid = self.vocab.get(term)?;
+        self.postings.get(&(field, *tid)).map(Vec::as_slice)
+    }
+
+    /// Document frequency of a term in a field (`Document-frequency`).
+    pub fn df(&self, field: FieldId, term: &str) -> u32 {
+        self.postings(field, term).map_or(0, |p| p.len() as u32)
+    }
+
+    /// Total postings (sum of tf over docs) of a term in a field — the
+    /// content summary's "total number of postings" statistic.
+    pub fn total_postings(&self, field: FieldId, term: &str) -> u64 {
+        self.postings(field, term)
+            .map_or(0, |p| p.iter().map(|x| u64::from(x.tf())).sum())
+    }
+
+    /// Iterate the vocabulary of a field: `(term, postings)`.
+    pub fn field_vocabulary(
+        &self,
+        field: FieldId,
+    ) -> impl Iterator<Item = (&str, &[Posting])> + '_ {
+        self.postings
+            .iter()
+            .filter(move |((fid, _), _)| *fid == field)
+            .map(|((_, tid), list)| (self.terms[tid.0 as usize].as_str(), list.as_slice()))
+    }
+
+    /// Languages observed in a field's values.
+    pub fn field_languages(&self, field: FieldId) -> Vec<LangTag> {
+        self.field_langs
+            .get(&field)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Distinct terms in the index (vocabulary size).
+    pub fn vocabulary_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// All document ids.
+    pub fn all_docs(&self) -> impl Iterator<Item = DocId> {
+        (0..self.docs.len() as u32).map(DocId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_text::{Analyzer, AnalyzerConfig, StopWordList};
+
+    fn plain_analyzer() -> Analyzer {
+        Analyzer::new(AnalyzerConfig {
+            stop_words: StopWordList::none(),
+            ..AnalyzerConfig::default()
+        })
+    }
+
+    fn small_index() -> Index {
+        let mut b = IndexBuilder::new(plain_analyzer());
+        b.add(
+            &Document::new()
+                .field("title", "Distributed Databases")
+                .field("body-of-text", "databases for distributed systems"),
+        );
+        b.add(
+            &Document::new()
+                .field("title", "Operating Systems")
+                .field("body-of-text", "scheduling and paging"),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn postings_and_df() {
+        let idx = small_index();
+        let title = idx.schema().get("title").unwrap();
+        let body = idx.schema().get("body-of-text").unwrap();
+        assert_eq!(idx.df(title, "databases"), 1);
+        assert_eq!(idx.df(body, "databases"), 1);
+        assert_eq!(idx.df(ANY_FIELD, "databases"), 1);
+        assert_eq!(idx.df(ANY_FIELD, "systems"), 2);
+        assert_eq!(idx.df(title, "systems"), 1);
+        assert_eq!(idx.df(title, "missing"), 0);
+    }
+
+    #[test]
+    fn tf_counts_occurrences_across_doc() {
+        let idx = small_index();
+        // doc 0 contains "databases" twice (title + body) under Any.
+        let p = idx.postings(ANY_FIELD, "databases").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].doc, DocId(0));
+        assert_eq!(p[0].tf(), 2);
+        assert_eq!(idx.total_postings(ANY_FIELD, "databases"), 2);
+    }
+
+    #[test]
+    fn positions_have_field_gaps() {
+        let idx = small_index();
+        let p = idx.postings(ANY_FIELD, "databases").unwrap();
+        // "databases" is title token 1 and body token 0; body starts
+        // after title's 2 tokens + FIELD_GAP.
+        assert_eq!(p[0].positions, vec![1, 2 + FIELD_GAP]);
+    }
+
+    #[test]
+    fn doc_statistics() {
+        let idx = small_index();
+        assert_eq!(idx.n_docs(), 2);
+        assert_eq!(idx.doc_token_count(DocId(0)), 6);
+        assert_eq!(
+            idx.doc_byte_size(DocId(0)),
+            ("Distributed Databases".len() + "databases for distributed systems".len()) as u32
+        );
+        // doc 0 has 6 tokens, doc 1 has 5 ("and" etc. are not stopped by
+        // the plain analyzer) → mean 5.5.
+        assert!((idx.avg_doc_tokens() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stored_fields_retrievable() {
+        let idx = small_index();
+        let title = idx.schema().get("title").unwrap();
+        assert_eq!(
+            idx.doc_field(DocId(1), title),
+            Some("Operating Systems")
+        );
+        assert_eq!(idx.doc_fields(DocId(0)).count(), 2);
+    }
+
+    #[test]
+    fn vocabulary_iteration() {
+        let idx = small_index();
+        let title = idx.schema().get("title").unwrap();
+        let mut terms: Vec<&str> = idx.field_vocabulary(title).map(|(t, _)| t).collect();
+        terms.sort_unstable();
+        assert_eq!(
+            terms,
+            vec!["databases", "distributed", "operating", "systems"]
+        );
+    }
+
+    #[test]
+    fn stop_words_respected_at_index_time() {
+        let mut b = IndexBuilder::new(Analyzer::default()); // minimal stops
+        b.add(&Document::new().field("body-of-text", "the quick fox"));
+        let idx = b.build();
+        assert_eq!(idx.df(ANY_FIELD, "the"), 0);
+        assert_eq!(idx.df(ANY_FIELD, "quick"), 1);
+        // DocCount counts only indexed tokens.
+        assert_eq!(idx.doc_token_count(DocId(0)), 2);
+    }
+
+    #[test]
+    fn repeated_fields_gap_positions() {
+        let mut b = IndexBuilder::new(plain_analyzer());
+        b.add(
+            &Document::new()
+                .field("author", "Jeff Ullman")
+                .field("author", "Hector Garcia"),
+        );
+        let idx = b.build();
+        let author = idx.schema().get("author").unwrap();
+        let p = idx.postings(author, "hector").unwrap();
+        // Second author instance starts after 2 tokens + FIELD_GAP.
+        assert_eq!(p[0].positions, vec![2 + FIELD_GAP]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IndexBuilder::new(plain_analyzer()).build();
+        assert_eq!(idx.n_docs(), 0);
+        assert_eq!(idx.avg_doc_tokens(), 0.0);
+        assert_eq!(idx.vocabulary_size(), 0);
+    }
+
+    #[test]
+    fn field_languages_tracked() {
+        let mut b = IndexBuilder::new(plain_analyzer());
+        b.add(
+            &Document::new()
+                .field_lang("title", "algorithm analysis", starts_text::LangTag::en_us())
+                .field_lang("title", "algoritmo de datos", starts_text::LangTag::es()),
+        );
+        let idx = b.build();
+        let title = idx.schema().get("title").unwrap();
+        let langs = idx.field_languages(title);
+        assert_eq!(langs.len(), 2);
+    }
+}

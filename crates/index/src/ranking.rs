@@ -1,0 +1,349 @@
+//! Pluggable — deliberately heterogeneous — ranking algorithms.
+//!
+//! §3.2: "the ranking algorithms are usually proprietary to the search
+//! engine vendors, and their details are not publicly available … source
+//! S1 might report that document d1 has a score of 0.3 for some query,
+//! while source S2 might report that document d2 has a score of 1,000 for
+//! the same query." STARTS copes by making sources export a
+//! `RankingAlgorithmID` and a `ScoreRange` (§4.3.1) plus per-term
+//! statistics with every result (§4.2).
+//!
+//! We implement four algorithms with *incompatible score scales* so the
+//! rank-merging problem manifests exactly as described:
+//!
+//! | id         | family               | score range |
+//! |------------|----------------------|-------------|
+//! | `Acme-1`   | tf–idf cosine        | `\[0, 1\]`    |
+//! | `Vendor-K` | tf–idf, top hit wins | `\[0, 1000\]` (max-normalized) |
+//! | `Okapi-1`  | BM25                 | `[0, +inf)` |
+//! | `Plain-1`  | raw term frequency   | `[0, +inf)` |
+
+use crate::doc::DocId;
+
+/// The `ScoreRange` metadata attribute: "the minimum and maximum score
+/// that a document can get for a query at the source (including -inf and
+/// +inf)".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreRange {
+    /// Minimum possible score.
+    pub min: f64,
+    /// Maximum possible score (`f64::INFINITY` for unbounded engines).
+    pub max: f64,
+}
+
+impl ScoreRange {
+    /// `\[0, 1\]`.
+    pub fn unit() -> Self {
+        ScoreRange { min: 0.0, max: 1.0 }
+    }
+
+    /// Whether the range is bounded on both sides.
+    pub fn is_bounded(&self) -> bool {
+        self.min.is_finite() && self.max.is_finite()
+    }
+}
+
+/// Statistics available when weighting one term in one document.
+#[derive(Debug, Clone, Copy)]
+pub struct TermDocStats {
+    /// Term frequency in the document (occurrences).
+    pub tf: u32,
+    /// Document frequency of the term in the collection.
+    pub df: u32,
+    /// Number of documents in the collection.
+    pub n_docs: u32,
+    /// Tokens in this document.
+    pub doc_tokens: u32,
+    /// Mean tokens per document.
+    pub avg_tokens: f64,
+    /// Precomputed document norm under this algorithm (1.0 if unused).
+    pub doc_norm: f64,
+}
+
+/// A ranking algorithm: the engine's proprietary scoring.
+pub trait RankingAlgorithm: Send + Sync {
+    /// The `RankingAlgorithmID` exported in source metadata.
+    fn id(&self) -> &'static str;
+
+    /// The `ScoreRange` exported in source metadata.
+    fn score_range(&self) -> ScoreRange;
+
+    /// The weight of a term in a document — exported as `Term-weight` in
+    /// the per-document `TermStats` of query results (§4.2: "the
+    /// normalized tf.idf weight … or whatever other weighing of terms in
+    /// documents the search engine might use").
+    fn term_weight(&self, st: &TermDocStats) -> f64;
+
+    /// Raw (un-normalized) weight used when accumulating document norms;
+    /// defaults to `term_weight` with norm 1.
+    fn unnormalized_weight(&self, st: &TermDocStats) -> f64 {
+        let mut st = *st;
+        st.doc_norm = 1.0;
+        self.term_weight(&st)
+    }
+
+    /// Whether document norms must be precomputed (cosine-style).
+    fn needs_doc_norms(&self) -> bool {
+        false
+    }
+
+    /// Post-process the complete score list (e.g. rescale so the top
+    /// document always gets the vendor's signature score).
+    fn finalize(&self, _scores: &mut [(DocId, f64)]) {}
+}
+
+/// Resolve a `RankingAlgorithmID` to an implementation. Unknown ids — the
+/// common case for a metasearcher facing a new vendor — return `None`.
+pub fn ranking_by_id(id: &str) -> Option<Box<dyn RankingAlgorithm>> {
+    match id {
+        "Acme-1" => Some(Box::new(TfIdfCosine)),
+        "Vendor-K" => Some(Box::new(VendorScaled)),
+        "Okapi-1" => Some(Box::new(Bm25::default())),
+        "Plain-1" => Some(Box::new(RawTf)),
+        _ => None,
+    }
+}
+
+/// `Acme-1`: tf–idf with cosine document normalization; scores in \[0,1\].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TfIdfCosine;
+
+fn tfidf_raw(st: &TermDocStats) -> f64 {
+    if st.tf == 0 || st.df == 0 || st.n_docs == 0 {
+        return 0.0;
+    }
+    let tf = 1.0 + f64::from(st.tf).ln();
+    let idf = (1.0 + f64::from(st.n_docs) / f64::from(st.df)).ln();
+    tf * idf
+}
+
+impl RankingAlgorithm for TfIdfCosine {
+    fn id(&self) -> &'static str {
+        "Acme-1"
+    }
+    fn score_range(&self) -> ScoreRange {
+        ScoreRange::unit()
+    }
+    fn term_weight(&self, st: &TermDocStats) -> f64 {
+        let w = tfidf_raw(st);
+        if st.doc_norm > 0.0 {
+            w / st.doc_norm
+        } else {
+            w
+        }
+    }
+    fn needs_doc_norms(&self) -> bool {
+        true
+    }
+}
+
+/// `Vendor-K`: the §3.2 example engine — "designed so that the top
+/// document for a query always has a score of, say, 1,000". Internally
+/// tf–idf cosine; finalize rescales the best hit to exactly 1000.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VendorScaled;
+
+impl RankingAlgorithm for VendorScaled {
+    fn id(&self) -> &'static str {
+        "Vendor-K"
+    }
+    fn score_range(&self) -> ScoreRange {
+        ScoreRange {
+            min: 0.0,
+            max: 1000.0,
+        }
+    }
+    fn term_weight(&self, st: &TermDocStats) -> f64 {
+        TfIdfCosine.term_weight(st)
+    }
+    fn needs_doc_norms(&self) -> bool {
+        true
+    }
+    fn finalize(&self, scores: &mut [(DocId, f64)]) {
+        let max = scores.iter().map(|(_, s)| *s).fold(0.0_f64, f64::max);
+        if max > 0.0 {
+            let k = 1000.0 / max;
+            for (_, s) in scores.iter_mut() {
+                *s *= k;
+            }
+        }
+    }
+}
+
+/// `Okapi-1`: BM25 with the textbook constants; unbounded scores.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25 {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization.
+    pub b: f64,
+}
+
+impl Default for Bm25 {
+    fn default() -> Self {
+        Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl RankingAlgorithm for Bm25 {
+    fn id(&self) -> &'static str {
+        "Okapi-1"
+    }
+    fn score_range(&self) -> ScoreRange {
+        ScoreRange {
+            min: 0.0,
+            max: f64::INFINITY,
+        }
+    }
+    fn term_weight(&self, st: &TermDocStats) -> f64 {
+        if st.tf == 0 || st.n_docs == 0 {
+            return 0.0;
+        }
+        let n = f64::from(st.n_docs);
+        let df = f64::from(st.df);
+        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+        let tf = f64::from(st.tf);
+        let dl = f64::from(st.doc_tokens);
+        let avg = if st.avg_tokens > 0.0 { st.avg_tokens } else { 1.0 };
+        let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg);
+        idf * tf * (self.k1 + 1.0) / denom
+    }
+}
+
+/// `Plain-1`: the crudest engine — score is the raw occurrence count.
+/// This is also exactly the re-ranking formula the paper's Example 9
+/// metasearcher applies ("compute a new score for each document based on
+/// … the number of times that the words in the ranking expression appear
+/// in the documents").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawTf;
+
+impl RankingAlgorithm for RawTf {
+    fn id(&self) -> &'static str {
+        "Plain-1"
+    }
+    fn score_range(&self) -> ScoreRange {
+        ScoreRange {
+            min: 0.0,
+            max: f64::INFINITY,
+        }
+    }
+    fn term_weight(&self, st: &TermDocStats) -> f64 {
+        f64::from(st.tf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(tf: u32, df: u32, n: u32) -> TermDocStats {
+        TermDocStats {
+            tf,
+            df,
+            n_docs: n,
+            doc_tokens: 100,
+            avg_tokens: 100.0,
+            doc_norm: 1.0,
+        }
+    }
+
+    #[test]
+    fn registry() {
+        for id in ["Acme-1", "Vendor-K", "Okapi-1", "Plain-1"] {
+            let alg = ranking_by_id(id).expect("known id");
+            assert_eq!(alg.id(), id);
+        }
+        assert!(ranking_by_id("Secret-9").is_none());
+    }
+
+    #[test]
+    fn tfidf_monotone_in_tf_and_rarity() {
+        let a = TfIdfCosine;
+        assert!(a.term_weight(&stats(5, 10, 1000)) > a.term_weight(&stats(1, 10, 1000)));
+        // Rarer terms weigh more (the §3.2 "databases in a CS source"
+        // effect).
+        assert!(a.term_weight(&stats(1, 2, 1000)) > a.term_weight(&stats(1, 500, 1000)));
+        assert_eq!(a.term_weight(&stats(0, 10, 1000)), 0.0);
+    }
+
+    #[test]
+    fn collection_skew_changes_weights() {
+        // The same document gets different weights in different
+        // collections — the heart of the rank-merging problem.
+        let a = TfIdfCosine;
+        let in_cs_source = a.term_weight(&stats(3, 800, 1000)); // common word
+        let in_other_source = a.term_weight(&stats(3, 5, 1000)); // rare word
+        assert!(in_other_source > 2.0 * in_cs_source);
+    }
+
+    #[test]
+    fn vendor_finalize_pins_top_at_1000() {
+        let v = VendorScaled;
+        let mut scores = vec![(DocId(0), 0.2), (DocId(1), 0.5), (DocId(2), 0.1)];
+        v.finalize(&mut scores);
+        let max = scores.iter().map(|(_, s)| *s).fold(0.0_f64, f64::max);
+        assert!((max - 1000.0).abs() < 1e-9);
+        // Relative order preserved.
+        assert!(scores[1].1 > scores[0].1 && scores[0].1 > scores[2].1);
+    }
+
+    #[test]
+    fn vendor_finalize_empty_and_zero() {
+        let v = VendorScaled;
+        let mut empty: Vec<(DocId, f64)> = vec![];
+        v.finalize(&mut empty);
+        let mut zeros = vec![(DocId(0), 0.0)];
+        v.finalize(&mut zeros);
+        assert_eq!(zeros[0].1, 0.0);
+    }
+
+    #[test]
+    fn bm25_saturates_in_tf() {
+        let b = Bm25::default();
+        let w1 = b.term_weight(&stats(1, 10, 1000));
+        let w10 = b.term_weight(&stats(10, 10, 1000));
+        let w100 = b.term_weight(&stats(100, 10, 1000));
+        assert!(w10 > w1);
+        // Saturation: the 10→100 gain is smaller than the 1→10 gain.
+        assert!(w100 - w10 < w10 - w1);
+    }
+
+    #[test]
+    fn bm25_length_normalization() {
+        let b = Bm25::default();
+        let short = TermDocStats {
+            doc_tokens: 50,
+            ..stats(5, 10, 1000)
+        };
+        let long = TermDocStats {
+            doc_tokens: 500,
+            ..stats(5, 10, 1000)
+        };
+        assert!(b.term_weight(&short) > b.term_weight(&long));
+    }
+
+    #[test]
+    fn raw_tf_is_literal() {
+        let r = RawTf;
+        assert_eq!(r.term_weight(&stats(15, 3, 10)), 15.0);
+        assert_eq!(r.term_weight(&stats(0, 3, 10)), 0.0);
+    }
+
+    #[test]
+    fn score_ranges_differ_across_vendors() {
+        // The §3.2 incompatibility: 0.3 at one source, 1000 at another.
+        assert!(TfIdfCosine.score_range().is_bounded());
+        assert_eq!(VendorScaled.score_range().max, 1000.0);
+        assert!(!Bm25::default().score_range().is_bounded());
+    }
+
+    #[test]
+    fn cosine_norm_divides() {
+        let a = TfIdfCosine;
+        let mut st = stats(4, 10, 1000);
+        let unnorm = a.unnormalized_weight(&st);
+        st.doc_norm = 2.0;
+        assert!((a.term_weight(&st) - unnorm / 2.0).abs() < 1e-12);
+    }
+}

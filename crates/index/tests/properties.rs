@@ -1,0 +1,185 @@
+//! Property-based tests for the engine: Boolean evaluation agrees with a
+//! brute-force oracle, result sets are canonical, prox is monotone in
+//! distance, and scores respect declared ranges.
+
+use proptest::prelude::*;
+use starts_index::{BoolNode, DocId, Document, Engine, EngineConfig, RankNode, TermSpec};
+use starts_text::{Analyzer, AnalyzerConfig, StopWordList};
+
+/// A tiny closed vocabulary so queries actually hit documents.
+const VOCAB: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+];
+
+fn arb_doc() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..VOCAB.len(), 1..30)
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
+    proptest::collection::vec(arb_doc(), 1..25).prop_map(|docs| {
+        docs.into_iter()
+            .map(|words| {
+                let body: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                Document::new().field("body-of-text", body.join(" "))
+            })
+            .collect()
+    })
+}
+
+fn arb_term() -> impl Strategy<Value = BoolNode> {
+    (0..VOCAB.len()).prop_map(|w| BoolNode::Term(TermSpec::any(VOCAB[w])))
+}
+
+fn arb_expr() -> impl Strategy<Value = BoolNode> {
+    arb_term().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolNode::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolNode::or(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| BoolNode::and_not(a, b)),
+        ]
+    })
+}
+
+fn engine_of(docs: &[Document]) -> Engine {
+    Engine::build(
+        docs,
+        EngineConfig {
+            analyzer: AnalyzerConfig {
+                stop_words: StopWordList::none(),
+                ..AnalyzerConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Brute-force oracle: evaluate the Boolean expression per document by
+/// direct containment over the analyzed tokens.
+fn oracle(expr: &BoolNode, docs: &[Document]) -> Vec<DocId> {
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        stop_words: StopWordList::none(),
+        ..AnalyzerConfig::default()
+    });
+    (0..docs.len() as u32)
+        .map(DocId)
+        .filter(|&id| eval_doc(expr, &docs[id.0 as usize], &analyzer))
+        .collect()
+}
+
+fn eval_doc(expr: &BoolNode, doc: &Document, analyzer: &Analyzer) -> bool {
+    match expr {
+        BoolNode::Term(spec) => {
+            let body = doc.get("body-of-text").unwrap_or("");
+            analyzer
+                .analyze(body)
+                .iter()
+                .any(|t| t.term == analyzer.normalize_term(&spec.term))
+        }
+        BoolNode::And(a, b) => eval_doc(a, doc, analyzer) && eval_doc(b, doc, analyzer),
+        BoolNode::Or(a, b) => eval_doc(a, doc, analyzer) || eval_doc(b, doc, analyzer),
+        BoolNode::AndNot(a, b) => eval_doc(a, doc, analyzer) && !eval_doc(b, doc, analyzer),
+        BoolNode::Prox { .. } => unreachable!("oracle only covers set operators"),
+    }
+}
+
+proptest! {
+    /// Engine Boolean evaluation ≡ the brute-force oracle.
+    #[test]
+    fn boolean_eval_matches_oracle(docs in arb_corpus(), expr in arb_expr()) {
+        let engine = engine_of(&docs);
+        let got = engine.eval_filter(&expr);
+        let want = oracle(&expr, &docs);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Result sets are canonical: strictly sorted (hence deduplicated).
+    #[test]
+    fn result_sets_canonical(docs in arb_corpus(), expr in arb_expr()) {
+        let engine = engine_of(&docs);
+        let got = engine.eval_filter(&expr);
+        for w in got.windows(2) {
+            prop_assert!(w[0] < w[1], "unsorted or duplicated: {got:?}");
+        }
+    }
+
+    /// prox is monotone in distance, and always a subset of `and`.
+    #[test]
+    fn prox_monotone_in_distance(
+        docs in arb_corpus(),
+        l in 0..VOCAB.len(),
+        r in 0..VOCAB.len(),
+        d in 0u32..10,
+    ) {
+        let engine = engine_of(&docs);
+        let prox = |distance: u32, ordered: bool| {
+            engine.eval_filter(&BoolNode::Prox {
+                left: TermSpec::any(VOCAB[l]),
+                right: TermSpec::any(VOCAB[r]),
+                distance,
+                ordered,
+            })
+        };
+        let and = engine.eval_filter(&BoolNode::and(
+            BoolNode::Term(TermSpec::any(VOCAB[l])),
+            BoolNode::Term(TermSpec::any(VOCAB[r])),
+        ));
+        let near = prox(d, false);
+        let far = prox(d + 1, false);
+        let is_subset = |a: &[DocId], b: &[DocId]| a.iter().all(|x| b.contains(x));
+        prop_assert!(is_subset(&near, &far), "prox not monotone");
+        prop_assert!(is_subset(&far, &and), "prox exceeds and");
+        // Ordered prox is a subset of unordered prox.
+        let ordered = prox(d, true);
+        prop_assert!(is_subset(&ordered, &near), "ordered exceeds unordered");
+    }
+
+    /// Ranked scores always respect the algorithm's declared ScoreRange.
+    #[test]
+    fn scores_within_declared_range(
+        docs in arb_corpus(),
+        terms in proptest::collection::vec(0..VOCAB.len(), 1..4),
+        ranking_id in prop_oneof![
+            Just("Acme-1"), Just("Vendor-K"), Just("Okapi-1"), Just("Plain-1")
+        ],
+    ) {
+        let engine = Engine::build(
+            &docs,
+            EngineConfig {
+                ranking_id: ranking_id.to_string(),
+                ..EngineConfig::default()
+            },
+        );
+        let node = RankNode::List(
+            terms.iter().map(|&t| RankNode::term(TermSpec::any(VOCAB[t]))).collect(),
+        );
+        let range = engine.ranking().score_range();
+        for (_, score) in engine.eval_ranking(&node) {
+            prop_assert!(
+                score >= range.min - 1e-9 && score <= range.max + 1e-9,
+                "{ranking_id}: {score} outside {}..{}", range.min, range.max
+            );
+        }
+    }
+
+    /// Ranked results are sorted by descending score.
+    #[test]
+    fn ranking_sorted_descending(docs in arb_corpus(), t in 0..VOCAB.len()) {
+        let engine = engine_of(&docs);
+        let ranked = engine.eval_ranking(&RankNode::term(TermSpec::any(VOCAB[t])));
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    /// De Morgan-ish identity usable without `not`:
+    /// a and-not (a and-not b) ≡ a and b.
+    #[test]
+    fn and_not_involution(docs in arb_corpus(), a in 0..VOCAB.len(), b in 0..VOCAB.len()) {
+        let engine = engine_of(&docs);
+        let ta = || BoolNode::Term(TermSpec::any(VOCAB[a]));
+        let tb = || BoolNode::Term(TermSpec::any(VOCAB[b]));
+        let left = engine.eval_filter(&BoolNode::and_not(ta(), BoolNode::and_not(ta(), tb())));
+        let right = engine.eval_filter(&BoolNode::and(ta(), tb()));
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,230 @@
+//! The metasearcher's source catalog (§3.4).
+//!
+//! "A sophisticated metasearcher will need to … extract the list of
+//! sources from the resources periodically … \[and\] extract metadata and
+//! content summaries from the sources periodically." The catalog is the
+//! result of that periodic crawl: everything the metasearcher knows
+//! about each source, refreshed out-of-band from query traffic.
+
+use starts_net::{LinkProfile, StartsClient};
+use starts_proto::summary::ContentSummary;
+use starts_proto::{Query, QueryResults, SourceMetadata};
+
+/// Everything known about one source.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The source id.
+    pub id: String,
+    /// Its exported metadata (§4.3.1).
+    pub metadata: SourceMetadata,
+    /// Its exported content summary (§4.3.2).
+    pub summary: ContentSummary,
+    /// Its sample-database results, if fetched (§4.2).
+    pub sample_results: Vec<(Query, QueryResults)>,
+    /// The link profile the metasearcher has observed/configured for the
+    /// source (latency, per-query fee) — §3.3's selection inputs.
+    pub link: LinkProfile,
+}
+
+impl CatalogEntry {
+    /// The URL to submit queries to.
+    pub fn query_url(&self) -> &str {
+        &self.metadata.linkage
+    }
+}
+
+/// The catalog: an ordered list of known sources.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// The entries, in discovery order.
+    pub entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// Number of known sources.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Find an entry by source id.
+    pub fn entry(&self, id: &str) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Discover sources from a resource URL: fetch the `@SResource`
+    /// listing, then each member's metadata and content summary
+    /// (the §3.4 "periodically" tasks, run once).
+    pub fn discover_resource(
+        &mut self,
+        client: &StartsClient<'_>,
+        resource_url: &str,
+        link: LinkProfile,
+        fetch_samples: bool,
+    ) -> Result<usize, starts_net::client::ClientError> {
+        let resource = client.fetch_resource(resource_url)?;
+        let mut added = 0;
+        for (id, metadata_url) in &resource.sources {
+            if self.entry(id).is_some() {
+                continue;
+            }
+            let metadata = client.fetch_metadata(metadata_url)?;
+            let summary = client.fetch_summary(&metadata.content_summary_linkage)?;
+            let sample_results = if fetch_samples {
+                client.fetch_sample_results(&metadata.sample_database_results)?
+            } else {
+                Vec::new()
+            };
+            self.entries.push(CatalogEntry {
+                id: id.clone(),
+                metadata,
+                summary,
+                sample_results,
+                link,
+            });
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Discover one stand-alone source from its metadata URL.
+    pub fn discover_source(
+        &mut self,
+        client: &StartsClient<'_>,
+        metadata_url: &str,
+        link: LinkProfile,
+        fetch_samples: bool,
+    ) -> Result<(), starts_net::client::ClientError> {
+        let metadata = client.fetch_metadata(metadata_url)?;
+        if self.entry(&metadata.source_id).is_some() {
+            return Ok(());
+        }
+        let summary = client.fetch_summary(&metadata.content_summary_linkage)?;
+        let sample_results = if fetch_samples {
+            client.fetch_sample_results(&metadata.sample_database_results)?
+        } else {
+            Vec::new()
+        };
+        self.entries.push(CatalogEntry {
+            id: metadata.source_id.clone(),
+            metadata,
+            summary,
+            sample_results,
+            link,
+        });
+        Ok(())
+    }
+
+    /// Total documents across all catalogued sources (from summaries).
+    pub fn total_docs(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.summary.num_docs)).sum()
+    }
+
+    /// Global document frequency of a term: the sum of per-source df
+    /// from the summaries — the "single, large document source" view
+    /// §4.2 suggests for merging.
+    pub fn global_df(&self, field: Option<&str>, term: &str) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| u64::from(e.summary.df(field, term)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_index::Document;
+    use starts_net::host::{wire_resource, wire_source};
+    use starts_net::SimNet;
+    use starts_source::{ResourceHost, Source, SourceConfig};
+
+    fn net_with_everything() -> SimNet {
+        let net = SimNet::new();
+        let standalone = Source::build(
+            SourceConfig::new("Solo"),
+            &[Document::new()
+                .field("body-of-text", "unique solo words")
+                .field("linkage", "http://x/solo")],
+        );
+        wire_source(&net, standalone, LinkProfile::default());
+        let m1 = Source::build(
+            SourceConfig::new("M1"),
+            &[Document::new()
+                .field("body-of-text", "member one databases")
+                .field("linkage", "http://x/m1")],
+        );
+        let m2 = Source::build(
+            SourceConfig::new("M2"),
+            &[Document::new()
+                .field("body-of-text", "member two databases")
+                .field("linkage", "http://x/m2")],
+        );
+        wire_resource(
+            &net,
+            ResourceHost::new(vec![m1, m2]),
+            "starts://dialog",
+            LinkProfile::default(),
+        );
+        net
+    }
+
+    #[test]
+    fn discovery_builds_catalog() {
+        let net = net_with_everything();
+        let client = StartsClient::new(&net);
+        let mut catalog = Catalog::default();
+        let added = catalog
+            .discover_resource(&client, "starts://dialog", LinkProfile::default(), true)
+            .unwrap();
+        assert_eq!(added, 2);
+        catalog
+            .discover_source(
+                &client,
+                "starts://solo/metadata",
+                LinkProfile::default(),
+                false,
+            )
+            .unwrap();
+        assert_eq!(catalog.len(), 3);
+        let m1 = catalog.entry("M1").unwrap();
+        assert_eq!(m1.summary.num_docs, 1);
+        assert!(!m1.sample_results.is_empty());
+        let solo = catalog.entry("Solo").unwrap();
+        assert!(solo.sample_results.is_empty());
+        assert_eq!(solo.query_url(), "starts://solo/query");
+    }
+
+    #[test]
+    fn rediscovery_is_idempotent() {
+        let net = net_with_everything();
+        let client = StartsClient::new(&net);
+        let mut catalog = Catalog::default();
+        catalog
+            .discover_resource(&client, "starts://dialog", LinkProfile::default(), false)
+            .unwrap();
+        let added = catalog
+            .discover_resource(&client, "starts://dialog", LinkProfile::default(), false)
+            .unwrap();
+        assert_eq!(added, 0);
+        assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn global_statistics() {
+        let net = net_with_everything();
+        let client = StartsClient::new(&net);
+        let mut catalog = Catalog::default();
+        catalog
+            .discover_resource(&client, "starts://dialog", LinkProfile::default(), false)
+            .unwrap();
+        assert_eq!(catalog.total_docs(), 2);
+        // "databases" occurs in both members' bodies.
+        assert_eq!(catalog.global_df(Some("body-of-text"), "databases"), 2);
+        assert_eq!(catalog.global_df(Some("body-of-text"), "unique"), 0);
+    }
+}

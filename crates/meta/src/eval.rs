@@ -1,0 +1,163 @@
+//! Evaluation metrics for the experiments: set retrieval quality,
+//! ranking quality, and source-selection quality.
+
+use std::collections::HashSet;
+
+/// Precision at k: fraction of the top-k results that are relevant.
+pub fn precision_at_k(ranked: &[String], relevant: &HashSet<String>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let top = ranked.iter().take(k);
+    let hits = top.filter(|d| relevant.contains(*d)).count();
+    hits as f64 / k.min(ranked.len()).max(1) as f64
+}
+
+/// Recall at k: fraction of the relevant set found in the top k.
+pub fn recall_at_k(ranked: &[String], relevant: &HashSet<String>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|d| relevant.contains(*d))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Average precision over the full ranking.
+pub fn average_precision(ranked: &[String], relevant: &HashSet<String>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, d) in ranked.iter().enumerate() {
+        if relevant.contains(d) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Kendall rank-correlation tau-a between two rankings of the same item
+/// set (items present in both). 1 = identical order, -1 = reversed.
+pub fn kendall_tau(a: &[String], b: &[String]) -> f64 {
+    // Positions in b for the common items, in a's order.
+    let pos_b: std::collections::HashMap<&str, usize> = b
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i))
+        .collect();
+    let seq: Vec<usize> = a
+        .iter()
+        .filter_map(|s| pos_b.get(s.as_str()).copied())
+        .collect();
+    let n = seq.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if seq[i] < seq[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / total
+}
+
+/// The GlOSS-style source-selection metric `R_n`: the fraction of all
+/// relevant documents held by the n selected sources (refs [7, 8] score
+/// selection by how much of the "merit" the chosen sources cover).
+pub fn selection_recall(selected: &[usize], relevant_by_source: &[u32]) -> f64 {
+    let total: u32 = relevant_by_source.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let covered: u32 = selected
+        .iter()
+        .filter_map(|&i| relevant_by_source.get(i))
+        .sum();
+    f64::from(covered) / f64::from(total)
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn rank(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_recall() {
+        let ranked = rank(&["a", "b", "c", "d"]);
+        let relevant = set(&["a", "c", "e"]);
+        assert!((precision_at_k(&ranked, &relevant, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, &relevant, 4) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&ranked, &relevant, 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&ranked, &set(&[]), 4), 0.0);
+        assert_eq!(precision_at_k(&[], &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn ap_rewards_early_hits() {
+        let relevant = set(&["a", "b"]);
+        let early = average_precision(&rank(&["a", "b", "x", "y"]), &relevant);
+        let late = average_precision(&rank(&["x", "y", "a", "b"]), &relevant);
+        assert!((early - 1.0).abs() < 1e-12);
+        assert!(late < early);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn kendall() {
+        let a = rank(&["a", "b", "c", "d"]);
+        assert!((kendall_tau(&a, &a) - 1.0).abs() < 1e-12);
+        let rev = rank(&["d", "c", "b", "a"]);
+        assert!((kendall_tau(&a, &rev) + 1.0).abs() < 1e-12);
+        // Partial overlap: only common items count.
+        let b = rank(&["b", "z", "a"]);
+        let tau = kendall_tau(&a, &b);
+        assert!((-1.0..=1.0).contains(&tau));
+        assert!(tau < 0.0); // a,b swapped
+        // Degenerate.
+        assert_eq!(kendall_tau(&a, &rank(&["q"])), 1.0);
+    }
+
+    #[test]
+    fn selection_recall_counts_covered_merit() {
+        let by_source = [5, 0, 3, 2];
+        assert!((selection_recall(&[0], &by_source) - 0.5).abs() < 1e-12);
+        assert!((selection_recall(&[0, 2], &by_source) - 0.8).abs() < 1e-12);
+        assert!((selection_recall(&[0, 1, 2, 3], &by_source) - 1.0).abs() < 1e-12);
+        assert_eq!(selection_recall(&[0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,445 @@
+//! The end-to-end metasearcher: select → adapt → dispatch (parallel) →
+//! merge, with latency and cost accounting.
+//!
+//! This is the component the paper's §1 describes and §3.4 specifies:
+//! it gives "users the illusion of a single combined document source"
+//! over heterogeneous STARTS sources.
+
+use starts_net::{SimNet, StartsClient};
+use starts_proto::{Field, QTerm, Query};
+
+use crate::adapt::{adapt_query, least_common_denominator};
+use crate::catalog::Catalog;
+use crate::merge::{MergedDoc, Merger, SourceResult};
+use crate::select::Selector;
+
+/// How queries are adjusted before dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptMode {
+    /// Send the query verbatim; sources rewrite per the protocol.
+    Verbatim,
+    /// Adapt per source capability (fold query parts, expand stems).
+    #[default]
+    PerSource,
+    /// Strip to the least common denominator of all selected sources —
+    /// the baseline §5 attributes to early metasearchers.
+    Lcd,
+}
+
+/// Metasearcher configuration.
+pub struct MetaConfig {
+    /// Source-selection strategy.
+    pub selector: Box<dyn Selector>,
+    /// Rank-merging strategy.
+    pub merger: Box<dyn Merger>,
+    /// How many sources to contact per query.
+    pub max_sources: usize,
+    /// Query adjustment mode.
+    pub adapt: AdaptMode,
+    /// Final result-list cap.
+    pub max_results: usize,
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        MetaConfig {
+            selector: Box::new(crate::select::GGlossSum),
+            merger: Box::new(crate::merge::NormalizedMerge),
+            max_sources: 3,
+            adapt: AdaptMode::PerSource,
+            max_results: 20,
+        }
+    }
+}
+
+/// The outcome of one metasearch.
+#[derive(Debug)]
+pub struct MetaResponse {
+    /// The merged rank.
+    pub merged: Vec<MergedDoc>,
+    /// Ids of the sources contacted, in selection order.
+    pub selected: Vec<String>,
+    /// Raw per-source results (for analysis).
+    pub per_source: Vec<SourceResult>,
+    /// Simulated wall-clock latency of the parallel fan-out: the *max*
+    /// per-source latency (queries run concurrently).
+    pub wave_latency_ms: u32,
+    /// Total monetary cost of the wave.
+    pub total_cost: f64,
+}
+
+/// The metasearcher.
+pub struct Metasearcher<'n> {
+    net: &'n SimNet,
+    /// The discovered catalog.
+    pub catalog: Catalog,
+    /// Strategy configuration.
+    pub config: MetaConfig,
+}
+
+impl<'n> Metasearcher<'n> {
+    /// Build over a network and a discovered catalog.
+    pub fn new(net: &'n SimNet, catalog: Catalog, config: MetaConfig) -> Self {
+        Metasearcher {
+            net,
+            catalog,
+            config,
+        }
+    }
+
+    /// Extract `(field, word)` pairs for source selection from a query.
+    pub fn selection_terms(query: &Query) -> Vec<(Option<String>, String)> {
+        query
+            .all_terms()
+            .into_iter()
+            .map(term_key)
+            .collect()
+    }
+
+    /// Run the full pipeline for one query.
+    pub fn search(&self, query: &Query) -> MetaResponse {
+        // 1. Select sources.
+        let owned_terms = Self::selection_terms(query);
+        let terms: Vec<(Option<&str>, &str)> = owned_terms
+            .iter()
+            .map(|(f, t)| (f.as_deref(), t.as_str()))
+            .collect();
+        let ranked = self.config.selector.rank(&self.catalog, &terms);
+        let chosen: Vec<(usize, f64)> = ranked
+            .into_iter()
+            .take(self.config.max_sources.max(1))
+            .collect();
+        let selected: Vec<String> = chosen
+            .iter()
+            .map(|(i, _)| self.catalog.entries[*i].id.clone())
+            .collect();
+
+        // 2. Adapt queries.
+        let lcd_query = if self.config.adapt == AdaptMode::Lcd {
+            let metas: Vec<&starts_proto::SourceMetadata> = chosen
+                .iter()
+                .map(|(i, _)| &self.catalog.entries[*i].metadata)
+                .collect();
+            Some(least_common_denominator(query, &metas))
+        } else {
+            None
+        };
+        let prepared: Vec<(usize, f64, Query)> = chosen
+            .iter()
+            .map(|&(i, score)| {
+                let entry = &self.catalog.entries[i];
+                let q = match self.config.adapt {
+                    AdaptMode::Verbatim => query.clone(),
+                    AdaptMode::PerSource => {
+                        adapt_query(query, &entry.metadata, &entry.summary)
+                    }
+                    AdaptMode::Lcd => lcd_query.clone().expect("computed above"),
+                };
+                (i, score, q)
+            })
+            .collect();
+
+        // 3. Dispatch in parallel (the fan-out of Figure 1's client).
+        let client = StartsClient::new(self.net);
+        let max_belief = chosen
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
+        let mut slots: Vec<Option<SourceResult>> = Vec::new();
+        slots.resize_with(prepared.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (slot, (i, score, q)) in slots.iter_mut().zip(&prepared) {
+                let entry = &self.catalog.entries[*i];
+                let client = &client;
+                handles.push(scope.spawn(move |_| {
+                    let results = client.query(entry.query_url(), q).ok();
+                    if let Some(results) = results {
+                        *slot = Some(SourceResult {
+                            metadata: entry.metadata.clone(),
+                            results,
+                            source_weight: (score / max_belief).clamp(0.0, 1.0),
+                        });
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("dispatch thread panicked");
+            }
+        })
+        .expect("crossbeam scope");
+        let per_source: Vec<SourceResult> = slots.into_iter().flatten().collect();
+
+        // 4. Accounting: the wave runs concurrently, so the user-visible
+        // latency is the slowest selected link; costs add up.
+        let wave_latency_ms = chosen
+            .iter()
+            .map(|(i, _)| self.catalog.entries[*i].link.latency_ms)
+            .max()
+            .unwrap_or(0);
+        let total_cost: f64 = chosen
+            .iter()
+            .map(|(i, _)| self.catalog.entries[*i].link.cost_per_query)
+            .sum();
+
+        // 5. Merge.
+        let mut merged = self.config.merger.merge(&per_source);
+        merged.truncate(self.config.max_results);
+        MetaResponse {
+            merged,
+            selected,
+            per_source,
+            wave_latency_ms,
+            total_cost,
+        }
+    }
+}
+
+fn term_key(t: &QTerm) -> (Option<String>, String) {
+    let field = match t.effective_field() {
+        Field::Any => None,
+        f => Some(f.name().to_string()),
+    };
+    (field, t.value.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_index::Document;
+    use starts_net::host::wire_source;
+    use starts_net::LinkProfile;
+    use starts_proto::query::parse_ranking;
+    use starts_source::{vendors, Source, SourceConfig};
+
+    /// Three topical sources: databases, cooking, astronomy.
+    fn wire_topical_net(net: &SimNet) {
+        let mk_docs = |words: &[&str], n: usize, tag: &str| -> Vec<Document> {
+            (0..n)
+                .map(|i| {
+                    let body = format!(
+                        "{} {} {} filler{} text",
+                        words[i % words.len()],
+                        words[(i + 1) % words.len()],
+                        words[0],
+                        i
+                    );
+                    Document::new()
+                        .field("title", format!("{tag} doc {i}"))
+                        .field("body-of-text", body)
+                        .field("linkage", format!("http://{tag}/{i}"))
+                })
+                .collect()
+        };
+        let db = Source::build(
+            SourceConfig::new("DB"),
+            &mk_docs(&["databases", "queries", "transactions"], 12, "db"),
+        );
+        let food = Source::build(
+            SourceConfig::new("Food"),
+            &mk_docs(&["cooking", "recipes", "baking"], 12, "food"),
+        );
+        let stars = Source::build(
+            SourceConfig::new("Stars"),
+            &mk_docs(&["galaxies", "telescopes", "orbits"], 12, "stars"),
+        );
+        for s in [db, food, stars] {
+            wire_source(net, s, LinkProfile::default());
+        }
+    }
+
+    fn catalog_for(net: &SimNet, ids: &[&str]) -> Catalog {
+        let client = StartsClient::new(net);
+        let mut catalog = Catalog::default();
+        for id in ids {
+            catalog
+                .discover_source(
+                    &client,
+                    &format!("starts://{}/metadata", id.to_lowercase()),
+                    LinkProfile::default(),
+                    false,
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    fn ranked_query(terms: &str) -> Query {
+        Query {
+            ranking: Some(parse_ranking(terms).unwrap()),
+            ..Query::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_selects_the_right_source() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        let catalog = catalog_for(&net, &["DB", "Food", "Stars"]);
+        let meta = Metasearcher::new(
+            &net,
+            catalog,
+            MetaConfig {
+                max_sources: 1,
+                ..MetaConfig::default()
+            },
+        );
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "databases"))"#));
+        assert_eq!(resp.selected, vec!["DB".to_string()]);
+        assert!(!resp.merged.is_empty());
+        assert!(resp.merged[0].linkage.starts_with("http://db/"));
+
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "recipes"))"#));
+        assert_eq!(resp.selected, vec!["Food".to_string()]);
+    }
+
+    #[test]
+    fn fan_out_merges_multiple_sources() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        let catalog = catalog_for(&net, &["DB", "Food", "Stars"]);
+        let meta = Metasearcher::new(
+            &net,
+            catalog,
+            MetaConfig {
+                max_sources: 3,
+                ..MetaConfig::default()
+            },
+        );
+        // "text" appears everywhere: all three sources contribute.
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "text"))"#));
+        assert_eq!(resp.per_source.len(), 3);
+        let origins: std::collections::HashSet<&str> = resp
+            .merged
+            .iter()
+            .flat_map(|d| d.sources.iter().map(String::as_str))
+            .collect();
+        assert_eq!(origins.len(), 3);
+        assert!(resp.merged.len() <= 20);
+    }
+
+    #[test]
+    fn latency_is_max_cost_is_sum() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        let mut catalog = catalog_for(&net, &["DB", "Food"]);
+        catalog.entries[0].link = LinkProfile {
+            latency_ms: 100,
+            cost_per_query: 1.0,
+        };
+        catalog.entries[1].link = LinkProfile {
+            latency_ms: 700,
+            cost_per_query: 2.0,
+        };
+        let meta = Metasearcher::new(
+            &net,
+            catalog,
+            MetaConfig {
+                max_sources: 2,
+                ..MetaConfig::default()
+            },
+        );
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "text"))"#));
+        assert_eq!(resp.wave_latency_ms, 700);
+        assert!((resp.total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_end_to_end() {
+        // The full vendor fleet — Boolean-only, rank-only, 1000-scale —
+        // behind one metasearcher.
+        let net = SimNet::new();
+        let docs: Vec<Document> = (0..10)
+            .map(|i| {
+                Document::new()
+                    .field("title", format!("doc {i}"))
+                    .field(
+                        "body-of-text",
+                        format!("databases distributed systems item{i}"),
+                    )
+                    .field("linkage", format!("http://fleet/{i}"))
+            })
+            .collect();
+        for cfg in vendors::fleet() {
+            wire_source(&net, Source::build(cfg, &docs), LinkProfile::default());
+        }
+        let client = StartsClient::new(&net);
+        let mut catalog = Catalog::default();
+        for id in ["acme-src", "bolt-src", "okapi-src", "glimpse-src", "rankonly-src"] {
+            catalog
+                .discover_source(
+                    &client,
+                    &format!("starts://{id}/metadata"),
+                    LinkProfile::default(),
+                    false,
+                )
+                .unwrap();
+        }
+        let meta = Metasearcher::new(
+            &net,
+            catalog,
+            MetaConfig {
+                max_sources: 5,
+                ..MetaConfig::default()
+            },
+        );
+        let resp = meta.search(&ranked_query(
+            r#"list((body-of-text "databases") (body-of-text "distributed"))"#,
+        ));
+        // Every vendor answered (even the Boolean-only one, via
+        // adaptation), and normalization kept the 1000-scale vendor from
+        // flooding the top ranks with garbage scores.
+        assert_eq!(resp.per_source.len(), 5);
+        assert!(!resp.merged.is_empty());
+        for d in &resp.merged {
+            assert!(d.score <= 1.0 + 1e-9, "unnormalized score leaked: {}", d.score);
+        }
+    }
+
+    #[test]
+    fn lcd_mode_loses_capability() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        // Glimpse (filter-only) joins the catalog: LCD drops ranking for
+        // everyone.
+        let g = Source::build(
+            vendors::glimpse("Glim"),
+            &[Document::new()
+                .field("body-of-text", "databases here")
+                .field("linkage", "http://glim/0")],
+        );
+        wire_source(&net, g, LinkProfile::default());
+        let client = StartsClient::new(&net);
+        let mut catalog = catalog_for(&net, &["DB"]);
+        catalog
+            .discover_source(&client, "starts://glim/metadata", LinkProfile::default(), false)
+            .unwrap();
+        let meta = Metasearcher::new(
+            &net,
+            catalog,
+            MetaConfig {
+                max_sources: 2,
+                adapt: AdaptMode::Lcd,
+                ..MetaConfig::default()
+            },
+        );
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "databases"))"#));
+        // LCD stripped the ranking part; with no filter either, sources
+        // got an empty query.
+        assert!(resp.merged.is_empty());
+        // Per-source adaptation instead converts for Glimpse and keeps
+        // ranking at DB.
+        let meta = Metasearcher::new(
+            &net,
+            meta.catalog,
+            MetaConfig {
+                max_sources: 2,
+                adapt: AdaptMode::PerSource,
+                ..MetaConfig::default()
+            },
+        );
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "databases"))"#));
+        assert!(!resp.merged.is_empty());
+    }
+}

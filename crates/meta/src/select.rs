@@ -1,0 +1,400 @@
+//! Source selection: "choosing the best sources to evaluate a query"
+//! (§1), using the exported content summaries (§3.3, §4.3.2).
+//!
+//! The paper delegates the algorithms to its references: GlOSS \[7\] for
+//! Boolean queries, gGlOSS \[8\] for vector-space queries; CORI-style
+//! collection ranking comes from Callan et al. \[5\]. All are implemented
+//! here over exactly the data a STARTS summary provides (per-term
+//! document frequencies and the collection size), plus cost-aware and
+//! naive baselines for the X6 experiment.
+
+use starts_proto::summary::ContentSummary;
+
+use crate::catalog::{Catalog, CatalogEntry};
+
+/// A selection strategy: scores every catalogued source for a query
+/// (higher = more promising). Queries are presented as bags of
+/// `(field, term)` pairs — the shape of both filter and ranking terms
+/// after normalization.
+pub trait Selector: Send + Sync {
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Score one source. `terms` are `(field, word)` pairs.
+    fn score_source(
+        &self,
+        entry: &CatalogEntry,
+        catalog: &Catalog,
+        terms: &[(Option<&str>, &str)],
+    ) -> f64;
+
+    /// Rank all sources, best first. Sources scoring 0 are kept (they
+    /// rank last) so callers can still force coverage.
+    fn rank(&self, catalog: &Catalog, terms: &[(Option<&str>, &str)]) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = catalog
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, self.score_source(e, catalog, terms)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored
+    }
+}
+
+/// bGlOSS (Gravano, García-Molina, Tomasic 1994 — ref \[7\]): estimate the
+/// number of documents matching a conjunctive query under the term
+/// independence assumption:
+///
+/// `est(s, q) = n_s · Π_t (df_t(s) / n_s)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BGloss;
+
+impl Selector for BGloss {
+    fn name(&self) -> &'static str {
+        "bGlOSS"
+    }
+
+    fn score_source(
+        &self,
+        entry: &CatalogEntry,
+        _catalog: &Catalog,
+        terms: &[(Option<&str>, &str)],
+    ) -> f64 {
+        let n = f64::from(entry.summary.num_docs);
+        if n == 0.0 || terms.is_empty() {
+            return 0.0;
+        }
+        let mut est = n;
+        for (field, term) in terms {
+            est *= f64::from(summary_df(&entry.summary, *field, term)) / n;
+        }
+        est
+    }
+}
+
+/// gGlOSS (Gravano & García-Molina 1995 — ref \[8\]), `Sum(0)` flavour:
+/// the goodness of a source is the summed within-source weight mass of
+/// the query terms. With the statistics a STARTS summary exports, the
+/// per-term mass is `df_t(s) · idf_t(s)` with
+/// `idf_t(s) = ln(1 + n_s/df_t(s))`, weighted by the query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GGlossSum;
+
+impl Selector for GGlossSum {
+    fn name(&self) -> &'static str {
+        "gGlOSS-Sum"
+    }
+
+    fn score_source(
+        &self,
+        entry: &CatalogEntry,
+        _catalog: &Catalog,
+        terms: &[(Option<&str>, &str)],
+    ) -> f64 {
+        let n = f64::from(entry.summary.num_docs);
+        if n == 0.0 {
+            return 0.0;
+        }
+        terms
+            .iter()
+            .map(|(field, term)| {
+                let df = f64::from(summary_df(&entry.summary, *field, term));
+                if df == 0.0 {
+                    0.0
+                } else {
+                    df * (1.0 + n / df).ln()
+                }
+            })
+            .sum()
+    }
+}
+
+/// CORI collection ranking (Callan, Lu & Croft 1995 — ref \[5\]): a belief
+/// per source,
+///
+/// `T = df / (df + 50 + 150·cw/avg_cw)`,
+/// `I = ln((|C| + 0.5)/cf) / ln(|C| + 1)`,
+/// `belief = mean_t (b + (1-b)·T·I)` with `b = 0.4`,
+///
+/// where `cf` is the number of collections containing the term and `cw`
+/// a collection-size proxy (document count, from the summaries).
+#[derive(Debug, Clone, Copy)]
+pub struct Cori {
+    /// The default belief.
+    pub b: f64,
+}
+
+impl Default for Cori {
+    fn default() -> Self {
+        Cori { b: 0.4 }
+    }
+}
+
+impl Selector for Cori {
+    fn name(&self) -> &'static str {
+        "CORI"
+    }
+
+    fn score_source(
+        &self,
+        entry: &CatalogEntry,
+        catalog: &Catalog,
+        terms: &[(Option<&str>, &str)],
+    ) -> f64 {
+        if terms.is_empty() {
+            return 0.0;
+        }
+        let n_collections = catalog.len() as f64;
+        let avg_cw = (catalog.total_docs() as f64 / n_collections.max(1.0)).max(1.0);
+        let cw = f64::from(entry.summary.num_docs);
+        let mut belief = 0.0;
+        for (field, term) in terms {
+            let df = f64::from(summary_df(&entry.summary, *field, term));
+            let cf = catalog
+                .entries
+                .iter()
+                .filter(|e| summary_df(&e.summary, *field, term) > 0)
+                .count() as f64;
+            let t = df / (df + 50.0 + 150.0 * cw / avg_cw);
+            let i = if cf > 0.0 {
+                ((n_collections + 0.5) / cf).ln() / (n_collections + 1.0).ln()
+            } else {
+                0.0
+            };
+            belief += self.b + (1.0 - self.b) * t * i;
+        }
+        belief / terms.len() as f64
+    }
+}
+
+/// Naive baseline: prefer bigger sources, regardless of the query (what
+/// a metasearcher without summaries is reduced to).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BySize;
+
+impl Selector for BySize {
+    fn name(&self) -> &'static str {
+        "by-size"
+    }
+
+    fn score_source(
+        &self,
+        entry: &CatalogEntry,
+        _catalog: &Catalog,
+        _terms: &[(Option<&str>, &str)],
+    ) -> f64 {
+        f64::from(entry.summary.num_docs)
+    }
+}
+
+/// Cost-aware wrapper (§3.3: fees and response times matter): divides an
+/// inner selector's goodness by a cost proxy
+/// `1 + λ·latency_s + μ·fee`.
+pub struct CostAware<S> {
+    /// The goodness estimator.
+    pub inner: S,
+    /// Weight of latency (per second).
+    pub lambda: f64,
+    /// Weight of monetary cost (per unit fee).
+    pub mu: f64,
+}
+
+impl<S: Selector> Selector for CostAware<S> {
+    fn name(&self) -> &'static str {
+        "cost-aware"
+    }
+
+    fn score_source(
+        &self,
+        entry: &CatalogEntry,
+        catalog: &Catalog,
+        terms: &[(Option<&str>, &str)],
+    ) -> f64 {
+        let goodness = self.inner.score_source(entry, catalog, terms);
+        let cost = 1.0
+            + self.lambda * f64::from(entry.link.latency_ms) / 1000.0
+            + self.mu * entry.link.cost_per_query;
+        goodness / cost
+    }
+}
+
+/// Estimate df for a term in a summary regardless of stemming mismatch:
+/// if the summary is stemmed, look up the stem.
+pub fn summary_df(summary: &ContentSummary, field: Option<&str>, term: &str) -> u32 {
+    if summary.stemmed {
+        summary.df(field, &starts_text::porter_stem(term))
+    } else {
+        summary.df(field, term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_net::LinkProfile;
+    use starts_proto::summary::{SummarySection, TermSummary};
+    use starts_proto::SourceMetadata;
+
+    fn entry(id: &str, num_docs: u32, terms: &[(&str, u32)], link: LinkProfile) -> CatalogEntry {
+        CatalogEntry {
+            id: id.to_string(),
+            metadata: SourceMetadata {
+                source_id: id.to_string(),
+                ..SourceMetadata::default()
+            },
+            summary: ContentSummary {
+                num_docs,
+                sections: vec![SummarySection {
+                    field: None,
+                    language: None,
+                    terms: terms
+                        .iter()
+                        .map(|(t, df)| TermSummary {
+                            term: (*t).to_string(),
+                            total_postings: Some(u64::from(*df) * 2),
+                            doc_freq: Some(*df),
+                        })
+                        .collect(),
+                }],
+                ..ContentSummary::default()
+            },
+            sample_results: Vec::new(),
+            link,
+        }
+    }
+
+    fn catalog() -> Catalog {
+        Catalog {
+            entries: vec![
+                // CS source: "databases" very common.
+                entry(
+                    "CS",
+                    1000,
+                    &[("databases", 800), ("distributed", 300), ("cooking", 1)],
+                    LinkProfile::default(),
+                ),
+                // Cooking source: "databases" rare.
+                entry(
+                    "Food",
+                    1000,
+                    &[("databases", 5), ("cooking", 700)],
+                    LinkProfile::default(),
+                ),
+                // Small mixed source.
+                entry(
+                    "Tiny",
+                    50,
+                    &[("databases", 10), ("distributed", 10)],
+                    LinkProfile {
+                        latency_ms: 10,
+                        cost_per_query: 0.0,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn bgloss_estimates_conjunction_size() {
+        let c = catalog();
+        let terms = [(None, "databases"), (None, "distributed")];
+        let s = BGloss;
+        let cs = s.score_source(&c.entries[0], &c, &terms);
+        // 1000 · (800/1000) · (300/1000) = 240.
+        assert!((cs - 240.0).abs() < 1e-9);
+        let food = s.score_source(&c.entries[1], &c, &terms);
+        assert_eq!(food, 0.0); // no "distributed" at all
+        let ranked = s.rank(&c, &terms);
+        assert_eq!(ranked[0].0, 0, "CS source must rank first");
+    }
+
+    #[test]
+    fn ggloss_prefers_topic_source() {
+        let c = catalog();
+        let s = GGlossSum;
+        let db = s.rank(&c, &[(None, "databases")]);
+        assert_eq!(db[0].0, 0);
+        let cook = s.rank(&c, &[(None, "cooking")]);
+        assert_eq!(cook[0].0, 1);
+    }
+
+    #[test]
+    fn cori_discriminates_and_stays_bounded() {
+        let c = catalog();
+        let s = Cori::default();
+        let terms = [(None, "cooking")];
+        let food = s.score_source(&c.entries[1], &c, &terms);
+        let cs = s.score_source(&c.entries[0], &c, &terms);
+        assert!(food > cs, "{food} vs {cs}");
+        for e in &c.entries {
+            let v = s.score_source(e, &c, &terms);
+            assert!((0.0..=1.0).contains(&v), "belief out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn by_size_ignores_query() {
+        let c = catalog();
+        let s = BySize;
+        let a = s.rank(&c, &[(None, "databases")]);
+        let b = s.rank(&c, &[(None, "cooking")]);
+        assert_eq!(a, b);
+        assert_ne!(a[0].0, 2, "tiny source must not lead");
+    }
+
+    #[test]
+    fn cost_aware_demotes_expensive_sources() {
+        let mut c = catalog();
+        // Make the CS source expensive and slow (a Dialog-like service).
+        c.entries[0].link = LinkProfile {
+            latency_ms: 2000,
+            cost_per_query: 10.0,
+        };
+        let plain = GGlossSum;
+        let costed = CostAware {
+            inner: GGlossSum,
+            lambda: 1.0,
+            mu: 10.0,
+        };
+        let terms = [(None, "databases")];
+        assert_eq!(plain.rank(&c, &terms)[0].0, 0);
+        // Under cost-awareness the free Tiny source can win despite fewer
+        // matching documents.
+        let ranked = costed.rank(&c, &terms);
+        assert_ne!(ranked[0].0, 0, "expensive source still first: {ranked:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = Catalog::default();
+        assert!(BGloss.rank(&c, &[(None, "x")]).is_empty());
+        let c = catalog();
+        assert_eq!(BGloss.score_source(&c.entries[0], &c, &[]), 0.0);
+    }
+
+    #[test]
+    fn stemmed_summary_lookup() {
+        let mut summary = ContentSummary {
+            stemmed: true,
+            num_docs: 10,
+            sections: vec![SummarySection {
+                field: None,
+                language: None,
+                terms: vec![TermSummary {
+                    term: "databas".to_string(), // the stem
+                    total_postings: Some(4),
+                    doc_freq: Some(3),
+                }],
+            }],
+            ..ContentSummary::default()
+        };
+        assert_eq!(summary_df(&summary, None, "databases"), 3);
+        summary.stemmed = false;
+        assert_eq!(summary_df(&summary, None, "databases"), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! A typed STARTS client over the byte transport.
+
+use std::fmt;
+
+use starts_proto::summary::ContentSummary;
+use starts_proto::{ProtoError, Query, QueryResults, Resource, SourceMetadata};
+
+use crate::host::decode_sample;
+use crate::sim::{NetError, SimNet};
+
+/// Client-side errors: transport or protocol decoding.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Net(NetError),
+    /// The response did not decode as the expected STARTS object.
+    Proto(ProtoError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Net(e) => write!(f, "transport: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<NetError> for ClientError {
+    fn from(e: NetError) -> Self {
+        ClientError::Net(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<starts_soif::ParseError> for ClientError {
+    fn from(e: starts_soif::ParseError) -> Self {
+        ClientError::Proto(ProtoError::Soif(e))
+    }
+}
+
+/// A metasearcher's view of the network: typed STARTS operations.
+pub struct StartsClient<'a> {
+    net: &'a SimNet,
+}
+
+impl<'a> StartsClient<'a> {
+    /// Wrap a network.
+    pub fn new(net: &'a SimNet) -> Self {
+        StartsClient { net }
+    }
+
+    /// The underlying network (for accounting).
+    pub fn net(&self) -> &SimNet {
+        self.net
+    }
+
+    /// Fetch a resource descriptor (§4.3.3): the periodic
+    /// "extract the list of sources from the resources" task.
+    pub fn fetch_resource(&self, url: &str) -> Result<Resource, ClientError> {
+        let resp = self.net.request(url, b"")?;
+        let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
+        Ok(Resource::from_soif(&obj)?)
+    }
+
+    /// Fetch a source's metadata attributes (§4.3.1).
+    pub fn fetch_metadata(&self, url: &str) -> Result<SourceMetadata, ClientError> {
+        let resp = self.net.request(url, b"")?;
+        let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
+        Ok(SourceMetadata::from_soif(&obj)?)
+    }
+
+    /// Fetch a source's content summary (§4.3.2).
+    pub fn fetch_summary(&self, url: &str) -> Result<ContentSummary, ClientError> {
+        let resp = self.net.request(url, b"")?;
+        let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
+        Ok(ContentSummary::from_soif(&obj)?)
+    }
+
+    /// Fetch a source's sample-database results (§4.2).
+    pub fn fetch_sample_results(
+        &self,
+        url: &str,
+    ) -> Result<Vec<(Query, QueryResults)>, ClientError> {
+        let resp = self.net.request(url, b"")?;
+        Ok(decode_sample(&resp.bytes)?)
+    }
+
+    /// Submit a query to a source's query URL.
+    pub fn query(&self, url: &str, query: &Query) -> Result<QueryResults, ClientError> {
+        let req = starts_soif::write_object(&query.to_soif());
+        let resp = self.net.request(url, &req)?;
+        Ok(QueryResults::from_soif_stream(&resp.bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{wire_resource, wire_source};
+    use crate::sim::LinkProfile;
+    use starts_index::Document;
+    use starts_proto::query::parse_ranking;
+    use starts_source::{ResourceHost, Source, SourceConfig};
+
+    fn wire_demo_net() -> SimNet {
+        let net = SimNet::new();
+        let source = Source::build(
+            SourceConfig::new("Demo"),
+            &[Document::new()
+                .field("title", "Metasearch Notes")
+                .field("body-of-text", "ranking and merging databases results")
+                .field("linkage", "http://x/notes")],
+        );
+        wire_source(&net, source, LinkProfile::default());
+        let r1 = Source::build(SourceConfig::new("M1"), &[]);
+        let r2 = Source::build(SourceConfig::new("M2"), &[]);
+        wire_resource(
+            &net,
+            ResourceHost::new(vec![r1, r2]),
+            "starts://res",
+            LinkProfile::default(),
+        );
+        net
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let net = wire_demo_net();
+        let client = StartsClient::new(&net);
+        let meta = client.fetch_metadata("starts://demo/metadata").unwrap();
+        assert_eq!(meta.source_id, "Demo");
+        let summary = client
+            .fetch_summary("starts://demo/content-summary")
+            .unwrap();
+        assert_eq!(summary.num_docs, 1);
+        let samples = client
+            .fetch_sample_results("starts://demo/sample-results")
+            .unwrap();
+        assert_eq!(samples.len(), 4);
+        let resource = client.fetch_resource("starts://res").unwrap();
+        assert_eq!(resource.source_ids().count(), 2);
+        let q = Query {
+            ranking: Some(parse_ranking(r#"list("databases")"#).unwrap()),
+            ..Query::default()
+        };
+        let results = client.query("starts://demo/query", &q).unwrap();
+        assert_eq!(results.documents.len(), 1);
+    }
+
+    #[test]
+    fn unknown_url_is_a_net_error() {
+        let net = SimNet::new();
+        let client = StartsClient::new(&net);
+        assert!(matches!(
+            client.fetch_metadata("starts://ghost/metadata"),
+            Err(ClientError::Net(NetError::UnknownUrl(_)))
+        ));
+    }
+
+    #[test]
+    fn accounting_visible_through_client() {
+        let net = wire_demo_net();
+        let client = StartsClient::new(&net);
+        client.fetch_metadata("starts://demo/metadata").unwrap();
+        client
+            .fetch_summary("starts://demo/content-summary")
+            .unwrap();
+        assert_eq!(client.net().stats().requests, 2);
+    }
+}

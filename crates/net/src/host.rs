@@ -1,0 +1,278 @@
+//! Publishing sources and resources on the simulated network.
+//!
+//! Each source serves the four URLs its metadata advertises:
+//!
+//! * `<base>/query` — POST an `@SQuery`, receive an `@SQResults` stream;
+//! * `<base>/metadata` — receive the `@SMetaAttributes` object;
+//! * `<base>/content-summary` — receive the `@SContentSummary` object;
+//! * `<base>/sample-results` — receive the sample queries and their
+//!   results, as alternating `@SQuery` / `@SQResults`-stream sections.
+//!
+//! A resource additionally serves `<resource-url>` → `@SResource`.
+//! Queries submitted to a member's `/query` URL honour the query's
+//! `AdditionalSources` by fanning out inside the resource (Figure 1).
+
+use std::sync::Arc;
+
+use starts_proto::{Query, QueryResults};
+use starts_source::{ResourceHost, Source};
+
+use crate::sim::{LinkProfile, SimNet};
+
+/// Serve an error-free empty result for malformed queries — STARTS has
+/// no error channel (§4), so a source's only options are "execute what
+/// you can" or "return nothing".
+fn empty_results(source_id: &str) -> Vec<u8> {
+    QueryResults {
+        sources: vec![source_id.to_string()],
+        ..QueryResults::default()
+    }
+    .to_soif_stream()
+}
+
+fn parse_query(request: &[u8]) -> Option<Query> {
+    let obj = starts_soif::parse_one(request, starts_soif::ParseMode::Lenient).ok()?;
+    Query::from_soif(&obj).ok()
+}
+
+/// Publish one stand-alone source. Returns the query URL.
+pub fn wire_source(net: &SimNet, source: Source, profile: LinkProfile) -> String {
+    let base = source.config().base_url.clone();
+    let query_url = source.config().query_url();
+    let source = Arc::new(source);
+
+    let metadata_bytes = starts_soif::write_object(&source.metadata().to_soif());
+    net.register(
+        format!("{base}/metadata"),
+        profile,
+        Arc::new(move |_: &[u8]| metadata_bytes.clone()),
+    );
+
+    let summary_bytes = starts_soif::write_object(&source.content_summary().to_soif());
+    net.register(
+        format!("{base}/content-summary"),
+        profile,
+        Arc::new(move |_: &[u8]| summary_bytes.clone()),
+    );
+
+    let sample_bytes = encode_sample(&source.sample_results());
+    net.register(
+        format!("{base}/sample-results"),
+        profile,
+        Arc::new(move |_: &[u8]| sample_bytes.clone()),
+    );
+
+    {
+        let source = Arc::clone(&source);
+        net.register(
+            query_url.clone(),
+            profile,
+            Arc::new(move |request: &[u8]| match parse_query(request) {
+                Some(q) => source.execute(&q).to_soif_stream(),
+                None => empty_results(source.id()),
+            }),
+        );
+    }
+    query_url
+}
+
+/// Publish a whole resource: every member source's endpoints (with
+/// resource-level fan-out on the query endpoints) plus the resource
+/// descriptor at `resource_url`.
+pub fn wire_resource(
+    net: &SimNet,
+    host: ResourceHost,
+    resource_url: impl Into<String>,
+    profile: LinkProfile,
+) {
+    let descriptor_bytes = starts_soif::write_object(&host.descriptor().to_soif());
+    net.register(
+        resource_url.into(),
+        profile,
+        Arc::new(move |_: &[u8]| descriptor_bytes.clone()),
+    );
+    let host = Arc::new(host);
+    // Per-member static endpoints, then fan-out-capable query endpoints.
+    for source in host.sources() {
+        let base = source.config().base_url.clone();
+        let metadata_bytes = starts_soif::write_object(&source.metadata().to_soif());
+        net.register(
+            format!("{base}/metadata"),
+            profile,
+            Arc::new(move |_: &[u8]| metadata_bytes.clone()),
+        );
+        let summary_bytes = starts_soif::write_object(&source.content_summary().to_soif());
+        net.register(
+            format!("{base}/content-summary"),
+            profile,
+            Arc::new(move |_: &[u8]| summary_bytes.clone()),
+        );
+        let sample_bytes = encode_sample(&source.sample_results());
+        net.register(
+            format!("{base}/sample-results"),
+            profile,
+            Arc::new(move |_: &[u8]| sample_bytes.clone()),
+        );
+    }
+    for source in host.sources() {
+        let id = source.id().to_string();
+        let url = source.config().query_url();
+        let host = Arc::clone(&host);
+        net.register(
+            url,
+            profile,
+            Arc::new(move |request: &[u8]| match parse_query(request) {
+                Some(q) => host
+                    .execute_at(&id, &q)
+                    .map(|r| r.to_soif_stream())
+                    .unwrap_or_else(|| empty_results(&id)),
+                None => empty_results(&id),
+            }),
+        );
+    }
+}
+
+/// Encode sample results: alternating `@SQuery` and result streams.
+pub fn encode_sample(samples: &[(Query, QueryResults)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (q, r) in samples {
+        out.extend_from_slice(&starts_soif::write_object(&q.to_soif()));
+        out.push(b'\n');
+        out.extend_from_slice(&r.to_soif_stream());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Decode a sample-results payload.
+pub fn decode_sample(bytes: &[u8]) -> Result<Vec<(Query, QueryResults)>, starts_proto::ProtoError> {
+    let objects = starts_soif::parse(bytes, starts_soif::ParseMode::Strict)?;
+    let mut out: Vec<(Query, QueryResults)> = Vec::new();
+    for obj in objects {
+        match obj.template.as_str() {
+            "SQuery" => out.push((Query::from_soif(&obj)?, QueryResults::default())),
+            "SQResults" => {
+                if let Some(last) = out.last_mut() {
+                    last.1 = QueryResults::from_header(&obj)?;
+                }
+            }
+            "SQRDocument" => {
+                if let Some(last) = out.last_mut() {
+                    last.1
+                        .documents
+                        .push(starts_proto::ResultDocument::from_soif(&obj)?);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_index::Document;
+    use starts_proto::query::parse_ranking;
+    use starts_source::SourceConfig;
+
+    fn docs() -> Vec<Document> {
+        vec![Document::new()
+            .field("title", "Networked Retrieval")
+            .field("body-of-text", "metasearch over databases")
+            .field("linkage", "http://x/1")]
+    }
+
+    #[test]
+    fn wired_source_serves_all_endpoints() {
+        let net = SimNet::new();
+        let source = Source::build(SourceConfig::new("S"), &docs());
+        let query_url = wire_source(&net, source, LinkProfile::default());
+        assert_eq!(query_url, "starts://s/query");
+        for path in ["metadata", "content-summary", "sample-results", "query"] {
+            assert!(net.knows(&format!("starts://s/{path}")), "{path} missing");
+        }
+        // Metadata parses.
+        let r = net.request("starts://s/metadata", b"").unwrap();
+        let obj = starts_soif::parse_one(&r.bytes, starts_soif::ParseMode::Strict).unwrap();
+        let m = starts_proto::SourceMetadata::from_soif(&obj).unwrap();
+        assert_eq!(m.source_id, "S");
+    }
+
+    #[test]
+    fn query_over_the_wire() {
+        let net = SimNet::new();
+        let source = Source::build(SourceConfig::new("S"), &docs());
+        let url = wire_source(&net, source, LinkProfile::default());
+        let q = Query {
+            ranking: Some(parse_ranking(r#"list("databases")"#).unwrap()),
+            ..Query::default()
+        };
+        let req = starts_soif::write_object(&q.to_soif());
+        let resp = net.request(&url, &req).unwrap();
+        let results = QueryResults::from_soif_stream(&resp.bytes).unwrap();
+        assert_eq!(results.documents.len(), 1);
+        assert_eq!(results.documents[0].linkage(), Some("http://x/1"));
+    }
+
+    #[test]
+    fn malformed_query_gets_empty_results_not_an_error() {
+        let net = SimNet::new();
+        let source = Source::build(SourceConfig::new("S"), &docs());
+        let url = wire_source(&net, source, LinkProfile::default());
+        let resp = net.request(&url, b"this is not soif").unwrap();
+        let results = QueryResults::from_soif_stream(&resp.bytes).unwrap();
+        assert!(results.documents.is_empty());
+    }
+
+    #[test]
+    fn sample_round_trip() {
+        let samples = starts_source::sample::sample_results(&SourceConfig::new("S"));
+        let bytes = encode_sample(&samples);
+        let back = decode_sample(&bytes).unwrap();
+        assert_eq!(back.len(), samples.len());
+        for ((q1, r1), (q2, r2)) in samples.iter().zip(&back) {
+            assert_eq!(q1, q2);
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn wired_resource_fans_out() {
+        let net = SimNet::new();
+        let s1 = Source::build(
+            SourceConfig::new("R1"),
+            &[Document::new()
+                .field("body-of-text", "databases one")
+                .field("linkage", "http://x/a")],
+        );
+        let s2 = Source::build(
+            SourceConfig::new("R2"),
+            &[Document::new()
+                .field("body-of-text", "databases two")
+                .field("linkage", "http://x/b")],
+        );
+        wire_resource(
+            &net,
+            ResourceHost::new(vec![s1, s2]),
+            "starts://dialog",
+            LinkProfile::default(),
+        );
+        // The descriptor is served.
+        let r = net.request("starts://dialog", b"").unwrap();
+        let obj = starts_soif::parse_one(&r.bytes, starts_soif::ParseMode::Strict).unwrap();
+        let desc = starts_proto::Resource::from_soif(&obj).unwrap();
+        assert_eq!(desc.source_ids().count(), 2);
+        // One query to R1 naming R2 reaches both members.
+        let q = Query {
+            ranking: Some(parse_ranking(r#"list("databases")"#).unwrap()),
+            additional_sources: vec!["R2".to_string()],
+            ..Query::default()
+        };
+        let req = starts_soif::write_object(&q.to_soif());
+        let resp = net.request("starts://r1/query", &req).unwrap();
+        let results = QueryResults::from_soif_stream(&resp.bytes).unwrap();
+        assert_eq!(results.documents.len(), 2);
+        assert_eq!(results.sources.len(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! `starts-net` — a sessionless, stateless transport simulation.
+//!
+//! §4: "all communication with the sources is sessionless in our
+//! protocol, and the sources are stateless." What transport to use
+//! "generated some heated debate during the STARTS workshop", and the
+//! protocol deliberately fixes only the information exchanged, not the
+//! carrier. This crate therefore provides an in-process carrier with the
+//! observable properties that matter for the metasearch experiments:
+//!
+//! * every request is a self-contained byte payload → byte response
+//!   (statelessness is enforced *by construction*: there is no
+//!   connection or session type to hold);
+//! * each endpoint URL has a **link profile** — simulated latency and a
+//!   per-query monetary cost — modelling §3.3's "some of these sources
+//!   might charge for their use; some of the sources might have large
+//!   response times";
+//! * global and per-URL accounting of requests, simulated latency and
+//!   cost, which the source-selection experiments (X6) read out.
+//!
+//! [`client::StartsClient`] layers typed STARTS operations (fetch
+//! metadata, fetch summary, query) over the byte transport, and
+//! [`host::wire_source`]/[`host::wire_resource`] publish sources built
+//! with `starts-source` at their advertised URLs.
+
+pub mod client;
+pub mod host;
+pub mod sim;
+
+pub use client::StartsClient;
+pub use sim::{LinkProfile, NetError, NetStats, Response, SimNet};

@@ -1,0 +1,259 @@
+//! The byte-level transport simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A request handler bound to a URL. Handlers must be stateless with
+/// respect to the transport: they see only the request bytes.
+pub trait Endpoint: Send + Sync {
+    /// Handle one self-contained request.
+    fn handle(&self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> Endpoint for F
+where
+    F: Fn(&[u8]) -> Vec<u8> + Send + Sync,
+{
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// The link profile of an endpoint: §3.3's cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Simulated round-trip latency in milliseconds.
+    pub latency_ms: u32,
+    /// Monetary cost charged per query (0 for free sources).
+    pub cost_per_query: f64,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile {
+            latency_ms: 50,
+            cost_per_query: 0.0,
+        }
+    }
+}
+
+/// One completed exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Response payload.
+    pub bytes: Vec<u8>,
+    /// Simulated latency incurred.
+    pub latency_ms: u32,
+    /// Cost charged.
+    pub cost: f64,
+}
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No endpoint is registered at the URL.
+    UnknownUrl(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownUrl(u) => write!(f, "no endpoint at {u:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetStats {
+    /// Total requests served.
+    pub requests: u64,
+    /// Sum of simulated latencies (serialized view; parallel fan-out
+    /// latency is the max per wave, which callers compute themselves).
+    pub total_latency_ms: u64,
+    /// Total cost charged.
+    pub total_cost: f64,
+    /// Total bytes sent in requests.
+    pub bytes_sent: u64,
+    /// Total bytes received in responses.
+    pub bytes_received: u64,
+}
+
+struct Registered {
+    profile: LinkProfile,
+    endpoint: Arc<dyn Endpoint>,
+}
+
+/// The simulated network: a URL → endpoint table with accounting.
+#[derive(Default)]
+pub struct SimNet {
+    endpoints: RwLock<HashMap<String, Registered>>,
+    stats: RwLock<NetStats>,
+    per_url: RwLock<HashMap<String, NetStats>>,
+}
+
+impl SimNet {
+    /// An empty network.
+    pub fn new() -> Self {
+        SimNet::default()
+    }
+
+    /// Register (or replace) an endpoint at a URL.
+    pub fn register(&self, url: impl Into<String>, profile: LinkProfile, endpoint: Arc<dyn Endpoint>) {
+        self.endpoints
+            .write()
+            .insert(url.into(), Registered { profile, endpoint });
+    }
+
+    /// Whether a URL is served.
+    pub fn knows(&self, url: &str) -> bool {
+        self.endpoints.read().contains_key(url)
+    }
+
+    /// Issue a sessionless request.
+    pub fn request(&self, url: &str, body: &[u8]) -> Result<Response, NetError> {
+        // Clone the handler out so long-running handlers do not hold the
+        // table lock (requests may fan out from multiple threads).
+        let (endpoint, profile) = {
+            let table = self.endpoints.read();
+            let reg = table
+                .get(url)
+                .ok_or_else(|| NetError::UnknownUrl(url.to_string()))?;
+            (Arc::clone(&reg.endpoint), reg.profile)
+        };
+        let bytes = endpoint.handle(body);
+        let response = Response {
+            latency_ms: profile.latency_ms,
+            cost: profile.cost_per_query,
+            bytes,
+        };
+        let record = |s: &mut NetStats| {
+            s.requests += 1;
+            s.total_latency_ms += u64::from(response.latency_ms);
+            s.total_cost += response.cost;
+            s.bytes_sent += body.len() as u64;
+            s.bytes_received += response.bytes.len() as u64;
+        };
+        record(&mut self.stats.write());
+        record(self.per_url.write().entry(url.to_string()).or_default());
+        Ok(response)
+    }
+
+    /// Global statistics snapshot.
+    pub fn stats(&self) -> NetStats {
+        self.stats.read().clone()
+    }
+
+    /// Statistics for one URL.
+    pub fn url_stats(&self, url: &str) -> NetStats {
+        self.per_url.read().get(url).cloned().unwrap_or_default()
+    }
+
+    /// Reset all accounting (between experiment runs).
+    pub fn reset_stats(&self) {
+        *self.stats.write() = NetStats::default();
+        self.per_url.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo() -> Arc<dyn Endpoint> {
+        Arc::new(|req: &[u8]| req.to_vec())
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let net = SimNet::new();
+        net.register("starts://s/query", LinkProfile::default(), echo());
+        let r = net.request("starts://s/query", b"hello").unwrap();
+        assert_eq!(r.bytes, b"hello");
+        assert_eq!(r.latency_ms, 50);
+    }
+
+    #[test]
+    fn unknown_url() {
+        let net = SimNet::new();
+        assert_eq!(
+            net.request("starts://nope", b""),
+            Err(NetError::UnknownUrl("starts://nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn latency_and_cost_accounting() {
+        let net = SimNet::new();
+        net.register(
+            "starts://cheap/query",
+            LinkProfile {
+                latency_ms: 10,
+                cost_per_query: 0.0,
+            },
+            echo(),
+        );
+        net.register(
+            "starts://dialog/query",
+            LinkProfile {
+                latency_ms: 300,
+                cost_per_query: 2.5,
+            },
+            echo(),
+        );
+        net.request("starts://cheap/query", b"q1").unwrap();
+        net.request("starts://dialog/query", b"q2").unwrap();
+        net.request("starts://dialog/query", b"q3").unwrap();
+        let s = net.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.total_latency_ms, 10 + 300 + 300);
+        assert!((s.total_cost - 5.0).abs() < 1e-9);
+        assert_eq!(s.bytes_sent, 6);
+        let d = net.url_stats("starts://dialog/query");
+        assert_eq!(d.requests, 2);
+        assert!((d.total_cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_accounting() {
+        let net = SimNet::new();
+        net.register("u", LinkProfile::default(), echo());
+        net.request("u", b"x").unwrap();
+        net.reset_stats();
+        assert_eq!(net.stats(), NetStats::default());
+        assert_eq!(net.url_stats("u"), NetStats::default());
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let net = Arc::new(SimNet::new());
+        net.register("u", LinkProfile::default(), echo());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let net = Arc::clone(&net);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        net.request("u", b"ping").unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(net.stats().requests, 400);
+    }
+
+    #[test]
+    fn statelessness_by_construction() {
+        // The only way to talk to an endpoint is a one-shot request; two
+        // identical requests get identical answers.
+        let net = SimNet::new();
+        net.register("u", LinkProfile::default(), echo());
+        let a = net.request("u", b"same").unwrap();
+        let b = net.request("u", b"same").unwrap();
+        assert_eq!(a, b);
+    }
+}

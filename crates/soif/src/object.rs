@@ -1,0 +1,149 @@
+//! The in-memory SOIF object model.
+
+use std::fmt;
+
+/// One attribute: a name and a raw byte value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoifAttr {
+    /// Attribute name (e.g. `FilterExpression`). SOIF names are ASCII and
+    /// contain no `{`, `}`, `:` or whitespace.
+    pub name: String,
+    /// Raw value bytes. STARTS values are UTF-8 text, but SOIF itself is
+    /// byte-counted and permits arbitrary bytes.
+    pub value: Vec<u8>,
+}
+
+/// A SOIF object: a template type, an optional URL (Harvest's object
+/// identity slot, unused by the paper's STARTS examples), and an ordered —
+/// possibly repeating — attribute list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SoifObject {
+    /// Template type without the leading `@` (e.g. `SQuery`).
+    pub template: String,
+    /// Harvest puts an object URL after `{`; STARTS objects leave it empty.
+    pub url: Option<String>,
+    /// Ordered attribute list.
+    pub attrs: Vec<SoifAttr>,
+}
+
+impl SoifObject {
+    /// Create an empty object of the given template type.
+    pub fn new(template: impl Into<String>) -> Self {
+        SoifObject {
+            template: template.into(),
+            url: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Append a string-valued attribute.
+    pub fn push_str(&mut self, name: impl Into<String>, value: impl AsRef<str>) -> &mut Self {
+        self.attrs.push(SoifAttr {
+            name: name.into(),
+            value: value.as_ref().as_bytes().to_vec(),
+        });
+        self
+    }
+
+    /// Append a raw-bytes attribute.
+    pub fn push_bytes(&mut self, name: impl Into<String>, value: Vec<u8>) -> &mut Self {
+        self.attrs.push(SoifAttr {
+            name: name.into(),
+            value,
+        });
+        self
+    }
+
+    /// First value for `name`, as UTF-8 text. SOIF attribute names are
+    /// matched case-insensitively (the paper itself mixes `Linkage` and
+    /// `linkage`).
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get_bytes(name)
+            .and_then(|b| std::str::from_utf8(b).ok())
+    }
+
+    /// First value for `name`, raw.
+    pub fn get_bytes(&self, name: &str) -> Option<&[u8]> {
+        self.attrs
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
+            .map(|a| a.value.as_slice())
+    }
+
+    /// All values for `name` (repeated attributes), as UTF-8 text.
+    /// Non-UTF-8 values are skipped.
+    pub fn get_all_str<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.attrs
+            .iter()
+            .filter(move |a| a.name.eq_ignore_ascii_case(name))
+            .filter_map(|a| std::str::from_utf8(&a.value).ok())
+    }
+
+    /// Whether the object has an attribute named `name`.
+    pub fn has(&self, name: &str) -> bool {
+        self.attrs
+            .iter()
+            .any(|a| a.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of attributes (counting repeats).
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the object has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in order, for section-style iteration (Example 11's
+    /// repeated `Field`/`Language`/`TermDocFreq` groups).
+    pub fn iter(&self) -> impl Iterator<Item = &SoifAttr> {
+        self.attrs.iter()
+    }
+}
+
+impl fmt::Display for SoifObject {
+    /// Display renders the exact wire encoding (lossy only if values are
+    /// not UTF-8).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = crate::write::write_object(self);
+        f.write_str(&String::from_utf8_lossy(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_repeated_attributes() {
+        let mut o = SoifObject::new("SContentSummary");
+        o.push_str("Field", "title");
+        o.push_str("Language", "en-US");
+        o.push_str("TermDocFreq", "\"algorithm\" 100 53");
+        o.push_str("Field", "title");
+        o.push_str("Language", "es");
+        o.push_str("TermDocFreq", "\"algoritmo\" 23 11");
+        assert_eq!(o.get_all_str("Field").count(), 2);
+        assert_eq!(o.get_str("Language"), Some("en-US"));
+        let langs: Vec<_> = o.get_all_str("Language").collect();
+        assert_eq!(langs, vec!["en-US", "es"]);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut o = SoifObject::new("SQRDocument");
+        o.push_str("linkage", "http://x/");
+        assert_eq!(o.get_str("Linkage"), Some("http://x/"));
+        assert!(o.has("LINKAGE"));
+    }
+
+    #[test]
+    fn missing_attribute() {
+        let o = SoifObject::new("SQuery");
+        assert_eq!(o.get_str("Nope"), None);
+        assert!(!o.has("Nope"));
+        assert!(o.is_empty());
+    }
+}

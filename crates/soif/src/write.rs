@@ -1,0 +1,103 @@
+//! SOIF serialization with exact byte counts.
+
+use crate::object::SoifObject;
+
+/// Serialize one object to its wire form:
+///
+/// ```text
+/// @Template{ url
+/// Name{len}: value
+/// }
+/// ```
+///
+/// The byte count in braces is exactly `value.len()`; a single space
+/// separates the colon from the value (as in every example in the paper),
+/// and a newline terminates each attribute. Multi-line values are embedded
+/// verbatim — the count makes them parseable.
+pub fn write_object(obj: &SoifObject) -> Vec<u8> {
+    let mut cap = obj.template.len() + 8;
+    for a in &obj.attrs {
+        cap += a.name.len() + a.value.len() + 16;
+    }
+    let mut out = Vec::with_capacity(cap);
+    out.push(b'@');
+    out.extend_from_slice(obj.template.as_bytes());
+    out.push(b'{');
+    if let Some(url) = &obj.url {
+        out.push(b' ');
+        out.extend_from_slice(url.as_bytes());
+    }
+    out.push(b'\n');
+    for a in &obj.attrs {
+        out.extend_from_slice(a.name.as_bytes());
+        out.push(b'{');
+        out.extend_from_slice(a.value.len().to_string().as_bytes());
+        out.extend_from_slice(b"}: ");
+        out.extend_from_slice(&a.value);
+        out.push(b'\n');
+    }
+    out.extend_from_slice(b"}\n");
+    out
+}
+
+/// Serialize a stream of objects, separated by a blank line (the layout
+/// Examples 8–9 use between `@SQResults` and its `@SQRDocument`s).
+pub fn write_stream(objects: &[SoifObject]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, obj) in objects.iter().enumerate() {
+        if i > 0 {
+            out.push(b'\n');
+        }
+        out.extend_from_slice(&write_object(obj));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_encoding() {
+        let mut o = SoifObject::new("SQuery");
+        o.push_str("Version", "STARTS 1.0");
+        o.push_str("DropStopWords", "T");
+        let got = String::from_utf8(write_object(&o)).unwrap();
+        assert_eq!(
+            got,
+            "@SQuery{\nVersion{10}: STARTS 1.0\nDropStopWords{1}: T\n}\n"
+        );
+    }
+
+    #[test]
+    fn multi_line_value_embedded_verbatim() {
+        let mut o = SoifObject::new("SQRDocument");
+        o.push_str("TermStats", "line one\nline two");
+        let got = String::from_utf8(write_object(&o)).unwrap();
+        assert_eq!(got, "@SQRDocument{\nTermStats{17}: line one\nline two\n}\n");
+    }
+
+    #[test]
+    fn url_slot() {
+        let mut o = SoifObject::new("FILE");
+        o.url = Some("http://example.org/doc".to_string());
+        let got = String::from_utf8(write_object(&o)).unwrap();
+        assert!(got.starts_with("@FILE{ http://example.org/doc\n"));
+    }
+
+    #[test]
+    fn empty_value() {
+        let mut o = SoifObject::new("SQuery");
+        o.push_str("RankingExpression", "");
+        let got = String::from_utf8(write_object(&o)).unwrap();
+        assert!(got.contains("RankingExpression{0}: \n"));
+    }
+
+    #[test]
+    fn stream_layout() {
+        let a = SoifObject::new("SQResults");
+        let b = SoifObject::new("SQRDocument");
+        let got = String::from_utf8(write_stream(&[a, b])).unwrap();
+        assert_eq!(got, "@SQResults{\n}\n\n@SQRDocument{\n}\n");
+    }
+}

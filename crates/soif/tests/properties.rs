@@ -1,0 +1,67 @@
+//! Property-based tests: SOIF encode/parse is a lossless round trip for
+//! arbitrary objects, including repeated names, empty values, newlines and
+//! raw bytes in values.
+
+use proptest::prelude::*;
+use starts_soif::{parse, parse_one, write_object, ParseMode, SoifAttr, SoifObject};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,24}"
+}
+
+fn arb_value() -> impl Strategy<Value = Vec<u8>> {
+    // Arbitrary bytes including newlines (the byte count must carry them).
+    proptest::collection::vec(any::<u8>(), 0..200)
+}
+
+fn arb_object() -> impl Strategy<Value = SoifObject> {
+    (
+        arb_name(),
+        proptest::option::of("[!-~]{1,40}"),
+        proptest::collection::vec((arb_name(), arb_value()), 0..12),
+    )
+        .prop_map(|(template, url, attrs)| SoifObject {
+            template,
+            url,
+            attrs: attrs
+                .into_iter()
+                .map(|(name, value)| SoifAttr { name, value })
+                .collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_parse_round_trip(obj in arb_object()) {
+        let bytes = write_object(&obj);
+        let back = parse_one(&bytes, ParseMode::Strict).expect("own encoding parses");
+        prop_assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn stream_round_trip(objs in proptest::collection::vec(arb_object(), 0..5)) {
+        let mut bytes = Vec::new();
+        for o in &objs {
+            bytes.extend_from_slice(&write_object(o));
+            bytes.push(b'\n');
+        }
+        let back = parse(&bytes, ParseMode::Strict).expect("stream parses");
+        prop_assert_eq!(back, objs);
+    }
+
+    /// The parser never panics on arbitrary input (it may error).
+    #[test]
+    fn parser_total(junk in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = parse(&junk, ParseMode::Strict);
+        let _ = parse(&junk, ParseMode::Lenient);
+    }
+
+    /// Lenient mode parses everything strict mode parses, identically.
+    #[test]
+    fn lenient_extends_strict(obj in arb_object()) {
+        let bytes = write_object(&obj);
+        let strict = parse_one(&bytes, ParseMode::Strict).unwrap();
+        let lenient = parse_one(&bytes, ParseMode::Lenient).unwrap();
+        prop_assert_eq!(strict, lenient);
+    }
+}

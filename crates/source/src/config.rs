@@ -1,0 +1,101 @@
+//! Per-source configuration: the declared capabilities plus the engine
+//! personality behind them.
+
+use starts_index::EngineConfig;
+use starts_proto::metadata::{FieldModCombo, QueryParts};
+use starts_proto::{Field, Modifier};
+use starts_text::LangTag;
+
+/// Everything that defines one source's observable identity.
+#[derive(Debug, Clone)]
+pub struct SourceConfig {
+    /// The source id (e.g. `Source-1`).
+    pub id: String,
+    /// Human-readable name (`source-name` metadata).
+    pub name: String,
+    /// The engine personality: tokenizer, case mode, stemming, stop
+    /// words, ranking algorithm, fuzzy-op behaviour, thesaurus.
+    pub engine: EngineConfig,
+    /// Optional Basic-1 fields the source supports for querying, beyond
+    /// the required ones (Title, Date/time-last-modified, Any, Linkage).
+    pub supported_fields: Vec<Field>,
+    /// Modifiers the source supports.
+    pub supported_modifiers: Vec<Modifier>,
+    /// Legal field–modifier combinations; empty = any supported field
+    /// with any supported modifier.
+    pub field_modifier_combinations: Vec<FieldModCombo>,
+    /// Which query parts the source accepts (`R`, `F` or `RF`).
+    pub query_parts: QueryParts,
+    /// Languages of the source's documents.
+    pub languages: Vec<LangTag>,
+    /// Base URL for the source's endpoints (query, summary, sample).
+    pub base_url: String,
+    /// Whether the exported content summary qualifies words with their
+    /// field ("if possible … accompanied by their corresponding field
+    /// information").
+    pub summary_fields_qualified: bool,
+    /// Cap on exported summary terms per section (0 = unlimited). Real
+    /// sources truncated their summaries; the compression experiment
+    /// (X9) sweeps this.
+    pub summary_max_terms: usize,
+}
+
+impl SourceConfig {
+    /// A source with the given id and an otherwise default personality
+    /// (Acme-1 cosine ranking, alnum tokenizer, minimal English stops,
+    /// everything Basic-1 supported).
+    pub fn new(id: impl Into<String>) -> Self {
+        let id = id.into();
+        SourceConfig {
+            name: id.clone(),
+            base_url: format!("starts://{}", id.to_ascii_lowercase()),
+            id,
+            engine: EngineConfig::default(),
+            supported_fields: vec![Field::Author, Field::BodyOfText, Field::Languages],
+            supported_modifiers: vec![
+                Modifier::Cmp(starts_proto::attrs::CmpOp::Eq),
+                Modifier::Stem,
+                Modifier::Phonetic,
+                Modifier::RightTruncation,
+                Modifier::LeftTruncation,
+            ],
+            field_modifier_combinations: Vec::new(),
+            query_parts: QueryParts::Both,
+            languages: vec![LangTag::en_us()],
+            summary_fields_qualified: true,
+            summary_max_terms: 0,
+        }
+    }
+
+    /// URL where queries are submitted (`linkage` metadata).
+    pub fn query_url(&self) -> String {
+        format!("{}/query", self.base_url)
+    }
+
+    /// URL of the content summary (`content-summary-linkage`).
+    pub fn summary_url(&self) -> String {
+        format!("{}/content-summary", self.base_url)
+    }
+
+    /// URL of the sample-database results (`SampleDatabaseResults`).
+    pub fn sample_url(&self) -> String {
+        format!("{}/sample-results", self.base_url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_permissive() {
+        let c = SourceConfig::new("Source-1");
+        assert_eq!(c.id, "Source-1");
+        assert!(c.query_parts.supports_filter());
+        assert!(c.query_parts.supports_ranking());
+        assert!(c.supported_fields.contains(&Field::Author));
+        assert_eq!(c.query_url(), "starts://source-1/query");
+        assert_eq!(c.summary_url(), "starts://source-1/content-summary");
+        assert_eq!(c.sample_url(), "starts://source-1/sample-results");
+    }
+}

@@ -1,0 +1,331 @@
+//! Query execution at one source: rewrite → translate → search → answer
+//! specification → result construction (§4.1.2, §4.2).
+
+use starts_index::{DocId, Hit};
+use starts_proto::query::{SortKey, SortOrder};
+use starts_proto::{Field, Query, QueryResults, ResultDocument, TermStatsEntry};
+
+use crate::rewrite::rewrite_query;
+use crate::source::Source;
+use crate::extensions::{translate_filter_ext, translate_ranking_ext};
+use crate::translate::translate_term;
+
+/// Execute `query` at `source`.
+pub fn execute(source: &Source, query: &Query) -> QueryResults {
+    let engine = source.engine();
+    let analyzer = engine.index().analyzer();
+    let is_stop = |w: &str| analyzer.is_stop_word(w);
+    let rewritten = rewrite_query(
+        query,
+        source.metadata(),
+        &is_stop,
+        analyzer.config().can_disable_stop_words,
+    );
+    let filter_ir = rewritten
+        .filter
+        .as_ref()
+        .map(|f| translate_filter_ext(f, analyzer));
+    let ranking_ir = rewritten
+        .ranking
+        .as_ref()
+        .map(|r| translate_ranking_ext(r, analyzer));
+    let mut hits = engine.search(filter_ir.as_ref(), ranking_ir.as_ref());
+
+    // Answer specification: minimum score …
+    if query.answer.min_doc_score.is_finite() {
+        hits.retain(|h| match h.score {
+            Some(s) => s >= query.answer.min_doc_score,
+            None => true, // unscored (filter-only) results are kept
+        });
+    }
+    // … sort order …
+    sort_hits(source, &mut hits, &query.answer.sort_by);
+    // … and result-set cap.
+    hits.truncate(query.answer.max_documents);
+
+    // Build the per-document result objects.
+    let ranking_terms: Vec<_> = rewritten
+        .ranking
+        .as_ref()
+        .map(|r| r.terms().into_iter().cloned().collect())
+        .unwrap_or_default();
+    let documents = hits
+        .iter()
+        .map(|h| build_document(source, h, query, &ranking_terms))
+        .collect();
+
+    QueryResults {
+        sources: vec![source.id().to_string()],
+        actual_filter: rewritten.filter,
+        actual_ranking: rewritten.ranking,
+        documents,
+    }
+}
+
+fn sort_hits(source: &Source, hits: &mut [Hit], sort_by: &[SortKey]) {
+    let index = source.engine().index();
+    hits.sort_by(|a, b| {
+        for key in sort_by {
+            let ord = match &key.field {
+                None => b
+                    .score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+                Some(f) => {
+                    let fid = index.schema().get(f.name());
+                    let (va, vb) = match fid {
+                        Some(fid) => (
+                            index.doc_field(a.doc, fid).unwrap_or(""),
+                            index.doc_field(b.doc, fid).unwrap_or(""),
+                        ),
+                        None => ("", ""),
+                    };
+                    va.cmp(vb)
+                }
+            };
+            let ord = match (key.order, key.field.is_some()) {
+                // Score keys already compare descending; field keys
+                // compare ascending. Flip per the requested order.
+                (SortOrder::Descending, true) => ord.reverse(),
+                (SortOrder::Ascending, false) => ord.reverse(),
+                _ => ord,
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.doc.cmp(&b.doc)
+    });
+}
+
+fn build_document(
+    source: &Source,
+    hit: &Hit,
+    query: &Query,
+    ranking_terms: &[starts_proto::WeightedTerm],
+) -> ResultDocument {
+    let index = source.engine().index();
+    // Linkage is always returned (§4.1.2), then the requested fields.
+    let mut fields: Vec<(Field, String)> = Vec::with_capacity(1 + query.answer.fields.len());
+    push_field(index, hit.doc, &Field::Linkage, &mut fields);
+    for f in &query.answer.fields {
+        if f != &Field::Linkage {
+            push_field(index, hit.doc, f, &mut fields);
+        }
+    }
+    let term_stats = ranking_terms
+        .iter()
+        .map(|wt| {
+            let stat = source
+                .engine()
+                .term_stats(hit.doc, &translate_term(&wt.term));
+            TermStatsEntry {
+                term: wt.term.clone(),
+                term_frequency: stat.tf,
+                term_weight: stat.weight,
+                document_frequency: stat.df,
+            }
+        })
+        .collect();
+    ResultDocument {
+        raw_score: hit.score,
+        sources: vec![source.id().to_string()],
+        fields,
+        term_stats,
+        doc_size_kb: index.doc_byte_size(hit.doc).div_ceil(1024),
+        doc_count: u64::from(index.doc_token_count(hit.doc)),
+    }
+}
+
+fn push_field(
+    index: &starts_index::Index,
+    doc: DocId,
+    field: &Field,
+    out: &mut Vec<(Field, String)>,
+) {
+    if let Some(fid) = index.schema().get(field.name()) {
+        if let Some(value) = index.doc_field(doc, fid) {
+            out.push((field.clone(), value.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SourceConfig;
+    use starts_index::Document;
+    use starts_proto::query::{parse_filter, parse_ranking, print_filter, print_ranking};
+    use starts_proto::AnswerSpec;
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            Document::new()
+                .field("title", "Deductive and Object-Oriented Database Systems")
+                .field("author", "Jeffrey D. Ullman")
+                .field(
+                    "body-of-text",
+                    "databases databases databases distributed comparison",
+                )
+                .field("date-last-modified", "1996-03-31")
+                .field("linkage", "http://example.org/dood.ps"),
+            Document::new()
+                .field("title", "Database Research Achievements")
+                .field("author", "Silberschatz Stonebraker Ullman")
+                .field("body-of-text", "databases research directions")
+                .field("date-last-modified", "1996-09-15")
+                .field("linkage", "http://example.org/lagunita.ps"),
+            Document::new()
+                .field("title", "Compiler Construction")
+                .field("author", "Alfred Aho")
+                .field("body-of-text", "parsing lexing and code generation")
+                .field("date-last-modified", "1995-05-05")
+                .field("linkage", "http://example.org/dragon.ps"),
+        ]
+    }
+
+    fn source() -> Source {
+        Source::build(SourceConfig::new("Source-1"), &corpus())
+    }
+
+    fn query(filter: &str, ranking: &str) -> Query {
+        Query {
+            filter: (!filter.is_empty()).then(|| parse_filter(filter).unwrap()),
+            ranking: (!ranking.is_empty()).then(|| parse_ranking(ranking).unwrap()),
+            answer: AnswerSpec {
+                fields: vec![Field::Title, Field::Author],
+                ..AnswerSpec::default()
+            },
+            ..Query::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_filter_and_ranking() {
+        let s = source();
+        let q = query(
+            r#"(author "Ullman")"#,
+            r#"list((body-of-text "databases") (body-of-text "distributed"))"#,
+        );
+        let r = s.execute(&q);
+        assert_eq!(r.sources, vec!["Source-1".to_string()]);
+        assert_eq!(r.documents.len(), 2);
+        // Doc 0 mentions both ranking words, repeatedly — it leads.
+        assert_eq!(r.documents[0].linkage(), Some("http://example.org/dood.ps"));
+        assert!(r.documents[0].raw_score.unwrap() >= r.documents[1].raw_score.unwrap());
+        // Echoed actual query.
+        assert_eq!(
+            print_filter(r.actual_filter.as_ref().unwrap()),
+            r#"(author "Ullman")"#
+        );
+    }
+
+    #[test]
+    fn answer_fields_returned_with_linkage_first() {
+        let s = source();
+        let q = query(r#"(author "Aho")"#, "");
+        let r = s.execute(&q);
+        assert_eq!(r.documents.len(), 1);
+        let d = &r.documents[0];
+        assert_eq!(d.fields[0].0, Field::Linkage);
+        assert_eq!(d.field(&Field::Title), Some("Compiler Construction"));
+        assert_eq!(d.field(&Field::Author), Some("Alfred Aho"));
+        // Filter-only: no scores (the Boolean model).
+        assert_eq!(d.raw_score, None);
+    }
+
+    #[test]
+    fn term_stats_present_for_ranked_queries() {
+        let s = source();
+        let q = query("", r#"list((body-of-text "databases"))"#);
+        let r = s.execute(&q);
+        let top = &r.documents[0];
+        assert_eq!(top.term_stats.len(), 1);
+        let st = &top.term_stats[0];
+        assert_eq!(st.term.value.text, "databases");
+        assert_eq!(st.term_frequency, 3); // "databases" ×3 in doc 0 body
+        assert_eq!(st.document_frequency, 2);
+        assert!(st.term_weight > 0.0);
+        assert!(top.doc_count > 0);
+    }
+
+    #[test]
+    fn min_score_and_max_documents() {
+        let s = source();
+        let mut q = query("", r#"list((body-of-text "databases"))"#);
+        q.answer.max_documents = 1;
+        let r = s.execute(&q);
+        assert_eq!(r.documents.len(), 1);
+        let mut q = query("", r#"list((body-of-text "databases"))"#);
+        q.answer.min_doc_score = 2.0; // above Acme-1's maximum
+        let r = s.execute(&q);
+        assert!(r.documents.is_empty());
+    }
+
+    #[test]
+    fn date_filter() {
+        let s = source();
+        let q = query(r#"(date-last-modified > "1996-08-01")"#, "");
+        let r = s.execute(&q);
+        assert_eq!(r.documents.len(), 1);
+        assert_eq!(
+            r.documents[0].linkage(),
+            Some("http://example.org/lagunita.ps")
+        );
+    }
+
+    #[test]
+    fn sort_by_title_ascending() {
+        let s = source();
+        let mut q = query(r#"("databases")"#, "");
+        q.answer.sort_by = vec![SortKey {
+            field: Some(Field::Title),
+            order: SortOrder::Ascending,
+        }];
+        let r = s.execute(&q);
+        let titles: Vec<&str> = r
+            .documents
+            .iter()
+            .map(|d| d.field(&Field::Title).unwrap())
+            .collect();
+        let mut sorted = titles.clone();
+        sorted.sort_unstable();
+        assert_eq!(titles, sorted);
+    }
+
+    #[test]
+    fn stop_word_terms_eliminated_and_reported() {
+        // "and" is a stop word for the default analyzer: a ranking
+        // expression containing it comes back without it.
+        let s = source();
+        let q = query("", r#"list("and" (body-of-text "databases"))"#);
+        let r = s.execute(&q);
+        assert_eq!(
+            print_ranking(r.actual_ranking.as_ref().unwrap()),
+            r#"(body-of-text "databases")"#
+        );
+    }
+
+    #[test]
+    fn empty_query_returns_empty_results() {
+        let s = source();
+        let q = Query::default();
+        let r = s.execute(&q);
+        assert!(r.documents.is_empty());
+        assert!(r.actual_filter.is_none());
+        assert!(r.actual_ranking.is_none());
+    }
+
+    #[test]
+    fn soif_stream_of_real_results_round_trips() {
+        let s = source();
+        let q = query(
+            r#"(author "Ullman")"#,
+            r#"list((body-of-text "databases"))"#,
+        );
+        let r = s.execute(&q);
+        let bytes = r.to_soif_stream();
+        let back = QueryResults::from_soif_stream(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+}

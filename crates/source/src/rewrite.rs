@@ -1,0 +1,424 @@
+//! Query rewriting: from the query a client *sent* to the query the
+//! source *actually executes*.
+//!
+//! §4.2: "sources are not required to support all of the features of the
+//! query language … a source might decide to ignore certain parts of a
+//! query that it receives … each source returns the query that it
+//! actually processed together with the query results" (Example 7). The
+//! same mechanism covers stop words: Example 8's Source-1 "eliminated the
+//! term `(body-of-text "distributed")` from the ranking expression.
+//! Presumably, the word 'distributed' is a stop word at Source-1."
+//!
+//! The rewrite policy, applied deterministically:
+//!
+//! 1. If the source does not support the query part at all
+//!    (`QueryPartsSupported`), the whole expression is dropped.
+//! 2. A term whose **field** is unsupported is dropped.
+//! 3. An unsupported **modifier** is removed from its term (the term
+//!    itself survives: the source "may freely interpret" terms).
+//! 4. An illegal field–modifier **combination** keeps the field and
+//!    drops the offending modifiers.
+//! 5. A term whose word is a **stop word** at the source is dropped when
+//!    the query (or the engine, if it cannot disable elimination) calls
+//!    for stop-word removal.
+//! 6. A term in a **language** the source does not hold is dropped.
+//! 7. Operators heal around dropped terms: `a and ∅ → a`,
+//!    `∅ or b → b`, `a and-not ∅ → a`, `∅ and-not b → ∅`,
+//!    `prox(∅, r) → r`.
+
+use starts_proto::metadata::SourceMetadata;
+use starts_proto::query::{FilterExpr, QTerm, RankExpr, WeightedTerm};
+use starts_proto::{Modifier, Query};
+use starts_text::LangTag;
+
+/// The outcome of rewriting one query against one source's capabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rewritten {
+    /// The filter the source will execute (`ActualFilterExpression`).
+    pub filter: Option<FilterExpr>,
+    /// The ranking expression the source will execute
+    /// (`ActualRankingExpression`).
+    pub ranking: Option<RankExpr>,
+}
+
+/// Context for term-level decisions.
+pub(crate) struct RewriteCtx<'a> {
+    pub metadata: &'a SourceMetadata,
+    /// Whether stop words are eliminated from the query.
+    pub drop_stop_words: bool,
+    /// The source's stop-word test.
+    pub is_stop_word: &'a dyn Fn(&str) -> bool,
+    /// Default language of unqualified l-strings.
+    pub default_language: LangTag,
+}
+
+impl RewriteCtx<'_> {
+    /// Rewrite a term: `None` = dropped entirely.
+    fn term(&self, t: &QTerm) -> Option<QTerm> {
+        // Language check: a source holding only en-US cannot evaluate an
+        // `es` term. Unqualified terms use the query default; sources
+        // with no declared languages accept everything.
+        if !self.metadata.source_languages.is_empty() {
+            let lang = t.value.lang_or(&self.default_language);
+            let held = self
+                .metadata
+                .source_languages
+                .iter()
+                .any(|sl| lang.matches(sl) || sl.matches(lang));
+            if !held {
+                return None;
+            }
+        }
+        // Field support.
+        let field = t.effective_field();
+        if !self.metadata.supports_field(&field) {
+            return None;
+        }
+        // Stop-word elimination.
+        if self.drop_stop_words && (self.is_stop_word)(&t.value.text) {
+            return None;
+        }
+        // Modifier support, then combination legality.
+        let supported: Vec<Modifier> = t
+            .modifiers
+            .iter()
+            .filter(|m| self.metadata.supports_modifier(m))
+            .cloned()
+            .collect();
+        let legal: Vec<Modifier> = if self.metadata.combination_legal(&field, &supported) {
+            supported
+        } else {
+            // Keep only modifiers individually legal with the field.
+            supported
+                .into_iter()
+                .filter(|m| self.metadata.combination_legal(&field, std::slice::from_ref(m)))
+                .collect()
+        };
+        Some(QTerm {
+            field: t.field.clone(),
+            modifiers: legal,
+            value: t.value.clone(),
+        })
+    }
+
+    fn filter(&self, e: &FilterExpr) -> Option<FilterExpr> {
+        match e {
+            FilterExpr::Term(t) => self.term(t).map(FilterExpr::Term),
+            FilterExpr::And(a, b) => heal2(self.filter(a), self.filter(b), FilterExpr::and, true),
+            FilterExpr::Or(a, b) => heal2(self.filter(a), self.filter(b), FilterExpr::or, true),
+            FilterExpr::AndNot(a, b) => match (self.filter(a), self.filter(b)) {
+                (Some(a), Some(b)) => Some(FilterExpr::and_not(a, b)),
+                // Without the positive side, there is no query.
+                (None, _) => None,
+                (Some(a), None) => Some(a),
+            },
+            FilterExpr::Prox(l, spec, r) => match (self.term(l), self.term(r)) {
+                (Some(l), Some(r)) => Some(FilterExpr::Prox(l, *spec, r)),
+                (Some(t), None) | (None, Some(t)) => Some(FilterExpr::Term(t)),
+                (None, None) => None,
+            },
+        }
+    }
+
+    fn weighted(&self, t: &WeightedTerm) -> Option<WeightedTerm> {
+        self.term(&t.term).map(|term| WeightedTerm {
+            term,
+            weight: t.weight,
+        })
+    }
+
+    fn ranking(&self, e: &RankExpr) -> Option<RankExpr> {
+        match e {
+            RankExpr::Term(t) => self.weighted(t).map(RankExpr::Term),
+            RankExpr::List(items) => {
+                let kept: Vec<RankExpr> = items.iter().filter_map(|i| self.ranking(i)).collect();
+                if kept.is_empty() {
+                    None
+                } else if kept.len() == 1 {
+                    Some(kept.into_iter().next().expect("len checked"))
+                } else {
+                    Some(RankExpr::List(kept))
+                }
+            }
+            RankExpr::And(a, b) => heal2(
+                self.ranking(a),
+                self.ranking(b),
+                |a, b| RankExpr::And(Box::new(a), Box::new(b)),
+                true,
+            ),
+            RankExpr::Or(a, b) => heal2(
+                self.ranking(a),
+                self.ranking(b),
+                |a, b| RankExpr::Or(Box::new(a), Box::new(b)),
+                true,
+            ),
+            RankExpr::AndNot(a, b) => match (self.ranking(a), self.ranking(b)) {
+                (Some(a), Some(b)) => Some(RankExpr::AndNot(Box::new(a), Box::new(b))),
+                (None, _) => None,
+                (Some(a), None) => Some(a),
+            },
+            RankExpr::Prox(l, spec, r) => match (self.weighted(l), self.weighted(r)) {
+                (Some(l), Some(r)) => Some(RankExpr::Prox(l, *spec, r)),
+                (Some(t), None) | (None, Some(t)) => Some(RankExpr::Term(t)),
+                (None, None) => None,
+            },
+        }
+    }
+}
+
+fn heal2<T>(a: Option<T>, b: Option<T>, combine: impl FnOnce(T, T) -> T, heal: bool) -> Option<T> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(combine(a, b)),
+        (Some(x), None) | (None, Some(x)) if heal => Some(x),
+        _ => None,
+    }
+}
+
+/// Rewrite a query against a source's declared capabilities.
+///
+/// `is_stop_word` is the source's own stop list (the engine's), and
+/// `can_disable_stop_words` its `TurnOffStopWords` capability.
+pub fn rewrite_query(
+    query: &Query,
+    metadata: &SourceMetadata,
+    is_stop_word: &dyn Fn(&str) -> bool,
+    can_disable_stop_words: bool,
+) -> Rewritten {
+    let drop_stop_words = if can_disable_stop_words {
+        query.drop_stop_words
+    } else {
+        true
+    };
+    let ctx = RewriteCtx {
+        metadata,
+        drop_stop_words,
+        is_stop_word,
+        default_language: query.default_language.clone(),
+    };
+    let filter = if metadata.query_parts_supported.supports_filter() {
+        query.filter.as_ref().and_then(|f| ctx.filter(f))
+    } else {
+        None
+    };
+    let ranking = if metadata.query_parts_supported.supports_ranking() {
+        query.ranking.as_ref().and_then(|r| ctx.ranking(r))
+    } else {
+        None
+    };
+    Rewritten { filter, ranking }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_proto::attrs::CmpOp;
+    use starts_proto::metadata::QueryParts;
+    use starts_proto::query::{parse_filter, parse_ranking, print_filter, print_ranking};
+    use starts_proto::Field;
+
+    fn meta() -> SourceMetadata {
+        SourceMetadata {
+            source_id: "S".to_string(),
+            fields_supported: vec![(Field::Author, vec![]), (Field::BodyOfText, vec![])],
+            modifiers_supported: vec![
+                (Modifier::Stem, vec![]),
+                (Modifier::Cmp(CmpOp::Eq), vec![]),
+            ],
+            ..SourceMetadata::default()
+        }
+    }
+
+    fn no_stops(_: &str) -> bool {
+        false
+    }
+
+    fn rewrite(q: &Query, m: &SourceMetadata) -> Rewritten {
+        rewrite_query(q, m, &no_stops, true)
+    }
+
+    #[test]
+    fn example7_source_without_ranking_drops_it() {
+        let q = Query {
+            filter: Some(
+                parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
+            ),
+            ranking: Some(
+                parse_ranking(
+                    r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
+                )
+                .unwrap(),
+            ),
+            ..Query::default()
+        };
+        let m = SourceMetadata {
+            query_parts_supported: QueryParts::Filter,
+            ..meta()
+        };
+        let r = rewrite(&q, &m);
+        assert!(r.ranking.is_none());
+        assert_eq!(
+            print_filter(&r.filter.unwrap()),
+            r#"((author "Ullman") and (title stem "databases"))"#
+        );
+    }
+
+    #[test]
+    fn example8_stop_word_removed_from_ranking() {
+        // At Source-1 "distributed" is a stop word: the actual ranking
+        // expression becomes (body-of-text "databases").
+        let q = Query {
+            ranking: Some(
+                parse_ranking(
+                    r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
+                )
+                .unwrap(),
+            ),
+            drop_stop_words: true,
+            ..Query::default()
+        };
+        let stop = |w: &str| w == "distributed";
+        let r = rewrite_query(&q, &meta(), &stop, true);
+        assert_eq!(
+            print_ranking(&r.ranking.unwrap()),
+            r#"(body-of-text "databases")"#
+        );
+    }
+
+    #[test]
+    fn stop_words_kept_when_disabled_and_supported() {
+        let q = Query {
+            ranking: Some(parse_ranking(r#"list("the" "who")"#).unwrap()),
+            drop_stop_words: false,
+            ..Query::default()
+        };
+        let stop = |w: &str| w == "the" || w == "who";
+        // Source honours TurnOffStopWords.
+        let r = rewrite_query(&q, &meta(), &stop, true);
+        assert!(r.ranking.is_some());
+        // Source that cannot disable elimination drops both terms.
+        let r = rewrite_query(&q, &meta(), &stop, false);
+        assert!(r.ranking.is_none());
+    }
+
+    #[test]
+    fn unsupported_field_drops_term_and_heals_and() {
+        // `abstract` is not supported; the AND heals to the author term.
+        let q = Query::filter_only(
+            parse_filter(r#"((author "Ullman") and (abstract "databases"))"#).unwrap(),
+        );
+        let r = rewrite(&q, &meta());
+        assert_eq!(print_filter(&r.filter.unwrap()), r#"(author "Ullman")"#);
+    }
+
+    #[test]
+    fn unsupported_modifier_stripped_from_term() {
+        // Phonetic is not supported: the term survives without it.
+        let q = Query::filter_only(parse_filter(r#"(author phonetic "Ullman")"#).unwrap());
+        let r = rewrite(&q, &meta());
+        assert_eq!(print_filter(&r.filter.unwrap()), r#"(author "Ullman")"#);
+    }
+
+    #[test]
+    fn illegal_combination_strips_modifier() {
+        use starts_proto::metadata::FieldModCombo;
+        // stem is only legal on body-of-text, not author.
+        let m = SourceMetadata {
+            field_modifier_combinations: vec![FieldModCombo {
+                field: Field::BodyOfText,
+                modifiers: vec![Modifier::Stem],
+            }],
+            ..meta()
+        };
+        let q = Query::filter_only(parse_filter(r#"(author stem "Ullman")"#).unwrap());
+        let r = rewrite(&q, &m);
+        assert_eq!(print_filter(&r.filter.unwrap()), r#"(author "Ullman")"#);
+        // On body-of-text the modifier is kept.
+        let q = Query::filter_only(parse_filter(r#"(body-of-text stem "databases")"#).unwrap());
+        let r = rewrite(&q, &m);
+        assert_eq!(
+            print_filter(&r.filter.unwrap()),
+            r#"(body-of-text stem "databases")"#
+        );
+    }
+
+    #[test]
+    fn and_not_healing_rules() {
+        // Positive side dropped → whole expression gone.
+        let q = Query::filter_only(
+            parse_filter(r#"((abstract "x") and-not (author "y"))"#).unwrap(),
+        );
+        assert_eq!(rewrite(&q, &meta()).filter, None);
+        // Negative side dropped → positive side alone.
+        let q = Query::filter_only(
+            parse_filter(r#"((author "x") and-not (abstract "y"))"#).unwrap(),
+        );
+        assert_eq!(
+            print_filter(&rewrite(&q, &meta()).filter.unwrap()),
+            r#"(author "x")"#
+        );
+    }
+
+    #[test]
+    fn prox_degrades_to_surviving_term() {
+        let q = Query::filter_only(
+            parse_filter(r#"((author "x") prox[2,T] (abstract "y"))"#).unwrap(),
+        );
+        assert_eq!(
+            print_filter(&rewrite(&q, &meta()).filter.unwrap()),
+            r#"(author "x")"#
+        );
+    }
+
+    #[test]
+    fn language_mismatch_drops_term() {
+        let m = SourceMetadata {
+            source_languages: vec![LangTag::en_us()],
+            ..meta()
+        };
+        let q = Query::filter_only(
+            parse_filter(r#"((author "Ullman") or (author [es "datos"]))"#).unwrap(),
+        );
+        let r = rewrite(&q, &m);
+        assert_eq!(print_filter(&r.filter.unwrap()), r#"(author "Ullman")"#);
+        // A bilingual source keeps both.
+        let m2 = SourceMetadata {
+            source_languages: vec![LangTag::en_us(), LangTag::es()],
+            ..meta()
+        };
+        let r = rewrite(&q, &m2);
+        assert!(matches!(r.filter, Some(FilterExpr::Or(_, _))));
+    }
+
+    #[test]
+    fn singleton_list_collapses() {
+        let q = Query {
+            ranking: Some(parse_ranking(r#"list((abstract "x") (author "y"))"#).unwrap()),
+            ..Query::default()
+        };
+        let r = rewrite(&q, &meta());
+        assert_eq!(print_ranking(&r.ranking.unwrap()), r#"(author "y")"#);
+    }
+
+    #[test]
+    fn required_fields_always_pass() {
+        let q = Query::filter_only(
+            parse_filter(r#"((title "x") and (date-last-modified > "1996-01-01"))"#).unwrap(),
+        );
+        let r = rewrite(&q, &meta());
+        // Title passes (required); the > modifier is Cmp, supported.
+        let printed = print_filter(&r.filter.unwrap());
+        assert!(printed.contains("title"), "{printed}");
+        assert!(printed.contains('>'), "{printed}");
+    }
+
+    #[test]
+    fn everything_unsupported_yields_empty_query() {
+        let m = SourceMetadata {
+            query_parts_supported: QueryParts::Ranking,
+            ..meta()
+        };
+        let q = Query::filter_only(parse_filter(r#"(title "x")"#).unwrap());
+        let r = rewrite(&q, &m);
+        assert!(r.filter.is_none() && r.ranking.is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! The sample database and sample queries (§4.2).
+//!
+//! "We are asking sources to at least provide the query results for a
+//! given sample document collection and a given set of queries as part
+//! of their metadata. … the metasearchers would treat each source as a
+//! 'black box' that receives queries and produces document ranks …
+//! metasearchers might be able to draw some conclusions on how to
+//! calibrate the query results."
+//!
+//! The sample collection is fixed and public; every source runs the
+//! fixed sample queries over it *with its own engine personality* and
+//! publishes the results. A metasearcher comparing two sources' sample
+//! results on identical documents learns how their score scales relate
+//! (experiment X10).
+
+use starts_index::Document;
+use starts_proto::query::{parse_ranking, AnswerSpec};
+use starts_proto::{Field, Query, QueryResults};
+
+use crate::config::SourceConfig;
+use crate::source::Source;
+
+/// The standard sample collection: a small, diverse, fixed document set.
+/// Designed so that sample queries produce graded relevance (different
+/// tf/df patterns) rather than ties.
+pub fn sample_collection() -> Vec<Document> {
+    vec![
+        Document::new()
+            .field("title", "Distributed Database Systems Survey")
+            .field("author", "Sample Author One")
+            .field(
+                "body-of-text",
+                "distributed databases replicate data across sites and process \
+                 distributed queries with two phase commit",
+            )
+            .field("linkage", "sample://doc-1"),
+        Document::new()
+            .field("title", "Information Retrieval Evaluation")
+            .field("author", "Sample Author Two")
+            .field(
+                "body-of-text",
+                "retrieval systems rank documents by relevance and evaluation \
+                 uses precision and recall measures",
+            )
+            .field("linkage", "sample://doc-2"),
+        Document::new()
+            .field("title", "Query Processing in Database Engines")
+            .field("author", "Sample Author Three")
+            .field(
+                "body-of-text",
+                "query optimization chooses plans for database queries and \
+                 indexes accelerate query processing",
+            )
+            .field("linkage", "sample://doc-3"),
+        Document::new()
+            .field("title", "Networking Protocols Overview")
+            .field("author", "Sample Author Four")
+            .field(
+                "body-of-text",
+                "protocols define message formats and distributed network \
+                 services depend on routing",
+            )
+            .field("linkage", "sample://doc-4"),
+        Document::new()
+            .field("title", "Compilers and Interpreters")
+            .field("author", "Sample Author Five")
+            .field(
+                "body-of-text",
+                "compilers translate programs and interpreters execute them \
+                 directly with dynamic dispatch",
+            )
+            .field("linkage", "sample://doc-5"),
+        Document::new()
+            .field("title", "Database Transaction Recovery")
+            .field("author", "Sample Author Six")
+            .field(
+                "body-of-text",
+                "transactions guarantee atomicity and databases recover with \
+                 logs after failures of databases",
+            )
+            .field("linkage", "sample://doc-6"),
+    ]
+}
+
+/// The standard sample queries: single-term, multi-term and weighted
+/// ranking expressions over the sample collection.
+pub fn sample_queries() -> Vec<Query> {
+    let mk = |ranking: &str| Query {
+        ranking: Some(parse_ranking(ranking).unwrap()),
+        answer: AnswerSpec {
+            fields: vec![Field::Title],
+            ..AnswerSpec::default()
+        },
+        ..Query::default()
+    };
+    vec![
+        mk(r#"list((body-of-text "databases"))"#),
+        mk(r#"list((body-of-text "distributed") (body-of-text "databases"))"#),
+        mk(r#"list((body-of-text "query") (body-of-text "retrieval"))"#),
+        mk(r#"list(("protocols" 0.8) ("databases" 0.2))"#),
+    ]
+}
+
+/// Run the sample queries over the sample collection under `config`'s
+/// engine personality — the content a source serves at its
+/// `SampleDatabaseResults` URL.
+pub fn sample_results(config: &SourceConfig) -> Vec<(Query, QueryResults)> {
+    let sample_source = Source::build(
+        SourceConfig {
+            id: config.id.clone(),
+            name: config.name.clone(),
+            base_url: config.base_url.clone(),
+            ..SourceConfig {
+                engine: config.engine.clone(),
+                ..SourceConfig::new(&config.id)
+            }
+        },
+        &sample_collection(),
+    );
+    sample_queries()
+        .into_iter()
+        .map(|q| {
+            let r = sample_source.execute(&q);
+            (q, r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_collection_is_fixed_and_diverse() {
+        let docs = sample_collection();
+        assert_eq!(docs.len(), 6);
+        // Every doc has the core fields.
+        for d in &docs {
+            assert!(d.get("title").is_some());
+            assert!(d.get("linkage").is_some());
+            assert!(d.get("body-of-text").is_some());
+        }
+    }
+
+    #[test]
+    fn sample_results_reflect_personality() {
+        // Two sources with different ranking algorithms produce different
+        // score scales over the SAME sample data — the §3.2 phenomenon,
+        // now observable through the sample results.
+        let acme = SourceConfig::new("Acme");
+        let mut vendor = SourceConfig::new("Vendor");
+        vendor.engine.ranking_id = "Vendor-K".to_string();
+        let acme_results = sample_results(&acme);
+        let vendor_results = sample_results(&vendor);
+        assert_eq!(acme_results.len(), vendor_results.len());
+        let acme_top = acme_results[0].1.documents[0].raw_score.unwrap();
+        let vendor_top = vendor_results[0].1.documents[0].raw_score.unwrap();
+        assert!(acme_top <= 1.0);
+        assert!((vendor_top - 1000.0).abs() < 1e-9);
+        // But both rank the same documents (same data, related formulas).
+        assert_eq!(
+            acme_results[0].1.documents[0].linkage(),
+            vendor_results[0].1.documents[0].linkage()
+        );
+    }
+
+    #[test]
+    fn every_sample_query_has_results() {
+        let results = sample_results(&SourceConfig::new("S"));
+        assert_eq!(results.len(), 4);
+        for (q, r) in &results {
+            assert!(q.ranking.is_some());
+            assert!(!r.documents.is_empty(), "no results for {q:?}");
+        }
+    }
+}

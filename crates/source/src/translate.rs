@@ -1,0 +1,167 @@
+//! Translation from protocol ASTs ([`starts_proto::query`]) to the engine
+//! IR ([`starts_index`]).
+//!
+//! This is the boundary between "what STARTS says" and "what a concrete
+//! engine executes": protocol fields become engine field names, protocol
+//! modifiers become match specifications, weights pass through.
+
+use starts_index::{BoolNode, CmpOp as EngineCmp, RankNode, TermMatch, TermSpec};
+use starts_proto::attrs::CmpOp;
+use starts_proto::query::{FilterExpr, QTerm, RankExpr, WeightedTerm};
+use starts_proto::{Field, Modifier};
+
+/// Translate a protocol term to an engine term spec.
+pub fn translate_term(t: &QTerm) -> TermSpec {
+    let field = match t.effective_field() {
+        Field::Any => None,
+        f => Some(f.name().to_string()),
+    };
+    let mut spec = TermSpec {
+        field,
+        term: t.value.text.clone(),
+        matches: Vec::new(),
+        cmp: None,
+    };
+    for m in &t.modifiers {
+        match m {
+            Modifier::Cmp(op) => spec.cmp = Some(translate_cmp(*op)),
+            Modifier::Stem => spec.matches.push(TermMatch::Stem),
+            Modifier::Phonetic => spec.matches.push(TermMatch::Phonetic),
+            Modifier::Thesaurus => spec.matches.push(TermMatch::Thesaurus),
+            Modifier::RightTruncation => spec.matches.push(TermMatch::RightTrunc),
+            Modifier::LeftTruncation => spec.matches.push(TermMatch::LeftTrunc),
+            Modifier::CaseSensitive => spec.matches.push(TermMatch::CaseSensitive),
+            // Modifiers from other attribute sets have no engine
+            // equivalent; the rewrite stage should have removed them, and
+            // an engine that still sees one "freely interprets" it as
+            // absent.
+            Modifier::Other(_) => {}
+        }
+    }
+    spec
+}
+
+fn translate_cmp(op: CmpOp) -> EngineCmp {
+    match op {
+        CmpOp::Lt => EngineCmp::Lt,
+        CmpOp::Le => EngineCmp::Le,
+        CmpOp::Eq => EngineCmp::Eq,
+        CmpOp::Ge => EngineCmp::Ge,
+        CmpOp::Gt => EngineCmp::Gt,
+        CmpOp::Ne => EngineCmp::Ne,
+    }
+}
+
+/// Translate a filter expression to the engine's Boolean IR.
+pub fn translate_filter(e: &FilterExpr) -> BoolNode {
+    match e {
+        FilterExpr::Term(t) => BoolNode::Term(translate_term(t)),
+        FilterExpr::And(a, b) => BoolNode::and(translate_filter(a), translate_filter(b)),
+        FilterExpr::Or(a, b) => BoolNode::or(translate_filter(a), translate_filter(b)),
+        FilterExpr::AndNot(a, b) => BoolNode::and_not(translate_filter(a), translate_filter(b)),
+        FilterExpr::Prox(l, spec, r) => BoolNode::Prox {
+            left: translate_term(l),
+            right: translate_term(r),
+            distance: spec.distance,
+            ordered: spec.ordered,
+        },
+    }
+}
+
+fn translate_weighted(t: &WeightedTerm) -> RankNode {
+    RankNode::Term {
+        spec: translate_term(&t.term),
+        weight: t.effective_weight(),
+    }
+}
+
+/// Translate a ranking expression to the engine's ranking IR.
+pub fn translate_ranking(e: &RankExpr) -> RankNode {
+    match e {
+        RankExpr::Term(t) => translate_weighted(t),
+        RankExpr::List(items) => RankNode::List(items.iter().map(translate_ranking).collect()),
+        RankExpr::And(a, b) => {
+            RankNode::And(vec![translate_ranking(a), translate_ranking(b)])
+        }
+        RankExpr::Or(a, b) => RankNode::Or(vec![translate_ranking(a), translate_ranking(b)]),
+        RankExpr::AndNot(a, b) => RankNode::AndNot(
+            Box::new(translate_ranking(a)),
+            Box::new(translate_ranking(b)),
+        ),
+        RankExpr::Prox(l, spec, r) => RankNode::Prox {
+            left: Box::new(translate_weighted(l)),
+            right: Box::new(translate_weighted(r)),
+            distance: spec.distance,
+            ordered: spec.ordered,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_proto::query::{parse_filter, parse_ranking};
+
+    #[test]
+    fn term_translation() {
+        let f = parse_filter(r#"(title stem "databases")"#).unwrap();
+        let FilterExpr::Term(t) = &f else { panic!() };
+        let spec = translate_term(t);
+        assert_eq!(spec.field.as_deref(), Some("title"));
+        assert_eq!(spec.term, "databases");
+        assert_eq!(spec.matches, vec![TermMatch::Stem]);
+        assert_eq!(spec.cmp, None);
+    }
+
+    #[test]
+    fn any_field_translates_to_none() {
+        let f = parse_filter(r#""databases""#).unwrap();
+        let FilterExpr::Term(t) = &f else { panic!() };
+        assert_eq!(translate_term(t).field, None);
+    }
+
+    #[test]
+    fn cmp_translation() {
+        let f = parse_filter(r#"(date-last-modified >= "1996-01-01")"#).unwrap();
+        let FilterExpr::Term(t) = &f else { panic!() };
+        let spec = translate_term(t);
+        assert_eq!(spec.cmp, Some(EngineCmp::Ge));
+        assert!(spec.matches.is_empty());
+    }
+
+    #[test]
+    fn filter_tree_shape_preserved() {
+        let f = parse_filter(r#"((("a") or ("b")) and-not ("c" prox[2,F] "d"))"#).unwrap();
+        let b = translate_filter(&f);
+        let BoolNode::AndNot(l, r) = b else { panic!() };
+        assert!(matches!(*l, BoolNode::Or(_, _)));
+        let BoolNode::Prox { distance, ordered, .. } = *r else {
+            panic!()
+        };
+        assert_eq!(distance, 2);
+        assert!(!ordered);
+    }
+
+    #[test]
+    fn ranking_weights_pass_through() {
+        let r = parse_ranking(r#"list(("x" 0.7) "y")"#).unwrap();
+        let RankNode::List(items) = translate_ranking(&r) else {
+            panic!()
+        };
+        let RankNode::Term { weight, .. } = &items[0] else {
+            panic!()
+        };
+        assert_eq!(*weight, 0.7);
+        let RankNode::Term { weight, .. } = &items[1] else {
+            panic!()
+        };
+        assert_eq!(*weight, 1.0);
+    }
+
+    #[test]
+    fn other_modifier_silently_ignored() {
+        let f = parse_filter(r#"(title fuzzy "x")"#).unwrap();
+        let FilterExpr::Term(t) = &f else { panic!() };
+        assert!(translate_term(t).matches.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests for the source layer: the rewrite/actual-query
+//! mechanism is total, idempotent, and only ever emits what the source
+//! declared it supports.
+
+use proptest::prelude::*;
+use starts_index::Document;
+use starts_proto::attrs::CmpOp;
+use starts_proto::query::{FilterExpr, ProxSpec, QTerm, RankExpr, WeightedTerm};
+use starts_proto::{Field, LString, Modifier, Query};
+use starts_source::rewrite::rewrite_query;
+use starts_source::{vendors, Source};
+
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "the", "databases"];
+
+fn arb_field() -> impl Strategy<Value = Option<Field>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Field::Title)),
+        Just(Some(Field::Author)),
+        Just(Some(Field::BodyOfText)),
+        Just(Some(Field::DocumentText)),
+        Just(Some(Field::FreeFormText)),
+        Just(Some(Field::Linkage)),
+        Just(Some(Field::Other("abstract".to_string()))),
+    ]
+}
+
+fn arb_modifiers() -> impl Strategy<Value = Vec<Modifier>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Modifier::Stem),
+            Just(Modifier::Phonetic),
+            Just(Modifier::Thesaurus),
+            Just(Modifier::CaseSensitive),
+            Just(Modifier::RightTruncation),
+            Just(Modifier::Cmp(CmpOp::Gt)),
+        ],
+        0..3,
+    )
+}
+
+fn arb_term() -> impl Strategy<Value = QTerm> {
+    (arb_field(), arb_modifiers(), 0..WORDS.len()).prop_map(|(field, modifiers, w)| QTerm {
+        field,
+        modifiers,
+        value: LString::plain(WORDS[w]),
+    })
+}
+
+fn arb_filter() -> impl Strategy<Value = FilterExpr> {
+    let leaf = arb_term().prop_map(FilterExpr::Term);
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FilterExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FilterExpr::or(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| FilterExpr::and_not(a, b)),
+            (arb_term(), arb_term()).prop_map(|(l, r)| FilterExpr::Prox(
+                l,
+                ProxSpec {
+                    distance: 2,
+                    ordered: true
+                },
+                r
+            )),
+        ]
+    })
+}
+
+fn arb_ranking() -> impl Strategy<Value = RankExpr> {
+    proptest::collection::vec(arb_term(), 1..5).prop_map(|terms| {
+        RankExpr::List(
+            terms
+                .into_iter()
+                .map(|t| RankExpr::Term(WeightedTerm::plain(t)))
+                .collect(),
+        )
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        proptest::option::of(arb_filter()),
+        proptest::option::of(arb_ranking()),
+        any::<bool>(),
+    )
+        .prop_map(|(filter, ranking, drop_stop_words)| Query {
+            filter,
+            ranking,
+            drop_stop_words,
+            ..Query::default()
+        })
+}
+
+fn corpus() -> Vec<Document> {
+    vec![
+        Document::new()
+            .field("title", "alpha beta")
+            .field("author", "Gamma Delta")
+            .field("body-of-text", "the databases alpha gamma")
+            .field("date-last-modified", "1996-05-01")
+            .field("linkage", "http://x/1"),
+        Document::new()
+            .field("title", "databases delta")
+            .field("author", "Alpha Author")
+            .field("body-of-text", "beta beta gamma")
+            .field("date-last-modified", "1995-01-01")
+            .field("linkage", "http://x/2"),
+    ]
+}
+
+fn term_supported(meta: &starts_proto::SourceMetadata, t: &QTerm) -> bool {
+    meta.supports_field(&t.effective_field())
+        && t.modifiers.iter().all(|m| meta.supports_modifier(m))
+}
+
+proptest! {
+    /// Rewriting is idempotent: the actual query, rewritten again at the
+    /// same source, is unchanged (the actual query is a fixed point).
+    #[test]
+    fn rewrite_is_idempotent(q in arb_query()) {
+        for cfg in vendors::fleet() {
+            let source = Source::build(cfg, &corpus());
+            let stop = |w: &str| source.engine().index().analyzer().is_stop_word(w);
+            let can_disable = source
+                .engine()
+                .index()
+                .analyzer()
+                .config()
+                .can_disable_stop_words;
+            let once = rewrite_query(&q, source.metadata(), &stop, can_disable);
+            let again_query = Query {
+                filter: once.filter.clone(),
+                ranking: once.ranking.clone(),
+                ..q.clone()
+            };
+            let twice = rewrite_query(&again_query, source.metadata(), &stop, can_disable);
+            prop_assert_eq!(&once.filter, &twice.filter, "{}", source.id());
+            prop_assert_eq!(&once.ranking, &twice.ranking, "{}", source.id());
+        }
+    }
+
+    /// Every term surviving the rewrite is declared supported by the
+    /// source's exported metadata — the actual query never promises more
+    /// than the capabilities.
+    #[test]
+    fn actual_query_only_contains_supported_terms(q in arb_query()) {
+        for cfg in vendors::fleet() {
+            let source = Source::build(cfg, &corpus());
+            let results = source.execute(&q);
+            let meta = source.metadata();
+            if let Some(f) = &results.actual_filter {
+                for t in f.terms() {
+                    prop_assert!(
+                        term_supported(meta, t),
+                        "{}: unsupported term {t:?} in actual filter",
+                        source.id()
+                    );
+                }
+            }
+            if let Some(r) = &results.actual_ranking {
+                for wt in r.terms() {
+                    prop_assert!(
+                        term_supported(meta, &wt.term),
+                        "{}: unsupported term in actual ranking",
+                        source.id()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Execution is total: any query yields a well-formed, wire-safe
+    /// result at every vendor.
+    #[test]
+    fn execute_total_and_wire_safe(q in arb_query()) {
+        for cfg in vendors::fleet() {
+            let source = Source::build(cfg, &corpus());
+            let results = source.execute(&q);
+            // Result documents never exceed the corpus and always carry
+            // linkage.
+            prop_assert!(results.documents.len() <= 2);
+            for d in &results.documents {
+                prop_assert!(d.linkage().is_some());
+            }
+            // The stream round-trips.
+            let bytes = results.to_soif_stream();
+            let back = starts_proto::QueryResults::from_soif_stream(&bytes).unwrap();
+            prop_assert_eq!(back, results);
+        }
+    }
+
+    /// Capability monotonicity: a source that supports everything
+    /// returns an actual query with at least as many terms as any
+    /// restricted vendor.
+    #[test]
+    fn capable_sources_keep_more(q in arb_query()) {
+        let full = Source::build(vendors::okapi("Full"), &corpus());
+        let narrow = Source::build(vendors::bolt("Narrow"), &corpus());
+        let count = |r: &starts_proto::QueryResults| {
+            r.actual_filter.as_ref().map(|f| f.terms().len()).unwrap_or(0)
+                + r.actual_ranking.as_ref().map(|e| e.terms().len()).unwrap_or(0)
+        };
+        // Only comparable when stop lists do not interfere: Bolt's
+        // aggressive list also removes terms. Restrict to queries whose
+        // words are not in Bolt's list.
+        let uses_stop_words = q
+            .all_terms()
+            .iter()
+            .any(|t| starts_text::StopWordList::english_aggressive().contains(&t.value.text));
+        prop_assume!(!uses_stop_words);
+        let qf = full.execute(&q);
+        let qn = narrow.execute(&q);
+        prop_assert!(count(&qf) >= count(&qn));
+    }
+}

@@ -1,0 +1,208 @@
+//! The per-engine analysis pipeline: tokenizer → case folding → stop-word
+//! elimination → stemming.
+//!
+//! Every simulated search engine owns one `Analyzer` per language. Its
+//! configuration is exactly the set of per-source facts STARTS makes
+//! sources export: the tokenizer id (`TokenizerIDList`), the stop-word
+//! list (`StopWordList`, plus whether elimination can be disabled via
+//! `TurnOffStopWords`), whether terms are stemmed, and whether matching is
+//! case sensitive. Heterogeneous analyzers across sources reproduce the
+//! Section 3.1 query-language problem in full.
+
+use crate::casefold::CaseMode;
+use crate::porter::porter_stem;
+use crate::stopwords::StopWordList;
+use crate::tokenize::TokenizerKind;
+
+/// An analyzed token ready for indexing or query matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The index term (after folding/stemming).
+    pub term: String,
+    /// Token position within the field (0-based; counts *surviving*
+    /// positions — stop words consume a position but emit no token, so
+    /// proximity distances stay meaningful).
+    pub position: u32,
+}
+
+/// Analyzer configuration — the source-side text pipeline.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Which tokenizer the engine uses.
+    pub tokenizer: TokenizerKind,
+    /// Case handling (STARTS default: insensitive).
+    pub case: CaseMode,
+    /// Whether index terms are Porter-stemmed.
+    pub stem: bool,
+    /// The engine's stop-word list.
+    pub stop_words: StopWordList,
+    /// Whether the engine honours `DropStopWords: F` (the
+    /// `TurnOffStopWords` metadata attribute). Engines that cannot turn
+    /// off elimination drop stop words unconditionally.
+    pub can_disable_stop_words: bool,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            tokenizer: TokenizerKind::AlnumRuns,
+            case: CaseMode::Insensitive,
+            stem: false,
+            stop_words: StopWordList::english_minimal(),
+            can_disable_stop_words: true,
+        }
+    }
+}
+
+/// A configured analysis pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+}
+
+impl Analyzer {
+    /// Build an analyzer from its configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        Analyzer { config }
+    }
+
+    /// The configuration (exported in source metadata).
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Analyze a field's text for **indexing**: stop words are eliminated
+    /// (their positions are preserved as gaps), folding and stemming
+    /// applied per configuration.
+    pub fn analyze(&self, text: &str) -> Vec<Token> {
+        self.run(text, true)
+    }
+
+    /// Analyze **query** text. `drop_stop_words` comes from the query's
+    /// `DropStopWords` property (Section 4.1.2); it is honoured only when
+    /// the engine supports turning elimination off.
+    pub fn analyze_query(&self, text: &str, drop_stop_words: bool) -> Vec<Token> {
+        let drop = if self.config.can_disable_stop_words {
+            drop_stop_words
+        } else {
+            true
+        };
+        self.run(text, drop)
+    }
+
+    /// Normalize a single already-tokenized term (fold + stem). Used when
+    /// matching protocol-level query terms that arrive pre-tokenized.
+    pub fn normalize_term(&self, term: &str) -> String {
+        let folded = self.config.case.apply(term);
+        if self.config.stem {
+            porter_stem(&folded)
+        } else {
+            folded
+        }
+    }
+
+    /// Whether the analyzer would eliminate this word as a stop word.
+    pub fn is_stop_word(&self, word: &str) -> bool {
+        self.config.stop_words.contains(word)
+    }
+
+    fn run(&self, text: &str, drop_stop_words: bool) -> Vec<Token> {
+        let raw = self.config.tokenizer.tokenize(text);
+        let mut out = Vec::with_capacity(raw.len());
+        for (pos, tok) in raw.into_iter().enumerate() {
+            if drop_stop_words && self.config.stop_words.contains(&tok.text) {
+                continue; // position consumed, token dropped
+            }
+            out.push(Token {
+                term: self.normalize_term(&tok.text),
+                position: pos as u32,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(a: &Analyzer, text: &str) -> Vec<String> {
+        a.analyze(text).into_iter().map(|t| t.term).collect()
+    }
+
+    #[test]
+    fn default_pipeline_folds_and_stops() {
+        let a = Analyzer::default();
+        assert_eq!(
+            terms(&a, "The Distributed Systems"),
+            vec!["distributed", "systems"]
+        );
+    }
+
+    #[test]
+    fn stemming_pipeline() {
+        let a = Analyzer::new(AnalyzerConfig {
+            stem: true,
+            ..AnalyzerConfig::default()
+        });
+        assert_eq!(terms(&a, "databases database"), vec!["databas", "databas"]);
+    }
+
+    #[test]
+    fn positions_skip_stop_words_but_count_them() {
+        // "the who of rock" -> "who" would be dropped too on the minimal
+        // list; use words where only some drop.
+        let a = Analyzer::default();
+        let toks = a.analyze("the quick and the dead");
+        // Tokens: quick(pos 1), dead(pos 4). Gaps preserved so prox
+        // distances computed over positions reflect the original text.
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].term, "quick");
+        assert_eq!(toks[0].position, 1);
+        assert_eq!(toks[1].term, "dead");
+        assert_eq!(toks[1].position, 4);
+    }
+
+    #[test]
+    fn query_can_keep_stop_words_if_engine_allows() {
+        let a = Analyzer::default();
+        let kept: Vec<_> = a
+            .analyze_query("The Who", false)
+            .into_iter()
+            .map(|t| t.term)
+            .collect();
+        assert_eq!(kept, vec!["the", "who"]);
+        let dropped = a.analyze_query("The Who", true);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn engine_that_cannot_disable_always_drops() {
+        let a = Analyzer::new(AnalyzerConfig {
+            can_disable_stop_words: false,
+            ..AnalyzerConfig::default()
+        });
+        // Even with DropStopWords=F the engine eliminates them — the
+        // metasearcher learns this from TurnOffStopWords metadata.
+        assert!(a.analyze_query("The Who", false).is_empty());
+    }
+
+    #[test]
+    fn case_sensitive_engine() {
+        let a = Analyzer::new(AnalyzerConfig {
+            case: CaseMode::Sensitive,
+            stop_words: StopWordList::none(),
+            ..AnalyzerConfig::default()
+        });
+        assert_eq!(terms(&a, "The Who"), vec!["The", "Who"]);
+    }
+
+    #[test]
+    fn normalize_single_term() {
+        let a = Analyzer::new(AnalyzerConfig {
+            stem: true,
+            ..AnalyzerConfig::default()
+        });
+        assert_eq!(a.normalize_term("Databases"), "databas");
+    }
+}

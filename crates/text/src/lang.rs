@@ -1,0 +1,258 @@
+//! RFC 1766 language tags, as used by STARTS l-strings (Section 4.1.1).
+//!
+//! An l-string may qualify a query string "with its associated language and,
+//! optionally, with its associated country", e.g. `[en-US "behavior"]`.
+//! The qualification "follows the format described in RFC 1766": a primary
+//! tag of 1–8 ASCII letters followed by zero or more subtags of 1–8 ASCII
+//! letters or digits, separated by `-`. STARTS uses the common
+//! `language[-COUNTRY]` shape (`en`, `en-US`, `en-GB`, `es`), and the paper
+//! explicitly calls out dialect distinctions such as British vs. American
+//! English.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An RFC 1766 language tag (`en`, `en-US`, `x-klingon`, …).
+///
+/// Comparison is case-insensitive as mandated by RFC 1766; the canonical
+/// form stores the primary tag in lowercase and two-letter country subtags
+/// in uppercase (the conventional rendering the paper uses: `en-US`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LangTag {
+    /// Primary language tag, lowercase (e.g. `en`).
+    primary: String,
+    /// Subtags in canonical case (e.g. `["US"]`).
+    subtags: Vec<String>,
+}
+
+/// Errors raised when parsing an RFC 1766 tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangTagError {
+    /// The tag was empty.
+    Empty,
+    /// A (sub)tag was empty, longer than 8 characters, or contained a
+    /// character outside `[A-Za-z]` (primary) / `[A-Za-z0-9]` (subtags).
+    BadSubtag(String),
+}
+
+impl fmt::Display for LangTagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangTagError::Empty => write!(f, "empty language tag"),
+            LangTagError::BadSubtag(s) => write!(f, "malformed language subtag: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LangTagError {}
+
+impl LangTag {
+    /// Parse a tag, canonicalizing case.
+    pub fn parse(s: &str) -> Result<Self, LangTagError> {
+        if s.is_empty() {
+            return Err(LangTagError::Empty);
+        }
+        let mut parts = s.split('-');
+        let primary = parts.next().expect("split yields at least one part");
+        if primary.is_empty()
+            || primary.len() > 8
+            || !primary.bytes().all(|b| b.is_ascii_alphabetic())
+        {
+            return Err(LangTagError::BadSubtag(primary.to_string()));
+        }
+        let mut subtags = Vec::new();
+        for sub in parts {
+            if sub.is_empty() || sub.len() > 8 || !sub.bytes().all(|b| b.is_ascii_alphanumeric()) {
+                return Err(LangTagError::BadSubtag(sub.to_string()));
+            }
+            // Canonical rendering: two-letter subtags are country codes and
+            // are conventionally uppercased (en-US); others lowercased.
+            let canon = if sub.len() == 2 && sub.bytes().all(|b| b.is_ascii_alphabetic()) {
+                sub.to_ascii_uppercase()
+            } else {
+                sub.to_ascii_lowercase()
+            };
+            subtags.push(canon);
+        }
+        Ok(LangTag {
+            primary: primary.to_ascii_lowercase(),
+            subtags,
+        })
+    }
+
+    /// The primary language ("en" of "en-US").
+    pub fn primary(&self) -> &str {
+        &self.primary
+    }
+
+    /// The subtags ("US" of "en-US"). Usually a country, per the paper.
+    pub fn subtags(&self) -> &[String] {
+        &self.subtags
+    }
+
+    /// The country subtag, if the tag carries one ("US" of "en-US").
+    pub fn country(&self) -> Option<&str> {
+        self.subtags
+            .iter()
+            .find(|s| s.len() == 2 && s.bytes().all(|b| b.is_ascii_uppercase()))
+            .map(String::as_str)
+    }
+
+    /// American English: the STARTS default query language.
+    pub fn en_us() -> Self {
+        LangTag {
+            primary: "en".to_string(),
+            subtags: vec!["US".to_string()],
+        }
+    }
+
+    /// Plain English, no dialect.
+    pub fn en() -> Self {
+        LangTag {
+            primary: "en".to_string(),
+            subtags: Vec::new(),
+        }
+    }
+
+    /// Spanish, used by the paper's bilingual Source-1 (Example 10/11).
+    pub fn es() -> Self {
+        LangTag {
+            primary: "es".to_string(),
+            subtags: Vec::new(),
+        }
+    }
+
+    /// Whether `self` *matches* `other` in the RFC 1766 prefix sense:
+    /// `en` matches `en-US` and `en-GB`; `en-US` matches only `en-US`.
+    ///
+    /// A metasearcher uses this to decide whether a source that declares
+    /// `source-languages: en-US es` can serve a query term tagged `en`.
+    pub fn matches(&self, other: &LangTag) -> bool {
+        if self.primary != other.primary {
+            return false;
+        }
+        if self.subtags.len() > other.subtags.len() {
+            return false;
+        }
+        self.subtags
+            .iter()
+            .zip(other.subtags.iter())
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Whether two tags denote the same language, ignoring dialects
+    /// (`en-US` ≈ `en-GB` ≈ `en`).
+    pub fn same_language(&self, other: &LangTag) -> bool {
+        self.primary == other.primary
+    }
+}
+
+impl fmt::Display for LangTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.primary)?;
+        for sub in &self.subtags {
+            write!(f, "-{sub}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for LangTag {
+    type Err = LangTagError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LangTag::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_tags() {
+        let t = LangTag::parse("en").unwrap();
+        assert_eq!(t.primary(), "en");
+        assert!(t.subtags().is_empty());
+        assert_eq!(t.to_string(), "en");
+    }
+
+    #[test]
+    fn parses_language_country() {
+        let t = LangTag::parse("en-US").unwrap();
+        assert_eq!(t.primary(), "en");
+        assert_eq!(t.country(), Some("US"));
+        assert_eq!(t.to_string(), "en-US");
+    }
+
+    #[test]
+    fn canonicalizes_case() {
+        // RFC 1766: tags are case-insensitive.
+        let a = LangTag::parse("EN-us").unwrap();
+        let b = LangTag::parse("en-US").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "en-US");
+    }
+
+    #[test]
+    fn long_subtags_lowercased() {
+        let t = LangTag::parse("EN-Cockney").unwrap();
+        assert_eq!(t.to_string(), "en-cockney");
+        assert_eq!(t.country(), None);
+    }
+
+    #[test]
+    fn rejects_bad_tags() {
+        assert_eq!(LangTag::parse(""), Err(LangTagError::Empty));
+        assert!(LangTag::parse("en-").is_err());
+        assert!(LangTag::parse("-US").is_err());
+        assert!(LangTag::parse("e n").is_err());
+        assert!(LangTag::parse("en-US!").is_err());
+        assert!(LangTag::parse("waytoolongprimary").is_err());
+        assert!(LangTag::parse("en-waytoolongsub").is_err());
+    }
+
+    #[test]
+    fn digits_allowed_in_subtags_only() {
+        assert!(LangTag::parse("e2").is_err());
+        assert!(LangTag::parse("en-1996").is_ok());
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let en = LangTag::en();
+        let en_us = LangTag::en_us();
+        let en_gb = LangTag::parse("en-GB").unwrap();
+        let es = LangTag::es();
+        assert!(en.matches(&en_us));
+        assert!(en.matches(&en_gb));
+        assert!(en.matches(&en));
+        assert!(!en_us.matches(&en));
+        assert!(!en_us.matches(&en_gb));
+        assert!(!es.matches(&en));
+        assert!(en_us.same_language(&en_gb));
+        assert!(!es.same_language(&en));
+    }
+
+    #[test]
+    fn x_tags_parse() {
+        // RFC 1766 user-defined tags.
+        let t = LangTag::parse("x-klingon").unwrap();
+        assert_eq!(t.primary(), "x");
+        assert_eq!(t.subtags(), &["klingon".to_string()]);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = [
+            LangTag::parse("es").unwrap(),
+            LangTag::parse("en-US").unwrap(),
+            LangTag::parse("en").unwrap(),
+        ];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+            vec!["en", "en-US", "es"]
+        );
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Text-processing substrate for the STARTS reproduction.
+//!
+//! STARTS (Gravano et al., SIGMOD 1997) assumes that every *source* sits on
+//! top of a text search engine with its own — usually proprietary — text
+//! pipeline: a tokenizer (named via the `TokenizerIDList` metadata
+//! attribute), a stemming algorithm (the `Stem` modifier), a phonetic
+//! algorithm (the `Phonetic` modifier, conventionally Soundex), a stop-word
+//! list (exported via `StopWordList`), case folding (the `Case-sensitive`
+//! modifier), and a thesaurus (the `Thesaurus` modifier).
+//!
+//! This crate implements all of those building blocks from scratch, plus
+//! RFC 1766 language tags (the `[en-US "behavior"]` l-string qualifiers of
+//! Section 4.1.1). Deliberately, *several* variants of each component are
+//! provided so that simulated sources can be heterogeneous — which is the
+//! entire reason metasearching is hard and STARTS exists.
+
+pub mod analyzer;
+pub mod casefold;
+pub mod lang;
+pub mod porter;
+pub mod soundex;
+pub mod stopwords;
+pub mod thesaurus;
+pub mod tokenize;
+
+pub use analyzer::{Analyzer, AnalyzerConfig, Token};
+pub use casefold::{fold_case, CaseMode};
+pub use lang::{LangTag, LangTagError};
+pub use porter::porter_stem;
+pub use soundex::soundex;
+pub use stopwords::StopWordList;
+pub use thesaurus::Thesaurus;
+pub use tokenize::{tokenizer_by_id, Tokenizer, TokenizerId, TokenizerKind};

@@ -1,0 +1,432 @@
+//! The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+//!
+//! STARTS exposes stemming through the optional `Stem` modifier
+//! (Section 4.1.1, Example 2: `(title stem "databases")` matches a title
+//! containing "database"). The paper's running examples rely on exactly the
+//! behaviour Porter produces: *databases* → *databas* ← *database*, so a
+//! stemmed query on "databases" retrieves "database" documents.
+//!
+//! The implementation follows the original paper's five-step definition,
+//! including the m-measure, `*S`/`*v*`/`*d`/`*o` conditions, and the
+//! complete rule tables. It operates on ASCII letters; non-ASCII input is
+//! returned unchanged (sources index such terms verbatim, which mirrors how
+//! 1990s engines treated non-English text — and why STARTS lets sources
+//! advertise per-language modifier support).
+
+/// Stem a single word with the Porter algorithm.
+///
+/// The input is lowercased before stemming. Words shorter than three
+/// characters are returned (lowercased) unchanged, per Porter's guidance.
+pub fn porter_stem(word: &str) -> String {
+    let lower = word.to_ascii_lowercase();
+    if lower.len() <= 2 || !lower.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return lower;
+    }
+    let mut s = Stemmer {
+        b: lower.into_bytes(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Is b[i] a consonant, in Porter's sense ('y' is a consonant when it
+    /// follows a vowel or starts the word)?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Porter's measure m of the prefix b[..end]: the number of VC
+    /// sequences in the [C](VC)^m[V] decomposition.
+    fn measure(&self, end: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonant run.
+        while i < end && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowel run.
+            while i < end && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= end {
+                return m;
+            }
+            // Skip consonant run: one full VC sequence seen.
+            while i < end && self.is_consonant(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// Does the prefix b[..end] contain a vowel?
+    fn has_vowel(&self, end: usize) -> bool {
+        (0..end).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does the prefix b[..end] end with a double consonant?
+    fn ends_double_consonant(&self, end: usize) -> bool {
+        end >= 2 && self.b[end - 1] == self.b[end - 2] && self.is_consonant(end - 1)
+    }
+
+    /// *o condition: the prefix ends cvc where the final c is not w, x or y.
+    fn ends_cvc(&self, end: usize) -> bool {
+        if end < 3 {
+            return false;
+        }
+        let (i, j, k) = (end - 3, end - 2, end - 1);
+        self.is_consonant(i)
+            && !self.is_consonant(j)
+            && self.is_consonant(k)
+            && !matches!(self.b[k], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && &self.b[self.b.len() - suffix.len()..] == suffix
+    }
+
+    /// If the word ends with `suffix` and the measure of the stem is > `m`,
+    /// replace the suffix with `rep` and return true.
+    fn replace_if_m_gt(&mut self, suffix: &[u8], rep: &[u8], m: usize) -> bool {
+        if self.ends_with(suffix) {
+            let stem_len = self.b.len() - suffix.len();
+            if self.measure(stem_len) > m {
+                self.b.truncate(stem_len);
+                self.b.extend_from_slice(rep);
+            }
+            // Rule matched (whether or not it fired); stop rule scanning.
+            return true;
+        }
+        false
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with(b"sses") {
+            self.b.truncate(self.b.len() - 2); // sses -> ss
+        } else if self.ends_with(b"ies") {
+            self.b.truncate(self.b.len() - 2); // ies -> i
+        } else if self.ends_with(b"ss") {
+            // ss -> ss: no change.
+        } else if self.ends_with(b"s") {
+            self.b.truncate(self.b.len() - 1); // s -> ""
+        }
+    }
+
+    fn step1b(&mut self) {
+        if self.ends_with(b"eed") {
+            let stem_len = self.b.len() - 3;
+            if self.measure(stem_len) > 0 {
+                self.b.truncate(self.b.len() - 1); // eed -> ee
+            }
+            return;
+        }
+        let fired = if self.ends_with(b"ed") {
+            let stem_len = self.b.len() - 2;
+            if self.has_vowel(stem_len) {
+                self.b.truncate(stem_len);
+                true
+            } else {
+                false
+            }
+        } else if self.ends_with(b"ing") {
+            let stem_len = self.b.len() - 3;
+            if self.has_vowel(stem_len) {
+                self.b.truncate(stem_len);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if fired {
+            // Clean-up sub-rules.
+            if self.ends_with(b"at") || self.ends_with(b"bl") || self.ends_with(b"iz") {
+                self.b.push(b'e'); // at->ate, bl->ble, iz->ize
+            } else if self.ends_double_consonant(self.b.len())
+                && !matches!(self.b[self.b.len() - 1], b'l' | b's' | b'z')
+            {
+                self.b.truncate(self.b.len() - 1); // single letter
+            } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
+                self.b.push(b'e'); // (m=1 and *o) -> E
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        // (*v*) Y -> I
+        if self.ends_with(b"y") && self.has_vowel(self.b.len() - 1) {
+            let n = self.b.len();
+            self.b[n - 1] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"bli", b"ble"), // Porter's published revision of abli->able
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+            (b"logi", b"log"), // Porter's published addition
+        ];
+        for (suffix, rep) in RULES {
+            if self.replace_if_m_gt(suffix, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for (suffix, rep) in RULES {
+            if self.replace_if_m_gt(suffix, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        // "ion" requires the stem to end in s or t. No other step-4 suffix
+        // can co-terminate with an "ion"-ending word, so longest-match
+        // semantics mean the step ends here whether or not the rule fires.
+        if self.ends_with(b"ion") {
+            let stem_len = self.b.len() - 3;
+            if stem_len >= 1
+                && matches!(self.b[stem_len - 1], b's' | b't')
+                && self.measure(stem_len) > 1
+            {
+                self.b.truncate(stem_len);
+            }
+            return;
+        }
+        // Plain rules, pre-sorted longest-first so "ous" wins over "ou".
+        const RULES: &[&[u8]] = &[
+            b"ement", b"ance", b"ence", b"able", b"ible", b"ment", b"ant", b"ent", b"ism", b"ate",
+            b"iti", b"ous", b"ive", b"ize", b"al", b"er", b"ic", b"ou",
+        ];
+        for suffix in RULES {
+            if self.ends_with(suffix) {
+                let stem_len = self.b.len() - suffix.len();
+                if self.measure(stem_len) > 1 {
+                    self.b.truncate(stem_len);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5a(&mut self) {
+        if self.ends_with(b"e") {
+            let stem_len = self.b.len() - 1;
+            let m = self.measure(stem_len);
+            if m > 1 || (m == 1 && !self.ends_cvc(stem_len)) {
+                self.b.truncate(stem_len);
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        // (m > 1 and *d and *L) -> single letter
+        if self.measure(self.b.len()) > 1
+            && self.ends_double_consonant(self.b.len())
+            && self.b[self.b.len() - 1] == b'l'
+        {
+            self.b.truncate(self.b.len() - 1);
+        }
+    }
+}
+
+/// Whether two words share a Porter stem. This is the predicate the `Stem`
+/// modifier induces: Example 2's `(title stem "databases")` matches a
+/// document whose title contains "database".
+pub fn same_stem(a: &str, b: &str) -> bool {
+    porter_stem(a) == porter_stem(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vectors from Porter's paper and the reference vocabulary.
+    #[test]
+    fn canonical_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(porter_stem(input), want, "stem({input:?})");
+        }
+    }
+
+    /// The paper's own motivating pair (Section 3.1 / Example 2).
+    #[test]
+    fn databases_and_database_conflate() {
+        assert_eq!(porter_stem("databases"), "databas");
+        assert_eq!(porter_stem("database"), "databas");
+        assert!(same_stem("databases", "database"));
+        // Section 3.1: stemming makes "systems" retrieve "system".
+        assert!(same_stem("systems", "system"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("BE"), "be");
+    }
+
+    #[test]
+    fn non_alphabetic_untouched() {
+        assert_eq!(porter_stem("z39.50"), "z39.50");
+        assert_eq!(porter_stem("año"), "año");
+    }
+
+    #[test]
+    fn stems_never_grow_and_stay_lowercase() {
+        for w in [
+            "distributed",
+            "databases",
+            "systems",
+            "searching",
+            "retrieval",
+            "merging",
+            "ranking",
+            "generalizing",
+            "effectiveness",
+            "Stanford",
+            "metasearcher",
+        ] {
+            let s = porter_stem(w);
+            assert!(s.len() <= w.len(), "stem grew: {w:?} -> {s:?}");
+            assert!(!s.is_empty(), "stem emptied: {w:?}");
+            assert_eq!(s, s.to_ascii_lowercase(), "stem not lowercase: {s:?}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(porter_stem("Databases"), porter_stem("databases"));
+        assert_eq!(porter_stem("DISTRIBUTED"), porter_stem("distributed"));
+    }
+}

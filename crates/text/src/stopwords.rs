@@ -1,0 +1,175 @@
+//! Stop-word lists, exported by sources via the `StopWordList` metadata
+//! attribute (Section 4.3.1) and toggled per query by `DropStopWords`
+//! (Section 4.1.2).
+//!
+//! The paper's motivating example (Section 3.1) is a query for the rock
+//! group "The Who": every word is a stop word at most sources, so a
+//! metasearcher must know (a) each source's list and (b) whether stop-word
+//! elimination can be turned off (`TurnOffStopWords`). Different engines
+//! shipped different lists, so we provide two standard lists of different
+//! aggressiveness plus fully custom lists.
+
+use std::collections::HashSet;
+
+/// An immutable stop-word list. Membership tests are case-insensitive,
+/// matching how 1990s engines applied their lists after case folding.
+#[derive(Debug, Clone, Default)]
+pub struct StopWordList {
+    words: HashSet<String>,
+}
+
+impl StopWordList {
+    /// The empty list: a source that indexes everything.
+    pub fn none() -> Self {
+        StopWordList::default()
+    }
+
+    /// A minimal English list (articles, conjunctions, prepositions,
+    /// auxiliary verbs) of the kind conservative engines used.
+    pub fn english_minimal() -> Self {
+        Self::from_words(MINIMAL_ENGLISH.iter().copied())
+    }
+
+    /// An aggressive English list modeled on the classic SMART-style stop
+    /// lists that aggressive web engines of the era used. Supersets the
+    /// minimal list.
+    pub fn english_aggressive() -> Self {
+        Self::from_words(
+            MINIMAL_ENGLISH
+                .iter()
+                .chain(EXTRA_AGGRESSIVE.iter())
+                .copied(),
+        )
+    }
+
+    /// A small Spanish list, for the paper's bilingual Source-1
+    /// (Examples 10–11 index `en-US` and `es` documents).
+    pub fn spanish() -> Self {
+        Self::from_words(SPANISH.iter().copied())
+    }
+
+    /// Build a custom list.
+    pub fn from_words<'a, I: IntoIterator<Item = &'a str>>(words: I) -> Self {
+        StopWordList {
+            words: words
+                .into_iter()
+                .map(|w| w.to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Whether `word` is a stop word (case-insensitive).
+    pub fn contains(&self, word: &str) -> bool {
+        if self.words.is_empty() {
+            return false;
+        }
+        // Fast path: most lookups are already lowercase.
+        if self.words.contains(word) {
+            return true;
+        }
+        if word.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.words.contains(&word.to_ascii_lowercase())
+        } else {
+            false
+        }
+    }
+
+    /// Number of words in the list.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The words, sorted, for export in source metadata (`StopWordList`).
+    pub fn export(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.words.iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+const MINIMAL_ENGLISH: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
+    "in", "is", "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "which",
+    "who", "will", "with",
+];
+
+const EXTRA_AGGRESSIVE: &[&str] = &[
+    "about", "above", "after", "again", "all", "also", "am", "any", "because", "been", "before",
+    "being", "below", "between", "both", "can", "could", "did", "do", "does", "doing", "down",
+    "during", "each", "few", "further", "had", "her", "here", "hers", "him", "his", "how", "i",
+    "if", "into", "just", "me", "more", "most", "my", "no", "nor", "not", "now", "off", "once",
+    "only", "other", "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some",
+    "such", "than", "their", "theirs", "them", "then", "there", "these", "they", "this", "those",
+    "through", "too", "under", "until", "up", "very", "we", "what", "when", "where", "while",
+    "why", "would", "you", "your", "yours",
+];
+
+const SPANISH: &[&str] = &[
+    "a", "al", "como", "con", "de", "del", "el", "en", "es", "esta", "la", "las", "lo", "los",
+    "más", "no", "o", "para", "pero", "por", "que", "se", "son", "su", "un", "una", "y",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_who_problem() {
+        // Section 3.1: "The Who" — both words are stop words on any
+        // English list, which is exactly why STARTS exports the list and
+        // the TurnOffStopWords capability.
+        let list = StopWordList::english_minimal();
+        assert!(list.contains("the"));
+        assert!(list.contains("The"));
+        assert!(list.contains("who"));
+        assert!(list.contains("WHO"));
+        assert!(!list.contains("tommy"));
+    }
+
+    #[test]
+    fn aggressive_supersets_minimal() {
+        let min = StopWordList::english_minimal();
+        let agg = StopWordList::english_aggressive();
+        assert!(agg.len() > min.len());
+        for w in min.export() {
+            assert!(agg.contains(&w), "aggressive list missing {w:?}");
+        }
+    }
+
+    #[test]
+    fn empty_list_matches_nothing() {
+        let none = StopWordList::none();
+        assert!(!none.contains("the"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn custom_list() {
+        let l = StopWordList::from_words(["Foo", "BAR"]);
+        assert!(l.contains("foo"));
+        assert!(l.contains("Bar"));
+        assert!(!l.contains("baz"));
+        assert_eq!(l.export(), vec!["bar".to_string(), "foo".to_string()]);
+    }
+
+    #[test]
+    fn spanish_list() {
+        let l = StopWordList::spanish();
+        assert!(l.contains("el"));
+        assert!(!l.contains("datos"));
+    }
+
+    #[test]
+    fn export_is_sorted() {
+        let l = StopWordList::english_minimal();
+        let e = l.export();
+        let mut sorted = e.clone();
+        sorted.sort();
+        assert_eq!(e, sorted);
+    }
+}

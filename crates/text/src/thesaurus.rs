@@ -1,0 +1,161 @@
+//! Thesaurus expansion, behind the STARTS `Thesaurus` modifier.
+//!
+//! `Thesaurus` is one of the *new* modifiers the STARTS group added beyond
+//! the Z39.50 relation attributes (Section 4.1.1, default "No thesaurus
+//! expansion"). A source that supports it expands a query term to its
+//! synonym class before matching. Real engines shipped hand-curated domain
+//! thesauri; we model a thesaurus as symmetric synonym rings, with a small
+//! built-in computer-science ring set that matches the paper's running
+//! vocabulary.
+
+use std::collections::HashMap;
+
+/// A thesaurus: a set of synonym rings. Lookup is case-insensitive.
+#[derive(Debug, Clone, Default)]
+pub struct Thesaurus {
+    /// word -> ring id
+    ring_of: HashMap<String, usize>,
+    /// ring id -> members (lowercase, insertion order)
+    rings: Vec<Vec<String>>,
+}
+
+impl Thesaurus {
+    /// An empty thesaurus (expansion is the identity).
+    pub fn empty() -> Self {
+        Thesaurus::default()
+    }
+
+    /// A small computer-science thesaurus covering the paper's running
+    /// vocabulary, so examples and experiments can exercise the modifier.
+    pub fn computer_science() -> Self {
+        let mut t = Thesaurus::default();
+        t.add_ring(["database", "databases", "dbms"]);
+        t.add_ring(["distributed", "decentralized", "federated"]);
+        t.add_ring(["search", "retrieval", "querying"]);
+        t.add_ring(["metasearcher", "metacrawler", "broker"]);
+        t.add_ring(["rank", "ranking", "scoring"]);
+        t.add_ring(["internet", "web", "www"]);
+        t.add_ring(["protocol", "standard", "specification"]);
+        t
+    }
+
+    /// Add a synonym ring. Words already present are merged into the new
+    /// ring's class (rings are unioned).
+    pub fn add_ring<'a, I: IntoIterator<Item = &'a str>>(&mut self, words: I) {
+        let words: Vec<String> = words
+            .into_iter()
+            .map(|w| w.to_ascii_lowercase())
+            .collect();
+        if words.is_empty() {
+            return;
+        }
+        // If any word already belongs to a ring, merge into that ring.
+        let existing = words.iter().find_map(|w| self.ring_of.get(w).copied());
+        let rid = match existing {
+            Some(rid) => rid,
+            None => {
+                self.rings.push(Vec::new());
+                self.rings.len() - 1
+            }
+        };
+        for w in words {
+            if let Some(&old) = self.ring_of.get(&w) {
+                if old == rid {
+                    continue;
+                }
+                // Merge the old ring into rid.
+                let moved = std::mem::take(&mut self.rings[old]);
+                for m in moved {
+                    self.ring_of.insert(m.clone(), rid);
+                    if !self.rings[rid].contains(&m) {
+                        self.rings[rid].push(m);
+                    }
+                }
+            } else {
+                self.ring_of.insert(w.clone(), rid);
+                if !self.rings[rid].contains(&w) {
+                    self.rings[rid].push(w);
+                }
+            }
+        }
+    }
+
+    /// Expand a term to its synonym class (including itself). Terms not in
+    /// the thesaurus expand to themselves only.
+    pub fn expand(&self, term: &str) -> Vec<String> {
+        let key = term.to_ascii_lowercase();
+        match self.ring_of.get(&key) {
+            Some(&rid) => self.rings[rid].clone(),
+            None => vec![key],
+        }
+    }
+
+    /// Whether two terms are synonyms (share a ring, or are equal).
+    pub fn synonyms(&self, a: &str, b: &str) -> bool {
+        let (a, b) = (a.to_ascii_lowercase(), b.to_ascii_lowercase());
+        if a == b {
+            return true;
+        }
+        match (self.ring_of.get(&a), self.ring_of.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of rings.
+    pub fn ring_count(&self) -> usize {
+        self.rings.iter().filter(|r| !r.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_includes_self_and_synonyms() {
+        let t = Thesaurus::computer_science();
+        let e = t.expand("database");
+        assert!(e.contains(&"database".to_string()));
+        assert!(e.contains(&"dbms".to_string()));
+    }
+
+    #[test]
+    fn unknown_terms_expand_to_self() {
+        let t = Thesaurus::computer_science();
+        assert_eq!(t.expand("ullman"), vec!["ullman".to_string()]);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let t = Thesaurus::computer_science();
+        assert!(t.synonyms("Database", "DBMS"));
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let t = Thesaurus::empty();
+        assert_eq!(t.expand("anything"), vec!["anything".to_string()]);
+        assert!(t.synonyms("x", "x"));
+        assert!(!t.synonyms("x", "y"));
+    }
+
+    #[test]
+    fn ring_merge() {
+        let mut t = Thesaurus::empty();
+        t.add_ring(["a", "b"]);
+        t.add_ring(["c", "d"]);
+        assert!(!t.synonyms("a", "c"));
+        assert_eq!(t.ring_count(), 2);
+        // Bridging ring merges the two classes.
+        t.add_ring(["b", "c"]);
+        assert!(t.synonyms("a", "d"));
+        assert_eq!(t.ring_count(), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        let t = Thesaurus::computer_science();
+        assert_eq!(t.synonyms("web", "internet"), t.synonyms("internet", "web"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Tokenizers, named per the STARTS `TokenizerIDList` metadata attribute.
+//!
+//! Section 4.3.1 recounts the controversy: exporting separator characters
+//! or token regexes was "not general enough … and deemed too complicated",
+//! so STARTS settled on sources simply *naming* their tokenizers (e.g.
+//! `(Acme-1 en-US) (Acme-2 es)`), and metasearchers learning a tokenizer's
+//! behaviour once, by probing any source that uses it and examining the
+//! actual query returned with the results (Section 4.2).
+//!
+//! The paper's concrete example is whether a query on "Z39.50" should be
+//! one term or the two terms "Z39" and "50" — which depends on whether `.`
+//! is a separator. We therefore provide tokenizers that genuinely disagree
+//! on that input, and a registry mapping well-known ids to behaviours.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A raw token: its text and the character position (token index) in the
+/// field it came from. Positions feed the positional index behind the
+/// `prox` operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawToken {
+    /// The token text, exactly as it appeared (no folding or stemming —
+    /// those are analyzer stages).
+    pub text: String,
+    /// Byte offset of the token start in the input.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// A tokenizer identifier as exported in `TokenizerIDList` metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenizerId(pub String);
+
+impl fmt::Display for TokenizerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for TokenizerId {
+    type Err = std::convert::Infallible;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(TokenizerId(s.to_string()))
+    }
+}
+
+/// The tokenization behaviours implemented by the simulated engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenizerKind {
+    /// Split on Unicode whitespace only. "Z39.50" is ONE token; so is
+    /// "systems," (trailing punctuation kept) — the crudest engines did
+    /// this.
+    Whitespace,
+    /// A token is a maximal run of alphanumeric characters. "Z39.50" is
+    /// TWO tokens ("Z39", "50"); `.` and `-` are separators. This is the
+    /// registry's `Acme-1`.
+    AlnumRuns,
+    /// Like `AlnumRuns`, but `.`, `-`, `'` joining two alphanumerics stay
+    /// inside the token: "Z39.50" is ONE token, "state-of-the-art" is one
+    /// token, but a sentence-final period is a separator. This is
+    /// `Acme-2`.
+    WordJoiners,
+}
+
+impl TokenizerKind {
+    /// The conventional registry id for this behaviour.
+    pub fn id(self) -> TokenizerId {
+        TokenizerId(
+            match self {
+                TokenizerKind::Whitespace => "Plain-1",
+                TokenizerKind::AlnumRuns => "Acme-1",
+                TokenizerKind::WordJoiners => "Acme-2",
+            }
+            .to_string(),
+        )
+    }
+
+    /// Tokenize `text` into raw tokens.
+    pub fn tokenize(self, text: &str) -> Vec<RawToken> {
+        match self {
+            TokenizerKind::Whitespace => tokenize_whitespace(text),
+            TokenizerKind::AlnumRuns => tokenize_alnum(text),
+            TokenizerKind::WordJoiners => tokenize_joiners(text),
+        }
+    }
+}
+
+/// Resolve a registry id to a behaviour. Unknown ids resolve to `None`:
+/// the metasearcher must then probe the source, exactly as Section 4.3.1
+/// prescribes for unfamiliar tokenizers.
+pub fn tokenizer_by_id(id: &TokenizerId) -> Option<TokenizerKind> {
+    match id.0.as_str() {
+        "Plain-1" => Some(TokenizerKind::Whitespace),
+        "Acme-1" => Some(TokenizerKind::AlnumRuns),
+        "Acme-2" => Some(TokenizerKind::WordJoiners),
+        _ => None,
+    }
+}
+
+/// Object-safe tokenizer interface, for engines configured at runtime.
+pub trait Tokenizer: Send + Sync {
+    /// The id exported in `TokenizerIDList`.
+    fn id(&self) -> TokenizerId;
+    /// Tokenize one field's text.
+    fn tokenize(&self, text: &str) -> Vec<RawToken>;
+}
+
+impl Tokenizer for TokenizerKind {
+    fn id(&self) -> TokenizerId {
+        TokenizerKind::id(*self)
+    }
+    fn tokenize(&self, text: &str) -> Vec<RawToken> {
+        TokenizerKind::tokenize(*self, text)
+    }
+}
+
+fn tokenize_whitespace(text: &str) -> Vec<RawToken> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push(RawToken {
+                    text: text[s..i].to_string(),
+                    start: s,
+                    end: i,
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push(RawToken {
+            text: text[s..].to_string(),
+            start: s,
+            end: text.len(),
+        });
+    }
+    out
+}
+
+fn tokenize_alnum(text: &str) -> Vec<RawToken> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in text.char_indices() {
+        if c.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push(RawToken {
+                text: text[s..i].to_string(),
+                start: s,
+                end: i,
+            });
+        }
+    }
+    if let Some(s) = start {
+        out.push(RawToken {
+            text: text[s..].to_string(),
+            start: s,
+            end: text.len(),
+        });
+    }
+    out
+}
+
+fn tokenize_joiners(text: &str) -> Vec<RawToken> {
+    // A joiner (. - ') is part of a token iff both neighbours are
+    // alphanumeric.
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let is_joiner = |c: char| matches!(c, '.' | '-' | '\'');
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (idx, &(i, c)) in chars.iter().enumerate() {
+        let in_token = if c.is_alphanumeric() {
+            true
+        } else if is_joiner(c) {
+            let prev_ok = idx > 0 && chars[idx - 1].1.is_alphanumeric();
+            let next_ok = idx + 1 < chars.len() && chars[idx + 1].1.is_alphanumeric();
+            prev_ok && next_ok
+        } else {
+            false
+        };
+        if in_token {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push(RawToken {
+                text: text[s..i].to_string(),
+                start: s,
+                end: i,
+            });
+        }
+    }
+    if let Some(s) = start {
+        out.push(RawToken {
+            text: text[s..].to_string(),
+            start: s,
+            end: text.len(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(kind: TokenizerKind, input: &str) -> Vec<String> {
+        kind.tokenize(input).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn z3950_is_the_paper_litmus_test() {
+        // Section 4.3.1: "a query on Z39.50 should include this term as
+        // is, or should instead contain two terms, namely Z39 and 50".
+        assert_eq!(
+            texts(TokenizerKind::AlnumRuns, "Z39.50"),
+            vec!["Z39", "50"]
+        );
+        assert_eq!(texts(TokenizerKind::WordJoiners, "Z39.50"), vec!["Z39.50"]);
+        assert_eq!(texts(TokenizerKind::Whitespace, "Z39.50"), vec!["Z39.50"]);
+    }
+
+    #[test]
+    fn whitespace_keeps_punctuation() {
+        assert_eq!(
+            texts(TokenizerKind::Whitespace, "distributed systems,"),
+            vec!["distributed", "systems,"]
+        );
+    }
+
+    #[test]
+    fn alnum_strips_punctuation() {
+        assert_eq!(
+            texts(TokenizerKind::AlnumRuns, "distributed systems,"),
+            vec!["distributed", "systems"]
+        );
+        assert_eq!(
+            texts(TokenizerKind::AlnumRuns, "state-of-the-art"),
+            vec!["state", "of", "the", "art"]
+        );
+    }
+
+    #[test]
+    fn joiners_keep_internal_punctuation_only() {
+        assert_eq!(
+            texts(TokenizerKind::WordJoiners, "state-of-the-art."),
+            vec!["state-of-the-art"]
+        );
+        assert_eq!(
+            texts(TokenizerKind::WordJoiners, "end. Next"),
+            vec!["end", "Next"]
+        );
+        assert_eq!(
+            texts(TokenizerKind::WordJoiners, "O'Reilly's book"),
+            vec!["O'Reilly's", "book"]
+        );
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(
+            texts(TokenizerKind::AlnumRuns, "búsqueda de datos"),
+            vec!["búsqueda", "de", "datos"]
+        );
+    }
+
+    #[test]
+    fn offsets_are_correct() {
+        let toks = TokenizerKind::AlnumRuns.tokenize("ab, cd");
+        assert_eq!(toks.len(), 2);
+        assert_eq!((toks[0].start, toks[0].end), (0, 2));
+        assert_eq!((toks[1].start, toks[1].end), (4, 6));
+        assert_eq!(&"ab, cd"[toks[1].start..toks[1].end], "cd");
+    }
+
+    #[test]
+    fn empty_and_all_separator_inputs() {
+        for kind in [
+            TokenizerKind::Whitespace,
+            TokenizerKind::AlnumRuns,
+            TokenizerKind::WordJoiners,
+        ] {
+            assert!(kind.tokenize("").is_empty());
+            assert!(kind.tokenize("   ").is_empty());
+        }
+        assert!(TokenizerKind::AlnumRuns.tokenize("... --- ...").is_empty());
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        for kind in [
+            TokenizerKind::Whitespace,
+            TokenizerKind::AlnumRuns,
+            TokenizerKind::WordJoiners,
+        ] {
+            assert_eq!(tokenizer_by_id(&kind.id()), Some(kind));
+        }
+        assert_eq!(
+            tokenizer_by_id(&TokenizerId("Unknown-9".to_string())),
+            None
+        );
+    }
+
+    #[test]
+    fn trailing_joiner_not_included() {
+        assert_eq!(texts(TokenizerKind::WordJoiners, "end."), vec!["end"]);
+        assert_eq!(texts(TokenizerKind::WordJoiners, ".start"), vec!["start"]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the text substrate.
+
+use proptest::prelude::*;
+use starts_text::tokenize::RawToken;
+use starts_text::{
+    fold_case, porter_stem, soundex, Analyzer, AnalyzerConfig, CaseMode, LangTag, StopWordList,
+    TokenizerKind,
+};
+
+proptest! {
+    /// Porter never panics and never grows a word.
+    #[test]
+    fn porter_total_and_shrinking(w in "[a-zA-Z]{0,24}") {
+        let s = porter_stem(&w);
+        prop_assert!(s.len() <= w.len().max(2));
+        // Output is pure lowercase ASCII letters for alphabetic input.
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    /// Porter on arbitrary UTF-8 never panics; non-alphabetic input is
+    /// returned lowercased verbatim.
+    #[test]
+    fn porter_total_on_any_input(w in "\\PC{0,32}") {
+        let _ = porter_stem(&w);
+    }
+
+    /// Soundex codes are always 1 letter + 3 digits.
+    #[test]
+    fn soundex_shape(w in "[a-zA-Z]{1,24}") {
+        let code = soundex(&w).expect("alphabetic input has a code");
+        prop_assert_eq!(code.len(), 4);
+        let bytes = code.as_bytes();
+        prop_assert!(bytes[0].is_ascii_uppercase());
+        prop_assert!(bytes[1..].iter().all(|b| b.is_ascii_digit()));
+    }
+
+    /// Soundex is invariant under case.
+    #[test]
+    fn soundex_case_invariant(w in "[a-zA-Z]{1,24}") {
+        prop_assert_eq!(soundex(&w), soundex(&w.to_ascii_uppercase()));
+    }
+
+    /// Case folding is idempotent.
+    #[test]
+    fn fold_idempotent(s in "\\PC{0,48}") {
+        let once = fold_case(&s);
+        prop_assert_eq!(fold_case(&once), once);
+    }
+
+    /// Tokenizers cover the input: every token's span reproduces its text,
+    /// tokens are in order and non-overlapping.
+    #[test]
+    fn tokenizer_spans_consistent(s in "\\PC{0,64}") {
+        for kind in [TokenizerKind::Whitespace, TokenizerKind::AlnumRuns, TokenizerKind::WordJoiners] {
+            let toks: Vec<RawToken> = kind.tokenize(&s);
+            let mut last_end = 0usize;
+            for t in &toks {
+                prop_assert!(t.start >= last_end, "{kind:?} overlap in {s:?}");
+                prop_assert!(t.end > t.start);
+                prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
+                last_end = t.end;
+            }
+        }
+    }
+
+    /// AlnumRuns tokens never contain separators.
+    #[test]
+    fn alnum_tokens_are_alnum(s in "\\PC{0,64}") {
+        for t in TokenizerKind::AlnumRuns.tokenize(&s) {
+            prop_assert!(t.text.chars().all(char::is_alphanumeric));
+        }
+    }
+
+    /// Analyzer output positions are strictly increasing.
+    #[test]
+    fn analyzer_positions_increase(s in "[a-zA-Z ]{0,80}") {
+        let a = Analyzer::default();
+        let toks = a.analyze(&s);
+        for pair in toks.windows(2) {
+            prop_assert!(pair[0].position < pair[1].position);
+        }
+    }
+
+    /// Valid language tags round-trip through Display/parse.
+    #[test]
+    fn langtag_roundtrip(primary in "[a-zA-Z]{1,8}", sub in proptest::option::of("[a-zA-Z0-9]{1,8}")) {
+        let tag = match &sub {
+            Some(s) => format!("{primary}-{s}"),
+            None => primary.clone(),
+        };
+        let parsed = LangTag::parse(&tag).expect("constructed tag is valid");
+        let reparsed = LangTag::parse(&parsed.to_string()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// Stop-word membership is case-invariant.
+    #[test]
+    fn stopwords_case_invariant(w in "[a-zA-Z]{1,12}") {
+        let l = StopWordList::english_aggressive();
+        prop_assert_eq!(l.contains(&w), l.contains(&w.to_ascii_uppercase()));
+    }
+}
+
+#[test]
+fn case_sensitive_analyzer_preserves_exact_terms() {
+    let a = Analyzer::new(AnalyzerConfig {
+        case: CaseMode::Sensitive,
+        stop_words: StopWordList::none(),
+        stem: false,
+        ..AnalyzerConfig::default()
+    });
+    let toks = a.analyze("MiXeD CaSe");
+    let terms: Vec<_> = toks.into_iter().map(|t| t.term).collect();
+    assert_eq!(terms, vec!["MiXeD", "CaSe"]);
+}

@@ -1,0 +1,154 @@
+//! Attribute mappings: Basic-1 fields to Bib-1/GILS *use* attributes
+//! (type 1), modifiers to *relation* (type 2) and *truncation* (type 5)
+//! attributes.
+//!
+//! §4.1.1: "Our fields correspond to the Z39.50/GILS 'use attributes'"
+//! and "our modifiers correspond to the Z39.50 'relation attributes'."
+//! The numeric values below are the registered Bib-1 values where one
+//! exists; GILS-registered values are used for the linkage family, and
+//! the two STARTS-new fields (Document-text, Free-form-text) have no
+//! Z39.50 equivalent — queries using them cannot cross the bridge, which
+//! is faithful: ZDSR was a *simple* profile.
+
+use starts_proto::attrs::CmpOp;
+use starts_proto::{Field, Modifier};
+
+/// Bib-1/GILS use-attribute value for a Basic-1 field, or `None` when
+/// the field has no Z39.50 registration.
+pub fn use_attr(field: &Field) -> Option<u32> {
+    Some(match field {
+        Field::Title => 4,                    // Bib-1 Title
+        Field::Author => 1003,                // Bib-1 Author
+        Field::BodyOfText => 1010,            // Bib-1 Body of text
+        Field::DateLastModified => 1012,      // Bib-1 Date/time last modified
+        Field::Any => 1016,                   // Bib-1 Any
+        Field::Linkage => 2021,               // GILS Linkage
+        Field::LinkageType => 2022,           // GILS Linkage type
+        Field::CrossReferenceLinkage => 2024, // GILS Cross-reference linkage
+        Field::Languages => 54,               // Bib-1 Code--language
+        Field::DocumentText | Field::FreeFormText | Field::Other(_) => return None,
+    })
+}
+
+/// The Basic-1 field for a use-attribute value (inverse of [`use_attr`]).
+pub fn use_attr_to_field(value: u32) -> Option<Field> {
+    Some(match value {
+        4 => Field::Title,
+        1003 => Field::Author,
+        1010 => Field::BodyOfText,
+        1012 => Field::DateLastModified,
+        1016 => Field::Any,
+        2021 => Field::Linkage,
+        2022 => Field::LinkageType,
+        2024 => Field::CrossReferenceLinkage,
+        54 => Field::Languages,
+        _ => return None,
+    })
+}
+
+/// Relation-attribute value (type 2) for a modifier, or `None` for
+/// truncation modifiers (those are type 5) and unregistered ones.
+pub fn relation_attr(modifier: &Modifier) -> Option<u32> {
+    Some(match modifier {
+        Modifier::Cmp(CmpOp::Lt) => 1,
+        Modifier::Cmp(CmpOp::Le) => 2,
+        Modifier::Cmp(CmpOp::Eq) => 3,
+        Modifier::Cmp(CmpOp::Ge) => 4,
+        Modifier::Cmp(CmpOp::Gt) => 5,
+        Modifier::Cmp(CmpOp::Ne) => 6,
+        Modifier::Phonetic => 100, // Bib-1 relation: phonetic
+        Modifier::Stem => 101,     // Bib-1 relation: stem
+        Modifier::Thesaurus => 102, // Bib-1 relation: relevance (closest)
+        _ => return None,
+    })
+}
+
+/// The modifier for a relation-attribute value.
+pub fn relation_to_modifier(value: u32) -> Option<Modifier> {
+    Some(match value {
+        1 => Modifier::Cmp(CmpOp::Lt),
+        2 => Modifier::Cmp(CmpOp::Le),
+        3 => Modifier::Cmp(CmpOp::Eq),
+        4 => Modifier::Cmp(CmpOp::Ge),
+        5 => Modifier::Cmp(CmpOp::Gt),
+        6 => Modifier::Cmp(CmpOp::Ne),
+        100 => Modifier::Phonetic,
+        101 => Modifier::Stem,
+        102 => Modifier::Thesaurus,
+        _ => return None,
+    })
+}
+
+/// Truncation-attribute value (type 5) for a modifier.
+pub fn truncation_attr(modifier: &Modifier) -> Option<u32> {
+    Some(match modifier {
+        Modifier::RightTruncation => 1,
+        Modifier::LeftTruncation => 2,
+        _ => return None,
+    })
+}
+
+/// The modifier for a truncation-attribute value.
+pub fn truncation_to_modifier(value: u32) -> Option<Modifier> {
+    Some(match value {
+        1 => Modifier::RightTruncation,
+        2 => Modifier::LeftTruncation,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_attr_round_trip() {
+        for field in [
+            Field::Title,
+            Field::Author,
+            Field::BodyOfText,
+            Field::DateLastModified,
+            Field::Any,
+            Field::Linkage,
+            Field::LinkageType,
+            Field::CrossReferenceLinkage,
+            Field::Languages,
+        ] {
+            let v = use_attr(&field).expect("registered");
+            assert_eq!(use_attr_to_field(v), Some(field));
+        }
+    }
+
+    #[test]
+    fn starts_new_fields_have_no_mapping() {
+        // Document-text and Free-form-text are STARTS inventions.
+        assert_eq!(use_attr(&Field::DocumentText), None);
+        assert_eq!(use_attr(&Field::FreeFormText), None);
+        assert_eq!(use_attr(&Field::Other("abstract".to_string())), None);
+    }
+
+    #[test]
+    fn relation_round_trip() {
+        for m in [
+            Modifier::Cmp(CmpOp::Lt),
+            Modifier::Cmp(CmpOp::Le),
+            Modifier::Cmp(CmpOp::Eq),
+            Modifier::Cmp(CmpOp::Ge),
+            Modifier::Cmp(CmpOp::Gt),
+            Modifier::Cmp(CmpOp::Ne),
+            Modifier::Phonetic,
+            Modifier::Stem,
+        ] {
+            let v = relation_attr(&m).expect("registered");
+            assert_eq!(relation_to_modifier(v), Some(m));
+        }
+    }
+
+    #[test]
+    fn truncation_round_trip() {
+        assert_eq!(truncation_attr(&Modifier::RightTruncation), Some(1));
+        assert_eq!(truncation_attr(&Modifier::LeftTruncation), Some(2));
+        assert_eq!(truncation_to_modifier(1), Some(Modifier::RightTruncation));
+        assert_eq!(truncation_attr(&Modifier::Stem), None);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! `starts-zdsr` — the ZDSR bridge: STARTS filter expressions ⇄ Z39.50
+//! type-101 RPN, rendered in PQF (Prefix Query Format).
+//!
+//! §2: "the Z39.50 community is designing a profile of their Z39.50-1995
+//! standard based on STARTS. (This profile was originally called
+//! ZSTARTS, but has since changed its name to ZDSR, for Z39.50 Profile
+//! for Simple Distributed Search and Ranked Retrieval.)" And §4.1.1:
+//! "our complex filter expressions are based on a simple subset of the
+//! type-101 queries of the Z39.50-1995 standard", with the Basic-1
+//! fields corresponding to Bib-1/GILS *use* attributes and the modifiers
+//! to *relation* attributes.
+//!
+//! This crate realizes that correspondence concretely: a lossless
+//! mapping between STARTS filter expressions and RPN queries written in
+//! PQF, the Z39.50 community's standard textual form:
+//!
+//! ```text
+//! ((author "Ullman") and (title stem "databases"))
+//!   ⇕
+//! @and @attr 1=1003 "Ullman" @attr 1=4 @attr 2=101 "databases"
+//! ```
+
+pub mod attrs;
+pub mod pqf;
+
+pub use attrs::{relation_attr, truncation_attr, use_attr, use_attr_to_field};
+pub use pqf::{from_pqf, to_pqf, ZdsrError};

@@ -1,0 +1,441 @@
+//! PQF (Prefix Query Format) encoding of the type-101 RPN mapping.
+//!
+//! Grammar (the subset ZDSR needs):
+//!
+//! ```text
+//! query   := node
+//! node    := '@and' node node
+//!          | '@or' node node
+//!          | '@not' node node            -- RPN and-not
+//!          | '@prox' excl dist order rel which unit node node
+//!          | apt
+//! apt     := ('@attr' TYPE '=' VALUE)* term
+//! term    := "quoted string" | bareword
+//! ```
+//!
+//! `@not` in RPN is binary (and-not) — matching STARTS exactly, which
+//! has no unary negation either. `@prox` parameters follow YAZ
+//! conventions: exclusion=0, distance=words-between+1, ordered 1|0,
+//! relation 2 (<=), known unit code `k`, unit 2 (word).
+
+use std::fmt;
+
+use starts_proto::query::{FilterExpr, ProxSpec, QTerm};
+use starts_proto::{Field, LString, Modifier};
+
+use crate::attrs::{
+    relation_attr, relation_to_modifier, truncation_attr, truncation_to_modifier, use_attr,
+    use_attr_to_field,
+};
+
+/// Errors crossing the ZDSR bridge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZdsrError {
+    /// The field has no Z39.50 use attribute (Document-text,
+    /// Free-form-text, or a non-registered set).
+    UnmappableField(String),
+    /// A modifier without a relation/truncation registration.
+    UnmappableModifier(String),
+    /// Language-tagged l-strings do not cross the bridge (type-101 terms
+    /// are plain).
+    UnsupportedLString,
+    /// PQF syntax error.
+    Syntax(String),
+}
+
+impl fmt::Display for ZdsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZdsrError::UnmappableField(name) => {
+                write!(f, "field {name:?} has no Z39.50 use attribute")
+            }
+            ZdsrError::UnmappableModifier(name) => {
+                write!(f, "modifier {name:?} has no Z39.50 attribute")
+            }
+            ZdsrError::UnsupportedLString => {
+                write!(f, "language-qualified l-strings cannot cross ZDSR")
+            }
+            ZdsrError::Syntax(m) => write!(f, "PQF syntax error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ZdsrError {}
+
+/// Encode a STARTS filter expression as PQF.
+pub fn to_pqf(expr: &FilterExpr) -> Result<String, ZdsrError> {
+    let mut out = String::new();
+    encode(expr, &mut out)?;
+    Ok(out)
+}
+
+fn encode(expr: &FilterExpr, out: &mut String) -> Result<(), ZdsrError> {
+    match expr {
+        FilterExpr::Term(t) => encode_apt(t, out),
+        FilterExpr::And(a, b) => encode_binary("@and", a, b, out),
+        FilterExpr::Or(a, b) => encode_binary("@or", a, b, out),
+        FilterExpr::AndNot(a, b) => encode_binary("@not", a, b, out),
+        FilterExpr::Prox(l, spec, r) => {
+            // exclusion=0 distance ordered relation=2 known=k unit=2
+            out.push_str(&format!(
+                "@prox 0 {} {} 2 k 2 ",
+                spec.distance + 1,
+                if spec.ordered { 1 } else { 0 }
+            ));
+            encode_apt(l, out)?;
+            out.push(' ');
+            encode_apt(r, out)
+        }
+    }
+}
+
+fn encode_binary(
+    op: &str,
+    a: &FilterExpr,
+    b: &FilterExpr,
+    out: &mut String,
+) -> Result<(), ZdsrError> {
+    out.push_str(op);
+    out.push(' ');
+    encode(a, out)?;
+    out.push(' ');
+    encode(b, out)
+}
+
+fn encode_apt(t: &QTerm, out: &mut String) -> Result<(), ZdsrError> {
+    if t.value.lang.is_some() {
+        return Err(ZdsrError::UnsupportedLString);
+    }
+    let field = t.effective_field();
+    let use_value =
+        use_attr(&field).ok_or_else(|| ZdsrError::UnmappableField(field.name().to_string()))?;
+    // Emit the use attribute even for Any (Bib-1 1016): the effective
+    // query is then explicit and self-contained on the Z39.50 side.
+    out.push_str(&format!("@attr 1={use_value} "));
+    for m in &t.modifiers {
+        if let Some(rel) = relation_attr(m) {
+            out.push_str(&format!("@attr 2={rel} "));
+        } else if let Some(tr) = truncation_attr(m) {
+            out.push_str(&format!("@attr 5={tr} "));
+        } else if matches!(m, Modifier::CaseSensitive) {
+            // Bib-1 has no case attribute; ZDSR drops it (documented
+            // lossy case) — but we error to keep the bridge honest.
+            return Err(ZdsrError::UnmappableModifier(m.name().to_string()));
+        } else {
+            return Err(ZdsrError::UnmappableModifier(m.name().to_string()));
+        }
+    }
+    out.push('"');
+    for c in t.value.text.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    Ok(())
+}
+
+/// Maximum RPN nesting depth (prefix operators recurse; a hostile
+/// `@and @and @and …` chain must not exhaust the stack).
+const MAX_DEPTH: usize = 128;
+
+/// Decode a PQF query back into a STARTS filter expression.
+pub fn from_pqf(input: &str) -> Result<FilterExpr, ZdsrError> {
+    let tokens = tokenize(input)?;
+    let mut pos = 0;
+    let expr = parse_node(&tokens, &mut pos, 0)?;
+    if pos != tokens.len() {
+        return Err(ZdsrError::Syntax("trailing tokens".to_string()));
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    Quoted(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, ZdsrError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ZdsrError::Syntax("unterminated string".to_string()));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            s.push(bytes[i + 1] as char);
+                            i += 2;
+                        }
+                        _ => {
+                            let c = input[i..].chars().next().expect("in bounds");
+                            s.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                out.push(Tok::Quoted(s));
+            }
+            _ => {
+                let start = i;
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                out.push(Tok::Word(input[start..i].to_string()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_node(tokens: &[Tok], pos: &mut usize, depth: usize) -> Result<FilterExpr, ZdsrError> {
+    if depth > MAX_DEPTH {
+        return Err(ZdsrError::Syntax(format!(
+            "query nesting exceeds {MAX_DEPTH} levels"
+        )));
+    }
+    match tokens.get(*pos) {
+        Some(Tok::Word(w)) if w == "@and" || w == "@or" || w == "@not" => {
+            let op = w.clone();
+            *pos += 1;
+            let a = parse_node(tokens, pos, depth + 1)?;
+            let b = parse_node(tokens, pos, depth + 1)?;
+            Ok(match op.as_str() {
+                "@and" => FilterExpr::and(a, b),
+                "@or" => FilterExpr::or(a, b),
+                _ => FilterExpr::and_not(a, b),
+            })
+        }
+        Some(Tok::Word(w)) if w == "@prox" => {
+            *pos += 1;
+            let mut nums = Vec::new();
+            for _ in 0..6 {
+                let Some(Tok::Word(n)) = tokens.get(*pos) else {
+                    return Err(ZdsrError::Syntax("truncated @prox".to_string()));
+                };
+                nums.push(n.clone());
+                *pos += 1;
+            }
+            let distance: u32 = nums[1]
+                .parse()
+                .map_err(|_| ZdsrError::Syntax("bad prox distance".to_string()))?;
+            let ordered = nums[2] == "1";
+            let FilterExpr::Term(l) = parse_node(tokens, pos, depth + 1)? else {
+                return Err(ZdsrError::Syntax("prox operand must be an APT".to_string()));
+            };
+            let FilterExpr::Term(r) = parse_node(tokens, pos, depth + 1)? else {
+                return Err(ZdsrError::Syntax("prox operand must be an APT".to_string()));
+            };
+            Ok(FilterExpr::Prox(
+                l,
+                ProxSpec {
+                    distance: distance.saturating_sub(1),
+                    ordered,
+                },
+                r,
+            ))
+        }
+        Some(_) => parse_apt(tokens, pos),
+        None => Err(ZdsrError::Syntax("unexpected end of query".to_string())),
+    }
+}
+
+fn parse_apt(tokens: &[Tok], pos: &mut usize) -> Result<FilterExpr, ZdsrError> {
+    let mut field: Option<Field> = None;
+    let mut modifiers: Vec<Modifier> = Vec::new();
+    loop {
+        match tokens.get(*pos) {
+            Some(Tok::Word(w)) if w == "@attr" => {
+                *pos += 1;
+                let Some(Tok::Word(spec)) = tokens.get(*pos) else {
+                    return Err(ZdsrError::Syntax("missing attribute spec".to_string()));
+                };
+                *pos += 1;
+                let (ty, val) = spec
+                    .split_once('=')
+                    .ok_or_else(|| ZdsrError::Syntax(format!("bad attribute {spec:?}")))?;
+                let ty: u32 = ty
+                    .parse()
+                    .map_err(|_| ZdsrError::Syntax("bad attribute type".to_string()))?;
+                let val: u32 = val
+                    .parse()
+                    .map_err(|_| ZdsrError::Syntax("bad attribute value".to_string()))?;
+                match ty {
+                    1 => {
+                        field = Some(use_attr_to_field(val).ok_or_else(|| {
+                            ZdsrError::Syntax(format!("unknown use attribute {val}"))
+                        })?)
+                    }
+                    2 => {
+                        // Relation 3 (=) is the default; only record
+                        // non-default relations as modifiers.
+                        if val != 3 {
+                            modifiers.push(relation_to_modifier(val).ok_or_else(|| {
+                                ZdsrError::Syntax(format!("unknown relation {val}"))
+                            })?);
+                        } else {
+                            modifiers.push(Modifier::Cmp(starts_proto::attrs::CmpOp::Eq));
+                        }
+                    }
+                    5 => modifiers.push(truncation_to_modifier(val).ok_or_else(|| {
+                        ZdsrError::Syntax(format!("unknown truncation {val}"))
+                    })?),
+                    _ => {
+                        return Err(ZdsrError::Syntax(format!(
+                            "unsupported attribute type {ty}"
+                        )))
+                    }
+                }
+            }
+            Some(Tok::Quoted(s)) => {
+                let term = QTerm {
+                    field: match field {
+                        Some(Field::Any) | None => None,
+                        other => other,
+                    },
+                    modifiers,
+                    value: LString::plain(s.clone()),
+                };
+                *pos += 1;
+                return Ok(FilterExpr::Term(term));
+            }
+            Some(Tok::Word(w)) if !w.starts_with('@') => {
+                let term = QTerm {
+                    field: match field {
+                        Some(Field::Any) | None => None,
+                        other => other,
+                    },
+                    modifiers,
+                    value: LString::plain(w.clone()),
+                };
+                *pos += 1;
+                return Ok(FilterExpr::Term(term));
+            }
+            other => {
+                return Err(ZdsrError::Syntax(format!(
+                    "expected term or @attr, found {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starts_proto::query::{parse_filter, print_filter};
+
+    #[test]
+    fn example1_filter_to_pqf() {
+        let f = parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap();
+        let pqf = to_pqf(&f).unwrap();
+        assert_eq!(
+            pqf,
+            r#"@and @attr 1=1003 "Ullman" @attr 1=4 @attr 2=101 "databases""#
+        );
+    }
+
+    #[test]
+    fn pqf_round_trip() {
+        for src in [
+            r#"(author "Ullman")"#,
+            r#"((author "Ullman") and (title stem "databases"))"#,
+            r#"((title "a") or ((author "b") and-not (body-of-text "c")))"#,
+            r#"("x" prox[3,T] "y")"#,
+            r#"(date-last-modified > "1996-08-01")"#,
+            r#"(title right-truncation "data")"#,
+        ] {
+            let f = parse_filter(src).unwrap();
+            let pqf = to_pqf(&f).unwrap();
+            let back = from_pqf(&pqf).unwrap_or_else(|e| panic!("{pqf}: {e}"));
+            assert_eq!(
+                print_filter(&back),
+                print_filter(&f),
+                "round trip through {pqf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prox_parameters() {
+        let f = parse_filter(r#"("x" prox[3,T] "y")"#).unwrap();
+        let pqf = to_pqf(&f).unwrap();
+        // distance = words-between + 1 per YAZ convention.
+        assert!(pqf.starts_with("@prox 0 4 1 2 k 2 "), "{pqf}");
+        let back = from_pqf(&pqf).unwrap();
+        let FilterExpr::Prox(_, spec, _) = back else {
+            panic!()
+        };
+        assert_eq!(spec.distance, 3);
+        assert!(spec.ordered);
+    }
+
+    #[test]
+    fn unmappable_constructs_error() {
+        let f = parse_filter(r#"(document-text "whole doc here")"#).unwrap();
+        assert!(matches!(to_pqf(&f), Err(ZdsrError::UnmappableField(_))));
+        let f = parse_filter(r#"(title case-sensitive "Unix")"#).unwrap();
+        assert!(matches!(to_pqf(&f), Err(ZdsrError::UnmappableModifier(_))));
+        let f = parse_filter(r#"(title [es "datos"])"#).unwrap();
+        assert_eq!(to_pqf(&f), Err(ZdsrError::UnsupportedLString));
+    }
+
+    #[test]
+    fn any_field_maps_to_1016() {
+        let f = parse_filter(r#""databases""#).unwrap();
+        let pqf = to_pqf(&f).unwrap();
+        assert_eq!(pqf, r#"@attr 1=1016 "databases""#);
+        let back = from_pqf(&pqf).unwrap();
+        let FilterExpr::Term(t) = back else { panic!() };
+        assert_eq!(t.field, None); // Any is the default; stays implicit
+    }
+
+    #[test]
+    fn bareword_terms_accepted() {
+        let f = from_pqf("@and @attr 1=4 databases @attr 1=1003 ullman").unwrap();
+        assert_eq!(f.terms().len(), 2);
+        assert_eq!(f.terms()[0].value.text, "databases");
+    }
+
+    #[test]
+    fn pqf_syntax_errors() {
+        assert!(from_pqf("").is_err());
+        assert!(from_pqf("@and @attr 1=4 \"a\"").is_err()); // missing operand
+        assert!(from_pqf("@attr 1=4").is_err()); // no term
+        assert!(from_pqf("@attr nonsense \"a\"").is_err());
+        assert!(from_pqf("@attr 1=99999 \"a\"").is_err());
+        assert!(from_pqf("@prox 0 1 \"a\" \"b\"").is_err());
+        assert!(from_pqf("\"a\" trailing").is_err());
+        assert!(from_pqf("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn hostile_rpn_nesting_rejected() {
+        let mut q = "@and ".repeat(100_000);
+        q.push_str("\"a\" ");
+        q.push_str(&"\"b\" ".repeat(100_000));
+        let err = from_pqf(&q).unwrap_err();
+        assert!(matches!(err, ZdsrError::Syntax(_)));
+    }
+
+    #[test]
+    fn escaped_quotes_in_terms() {
+        let f = parse_filter(r#"(title "say \"hi\"")"#).unwrap();
+        let pqf = to_pqf(&f).unwrap();
+        let back = from_pqf(&pqf).unwrap();
+        assert_eq!(back.terms()[0].value.text, r#"say "hi""#);
+    }
+}

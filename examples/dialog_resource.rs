@@ -1,0 +1,108 @@
+//! The Figure 1 scenario: a *resource* (like Knight-Ridder's Dialog)
+//! hosting several sources; the client queries one member, names its
+//! siblings in `AdditionalSources`, and the resource eliminates
+//! duplicate documents from the merged result.
+//!
+//! Run with `cargo run --example dialog_resource`.
+
+use starts::index::Document;
+use starts::net::{host::wire_resource, LinkProfile, SimNet, StartsClient};
+use starts::proto::query::parse_ranking;
+use starts::proto::{Field, Query};
+use starts::source::{ResourceHost, Source, SourceConfig};
+
+fn collection(tag: &str, shared: bool) -> Vec<Document> {
+    let mut docs = vec![
+        Document::new()
+            .field("title", format!("{tag} indexing techniques"))
+            .field(
+                "body-of-text",
+                format!("indexing and retrieval for {tag} databases collections"),
+            )
+            .field("linkage", format!("dialog://{tag}/indexing")),
+        Document::new()
+            .field("title", format!("{tag} systems overview"))
+            .field(
+                "body-of-text",
+                format!("an overview of {tag} databases systems and databases engines"),
+            )
+            .field("linkage", format!("dialog://{tag}/overview")),
+    ];
+    if shared {
+        // The same technical report is carried by both collections — the
+        // duplicate Figure 1 says the resource should eliminate.
+        docs.push(
+            Document::new()
+                .field("title", "Shared Technical Report on Databases")
+                .field(
+                    "body-of-text",
+                    "databases databases databases a shared report carried by \
+                     multiple collections",
+                )
+                .field("linkage", "dialog://shared/tr-42"),
+        );
+    }
+    docs
+}
+
+fn main() {
+    // Two sources inside one resource, like Inspec and the Computer
+    // Database inside Dialog (§3).
+    let inspec = Source::build(SourceConfig::new("Inspec"), &collection("inspec", true));
+    let compdb = Source::build(SourceConfig::new("CompDB"), &collection("compdb", true));
+    let net = SimNet::new();
+    wire_resource(
+        &net,
+        ResourceHost::new(vec![inspec, compdb]),
+        "starts://dialog",
+        LinkProfile {
+            latency_ms: 250,
+            cost_per_query: 1.5, // Dialog charges per query (§3.3)
+        },
+    );
+    let client = StartsClient::new(&net);
+
+    // Discover the resource (Example 12's @SResource object).
+    let resource = client.fetch_resource("starts://dialog").unwrap();
+    println!("== Resource listing (@SResource) ==");
+    for (id, url) in &resource.sources {
+        println!("  {id}  metadata at {url}");
+    }
+    println!();
+
+    // Query Inspec, asking it to also evaluate at CompDB (Figure 1).
+    let query = Query {
+        ranking: Some(parse_ranking(r#"list((body-of-text "databases"))"#).unwrap()),
+        additional_sources: vec!["CompDB".to_string()],
+        ..Query::default()
+    };
+    let results = client.query("starts://inspec/query", &query).unwrap();
+
+    println!("== Merged result from the resource ==");
+    println!("sources consulted: {}", results.sources.join(", "));
+    for doc in &results.documents {
+        println!(
+            "  score {:>7.4}  [{}]  {}",
+            doc.raw_score.unwrap_or(0.0),
+            doc.sources.join("+"),
+            doc.field(&Field::Title).unwrap_or("?"),
+        );
+    }
+    let shared = results
+        .documents
+        .iter()
+        .find(|d| d.linkage() == Some("dialog://shared/tr-42"))
+        .expect("the shared report is in the result");
+    println!();
+    println!(
+        "duplicate elimination: the shared report appears ONCE, attributed to [{}]",
+        shared.sources.join(", ")
+    );
+    assert_eq!(shared.sources.len(), 2);
+
+    let stats = client.net().stats();
+    println!(
+        "session: {} requests, {} ms latency, ${:.2} charged",
+        stats.requests, stats.total_latency_ms, stats.total_cost
+    );
+}

@@ -1,0 +1,160 @@
+//! The paper's Examples 6–8 as one live pipeline: the Example 6 query
+//! executed against a source holding the two Stanford documents, with
+//! the answer specification (score threshold, result cap, answer
+//! fields) enforced end to end.
+
+use starts::index::Document;
+use starts::proto::query::{parse_filter, parse_ranking};
+use starts::proto::{AnswerSpec, Field, Query};
+use starts::source::{Source, SourceConfig};
+
+fn stanford_library() -> Vec<Document> {
+    vec![
+        // The Example 8 document.
+        Document::new()
+            .field(
+                "title",
+                "A Comparison Between Deductive and Object-Oriented Database Systems",
+            )
+            .field("author", "Jeffrey D. Ullman")
+            .field(
+                "body-of-text",
+                "databases compared: deductive databases versus object-oriented \
+                 databases with distributed evaluation",
+            )
+            .field("linkage", "http://www-db.stanford.edu/~ullman/pub/dood.ps"),
+        // The Example 9 document.
+        Document::new()
+            .field(
+                "title",
+                "Database Research: Achievements and Opportunities into the 21st. Century",
+            )
+            .field("author", "Avi Silberschatz, Mike Stonebraker, Jeff Ullman")
+            .field(
+                "body-of-text",
+                "distributed databases research agenda: databases opportunities and \
+                 distributed databases achievements",
+            )
+            .field("linkage", "http://elib.stanford.edu/lagunita.ps"),
+        // An Ullman paper whose title does not stem-match "databases".
+        Document::new()
+            .field("title", "Introduction to Automata Theory")
+            .field("author", "John Hopcroft, Jeffrey Ullman")
+            .field("body-of-text", "automata languages and computation")
+            .field("linkage", "http://example.org/automata.ps"),
+        // A databases paper by someone else.
+        Document::new()
+            .field("title", "Database System Implementation")
+            .field("author", "Hector Garcia-Molina")
+            .field("body-of-text", "implementing databases from storage up")
+            .field("linkage", "http://example.org/dsi.ps"),
+    ]
+}
+
+fn example6(min_score: f64, max_docs: usize) -> Query {
+    Query {
+        filter: Some(
+            parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
+        ),
+        ranking: Some(
+            parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
+                .unwrap(),
+        ),
+        answer: AnswerSpec {
+            fields: vec![Field::Title, Field::Author],
+            min_doc_score: min_score,
+            max_documents: max_docs,
+            ..AnswerSpec::default()
+        },
+        ..Query::default()
+    }
+}
+
+#[test]
+fn filter_selects_only_ullman_database_titles() {
+    let source = Source::build(SourceConfig::new("Source-1"), &stanford_library());
+    let results = source.execute(&example6(0.0, 10));
+    let urls: Vec<&str> = results
+        .documents
+        .iter()
+        .filter_map(|d| d.linkage())
+        .collect();
+    // Automata (title mismatch) and Garcia-Molina (author mismatch) are
+    // excluded by the filter; both remaining docs are Ullman + database*.
+    assert_eq!(urls.len(), 2);
+    assert!(urls.contains(&"http://www-db.stanford.edu/~ullman/pub/dood.ps"));
+    assert!(urls.contains(&"http://elib.stanford.edu/lagunita.ps"));
+}
+
+#[test]
+fn ranking_orders_by_the_ranking_expression() {
+    let source = Source::build(SourceConfig::new("Source-1"), &stanford_library());
+    let results = source.execute(&example6(0.0, 10));
+    // The lagunita doc mentions "distributed" 3× and "databases" 3×; it
+    // must outrank the dood doc (0× / 3×).
+    assert_eq!(
+        results.documents[0].linkage(),
+        Some("http://elib.stanford.edu/lagunita.ps")
+    );
+    let s0 = results.documents[0].raw_score.unwrap();
+    let s1 = results.documents[1].raw_score.unwrap();
+    assert!(s0 > s1);
+}
+
+#[test]
+fn min_document_score_threshold_applies() {
+    let source = Source::build(SourceConfig::new("Source-1"), &stanford_library());
+    let all = source.execute(&example6(0.0, 10));
+    let top_score = all.documents[0].raw_score.unwrap();
+    let second_score = all.documents[1].raw_score.unwrap();
+    // A threshold between the two scores keeps exactly the top document
+    // (Example 6's "only documents with a score … of at least 0.5").
+    let threshold = (top_score + second_score) / 2.0;
+    let filtered = source.execute(&example6(threshold, 10));
+    assert_eq!(filtered.documents.len(), 1);
+    assert_eq!(
+        filtered.documents[0].linkage(),
+        Some("http://elib.stanford.edu/lagunita.ps")
+    );
+    // A threshold above everything empties the result.
+    let none = source.execute(&example6(top_score + 1.0, 10));
+    assert!(none.documents.is_empty());
+}
+
+#[test]
+fn max_number_documents_caps_the_result() {
+    let source = Source::build(SourceConfig::new("Source-1"), &stanford_library());
+    let capped = source.execute(&example6(0.0, 1));
+    assert_eq!(capped.documents.len(), 1);
+    // The cap keeps the best-scoring document.
+    assert_eq!(
+        capped.documents[0].linkage(),
+        Some("http://elib.stanford.edu/lagunita.ps")
+    );
+}
+
+#[test]
+fn answer_fields_and_term_stats_shape() {
+    let source = Source::build(SourceConfig::new("Source-1"), &stanford_library());
+    let results = source.execute(&example6(0.0, 10));
+    for d in &results.documents {
+        // Linkage always returned, plus the requested title and author.
+        assert!(d.linkage().is_some());
+        assert!(d.field(&Field::Title).is_some());
+        assert!(d.field(&Field::Author).is_some());
+        // One TermStats entry per ranking term, with df consistent
+        // across documents (df is a collection statistic).
+        assert_eq!(d.term_stats.len(), 2);
+    }
+    let df_first: Vec<u32> = results.documents[0]
+        .term_stats
+        .iter()
+        .map(|t| t.document_frequency)
+        .collect();
+    let df_second: Vec<u32> = results.documents[1]
+        .term_stats
+        .iter()
+        .map(|t| t.document_frequency)
+        .collect();
+    assert_eq!(df_first, df_second);
+}

@@ -1,0 +1,139 @@
+//! End-to-end tests of the two STARTS-new Basic-1 fields (§4.1.1):
+//! relevance feedback through `Document-text` and native-query
+//! pass-through via `Free-form-text`.
+
+use starts::index::Document;
+use starts::proto::query::{parse_filter, parse_ranking};
+use starts::proto::{Field, LString, QTerm, Query, RankExpr, WeightedTerm};
+use starts::source::{vendors, Source};
+
+fn library() -> Vec<Document> {
+    vec![
+        Document::new()
+            .field("title", "Distributed Database Replication")
+            .field(
+                "body-of-text",
+                "replication of databases across distributed sites with consistency \
+                 protocols and commit coordination",
+            )
+            .field("linkage", "lib://db-replication"),
+        Document::new()
+            .field("title", "Query Optimization Survey")
+            .field(
+                "body-of-text",
+                "databases optimize queries with cost models and plan enumeration",
+            )
+            .field("linkage", "lib://query-opt"),
+        Document::new()
+            .field("title", "Bird Migration Patterns")
+            .field(
+                "body-of-text",
+                "seasonal migration of birds across continents and their navigation",
+            )
+            .field("linkage", "lib://birds"),
+    ]
+}
+
+#[test]
+fn document_text_relevance_feedback_finds_similar_documents() {
+    // A user liked some (external) document about distributed databases;
+    // the metasearcher passes its whole text via Document-text.
+    let source = Source::build(vendors::okapi("Okapi"), &library());
+    let liked_document = "we study databases replication in distributed systems \
+                          where databases coordinate commit decisions across sites";
+    let term = QTerm {
+        field: Some(Field::DocumentText),
+        modifiers: vec![],
+        value: LString::plain(liked_document),
+    };
+    let query = Query {
+        ranking: Some(RankExpr::Term(WeightedTerm::plain(term))),
+        ..Query::default()
+    };
+    let results = source.execute(&query);
+    assert!(!results.documents.is_empty(), "feedback found nothing");
+    // The most similar document leads. (Okapi has no stop list, so a
+    // shared function word like "across" may still pull in the bird
+    // paper — but only at the bottom of the rank.)
+    assert_eq!(
+        results.documents[0].linkage(),
+        Some("lib://db-replication")
+    );
+    if let Some(pos) = results
+        .documents
+        .iter()
+        .position(|d| d.linkage() == Some("lib://birds"))
+    {
+        assert_eq!(
+            pos,
+            results.documents.len() - 1,
+            "off-topic document must rank last"
+        );
+    }
+}
+
+#[test]
+fn document_text_dropped_at_sources_without_support() {
+    // Acme does not declare Document-text: the term vanishes and the
+    // actual query says so.
+    let source = Source::build(vendors::acme("Acme"), &library());
+    let query = Query {
+        ranking: Some(
+            parse_ranking(r#"list((document-text "databases replication text"))"#).unwrap(),
+        ),
+        ..Query::default()
+    };
+    let results = source.execute(&query);
+    assert!(results.actual_ranking.is_none());
+    assert!(results.documents.is_empty());
+}
+
+#[test]
+fn free_form_text_executes_native_pqf() {
+    // An informed metasearcher sends Okapi a native PQF query through
+    // Free-form-text (§4.1.1: "informed metasearchers could use the
+    // sources' richer native query languages").
+    let source = Source::build(vendors::okapi("Okapi"), &library());
+    let query = Query {
+        filter: Some(
+            parse_filter(
+                r#"(free-form-text "@and @attr 1=1010 databases @attr 1=1010 replication")"#,
+            )
+            .unwrap(),
+        ),
+        ..Query::default()
+    };
+    let results = source.execute(&query);
+    assert_eq!(results.documents.len(), 1);
+    assert_eq!(
+        results.documents[0].linkage(),
+        Some("lib://db-replication")
+    );
+    // The actual query echoes the free-form term (the source executed
+    // it, natively).
+    let actual = results.actual_filter.as_ref().unwrap();
+    assert_eq!(actual.terms()[0].effective_field(), Field::FreeFormText);
+}
+
+#[test]
+fn malformed_free_form_text_returns_empty_not_error() {
+    // No error channel in STARTS: garbage native queries yield empty
+    // results, not failures.
+    let source = Source::build(vendors::okapi("Okapi"), &library());
+    let query = Query {
+        filter: Some(parse_filter(r#"(free-form-text "not pqf at all (((")"#).unwrap()),
+        ..Query::default()
+    };
+    let results = source.execute(&query);
+    assert!(results.documents.is_empty());
+}
+
+#[test]
+fn metadata_advertises_the_extension_fields() {
+    let okapi = Source::build(vendors::okapi("Okapi"), &[]);
+    assert!(okapi.metadata().supports_field(&Field::DocumentText));
+    assert!(okapi.metadata().supports_field(&Field::FreeFormText));
+    let acme = Source::build(vendors::acme("Acme"), &[]);
+    assert!(!acme.metadata().supports_field(&Field::DocumentText));
+    assert!(!acme.metadata().supports_field(&Field::FreeFormText));
+}
