@@ -64,9 +64,7 @@ fn bench_eval(c: &mut Criterion) {
     c.bench_function("eval/ranked_list_3_terms", |b| {
         b.iter(|| engine.eval_ranking(black_box(&ranked)))
     });
-    let stem = BoolNode::Term(
-        TermSpec::any("w0001").with(starts_index::TermMatch::Stem),
-    );
+    let stem = BoolNode::Term(TermSpec::any("w0001").with(starts_index::TermMatch::Stem));
     c.bench_function("eval/stem_vocab_scan", |b| {
         b.iter(|| engine.eval_filter(black_box(&stem)))
     });

@@ -47,7 +47,10 @@ fn gather_inputs() -> Vec<SourceResult> {
                 .fetch_metadata(&format!("starts://{}/metadata", s.id.to_lowercase()))
                 .unwrap();
             let results = client
-                .query(&format!("starts://{}/query", s.id.to_lowercase()), &gq.query)
+                .query(
+                    &format!("starts://{}/query", s.id.to_lowercase()),
+                    &gq.query,
+                )
                 .unwrap();
             SourceResult {
                 metadata,

@@ -50,8 +50,16 @@ fn main() {
     solo1.base_url = "starts://solo-1".to_string();
     let mut solo2 = SourceConfig::new("Solo-2");
     solo2.base_url = "starts://solo-2".to_string();
-    wire_source(&net, Source::build(solo1, &collection("s1")), LinkProfile::default());
-    wire_source(&net, Source::build(solo2, &collection("s2")), LinkProfile::default());
+    wire_source(
+        &net,
+        Source::build(solo1, &collection("s1")),
+        LinkProfile::default(),
+    );
+    wire_source(
+        &net,
+        Source::build(solo2, &collection("s2")),
+        LinkProfile::default(),
+    );
 
     let client = StartsClient::new(&net);
     let resource = client.fetch_resource("starts://resource").unwrap();
@@ -67,7 +75,10 @@ fn main() {
         ..Query::default()
     };
     let merged = client.query("starts://source-1/query", &query).unwrap();
-    println!("   1 request, {} documents returned:", merged.documents.len());
+    println!(
+        "   1 request, {} documents returned:",
+        merged.documents.len()
+    );
     for d in &merged.documents {
         println!(
             "     [{}] {}",
@@ -109,4 +120,5 @@ fn main() {
         1
     );
     println!("   matching Figure 1's motivation for in-resource fan-out.");
+    starts_bench::maybe_dump_stats(net.registry());
 }

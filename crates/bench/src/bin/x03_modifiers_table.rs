@@ -77,4 +77,5 @@ fn main() {
             );
         }
     }
+    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
 }

@@ -3,7 +3,9 @@
 //! the paper's hand-computed SOIF lengths against exact ones.
 
 use starts_bench::{header, print_table, section};
-use starts_proto::query::{parse_filter, parse_ranking, print_filter, print_ranking, AnswerSpec, SortKey};
+use starts_proto::query::{
+    parse_filter, parse_ranking, print_filter, print_ranking, AnswerSpec, SortKey,
+};
 use starts_proto::{Field, Query, Resource};
 use starts_soif::write_object;
 
@@ -48,9 +50,7 @@ fn main() {
 
     section("Example 6: the @SQuery object (exact bytes)");
     let query = Query {
-        filter: Some(
-            parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
-        ),
+        filter: Some(parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap()),
         ranking: Some(
             parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
                 .unwrap(),
@@ -63,7 +63,10 @@ fn main() {
         },
         ..Query::default()
     };
-    print!("{}", String::from_utf8_lossy(&write_object(&query.to_soif())));
+    print!(
+        "{}",
+        String::from_utf8_lossy(&write_object(&query.to_soif()))
+    );
 
     section("byte-count audit: paper's hand counts vs exact counts");
     let audit: Vec<(&str, &str, usize, &str)> = vec![
@@ -99,13 +102,13 @@ fn main() {
             67,
             "68 (paper off by one)",
         ),
-        ("Ex10 FieldsSupported", "[basic-1 author]", 16, "17 (paper off by one)"),
         (
-            "Ex10 ModifiersSupported",
-            "{basic-1 phonetics}",
-            19,
-            "19",
+            "Ex10 FieldsSupported",
+            "[basic-1 author]",
+            16,
+            "17 (paper off by one)",
         ),
+        ("Ex10 ModifiersSupported", "{basic-1 phonetics}", 19, "19"),
         (
             "Ex10 FieldModifierCombinations",
             "([basic-1 author] {basic-1 phonetics})",
@@ -113,7 +116,12 @@ fn main() {
             "39 (paper off by one)",
         ),
         ("Ex10 ScoreRange", "0.0 1.0", 7, "7"),
-        ("Ex10 date-changed", "1996-03-31", 10, "9 (paper off by one)"),
+        (
+            "Ex10 date-changed",
+            "1996-03-31",
+            10,
+            "9 (paper off by one)",
+        ),
         (
             "Ex10 content-summary-linkage",
             "ftp://www-db.stanford.edu/cont_sum.txt",
@@ -152,4 +160,5 @@ fn main() {
         "verdict: all arithmetically-consistent counts reproduced exactly; 5 counts in the\n\
          paper's camera-ready examples are off by one (documented in EXPERIMENTS.md)."
     );
+    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
 }

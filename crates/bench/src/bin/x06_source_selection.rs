@@ -9,7 +9,9 @@
 //! selectors reach high merit coverage with 1–3 of 12 sources, while
 //! query-blind selection needs most of them.
 
-use starts_bench::{header, print_table, section, standard_corpus, standard_workload, wire_and_discover};
+use starts_bench::{
+    header, print_table, section, standard_corpus, standard_workload, wire_and_discover,
+};
 use starts_meta::eval::{mean, selection_recall};
 use starts_meta::metasearcher::Metasearcher;
 use starts_meta::savvy::PastPerformance;
@@ -155,4 +157,5 @@ fn main() {
         "summary-based selection must clearly beat query-blind selection"
     );
     println!("   shape matches GlOSS (refs [7,8]): summaries suffice to pick the right sources.");
+    starts_bench::maybe_dump_stats(net.registry());
 }

@@ -65,7 +65,10 @@ fn main() {
                 .fetch_metadata(&format!("starts://{}/metadata", s.id.to_lowercase()))
                 .unwrap();
             let results = client
-                .query(&format!("starts://{}/query", s.id.to_lowercase()), &gq.query)
+                .query(
+                    &format!("starts://{}/query", s.id.to_lowercase()),
+                    &gq.query,
+                )
                 .unwrap();
             inputs.push(SourceResult {
                 metadata,
@@ -100,7 +103,9 @@ fn main() {
         for (mi, merger) in strategies.iter().enumerate() {
             let merged = merger.merge(&inputs);
             let ranked: Vec<String> = merged.into_iter().map(|d| d.linkage).collect();
-            metrics[mi].0.push(precision_at_k(&ranked, &gq.relevant, 10));
+            metrics[mi]
+                .0
+                .push(precision_at_k(&ranked, &gq.relevant, 10));
             metrics[mi].1.push(recall_at_k(&ranked, &gq.relevant, 30));
             metrics[mi].2.push(kendall_tau(&ranked, &reference));
         }
@@ -132,7 +137,9 @@ fn main() {
     println!(
         "   raw-score P@10 = {:.3}; best statistics-based = {:.3}",
         p10("raw-score"),
-        p10("termstats-tfidf").max(p10("termstats-tf")).max(p10("range-normalized")),
+        p10("termstats-tfidf")
+            .max(p10("termstats-tf"))
+            .max(p10("range-normalized")),
     );
     assert!(
         p10("termstats-tfidf").max(p10("termstats-tf")) >= p10("raw-score"),
@@ -142,4 +149,5 @@ fn main() {
         "   shape matches §3.2/Example 9: scores alone are incomparable; the exported\n\
          statistics are what make meaningful merging possible."
     );
+    starts_bench::maybe_dump_stats(net.registry());
 }

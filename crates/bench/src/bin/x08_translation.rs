@@ -37,8 +37,12 @@ fn main() {
     let net = SimNet::new();
     // The harshest mix: a boolean-only Glimpse, a rank-only site, and a
     // stemming BM25 engine share the corpus slices.
-    let personalities: Vec<fn(&str) -> SourceConfig> =
-        vec![vendors::glimpse, vendors::rankonly, vendors::okapi, vendors::acme];
+    let personalities: Vec<fn(&str) -> SourceConfig> = vec![
+        vendors::glimpse,
+        vendors::rankonly,
+        vendors::okapi,
+        vendors::acme,
+    ];
     for (i, s) in corpus.sources.iter().enumerate() {
         let mut cfg = personalities[i % personalities.len()](&s.id);
         cfg.id = s.id.clone();
@@ -129,4 +133,5 @@ fn main() {
         "   matches §4.1.1's warning: the least-common-denominator interface loses\n\
          capability even at sources that could have done more."
     );
+    starts_bench::maybe_dump_stats(net.registry());
 }

@@ -69,18 +69,14 @@ fn main() {
         c.base_url = format!("starts://{}", c.id.to_lowercase());
         wire_source(&net, Source::build(c, &slice.docs), LinkProfile::default());
     }
-    let global = starts_index::Engine::build(
-        &corpus.all_docs(),
-        starts_index::EngineConfig::default(),
-    );
+    let global =
+        starts_index::Engine::build(&corpus.all_docs(), starts_index::EngineConfig::default());
     let client = StartsClient::new(&net);
     let mut raw_tau = Vec::new();
     let mut cal_tau = Vec::new();
     for word in ["w0002", "w0004", "w0007", "w0010", "w0015", "w0001"] {
         let query = Query {
-            ranking: Some(
-                parse_ranking(&format!(r#"list((body-of-text "{word}"))"#)).unwrap(),
-            ),
+            ranking: Some(parse_ranking(&format!(r#"list((body-of-text "{word}"))"#)).unwrap()),
             ..Query::default()
         };
         let mut raws = Vec::new();
@@ -110,9 +106,7 @@ fn main() {
             });
         }
         // The global reference ranking for this query.
-        let rank_ir = starts_source::translate::translate_ranking(
-            query.ranking.as_ref().unwrap(),
-        );
+        let rank_ir = starts_source::translate::translate_ranking(query.ranking.as_ref().unwrap());
         let reference: Vec<String> = global
             .eval_ranking(&rank_ir)
             .into_iter()
@@ -146,4 +140,5 @@ fn main() {
         "   sample-database results make sources calibratable as black boxes — the\n\
          mechanism §4.2 proposed for engines that cannot export statistics."
     );
+    starts_bench::maybe_dump_stats(net.registry());
 }

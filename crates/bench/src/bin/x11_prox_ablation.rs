@@ -117,12 +117,21 @@ fn main() {
             format!("{mean_us:.1}"),
             format!(
                 "{:.2}x",
-                if and_cost > 0.0 { mean_us / and_cost } else { 1.0 }
+                if and_cost > 0.0 {
+                    mean_us / and_cost
+                } else {
+                    1.0
+                }
             ),
         ]);
     }
     print_table(
-        &["operator", "matches (mean)", "eval µs (mean)", "cost vs and"],
+        &[
+            "operator",
+            "matches (mean)",
+            "eval µs (mean)",
+            "cost vs and",
+        ],
         &rows,
     );
 
@@ -147,4 +156,5 @@ fn main() {
          set by an order of magnitude. Both sides of the §4.1.1 compromise were right\n\
          about their half, which is why the operator survived in simplified form."
     );
+    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
 }

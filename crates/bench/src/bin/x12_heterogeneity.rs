@@ -38,14 +38,46 @@ fn main() {
     // a handcrafted English collection whose matching depends on
     // stemming, stop lists, case and tokenization.
     let english: Vec<starts_index::Document> = vec![
-        ("e1", "Databases for distributed systems", "distributed databases replicate data across database sites"),
-        ("e2", "A database survey", "the database survey covers storage engines and indexing"),
-        ("e3", "The Who discography", "the who and their albums from the sixties"),
-        ("e4", "State-of-the-art retrieval", "state-of-the-art methods for text retrieval and ranking"),
-        ("e5", "Z39.50 in libraries", "searching library catalogs with Z39.50 clients"),
-        ("e6", "Compiling queries", "compilers translate queries into execution plans"),
-        ("e7", "UNIX system tools", "UNIX tools for indexing and searching files"),
-        ("e8", "Ranking algorithms", "ranked retrieval algorithms score documents by relevance"),
+        (
+            "e1",
+            "Databases for distributed systems",
+            "distributed databases replicate data across database sites",
+        ),
+        (
+            "e2",
+            "A database survey",
+            "the database survey covers storage engines and indexing",
+        ),
+        (
+            "e3",
+            "The Who discography",
+            "the who and their albums from the sixties",
+        ),
+        (
+            "e4",
+            "State-of-the-art retrieval",
+            "state-of-the-art methods for text retrieval and ranking",
+        ),
+        (
+            "e5",
+            "Z39.50 in libraries",
+            "searching library catalogs with Z39.50 clients",
+        ),
+        (
+            "e6",
+            "Compiling queries",
+            "compilers translate queries into execution plans",
+        ),
+        (
+            "e7",
+            "UNIX system tools",
+            "UNIX tools for indexing and searching files",
+        ),
+        (
+            "e8",
+            "Ranking algorithms",
+            "ranked retrieval algorithms score documents by relevance",
+        ),
     ]
     .into_iter()
     .map(|(id, title, body)| {
@@ -62,14 +94,14 @@ fn main() {
         .collect();
     let ids: Vec<String> = sources.iter().map(|s| s.id().to_string()).collect();
     let queries = [
-        r#"list((body-of-text "database"))"#,   // singular vs plural: stemming
+        r#"list((body-of-text "database"))"#, // singular vs plural: stemming
         r#"list((body-of-text "databases"))"#,
-        r#"list((body-of-text "the"))"#,        // stop word
+        r#"list((body-of-text "the"))"#,              // stop word
         r#"list((body-of-text "state-of-the-art"))"#, // tokenizer joiners
-        r#"list((body-of-text "Z39.50"))"#,     // tokenizer separators
-        r#"list((body-of-text "UNIX"))"#,       // case
-        r#"list((body-of-text "compiler"))"#,   // morphology (compilers)
-        r#"list((body-of-text "ranked"))"#,     // morphology (ranking)
+        r#"list((body-of-text "Z39.50"))"#,           // tokenizer separators
+        r#"list((body-of-text "UNIX"))"#,             // case
+        r#"list((body-of-text "compiler"))"#,         // morphology (compilers)
+        r#"list((body-of-text "ranked"))"#,           // morphology (ranking)
     ];
     let mut overlap = vec![vec![0.0f64; sources.len()]; sources.len()];
     for q in &queries {
@@ -77,8 +109,7 @@ fn main() {
             ranking: Some(parse_ranking(q).unwrap()),
             ..Query::default()
         };
-        let sets: Vec<HashSet<String>> =
-            sources.iter().map(|s| result_set(s, &query)).collect();
+        let sets: Vec<HashSet<String>> = sources.iter().map(|s| result_set(s, &query)).collect();
         for i in 0..sets.len() {
             for j in 0..sets.len() {
                 overlap[i][j] += jaccard(&sets[i], &sets[j]) / queries.len() as f64;
@@ -119,7 +150,11 @@ fn main() {
         drop_stop_words: false, // the client asks to keep stop words
         ..Query::default()
     };
-    for cfg in [vendors::acme("Acme"), vendors::bolt("Bolt"), vendors::okapi("Okapi")] {
+    for cfg in [
+        vendors::acme("Acme"),
+        vendors::bolt("Bolt"),
+        vendors::okapi("Okapi"),
+    ] {
         let source = Source::build(cfg, &who_docs);
         let meta = source.metadata();
         let results = source.execute(&query);
@@ -150,7 +185,11 @@ fn main() {
         ranking: Some(parse_ranking(r#"list((body-of-text "Z39.50"))"#).unwrap()),
         ..Query::default()
     };
-    for cfg in [vendors::acme("Acme"), vendors::bolt("Bolt"), vendors::okapi("Okapi")] {
+    for cfg in [
+        vendors::acme("Acme"),
+        vendors::bolt("Bolt"),
+        vendors::okapi("Okapi"),
+    ] {
         let source = Source::build(cfg, &z_docs);
         let tokenizer = source.metadata().tokenizer_id_list[0].0.clone();
         let hits = source.execute(&query).documents.len();
@@ -165,4 +204,5 @@ fn main() {
         "   the named tokenizer id predicts the behaviour — the metasearcher learns it\n\
          once per tokenizer, as §4.3.1 prescribes."
     );
+    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
 }

@@ -85,7 +85,12 @@ fn ablation_fuzzy_ops() {
         ]);
     }
     print_table(
-        &["ranking expression", "fuzzy hits", "flat hits", "top-10 overlap"],
+        &[
+            "ranking expression",
+            "fuzzy hits",
+            "flat hits",
+            "top-10 overlap",
+        ],
         &rows,
     );
     println!(
@@ -208,4 +213,5 @@ fn ablation_summary_fields() {
          workloads (title-only queries against title-section statistics); the paper's\n\
          \"if possible\" hedge is the right default."
     );
+    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
 }

@@ -6,9 +6,11 @@
 //! EXPERIMENTS.md records paper-vs-measured. Binaries print plain-text
 //! tables to stdout so their output can be diffed between runs.
 
-use starts_corpus::{generate_corpus, generate_workload, CorpusConfig, GeneratedCorpus, Workload, WorkloadConfig};
-use starts_net::{host::wire_source, LinkProfile, SimNet, StartsClient};
+use starts_corpus::{
+    generate_corpus, generate_workload, CorpusConfig, GeneratedCorpus, Workload, WorkloadConfig,
+};
 use starts_meta::catalog::Catalog;
+use starts_net::{host::wire_source, LinkProfile, SimNet, StartsClient};
 use starts_source::{Source, SourceConfig};
 
 /// The standard experiment corpus: 12 sources, 4 topics, moderate skew.
@@ -41,6 +43,15 @@ pub fn standard_workload(corpus: &GeneratedCorpus) -> Workload {
 
 /// Publish each corpus source with the default (Acme) personality and
 /// discover them into a catalog.
+/// Honour the `--stats-json` flag that every experiment binary
+/// supports: when present on the command line, dump the registry's
+/// metric snapshot as a JSON document after the regular output.
+pub fn maybe_dump_stats(obs: &starts_obs::Registry) {
+    if std::env::args().any(|a| a == "--stats-json") {
+        println!("{}", starts_obs::export::json(&obs.snapshot()));
+    }
+}
+
 pub fn wire_and_discover(net: &SimNet, corpus: &GeneratedCorpus) -> Catalog {
     for s in &corpus.sources {
         wire_source(
@@ -112,7 +123,11 @@ pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
 
 /// Yes/no marker for capability matrices.
 pub fn mark(b: bool) -> String {
-    if b { "yes".to_string() } else { "-".to_string() }
+    if b {
+        "yes".to_string()
+    } else {
+        "-".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -381,7 +381,14 @@ mod tests {
 
     #[test]
     fn cmp_round_trip() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Ne,
+        ] {
             assert_eq!(CmpOp::parse(op.as_str()), Some(op));
         }
         assert_eq!(CmpOp::parse("=="), None);

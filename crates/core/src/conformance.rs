@@ -120,7 +120,10 @@ mod tests {
                 .copied()
                 .unwrap()
         };
-        assert_eq!(row("QueryPartsSupported"), ("QueryPartsSupported", false, true));
+        assert_eq!(
+            row("QueryPartsSupported"),
+            ("QueryPartsSupported", false, true)
+        );
         assert_eq!(row("Linkage"), ("Linkage", true, false));
         assert_eq!(row("Contact"), ("Contact", false, false));
         assert_eq!(row("ScoreRange"), ("ScoreRange", true, true));

@@ -167,8 +167,7 @@ impl SourceMetadata {
     /// paper's table treats `<, <=, =, >=, >, !=` as one row).
     pub fn supports_modifier(&self, modifier: &Modifier) -> bool {
         self.modifiers_supported.iter().any(|(m, _)| {
-            m == modifier
-                || matches!((m, modifier), (Modifier::Cmp(_), Modifier::Cmp(_)))
+            m == modifier || matches!((m, modifier), (Modifier::Cmp(_), Modifier::Cmp(_)))
         })
     }
 
@@ -247,7 +246,11 @@ impl SourceMetadata {
         );
         o.push_str("DefaultMetaAttributeSet", ATTRSET_MBASIC1);
         if !self.source_languages.is_empty() {
-            let langs: Vec<String> = self.source_languages.iter().map(LangTag::to_string).collect();
+            let langs: Vec<String> = self
+                .source_languages
+                .iter()
+                .map(LangTag::to_string)
+                .collect();
             o.push_str("source-languages", langs.join(" "));
         }
         if !self.source_name.is_empty() {
@@ -616,10 +619,7 @@ mod tests {
             o.get_str("FieldsSupported"),
             Some("[basic-1 title; en-US es] [basic-1 author]")
         );
-        assert_eq!(
-            o.get_str("ModifiersSupported"),
-            Some("{basic-1 stem; en}")
-        );
+        assert_eq!(o.get_str("ModifiersSupported"), Some("{basic-1 stem; en}"));
         let back = SourceMetadata::from_soif(&o).unwrap();
         assert_eq!(back.fields_supported, m.fields_supported);
         assert_eq!(back.modifiers_supported, m.modifiers_supported);

@@ -147,7 +147,10 @@ impl Query {
         if let Some(r) = &self.ranking {
             o.push_str("RankingExpression", print_ranking(r));
         }
-        o.push_str("DropStopWords", if self.drop_stop_words { "T" } else { "F" });
+        o.push_str(
+            "DropStopWords",
+            if self.drop_stop_words { "T" } else { "F" },
+        );
         o.push_str("DefaultAttributeSet", &self.default_attr_set);
         o.push_str("DefaultLanguage", self.default_language.to_string());
         if !self.additional_sources.is_empty() {
@@ -270,7 +273,10 @@ pub(crate) fn parse_bool(attr: &str, v: &str) -> Result<bool, ProtoError> {
     match v.trim() {
         "T" | "t" | "true" => Ok(true),
         "F" | "f" | "false" => Ok(false),
-        other => Err(ProtoError::invalid(attr, format!("expected T or F, got {other:?}"))),
+        other => Err(ProtoError::invalid(
+            attr,
+            format!("expected T or F, got {other:?}"),
+        )),
     }
 }
 
@@ -285,10 +291,8 @@ mod tests {
                 parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
             ),
             ranking: Some(
-                parse_ranking(
-                    r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
-                )
-                .unwrap(),
+                parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
+                    .unwrap(),
             ),
             drop_stop_words: true,
             default_attr_set: "basic-1".to_string(),

@@ -119,10 +119,7 @@ impl<'a> Parser<'a> {
     fn expect_end(&self) -> Result<(), ProtoError> {
         match self.peek() {
             None => Ok(()),
-            Some(t) => Err(ProtoError::syntax(
-                "unexpected trailing tokens",
-                t.offset,
-            )),
+            Some(t) => Err(ProtoError::syntax("unexpected trailing tokens", t.offset)),
         }
     }
 
@@ -181,7 +178,10 @@ impl<'a> Parser<'a> {
                     }
                 };
                 self.expect(&TokenKind::RBracket, "']' after prox spec")?;
-                Ok(Op::Prox(ProxSpec { distance: dist, ordered }))
+                Ok(Op::Prox(ProxSpec {
+                    distance: dist,
+                    ordered,
+                }))
             }
             other => Err(ProtoError::syntax(
                 format!("unknown operator {other:?}"),
@@ -220,21 +220,15 @@ impl<'a> Parser<'a> {
                     .next()
                     .and_then(|t| t.kind.word())
                     .ok_or_else(|| ProtoError::syntax("expected language tag", lang_off))?;
-                let lang = LangTag::parse(lang_word).map_err(|e| {
-                    ProtoError::syntax(format!("bad language tag: {e}"), lang_off)
-                })?;
+                let lang = LangTag::parse(lang_word)
+                    .map_err(|e| ProtoError::syntax(format!("bad language tag: {e}"), lang_off))?;
                 let str_off = self.offset();
                 let text = match self.next() {
                     Some(Token {
                         kind: TokenKind::Str(s),
                         ..
                     }) => s.clone(),
-                    _ => {
-                        return Err(ProtoError::syntax(
-                            "expected string in l-string",
-                            str_off,
-                        ))
-                    }
+                    _ => return Err(ProtoError::syntax("expected string in l-string", str_off)),
                 };
                 self.expect(&TokenKind::RBracket, "']' closing l-string")?;
                 Ok(LString::tagged(lang, text))
@@ -313,8 +307,13 @@ impl<'a> Parser<'a> {
 
     fn paren_filter_inner(&mut self) -> Result<FilterExpr, ProtoError> {
         // Word-first (not an operator): a term body.
-        if matches!(self.peek(), Some(Token { kind: TokenKind::Word(_), .. }))
-            && !self.is_operator_next()
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Word(_),
+                ..
+            })
+        ) && !self.is_operator_next()
         {
             let term = self.term_body()?;
             self.expect(&TokenKind::RParen, "')' closing term")?;
@@ -322,7 +321,13 @@ impl<'a> Parser<'a> {
         }
         // Otherwise: an operand, optionally followed by `op operand`.
         let left = self.filter_operand()?;
-        if matches!(self.peek(), Some(Token { kind: TokenKind::RParen, .. })) {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::RParen,
+                ..
+            })
+        ) {
             self.pos += 1;
             return Ok(left);
         }
@@ -374,12 +379,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     break;
                 }
-                None => {
-                    return Err(ProtoError::syntax(
-                        "unterminated list(...)",
-                        self.input_len,
-                    ))
-                }
+                None => return Err(ProtoError::syntax("unterminated list(...)", self.input_len)),
                 _ => items.push(self.rank_expr()?),
             }
         }
@@ -404,8 +404,13 @@ impl<'a> Parser<'a> {
 
     fn paren_rank_inner(&mut self) -> Result<RankExpr, ProtoError> {
         // Word-first that is not an operator and not `list`: term body.
-        if matches!(self.peek(), Some(Token { kind: TokenKind::Word(_), .. }))
-            && !self.is_operator_next()
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Word(_),
+                ..
+            })
+        ) && !self.is_operator_next()
             && !self.at_word("list")
         {
             let term = self.term_body()?;
@@ -415,7 +420,13 @@ impl<'a> Parser<'a> {
         }
         let left = self.rank_expr()?;
         // `)` → done; number → weight; operator → combination.
-        if matches!(self.peek(), Some(Token { kind: TokenKind::RParen, .. })) {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::RParen,
+                ..
+            })
+        ) {
             self.pos += 1;
             return Ok(left);
         }
@@ -490,10 +501,7 @@ fn combine_rank(
         Op::AndNot => RankExpr::AndNot(Box::new(left), Box::new(right)),
         Op::Prox(spec) => {
             let (RankExpr::Term(l), RankExpr::Term(r)) = (left, right) else {
-                return Err(ProtoError::syntax(
-                    "prox operands must be terms",
-                    offset,
-                ));
+                return Err(ProtoError::syntax("prox operands must be terms", offset));
             };
             RankExpr::Prox(l, spec, r)
         }
@@ -521,10 +529,8 @@ mod tests {
 
     #[test]
     fn example1_ranking() {
-        let r = parse_ranking(
-            r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
-        )
-        .unwrap();
+        let r = parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
+            .unwrap();
         let RankExpr::List(items) = r else { panic!() };
         assert_eq!(items.len(), 2);
         let RankExpr::Term(t) = &items[0] else {
@@ -610,11 +616,12 @@ mod tests {
 
     #[test]
     fn nested_combinations() {
-        let f = parse_filter(
-            r#"(((author "Ullman") or (author "Garcia")) and-not (title "surveys"))"#,
-        )
-        .unwrap();
-        let FilterExpr::AndNot(l, _) = f else { panic!() };
+        let f =
+            parse_filter(r#"(((author "Ullman") or (author "Garcia")) and-not (title "surveys"))"#)
+                .unwrap();
+        let FilterExpr::AndNot(l, _) = f else {
+            panic!()
+        };
         assert!(matches!(*l, FilterExpr::Or(_, _)));
     }
 
@@ -629,8 +636,7 @@ mod tests {
 
     #[test]
     fn prox_requires_terms() {
-        let err =
-            parse_filter(r#"((("a") and ("b")) prox[2,F] "c")"#).unwrap_err();
+        let err = parse_filter(r#"((("a") and ("b")) prox[2,F] "c")"#).unwrap_err();
         assert!(err.to_string().contains("prox"));
     }
 

@@ -41,12 +41,9 @@ pub fn print_filter(e: &FilterExpr) -> String {
         FilterExpr::AndNot(a, b) => {
             format!("({} and-not {})", print_filter(a), print_filter(b))
         }
-        FilterExpr::Prox(l, spec, r) => format!(
-            "({} {} {})",
-            print_term(l),
-            print_prox(spec),
-            print_term(r)
-        ),
+        FilterExpr::Prox(l, spec, r) => {
+            format!("({} {} {})", print_term(l), print_prox(spec), print_term(r))
+        }
     }
 }
 
@@ -113,10 +110,8 @@ mod tests {
         let f = parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap();
         let printed = print_filter(&f);
         assert_eq!(printed.len(), 48);
-        let r = parse_ranking(
-            r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
-        )
-        .unwrap();
+        let r = parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
+            .unwrap();
         let printed = print_ranking(&r);
         assert_eq!(printed.len(), 61);
         // And Example 8's ActualRankingExpression{26}.
@@ -126,18 +121,15 @@ mod tests {
 
     #[test]
     fn prints_comparison() {
-        let t = QTerm::fielded(Field::DateLastModified, "1996-08-01")
-            .with(Modifier::Cmp(CmpOp::Gt));
+        let t =
+            QTerm::fielded(Field::DateLastModified, "1996-08-01").with(Modifier::Cmp(CmpOp::Gt));
         assert_eq!(print_term(&t), r#"(date-last-modified > "1996-08-01")"#);
     }
 
     #[test]
     fn prints_prox() {
         let f = parse_filter(r#"("distributed" prox[3,T] "databases")"#).unwrap();
-        assert_eq!(
-            print_filter(&f),
-            r#"("distributed" prox[3,T] "databases")"#
-        );
+        assert_eq!(print_filter(&f), r#"("distributed" prox[3,T] "databases")"#);
     }
 
     #[test]
@@ -156,7 +148,7 @@ mod tests {
         assert_eq!(fmt_weight(1.0), "1");
         assert_eq!(fmt_weight(0.0), "0");
         assert_eq!(fmt_weight(0.82), "0.82"); // Example 8's RawScore
-        // Shortest round-trip: parsing the output recovers the value.
+                                              // Shortest round-trip: parsing the output recovers the value.
         let w = 0.123456789012345;
         assert_eq!(fmt_weight(w).parse::<f64>().unwrap(), w);
     }

@@ -52,7 +52,10 @@ impl TermStatsEntry {
         let trimmed = line.trim();
         let mut parts: Vec<&str> = trimmed.rsplitn(4, char::is_whitespace).collect();
         if parts.len() != 4 {
-            return Err(ProtoError::invalid("TermStats", format!("bad line {line:?}")));
+            return Err(ProtoError::invalid(
+                "TermStats",
+                format!("bad line {line:?}"),
+            ));
         }
         parts.reverse(); // [term-text, tf, weight, df]
         let term_src = parts[0].trim();
@@ -164,9 +167,7 @@ impl ResultDocument {
                             .map_err(|_| ProtoError::invalid("RawScore", "not a number"))?,
                     )
                 }
-                "sources" => {
-                    doc.sources = value.split_whitespace().map(str::to_string).collect()
-                }
+                "sources" => doc.sources = value.split_whitespace().map(str::to_string).collect(),
                 "termstats" => {
                     doc.term_stats = value
                         .lines()
@@ -228,7 +229,10 @@ impl QueryResults {
         o.push_str("Sources", self.sources.join(" "));
         o.push_str(
             "ActualFilterExpression",
-            self.actual_filter.as_ref().map(print_filter).unwrap_or_default(),
+            self.actual_filter
+                .as_ref()
+                .map(print_filter)
+                .unwrap_or_default(),
         );
         o.push_str(
             "ActualRankingExpression",
@@ -459,6 +463,9 @@ mod tests {
             doc_count: 0,
         };
         let back = ResultDocument::from_soif(&d.to_soif()).unwrap();
-        assert_eq!(back.field(&Field::Other("abstract".to_string())), Some("Text."));
+        assert_eq!(
+            back.field(&Field::Other("abstract".to_string())),
+            Some("Text.")
+        );
     }
 }

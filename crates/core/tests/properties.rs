@@ -40,7 +40,10 @@ fn arb_field() -> impl Strategy<Value = Field> {
                 // A field name that parses as a modifier or operator would
                 // legitimately re-parse differently.
                 matches!(Modifier::parse(w), Modifier::Other(_))
-                    && !matches!(w.as_str(), "and" | "or" | "and-not" | "prox" | "list" | "not")
+                    && !matches!(
+                        w.as_str(),
+                        "and" | "or" | "and-not" | "prox" | "list" | "not"
+                    )
             })
             .prop_map(Field::Other),
     ]
@@ -81,12 +84,10 @@ fn arb_filter() -> impl Strategy<Value = FilterExpr> {
     let leaf = arb_term().prop_map(FilterExpr::Term);
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FilterExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FilterExpr::and(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| FilterExpr::or(a, b)),
             (inner.clone(), inner).prop_map(|(a, b)| FilterExpr::and_not(a, b)),
-            (arb_term(), arb_prox(), arb_term())
-                .prop_map(|(l, p, r)| FilterExpr::Prox(l, p, r)),
+            (arb_term(), arb_prox(), arb_term()).prop_map(|(l, p, r)| FilterExpr::Prox(l, p, r)),
         ]
     })
 }
@@ -108,10 +109,8 @@ fn arb_ranking() -> impl Strategy<Value = RankExpr> {
                 .prop_map(|(a, b)| RankExpr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| RankExpr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| RankExpr::AndNot(Box::new(a), Box::new(b))),
-            (arb_wterm(), arb_prox(), arb_wterm())
-                .prop_map(|(l, p, r)| RankExpr::Prox(l, p, r)),
+            (inner.clone(), inner).prop_map(|(a, b)| RankExpr::AndNot(Box::new(a), Box::new(b))),
+            (arb_wterm(), arb_prox(), arb_wterm()).prop_map(|(l, p, r)| RankExpr::Prox(l, p, r)),
         ]
     })
 }

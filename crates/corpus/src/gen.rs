@@ -107,8 +107,7 @@ pub fn generate(config: &CorpusConfig) -> GeneratedCorpus {
     let mut sources = Vec::with_capacity(config.n_sources);
     for s in 0..config.n_sources {
         let topic = s % config.n_topics;
-        let bilingual =
-            ((s as f64 + 0.5) / config.n_sources as f64) < config.bilingual_fraction;
+        let bilingual = ((s as f64 + 0.5) / config.n_sources as f64) < config.bilingual_fraction;
         let mut docs = Vec::with_capacity(config.docs_per_source);
         for d in 0..config.docs_per_source {
             let spanish = bilingual && d % 2 == 0;
@@ -258,18 +257,13 @@ mod tests {
     #[test]
     fn bilingual_sources_exist_and_are_tagged() {
         let c = generate(&small());
-        let bilingual: Vec<&GeneratedSource> =
-            c.sources.iter().filter(|s| s.bilingual).collect();
+        let bilingual: Vec<&GeneratedSource> = c.sources.iter().filter(|s| s.bilingual).collect();
         assert_eq!(bilingual.len(), 1); // 25% of 4
         let s = bilingual[0];
         let spanish_docs = s
             .docs
             .iter()
-            .filter(|d| {
-                d.fields()
-                    .iter()
-                    .any(|f| f.lang == Some(LangTag::es()))
-            })
+            .filter(|d| d.fields().iter().any(|f| f.lang == Some(LangTag::es())))
             .count();
         assert_eq!(spanish_docs, 10); // every even doc
         let text = s.docs[0].get("body-of-text").unwrap();

@@ -193,7 +193,13 @@ mod tests {
         // Relevant documents should concentrate in sources of the query's
         // topic — the premise of source selection.
         let c = corpus();
-        let w = generate(&c, &WorkloadConfig { n_queries: 30, ..WorkloadConfig::default() });
+        let w = generate(
+            &c,
+            &WorkloadConfig {
+                n_queries: 30,
+                ..WorkloadConfig::default()
+            },
+        );
         let mut in_topic = 0u32;
         let mut off_topic = 0u32;
         for q in &w.queries {

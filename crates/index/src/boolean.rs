@@ -134,12 +134,7 @@ pub(crate) fn difference(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
 /// Whether two sorted position lists satisfy the prox condition:
 /// some pair has at most `distance` words between the occurrences, with
 /// left-before-right when `ordered`.
-pub(crate) fn prox_match(
-    left: &[u32],
-    right: &[u32],
-    distance: u32,
-    ordered: bool,
-) -> bool {
+pub(crate) fn prox_match(left: &[u32], right: &[u32], distance: u32, ordered: bool) -> bool {
     // Positions are word indices; "at most d words in between" means
     // |p_r - p_l| - 1 <= d, i.e. |p_r - p_l| <= d + 1 (and p_r != p_l).
     let max_gap = u64::from(distance) + 1;

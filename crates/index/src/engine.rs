@@ -562,9 +562,7 @@ impl Engine {
                 distance,
                 ordered,
             } => {
-                let base = self
-                    .score_node(left, doc)
-                    .min(self.score_node(right, doc));
+                let base = self.score_node(left, doc).min(self.score_node(right, doc));
                 if base <= 0.0 {
                     return 0.0;
                 }
@@ -728,9 +726,7 @@ mod tests {
         let e = engine();
         // Engine does not stem its index, so `stem` triggers a vocabulary
         // scan: "databases" should match title word "database".
-        let q = BoolNode::Term(
-            TermSpec::fielded("title", "databases").with(TermMatch::Stem),
-        );
+        let q = BoolNode::Term(TermSpec::fielded("title", "databases").with(TermMatch::Stem));
         let docs = e.eval_filter(&q);
         assert_eq!(docs, vec![DocId(0), DocId(1)]);
     }
@@ -740,9 +736,7 @@ mod tests {
         let mut docs = corpus();
         docs.push(Document::new().field("author", "Jeffrey Ulman")); // misspelled
         let e = Engine::build(&docs, EngineConfig::default());
-        let q = BoolNode::Term(
-            TermSpec::fielded("author", "Ullman").with(TermMatch::Phonetic),
-        );
+        let q = BoolNode::Term(TermSpec::fielded("author", "Ullman").with(TermMatch::Phonetic));
         let found = e.eval_filter(&q);
         assert!(found.contains(&DocId(3)));
         assert!(found.contains(&DocId(0)));

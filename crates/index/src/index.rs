@@ -99,10 +99,7 @@ impl IndexBuilder {
             let fid = idx.schema.intern(&fv.name);
             byte_size += fv.text.len() as u32;
             if let Some(lang) = &fv.lang {
-                idx.field_langs
-                    .entry(fid)
-                    .or_default()
-                    .insert(lang.clone());
+                idx.field_langs.entry(fid).or_default().insert(lang.clone());
                 idx.field_langs
                     .entry(ANY_FIELD)
                     .or_default()
@@ -115,12 +112,7 @@ impl IndexBuilder {
                 max_pos = max_pos.max(tok.position);
                 token_count += 1;
                 let tid = intern_term(&mut idx.vocab, &mut idx.terms, &tok.term);
-                push_position(
-                    &mut idx.postings,
-                    (fid, tid),
-                    doc_id,
-                    fbase + tok.position,
-                );
+                push_position(&mut idx.postings, (fid, tid), doc_id, fbase + tok.position);
                 push_position(
                     &mut idx.postings,
                     (ANY_FIELD, tid),
@@ -358,10 +350,7 @@ mod tests {
     fn stored_fields_retrievable() {
         let idx = small_index();
         let title = idx.schema().get("title").unwrap();
-        assert_eq!(
-            idx.doc_field(DocId(1), title),
-            Some("Operating Systems")
-        );
+        assert_eq!(idx.doc_field(DocId(1), title), Some("Operating Systems"));
         assert_eq!(idx.doc_fields(DocId(0)).count(), 2);
     }
 

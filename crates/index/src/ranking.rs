@@ -204,7 +204,11 @@ impl RankingAlgorithm for Bm25 {
         let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
         let tf = f64::from(st.tf);
         let dl = f64::from(st.doc_tokens);
-        let avg = if st.avg_tokens > 0.0 { st.avg_tokens } else { 1.0 };
+        let avg = if st.avg_tokens > 0.0 {
+            st.avg_tokens
+        } else {
+            1.0
+        };
         let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg);
         idf * tf * (self.k1 + 1.0) / denom
     }

@@ -65,9 +65,7 @@ pub fn adapt_query(query: &Query, metadata: &SourceMetadata, summary: &ContentSu
 /// disjunction (any desired term may match; the client re-ranks later).
 fn ranking_to_filter(r: &RankExpr) -> Option<FilterExpr> {
     let terms = r.terms();
-    let mut iter = terms
-        .iter()
-        .map(|wt| FilterExpr::Term(strip_weight(wt)));
+    let mut iter = terms.iter().map(|wt| FilterExpr::Term(strip_weight(wt)));
     let first = iter.next()?;
     Some(iter.fold(first, FilterExpr::or))
 }
@@ -88,11 +86,9 @@ fn filter_to_ranking(f: &FilterExpr) -> Option<RankExpr> {
         FilterExpr::Or(a, b) => combine(filter_to_ranking(a), filter_to_ranking(b), |a, b| {
             RankExpr::Or(Box::new(a), Box::new(b))
         }),
-        FilterExpr::AndNot(a, b) => {
-            combine(filter_to_ranking(a), filter_to_ranking(b), |a, b| {
-                RankExpr::AndNot(Box::new(a), Box::new(b))
-            })
-        }
+        FilterExpr::AndNot(a, b) => combine(filter_to_ranking(a), filter_to_ranking(b), |a, b| {
+            RankExpr::AndNot(Box::new(a), Box::new(b))
+        }),
         FilterExpr::Prox(l, spec, r) => Some(RankExpr::Prox(
             WeightedTerm::plain(l.clone()),
             *spec,
@@ -175,8 +171,14 @@ fn expand_stems_filter(f: &FilterExpr, summary: &ContentSummary) -> FilterExpr {
         ),
         // Prox operands must stay terms; keep the first variant.
         FilterExpr::Prox(l, spec, r) => {
-            let l2 = stem_variants(l, summary).into_iter().next().expect("nonempty");
-            let r2 = stem_variants(r, summary).into_iter().next().expect("nonempty");
+            let l2 = stem_variants(l, summary)
+                .into_iter()
+                .next()
+                .expect("nonempty");
+            let r2 = stem_variants(r, summary)
+                .into_iter()
+                .next()
+                .expect("nonempty");
             FilterExpr::Prox(l2, *spec, r2)
         }
     }
@@ -375,8 +377,14 @@ mod tests {
         let q = Query::filter_only(parse_filter(r#"(body-of-text stem "databases")"#).unwrap());
         let adapted = adapt_query(&q, &m, &summary);
         let printed = print_filter(adapted.filter.as_ref().unwrap());
-        assert!(printed.contains(r#"(body-of-text "database")"#), "{printed}");
-        assert!(printed.contains(r#"(body-of-text "databases")"#), "{printed}");
+        assert!(
+            printed.contains(r#"(body-of-text "database")"#),
+            "{printed}"
+        );
+        assert!(
+            printed.contains(r#"(body-of-text "databases")"#),
+            "{printed}"
+        );
         assert!(!printed.contains("stem"), "{printed}");
         assert!(!printed.contains(r#""data""#), "different stem: {printed}");
         // A source WITH stem support keeps the modifier untouched.

@@ -98,7 +98,11 @@ pub fn fit_score_map(
     }
     let alpha = sxy / sxx;
     let beta = mean_y - alpha * mean_x;
-    let correlation = if syy > 0.0 { sxy / (sxx * syy).sqrt() } else { 1.0 };
+    let correlation = if syy > 0.0 {
+        sxy / (sxx * syy).sqrt()
+    } else {
+        1.0
+    };
     Some(ScoreMap {
         alpha,
         beta,
@@ -134,8 +138,7 @@ impl CalibratedMerge {
             let map = if entry.sample_results.is_empty() || reference.is_empty() {
                 ScoreMap::identity()
             } else {
-                fit_score_map(&entry.sample_results, &reference)
-                    .unwrap_or_else(ScoreMap::identity)
+                fit_score_map(&entry.sample_results, &reference).unwrap_or_else(ScoreMap::identity)
             };
             maps.insert(entry.id.clone(), map);
         }

@@ -121,7 +121,10 @@ impl Catalog {
 
     /// Total documents across all catalogued sources (from summaries).
     pub fn total_docs(&self) -> u64 {
-        self.entries.iter().map(|e| u64::from(e.summary.num_docs)).sum()
+        self.entries
+            .iter()
+            .map(|e| u64::from(e.summary.num_docs))
+            .sum()
     }
 
     /// Global document frequency of a term: the sum of per-source df

@@ -46,11 +46,8 @@ pub fn average_precision(ranked: &[String], relevant: &HashSet<String>) -> f64 {
 /// set (items present in both). 1 = identical order, -1 = reversed.
 pub fn kendall_tau(a: &[String], b: &[String]) -> f64 {
     // Positions in b for the common items, in a's order.
-    let pos_b: std::collections::HashMap<&str, usize> = b
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.as_str(), i))
-        .collect();
+    let pos_b: std::collections::HashMap<&str, usize> =
+        b.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
     let seq: Vec<usize> = a
         .iter()
         .filter_map(|s| pos_b.get(s.as_str()).copied())
@@ -142,7 +139,7 @@ mod tests {
         let tau = kendall_tau(&a, &b);
         assert!((-1.0..=1.0).contains(&tau));
         assert!(tau < 0.0); // a,b swapped
-        // Degenerate.
+                            // Degenerate.
         assert_eq!(kendall_tau(&a, &rank(&["q"])), 1.0);
     }
 

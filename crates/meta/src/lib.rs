@@ -40,5 +40,5 @@ pub mod select;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use merge::{MergedDoc, Merger, SourceResult};
-pub use metasearcher::{MetaConfig, MetaResponse, Metasearcher};
+pub use metasearcher::{MetaConfig, MetaResponse, Metasearcher, QueryStats};
 pub use select::Selector;

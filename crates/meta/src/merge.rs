@@ -321,7 +321,11 @@ impl Merger for TfIdfMerge {
                 // Light length normalization so long documents do not
                 // dominate purely by containing everything.
                 let len = (d.doc_count as f64).max(1.0);
-                scored.push((score / len.sqrt().max(1.0).ln().max(1.0), d, source_id(input)));
+                scored.push((
+                    score / len.sqrt().max(1.0).ln().max(1.0),
+                    d,
+                    source_id(input),
+                ));
             }
         }
         collect(scored)

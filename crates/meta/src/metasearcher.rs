@@ -5,7 +5,9 @@
 //! it gives "users the illusion of a single combined document source"
 //! over heterogeneous STARTS sources.
 
-use starts_net::{SimNet, StartsClient};
+use std::fmt;
+
+use starts_net::{Exchange, SimNet, StartsClient};
 use starts_proto::{Field, QTerm, Query};
 
 use crate::adapt::{adapt_query, least_common_denominator};
@@ -52,6 +54,51 @@ impl Default for MetaConfig {
     }
 }
 
+// Box<dyn Selector> / Box<dyn Merger> block `#[derive(Debug)]`; print
+// the strategies by their registered names instead.
+impl fmt::Debug for MetaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetaConfig")
+            .field("selector", &self.selector.name())
+            .field("merger", &self.merger.name())
+            .field("max_sources", &self.max_sources)
+            .field("adapt", &self.adapt)
+            .field("max_results", &self.max_results)
+            .finish()
+    }
+}
+
+/// Aggregate accounting for one metasearch, from the actual exchanges
+/// (unlike `wave_latency_ms`/`total_cost`, which are quoted from the
+/// catalog's link profiles, these reflect what really happened —
+/// failed dispatches charge nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Query requests that completed.
+    pub requests: u64,
+    /// Sum of per-source simulated latencies (the serialized view).
+    pub total_latency_ms: u64,
+    /// Max per-source simulated latency (the parallel wall-clock view).
+    pub max_latency_ms: u32,
+    /// Total monetary cost charged.
+    pub total_cost: f64,
+    /// Request bytes sent to sources.
+    pub bytes_sent: u64,
+    /// Response bytes received from sources.
+    pub bytes_received: u64,
+}
+
+impl QueryStats {
+    fn absorb(&mut self, e: &Exchange) {
+        self.requests += 1;
+        self.total_latency_ms += u64::from(e.latency_ms);
+        self.max_latency_ms = self.max_latency_ms.max(e.latency_ms);
+        self.total_cost += e.cost;
+        self.bytes_sent += e.bytes_sent;
+        self.bytes_received += e.bytes_received;
+    }
+}
+
 /// The outcome of one metasearch.
 #[derive(Debug)]
 pub struct MetaResponse {
@@ -66,6 +113,8 @@ pub struct MetaResponse {
     pub wave_latency_ms: u32,
     /// Total monetary cost of the wave.
     pub total_cost: f64,
+    /// Aggregate accounting from the exchanges that actually happened.
+    pub stats: QueryStats,
 }
 
 /// The metasearcher.
@@ -89,55 +138,60 @@ impl<'n> Metasearcher<'n> {
 
     /// Extract `(field, word)` pairs for source selection from a query.
     pub fn selection_terms(query: &Query) -> Vec<(Option<String>, String)> {
-        query
-            .all_terms()
-            .into_iter()
-            .map(term_key)
-            .collect()
+        query.all_terms().into_iter().map(term_key).collect()
     }
 
     /// Run the full pipeline for one query.
     pub fn search(&self, query: &Query) -> MetaResponse {
+        let obs = self.net.registry();
+        let _root = obs.span("meta.search");
+        obs.counter("meta.searches").inc();
+
         // 1. Select sources.
-        let owned_terms = Self::selection_terms(query);
-        let terms: Vec<(Option<&str>, &str)> = owned_terms
-            .iter()
-            .map(|(f, t)| (f.as_deref(), t.as_str()))
-            .collect();
-        let ranked = self.config.selector.rank(&self.catalog, &terms);
-        let chosen: Vec<(usize, f64)> = ranked
-            .into_iter()
-            .take(self.config.max_sources.max(1))
-            .collect();
+        let chosen: Vec<(usize, f64)> = {
+            let _span = obs.span("select");
+            let owned_terms = Self::selection_terms(query);
+            let terms: Vec<(Option<&str>, &str)> = owned_terms
+                .iter()
+                .map(|(f, t)| (f.as_deref(), t.as_str()))
+                .collect();
+            self.config
+                .selector
+                .rank(&self.catalog, &terms)
+                .into_iter()
+                .take(self.config.max_sources.max(1))
+                .collect()
+        };
         let selected: Vec<String> = chosen
             .iter()
             .map(|(i, _)| self.catalog.entries[*i].id.clone())
             .collect();
 
         // 2. Adapt queries.
-        let lcd_query = if self.config.adapt == AdaptMode::Lcd {
-            let metas: Vec<&starts_proto::SourceMetadata> = chosen
+        let prepared: Vec<(usize, f64, Query)> = {
+            let _span = obs.span("adapt");
+            let lcd_query = if self.config.adapt == AdaptMode::Lcd {
+                let metas: Vec<&starts_proto::SourceMetadata> = chosen
+                    .iter()
+                    .map(|(i, _)| &self.catalog.entries[*i].metadata)
+                    .collect();
+                Some(least_common_denominator(query, &metas))
+            } else {
+                None
+            };
+            chosen
                 .iter()
-                .map(|(i, _)| &self.catalog.entries[*i].metadata)
-                .collect();
-            Some(least_common_denominator(query, &metas))
-        } else {
-            None
+                .map(|&(i, score)| {
+                    let entry = &self.catalog.entries[i];
+                    let q = match self.config.adapt {
+                        AdaptMode::Verbatim => query.clone(),
+                        AdaptMode::PerSource => adapt_query(query, &entry.metadata, &entry.summary),
+                        AdaptMode::Lcd => lcd_query.clone().expect("computed above"),
+                    };
+                    (i, score, q)
+                })
+                .collect()
         };
-        let prepared: Vec<(usize, f64, Query)> = chosen
-            .iter()
-            .map(|&(i, score)| {
-                let entry = &self.catalog.entries[i];
-                let q = match self.config.adapt {
-                    AdaptMode::Verbatim => query.clone(),
-                    AdaptMode::PerSource => {
-                        adapt_query(query, &entry.metadata, &entry.summary)
-                    }
-                    AdaptMode::Lcd => lcd_query.clone().expect("computed above"),
-                };
-                (i, score, q)
-            })
-            .collect();
 
         // 3. Dispatch in parallel (the fan-out of Figure 1's client).
         let client = StartsClient::new(self.net);
@@ -146,30 +200,56 @@ impl<'n> Metasearcher<'n> {
             .map(|(_, s)| *s)
             .fold(f64::MIN, f64::max)
             .max(1e-12);
-        let mut slots: Vec<Option<SourceResult>> = Vec::new();
+        let mut slots: Vec<Option<(SourceResult, Exchange)>> = Vec::new();
         slots.resize_with(prepared.len(), || None);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (slot, (i, score, q)) in slots.iter_mut().zip(&prepared) {
-                let entry = &self.catalog.entries[*i];
-                let client = &client;
-                handles.push(scope.spawn(move |_| {
-                    let results = client.query(entry.query_url(), q).ok();
-                    if let Some(results) = results {
-                        *slot = Some(SourceResult {
-                            metadata: entry.metadata.clone(),
-                            results,
-                            source_weight: (score / max_belief).clamp(0.0, 1.0),
-                        });
-                    }
-                }));
-            }
-            for h in handles {
-                h.join().expect("dispatch thread panicked");
-            }
-        })
-        .expect("crossbeam scope");
-        let per_source: Vec<SourceResult> = slots.into_iter().flatten().collect();
+        {
+            let dispatch = obs.span("dispatch");
+            let dispatch_path = dispatch.path().to_string();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (slot, (i, score, q)) in slots.iter_mut().zip(&prepared) {
+                    let entry = &self.catalog.entries[*i];
+                    let client = &client;
+                    let dispatch_path = &dispatch_path;
+                    handles.push(scope.spawn(move |_| {
+                        // The worker thread's span stack is empty;
+                        // parent it to the dispatch span explicitly.
+                        let _span = obs.span_under(
+                            "source",
+                            dispatch_path,
+                            vec![("source", entry.id.clone())],
+                        );
+                        let outcome = client.query_with_exchange(entry.query_url(), q).ok();
+                        if let Some((results, exchange)) = outcome {
+                            obs.histogram_with("meta.source_latency_ms", &[("source", &entry.id)])
+                                .observe(u64::from(exchange.latency_ms));
+                            *slot = Some((
+                                SourceResult {
+                                    metadata: entry.metadata.clone(),
+                                    results,
+                                    source_weight: (score / max_belief).clamp(0.0, 1.0),
+                                },
+                                exchange,
+                            ));
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("dispatch thread panicked");
+                }
+            })
+            .expect("crossbeam scope");
+        }
+        let mut stats = QueryStats::default();
+        let per_source: Vec<SourceResult> = slots
+            .into_iter()
+            .flatten()
+            .map(|(result, exchange)| {
+                stats.absorb(&exchange);
+                result
+            })
+            .collect();
+        obs.gauge("meta.query_cost").add(stats.total_cost);
 
         // 4. Accounting: the wave runs concurrently, so the user-visible
         // latency is the slowest selected link; costs add up.
@@ -184,14 +264,25 @@ impl<'n> Metasearcher<'n> {
             .sum();
 
         // 5. Merge.
-        let mut merged = self.config.merger.merge(&per_source);
-        merged.truncate(self.config.max_results);
+        let merged = {
+            let _span = obs.span("merge");
+            let candidates: usize = per_source.iter().map(|s| s.results.documents.len()).sum();
+            let mut merged = self.config.merger.merge(&per_source);
+            // Cross-source duplicates collapse during the merge: the
+            // difference between candidates in and documents out.
+            obs.counter("meta.merge.candidates").add(candidates as u64);
+            obs.counter("meta.merge.duplicates")
+                .add(candidates.saturating_sub(merged.len()) as u64);
+            merged.truncate(self.config.max_results);
+            merged
+        };
         MetaResponse {
             merged,
             selected,
             per_source,
             wave_latency_ms,
             total_cost,
+            stats,
         }
     }
 }
@@ -320,6 +411,105 @@ mod tests {
     }
 
     #[test]
+    fn meta_config_debug_names_the_strategies() {
+        let printed = format!("{:?}", MetaConfig::default());
+        assert!(printed.contains("gGlOSS-Sum"), "{printed}");
+        assert!(printed.contains("range-normalized"), "{printed}");
+        assert!(printed.contains("max_sources: 3"), "{printed}");
+        let printed = format!(
+            "{:?}",
+            MetaConfig {
+                selector: Box::new(crate::select::CostAware {
+                    inner: crate::select::BySize,
+                    lambda: 1.0,
+                    mu: 1.0,
+                }),
+                merger: Box::new(crate::merge::RoundRobinMerge),
+                ..MetaConfig::default()
+            }
+        );
+        assert!(printed.contains("cost-aware"), "{printed}");
+        assert!(printed.contains("round-robin"), "{printed}");
+    }
+
+    #[test]
+    fn query_stats_reflect_actual_exchanges() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        let mut catalog = catalog_for(&net, &["DB", "Food"]);
+        catalog.entries[0].link = LinkProfile {
+            latency_ms: 100,
+            cost_per_query: 1.0,
+        };
+        catalog.entries[1].link = LinkProfile {
+            latency_ms: 700,
+            cost_per_query: 2.0,
+        };
+        let meta = Metasearcher::new(
+            &net,
+            catalog,
+            MetaConfig {
+                max_sources: 2,
+                ..MetaConfig::default()
+            },
+        );
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "text"))"#));
+        // The catalog profiles say 100/700 ms and 1+2 cost, but the wire
+        // was registered with the default profile (50 ms, free): the
+        // exchange-derived stats report what actually happened.
+        assert_eq!(resp.stats.requests, 2);
+        assert_eq!(resp.stats.total_latency_ms, 100);
+        assert_eq!(resp.stats.max_latency_ms, 50);
+        assert!(resp.stats.total_cost.abs() < 1e-9);
+        assert!(resp.stats.bytes_sent > 0);
+        assert!(resp.stats.bytes_received > 0);
+        // The quoted view is still the catalog's.
+        assert_eq!(resp.wave_latency_ms, 700);
+        assert!((resp.total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_records_phase_spans_and_metrics() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        let catalog = catalog_for(&net, &["DB", "Food", "Stars"]);
+        net.registry().reset(); // drop discovery-time traffic
+        let meta = Metasearcher::new(&net, catalog, MetaConfig::default());
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "text"))"#));
+        assert!(!resp.merged.is_empty());
+        let snap = net.registry().snapshot();
+        assert_eq!(snap.counter("meta.searches", &[]), 1);
+        for phase in ["select", "adapt", "dispatch", "merge"] {
+            let h = snap
+                .histogram(
+                    "span.duration_us",
+                    &[("span", &format!("meta.search/{phase}"))],
+                )
+                .unwrap_or_else(|| panic!("missing {phase} span"));
+            assert_eq!(h.count, 1, "{phase}");
+        }
+        // Per-source fan-out spans parent under dispatch, and each
+        // source's simulated latency lands in its own histogram.
+        for source in ["DB", "Food", "Stars"] {
+            let h = snap
+                .histogram("meta.source_latency_ms", &[("source", source)])
+                .unwrap_or_else(|| panic!("missing latency histogram for {source}"));
+            assert_eq!((h.count, h.max), (1, 50), "{source}");
+        }
+        let events = net.registry().recent_spans();
+        let workers: Vec<_> = events
+            .iter()
+            .filter(|e| e.path == "meta.search/dispatch/source")
+            .collect();
+        assert_eq!(workers.len(), 3);
+        assert!(workers.iter().all(|e| e.parent == "meta.search/dispatch"));
+        // Merge accounting: all candidates were distinct linkages.
+        let candidates = snap.counter("meta.merge.candidates", &[]);
+        assert!(candidates >= resp.merged.len() as u64);
+        assert_eq!(snap.counter("meta.merge.duplicates", &[]), 0);
+    }
+
+    #[test]
     fn latency_is_max_cost_is_sum() {
         let net = SimNet::new();
         wire_topical_net(&net);
@@ -366,7 +556,13 @@ mod tests {
         }
         let client = StartsClient::new(&net);
         let mut catalog = Catalog::default();
-        for id in ["acme-src", "bolt-src", "okapi-src", "glimpse-src", "rankonly-src"] {
+        for id in [
+            "acme-src",
+            "bolt-src",
+            "okapi-src",
+            "glimpse-src",
+            "rankonly-src",
+        ] {
             catalog
                 .discover_source(
                     &client,
@@ -393,7 +589,11 @@ mod tests {
         assert_eq!(resp.per_source.len(), 5);
         assert!(!resp.merged.is_empty());
         for d in &resp.merged {
-            assert!(d.score <= 1.0 + 1e-9, "unnormalized score leaked: {}", d.score);
+            assert!(
+                d.score <= 1.0 + 1e-9,
+                "unnormalized score leaked: {}",
+                d.score
+            );
         }
     }
 
@@ -413,7 +613,12 @@ mod tests {
         let client = StartsClient::new(&net);
         let mut catalog = catalog_for(&net, &["DB"]);
         catalog
-            .discover_source(&client, "starts://glim/metadata", LinkProfile::default(), false)
+            .discover_source(
+                &client,
+                "starts://glim/metadata",
+                LinkProfile::default(),
+                false,
+            )
             .unwrap();
         let meta = Metasearcher::new(
             &net,

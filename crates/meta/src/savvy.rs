@@ -69,11 +69,7 @@ impl PastPerformance {
     /// [`crate::metasearcher::Metasearcher::search`] to close the loop.
     pub fn observe_response(&self, terms: &[String], response: &crate::MetaResponse) {
         for sr in &response.per_source {
-            self.record(
-                &sr.metadata.source_id,
-                terms,
-                sr.results.documents.len(),
-            );
+            self.record(&sr.metadata.source_id, terms, sr.results.documents.len());
         }
     }
 
@@ -193,7 +189,10 @@ mod tests {
         let ranked = s.rank(&c, &[(None, "x")]);
         let pos_b = ranked.iter().position(|(i, _)| *i == 1).unwrap();
         let pos_slow = ranked.iter().position(|(i, _)| *i == 2).unwrap();
-        assert!(pos_b < pos_slow, "network traffic estimate must discount Slow");
+        assert!(
+            pos_b < pos_slow,
+            "network traffic estimate must discount Slow"
+        );
     }
 
     #[test]
@@ -210,7 +209,11 @@ mod tests {
             let docs = vec![Document::new()
                 .field("body-of-text", body)
                 .field("linkage", format!("http://{id}/1"))];
-            wire_source(&net, Source::build(SourceConfig::new(id), &docs), LinkProfile::default());
+            wire_source(
+                &net,
+                Source::build(SourceConfig::new(id), &docs),
+                LinkProfile::default(),
+            );
         }
         let client = StartsClient::new(&net);
         let mut catalog = Catalog::default();

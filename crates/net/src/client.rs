@@ -6,7 +6,7 @@ use starts_proto::summary::ContentSummary;
 use starts_proto::{ProtoError, Query, QueryResults, Resource, SourceMetadata};
 
 use crate::host::decode_sample;
-use crate::sim::{NetError, SimNet};
+use crate::sim::{Exchange, NetError, SimNet};
 
 /// Client-side errors: transport or protocol decoding.
 #[derive(Debug)]
@@ -65,6 +65,7 @@ impl<'a> StartsClient<'a> {
     /// Fetch a resource descriptor (§4.3.3): the periodic
     /// "extract the list of sources from the resources" task.
     pub fn fetch_resource(&self, url: &str) -> Result<Resource, ClientError> {
+        let _span = self.op_span("client.fetch_resource", url);
         let resp = self.net.request(url, b"")?;
         let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
         Ok(Resource::from_soif(&obj)?)
@@ -72,6 +73,7 @@ impl<'a> StartsClient<'a> {
 
     /// Fetch a source's metadata attributes (§4.3.1).
     pub fn fetch_metadata(&self, url: &str) -> Result<SourceMetadata, ClientError> {
+        let _span = self.op_span("client.fetch_metadata", url);
         let resp = self.net.request(url, b"")?;
         let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
         Ok(SourceMetadata::from_soif(&obj)?)
@@ -79,6 +81,7 @@ impl<'a> StartsClient<'a> {
 
     /// Fetch a source's content summary (§4.3.2).
     pub fn fetch_summary(&self, url: &str) -> Result<ContentSummary, ClientError> {
+        let _span = self.op_span("client.fetch_summary", url);
         let resp = self.net.request(url, b"")?;
         let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
         Ok(ContentSummary::from_soif(&obj)?)
@@ -89,15 +92,34 @@ impl<'a> StartsClient<'a> {
         &self,
         url: &str,
     ) -> Result<Vec<(Query, QueryResults)>, ClientError> {
+        let _span = self.op_span("client.fetch_sample_results", url);
         let resp = self.net.request(url, b"")?;
         Ok(decode_sample(&resp.bytes)?)
     }
 
     /// Submit a query to a source's query URL.
     pub fn query(&self, url: &str, query: &Query) -> Result<QueryResults, ClientError> {
+        self.query_with_exchange(url, query).map(|(r, _)| r)
+    }
+
+    /// Submit a query and keep the exchange accounting (simulated
+    /// latency, cost, bytes) alongside the decoded results.
+    pub fn query_with_exchange(
+        &self,
+        url: &str,
+        query: &Query,
+    ) -> Result<(QueryResults, Exchange), ClientError> {
+        let _span = self.op_span("client.query", url);
         let req = starts_soif::write_object(&query.to_soif());
         let resp = self.net.request(url, &req)?;
-        Ok(QueryResults::from_soif_stream(&resp.bytes)?)
+        let exchange = Exchange::of(&resp, req.len());
+        Ok((QueryResults::from_soif_stream(&resp.bytes)?, exchange))
+    }
+
+    fn op_span(&self, op: &str, url: &str) -> starts_obs::Span<'_> {
+        self.net
+            .registry()
+            .span_with(op, vec![("url", url.to_string())])
     }
 }
 

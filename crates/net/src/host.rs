@@ -64,11 +64,12 @@ pub fn wire_source(net: &SimNet, source: Source, profile: LinkProfile) -> String
 
     {
         let source = Arc::clone(&source);
+        let obs = Arc::clone(net.registry());
         net.register(
             query_url.clone(),
             profile,
             Arc::new(move |request: &[u8]| match parse_query(request) {
-                Some(q) => source.execute(&q).to_soif_stream(),
+                Some(q) => source.execute_traced(&q, Some(&obs)).to_soif_stream(),
                 None => empty_results(source.id()),
             }),
         );
@@ -118,12 +119,13 @@ pub fn wire_resource(
         let id = source.id().to_string();
         let url = source.config().query_url();
         let host = Arc::clone(&host);
+        let obs = Arc::clone(net.registry());
         net.register(
             url,
             profile,
             Arc::new(move |request: &[u8]| match parse_query(request) {
                 Some(q) => host
-                    .execute_at(&id, &q)
+                    .execute_at_traced(&id, &q, Some(&obs))
                     .map(|r| r.to_soif_stream())
                     .unwrap_or_else(|| empty_results(&id)),
                 None => empty_results(&id),

@@ -17,7 +17,11 @@
 //!   might charge for their use; some of the sources might have large
 //!   response times";
 //! * global and per-URL accounting of requests, simulated latency and
-//!   cost, which the source-selection experiments (X6) read out.
+//!   cost, which the source-selection experiments (X6) read out;
+//! * a `starts-obs` [`sim::SimNet::registry`] per network: every
+//!   request records counters (`net.requests`, `net.bytes_*`),
+//!   latency/size histograms, and per-link cost accrual, and every
+//!   typed client operation opens a span.
 //!
 //! [`client::StartsClient`] layers typed STARTS operations (fetch
 //! metadata, fetch summary, query) over the byte transport, and
@@ -29,4 +33,4 @@ pub mod host;
 pub mod sim;
 
 pub use client::StartsClient;
-pub use sim::{LinkProfile, NetError, NetStats, Response, SimNet};
+pub use sim::{Exchange, LinkProfile, NetError, NetStats, Response, SimNet};

@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use starts_obs::Registry;
 
 /// A request handler bound to a URL. Handlers must be stateless with
 /// respect to the transport: they see only the request bytes.
@@ -51,6 +52,32 @@ pub struct Response {
     pub cost: f64,
 }
 
+/// Per-exchange accounting, independent of the payload: what one
+/// request cost in simulated time, money, and bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Exchange {
+    /// Simulated latency incurred.
+    pub latency_ms: u32,
+    /// Cost charged.
+    pub cost: f64,
+    /// Request payload size.
+    pub bytes_sent: u64,
+    /// Response payload size.
+    pub bytes_received: u64,
+}
+
+impl Exchange {
+    /// Accounting for one response to a request of `request_bytes`.
+    pub fn of(response: &Response, request_bytes: usize) -> Self {
+        Exchange {
+            latency_ms: response.latency_ms,
+            cost: response.cost,
+            bytes_sent: request_bytes as u64,
+            bytes_received: response.bytes.len() as u64,
+        }
+    }
+}
+
 /// Transport errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
@@ -95,16 +122,37 @@ pub struct SimNet {
     endpoints: RwLock<HashMap<String, Registered>>,
     stats: RwLock<NetStats>,
     per_url: RwLock<HashMap<String, NetStats>>,
+    obs: Arc<Registry>,
 }
 
 impl SimNet {
-    /// An empty network.
+    /// An empty network with its own metric registry.
     pub fn new() -> Self {
         SimNet::default()
     }
 
+    /// An empty network recording into a shared registry.
+    pub fn with_registry(obs: Arc<Registry>) -> Self {
+        SimNet {
+            obs,
+            ..SimNet::default()
+        }
+    }
+
+    /// The network's metric registry. Everything wired onto this net
+    /// (sources via `wire_source`, metasearchers) records here, so a
+    /// test gets isolated accounting per `SimNet`.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
     /// Register (or replace) an endpoint at a URL.
-    pub fn register(&self, url: impl Into<String>, profile: LinkProfile, endpoint: Arc<dyn Endpoint>) {
+    pub fn register(
+        &self,
+        url: impl Into<String>,
+        profile: LinkProfile,
+        endpoint: Arc<dyn Endpoint>,
+    ) {
         self.endpoints
             .write()
             .insert(url.into(), Registered { profile, endpoint });
@@ -121,9 +169,10 @@ impl SimNet {
         // table lock (requests may fan out from multiple threads).
         let (endpoint, profile) = {
             let table = self.endpoints.read();
-            let reg = table
-                .get(url)
-                .ok_or_else(|| NetError::UnknownUrl(url.to_string()))?;
+            let Some(reg) = table.get(url) else {
+                self.obs.counter_with("net.errors", &[("url", url)]).inc();
+                return Err(NetError::UnknownUrl(url.to_string()));
+            };
             (Arc::clone(&reg.endpoint), reg.profile)
         };
         let bytes = endpoint.handle(body);
@@ -141,6 +190,22 @@ impl SimNet {
         };
         record(&mut self.stats.write());
         record(self.per_url.write().entry(url.to_string()).or_default());
+        let labels = [("url", url)];
+        self.obs.counter_with("net.requests", &labels).inc();
+        self.obs
+            .counter_with("net.bytes_sent", &labels)
+            .add(body.len() as u64);
+        self.obs
+            .counter_with("net.bytes_received", &labels)
+            .add(response.bytes.len() as u64);
+        self.obs
+            .histogram_with("net.latency_ms", &labels)
+            .observe(u64::from(response.latency_ms));
+        self.obs
+            .histogram_with("net.response_bytes", &labels)
+            .observe(response.bytes.len() as u64);
+        // §3.3 cost accrual per link: fractional, so a gauge.
+        self.obs.gauge_with("net.cost", &labels).add(response.cost);
         Ok(response)
     }
 
@@ -244,6 +309,41 @@ mod tests {
             }
         });
         assert_eq!(net.stats().requests, 400);
+    }
+
+    #[test]
+    fn requests_feed_the_metric_registry() {
+        let net = SimNet::new();
+        net.register(
+            "u",
+            LinkProfile {
+                latency_ms: 40,
+                cost_per_query: 1.5,
+            },
+            echo(),
+        );
+        net.request("u", b"four").unwrap();
+        net.request("u", b"four").unwrap();
+        let _ = net.request("ghost", b"");
+        let snap = net.registry().snapshot();
+        assert_eq!(snap.counter("net.requests", &[("url", "u")]), 2);
+        assert_eq!(snap.counter("net.bytes_sent", &[("url", "u")]), 8);
+        assert_eq!(snap.counter("net.errors", &[("url", "ghost")]), 1);
+        assert!((snap.gauge("net.cost", &[("url", "u")]) - 3.0).abs() < 1e-9);
+        let lat = snap.histogram("net.latency_ms", &[("url", "u")]).unwrap();
+        assert_eq!((lat.count, lat.min, lat.max), (2, 40, 40));
+    }
+
+    #[test]
+    fn shared_registry_spans_two_nets() {
+        let obs = Arc::new(starts_obs::Registry::new());
+        let a = SimNet::with_registry(Arc::clone(&obs));
+        let b = SimNet::with_registry(Arc::clone(&obs));
+        a.register("u", LinkProfile::default(), echo());
+        b.register("u", LinkProfile::default(), echo());
+        a.request("u", b"x").unwrap();
+        b.request("u", b"y").unwrap();
+        assert_eq!(obs.snapshot().counter("net.requests", &[("url", "u")]), 2);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Observability for the STARTS metasearch pipeline.
+//!
+//! The paper's metasearcher juggles per-source link profiles (§3.3),
+//! query rewriting at uncooperative sources (§4.2), and a parallel
+//! fan-out whose user-visible latency is the slowest link. This crate
+//! makes those moving parts measurable without touching the protocol:
+//!
+//! * **Spans** — structured, nestable RAII timers
+//!   (`span!(reg, "dispatch", source = id)`), aggregated into
+//!   `span.duration_us` histograms per path and kept in a bounded ring
+//!   of recent [`SpanEvent`]s;
+//! * **Metrics** — lock-free [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s with p50/p95/p99 snapshots;
+//! * **Exporters** — a Prometheus text dump ([`export::prometheus`]),
+//!   a JSON dump ([`export::json`]), and a SOIF-native `@SStats`
+//!   object ([`export::to_soif`]) that round-trips through
+//!   `starts_soif::parse`.
+//!
+//! A [`Registry`] is cheap to share: `starts-net`'s `SimNet` owns one
+//! in an `Arc` so that every test gets isolated accounting, and
+//! [`Registry::global`] serves code with no registry at hand.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricId, Registry, Snapshot,
+};
+pub use span::{Span, SpanEvent};

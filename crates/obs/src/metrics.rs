@@ -1,0 +1,275 @@
+//! Typed metric instruments: counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! Every instrument is a thin handle around an `Arc`'d atomic cell, so
+//! handles can be cached by hot-path callers and updated without taking
+//! any lock. The registry lock is only touched when a handle is first
+//! created.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an instantaneous `f64` that can be set or accumulated
+/// (accumulation covers §3.3-style cost accrual, where the quantity is
+/// fractional but only ever grows).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Replace the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `v` to the value (compare-and-swap loop; contention on a
+    /// gauge is rare and short).
+    pub fn add(&self, v: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i - 1]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value (log₂ bucketing).
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first observation.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log-bucketed histogram of non-negative integer observations
+/// (latencies in ms or µs, payload sizes in bytes, result counts).
+///
+/// Buckets double in width, so percentile estimates are exact to within
+/// a factor of two: for any quantile `q`, `true ≤ estimate ≤ 2·true`
+/// (see the percentile property test).
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the distribution (individual loads
+    /// are relaxed; concurrent observers may be off by in-flight
+    /// updates, which is fine for monitoring).
+    pub fn snapshot_values(&self) -> HistogramValues {
+        let c = &self.core;
+        let buckets: Vec<u64> = c
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let min = c.min.load(Ordering::Relaxed);
+        HistogramValues {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if min == u64::MAX { 0 } else { min },
+            max: c.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The frozen numbers behind a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramValues {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Per-bucket counts, indexed as [`bucket_index`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramValues {
+    /// Estimate the `q`-quantile (0 < q ≤ 1): the upper bound of the
+    /// bucket holding the ⌈q·count⌉-th smallest observation, clamped to
+    /// the observed maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        // Clones share the cell.
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 43);
+    }
+
+    #[test]
+    fn gauge_sets_and_accrues() {
+        let g = Gauge::default();
+        g.set(2.5);
+        g.add(1.25);
+        assert!((g.get() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_axis() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 100, 1023, 1024, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_basic_percentiles() {
+        let h = Histogram::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot_values();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1100);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 1000);
+        // p50 lands in the bucket of 30 ([16,31]).
+        assert_eq!(s.percentile(0.5), 31);
+        // p99 lands in the last bucket, clamped to the max.
+        assert_eq!(s.percentile(0.99), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::default().snapshot_values();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.percentile(0.5), 0);
+    }
+}

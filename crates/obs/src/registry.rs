@@ -1,0 +1,341 @@
+//! The metric registry: a process-local table of named instruments.
+//!
+//! Lookup takes a `parking_lot` read lock and clones an `Arc` handle;
+//! the write lock is only taken the first time a `(name, labels)` pair
+//! is seen. Updates through a handle touch no lock at all.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramValues};
+use crate::span::{Span, SpanEvent, SpanLog};
+
+/// A metric identity: a dotted name plus label pairs (sorted by key, so
+/// label order at the call site does not matter).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Dotted metric name, e.g. `net.latency_ms`.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Build an id, canonicalizing label order.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+impl fmt::Display for MetricId {
+    /// `name` or `name{k="v",k2="v2"}`, with `\` and `"` escaped in
+    /// values. This is the form the SOIF exporter parses back.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if self.labels.is_empty() {
+            return Ok(());
+        }
+        f.write_str("{")?;
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(
+                f,
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// One counter in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One gauge in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// One histogram in a [`Snapshot`], with pre-computed quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric identity.
+    pub id: MetricId,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn from_values(id: MetricId, v: &HistogramValues) -> Self {
+        HistogramSnapshot {
+            id,
+            count: v.count,
+            sum: v.sum,
+            min: v.min,
+            max: v.max,
+            p50: v.percentile(0.50),
+            p95: v.percentile(0.95),
+            p99: v.percentile(0.99),
+            buckets: v
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (crate::metrics::bucket_upper_bound(i), n))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every instrument in a registry, sorted by
+/// metric id for deterministic export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by name + labels (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let id = MetricId::new(name, labels);
+        self.counters
+            .iter()
+            .find(|c| c.id == id)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Gauge value by name + labels (0 when absent).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        let id = MetricId::new(name, labels);
+        self.gauges
+            .iter()
+            .find(|g| g.id == id)
+            .map_or(0.0, |g| g.value)
+    }
+
+    /// Histogram by name + labels.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let id = MetricId::new(name, labels);
+        self.histograms.iter().find(|h| h.id == id)
+    }
+}
+
+/// The registry. Cheap to share (`SimNet` holds one in an `Arc`); the
+/// process-wide default is [`Registry::global`].
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<MetricId, Counter>>,
+    gauges: RwLock<HashMap<MetricId, Gauge>>,
+    histograms: RwLock<HashMap<MetricId, Histogram>>,
+    pub(crate) spans: SpanLog,
+}
+
+fn intern<M: Clone + Default>(table: &RwLock<HashMap<MetricId, M>>, id: MetricId) -> M {
+    if let Some(m) = table.read().get(&id) {
+        return m.clone();
+    }
+    table.write().entry(id).or_default().clone()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide default registry, used by the bare
+    /// `span!("name")` form.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    /// An unlabeled counter handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// A labeled counter handle.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        intern(&self.counters, MetricId::new(name, labels))
+    }
+
+    /// An unlabeled gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// A labeled gauge handle.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        intern(&self.gauges, MetricId::new(name, labels))
+    }
+
+    /// An unlabeled histogram handle.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// A labeled histogram handle.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        intern(&self.histograms, MetricId::new(name, labels))
+    }
+
+    /// Open a span nested under this thread's current span (if any).
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.span_with(name, Vec::new())
+    }
+
+    /// Open a span with structured fields.
+    pub fn span_with(&self, name: &str, fields: Vec<(&'static str, String)>) -> Span<'_> {
+        Span::enter(self, name, None, fields)
+    }
+
+    /// Open a span under an explicit parent path — the cross-thread
+    /// form, for fan-out workers whose logical parent lives on the
+    /// dispatching thread.
+    pub fn span_under(
+        &self,
+        name: &str,
+        parent: &str,
+        fields: Vec<(&'static str, String)>,
+    ) -> Span<'_> {
+        Span::enter(self, name, Some(parent.to_string()), fields)
+    }
+
+    /// The most recent completed spans, oldest first (bounded ring).
+    pub fn recent_spans(&self) -> Vec<SpanEvent> {
+        self.spans.recent()
+    }
+
+    /// Copy every instrument out.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<CounterSnapshot> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(id, c)| CounterSnapshot {
+                id: id.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.id.cmp(&b.id));
+        let mut gauges: Vec<GaugeSnapshot> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(id, g)| GaugeSnapshot {
+                id: id.clone(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.id.cmp(&b.id));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(id, h)| HistogramSnapshot::from_values(id.clone(), &h.snapshot_values()))
+            .collect();
+        histograms.sort_by(|a, b| a.id.cmp(&b.id));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Drop every instrument and span record (between experiment runs).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+        self.spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_identity() {
+        let reg = Registry::new();
+        reg.counter_with("hits", &[("src", "a")]).inc();
+        reg.counter_with("hits", &[("src", "a")]).inc();
+        reg.counter_with("hits", &[("src", "b")]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits", &[("src", "a")]), 2);
+        assert_eq!(snap.counter("hits", &[("src", "b")]), 1);
+        assert_eq!(snap.counter("hits", &[]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = Registry::new();
+        reg.counter_with("c", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter_with("c", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.snapshot().counter("c", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn metric_id_display_escapes_values() {
+        let id = MetricId::new("m", &[("url", r#"a"b\c"#)]);
+        assert_eq!(id.to_string(), r#"m{url="a\"b\\c"}"#);
+        assert_eq!(MetricId::new("m", &[]).to_string(), "m");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_resettable() {
+        let reg = Registry::new();
+        reg.counter("z").inc();
+        reg.counter("a").inc();
+        reg.histogram("h").observe(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].id.name, "a");
+        assert_eq!(snap.counters[1].id.name, "z");
+        assert_eq!(snap.histogram("h", &[]).unwrap().count, 1);
+        reg.reset();
+        assert_eq!(reg.snapshot(), Snapshot::default());
+    }
+}

@@ -1,0 +1,238 @@
+//! Structured, nestable spans.
+//!
+//! A span is an RAII guard: opening one pushes its path onto a
+//! thread-local stack (so spans opened inside it become children), and
+//! dropping it records the elapsed wall-clock time into the registry —
+//! a `span.duration_us` histogram labeled with the full path — plus a
+//! bounded ring of recent [`SpanEvent`]s for inspection.
+//!
+//! Fan-out workers run on other threads, where the thread-local stack
+//! is empty; they use [`crate::Registry::span_under`] to attach to the
+//! dispatching span's path explicitly.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::registry::Registry;
+
+/// How many completed spans the ring buffer keeps.
+const SPAN_LOG_CAP: usize = 1024;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Full slash-separated path, e.g. `meta.search/dispatch/source`.
+    pub path: String,
+    /// The leaf name.
+    pub name: String,
+    /// The parent path (empty for roots).
+    pub parent: String,
+    /// Elapsed wall-clock microseconds.
+    pub duration_us: u64,
+    /// Structured fields given at open time.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+/// Bounded ring of recent [`SpanEvent`]s.
+#[derive(Default)]
+pub(crate) struct SpanLog {
+    ring: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl SpanLog {
+    fn push(&self, ev: SpanEvent) {
+        let mut ring = self.ring.lock();
+        if ring.len() == SPAN_LOG_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    pub(crate) fn recent(&self) -> Vec<SpanEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+/// An open span; records itself on drop.
+pub struct Span<'r> {
+    reg: &'r Registry,
+    path: String,
+    name: String,
+    parent: String,
+    start: Instant,
+    fields: Vec<(&'static str, String)>,
+}
+
+impl<'r> Span<'r> {
+    pub(crate) fn enter(
+        reg: &'r Registry,
+        name: &str,
+        explicit_parent: Option<String>,
+        fields: Vec<(&'static str, String)>,
+    ) -> Self {
+        let (parent, path) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = match explicit_parent {
+                Some(p) => p,
+                None => stack.last().cloned().unwrap_or_default(),
+            };
+            let path = if parent.is_empty() {
+                name.to_string()
+            } else {
+                format!("{parent}/{name}")
+            };
+            stack.push(path.clone());
+            (parent, path)
+        });
+        Span {
+            reg,
+            path,
+            name: name.to_string(),
+            parent,
+            start: Instant::now(),
+            fields,
+        }
+    }
+
+    /// The span's full path — pass to [`Registry::span_under`] to parent
+    /// spans opened on other threads.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let duration_us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // RAII guards drop LIFO; be tolerant of manual `drop()` in
+            // odd orders and only pop our own entry.
+            if stack.last() == Some(&self.path) {
+                stack.pop();
+            } else if let Some(i) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(i);
+            }
+        });
+        self.reg
+            .histogram_with("span.duration_us", &[("span", &self.path)])
+            .observe(duration_us);
+        self.reg.spans.push(SpanEvent {
+            path: std::mem::take(&mut self.path),
+            name: std::mem::take(&mut self.name),
+            parent: std::mem::take(&mut self.parent),
+            duration_us,
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+/// Open a span.
+///
+/// * `span!("select")` — on the process-wide [`Registry::global`];
+/// * `span!(reg, "dispatch", source = id)` — on an explicit registry,
+///   with structured fields (each `key = value` pair is captured via
+///   `ToString`).
+///
+/// The returned guard must be bound (`let _span = span!(...)`) — an
+/// unbound `let _ = span!(...)` drops immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::Registry::global()
+            .span_with($name, vec![$((stringify!($key), $value.to_string())),*])
+    };
+    ($reg:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        ($reg).span_with($name, vec![$((stringify!($key), $value.to_string())),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let reg = Registry::new();
+        {
+            let _a = reg.span("outer");
+            {
+                let _b = reg.span("inner");
+            }
+            let _c = reg.span("second");
+        }
+        let events = reg.recent_spans();
+        let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+        // Children complete before parents.
+        assert_eq!(paths, vec!["outer/inner", "outer/second", "outer"]);
+        assert_eq!(events[0].parent, "outer");
+        assert_eq!(events[2].parent, "");
+    }
+
+    #[test]
+    fn span_durations_land_in_the_histogram() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = reg.snapshot();
+        let h = snap
+            .histogram("span.duration_us", &[("span", "work")])
+            .expect("span histogram");
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 2_000, "slept 2ms but recorded {}us", h.max);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let reg = Registry::new();
+        let parent_path = {
+            let parent = reg.span("dispatch");
+            let path = parent.path().to_string();
+            std::thread::scope(|scope| {
+                let reg = &reg;
+                let path = &path;
+                scope.spawn(move || {
+                    let _child = reg.span_under("worker", path, vec![("n", "1".to_string())]);
+                });
+            });
+            path
+        };
+        let events = reg.recent_spans();
+        let child = events.iter().find(|e| e.name == "worker").unwrap();
+        assert_eq!(child.parent, parent_path);
+        assert_eq!(child.path, "dispatch/worker");
+    }
+
+    #[test]
+    fn macro_forms() {
+        let reg = Registry::new();
+        {
+            let _s = span!(&reg, "labeled", source = "DB", wave = 2);
+        }
+        let ev = &reg.recent_spans()[0];
+        assert_eq!(ev.name, "labeled");
+        assert_eq!(
+            ev.fields,
+            vec![("source", "DB".to_string()), ("wave", "2".to_string())]
+        );
+        // Global form records on the shared registry.
+        let before = Registry::global().recent_spans().len();
+        {
+            let _s = span!("global-span");
+        }
+        assert!(Registry::global().recent_spans().len() > before);
+    }
+}

@@ -1,0 +1,105 @@
+//! Span nesting under concurrent dispatch: the exact shape the
+//! metasearcher produces — a root span on the dispatching thread and
+//! one `span_under` worker per fan-out thread — must yield correct
+//! parent links and per-path duration histograms with no cross-thread
+//! bleed.
+
+use starts_obs::Registry;
+
+const WORKERS: usize = 8;
+
+#[test]
+fn fan_out_workers_nest_under_the_dispatch_span() {
+    let reg = Registry::new();
+    {
+        let root = reg.span("dispatch");
+        let root_path = root.path().to_string();
+        crossbeam::thread::scope(|s| {
+            for i in 0..WORKERS {
+                let reg = &reg;
+                let parent = root_path.clone();
+                s.spawn(move |_| {
+                    let worker = reg.span_under("worker", &parent, vec![("idx", i.to_string())]);
+                    // A nested child on the worker thread parents to the
+                    // worker via the thread-local stack, not to the
+                    // dispatcher's stack.
+                    let _inner = reg.span(&format!("step-{i}"));
+                    assert_eq!(_inner.path(), format!("{}/step-{i}", worker.path()));
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    let events = reg.recent_spans();
+    // WORKERS inner spans + WORKERS worker spans + 1 root.
+    assert_eq!(events.len(), 2 * WORKERS + 1);
+
+    let workers: Vec<_> = events.iter().filter(|e| e.name == "worker").collect();
+    assert_eq!(workers.len(), WORKERS);
+    for w in &workers {
+        assert_eq!(w.parent, "dispatch");
+        assert_eq!(w.path, "dispatch/worker");
+    }
+    // Every worker carried its own field; all indices show up once.
+    let mut idxs: Vec<String> = workers.iter().map(|w| w.fields[0].1.clone()).collect();
+    idxs.sort();
+    let expected: Vec<String> = (0..WORKERS).map(|i| i.to_string()).collect();
+    let mut expected = expected;
+    expected.sort();
+    assert_eq!(idxs, expected);
+
+    // Inner spans nested under their worker, not under the root.
+    for i in 0..WORKERS {
+        let inner = events
+            .iter()
+            .find(|e| e.name == format!("step-{i}"))
+            .expect("inner span recorded");
+        assert_eq!(inner.parent, "dispatch/worker");
+    }
+
+    // The root closed last and carries the whole tree's path.
+    let root = events.iter().find(|e| e.name == "dispatch").unwrap();
+    assert_eq!(root.parent, "");
+
+    // Durations aggregated per path: one histogram per distinct path.
+    let snap = reg.snapshot();
+    let worker_h = snap
+        .histogram("span.duration_us", &[("span", "dispatch/worker")])
+        .expect("worker duration histogram");
+    assert_eq!(worker_h.count, WORKERS as u64);
+    let root_h = snap
+        .histogram("span.duration_us", &[("span", "dispatch")])
+        .expect("root duration histogram");
+    assert_eq!(root_h.count, 1);
+}
+
+#[test]
+fn concurrent_counters_lose_no_increments() {
+    let reg = Registry::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let reg = &reg;
+            s.spawn(move |_| {
+                // Re-interning on every increment exercises the
+                // read-lock fast path under contention.
+                for _ in 0..PER_THREAD {
+                    reg.counter_with("hits", &[("src", "shared")]).inc();
+                    reg.histogram("h").observe(1);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("hits", &[("src", "shared")]),
+        THREADS as u64 * PER_THREAD
+    );
+    assert_eq!(
+        snap.histogram("h", &[]).unwrap().count,
+        THREADS as u64 * PER_THREAD
+    );
+}

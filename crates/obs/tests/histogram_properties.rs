@@ -1,0 +1,97 @@
+//! Property-based tests for the log-bucketed histogram: bucket
+//! bookkeeping is exact, and percentile estimates bracket the true
+//! order statistic within the documented factor of two.
+
+use proptest::prelude::*;
+use starts_obs::metrics::{bucket_index, bucket_upper_bound, NUM_BUCKETS};
+use starts_obs::Histogram;
+
+fn arb_observations() -> impl Strategy<Value = Vec<u64>> {
+    // Mix small values (dense low buckets) with a heavy tail; cap each
+    // observation so the sum can't overflow u64 across 400 of them.
+    proptest::collection::vec(
+        prop_oneof![Just(0u64), 0u64..16, 0u64..4096, 0u64..1_000_000_000,],
+        1..400,
+    )
+}
+
+/// The exact q-quantile under the histogram's own rank convention:
+/// the ⌈q·n⌉-th smallest observation.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// count/sum/min/max and the per-bucket tallies match a direct
+    /// computation over the raw observations.
+    #[test]
+    fn bookkeeping_is_exact(obs in arb_observations()) {
+        let h = Histogram::default();
+        for &v in &obs {
+            h.observe(v);
+        }
+        let snap = h.snapshot_values();
+        prop_assert_eq!(snap.count, obs.len() as u64);
+        prop_assert_eq!(snap.sum, obs.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *obs.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *obs.iter().max().unwrap());
+        let mut expected = vec![0u64; NUM_BUCKETS];
+        for &v in &obs {
+            expected[bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(snap.buckets, expected);
+    }
+
+    /// Every observation is at most its bucket's inclusive upper bound,
+    /// and above the previous bucket's (the buckets partition the axis).
+    #[test]
+    fn buckets_partition_the_axis(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(v <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_upper_bound(i - 1));
+        }
+    }
+
+    /// The documented accuracy contract: for every quantile,
+    /// `true ≤ estimate ≤ 2·true` (estimate equals 0 when true is 0).
+    #[test]
+    fn percentiles_bracket_the_truth(
+        obs in arb_observations(),
+        q in prop_oneof![Just(0.5), Just(0.95), Just(0.99), 0.01f64..1.0],
+    ) {
+        let h = Histogram::default();
+        for &v in &obs {
+            h.observe(v);
+        }
+        let mut sorted = obs.clone();
+        sorted.sort_unstable();
+        let truth = exact_percentile(&sorted, q);
+        let est = h.snapshot_values().percentile(q);
+        prop_assert!(est >= truth, "estimate {} below true {}", est, truth);
+        if truth == 0 {
+            prop_assert_eq!(est, 0);
+        } else {
+            prop_assert!(est <= 2 * truth, "estimate {} above 2·{}", est, truth);
+        }
+    }
+
+    /// Percentiles are monotone in q and never exceed the observed max.
+    #[test]
+    fn percentiles_are_monotone(obs in arb_observations()) {
+        let h = Histogram::default();
+        for &v in &obs {
+            h.observe(v);
+        }
+        let snap = h.snapshot_values();
+        let qs = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let p = snap.percentile(q);
+            prop_assert!(p >= prev, "p({}) = {} < p(prev) = {}", q, p, prev);
+            prop_assert!(p <= snap.max);
+            prev = p;
+        }
+    }
+}

@@ -81,9 +81,7 @@ impl SoifObject {
 
     /// Whether the object has an attribute named `name`.
     pub fn has(&self, name: &str) -> bool {
-        self.attrs
-            .iter()
-            .any(|a| a.name.eq_ignore_ascii_case(name))
+        self.attrs.iter().any(|a| a.name.eq_ignore_ascii_case(name))
     }
 
     /// Number of attributes (counting repeats).

@@ -251,7 +251,8 @@ impl<'a> SoifReader<'a> {
             });
         }
         self.pos += 1;
-        if self.pos < self.input.len() && (self.input[self.pos] == b' ' || self.input[self.pos] == b'\t')
+        if self.pos < self.input.len()
+            && (self.input[self.pos] == b' ' || self.input[self.pos] == b'\t')
         {
             self.pos += 1;
         }
@@ -375,8 +376,13 @@ mod tests {
 
     #[test]
     fn multi_line_value_via_count() {
-        let value = "(body-of-text \"distributed\") 10 0.31 190\n(body-of-text \"databases\") 15 0.51 232";
-        let text = format!("@SQRDocument{{\nTermStats{{{}}}: {}\n}}\n", value.len(), value);
+        let value =
+            "(body-of-text \"distributed\") 10 0.31 190\n(body-of-text \"databases\") 15 0.51 232";
+        let text = format!(
+            "@SQRDocument{{\nTermStats{{{}}}: {}\n}}\n",
+            value.len(),
+            value
+        );
         let obj = parse_one(text.as_bytes(), ParseMode::Strict).unwrap();
         assert_eq!(obj.get_str("TermStats"), Some(value));
     }

@@ -2,33 +2,64 @@
 //! specification → result construction (§4.1.2, §4.2).
 
 use starts_index::{DocId, Hit};
+use starts_obs::Registry;
 use starts_proto::query::{SortKey, SortOrder};
 use starts_proto::{Field, Query, QueryResults, ResultDocument, TermStatsEntry};
 
-use crate::rewrite::rewrite_query;
-use crate::source::Source;
 use crate::extensions::{translate_filter_ext, translate_ranking_ext};
+use crate::rewrite::{rewrite_query, Rewritten};
+use crate::source::Source;
 use crate::translate::translate_term;
 
 /// Execute `query` at `source`.
 pub fn execute(source: &Source, query: &Query) -> QueryResults {
+    execute_traced(source, query, None)
+}
+
+/// Execute `query` at `source`, recording phase timings (`rewrite` →
+/// `translate` → `execute` spans under `source.execute`) and
+/// rewrite-downgrade counters into `obs` when given.
+pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) -> QueryResults {
+    let _root = obs.map(|reg| {
+        reg.counter_with("source.queries", &[("source", source.id())])
+            .inc();
+        reg.span_with("source.execute", vec![("source", source.id().to_string())])
+    });
     let engine = source.engine();
     let analyzer = engine.index().analyzer();
     let is_stop = |w: &str| analyzer.is_stop_word(w);
-    let rewritten = rewrite_query(
-        query,
-        source.metadata(),
-        &is_stop,
-        analyzer.config().can_disable_stop_words,
-    );
-    let filter_ir = rewritten
-        .filter
-        .as_ref()
-        .map(|f| translate_filter_ext(f, analyzer));
-    let ranking_ir = rewritten
-        .ranking
-        .as_ref()
-        .map(|r| translate_ranking_ext(r, analyzer));
+
+    // Phase 1: rewrite against the source's declared capabilities.
+    let rewritten = {
+        let _span = obs.map(|reg| reg.span("rewrite"));
+        rewrite_query(
+            query,
+            source.metadata(),
+            &is_stop,
+            analyzer.config().can_disable_stop_words,
+        )
+    };
+    if let Some(reg) = obs {
+        count_downgrades(reg, source.id(), query, &rewritten);
+    }
+
+    // Phase 2: translate the actual query into the engine's IR.
+    let (filter_ir, ranking_ir) = {
+        let _span = obs.map(|reg| reg.span("translate"));
+        (
+            rewritten
+                .filter
+                .as_ref()
+                .map(|f| translate_filter_ext(f, analyzer)),
+            rewritten
+                .ranking
+                .as_ref()
+                .map(|r| translate_ranking_ext(r, analyzer)),
+        )
+    };
+
+    // Phase 3: execute — search, answer specification, result objects.
+    let _span = obs.map(|reg| reg.span("execute"));
     let mut hits = engine.search(filter_ir.as_ref(), ranking_ir.as_ref());
 
     // Answer specification: minimum score …
@@ -49,16 +80,59 @@ pub fn execute(source: &Source, query: &Query) -> QueryResults {
         .as_ref()
         .map(|r| r.terms().into_iter().cloned().collect())
         .unwrap_or_default();
-    let documents = hits
+    let documents: Vec<ResultDocument> = hits
         .iter()
         .map(|h| build_document(source, h, query, &ranking_terms))
         .collect();
+    if let Some(reg) = obs {
+        reg.histogram_with("source.results", &[("source", source.id())])
+            .observe(documents.len() as u64);
+    }
 
     QueryResults {
         sources: vec![source.id().to_string()],
         actual_filter: rewritten.filter,
         actual_ranking: rewritten.ranking,
         documents,
+    }
+}
+
+/// Count §4.2 downgrades: a query part the rewrite changed
+/// (`source.rewrite.downgrades`) or removed outright
+/// (`source.rewrite.drops`), labeled by source and part.
+fn count_downgrades(reg: &Registry, source_id: &str, query: &Query, rewritten: &Rewritten) {
+    let parts = [
+        (
+            "filter",
+            query.filter.is_some(),
+            rewritten.filter.is_none(),
+            { rewritten.filter != query.filter },
+        ),
+        (
+            "ranking",
+            query.ranking.is_some(),
+            rewritten.ranking.is_none(),
+            rewritten.ranking != query.ranking,
+        ),
+    ];
+    for (part, asked, gone, changed) in parts {
+        if !asked {
+            continue;
+        }
+        if changed {
+            reg.counter_with(
+                "source.rewrite.downgrades",
+                &[("source", source_id), ("part", part)],
+            )
+            .inc();
+        }
+        if gone {
+            reg.counter_with(
+                "source.rewrite.drops",
+                &[("source", source_id), ("part", part)],
+            )
+            .inc();
+        }
     }
 }
 

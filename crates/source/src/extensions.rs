@@ -199,7 +199,10 @@ mod tests {
     #[test]
     fn feedback_caps_term_count() {
         let analyzer = Analyzer::new(AnalyzerConfig::default());
-        let text = (0..40).map(|i| format!("word{i}")).collect::<Vec<_>>().join(" ");
+        let text = (0..40)
+            .map(|i| format!("word{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         assert_eq!(feedback_terms(&analyzer, &text).len(), MAX_FEEDBACK_TERMS);
     }
 
@@ -217,8 +220,8 @@ mod tests {
     fn free_form_pqf_parses_and_translates() {
         use starts_proto::query::parse_filter;
         let analyzer = Analyzer::new(AnalyzerConfig::default());
-        let f = parse_filter(r#"(free-form-text "@and @attr 1=4 alpha @attr 1=1003 beta")"#)
-            .unwrap();
+        let f =
+            parse_filter(r#"(free-form-text "@and @attr 1=4 alpha @attr 1=1003 beta")"#).unwrap();
         let ir = translate_filter_ext(&f, &analyzer);
         let BoolNode::And(l, _) = ir else {
             panic!("expected the PQF @and to be spliced, got {ir:?}")

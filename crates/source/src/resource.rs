@@ -52,6 +52,19 @@ impl ResourceHost {
     ///
     /// Returns `None` if `entry_id` is not a member.
     pub fn execute_at(&self, entry_id: &str, query: &Query) -> Option<QueryResults> {
+        self.execute_at_traced(entry_id, query, None)
+    }
+
+    /// [`ResourceHost::execute_at`] with observability: member
+    /// executions record phase timings and rewrite counters, and the
+    /// resource-level duplicate elimination bumps
+    /// `resource.duplicates_merged`.
+    pub fn execute_at_traced(
+        &self,
+        entry_id: &str,
+        query: &Query,
+        obs: Option<&starts_obs::Registry>,
+    ) -> Option<QueryResults> {
         let entry = self.source(entry_id)?;
         let mut participating: Vec<&Source> = vec![entry];
         for extra in &query.additional_sources {
@@ -70,8 +83,9 @@ impl ResourceHost {
         // Deduplicate by linkage; documents without a linkage cannot be
         // identified across sources and pass through unmerged.
         let mut by_linkage: HashMap<String, usize> = HashMap::new();
+        let mut duplicates = 0u64;
         for source in &participating {
-            let result = source.execute(query);
+            let result = source.execute_traced(query, obs);
             if source.id() == entry_id {
                 // The entry source's actual query stands for the result
                 // (members share the resource's conventions).
@@ -81,7 +95,10 @@ impl ResourceHost {
             for doc in result.documents {
                 match doc.linkage().map(str::to_string) {
                     Some(url) => match by_linkage.get(&url) {
-                        Some(&i) => merge_duplicate(&mut merged.documents[i], doc),
+                        Some(&i) => {
+                            duplicates += 1;
+                            merge_duplicate(&mut merged.documents[i], doc);
+                        }
                         None => {
                             by_linkage.insert(url, merged.documents.len());
                             merged.documents.push(doc);
@@ -99,6 +116,10 @@ impl ResourceHost {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         merged.documents.truncate(query.answer.max_documents);
+        if let (Some(reg), true) = (obs, duplicates > 0) {
+            reg.counter_with("resource.duplicates_merged", &[("entry", entry_id)])
+                .add(duplicates);
+        }
         Some(merged)
     }
 }
@@ -178,7 +199,9 @@ mod tests {
     #[test]
     fn single_source_query() {
         let r = resource();
-        let result = r.execute_at("Source-1", &query_with_additional(&[])).unwrap();
+        let result = r
+            .execute_at("Source-1", &query_with_additional(&[]))
+            .unwrap();
         assert_eq!(result.sources, vec!["Source-1".to_string()]);
         assert_eq!(result.documents.len(), 2);
     }
@@ -206,7 +229,9 @@ mod tests {
     #[test]
     fn unknown_entry_source() {
         let r = resource();
-        assert!(r.execute_at("Source-9", &query_with_additional(&[])).is_none());
+        assert!(r
+            .execute_at("Source-9", &query_with_additional(&[]))
+            .is_none());
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl RewriteCtx<'_> {
             // Keep only modifiers individually legal with the field.
             supported
                 .into_iter()
-                .filter(|m| self.metadata.combination_legal(&field, std::slice::from_ref(m)))
+                .filter(|m| {
+                    self.metadata
+                        .combination_legal(&field, std::slice::from_ref(m))
+                })
                 .collect()
         };
         Some(QTerm {
@@ -220,10 +223,7 @@ mod tests {
         SourceMetadata {
             source_id: "S".to_string(),
             fields_supported: vec![(Field::Author, vec![]), (Field::BodyOfText, vec![])],
-            modifiers_supported: vec![
-                (Modifier::Stem, vec![]),
-                (Modifier::Cmp(CmpOp::Eq), vec![]),
-            ],
+            modifiers_supported: vec![(Modifier::Stem, vec![]), (Modifier::Cmp(CmpOp::Eq), vec![])],
             ..SourceMetadata::default()
         }
     }
@@ -243,10 +243,8 @@ mod tests {
                 parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
             ),
             ranking: Some(
-                parse_ranking(
-                    r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
-                )
-                .unwrap(),
+                parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
+                    .unwrap(),
             ),
             ..Query::default()
         };
@@ -268,10 +266,8 @@ mod tests {
         // expression becomes (body-of-text "databases").
         let q = Query {
             ranking: Some(
-                parse_ranking(
-                    r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
-                )
-                .unwrap(),
+                parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
+                    .unwrap(),
             ),
             drop_stop_words: true,
             ..Query::default()
@@ -344,14 +340,12 @@ mod tests {
     #[test]
     fn and_not_healing_rules() {
         // Positive side dropped → whole expression gone.
-        let q = Query::filter_only(
-            parse_filter(r#"((abstract "x") and-not (author "y"))"#).unwrap(),
-        );
+        let q =
+            Query::filter_only(parse_filter(r#"((abstract "x") and-not (author "y"))"#).unwrap());
         assert_eq!(rewrite(&q, &meta()).filter, None);
         // Negative side dropped → positive side alone.
-        let q = Query::filter_only(
-            parse_filter(r#"((author "x") and-not (abstract "y"))"#).unwrap(),
-        );
+        let q =
+            Query::filter_only(parse_filter(r#"((author "x") and-not (abstract "y"))"#).unwrap());
         assert_eq!(
             print_filter(&rewrite(&q, &meta()).filter.unwrap()),
             r#"(author "x")"#
@@ -360,9 +354,8 @@ mod tests {
 
     #[test]
     fn prox_degrades_to_surviving_term() {
-        let q = Query::filter_only(
-            parse_filter(r#"((author "x") prox[2,T] (abstract "y"))"#).unwrap(),
-        );
+        let q =
+            Query::filter_only(parse_filter(r#"((author "x") prox[2,T] (abstract "y"))"#).unwrap());
         assert_eq!(
             print_filter(&rewrite(&q, &meta()).filter.unwrap()),
             r#"(author "x")"#

@@ -98,6 +98,16 @@ impl Source {
         crate::execute::execute(self, query)
     }
 
+    /// [`Source::execute`] with observability: phase timings and
+    /// rewrite-downgrade counters go into `obs` when given.
+    pub fn execute_traced(
+        &self,
+        query: &Query,
+        obs: Option<&starts_obs::Registry>,
+    ) -> QueryResults {
+        crate::execute::execute_traced(self, query, obs)
+    }
+
     /// The source's `SampleDatabaseResults`: results of the standard
     /// sample queries over the standard sample collection, as *this
     /// source's engine personality* would produce them (§4.2).

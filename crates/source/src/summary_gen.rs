@@ -188,9 +188,7 @@ mod tests {
             .collect();
         let s = Source::build(SourceConfig::new("S"), &docs);
         let corpus_bytes: usize = (0..50)
-            .map(|i| {
-                format!("common words repeat here always {} {}", i % 7, i % 3).len()
-            })
+            .map(|i| format!("common words repeat here always {} {}", i % 7, i % 3).len())
             .sum();
         let summary_bytes = starts_soif::write_object(&s.content_summary().to_soif()).len();
         assert!(

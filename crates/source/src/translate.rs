@@ -80,9 +80,7 @@ pub fn translate_ranking(e: &RankExpr) -> RankNode {
     match e {
         RankExpr::Term(t) => translate_weighted(t),
         RankExpr::List(items) => RankNode::List(items.iter().map(translate_ranking).collect()),
-        RankExpr::And(a, b) => {
-            RankNode::And(vec![translate_ranking(a), translate_ranking(b)])
-        }
+        RankExpr::And(a, b) => RankNode::And(vec![translate_ranking(a), translate_ranking(b)]),
         RankExpr::Or(a, b) => RankNode::Or(vec![translate_ranking(a), translate_ranking(b)]),
         RankExpr::AndNot(a, b) => RankNode::AndNot(
             Box::new(translate_ranking(a)),
@@ -135,7 +133,10 @@ mod tests {
         let b = translate_filter(&f);
         let BoolNode::AndNot(l, r) = b else { panic!() };
         assert!(matches!(*l, BoolNode::Or(_, _)));
-        let BoolNode::Prox { distance, ordered, .. } = *r else {
+        let BoolNode::Prox {
+            distance, ordered, ..
+        } = *r
+        else {
             panic!()
         };
         assert_eq!(distance, 2);

@@ -51,10 +51,7 @@ impl StopWordList {
     /// Build a custom list.
     pub fn from_words<'a, I: IntoIterator<Item = &'a str>>(words: I) -> Self {
         StopWordList {
-            words: words
-                .into_iter()
-                .map(|w| w.to_ascii_lowercase())
-                .collect(),
+            words: words.into_iter().map(|w| w.to_ascii_lowercase()).collect(),
         }
     }
 
@@ -94,8 +91,8 @@ impl StopWordList {
 
 const MINIMAL_ENGLISH: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
-    "in", "is", "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "which",
-    "who", "will", "with",
+    "in", "is", "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "which", "who",
+    "will", "with",
 ];
 
 const EXTRA_AGGRESSIVE: &[&str] = &[

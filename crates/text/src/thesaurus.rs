@@ -42,10 +42,7 @@ impl Thesaurus {
     /// Add a synonym ring. Words already present are merged into the new
     /// ring's class (rings are unioned).
     pub fn add_ring<'a, I: IntoIterator<Item = &'a str>>(&mut self, words: I) {
-        let words: Vec<String> = words
-            .into_iter()
-            .map(|w| w.to_ascii_lowercase())
-            .collect();
+        let words: Vec<String> = words.into_iter().map(|w| w.to_ascii_lowercase()).collect();
         if words.is_empty() {
             return;
         }

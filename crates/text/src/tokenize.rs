@@ -219,10 +219,7 @@ mod tests {
     fn z3950_is_the_paper_litmus_test() {
         // Section 4.3.1: "a query on Z39.50 should include this term as
         // is, or should instead contain two terms, namely Z39 and 50".
-        assert_eq!(
-            texts(TokenizerKind::AlnumRuns, "Z39.50"),
-            vec!["Z39", "50"]
-        );
+        assert_eq!(texts(TokenizerKind::AlnumRuns, "Z39.50"), vec!["Z39", "50"]);
         assert_eq!(texts(TokenizerKind::WordJoiners, "Z39.50"), vec!["Z39.50"]);
         assert_eq!(texts(TokenizerKind::Whitespace, "Z39.50"), vec!["Z39.50"]);
     }
@@ -302,10 +299,7 @@ mod tests {
         ] {
             assert_eq!(tokenizer_by_id(&kind.id()), Some(kind));
         }
-        assert_eq!(
-            tokenizer_by_id(&TokenizerId("Unknown-9".to_string())),
-            None
-        );
+        assert_eq!(tokenizer_by_id(&TokenizerId("Unknown-9".to_string())), None);
     }
 
     #[test]

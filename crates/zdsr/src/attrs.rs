@@ -56,8 +56,8 @@ pub fn relation_attr(modifier: &Modifier) -> Option<u32> {
         Modifier::Cmp(CmpOp::Ge) => 4,
         Modifier::Cmp(CmpOp::Gt) => 5,
         Modifier::Cmp(CmpOp::Ne) => 6,
-        Modifier::Phonetic => 100, // Bib-1 relation: phonetic
-        Modifier::Stem => 101,     // Bib-1 relation: stem
+        Modifier::Phonetic => 100,  // Bib-1 relation: phonetic
+        Modifier::Stem => 101,      // Bib-1 relation: stem
         Modifier::Thesaurus => 102, // Bib-1 relation: relevance (closest)
         _ => return None,
     })

@@ -290,9 +290,11 @@ fn parse_apt(tokens: &[Tok], pos: &mut usize) -> Result<FilterExpr, ZdsrError> {
                             modifiers.push(Modifier::Cmp(starts_proto::attrs::CmpOp::Eq));
                         }
                     }
-                    5 => modifiers.push(truncation_to_modifier(val).ok_or_else(|| {
-                        ZdsrError::Syntax(format!("unknown truncation {val}"))
-                    })?),
+                    5 => {
+                        modifiers.push(truncation_to_modifier(val).ok_or_else(|| {
+                            ZdsrError::Syntax(format!("unknown truncation {val}"))
+                        })?)
+                    }
                     _ => {
                         return Err(ZdsrError::Syntax(format!(
                             "unsupported attribute type {ty}"

@@ -31,10 +31,7 @@ fn main() {
             .field("date-last-modified", "1996-03-31")
             .field("linkage", "http://www-db.stanford.edu/~ullman/pub/dood.ps"),
         Document::new()
-            .field(
-                "title",
-                "Database Research: Achievements and Opportunities",
-            )
+            .field("title", "Database Research: Achievements and Opportunities")
             .field("author", "Avi Silberschatz, Mike Stonebraker, Jeff Ullman")
             .field(
                 "body-of-text",
@@ -76,9 +73,7 @@ fn main() {
 
     // The paper's Example 6 query: filter + ranking + answer spec.
     let query = Query {
-        filter: Some(
-            parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
-        ),
+        filter: Some(parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap()),
         ranking: Some(
             parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
                 .unwrap(),
@@ -139,4 +134,107 @@ fn main() {
         client.net().stats().requests,
         client.net().stats().total_latency_ms
     );
+    println!();
+
+    // == Federated search, with observability ==
+    //
+    // Publish two more libraries, discover all three, and run the same
+    // ranking through the metasearcher. The SimNet's registry has been
+    // recording the whole time; after the federated query we print the
+    // aggregate QueryStats and the metrics snapshot.
+    let more = [
+        Document::new()
+            .field(
+                "title",
+                "Mediators in the Architecture of Future Information Systems",
+            )
+            .field("author", "Gio Wiederhold")
+            .field(
+                "body-of-text",
+                "mediated architectures over distributed databases",
+            )
+            .field("linkage", "http://example.org/mediators.ps"),
+        Document::new()
+            .field("title", "Querying Heterogeneous Information Sources")
+            .field("author", "Hector Garcia-Molina")
+            .field(
+                "body-of-text",
+                "querying distributed heterogeneous databases with tsimmis",
+            )
+            .field("linkage", "http://example.org/tsimmis.ps"),
+    ];
+    wire_source(
+        &net,
+        Source::build(SourceConfig::new("Source-2"), &more[..1]),
+        LinkProfile {
+            latency_ms: 80,
+            cost_per_query: 0.25,
+        },
+    );
+    wire_source(
+        &net,
+        Source::build(SourceConfig::new("Source-3"), &more[1..]),
+        LinkProfile::default(),
+    );
+    let mut catalog = starts::meta::Catalog::default();
+    for (id, profile) in [
+        ("source-1", LinkProfile::default()),
+        (
+            "source-2",
+            LinkProfile {
+                latency_ms: 80,
+                cost_per_query: 0.25,
+            },
+        ),
+        ("source-3", LinkProfile::default()),
+    ] {
+        catalog
+            .discover_source(&client, &format!("starts://{id}/metadata"), profile, false)
+            .unwrap();
+    }
+    let meta = starts::meta::Metasearcher::new(&net, catalog, starts::meta::MetaConfig::default());
+    let federated = Query {
+        ranking: query.ranking.clone(),
+        answer: query.answer.clone(),
+        ..Query::default()
+    };
+    let resp = meta.search(&federated);
+    println!("== Federated search over 3 sources ==");
+    for doc in resp.merged.iter().take(5) {
+        println!(
+            "  score {:>7.4}  {}  [{}]",
+            doc.score,
+            doc.linkage,
+            doc.sources.join(", ")
+        );
+    }
+    println!();
+    println!("== Query statistics (actual exchanges) ==");
+    println!(
+        "requests: {} | summed link latency: {} ms (parallel wall clock: slowest link, {} ms) | cost: {} | {} B sent, {} B received",
+        resp.stats.requests,
+        resp.stats.total_latency_ms,
+        resp.stats.max_latency_ms,
+        resp.stats.total_cost,
+        resp.stats.bytes_sent,
+        resp.stats.bytes_received,
+    );
+    println!();
+
+    // The registry snapshot: phase timings, per-source latencies, costs.
+    let snap = net.registry().snapshot();
+    println!("== Metrics snapshot (Prometheus text, excerpt) ==");
+    for line in starts::obs::export::prometheus(&snap)
+        .lines()
+        .filter(|l| l.starts_with("meta_") || l.starts_with("span_duration_us{span=\"meta"))
+    {
+        println!("{line}");
+    }
+    println!();
+    println!("== The same snapshot as SOIF (@SStats, excerpt) ==");
+    let soif = starts::soif::write_object(&starts::obs::export::to_soif(&snap));
+    for line in String::from_utf8_lossy(&soif).lines().take(8) {
+        println!("{line}");
+    }
+    println!("...");
 }

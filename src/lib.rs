@@ -25,6 +25,7 @@
 //! | [`index`] | `starts-index` | the fielded positional inverted-index engine with pluggable rankers |
 //! | [`source`] | `starts-source` | STARTS-conformant sources and resources |
 //! | [`net`] | `starts-net` | the sessionless transport simulation |
+//! | [`obs`] | `starts-obs` | spans, metrics, and the Prometheus/SOIF stats exporters |
 //! | [`meta`] | `starts-meta` | the metasearcher: selection, adaptation, merging, calibration |
 //! | [`corpus`] | `starts-corpus` | synthetic corpora and workloads with known relevance |
 //! | [`zdsr`] | `starts-zdsr` | the Z39.50/ZDSR bridge (filter expressions ⇄ PQF) |
@@ -61,6 +62,7 @@ pub use starts_corpus as corpus;
 pub use starts_index as index;
 pub use starts_meta as meta;
 pub use starts_net as net;
+pub use starts_obs as obs;
 pub use starts_proto as proto;
 pub use starts_soif as soif;
 pub use starts_source as source;

@@ -126,7 +126,10 @@ fn metasearch_recall_improves_with_more_sources() {
         );
         prev = r;
     }
-    assert!(prev > 0.5, "contacting all sources should find most: {prev:.3}");
+    assert!(
+        prev > 0.5,
+        "contacting all sources should find most: {prev:.3}"
+    );
 }
 
 #[test]
@@ -201,10 +204,8 @@ fn merging_with_statistics_beats_raw_scores() {
     for word in ["w0003", "w0005", "w0008", "w0012", "w0002"] {
         let query = starts::proto::Query {
             ranking: Some(
-                starts::proto::query::parse_ranking(&format!(
-                    r#"list((body-of-text "{word}"))"#
-                ))
-                .unwrap(),
+                starts::proto::query::parse_ranking(&format!(r#"list((body-of-text "{word}"))"#))
+                    .unwrap(),
             ),
             ..starts::proto::Query::default()
         };
@@ -243,7 +244,10 @@ fn merging_with_statistics_beats_raw_scores() {
         raw_captures.push(capture(RawScoreMerge.merge(&inputs)));
         tf_captures.push(capture(TfMerge.merge(&inputs)));
     }
-    assert!(!raw_captures.is_empty(), "no query reached the Vendor-K sources");
+    assert!(
+        !raw_captures.is_empty(),
+        "no query reached the Vendor-K sources"
+    );
     let raw_capture = mean(&raw_captures);
     let tf_capture = mean(&tf_captures);
     // Fair share of the top-5 for 2 of 6 equal sources is ~1/3.

@@ -53,9 +53,7 @@ fn stanford_library() -> Vec<Document> {
 
 fn example6(min_score: f64, max_docs: usize) -> Query {
     Query {
-        filter: Some(
-            parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
-        ),
+        filter: Some(parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap()),
         ranking: Some(
             parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
                 .unwrap(),

@@ -55,10 +55,7 @@ fn document_text_relevance_feedback_finds_similar_documents() {
     // The most similar document leads. (Okapi has no stop list, so a
     // shared function word like "across" may still pull in the bird
     // paper — but only at the bottom of the rank.)
-    assert_eq!(
-        results.documents[0].linkage(),
-        Some("lib://db-replication")
-    );
+    assert_eq!(results.documents[0].linkage(), Some("lib://db-replication"));
     if let Some(pos) = results
         .documents
         .iter()
@@ -105,10 +102,7 @@ fn free_form_text_executes_native_pqf() {
     };
     let results = source.execute(&query);
     assert_eq!(results.documents.len(), 1);
-    assert_eq!(
-        results.documents[0].linkage(),
-        Some("lib://db-replication")
-    );
+    assert_eq!(results.documents[0].linkage(), Some("lib://db-replication"));
     // The actual query echoes the free-form term (the source executed
     // it, natively).
     let actual = results.actual_filter.as_ref().unwrap();

@@ -93,7 +93,9 @@ fn monolingual_source_drops_foreign_terms() {
     cfg.languages = vec![LangTag::en_us()];
     let s = Source::build(cfg, &docs);
     let q = Query {
-        filter: Some(parse_filter(r#"((body-of-text [es "datos"]) or (body-of-text "english"))"#).unwrap()),
+        filter: Some(
+            parse_filter(r#"((body-of-text [es "datos"]) or (body-of-text "english"))"#).unwrap(),
+        ),
         ..Query::default()
     };
     let results = s.execute(&q);

@@ -1,0 +1,174 @@
+//! Acceptance test for the observability layer: one end-to-end
+//! `Metasearcher::search` over the simulated network must produce a
+//! metrics snapshot carrying select/adapt/dispatch/merge phase timings,
+//! per-source latency histograms, and cost counters — and that snapshot
+//! must export as Prometheus text and as a SOIF `@SStats` object that
+//! `starts_soif::parse` reads back losslessly.
+
+use starts::corpus::{generate_corpus, generate_workload, CorpusConfig, WorkloadConfig};
+use starts::meta::catalog::Catalog;
+use starts::meta::metasearcher::{MetaConfig, Metasearcher};
+use starts::net::{host::wire_source, LinkProfile, SimNet, StartsClient};
+use starts::obs::export;
+use starts::source::{Source, SourceConfig};
+
+const N_SOURCES: usize = 4;
+
+/// Wire a small corpus with per-source link profiles (one slow, one
+/// priced) and return the discovered catalog.
+fn searcher(net: &SimNet) -> (Metasearcher<'_>, starts::corpus::GeneratedCorpus) {
+    let corpus = generate_corpus(&CorpusConfig {
+        n_sources: N_SOURCES,
+        docs_per_source: 30,
+        n_topics: 2,
+        background_vocab: 300,
+        topic_vocab: 50,
+        doc_len: (20, 50),
+        topic_skew: 0.4,
+        bilingual_fraction: 0.0,
+        seed: 99,
+    });
+    let mut catalog = Catalog::default();
+    let client = StartsClient::new(net);
+    for (i, s) in corpus.sources.iter().enumerate() {
+        let profile = LinkProfile {
+            latency_ms: 20 * (i as u32 + 1),
+            cost_per_query: if i == 0 { 1.5 } else { 0.0 },
+        };
+        wire_source(
+            net,
+            Source::build(SourceConfig::new(&s.id), &s.docs),
+            profile,
+        );
+        catalog
+            .discover_source(
+                &client,
+                &format!("starts://{}/metadata", s.id.to_lowercase()),
+                profile,
+                false,
+            )
+            .unwrap();
+    }
+    let meta = Metasearcher::new(
+        net,
+        catalog,
+        MetaConfig {
+            max_sources: N_SOURCES,
+            max_results: 30,
+            ..MetaConfig::default()
+        },
+    );
+    (meta, corpus)
+}
+
+#[test]
+fn search_snapshot_has_phases_latencies_and_costs_and_exports() {
+    let net = SimNet::new();
+    let (meta, corpus) = searcher(&net);
+    let query = &generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .queries[0]
+        .query;
+
+    // Discovery traffic is accounting too; drop it so the assertions
+    // below see exactly one search.
+    net.registry().reset();
+    let resp = meta.search(query);
+    assert!(!resp.merged.is_empty(), "the query should find documents");
+
+    let snap = net.registry().snapshot();
+
+    // 1. Phase timings: every pipeline phase closed a span whose
+    //    duration went into the span.duration_us family.
+    for phase in ["select", "adapt", "dispatch", "merge"] {
+        let path = format!("meta.search/{phase}");
+        let h = snap
+            .histogram("span.duration_us", &[("span", &path)])
+            .unwrap_or_else(|| panic!("missing phase timing for {path}"));
+        assert_eq!(h.count, 1, "{path} should have closed exactly once");
+    }
+    assert_eq!(
+        snap.histogram("span.duration_us", &[("span", "meta.search")])
+            .expect("root span timing")
+            .count,
+        1
+    );
+
+    // 2. Per-source latency histograms: one observation per contacted
+    //    source, equal to the link's simulated round-trip.
+    assert_eq!(resp.stats.requests, N_SOURCES as u64);
+    for (i, s) in corpus.sources.iter().enumerate() {
+        let h = snap
+            .histogram("meta.source_latency_ms", &[("source", &s.id)])
+            .unwrap_or_else(|| panic!("missing latency histogram for {}", s.id));
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 20 * (i as u64 + 1));
+    }
+
+    // 3. Cost counters: the priced link's tariff shows up in the
+    //    network gauge, the aggregate gauge, and the returned stats.
+    let query_url = format!("starts://{}/query", corpus.sources[0].id.to_lowercase());
+    assert!((snap.gauge("net.cost", &[("url", &query_url)]) - 1.5).abs() < 1e-9);
+    assert!((snap.gauge("meta.query_cost", &[]) - 1.5).abs() < 1e-9);
+    assert!((resp.stats.total_cost - 1.5).abs() < 1e-9);
+    assert_eq!(snap.counter("meta.searches", &[]), 1);
+    assert!(snap.counter("meta.merge.candidates", &[]) >= resp.merged.len() as u64);
+
+    // 4a. Prometheus text export mentions the key families.
+    let text = export::prometheus(&snap);
+    for needle in [
+        "# TYPE meta_searches counter",
+        "meta_source_latency_ms{",
+        "quantile=\"0.95\"",
+        "span_duration_us",
+        "net_cost{",
+    ] {
+        assert!(text.contains(needle), "prometheus dump missing {needle:?}");
+    }
+
+    // 4b. SOIF export: @SStats through the real parser, losslessly.
+    let bytes = starts::soif::write_object(&export::to_soif(&snap));
+    let objects = starts::soif::parse(&bytes, starts::soif::ParseMode::Strict).unwrap();
+    assert_eq!(objects.len(), 1);
+    assert_eq!(objects[0].template, export::SSTATS_TEMPLATE);
+    let back = export::snapshot_from_soif(&objects[0]).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn repeated_searches_accumulate_per_source_histograms() {
+    let net = SimNet::new();
+    let (meta, corpus) = searcher(&net);
+    let workload = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 5,
+            ..WorkloadConfig::default()
+        },
+    );
+    net.registry().reset();
+    for gq in &workload.queries {
+        meta.search(&gq.query);
+    }
+    let snap = net.registry().snapshot();
+    assert_eq!(snap.counter("meta.searches", &[]), 5);
+    for s in &corpus.sources {
+        let h = snap
+            .histogram("meta.source_latency_ms", &[("source", &s.id)])
+            .expect("per-source histogram");
+        assert_eq!(h.count, 5, "{} contacted once per search", s.id);
+    }
+    // The span ring holds 5 closings of each phase.
+    let dispatches = net
+        .registry()
+        .recent_spans()
+        .into_iter()
+        .filter(|e| e.path == "meta.search/dispatch")
+        .count();
+    assert_eq!(dispatches, 5);
+}

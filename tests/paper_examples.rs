@@ -25,8 +25,8 @@ fn example_1_filter_and_ranking() {
         print_filter(&f),
         r#"((author "Ullman") and (title "databases"))"#
     );
-    let r = parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
-        .unwrap();
+    let r =
+        parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#).unwrap();
     assert_eq!(r.terms().len(), 2);
 }
 
@@ -43,7 +43,11 @@ fn example_2_stem_semantics() {
     );
     let q = BoolNode::Term(TermSpec::fielded("title", "databases").with(TermMatch::Stem));
     let hits = engine.eval_filter(&q);
-    assert_eq!(hits.len(), 1, "\"database\" shares the stem of \"databases\"");
+    assert_eq!(
+        hits.len(),
+        1,
+        "\"database\" shares the stem of \"databases\""
+    );
 }
 
 /// Example 3: `(t1 prox[3,T] t2)` — at most 3 words between, ordered.
@@ -109,14 +113,10 @@ fn example_5_weights() {
 
 fn example_6_query() -> Query {
     Query {
-        filter: Some(
-            parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap(),
-        ),
+        filter: Some(parse_filter(r#"((author "Ullman") and (title stem "databases"))"#).unwrap()),
         ranking: Some(
-            parse_ranking(
-                r#"list((body-of-text "distributed") (body-of-text "databases"))"#,
-            )
-            .unwrap(),
+            parse_ranking(r#"list((body-of-text "distributed") (body-of-text "databases"))"#)
+                .unwrap(),
         ),
         drop_stop_words: true,
         answer: AnswerSpec {
@@ -334,11 +334,9 @@ fn example_10_metadata() {
     assert!(text.contains("source-languages{8}: en-US es"));
     assert!(text.contains("source-name{17}: Stanford DB Group"));
     assert!(text.contains("date-changed{10}: 1996-03-31")); // paper says {9}: off by one
-    assert!(text.contains(
-        "content-summary-linkage{38}: ftp://www-db.stanford.edu/cont_sum.txt"
-    ));
-    let back = SourceMetadata::from_soif(&parse_one(text.as_bytes(), ParseMode::Strict).unwrap())
-        .unwrap();
+    assert!(text.contains("content-summary-linkage{38}: ftp://www-db.stanford.edu/cont_sum.txt"));
+    let back =
+        SourceMetadata::from_soif(&parse_one(text.as_bytes(), ParseMode::Strict).unwrap()).unwrap();
     assert_eq!(back, m);
 }
 

@@ -26,12 +26,7 @@ fn fleet_sources() -> Vec<Source> {
 fn every_vendor_exports_conformant_metadata() {
     for source in fleet_sources() {
         let violations = check_metadata(source.metadata());
-        assert!(
-            violations.is_empty(),
-            "{}: {:?}",
-            source.id(),
-            violations
-        );
+        assert!(violations.is_empty(), "{}: {:?}", source.id(), violations);
         // And the metadata object round-trips through SOIF.
         let bytes = write_object(&source.metadata().to_soif());
         let objs = parse(&bytes, ParseMode::Strict).unwrap();
@@ -66,9 +61,7 @@ fn every_vendor_exports_conformant_metadata() {
 #[test]
 fn every_vendor_answers_with_actual_query() {
     let query = Query {
-        filter: Some(
-            parse_filter(r#"((author "Author") and (title stem "databases"))"#).unwrap(),
-        ),
+        filter: Some(parse_filter(r#"((author "Author") and (title stem "databases"))"#).unwrap()),
         ranking: Some(parse_ranking(r#"list((body-of-text "w0001"))"#).unwrap()),
         ..Query::default()
     };
@@ -81,7 +74,11 @@ fn every_vendor_answers_with_actual_query() {
         }
         if let Some(r) = &results.actual_ranking {
             let printed = print_ranking(r);
-            assert!(parse_ranking(&printed).is_ok(), "{}: {printed}", source.id());
+            assert!(
+                parse_ranking(&printed).is_ok(),
+                "{}: {printed}",
+                source.id()
+            );
         }
         // Capability consistency: filter-only sources never report a
         // ranking expression and vice versa.
@@ -168,9 +165,7 @@ fn summary_df_matches_actual_result_counts() {
     for word in ["w0001", "w0002", "w0003", "t0x001"] {
         let df = summary.df(Some("body-of-text"), word);
         let query = Query {
-            filter: Some(
-                parse_filter(&format!(r#"(body-of-text "{word}")"#)).unwrap(),
-            ),
+            filter: Some(parse_filter(&format!(r#"(body-of-text "{word}")"#)).unwrap()),
             ..Query::default()
         };
         let results = source.execute(&query);
@@ -196,8 +191,7 @@ fn document_text_field_supports_relevance_feedback_shape() {
     );
     let q = Query {
         filter: Some(
-            parse_filter(r#"((document-text "whole doc text here") or (title "alpha"))"#)
-                .unwrap(),
+            parse_filter(r#"((document-text "whole doc text here") or (title "alpha"))"#).unwrap(),
         ),
         ..Query::default()
     };

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `criterion` to this crate via a path dependency
+//! in `[workspace.dependencies]` in the root `Cargo.toml`. It keeps the call shape of criterion 0.5
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`) but replaces the
+//! statistical machinery with a simple calibrated-iteration timer: each
+//! benchmark is warmed up, iteration count is chosen to fill a short
+//! measurement window, and the best-of-three mean is printed.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter display.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the best measurement round.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Time the closure: warm-up, pick an iteration count that fills a
+    /// short window, then keep the best of three timed rounds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warmup.elapsed() < Duration::from_millis(30) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warmup.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        // Fill roughly 50ms per round.
+        let iters = ((50_000_000.0 / est_ns) as u64).clamp(1, 1_000_000);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(per_iter);
+        }
+        self.best_ns = best;
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { best_ns: f64::NAN };
+    f(&mut b);
+    if b.best_ns.is_nan() {
+        println!("{name:<40} (no measurement)");
+    } else if b.best_ns >= 1_000_000.0 {
+        println!("{name:<40} {:>12.3} ms/iter", b.best_ns / 1_000_000.0);
+    } else if b.best_ns >= 1_000.0 {
+        println!("{name:<40} {:>12.3} µs/iter", b.best_ns / 1_000.0);
+    } else {
+        println!("{name:<40} {:>12.1} ns/iter", b.best_ns);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        run_one(&format!("{}/{}", self.name, id), f);
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

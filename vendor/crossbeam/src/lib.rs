@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `crossbeam` to this crate via a path dependency
+//! in `[workspace.dependencies]` in the root `Cargo.toml`. It provides `crossbeam::thread::scope` with the
+//! crossbeam 0.8 call shape (`scope(|s| …)` returning a `Result`, spawn
+//! closures receiving a `&Scope` argument), implemented over the
+//! standard library's scoped threads.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again (crossbeam's signature) so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Create a scope in which threads may borrow from the enclosing
+    /// stack frame. Unlike crossbeam, a panic in an unjoined thread
+    /// propagates when the scope closes instead of being collected into
+    /// the returned `Result`; joined threads report panics through
+    /// [`ScopedJoinHandle::join`] just as crossbeam does.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

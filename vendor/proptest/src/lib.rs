@@ -1,0 +1,155 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `proptest` to this crate via a path dependency
+//! in `[workspace.dependencies]` in the root `Cargo.toml`. It reimplements the slice of the proptest 1.x
+//! surface the workspace's property tests use:
+//!
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], [`prop_assume!`] and [`prop_oneof!`] macros;
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_recursive` and `boxed`;
+//! * strategies for regex-like string literals (a practical regex
+//!   subset: classes, escapes, groups, alternation, quantifiers),
+//!   integer/float ranges, tuples, [`strategy::Just`],
+//!   [`collection::vec`], [`option::of`] and [`arbitrary::any`].
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking**. A failing case reports the test name, the case number
+//! and the deterministic seed so the run can be reproduced, but it does
+//! not minimize the input. Generation is deterministic per test name,
+//! overridable with `PROPTEST_SEED`; case count defaults to 64,
+//! overridable with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Run a block of property tests. Each function inside becomes a
+/// `#[test]` that generates inputs from the given strategies and runs
+/// the body for a number of cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(stringify!($name), |__rng| {
+                $(
+                    let $pat = match $crate::strategy::Strategy::generate(&($strat), __rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => {
+                            return $crate::test_runner::CaseResult::Reject;
+                        }
+                    };
+                )+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => $crate::test_runner::CaseResult::Pass,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) =>
+                        $crate::test_runner::CaseResult::Reject,
+                    ::core::result::Result::Err(e) => $crate::test_runner::CaseResult::Fail(e),
+                }
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    () => {};
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), __l, __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&($left), &($right)) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!($($fmt)*),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Choose among strategies (uniformly, or by `weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,27 @@
+//! Option strategies (`proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generate `Option<T>` from a strategy for `T` (`None` about a quarter
+/// of the time).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+        if rng.below(4) == 0 {
+            Some(None)
+        } else {
+            self.inner.generate(rng).map(Some)
+        }
+    }
+}

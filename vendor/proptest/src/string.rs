@@ -1,0 +1,391 @@
+//! A generator for regex-like string patterns.
+//!
+//! Supports the subset of regex syntax property tests actually use for
+//! *generation*: literals, character classes (ranges, negation, a
+//! trailing literal `-`), escapes (`\d`, `\w`, `\s`, `\PC`/`\p{..}`,
+//! escaped metacharacters), `.`, groups with alternation, and the
+//! quantifiers `{n}`, `{m,n}`, `{m,}`, `*`, `+`, `?`. Unbounded
+//! quantifiers are capped at a small maximum so outputs stay short.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// A class: included ranges; `negated` samples the complement
+    /// within printable ASCII.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+    /// `.`, `\PC`, `\p{..}`: any printable (non-control) character,
+    /// including non-ASCII.
+    AnyPrintable,
+    /// Alternation of sequences, from a `( … | … )` group.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported pattern {:?}: {what}", self.pattern)
+    }
+
+    fn parse_alternation(&mut self, in_group: bool) -> Vec<Vec<Node>> {
+        let mut branches = vec![Vec::new()];
+        loop {
+            match self.chars.peek().copied() {
+                None => {
+                    if in_group {
+                        self.fail("unterminated group");
+                    }
+                    break;
+                }
+                Some(')') if in_group => break,
+                Some('|') => {
+                    self.chars.next();
+                    branches.push(Vec::new());
+                }
+                Some(_) => {
+                    let node = self.parse_atom();
+                    let node = self.maybe_quantify(node);
+                    branches.last_mut().unwrap().push(node);
+                }
+            }
+        }
+        branches
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next().unwrap() {
+            '(' => {
+                let branches = self.parse_alternation(true);
+                match self.chars.next() {
+                    Some(')') => Node::Group(branches),
+                    _ => self.fail("unterminated group"),
+                }
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::AnyPrintable,
+            c @ ('*' | '+' | '?' | '{' | ')') => {
+                self.fail(&format!("dangling metacharacter {c:?}"))
+            }
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        let Some(c) = self.chars.next() else {
+            self.fail("trailing backslash")
+        };
+        match c {
+            'd' => Node::Class {
+                ranges: vec![('0', '9')],
+                negated: false,
+            },
+            'w' => Node::Class {
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                negated: false,
+            },
+            's' => Node::Class {
+                ranges: vec![(' ', ' '), ('\t', '\t')],
+                negated: false,
+            },
+            'n' => Node::Lit('\n'),
+            't' => Node::Lit('\t'),
+            'r' => Node::Lit('\r'),
+            // Unicode category escapes: `\PC` ("not control") and any
+            // `\p{..}`/`\P{..}` map to printable characters.
+            'p' | 'P' => {
+                match self.chars.peek() {
+                    Some('{') => {
+                        for c in self.chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        self.chars.next();
+                    }
+                    None => self.fail("trailing \\p"),
+                }
+                Node::AnyPrintable
+            }
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let negated = matches!(self.chars.peek(), Some('^'));
+        if negated {
+            self.chars.next();
+        }
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                None => self.fail("unterminated class"),
+                Some(']') => {
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    break;
+                }
+                Some('-') => {
+                    // Range if between two chars; literal at the edges.
+                    let lo = match prev.take() {
+                        Some(lo) => lo,
+                        None => {
+                            prev = Some('-');
+                            continue;
+                        }
+                    };
+                    match self.chars.peek().copied() {
+                        Some(']') | None => {
+                            ranges.push((lo, lo));
+                            prev = Some('-');
+                        }
+                        Some(hi) => {
+                            self.chars.next();
+                            let hi = if hi == '\\' {
+                                match self.parse_escape() {
+                                    Node::Lit(c) => c,
+                                    _ => self.fail("class range on a char class"),
+                                }
+                            } else {
+                                hi
+                            };
+                            if lo > hi {
+                                self.fail(&format!("inverted class range {lo:?}-{hi:?}"));
+                            }
+                            ranges.push((lo, hi));
+                        }
+                    }
+                }
+                Some('\\') => {
+                    if let Some(p) = prev.take() {
+                        ranges.push((p, p));
+                    }
+                    match self.parse_escape() {
+                        Node::Lit(c) => prev = Some(c),
+                        Node::Class {
+                            ranges: mut sub, ..
+                        } => ranges.append(&mut sub),
+                        _ => {}
+                    }
+                }
+                Some(c) => {
+                    if let Some(p) = prev.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class { ranges, negated }
+    }
+
+    fn maybe_quantify(&mut self, node: Node) -> Node {
+        let (lo, hi) = match self.chars.peek().copied() {
+            Some('*') => (0, UNBOUNDED_MAX),
+            Some('+') => (1, UNBOUNDED_MAX),
+            Some('?') => (0, 1),
+            Some('{') => {
+                self.chars.next();
+                let (lo, hi) = self.parse_counts();
+                return Node::Repeat(Box::new(node), lo, hi);
+            }
+            _ => return node,
+        };
+        self.chars.next();
+        Node::Repeat(Box::new(node), lo, hi)
+    }
+
+    fn parse_counts(&mut self) -> (u32, u32) {
+        let mut lo: u32 = 0;
+        let mut hi: Option<u32> = None;
+        let mut saw_comma = false;
+        loop {
+            match self.chars.next() {
+                Some(c) if c.is_ascii_digit() => {
+                    let d = c as u32 - '0' as u32;
+                    if saw_comma {
+                        hi = Some(hi.unwrap_or(0) * 10 + d);
+                    } else {
+                        lo = lo * 10 + d;
+                    }
+                }
+                Some(',') => saw_comma = true,
+                Some('}') => break,
+                _ => self.fail("malformed counted repetition"),
+            }
+        }
+        let hi = match (saw_comma, hi) {
+            (false, _) => lo,
+            (true, Some(h)) => h,
+            (true, None) => lo + UNBOUNDED_MAX,
+        };
+        assert!(lo <= hi, "inverted repetition bounds {lo},{hi}");
+        (lo, hi)
+    }
+}
+
+/// Sample a printable (never control) character, mostly ASCII with a
+/// tail of accented Latin, Greek, CJK and astral-plane characters so
+/// Unicode handling gets exercised.
+fn printable_char(rng: &mut TestRng) -> char {
+    let bucket = rng.below(100);
+    let (lo, hi) = match bucket {
+        0..=69 => (0x20u32, 0x7Eu32), // ASCII printable
+        70..=84 => (0x00C0, 0x024F),  // accented Latin
+        85..=92 => (0x0391, 0x03C9),  // Greek
+        93..=97 => (0x4E00, 0x4EFF),  // CJK
+        _ => (0x1F600, 0x1F64F),      // emoji (astral)
+    };
+    loop {
+        let cp = lo + rng.below((hi - lo + 1) as usize) as u32;
+        if let Some(c) = char::from_u32(cp) {
+            if !c.is_control() {
+                return c;
+            }
+        }
+    }
+}
+
+fn sample_class(ranges: &[(char, char)], negated: bool, rng: &mut TestRng) -> char {
+    if negated {
+        // Complement within printable ASCII.
+        for _ in 0..200 {
+            let c = (0x20 + rng.below(0x5F) as u32) as u8 as char;
+            if !ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi) {
+                return c;
+            }
+        }
+        panic!("negated class covers all of printable ASCII");
+    }
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.below(total as usize) as u32;
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            // Skip unassigned gaps by clamping to a valid scalar.
+            return char::from_u32(lo as u32 + pick).unwrap_or(lo);
+        }
+        pick -= span;
+    }
+    ranges[0].0
+}
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class { ranges, negated } => out.push(sample_class(ranges, *negated, rng)),
+        Node::AnyPrintable => out.push(printable_char(rng)),
+        Node::Group(branches) => {
+            let branch = &branches[rng.below(branches.len())];
+            for n in branch {
+                sample_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.range_inclusive(*lo as usize, *hi as usize);
+            for _ in 0..n {
+                sample_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let branches = parser.parse_alternation(false);
+    let mut out = String::new();
+    let branch = &branches[rng.below(branches.len())];
+    for node in branch {
+        sample_node(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::seeded(42);
+        (0..n).map(|_| sample_pattern(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        for s in samples("[a-z][a-z0-9]{0,11}", 200) {
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let all: String = samples("[A-Za-z0-9-]{1,4}", 300).concat();
+        assert!(all.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        assert!(all.contains('-'), "dash never sampled");
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for s in samples("[ -~]{0,80}", 100) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_unicode_never_control() {
+        let all: String = samples("\\PC{0,32}", 200).concat();
+        assert!(all.chars().all(|c| !c.is_control()));
+        assert!(!all.is_ascii(), "no unicode sampled");
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        for s in samples("(ab|cd)+", 100) {
+            assert!(!s.is_empty());
+            assert!(s.len() % 2 == 0);
+            for chunk in s.as_bytes().chunks(2) {
+                assert!(chunk == b"ab" || chunk == b"cd", "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        for s in samples("[^a-z]{1,10}", 100) {
+            assert!(s.chars().all(|c| !c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+}

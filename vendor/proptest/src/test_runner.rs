@@ -1,0 +1,146 @@
+//! The case-running loop and its deterministic RNG.
+
+use std::fmt;
+
+/// A deterministic xoshiro256++ generator driving all strategies.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed via SplitMix64 expansion.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "TestRng::below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded (filter/assume); another will be drawn.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// The outcome of one generated case.
+pub enum CaseResult {
+    /// Body ran and all assertions held.
+    Pass,
+    /// Input generation or an assumption rejected the case.
+    Reject,
+    /// An assertion failed.
+    Fail(TestCaseError),
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// FNV-1a, for a stable per-test-name seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive `case` until the configured number of cases pass, panicking on
+/// the first failure. Deterministic per test name unless `PROPTEST_SEED`
+/// is set.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> CaseResult) {
+    let cases = env_usize("PROPTEST_CASES", 64);
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| hash_name(name));
+    let mut rng = TestRng::seeded(seed);
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    let reject_cap = cases * 64 + 1024;
+    while passed < cases {
+        match case(&mut rng) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_cap,
+                    "proptest '{name}': too many rejected cases \
+                     ({rejected} rejects for {passed} passes; seed {seed})"
+                );
+            }
+            CaseResult::Fail(e) => {
+                panic!("proptest '{name}' failed at case {passed} (seed {seed}): {e}")
+            }
+        }
+    }
+}
