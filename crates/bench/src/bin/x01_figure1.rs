@@ -121,4 +121,5 @@ fn main() {
     );
     println!("   matching Figure 1's motivation for in-resource fan-out.");
     starts_bench::maybe_dump_stats(net.registry());
+    starts_bench::maybe_dump_trace_jsonl(net.registry());
 }

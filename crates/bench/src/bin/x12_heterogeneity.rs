@@ -15,7 +15,7 @@ use starts_source::{vendors, Source};
 
 fn result_set(source: &Source, query: &Query) -> HashSet<String> {
     source
-        .execute(query)
+        .execute_traced(query, Some(starts_obs::Registry::global()))
         .documents
         .iter()
         .filter_map(|d| d.linkage().map(str::to_string))
@@ -205,4 +205,5 @@ fn main() {
          once per tokenizer, as §4.3.1 prescribes."
     );
     starts_bench::maybe_dump_stats(starts_obs::Registry::global());
+    starts_bench::maybe_dump_trace_jsonl(starts_obs::Registry::global());
 }

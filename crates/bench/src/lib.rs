@@ -52,6 +52,35 @@ pub fn maybe_dump_stats(obs: &starts_obs::Registry) {
     }
 }
 
+/// Read a flag's value from the command line, accepting both
+/// `--flag value` and `--flag=value` spellings.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let prefix = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Honour the `--trace-jsonl <path>` flag: when present, dump the
+/// registry's recent span events as JSON Lines (one span per line; see
+/// `starts_obs::trace::write_jsonl`) to the given path.
+pub fn maybe_dump_trace_jsonl(obs: &starts_obs::Registry) {
+    if let Some(path) = arg_value("--trace-jsonl") {
+        let events = obs.recent_spans();
+        match starts_obs::trace::dump_jsonl(&events, std::path::Path::new(&path)) {
+            Ok(n) => eprintln!("wrote {n} spans to {path}"),
+            Err(e) => eprintln!("--trace-jsonl {path}: {e}"),
+        }
+    }
+}
+
 pub fn wire_and_discover(net: &SimNet, corpus: &GeneratedCorpus) -> Catalog {
     for s in &corpus.sources {
         wire_source(
@@ -140,6 +169,32 @@ mod tests {
         let b = standard_corpus();
         assert_eq!(a.total_docs(), b.total_docs());
         assert_eq!(a.sources.len(), 12);
+    }
+
+    #[test]
+    fn arg_value_reads_both_spellings() {
+        // Can't mutate the real argv in a test; exercise the parsing
+        // logic through a tiny local replica of the search.
+        let find = |args: &[&str], flag: &str| -> Option<String> {
+            let prefix = format!("{flag}=");
+            for (i, a) in args.iter().enumerate() {
+                if *a == flag {
+                    return args.get(i + 1).map(|s| s.to_string());
+                }
+                if let Some(v) = a.strip_prefix(&prefix) {
+                    return Some(v.to_string());
+                }
+            }
+            None
+        };
+        let args = ["x01", "--trace-jsonl", "out.jsonl"];
+        assert_eq!(find(&args, "--trace-jsonl").as_deref(), Some("out.jsonl"));
+        let args = ["x01", "--trace-jsonl=out2.jsonl"];
+        assert_eq!(find(&args, "--trace-jsonl").as_deref(), Some("out2.jsonl"));
+        let args = ["x01"];
+        assert_eq!(find(&args, "--trace-jsonl"), None);
+        // The real parser at least agrees there is no such flag here.
+        assert_eq!(arg_value("--definitely-not-passed"), None);
     }
 
     #[test]

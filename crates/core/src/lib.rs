@@ -38,6 +38,7 @@ pub mod query;
 pub mod resource;
 pub mod results;
 pub mod summary;
+pub mod trace;
 
 pub use attrs::{Field, Modifier, ATTRSET_BASIC1, ATTRSET_MBASIC1};
 pub use error::ProtoError;
@@ -49,6 +50,7 @@ pub use query::{
 pub use resource::Resource;
 pub use results::{QueryResults, ResultDocument, TermStatsEntry};
 pub use summary::{ContentSummary, SummarySection, TermSummary};
+pub use trace::{TraceContext, TRACE_ATTR};
 
 /// The protocol version string carried in every object.
 pub const VERSION: &str = starts_soif::STARTS_VERSION;

@@ -16,6 +16,7 @@ use starts_text::LangTag;
 
 use crate::attrs::{Field, ATTRSET_BASIC1};
 use crate::error::ProtoError;
+use crate::trace::{TraceContext, TRACE_ATTR};
 
 /// Sort direction for answer specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,10 @@ pub struct Query {
     pub additional_sources: Vec<String>,
     /// The answer specification.
     pub answer: AnswerSpec,
+    /// Optional trace context (§4.3 extension attribute
+    /// `XTraceContext`); sources echo it back on `@SQResults` and may
+    /// use it to parent their spans under the metasearcher's dispatch.
+    pub trace: Option<TraceContext>,
 }
 
 impl Default for Query {
@@ -104,6 +109,7 @@ impl Default for Query {
             default_language: LangTag::en_us(),
             additional_sources: Vec::new(),
             answer: AnswerSpec::default(),
+            trace: None,
         }
     }
 }
@@ -167,6 +173,11 @@ impl Query {
         if self.answer.max_documents != usize::MAX {
             o.push_str("MaxNumberDocuments", self.answer.max_documents.to_string());
         }
+        // Extension attribute (§4.3): only present when tracing, so the
+        // paper's exact encodings are untouched for untraced queries.
+        if let Some(ctx) = &self.trace {
+            o.push_str(TRACE_ATTR, ctx.encode());
+        }
         o
     }
 
@@ -218,6 +229,8 @@ impl Query {
                 .parse()
                 .map_err(|_| ProtoError::invalid("MaxNumberDocuments", "not an integer"))?;
         }
+        // Lenient per §4.3: malformed trace context degrades to None.
+        q.trace = o.get_str(TRACE_ATTR).and_then(TraceContext::decode);
         Ok(q)
     }
 }
@@ -304,6 +317,7 @@ mod tests {
                 min_doc_score: 0.5,
                 max_documents: 10,
             },
+            trace: None,
         }
     }
 
@@ -411,6 +425,33 @@ mod tests {
         let q = Query::from_soif(&o).unwrap();
         assert!(q.filter.is_none());
         assert!(q.ranking.is_none());
+    }
+
+    #[test]
+    fn trace_context_rides_as_extension_attribute() {
+        use crate::trace::TraceContext;
+        let q = Query {
+            trace: Some(TraceContext {
+                query_id: "q-000001".to_string(),
+                parent_path: "meta.search/dispatch/source".to_string(),
+                parent_span_id: 17,
+            }),
+            ..Query::default()
+        };
+        let o = q.to_soif();
+        assert_eq!(
+            o.get_str(TRACE_ATTR),
+            Some("q-000001 17 meta.search/dispatch/source")
+        );
+        let bytes = write_object(&o);
+        let back = Query::from_soif(&parse_one(&bytes, ParseMode::Strict).unwrap()).unwrap();
+        assert_eq!(back, q);
+        // A garbage value degrades to None instead of failing (§4.3).
+        let mut o = Query::default().to_soif();
+        o.push_str(TRACE_ATTR, "not a valid context at all ???");
+        let back = Query::from_soif(&o).unwrap();
+        // "not" "a" "valid..." — second token must be a u64.
+        assert!(back.trace.is_none());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::query::{
     fmt_weight, parse_filter, parse_ranking, print_filter, print_ranking, print_term, FilterExpr,
     QTerm, RankExpr,
 };
+use crate::trace::{TraceContext, TRACE_ATTR};
 
 /// One line of the `TermStats` attribute: a query term and its statistics
 /// in this document (Example 8:
@@ -208,6 +209,9 @@ pub struct QueryResults {
     pub actual_ranking: Option<RankExpr>,
     /// The result documents (`NumDocSOIFs` counts them).
     pub documents: Vec<ResultDocument>,
+    /// Trace context echoed back from the query (§4.3 extension
+    /// attribute `XTraceContext`); `None` for untraced exchanges.
+    pub trace: Option<TraceContext>,
 }
 
 impl QueryResults {
@@ -242,6 +246,11 @@ impl QueryResults {
                 .unwrap_or_default(),
         );
         o.push_str("NumDocSOIFs", self.documents.len().to_string());
+        // Extension attribute (§4.3): echoed only on traced exchanges,
+        // so the paper's exact encodings are untouched otherwise.
+        if let Some(ctx) = &self.trace {
+            o.push_str(TRACE_ATTR, ctx.encode());
+        }
         o
     }
 
@@ -283,6 +292,8 @@ impl QueryResults {
             actual_filter,
             actual_ranking,
             documents: Vec::new(),
+            // Lenient per §4.3: malformed trace context degrades to None.
+            trace: o.get_str(TRACE_ATTR).and_then(TraceContext::decode),
         })
     }
 }
@@ -331,6 +342,7 @@ mod tests {
                 doc_size_kb: 248,
                 doc_count: 10213,
             }],
+            trace: None,
         }
     }
 
@@ -385,11 +397,34 @@ mod tests {
             actual_filter: Some(parse_filter(r#"(title "x")"#).unwrap()),
             actual_ranking: None,
             documents: vec![],
+            trace: None,
         };
         let o = r.header_soif();
         assert_eq!(o.get_str("ActualRankingExpression"), Some(""));
         let back = QueryResults::from_header(&o).unwrap();
         assert_eq!(back.actual_ranking, None);
+    }
+
+    #[test]
+    fn trace_context_echoes_through_the_header() {
+        let r = QueryResults {
+            sources: vec!["S".to_string()],
+            trace: Some(TraceContext {
+                query_id: "q-000003".to_string(),
+                parent_path: "meta.search/dispatch/source".to_string(),
+                parent_span_id: 99,
+            }),
+            ..QueryResults::default()
+        };
+        let o = r.header_soif();
+        assert_eq!(
+            o.get_str(TRACE_ATTR),
+            Some("q-000003 99 meta.search/dispatch/source")
+        );
+        let back = QueryResults::from_header(&o).unwrap();
+        assert_eq!(back.trace, r.trace);
+        // Untraced results omit the attribute entirely.
+        assert!(!QueryResults::default().header_soif().has(TRACE_ATTR));
     }
 
     #[test]

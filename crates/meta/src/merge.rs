@@ -423,6 +423,7 @@ mod tests {
                 actual_filter: None,
                 actual_ranking: None,
                 documents: docs,
+                trace: None,
             },
             source_weight: 1.0,
         }

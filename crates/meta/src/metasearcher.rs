@@ -6,9 +6,11 @@
 //! over heterogeneous STARTS sources.
 
 use std::fmt;
+use std::sync::Arc;
 
 use starts_net::{Exchange, SimNet, StartsClient};
-use starts_proto::{Field, QTerm, Query};
+use starts_obs::{HealthBoard, SourceOutcome, TraceTree};
+use starts_proto::{Field, QTerm, Query, TraceContext};
 
 use crate::adapt::{adapt_query, least_common_denominator};
 use crate::catalog::Catalog;
@@ -40,6 +42,13 @@ pub struct MetaConfig {
     pub adapt: AdaptMode,
     /// Final result-list cap.
     pub max_results: usize,
+    /// Rolling per-source health, updated on every exchange. Shared
+    /// (`Arc`) so a `HealthAware` selector can consult the same board
+    /// the dispatcher feeds.
+    pub health: Arc<HealthBoard>,
+    /// Latency budget per exchange: a source whose simulated round-trip
+    /// reaches this counts as timed out on the health board.
+    pub timeout_ms: u64,
 }
 
 impl Default for MetaConfig {
@@ -50,6 +59,8 @@ impl Default for MetaConfig {
             max_sources: 3,
             adapt: AdaptMode::PerSource,
             max_results: 20,
+            health: Arc::new(HealthBoard::default()),
+            timeout_ms: 30_000,
         }
     }
 }
@@ -64,7 +75,8 @@ impl fmt::Debug for MetaConfig {
             .field("max_sources", &self.max_sources)
             .field("adapt", &self.adapt)
             .field("max_results", &self.max_results)
-            .finish()
+            .field("timeout_ms", &self.timeout_ms)
+            .finish_non_exhaustive()
     }
 }
 
@@ -115,6 +127,9 @@ pub struct MetaResponse {
     pub total_cost: f64,
     /// Aggregate accounting from the exchanges that actually happened.
     pub stats: QueryStats,
+    /// The trace id minted for this search; feed it to
+    /// [`Metasearcher::trace_tree`] to stitch the per-query trace.
+    pub query_id: String,
 }
 
 /// The metasearcher.
@@ -141,10 +156,20 @@ impl<'n> Metasearcher<'n> {
         query.all_terms().into_iter().map(term_key).collect()
     }
 
+    /// Stitch the trace tree for a finished search out of the span
+    /// ring. Spans from both sides of the `SimNet` boundary — client
+    /// select/adapt/dispatch/merge and host rewrite/translate/execute —
+    /// appear under one root, linked by the trace context the query
+    /// carried over the wire.
+    pub fn trace_tree(&self, query_id: &str) -> TraceTree {
+        TraceTree::build(query_id, &self.net.registry().recent_spans())
+    }
+
     /// Run the full pipeline for one query.
     pub fn search(&self, query: &Query) -> MetaResponse {
         let obs = self.net.registry();
-        let _root = obs.span("meta.search");
+        let query_id = starts_obs::trace::next_query_id();
+        let _root = obs.span_with("meta.search", vec![("trace", query_id.clone())]);
         obs.counter("meta.searches").inc();
 
         // 1. Select sources.
@@ -204,33 +229,67 @@ impl<'n> Metasearcher<'n> {
         slots.resize_with(prepared.len(), || None);
         {
             let dispatch = obs.span("dispatch");
-            let dispatch_path = dispatch.path().to_string();
+            let dispatch_handle = dispatch.handle();
+            let health = &self.config.health;
+            let timeout_ms = self.config.timeout_ms;
             crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (slot, (i, score, q)) in slots.iter_mut().zip(&prepared) {
                     let entry = &self.catalog.entries[*i];
                     let client = &client;
-                    let dispatch_path = &dispatch_path;
+                    let dispatch_handle = &dispatch_handle;
+                    let query_id = &query_id;
                     handles.push(scope.spawn(move |_| {
                         // The worker thread's span stack is empty;
                         // parent it to the dispatch span explicitly.
-                        let _span = obs.span_under(
+                        let span = obs.span_under(
                             "source",
-                            dispatch_path,
-                            vec![("source", entry.id.clone())],
+                            dispatch_handle,
+                            vec![("source", entry.id.clone()), ("trace", query_id.clone())],
                         );
-                        let outcome = client.query_with_exchange(entry.query_url(), q).ok();
-                        if let Some((results, exchange)) = outcome {
-                            obs.histogram_with("meta.source_latency_ms", &[("source", &entry.id)])
-                                .observe(u64::from(exchange.latency_ms));
-                            *slot = Some((
-                                SourceResult {
-                                    metadata: entry.metadata.clone(),
-                                    results,
-                                    source_weight: (score / max_belief).clamp(0.0, 1.0),
-                                },
-                                exchange,
-                            ));
+                        // Thread the trace context through the wire
+                        // (§4.3 extension attribute): the source's
+                        // spans parent under this worker span, and the
+                        // context echoes back on the results.
+                        let mut q = q.clone();
+                        q.trace = Some(TraceContext {
+                            query_id: query_id.clone(),
+                            parent_path: span.path().to_string(),
+                            parent_span_id: span.id(),
+                        });
+                        match client.query_with_exchange(entry.query_url(), &q) {
+                            Ok((results, exchange)) => {
+                                let latency = u64::from(exchange.latency_ms);
+                                obs.histogram_with(
+                                    "meta.source_latency_ms",
+                                    &[("source", &entry.id)],
+                                )
+                                .observe(latency);
+                                health.record(
+                                    &entry.id,
+                                    if latency >= timeout_ms {
+                                        SourceOutcome::timed_out(latency, true)
+                                    } else {
+                                        SourceOutcome::ok(latency)
+                                    },
+                                );
+                                *slot = Some((
+                                    SourceResult {
+                                        metadata: entry.metadata.clone(),
+                                        results,
+                                        source_weight: (score / max_belief).clamp(0.0, 1.0),
+                                    },
+                                    exchange,
+                                ));
+                            }
+                            Err(_) => {
+                                health.record(&entry.id, SourceOutcome::failed());
+                                obs.counter_with(
+                                    "meta.dispatch.failures",
+                                    &[("source", &entry.id)],
+                                )
+                                .inc();
+                            }
                         }
                     }));
                 }
@@ -240,6 +299,9 @@ impl<'n> Metasearcher<'n> {
             })
             .expect("crossbeam scope");
         }
+        // Publish the refreshed scoreboard so every exporter (and the
+        // /stats endpoint of anyone sharing this registry) carries it.
+        self.config.health.export_to(obs);
         let mut stats = QueryStats::default();
         let per_source: Vec<SourceResult> = slots
             .into_iter()
@@ -283,6 +345,7 @@ impl<'n> Metasearcher<'n> {
             wave_latency_ms,
             total_cost,
             stats,
+            query_id,
         }
     }
 }
@@ -507,6 +570,40 @@ mod tests {
         let candidates = snap.counter("meta.merge.candidates", &[]);
         assert!(candidates >= resp.merged.len() as u64);
         assert_eq!(snap.counter("meta.merge.duplicates", &[]), 0);
+    }
+
+    #[test]
+    fn search_feeds_the_health_board_and_trace_tree() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        let catalog = catalog_for(&net, &["DB", "Food", "Stars"]);
+        net.registry().reset();
+        let meta = Metasearcher::new(&net, catalog, MetaConfig::default());
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "text"))"#));
+
+        // Health: one successful 50ms exchange per source, exported as
+        // gauges into the shared registry.
+        for source in ["DB", "Food", "Stars"] {
+            let h = meta.config.health.health(source).expect("health recorded");
+            assert_eq!((h.samples, h.timeouts), (1, 0));
+            assert_eq!(h.availability, 1.0);
+            assert_eq!(h.latency_p50_ms, 50);
+            assert!(h.score > 0.9, "{source} score {}", h.score);
+        }
+        let snap = net.registry().snapshot();
+        assert_eq!(snap.gauge("health.availability", &[("source", "DB")]), 1.0);
+        assert!(snap.gauge("health.score", &[("source", "Food")]) > 0.9);
+
+        // Trace: one tree rooted at meta.search, holding the client
+        // phases and, via the wire context, the host-side execution.
+        assert!(resp.query_id.starts_with("q-"));
+        let tree = meta.trace_tree(&resp.query_id);
+        assert_eq!(tree.roots.len(), 1, "{}", tree.render());
+        assert_eq!(tree.roots[0].event.name, "meta.search");
+        let host = tree.find("source.execute").expect("host span in tree");
+        assert_eq!(host.event.parent, "meta.search/dispatch/source");
+        assert!(host.children.iter().any(|c| c.event.name == "rewrite"));
+        assert!(!tree.critical_path_summary().is_empty());
     }
 
     #[test]

@@ -223,6 +223,48 @@ impl<S: Selector> Selector for CostAware<S> {
     }
 }
 
+/// Health-aware wrapper (§3.3: sources come and go, and responsiveness
+/// varies): multiplies an inner selector's goodness by the source's
+/// rolling health score from the [`starts_obs::HealthBoard`] the metasearcher
+/// maintains — a degraded source still gets `floor` of its goodness, so
+/// it keeps receiving occasional probes and can recover.
+pub struct HealthAware<S> {
+    /// The goodness estimator.
+    pub inner: S,
+    /// The scoreboard to consult (share the metasearcher's via `Arc`).
+    pub board: std::sync::Arc<starts_obs::HealthBoard>,
+    /// Minimum health multiplier in `(0, 1]`; keeps degraded sources
+    /// probe-able instead of starving them forever.
+    pub floor: f64,
+}
+
+impl<S: Selector> HealthAware<S> {
+    /// Wrap a selector with the default probe floor (0.01).
+    pub fn new(inner: S, board: std::sync::Arc<starts_obs::HealthBoard>) -> Self {
+        HealthAware {
+            inner,
+            board,
+            floor: 0.01,
+        }
+    }
+}
+
+impl<S: Selector> Selector for HealthAware<S> {
+    fn name(&self) -> &'static str {
+        "health-aware"
+    }
+
+    fn score_source(
+        &self,
+        entry: &CatalogEntry,
+        catalog: &Catalog,
+        terms: &[(Option<&str>, &str)],
+    ) -> f64 {
+        let goodness = self.inner.score_source(entry, catalog, terms);
+        goodness * self.board.score(&entry.id).max(self.floor)
+    }
+}
+
 /// Estimate df for a term in a summary regardless of stemming mismatch:
 /// if the summary is stemmed, look up the stem.
 pub fn summary_df(summary: &ContentSummary, field: Option<&str>, term: &str) -> u32 {
@@ -367,6 +409,33 @@ mod tests {
         // matching documents.
         let ranked = costed.rank(&c, &terms);
         assert_ne!(ranked[0].0, 0, "expensive source still first: {ranked:?}");
+    }
+
+    #[test]
+    fn health_aware_demotes_flaky_sources_but_keeps_probing() {
+        use starts_obs::{HealthBoard, SourceOutcome};
+        let c = catalog();
+        let board = std::sync::Arc::new(HealthBoard::default());
+        // CS keeps failing; Food answers fast.
+        for _ in 0..20 {
+            board.record("CS", SourceOutcome::failed());
+            board.record("Food", SourceOutcome::ok(20));
+        }
+        let plain = GGlossSum;
+        let healthy = HealthAware::new(GGlossSum, std::sync::Arc::clone(&board));
+        let terms = [(None, "databases")];
+        // Plain ranking prefers CS (it has the term mass)…
+        assert_eq!(plain.rank(&c, &terms)[0].0, 0);
+        // …health-awareness flips it to the reliable source.
+        let ranked = healthy.rank(&c, &terms);
+        assert_ne!(ranked[0].0, 0, "dead source still first: {ranked:?}");
+        // But the floor keeps the flaky source scoreable (probe-able).
+        let cs = healthy.score_source(&c.entries[0], &c, &terms);
+        assert!(cs > 0.0, "floored score must stay positive");
+        // Unseen sources are not penalized at all.
+        let tiny_plain = plain.score_source(&c.entries[2], &c, &terms);
+        let tiny_healthy = healthy.score_source(&c.entries[2], &c, &terms);
+        assert!((tiny_plain - tiny_healthy).abs() < 1e-12);
     }
 
     #[test]

@@ -97,6 +97,16 @@ impl<'a> StartsClient<'a> {
         Ok(decode_sample(&resp.bytes)?)
     }
 
+    /// Fetch a host's `<base>/stats` admin endpoint: an `@SStats`
+    /// snapshot of the host-side registry, decoded losslessly.
+    pub fn fetch_stats(&self, url: &str) -> Result<starts_obs::Snapshot, ClientError> {
+        let _span = self.op_span("client.fetch_stats", url);
+        let resp = self.net.request(url, b"")?;
+        let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
+        starts_obs::export::snapshot_from_soif(&obj)
+            .map_err(|e| ClientError::Proto(ProtoError::invalid("SStats", e)))
+    }
+
     /// Submit a query to a source's query URL.
     pub fn query(&self, url: &str, query: &Query) -> Result<QueryResults, ClientError> {
         self.query_with_exchange(url, query).map(|(r, _)| r)
@@ -175,6 +185,19 @@ mod tests {
         };
         let results = client.query("starts://demo/query", &q).unwrap();
         assert_eq!(results.documents.len(), 1);
+    }
+
+    #[test]
+    fn fetch_stats_round_trips_the_host_registry() {
+        let net = wire_demo_net();
+        let client = StartsClient::new(&net);
+        let q = Query {
+            ranking: Some(parse_ranking(r#"list("databases")"#).unwrap()),
+            ..Query::default()
+        };
+        client.query("starts://demo/query", &q).unwrap();
+        let snap = client.fetch_stats("starts://demo/stats").unwrap();
+        assert_eq!(snap.counter("source.queries", &[("source", "Demo")]), 1);
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! * `<base>/metadata` — receive the `@SMetaAttributes` object;
 //! * `<base>/content-summary` — receive the `@SContentSummary` object;
 //! * `<base>/sample-results` — receive the sample queries and their
-//!   results, as alternating `@SQuery` / `@SQResults`-stream sections.
+//!   results, as alternating `@SQuery` / `@SQResults`-stream sections;
+//! * `<base>/stats` — an admin endpoint returning the host's metric
+//!   registry as an `@SStats` object (a §4.3-style extension: stats
+//!   served in the protocol's own object model).
 //!
 //! A resource additionally serves `<resource-url>` → `@SResource`.
 //! Queries submitted to a member's `/query` URL honour the query's
@@ -62,6 +65,8 @@ pub fn wire_source(net: &SimNet, source: Source, profile: LinkProfile) -> String
         Arc::new(move |_: &[u8]| sample_bytes.clone()),
     );
 
+    wire_stats(net, &base, profile);
+
     {
         let source = Arc::clone(&source);
         let obs = Arc::clone(net.registry());
@@ -114,6 +119,7 @@ pub fn wire_resource(
             profile,
             Arc::new(move |_: &[u8]| sample_bytes.clone()),
         );
+        wire_stats(net, &base, profile);
     }
     for source in host.sources() {
         let id = source.id().to_string();
@@ -132,6 +138,21 @@ pub fn wire_resource(
             }),
         );
     }
+}
+
+/// Register `<base>/stats`: a point-in-time `@SStats` snapshot of the
+/// host's registry, taken at request time so repeated polls see fresh
+/// numbers. Admin traffic rides the same link profile as the data
+/// endpoints.
+fn wire_stats(net: &SimNet, base: &str, profile: LinkProfile) {
+    let obs = Arc::clone(net.registry());
+    net.register(
+        format!("{base}/stats"),
+        profile,
+        Arc::new(move |_: &[u8]| {
+            starts_soif::write_object(&starts_obs::export::to_soif(&obs.snapshot()))
+        }),
+    );
 }
 
 /// Encode sample results: alternating `@SQuery` and result streams.
@@ -191,7 +212,13 @@ mod tests {
         let source = Source::build(SourceConfig::new("S"), &docs());
         let query_url = wire_source(&net, source, LinkProfile::default());
         assert_eq!(query_url, "starts://s/query");
-        for path in ["metadata", "content-summary", "sample-results", "query"] {
+        for path in [
+            "metadata",
+            "content-summary",
+            "sample-results",
+            "query",
+            "stats",
+        ] {
             assert!(net.knows(&format!("starts://s/{path}")), "{path} missing");
         }
         // Metadata parses.
@@ -215,6 +242,25 @@ mod tests {
         let results = QueryResults::from_soif_stream(&resp.bytes).unwrap();
         assert_eq!(results.documents.len(), 1);
         assert_eq!(results.documents[0].linkage(), Some("http://x/1"));
+    }
+
+    #[test]
+    fn stats_endpoint_serves_parseable_sstats() {
+        let net = SimNet::new();
+        let source = Source::build(SourceConfig::new("S"), &docs());
+        let url = wire_source(&net, source, LinkProfile::default());
+        // Generate some host-side accounting first.
+        let q = Query {
+            ranking: Some(parse_ranking(r#"list("databases")"#).unwrap()),
+            ..Query::default()
+        };
+        net.request(&url, &starts_soif::write_object(&q.to_soif()))
+            .unwrap();
+        let resp = net.request("starts://s/stats", b"").unwrap();
+        let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict).unwrap();
+        assert_eq!(obj.template, starts_obs::export::SSTATS_TEMPLATE);
+        let snap = starts_obs::export::snapshot_from_soif(&obj).unwrap();
+        assert_eq!(snap.counter("source.queries", &[("source", "S")]), 1);
     }
 
     #[test]

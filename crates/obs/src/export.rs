@@ -42,7 +42,13 @@ fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> Stri
         })
         .collect();
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!(
+            "{}=\"{}\"",
+            prom_name(k),
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        ));
     }
     if pairs.is_empty() {
         String::new()
@@ -108,7 +114,7 @@ pub fn prometheus(snap: &Snapshot) -> String {
 // JSON (for the bench binaries' --stats-json flag)
 // ---------------------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -418,6 +424,35 @@ mod tests {
         assert_eq!(obj.template, SSTATS_TEMPLATE);
         let back = snapshot_from_soif(&obj).expect("decodes");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        // Source ids are attacker-ish input as far as the exposition
+        // format is concerned: backslashes, quotes, and newlines in a
+        // label value must come out escaped, never raw.
+        let reg = Registry::new();
+        let hostile = "evil\\source\"with\nnewline";
+        reg.counter_with("src.queries", &[("source", hostile)])
+            .inc();
+        reg.histogram_with("src.latency_ms", &[("source", hostile)])
+            .observe(7);
+        let text = prometheus(&reg.snapshot());
+        assert!(
+            text.contains(r#"source="evil\\source\"with\nnewline""#),
+            "expected escaped label in:\n{text}"
+        );
+        // No line may contain a raw (unescaped) quote-break or newline
+        // inside a label value: every line must end after the sample
+        // value, so the line count is exactly the series count.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with(|c: char| c.is_ascii_digit()),
+                "line broken by unescaped newline: {line:?}"
+            );
+        }
+        // quantile labels on the histogram summary stay well-formed too.
+        assert!(text.contains(r#"quantile="0.95""#));
     }
 
     #[test]

@@ -14,7 +14,14 @@
 //! * **Exporters** — a Prometheus text dump ([`export::prometheus`]),
 //!   a JSON dump ([`export::json`]), and a SOIF-native `@SStats`
 //!   object ([`export::to_soif`]) that round-trips through
-//!   `starts_soif::parse`.
+//!   `starts_soif::parse`;
+//! * **Traces** — [`trace::TraceTree`] stitches the span ring back into
+//!   per-query trees (spans carry ids and parent ids, and a
+//!   [`SpanHandle`] can cross threads or the wire), with critical-path
+//!   extraction and a JSONL sink;
+//! * **Health** — a rolling per-source [`health::HealthBoard`]
+//!   (availability, error rate, timeouts, latency quantiles, score)
+//!   that exports as plain gauges so every exporter carries it.
 //!
 //! A [`Registry`] is cheap to share: `starts-net`'s `SimNet` owns one
 //! in an `Arc` so that every test gets isolated accounting, and
@@ -23,12 +30,16 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod health;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use health::{HealthBoard, SourceHealth, SourceOutcome};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricId, Registry, Snapshot,
 };
-pub use span::{Span, SpanEvent};
+pub use span::{Span, SpanEvent, SpanHandle};
+pub use trace::{TraceNode, TraceTree};

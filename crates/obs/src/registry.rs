@@ -11,7 +11,7 @@ use std::sync::OnceLock;
 use parking_lot::RwLock;
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramValues};
-use crate::span::{Span, SpanEvent, SpanLog};
+use crate::span::{Span, SpanEvent, SpanHandle, SpanLog};
 
 /// A metric identity: a dotted name plus label pairs (sorted by key, so
 /// label order at the call site does not matter).
@@ -232,16 +232,17 @@ impl Registry {
         Span::enter(self, name, None, fields)
     }
 
-    /// Open a span under an explicit parent path — the cross-thread
-    /// form, for fan-out workers whose logical parent lives on the
-    /// dispatching thread.
+    /// Open a span under an explicit parent — the cross-thread (and
+    /// cross-wire) form, for fan-out workers whose logical parent lives
+    /// on the dispatching thread, or for a source whose logical parent
+    /// arrived inside a query's trace-context attribute.
     pub fn span_under(
         &self,
         name: &str,
-        parent: &str,
+        parent: &SpanHandle,
         fields: Vec<(&'static str, String)>,
     ) -> Span<'_> {
-        Span::enter(self, name, Some(parent.to_string()), fields)
+        Span::enter(self, name, Some(parent.clone()), fields)
     }
 
     /// The most recent completed spans, oldest first (bounded ring).

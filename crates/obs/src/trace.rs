@@ -1,0 +1,441 @@
+//! Per-query distributed traces over [`SpanEvent`]s.
+//!
+//! The metasearcher tags its root `meta.search` span with a
+//! `trace = <query id>` field and threads the same id — plus the
+//! dispatching span's [`crate::SpanHandle`] — through the `@SQuery`
+//! object, so host-side `source.execute` spans parent under the
+//! client-side fan-out even though they were recorded on the far side
+//! of the wire. This module stitches the resulting flat span log back
+//! into a per-query tree:
+//!
+//! * [`TraceTree::build`] — collect every span belonging to a query id
+//!   (tagged directly, or reachable from a tagged span through the
+//!   parent-id chain) and link them into a tree;
+//! * [`TraceTree::critical_path`] — the chain of spans that actually
+//!   determined the query's wall-clock latency;
+//! * [`write_jsonl`] / [`dump_jsonl`] — a line-per-span JSON sink for
+//!   offline analysis (every bench binary honours `--trace-jsonl`).
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::span::SpanEvent;
+
+/// The span field carrying the query id (`trace = q-000001`).
+pub const TRACE_FIELD: &str = "trace";
+
+/// Mint a process-unique query id for tracing (`q-000001`, …).
+pub fn next_query_id() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    format!("q-{:06}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// One node of a trace tree: a completed span and its children,
+/// ordered by start time.
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    /// The completed span.
+    pub event: SpanEvent,
+    /// Child spans, ordered by start time.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Number of spans in this subtree (including this one).
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(TraceNode::len).sum::<usize>()
+    }
+
+    /// Whether the subtree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Depth-first search for the first node with the given leaf name.
+    pub fn find(&self, name: &str) -> Option<&TraceNode> {
+        if self.event.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let fields: Vec<String> = self
+            .event
+            .fields
+            .iter()
+            .filter(|(k, _)| *k != TRACE_FIELD)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        out.push_str(&format!(
+            "{}{} {}us{}\n",
+            "  ".repeat(depth),
+            self.event.name,
+            self.event.duration_us,
+            if fields.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", fields.join(" "))
+            }
+        ));
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// A stitched per-query trace: every span that belongs to one query id,
+/// linked by parent span ids.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The query id the trace was built for.
+    pub query_id: String,
+    /// Root spans (spans in the trace whose parent is not), ordered by
+    /// start time. A healthy metasearch yields exactly one.
+    pub roots: Vec<TraceNode>,
+}
+
+impl TraceTree {
+    /// Stitch the spans belonging to `query_id` out of a flat span log.
+    ///
+    /// A span belongs if it carries `trace = query_id` itself, or if it
+    /// is reachable from such a span through the parent-id chain —
+    /// which is how untagged children (phase spans, `client.query`)
+    /// join the tagged root, and how host-side spans that were parented
+    /// across the wire join the client-side dispatch.
+    pub fn build(query_id: &str, events: &[SpanEvent]) -> TraceTree {
+        // Seed: directly tagged spans.
+        let mut member_ids: HashSet<u64> = events
+            .iter()
+            .filter(|e| e.field(TRACE_FIELD) == Some(query_id))
+            .map(|e| e.id)
+            .collect();
+        // Expand: children of members are members, transitively. Spans
+        // tagged with a *different* trace id never join.
+        let mut children_of: HashMap<u64, Vec<&SpanEvent>> = HashMap::new();
+        for e in events {
+            children_of.entry(e.parent_id).or_default().push(e);
+        }
+        let mut frontier: Vec<u64> = member_ids.iter().copied().collect();
+        while let Some(id) = frontier.pop() {
+            for child in children_of.get(&id).into_iter().flatten() {
+                let foreign = child.field(TRACE_FIELD).is_some_and(|t| t != query_id);
+                if !foreign && member_ids.insert(child.id) {
+                    frontier.push(child.id);
+                }
+            }
+        }
+        // Link members into nodes; roots are members whose parent is
+        // not a member (0, evicted from the ring, or outside the trace).
+        let mut nodes: HashMap<u64, TraceNode> = events
+            .iter()
+            .filter(|e| member_ids.contains(&e.id))
+            .map(|e| {
+                (
+                    e.id,
+                    TraceNode {
+                        event: e.clone(),
+                        children: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        // Attach children to parents, newest id first: ids are handed
+        // out in creation order and a child is always created after its
+        // parent, so parents still exist in the map when their children
+        // are moved in (start_us can tie at microsecond resolution).
+        let mut order: Vec<u64> = nodes.keys().copied().collect();
+        order.sort_by_key(|id| std::cmp::Reverse(*id));
+        for id in order {
+            let parent_id = nodes[&id].event.parent_id;
+            if parent_id != 0 && nodes.contains_key(&parent_id) && parent_id != id {
+                let child = nodes.remove(&id).expect("node present");
+                nodes
+                    .get_mut(&parent_id)
+                    .expect("parent present")
+                    .children
+                    .push(child);
+            }
+        }
+        let mut roots: Vec<TraceNode> = nodes.into_values().collect();
+        sort_recursive(&mut roots);
+        TraceTree {
+            query_id: query_id.to_string(),
+            roots,
+        }
+    }
+
+    /// Number of spans in the trace.
+    pub fn len(&self) -> usize {
+        self.roots.iter().map(TraceNode::len).sum()
+    }
+
+    /// Whether the trace is empty (unknown query id).
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Total duration: the first root's wall-clock time.
+    pub fn total_duration_us(&self) -> u64 {
+        self.roots.first().map_or(0, |r| r.event.duration_us)
+    }
+
+    /// Depth-first search for the first node with the given leaf name.
+    pub fn find(&self, name: &str) -> Option<&TraceNode> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// The critical path: starting from the first root, the chain of
+    /// spans that determined the query's end-to-end latency. At each
+    /// node the children are walked backwards from the node's end time,
+    /// repeatedly taking the latest-finishing child that starts before
+    /// the current cursor — the standard backward critical-path sweep.
+    /// Spans are returned in chronological order, root first.
+    pub fn critical_path(&self) -> Vec<&SpanEvent> {
+        let mut out = Vec::new();
+        if let Some(root) = self.roots.first() {
+            critical_into(root, &mut out);
+        }
+        out
+    }
+
+    /// The critical path as `name (duration_us)` joined by ` → ` — the
+    /// form benches and examples print.
+    pub fn critical_path_summary(&self) -> String {
+        self.critical_path()
+            .iter()
+            .map(|e| format!("{} ({}us)", e.name, e.duration_us))
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+
+    /// Render the tree as indented text (one span per line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.roots {
+            r.render_into(0, &mut out);
+        }
+        out
+    }
+}
+
+fn sort_recursive(nodes: &mut [TraceNode]) {
+    nodes.sort_by_key(|n| (n.event.start_us, n.event.id));
+    for n in nodes {
+        sort_recursive(&mut n.children);
+    }
+}
+
+fn critical_into<'a>(node: &'a TraceNode, out: &mut Vec<&'a SpanEvent>) {
+    out.push(&node.event);
+    let mut cursor = node.event.end_us();
+    let mut remaining: Vec<&TraceNode> = node.children.iter().collect();
+    let mut chain: Vec<&TraceNode> = Vec::new();
+    // Sweep backwards from the node's end, taking the latest-finishing
+    // child that started before the cursor. Each step removes a child,
+    // so the sweep terminates.
+    while let Some((idx, _)) = remaining
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.event.start_us <= cursor)
+        .max_by_key(|(_, c)| (c.event.end_us(), c.event.id))
+    {
+        let chosen = remaining.swap_remove(idx);
+        cursor = chosen.event.start_us;
+        chain.push(chosen);
+    }
+    for c in chain.iter().rev() {
+        critical_into(c, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL sink
+// ---------------------------------------------------------------------
+
+/// Write span events as JSON Lines: one object per span with `id`,
+/// `parent_id`, `path`, `name`, `start_us`, `duration_us`, and a
+/// `fields` object. Events stream in log order (oldest first), so the
+/// file is `tail -f`-able when written incrementally.
+pub fn write_jsonl<W: Write>(events: &[SpanEvent], mut w: W) -> io::Result<()> {
+    for e in events {
+        let fields: Vec<String> = e
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    "\"{}\":\"{}\"",
+                    crate::export::json_escape(k),
+                    crate::export::json_escape(v)
+                )
+            })
+            .collect();
+        writeln!(
+            w,
+            "{{\"id\":{},\"parent_id\":{},\"path\":\"{}\",\"name\":\"{}\",\"start_us\":{},\"duration_us\":{},\"fields\":{{{}}}}}",
+            e.id,
+            e.parent_id,
+            crate::export::json_escape(&e.path),
+            crate::export::json_escape(&e.name),
+            e.start_us,
+            e.duration_us,
+            fields.join(",")
+        )?;
+    }
+    Ok(())
+}
+
+/// [`write_jsonl`] to a file path; returns the number of events
+/// written.
+pub fn dump_jsonl(events: &[SpanEvent], path: &Path) -> io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    write_jsonl(events, io::BufWriter::new(file))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    /// Simulate the metasearch shape: a tagged root, nested phases, a
+    /// cross-thread worker, and a "cross-wire" child attached via a
+    /// serialized handle.
+    fn record_query(reg: &Registry, qid: &str) {
+        let root = reg.span_with("meta.search", vec![(TRACE_FIELD, qid.to_string())]);
+        let _ = root.path();
+        {
+            let _select = reg.span("select");
+        }
+        let wire_handle = {
+            let dispatch = reg.span("dispatch");
+            let handle = dispatch.handle();
+            let wire = std::thread::scope(|scope| {
+                let reg = &reg;
+                let handle = handle.clone();
+                scope
+                    .spawn(move || {
+                        let worker =
+                            reg.span_under("source", &handle, vec![("source", "S1".to_string())]);
+                        worker.handle()
+                    })
+                    .join()
+                    .expect("worker thread")
+            });
+            wire
+        };
+        // The "far side of the wire": a span parented by a handle that
+        // travelled inside the query object.
+        {
+            let _host = reg.span_under(
+                "source.execute",
+                &wire_handle,
+                vec![(TRACE_FIELD, qid.to_string())],
+            );
+            let _rewrite = reg.span("rewrite");
+        }
+        {
+            let _merge = reg.span("merge");
+        }
+    }
+
+    #[test]
+    fn builds_one_tree_per_query_id() {
+        let reg = Registry::new();
+        record_query(&reg, "q-a");
+        record_query(&reg, "q-b");
+        let events = reg.recent_spans();
+        let tree = TraceTree::build("q-a", &events);
+        assert_eq!(tree.roots.len(), 1, "{}", tree.render());
+        assert_eq!(tree.roots[0].event.name, "meta.search");
+        assert_eq!(tree.len(), 7);
+        // The other query's spans stay out.
+        let other = TraceTree::build("q-b", &events);
+        assert_eq!(other.len(), 7);
+        assert!(TraceTree::build("q-none", &events).is_empty());
+    }
+
+    #[test]
+    fn cross_wire_spans_nest_under_the_dispatch_chain() {
+        let reg = Registry::new();
+        record_query(&reg, "q-x");
+        let tree = TraceTree::build("q-x", &reg.recent_spans());
+        let host = tree.find("source.execute").expect("host span in tree");
+        assert_eq!(host.event.parent, "meta.search/dispatch/source");
+        let worker = tree.find("source").expect("worker span");
+        assert_eq!(worker.event.parent, "meta.search/dispatch");
+        assert!(worker
+            .children
+            .iter()
+            .any(|c| c.event.name == "source.execute"));
+        // The host's own child rides along through the parent chain.
+        assert!(host.children.iter().any(|c| c.event.name == "rewrite"));
+    }
+
+    #[test]
+    fn critical_path_is_chronological_and_rooted() {
+        let reg = Registry::new();
+        record_query(&reg, "q-c");
+        let tree = TraceTree::build("q-c", &reg.recent_spans());
+        let cp = tree.critical_path();
+        assert!(!cp.is_empty());
+        assert_eq!(cp[0].name, "meta.search");
+        for pair in cp.windows(2) {
+            assert!(
+                pair[1].start_us >= pair[0].start_us,
+                "critical path out of order: {}",
+                tree.critical_path_summary()
+            );
+        }
+        // The summary names every hop.
+        let summary = tree.critical_path_summary();
+        assert!(summary.starts_with("meta.search ("), "{summary}");
+        assert!(summary.contains(" → "), "{summary}");
+    }
+
+    #[test]
+    fn orphaned_tagged_spans_become_roots() {
+        // A tagged span whose parent fell out of the ring still shows up
+        // rather than vanishing.
+        let reg = Registry::new();
+        {
+            let _s = reg.span_under(
+                "late",
+                &crate::SpanHandle {
+                    path: "gone".to_string(),
+                    id: 999_999_999,
+                },
+                vec![(TRACE_FIELD, "q-orphan".to_string())],
+            );
+        }
+        let tree = TraceTree::build("q-orphan", &reg.recent_spans());
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].event.name, "late");
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_span() {
+        let reg = Registry::new();
+        record_query(&reg, "q-j");
+        let events = reg.recent_spans();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"duration_us\":"), "{line}");
+        }
+        assert!(text.contains("\"trace\":\"q-j\""));
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_ordered() {
+        let a = next_query_id();
+        let b = next_query_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("q-"));
+    }
+}

@@ -13,11 +13,11 @@ fn fan_out_workers_nest_under_the_dispatch_span() {
     let reg = Registry::new();
     {
         let root = reg.span("dispatch");
-        let root_path = root.path().to_string();
+        let root_handle = root.handle();
         crossbeam::thread::scope(|s| {
             for i in 0..WORKERS {
                 let reg = &reg;
-                let parent = root_path.clone();
+                let parent = root_handle.clone();
                 s.spawn(move |_| {
                     let worker = reg.span_under("worker", &parent, vec![("idx", i.to_string())]);
                     // A nested child on the worker thread parents to the
@@ -35,11 +35,13 @@ fn fan_out_workers_nest_under_the_dispatch_span() {
     // WORKERS inner spans + WORKERS worker spans + 1 root.
     assert_eq!(events.len(), 2 * WORKERS + 1);
 
+    let root_event = events.iter().find(|e| e.name == "dispatch").unwrap();
     let workers: Vec<_> = events.iter().filter(|e| e.name == "worker").collect();
     assert_eq!(workers.len(), WORKERS);
     for w in &workers {
         assert_eq!(w.parent, "dispatch");
         assert_eq!(w.path, "dispatch/worker");
+        assert_eq!(w.parent_id, root_event.id);
     }
     // Every worker carried its own field; all indices show up once.
     let mut idxs: Vec<String> = workers.iter().map(|w| w.fields[0].1.clone()).collect();

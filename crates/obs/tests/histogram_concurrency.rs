@@ -1,0 +1,95 @@
+//! Concurrency property: histogram snapshots taken while writers are
+//! recording must stay internally consistent. A snapshot copies the
+//! bucket array without stopping the world, so it may be "torn" across
+//! concurrent observes — but two invariants must still hold on every
+//! copy:
+//!
+//! * quantiles are monotone: `p50 <= p95 <= p99` (so p99 never reads
+//!   below p50), because `percentile(q)` walks one fixed bucket copy;
+//! * `count` never decreases between successive snapshots, because it
+//!   is a single monotone atomic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use starts_obs::Registry;
+
+const WRITERS: usize = 8;
+const OBS_PER_WRITER: usize = 20_000;
+const SNAPSHOTS: usize = 200;
+
+#[test]
+fn snapshots_under_concurrent_writes_stay_consistent() {
+    let reg = Registry::new();
+    let done = AtomicBool::new(false);
+    crossbeam::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let reg = &reg;
+            s.spawn(move |_| {
+                // A deterministic spread of values across many buckets,
+                // different per thread, so snapshots race against
+                // observes landing all over the bucket array.
+                let mut x: u64 = (t as u64 + 1) * 2_654_435_761;
+                for _ in 0..OBS_PER_WRITER {
+                    x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    reg.histogram("lat").observe(x % 1_000_000);
+                }
+            });
+        }
+
+        // The reader races with the writers, taking snapshots the
+        // whole time they run.
+        let reg = &reg;
+        let done = &done;
+        let reader = s.spawn(move |_| {
+            let mut last_count = 0u64;
+            let mut taken = 0usize;
+            while taken < SNAPSHOTS || !done.load(Ordering::Acquire) {
+                let snap = reg.snapshot();
+                if let Some(h) = snap.histogram("lat", &[]) {
+                    assert!(
+                        h.p50 <= h.p95 && h.p95 <= h.p99,
+                        "non-monotone quantiles: p50={} p95={} p99={}",
+                        h.p50,
+                        h.p95,
+                        h.p99
+                    );
+                    assert!(
+                        h.count >= last_count,
+                        "count went backwards: {} -> {}",
+                        last_count,
+                        h.count
+                    );
+                    assert!(h.min <= h.max, "min {} > max {}", h.min, h.max);
+                    last_count = h.count;
+                }
+                taken += 1;
+            }
+            taken
+        });
+
+        // Writers are joined implicitly at scope exit; wait for the
+        // final count before releasing the reader, so every snapshot it
+        // takes truly raced with live writes.
+        loop {
+            let snap = reg.snapshot();
+            let count = snap.histogram("lat", &[]).map_or(0, |h| h.count);
+            if count == (WRITERS * OBS_PER_WRITER) as u64 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        let taken = reader.join().unwrap();
+        assert!(taken >= SNAPSHOTS);
+    })
+    .unwrap();
+
+    // After the dust settles the totals are exact.
+    let h = reg
+        .snapshot()
+        .histogram("lat", &[])
+        .cloned()
+        .expect("histogram exists");
+    assert_eq!(h.count, (WRITERS * OBS_PER_WRITER) as u64);
+    assert_eq!(h.buckets.iter().map(|(_, n)| n).sum::<u64>(), h.count);
+}

@@ -19,11 +19,30 @@ pub fn execute(source: &Source, query: &Query) -> QueryResults {
 /// Execute `query` at `source`, recording phase timings (`rewrite` →
 /// `translate` → `execute` spans under `source.execute`) and
 /// rewrite-downgrade counters into `obs` when given.
+///
+/// When the query carries a trace context (the `XTraceContext`
+/// extension attribute, §4.3), the `source.execute` span parents under
+/// the metasearcher's dispatching span and is tagged with the query id,
+/// so both sides of the wire stitch into one trace tree — and the
+/// context is echoed back on the results.
 pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) -> QueryResults {
     let _root = obs.map(|reg| {
         reg.counter_with("source.queries", &[("source", source.id())])
             .inc();
-        reg.span_with("source.execute", vec![("source", source.id().to_string())])
+        match &query.trace {
+            Some(ctx) => reg.span_under(
+                "source.execute",
+                &starts_obs::SpanHandle {
+                    path: ctx.parent_path.clone(),
+                    id: ctx.parent_span_id,
+                },
+                vec![
+                    ("source", source.id().to_string()),
+                    ("trace", ctx.query_id.clone()),
+                ],
+            ),
+            None => reg.span_with("source.execute", vec![("source", source.id().to_string())]),
+        }
     });
     let engine = source.engine();
     let analyzer = engine.index().analyzer();
@@ -94,6 +113,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
         actual_filter: rewritten.filter,
         actual_ranking: rewritten.ranking,
         documents,
+        trace: query.trace.clone(),
     }
 }
 

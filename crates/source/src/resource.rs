@@ -79,6 +79,7 @@ impl ResourceHost {
             actual_filter: None,
             actual_ranking: None,
             documents: Vec::new(),
+            trace: query.trace.clone(),
         };
         // Deduplicate by linkage; documents without a linkage cannot be
         // identified across sources and pass through unmerged.

@@ -141,6 +141,123 @@ fn search_snapshot_has_phases_latencies_and_costs_and_exports() {
 }
 
 #[test]
+fn metasearch_produces_one_trace_tree_spanning_the_wire() {
+    let net = SimNet::new();
+    let (meta, corpus) = searcher(&net);
+    let query = &generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .queries[0]
+        .query;
+
+    net.registry().reset();
+    let resp = meta.search(query);
+    assert!(resp.query_id.starts_with("q-"), "search assigns a query id");
+
+    // One stitched tree per query: a single meta.search root with the
+    // pipeline phases under it.
+    let tree = meta.trace_tree(&resp.query_id);
+    assert_eq!(
+        tree.roots.len(),
+        1,
+        "one root per query:\n{}",
+        tree.render()
+    );
+    let root = &tree.roots[0];
+    assert_eq!(root.event.name, "meta.search");
+    for phase in ["select", "adapt", "dispatch", "merge"] {
+        assert!(root.find(phase).is_some(), "missing {phase} under root");
+    }
+
+    // The dispatch span fans out one worker per contacted source, and
+    // each worker's subtree crosses the wire: the host-side
+    // source.execute span (with its rewrite/translate/execute phases)
+    // parents under the client-side dispatch chain.
+    let dispatch = root.find("dispatch").expect("dispatch node");
+    let workers: Vec<_> = dispatch
+        .children
+        .iter()
+        .filter(|c| c.event.name == "source")
+        .collect();
+    assert_eq!(workers.len(), N_SOURCES, "one worker per source");
+    for worker in &workers {
+        let execute = worker
+            .find("source.execute")
+            .expect("host-side span stitched under the client-side worker");
+        assert_eq!(
+            execute.event.path,
+            "meta.search/dispatch/source/source.execute"
+        );
+        for phase in ["rewrite", "translate", "execute"] {
+            assert!(execute.find(phase).is_some(), "missing host phase {phase}");
+        }
+    }
+
+    // The critical path runs from the root through the slowest worker.
+    let path = tree.critical_path();
+    assert!(!path.is_empty());
+    assert_eq!(path[0].name, "meta.search");
+    let summary = tree.critical_path_summary();
+    assert!(summary.contains("meta.search"), "summary: {summary}");
+
+    // The health board saw every source succeed, and its gauges ride
+    // the ordinary exporters.
+    let snap = net.registry().snapshot();
+    for s in &corpus.sources {
+        let h = meta.config.health.health(&s.id).expect("health entry");
+        assert_eq!(h.samples, 1);
+        assert!((h.availability - 1.0).abs() < 1e-9);
+        assert!(snap.gauge("health.score", &[("source", &s.id)]) > 0.0);
+    }
+
+    // The host serves its registry as @SStats on <base>/stats.
+    let client = StartsClient::new(&net);
+    let url = format!("starts://{}/stats", corpus.sources[0].id.to_lowercase());
+    let stats = client.fetch_stats(&url).unwrap();
+    assert!(stats.counter("source.queries", &[("source", &corpus.sources[0].id)]) >= 1);
+}
+
+#[test]
+fn trace_unaware_exchanges_still_answer() {
+    // §4.3 backward compatibility: a query carrying no XTraceContext —
+    // or a garbage one — is answered exactly as before.
+    let net = SimNet::new();
+    let (_meta, corpus) = searcher(&net);
+    let query = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .queries[0]
+        .query
+        .clone();
+    let url = format!("starts://{}/query", corpus.sources[0].id.to_lowercase());
+
+    // Untraced baseline.
+    let plain = net
+        .request(&url, &starts::soif::write_object(&query.to_soif()))
+        .unwrap();
+    let baseline = starts::proto::QueryResults::from_soif_stream(&plain.bytes).unwrap();
+    assert!(baseline.trace.is_none());
+
+    // Same query with a malformed trace attribute: ignored, not fatal.
+    let mut obj = query.to_soif();
+    obj.push_str("XTraceContext", "not a valid context at all");
+    let resp = net
+        .request(&url, &starts::soif::write_object(&obj))
+        .unwrap();
+    let results = starts::proto::QueryResults::from_soif_stream(&resp.bytes).unwrap();
+    assert_eq!(results.documents.len(), baseline.documents.len());
+    assert!(results.trace.is_none(), "garbage context degrades to None");
+}
+
+#[test]
 fn repeated_searches_accumulate_per_source_histograms() {
     let net = SimNet::new();
     let (meta, corpus) = searcher(&net);
