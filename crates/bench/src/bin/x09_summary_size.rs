@@ -93,6 +93,7 @@ fn main() {
             bytes += starts_soif::write_object(&summary.to_soif()).len() as u64;
             catalog.entries.push(CatalogEntry {
                 id: s.id.clone(),
+                metadata_url: String::new(),
                 metadata: SourceMetadata {
                     source_id: s.id.clone(),
                     ..SourceMetadata::default()

@@ -173,6 +173,7 @@ fn ablation_summary_fields() {
             bytes += starts_soif::write_object(&summary.to_soif()).len() as u64;
             catalog.entries.push(CatalogEntry {
                 id: s.id.clone(),
+                metadata_url: String::new(),
                 metadata: SourceMetadata {
                     source_id: s.id.clone(),
                     ..SourceMetadata::default()

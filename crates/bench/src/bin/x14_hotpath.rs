@@ -1,0 +1,267 @@
+//! X14 — the top-k hot path, measured (beyond the paper's artifacts).
+//!
+//! STARTS callers always bound their answer (`max-documents`, §4.1.3),
+//! yet the original evaluator scored and fully sorted every candidate
+//! before truncating. This experiment measures what the bounded
+//! pipeline buys at each layer:
+//!
+//! * **engine-naive** — the reference evaluator
+//!   (`Engine::eval_ranking_naive`): repeated two-way unions, one
+//!   tree-walk per candidate document, full sort, truncate;
+//! * **engine-topk** — the term-at-a-time fast path
+//!   (`Engine::eval_ranking_top_k`): leaves resolved once, k-way
+//!   candidate merge, bounded heap selection;
+//! * **source** — the full STARTS execution pipeline (parse →
+//!   translate → execute → render) with `max-documents = k`;
+//! * **federated** — a metasearcher fan-out over the simulated network
+//!   with bounded rank merging.
+//!
+//! The Zipf-distributed query workload mirrors real term frequencies:
+//! most queries contain at least one very common word, which is
+//! exactly the regime where scoring everything hurts.
+//!
+//! Writes `BENCH_hotpath.json` (override with `--out PATH`); pass
+//! `--smoke` for a seconds-scale CI run on the standard corpus.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starts_bench::{arg_value, header, print_table, section, standard_corpus, wire_and_discover};
+use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
+use starts_index::{Engine, EngineConfig, RankNode, TermSpec};
+use starts_meta::metasearcher::{MetaConfig, Metasearcher};
+use starts_net::SimNet;
+use starts_proto::query::ast::{QTerm, RankExpr};
+use starts_proto::{AnswerSpec, Field, Query};
+use starts_source::{Source, SourceConfig};
+
+/// Result-list bound for every path (the ISSUE's `max-documents ≤ 20`
+/// regime).
+const K: usize = 10;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let n_queries = if smoke { 60 } else { 400 };
+
+    header("X14  top-k hot path: naive walk vs bounded term-at-a-time pipeline");
+    let corpus = if smoke {
+        standard_corpus()
+    } else {
+        // A larger corpus than the standard one: the hot path's win
+        // grows with candidate-set size, so measure where it matters.
+        generate_corpus(&CorpusConfig {
+            n_sources: 12,
+            docs_per_source: 400,
+            n_topics: 4,
+            background_vocab: 1500,
+            topic_vocab: 100,
+            doc_len: (25, 90),
+            topic_skew: 0.35,
+            bilingual_fraction: 0.0,
+            seed: 19970526,
+        })
+    };
+    let terms = zipf_workload(&corpus, n_queries, 1997);
+    println!(
+        "corpus: {} sources, {} docs; workload: {} Zipf queries; k = {K}",
+        corpus.sources.len(),
+        corpus.total_docs(),
+        terms.len()
+    );
+
+    // Engine paths: one engine over the combined corpus.
+    let docs = corpus.all_docs();
+    let engine = Engine::build(&docs, EngineConfig::default());
+    let naive = measure(&terms, |t| {
+        let node = rank_node(t);
+        let mut hits = engine.eval_ranking_naive(&node);
+        hits.truncate(K);
+        hits.len()
+    });
+    let topk = measure(&terms, |t| {
+        let node = rank_node(t);
+        engine.eval_ranking_top_k(&node, Some(K)).len()
+    });
+
+    // Source path: the full STARTS pipeline on one combined source.
+    let source = Source::build(SourceConfig::new("Hot"), &docs);
+    let source_path = measure(&terms, |t| source.execute(&starts_query(t)).documents.len());
+
+    // Federated path: fan-out + bounded merge over the simulated net.
+    let net = SimNet::new();
+    let catalog = wire_and_discover(&net, &corpus);
+    let meta = Metasearcher::new(
+        &net,
+        catalog,
+        MetaConfig {
+            max_results: K,
+            ..MetaConfig::default()
+        },
+    );
+    let federated = measure(&terms, |t| meta.search(&starts_query(t)).merged.len());
+
+    let speedup = topk.qps / naive.qps.max(1e-9);
+    section("throughput and latency per path");
+    print_table(
+        &["path", "QPS", "p50 µs", "p95 µs", "p99 µs"],
+        &[
+            naive.row("engine-naive"),
+            topk.row("engine-topk"),
+            source_path.row("source"),
+            federated.row("federated"),
+        ],
+    );
+    println!();
+    println!(
+        "engine fast path speedup at k={K}: {speedup:.2}x \
+         (naive {:.0} QPS -> top-k {:.0} QPS)",
+        naive.qps, topk.qps
+    );
+
+    let json = render_json(
+        smoke,
+        &corpus,
+        n_queries,
+        &naive,
+        &topk,
+        &source_path,
+        &federated,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_hotpath.json");
+    println!("wrote {out_path}");
+}
+
+/// Per-path timing summary.
+struct PathStats {
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+impl PathStats {
+    fn row(&self, name: &str) -> Vec<String> {
+        vec![
+            name.to_string(),
+            format!("{:.0}", self.qps),
+            format!("{:.1}", self.p50_us),
+            format!("{:.1}", self.p95_us),
+            format!("{:.1}", self.p99_us),
+        ]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+            self.qps, self.p50_us, self.p95_us, self.p99_us
+        )
+    }
+}
+
+/// Time one closure over the whole workload (after a short warmup) and
+/// summarize per-query latency.
+fn measure(terms: &[Vec<String>], mut run: impl FnMut(&[String]) -> usize) -> PathStats {
+    for t in terms.iter().take(5) {
+        run(t); // warmup: touch caches, fault in lazily-built state
+    }
+    let mut lat_us: Vec<f64> = Vec::with_capacity(terms.len());
+    let total = Instant::now();
+    for t in terms {
+        let start = Instant::now();
+        std::hint::black_box(run(t));
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = total.elapsed().as_secs_f64();
+    lat_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        let idx = ((lat_us.len() - 1) as f64 * p).round() as usize;
+        lat_us[idx]
+    };
+    PathStats {
+        qps: terms.len() as f64 / elapsed.max(1e-12),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+    }
+}
+
+/// Draw `n` queries of 1–3 words with Zipf-distributed ranks: mostly
+/// background vocabulary (common words, big posting lists), sometimes a
+/// topic word (rare, discriminative).
+fn zipf_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg = Zipf::new(corpus.background.len(), 1.0);
+    let topic = Zipf::new(corpus.topics[0].len(), 0.8);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=3);
+            (0..k)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        let t = rng.gen_range(0..corpus.topics.len());
+                        corpus.topics[t][topic.sample(&mut rng)].clone()
+                    } else {
+                        corpus.background[bg.sample(&mut rng)].clone()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The engine-level ranking expression for a term list.
+fn rank_node(terms: &[String]) -> RankNode {
+    RankNode::List(
+        terms
+            .iter()
+            .map(|t| RankNode::term(TermSpec::fielded("body-of-text", t)))
+            .collect(),
+    )
+}
+
+/// The STARTS query for a term list, bounded to `K` documents.
+fn starts_query(terms: &[String]) -> Query {
+    Query {
+        ranking: Some(RankExpr::list_of(
+            terms
+                .iter()
+                .map(|t| QTerm::fielded(Field::BodyOfText, t.clone())),
+        )),
+        answer: AnswerSpec {
+            fields: vec![Field::Title],
+            max_documents: K,
+            ..AnswerSpec::default()
+        },
+        ..Query::default()
+    }
+}
+
+/// Hand-rolled JSON artifact (schema documented in
+/// `docs/performance.md`).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    corpus: &GeneratedCorpus,
+    n_queries: usize,
+    naive: &PathStats,
+    topk: &PathStats,
+    source: &PathStats,
+    federated: &PathStats,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"x14_hotpath\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
+         \"queries\": {n_queries},\n  \"corpus\": {{\"sources\": {}, \"docs\": {}}},\n  \
+         \"paths\": {{\n    \"engine_naive\": {},\n    \"engine_topk\": {},\n    \
+         \"source\": {},\n    \"federated\": {}\n  }},\n  \
+         \"engine_speedup\": {:.2}\n}}\n",
+        corpus.sources.len(),
+        corpus.total_docs(),
+        naive.json(),
+        topk.json(),
+        source.json(),
+        federated.json(),
+        topk.qps / naive.qps.max(1e-9),
+    )
+}

@@ -6,8 +6,6 @@
 //! executed query was — is what the STARTS source layer
 //! (`starts-source`) wraps and exports.
 
-use std::collections::HashMap;
-
 use starts_text::{Analyzer, AnalyzerConfig, Thesaurus};
 
 use crate::boolean::{difference, intersect, prox_match, union, BoolNode};
@@ -16,6 +14,7 @@ use crate::index::{Index, IndexBuilder, Posting};
 use crate::matchspec::{CmpOp, TermSpec};
 use crate::ranking::{RankingAlgorithm, TermDocStats};
 use crate::schema::{FieldId, ANY_FIELD};
+use crate::topk::{kway_union, TopK};
 
 /// A ranking-expression tree at the engine level. Leaves carry the
 /// query-assigned weight (§4.1.1: "Each term in a ranking expression may
@@ -249,15 +248,33 @@ impl Engine {
     ///   scoring 0 stay in the set — the filter decides membership);
     /// * neither → empty.
     pub fn search(&self, filter: Option<&BoolNode>, ranking: Option<&RankNode>) -> Vec<Hit> {
+        self.search_top_k(filter, ranking, None)
+    }
+
+    /// [`Engine::search`] with an optional result bound — the engine end
+    /// of the `MaxNumberDocuments` fast path. With `limit: Some(k)` the
+    /// engine selects the best `k` hits through a bounded heap instead
+    /// of materializing and sorting the full result; the returned hits
+    /// are exactly the first `k` the unbounded call would have produced.
+    pub fn search_top_k(
+        &self,
+        filter: Option<&BoolNode>,
+        ranking: Option<&RankNode>,
+        limit: Option<usize>,
+    ) -> Vec<Hit> {
         match (filter, ranking) {
             (None, None) => Vec::new(),
-            (Some(f), None) => self
-                .eval_filter(f)
-                .into_iter()
-                .map(|doc| Hit { doc, score: None })
-                .collect(),
+            (Some(f), None) => {
+                let mut docs = self.eval_filter(f);
+                if let Some(k) = limit {
+                    docs.truncate(k);
+                }
+                docs.into_iter()
+                    .map(|doc| Hit { doc, score: None })
+                    .collect()
+            }
             (None, Some(r)) => self
-                .eval_ranking(r)
+                .eval_ranking_top_k(r, limit)
                 .into_iter()
                 .map(|(doc, score)| Hit {
                     doc,
@@ -265,22 +282,34 @@ impl Engine {
                 })
                 .collect(),
             (Some(f), Some(r)) => {
+                // Score only the filter set: the filter decides
+                // membership, so there is no reason to evaluate the
+                // ranking expression over its own (often much larger)
+                // candidate set. Zero-scoring docs stay in.
                 let set = self.eval_filter(f);
-                let scores: HashMap<DocId, f64> = self.eval_ranking(r).into_iter().collect();
-                let mut hits: Vec<Hit> = set
+                let slots = self.score_set(r, &set);
+                let mut scores: Vec<(DocId, f64)> = set.into_iter().zip(slots).collect();
+                self.ranking.finalize(&mut scores);
+                let ranked = match limit {
+                    Some(k) => {
+                        let mut top = TopK::new(k);
+                        for (doc, score) in scores {
+                            top.push(doc, score);
+                        }
+                        top.into_sorted_vec()
+                    }
+                    None => {
+                        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                        scores
+                    }
+                };
+                ranked
                     .into_iter()
-                    .map(|doc| Hit {
+                    .map(|(doc, score)| Hit {
                         doc,
-                        score: Some(scores.get(&doc).copied().unwrap_or(0.0)),
+                        score: Some(score),
                     })
-                    .collect();
-                hits.sort_by(|a, b| {
-                    b.score
-                        .partial_cmp(&a.score)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.doc.cmp(&b.doc))
-                });
-                hits
+                    .collect()
             }
         }
     }
@@ -303,6 +332,67 @@ impl Engine {
 
     /// Evaluate a ranking expression: positive-scoring docs, best first.
     pub fn eval_ranking(&self, node: &RankNode) -> Vec<(DocId, f64)> {
+        self.eval_ranking_top_k(node, None)
+    }
+
+    /// Evaluate a ranking expression term-at-a-time, optionally bounded.
+    ///
+    /// Each leaf's vocabulary keys and posting lists are resolved exactly
+    /// once, the candidate set is built by one k-way merge over all
+    /// posting lists, and scores are combined per document through a
+    /// slot vector walked once per tree node. With `limit: Some(k)` the
+    /// best `k` documents are selected by a bounded heap; the result is
+    /// exactly the first `k` entries of the unbounded evaluation.
+    pub fn eval_ranking_top_k(&self, node: &RankNode, limit: Option<usize>) -> Vec<(DocId, f64)> {
+        let effective;
+        let node = if self.fuzzy_ranking_ops {
+            node
+        } else {
+            effective = node.flatten_to_list();
+            &effective
+        };
+        let mut leaves = Vec::new();
+        self.resolve_leaves(node, &mut leaves);
+        let candidates = candidate_docs(&leaves);
+        let mut cursor = 0;
+        let mut tf_scratch = Vec::new();
+        let slots = self.score_tree(node, &candidates, &leaves, &mut cursor, &mut tf_scratch);
+        match limit {
+            Some(k) => {
+                let mut top = TopK::new(k);
+                for (&doc, &score) in candidates.iter().zip(&slots) {
+                    if score > 0.0 {
+                        top.push(doc, score);
+                    }
+                }
+                let mut scores = top.into_sorted_vec();
+                // `finalize` rescales monotonically (the §3.2 vendor
+                // pins its top hit to 1000); the global maximum is
+                // always inside the top k, so finalizing the selected
+                // slice equals finalizing everything then truncating.
+                self.ranking.finalize(&mut scores);
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scores
+            }
+            None => {
+                let mut scores: Vec<(DocId, f64)> = candidates
+                    .into_iter()
+                    .zip(slots)
+                    .filter(|(_, s)| *s > 0.0)
+                    .collect();
+                self.ranking.finalize(&mut scores);
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scores
+            }
+        }
+    }
+
+    /// The pre-fast-path evaluator: per-document recursive tree walk over
+    /// a candidate set built by repeated two-way unions, followed by a
+    /// full sort. Kept as the reference implementation — the property
+    /// tests compare the fast path against it, and `x14_hotpath` uses it
+    /// as the baseline the top-k pipeline is measured against.
+    pub fn eval_ranking_naive(&self, node: &RankNode) -> Vec<(DocId, f64)> {
         let effective;
         let node = if self.fuzzy_ranking_ops {
             node
@@ -321,11 +411,7 @@ impl Engine {
             .filter(|(_, s)| *s > 0.0)
             .collect();
         self.ranking.finalize(&mut scores);
-        scores.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scores
     }
 
@@ -504,6 +590,212 @@ impl Engine {
         }
     }
 
+    /// Resolve every leaf of a ranking tree once: vocabulary keys to
+    /// posting-list slices (plus the comparison-matched doc set for
+    /// `cmp` leaves), in the same depth-first order [`RankNode::terms`]
+    /// visits them.
+    fn resolve_leaves<'a>(&'a self, node: &RankNode, out: &mut Vec<LeafCtx<'a>>) {
+        match node {
+            RankNode::Term { spec, weight } => {
+                let mut ctx = LeafCtx {
+                    weight: *weight,
+                    df: 0,
+                    postings: Vec::new(),
+                    cmp_docs: None,
+                };
+                if let Some(field) = self.resolve_field(spec) {
+                    for key in self.resolve_keys(field, spec) {
+                        if let Some(postings) = self.index.postings(field, &key) {
+                            ctx.df = ctx.df.max(postings.len() as u32);
+                            ctx.postings.push(postings);
+                        }
+                    }
+                }
+                // Comparison leaves match on stored field values; their
+                // candidate docs come from the comparison, while scoring
+                // still goes through the postings (as the tree walk did).
+                if spec.cmp.is_some() {
+                    ctx.cmp_docs = Some(self.eval_term(spec));
+                }
+                out.push(ctx);
+            }
+            RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => {
+                for n in c {
+                    self.resolve_leaves(n, out);
+                }
+            }
+            RankNode::AndNot(a, b) => {
+                self.resolve_leaves(a, out);
+                self.resolve_leaves(b, out);
+            }
+            RankNode::Prox { left, right, .. } => {
+                self.resolve_leaves(left, out);
+                self.resolve_leaves(right, out);
+            }
+        }
+    }
+
+    /// Term-at-a-time scores of one leaf over the sorted candidate
+    /// list: accumulate term frequencies by merge-joining each posting
+    /// list against the candidates (reusing `tf_scratch` across leaves),
+    /// then weight each nonzero slot.
+    fn leaf_slots(
+        &self,
+        leaf: &LeafCtx<'_>,
+        candidates: &[DocId],
+        tf_scratch: &mut Vec<u32>,
+    ) -> Vec<f64> {
+        tf_scratch.clear();
+        tf_scratch.resize(candidates.len(), 0);
+        for postings in &leaf.postings {
+            let mut ci = 0;
+            for p in postings.iter() {
+                while ci < candidates.len() && candidates[ci] < p.doc {
+                    ci += 1;
+                }
+                if ci == candidates.len() {
+                    break;
+                }
+                if candidates[ci] == p.doc {
+                    tf_scratch[ci] += p.tf();
+                }
+            }
+        }
+        candidates
+            .iter()
+            .zip(tf_scratch.iter())
+            .map(|(&doc, &tf)| {
+                if tf == 0 {
+                    0.0
+                } else {
+                    leaf.weight * self.ranking.term_weight(&self.stats_for(doc, tf, leaf.df))
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluate a ranking tree over the whole candidate list at once,
+    /// one slot per candidate, consuming resolved leaves in tree order.
+    /// Per-slot arithmetic mirrors the per-document walk exactly, so the
+    /// two evaluators agree bit-for-bit.
+    fn score_tree(
+        &self,
+        node: &RankNode,
+        candidates: &[DocId],
+        leaves: &[LeafCtx<'_>],
+        cursor: &mut usize,
+        tf_scratch: &mut Vec<u32>,
+    ) -> Vec<f64> {
+        match node {
+            RankNode::Term { .. } => {
+                let leaf = &leaves[*cursor];
+                *cursor += 1;
+                self.leaf_slots(leaf, candidates, tf_scratch)
+            }
+            RankNode::List(children) => {
+                let mut num = vec![0.0; candidates.len()];
+                let mut den = 0.0;
+                for c in children {
+                    let child = self.score_tree(c, candidates, leaves, cursor, tf_scratch);
+                    for (n, s) in num.iter_mut().zip(child) {
+                        *n += s;
+                    }
+                    den += leaf_weight(c);
+                }
+                if den > 0.0 {
+                    for n in num.iter_mut() {
+                        *n /= den;
+                    }
+                    num
+                } else {
+                    vec![0.0; candidates.len()]
+                }
+            }
+            RankNode::And(children) => {
+                if children.is_empty() {
+                    return vec![0.0; candidates.len()];
+                }
+                let mut acc = vec![f64::INFINITY; candidates.len()];
+                for c in children {
+                    let child = self.score_tree(c, candidates, leaves, cursor, tf_scratch);
+                    for (a, s) in acc.iter_mut().zip(child) {
+                        *a = f64::min(*a, s);
+                    }
+                }
+                for a in acc.iter_mut() {
+                    *a = f64::max(*a, 0.0);
+                }
+                acc
+            }
+            RankNode::Or(children) => {
+                let mut acc = vec![0.0_f64; candidates.len()];
+                for c in children {
+                    let child = self.score_tree(c, candidates, leaves, cursor, tf_scratch);
+                    for (a, s) in acc.iter_mut().zip(child) {
+                        *a = f64::max(*a, s);
+                    }
+                }
+                acc
+            }
+            RankNode::AndNot(a, b) => {
+                let mut pos = self.score_tree(a, candidates, leaves, cursor, tf_scratch);
+                let neg = self.score_tree(b, candidates, leaves, cursor, tf_scratch);
+                for (p, n) in pos.iter_mut().zip(neg) {
+                    *p *= 1.0 - n.clamp(0.0, 1.0);
+                }
+                pos
+            }
+            RankNode::Prox {
+                left,
+                right,
+                distance,
+                ordered,
+            } => {
+                let l = self.score_tree(left, candidates, leaves, cursor, tf_scratch);
+                let r = self.score_tree(right, candidates, leaves, cursor, tf_scratch);
+                // Positional check only when both sides are term leaves —
+                // and then computed once for the whole query, not per doc.
+                let prox_docs = match (left.as_ref(), right.as_ref()) {
+                    (RankNode::Term { spec: ls, .. }, RankNode::Term { spec: rs, .. }) => {
+                        Some(self.eval_prox(ls, rs, *distance, *ordered))
+                    }
+                    _ => None,
+                };
+                candidates
+                    .iter()
+                    .zip(l.into_iter().zip(r))
+                    .map(|(doc, (ls, rs))| {
+                        let base = ls.min(rs);
+                        if base <= 0.0 {
+                            return 0.0;
+                        }
+                        match &prox_docs {
+                            Some(set) if set.binary_search(doc).is_err() => 0.0,
+                            _ => base,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Score a ranking expression over an externally-chosen, sorted doc
+    /// set (the filter set of a combined query) — zero-score docs stay.
+    fn score_set(&self, node: &RankNode, docs: &[DocId]) -> Vec<f64> {
+        let effective;
+        let node = if self.fuzzy_ranking_ops {
+            node
+        } else {
+            effective = node.flatten_to_list();
+            &effective
+        };
+        let mut leaves = Vec::new();
+        self.resolve_leaves(node, &mut leaves);
+        let mut cursor = 0;
+        let mut tf_scratch = Vec::new();
+        self.score_tree(node, docs, &leaves, &mut cursor, &mut tf_scratch)
+    }
+
     /// Fuzzy evaluation of a ranking node for one document.
     fn score_node(&self, node: &RankNode, doc: DocId) -> f64 {
         match node {
@@ -587,6 +879,52 @@ impl Engine {
     }
 }
 
+/// Per-leaf query-time state, resolved exactly once per query: the
+/// query weight, the collection document frequency, the posting-list
+/// slice of every matched vocabulary key, and (for comparison leaves)
+/// the comparison-matched doc set.
+struct LeafCtx<'a> {
+    weight: f64,
+    df: u32,
+    postings: Vec<&'a [Posting]>,
+    cmp_docs: Option<Vec<DocId>>,
+}
+
+/// One sorted doc-id stream feeding the candidate merge: either a
+/// posting-list slice or an owned doc set (comparison leaves).
+enum DocStream<'a> {
+    Postings(std::slice::Iter<'a, Posting>),
+    Ids(std::slice::Iter<'a, DocId>),
+}
+
+impl Iterator for DocStream<'_> {
+    type Item = DocId;
+
+    fn next(&mut self) -> Option<DocId> {
+        match self {
+            DocStream::Postings(it) => it.next().map(|p| p.doc),
+            DocStream::Ids(it) => it.next().copied(),
+        }
+    }
+}
+
+/// The candidate set of a ranking expression — any doc matching any
+/// leaf — built by a single k-way merge over all posting lists.
+fn candidate_docs(leaves: &[LeafCtx<'_>]) -> Vec<DocId> {
+    let mut streams = Vec::new();
+    for leaf in leaves {
+        match &leaf.cmp_docs {
+            Some(ids) => streams.push(DocStream::Ids(ids.iter())),
+            None => {
+                for postings in &leaf.postings {
+                    streams.push(DocStream::Postings(postings.iter()));
+                }
+            }
+        }
+    }
+    kway_union(streams)
+}
+
 fn leaf_weight(node: &RankNode) -> f64 {
     match node {
         RankNode::Term { weight, .. } => *weight,
@@ -628,6 +966,7 @@ mod tests {
     use super::*;
     use crate::matchspec::TermMatch;
     use starts_text::StopWordList;
+    use std::collections::HashMap;
 
     fn corpus() -> Vec<Document> {
         vec![
@@ -944,6 +1283,71 @@ mod tests {
         let left = BoolNode::Term(TermSpec::any("bases").with(TermMatch::LeftTrunc));
         let docs = e.eval_filter(&left);
         assert!(docs.contains(&DocId(0)));
+    }
+
+    #[test]
+    fn fast_path_agrees_with_naive_walk() {
+        let e = engine();
+        let exprs = vec![
+            RankNode::List(vec![
+                RankNode::weighted(TermSpec::any("distributed"), 0.7),
+                RankNode::weighted(TermSpec::any("databases"), 0.3),
+            ]),
+            RankNode::And(vec![
+                RankNode::term(TermSpec::any("distributed")),
+                RankNode::term(TermSpec::any("systems")),
+            ]),
+            RankNode::Or(vec![
+                RankNode::term(TermSpec::any("scheduling")),
+                RankNode::term(TermSpec::any("databases")),
+            ]),
+            RankNode::AndNot(
+                Box::new(RankNode::term(TermSpec::any("systems"))),
+                Box::new(RankNode::term(TermSpec::any("paging"))),
+            ),
+            RankNode::Prox {
+                left: Box::new(RankNode::term(TermSpec::any("distributed"))),
+                right: Box::new(RankNode::term(TermSpec::any("databases"))),
+                distance: 0,
+                ordered: true,
+            },
+        ];
+        for expr in &exprs {
+            let naive = e.eval_ranking_naive(expr);
+            assert_eq!(e.eval_ranking(expr), naive, "{expr:?}");
+            for k in 0..=naive.len() + 1 {
+                let bounded = e.eval_ranking_top_k(expr, Some(k));
+                assert_eq!(bounded, naive[..k.min(naive.len())], "{expr:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_top_k_truncates_every_mode() {
+        let e = engine();
+        let f = BoolNode::Term(TermSpec::any("systems"));
+        let r = RankNode::term(TermSpec::any("databases"));
+        for (filter, ranking) in [(Some(&f), None), (None, Some(&r)), (Some(&f), Some(&r))] {
+            let full = e.search(filter, ranking);
+            for k in 0..=full.len() + 1 {
+                let bounded = e.search_top_k(filter, ranking, Some(k));
+                assert_eq!(bounded, full[..k.min(full.len())], "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_leaves_keep_their_candidates_on_the_fast_path() {
+        let e = engine();
+        // A comparison leaf inside a ranking expression: candidates come
+        // from the stored-value comparison, not the inverted index.
+        let expr = RankNode::List(vec![
+            RankNode::term(TermSpec::any("databases")),
+            RankNode::term(
+                TermSpec::fielded("date-last-modified", "1996-01-01").with_cmp(CmpOp::Gt),
+            ),
+        ]);
+        assert_eq!(e.eval_ranking(&expr), e.eval_ranking_naive(&expr));
     }
 
     #[test]

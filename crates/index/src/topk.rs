@@ -1,0 +1,204 @@
+//! Bounded top-k selection and k-way doc-id merging — the building
+//! blocks of the query fast path.
+//!
+//! `AnswerSpec.max_documents` caps every STARTS result list, yet the
+//! naive evaluator scored and fully sorted every candidate before
+//! truncating. This module provides the two primitives that let the
+//! engine do only `O(n log k)` work instead:
+//!
+//! * [`TopK`] — a bounded min-heap that keeps the best `k`
+//!   `(doc, score)` pairs under the engine's result order (score
+//!   descending via [`f64::total_cmp`], doc id ascending on ties);
+//! * `kway_union` (crate-private) — a single heap-driven merge of many sorted doc-id
+//!   streams into one sorted, deduplicated candidate list, replacing
+//!   the quadratic repeated two-way `union`.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::doc::DocId;
+
+/// A scored document inside the selector. Ordered so that "greater"
+/// means "better placed in the result list": higher score first, lower
+/// doc id on ties. `f64::total_cmp` makes the order total (NaN cannot
+/// poison it).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    score: f64,
+    doc: DocId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.doc.cmp(&self.doc))
+    }
+}
+
+/// A bounded top-k selector: push any number of `(doc, score)` pairs,
+/// keep only the best `k` under (score descending, doc id ascending).
+///
+/// ```
+/// use starts_index::topk::TopK;
+/// use starts_index::DocId;
+///
+/// let mut top = TopK::new(2);
+/// for (doc, score) in [(0, 0.1), (1, 0.9), (2, 0.5), (3, 0.9)] {
+///     top.push(DocId(doc), score);
+/// }
+/// // Best two, ties broken by doc id.
+/// assert_eq!(top.into_sorted_vec(), vec![(DocId(1), 0.9), (DocId(3), 0.9)]);
+/// ```
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl TopK {
+    /// An empty selector keeping at most `k` entries.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer one scored document.
+    pub fn push(&mut self, doc: DocId, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = Entry { score, doc };
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(entry));
+        } else if let Some(worst) = self.heap.peek() {
+            if entry > worst.0 {
+                self.heap.pop();
+                self.heap.push(Reverse(entry));
+            }
+        }
+    }
+
+    /// The kept entries, best first — exactly the first `min(k, n)`
+    /// elements a full sort of all pushed pairs would have produced.
+    pub fn into_sorted_vec(self) -> Vec<(DocId, f64)> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|Reverse(e)| (e.doc, e.score))
+            .collect()
+    }
+}
+
+/// Merge any number of sorted (ascending) doc-id streams into one
+/// sorted, deduplicated vector — the candidate set of a ranking
+/// expression, built in one pass over all posting lists.
+pub(crate) fn kway_union<I>(streams: Vec<I>) -> Vec<DocId>
+where
+    I: Iterator<Item = DocId>,
+{
+    let mut streams = streams;
+    if streams.len() == 1 {
+        let mut out: Vec<DocId> = streams.pop().expect("one stream").collect();
+        out.dedup();
+        return out;
+    }
+    let mut heap: BinaryHeap<Reverse<(DocId, usize)>> = BinaryHeap::with_capacity(streams.len());
+    for (i, s) in streams.iter_mut().enumerate() {
+        if let Some(doc) = s.next() {
+            heap.push(Reverse((doc, i)));
+        }
+    }
+    let mut out: Vec<DocId> = Vec::new();
+    while let Some(Reverse((doc, i))) = heap.pop() {
+        if out.last() != Some(&doc) {
+            out.push(doc);
+        }
+        if let Some(next) = streams[i].next() {
+            heap.push(Reverse((next, i)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_sort(pairs: &[(u32, f64)], k: usize) -> Vec<(DocId, f64)> {
+        let mut v: Vec<(DocId, f64)> = pairs.iter().map(|&(d, s)| (DocId(d), s)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let pairs = [
+            (4, 0.5),
+            (1, 0.9),
+            (7, 0.5),
+            (0, 0.1),
+            (3, 0.9),
+            (9, 0.0),
+            (2, 0.5),
+        ];
+        for k in 0..=pairs.len() + 1 {
+            let mut top = TopK::new(k);
+            for &(d, s) in &pairs {
+                top.push(DocId(d), s);
+            }
+            assert_eq!(top.into_sorted_vec(), full_sort(&pairs, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_is_total_on_nan() {
+        let mut top = TopK::new(2);
+        top.push(DocId(0), f64::NAN);
+        top.push(DocId(1), 1.0);
+        top.push(DocId(2), 2.0);
+        // total_cmp sorts positive NaN above every number.
+        let kept = top.into_sorted_vec();
+        assert_eq!(kept[0].0, DocId(0));
+        assert_eq!(kept[1].0, DocId(2));
+    }
+
+    #[test]
+    fn kway_union_merges_and_dedups() {
+        let a = vec![DocId(0), DocId(2), DocId(4)];
+        let b = vec![DocId(1), DocId(2), DocId(5)];
+        let c = vec![DocId(2), DocId(4)];
+        let merged = kway_union(vec![a.into_iter(), b.into_iter(), c.into_iter()]);
+        assert_eq!(
+            merged,
+            vec![DocId(0), DocId(1), DocId(2), DocId(4), DocId(5)]
+        );
+    }
+
+    #[test]
+    fn kway_union_edge_cases() {
+        assert!(kway_union(Vec::<std::vec::IntoIter<DocId>>::new()).is_empty());
+        let single = vec![DocId(3), DocId(3), DocId(7)];
+        assert_eq!(
+            kway_union(vec![single.into_iter()]),
+            vec![DocId(3), DocId(7)]
+        );
+    }
+}

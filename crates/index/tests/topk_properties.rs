@@ -1,0 +1,130 @@
+//! Property-based tests for the top-k fast path: for random corpora,
+//! random ranking expressions (all fuzzy operators, weighted leaves)
+//! and every ranking algorithm, the bounded heap pipeline must return
+//! exactly the first `k` results of the naive full-sort evaluator —
+//! including doc-id tie-breaks.
+
+use proptest::prelude::*;
+use starts_index::{BoolNode, Document, Engine, EngineConfig, RankNode, TermSpec};
+
+/// A tiny closed vocabulary so queries actually hit documents — and
+/// small enough that identical scores (hence tie-breaks) are common.
+const VOCAB: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+];
+
+fn arb_doc() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..VOCAB.len(), 1..25)
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
+    proptest::collection::vec(arb_doc(), 1..20).prop_map(|docs| {
+        docs.into_iter()
+            .map(|words| {
+                let body: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                Document::new().field("body-of-text", body.join(" "))
+            })
+            .collect()
+    })
+}
+
+/// A weighted term leaf (weights quantized so equal weights — and so
+/// score ties — actually occur).
+fn arb_leaf() -> impl Strategy<Value = RankNode> {
+    (0..VOCAB.len(), 1u32..=4)
+        .prop_map(|(w, q)| RankNode::weighted(TermSpec::any(VOCAB[w]), f64::from(q) * 0.25))
+}
+
+/// A ranking expression using every operator the engine scores.
+fn arb_rank_expr() -> impl Strategy<Value = RankNode> {
+    arb_leaf().prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::List),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::Or),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RankNode::AndNot(Box::new(a), Box::new(b))),
+            (inner.clone(), inner, 0u32..6, any::<bool>()).prop_map(|(l, r, distance, ordered)| {
+                RankNode::Prox {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    distance,
+                    ordered,
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_ranking_id() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("Acme-1"),
+        Just("Vendor-K"),
+        Just("Okapi-1"),
+        Just("Plain-1"),
+    ]
+}
+
+fn engine_of(docs: &[Document], ranking_id: &str, fuzzy: bool) -> Engine {
+    Engine::build(
+        docs,
+        EngineConfig {
+            ranking_id: ranking_id.to_string(),
+            fuzzy_ranking_ops: fuzzy,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+proptest! {
+    /// The term-at-a-time evaluator ≡ the naive per-document walk, for
+    /// every operator shape, algorithm and both operator semantics.
+    #[test]
+    fn fast_path_equals_naive_walk(
+        docs in arb_corpus(),
+        expr in arb_rank_expr(),
+        ranking_id in arb_ranking_id(),
+        fuzzy in any::<bool>(),
+    ) {
+        let engine = engine_of(&docs, ranking_id, fuzzy);
+        prop_assert_eq!(engine.eval_ranking(&expr), engine.eval_ranking_naive(&expr));
+    }
+
+    /// Bounded selection ≡ the first `k` of the full sort — including
+    /// doc-id order inside equal-score runs.
+    #[test]
+    fn top_k_is_a_prefix_of_the_full_sort(
+        docs in arb_corpus(),
+        expr in arb_rank_expr(),
+        ranking_id in arb_ranking_id(),
+        k in 0usize..25,
+    ) {
+        let engine = engine_of(&docs, ranking_id, true);
+        let full = engine.eval_ranking_naive(&expr);
+        let bounded = engine.eval_ranking_top_k(&expr, Some(k));
+        prop_assert_eq!(&bounded[..], &full[..k.min(full.len())]);
+    }
+
+    /// The filter+ranking fast path truncates exactly like the
+    /// unbounded search, for every mode of `search_top_k`.
+    #[test]
+    fn search_top_k_truncates_search(
+        docs in arb_corpus(),
+        filter_term in 0..VOCAB.len(),
+        expr in arb_rank_expr(),
+        ranking_id in arb_ranking_id(),
+        k in 0usize..25,
+    ) {
+        let engine = engine_of(&docs, ranking_id, true);
+        let filter = BoolNode::Term(TermSpec::any(VOCAB[filter_term]));
+        for (f, r) in [
+            (Some(&filter), Some(&expr)),
+            (Some(&filter), None),
+            (None, Some(&expr)),
+        ] {
+            let full = engine.search(f, r);
+            let bounded = engine.search_top_k(f, r, Some(k));
+            prop_assert_eq!(&bounded[..], &full[..k.min(full.len())]);
+        }
+    }
+}

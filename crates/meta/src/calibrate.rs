@@ -245,6 +245,7 @@ mod tests {
         grand_cfg.engine.ranking_id = "Vendor-K".to_string();
         let entry = |cfg: &SourceConfig| CatalogEntry {
             id: cfg.id.clone(),
+            metadata_url: String::new(),
             metadata: SourceMetadata {
                 source_id: cfg.id.clone(),
                 ..SourceMetadata::default()

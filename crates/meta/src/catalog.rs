@@ -10,11 +10,16 @@ use starts_net::{LinkProfile, StartsClient};
 use starts_proto::summary::ContentSummary;
 use starts_proto::{Query, QueryResults, SourceMetadata};
 
+use crate::cache::CatalogCache;
+
 /// Everything known about one source.
 #[derive(Debug, Clone)]
 pub struct CatalogEntry {
     /// The source id.
     pub id: String,
+    /// The metadata URL this entry was discovered from — what a
+    /// periodic [`Catalog::refresh`] refetches.
+    pub metadata_url: String,
     /// Its exported metadata (§4.3.1).
     pub metadata: SourceMetadata,
     /// Its exported content summary (§4.3.2).
@@ -66,14 +71,39 @@ impl Catalog {
         link: LinkProfile,
         fetch_samples: bool,
     ) -> Result<usize, starts_net::client::ClientError> {
+        self.discover_resource_via(client, None, resource_url, link, fetch_samples)
+    }
+
+    /// [`Catalog::discover_resource`], but with every metadata and
+    /// summary fetch routed through a [`CatalogCache`] — repeated
+    /// discovery within the cache's TTL touches the wire only for the
+    /// resource listing itself.
+    pub fn discover_resource_cached(
+        &mut self,
+        client: &StartsClient<'_>,
+        cache: &CatalogCache,
+        resource_url: &str,
+        link: LinkProfile,
+        fetch_samples: bool,
+    ) -> Result<usize, starts_net::client::ClientError> {
+        self.discover_resource_via(client, Some(cache), resource_url, link, fetch_samples)
+    }
+
+    fn discover_resource_via(
+        &mut self,
+        client: &StartsClient<'_>,
+        cache: Option<&CatalogCache>,
+        resource_url: &str,
+        link: LinkProfile,
+        fetch_samples: bool,
+    ) -> Result<usize, starts_net::client::ClientError> {
         let resource = client.fetch_resource(resource_url)?;
         let mut added = 0;
         for (id, metadata_url) in &resource.sources {
             if self.entry(id).is_some() {
                 continue;
             }
-            let metadata = client.fetch_metadata(metadata_url)?;
-            let summary = client.fetch_summary(&metadata.content_summary_linkage)?;
+            let (metadata, summary) = fetch_pair(client, cache, metadata_url)?;
             let sample_results = if fetch_samples {
                 client.fetch_sample_results(&metadata.sample_database_results)?
             } else {
@@ -81,6 +111,7 @@ impl Catalog {
             };
             self.entries.push(CatalogEntry {
                 id: id.clone(),
+                metadata_url: metadata_url.clone(),
                 metadata,
                 summary,
                 sample_results,
@@ -99,11 +130,34 @@ impl Catalog {
         link: LinkProfile,
         fetch_samples: bool,
     ) -> Result<(), starts_net::client::ClientError> {
-        let metadata = client.fetch_metadata(metadata_url)?;
+        self.discover_source_via(client, None, metadata_url, link, fetch_samples)
+    }
+
+    /// [`Catalog::discover_source`], but routed through a
+    /// [`CatalogCache`].
+    pub fn discover_source_cached(
+        &mut self,
+        client: &StartsClient<'_>,
+        cache: &CatalogCache,
+        metadata_url: &str,
+        link: LinkProfile,
+        fetch_samples: bool,
+    ) -> Result<(), starts_net::client::ClientError> {
+        self.discover_source_via(client, Some(cache), metadata_url, link, fetch_samples)
+    }
+
+    fn discover_source_via(
+        &mut self,
+        client: &StartsClient<'_>,
+        cache: Option<&CatalogCache>,
+        metadata_url: &str,
+        link: LinkProfile,
+        fetch_samples: bool,
+    ) -> Result<(), starts_net::client::ClientError> {
+        let (metadata, summary) = fetch_pair(client, cache, metadata_url)?;
         if self.entry(&metadata.source_id).is_some() {
             return Ok(());
         }
-        let summary = client.fetch_summary(&metadata.content_summary_linkage)?;
         let sample_results = if fetch_samples {
             client.fetch_sample_results(&metadata.sample_database_results)?
         } else {
@@ -111,12 +165,31 @@ impl Catalog {
         };
         self.entries.push(CatalogEntry {
             id: metadata.source_id.clone(),
+            metadata_url: metadata_url.to_string(),
             metadata,
             summary,
             sample_results,
             link,
         });
         Ok(())
+    }
+
+    /// The periodic §3.4 refresh: refetch every entry's metadata and
+    /// content summary through the cache. Within one TTL window this is
+    /// free (all hits); after [`CatalogCache::invalidate`] or TTL
+    /// expiry it touches the wire once per source. Returns how many
+    /// entries were walked.
+    pub fn refresh(
+        &mut self,
+        client: &StartsClient<'_>,
+        cache: &CatalogCache,
+    ) -> Result<usize, starts_net::client::ClientError> {
+        for entry in &mut self.entries {
+            let (metadata, summary) = fetch_pair(client, Some(cache), &entry.metadata_url)?;
+            entry.metadata = metadata;
+            entry.summary = summary;
+        }
+        Ok(self.entries.len())
     }
 
     /// Total documents across all catalogued sources (from summaries).
@@ -135,6 +208,26 @@ impl Catalog {
             .iter()
             .map(|e| u64::from(e.summary.df(field, term)))
             .sum()
+    }
+}
+
+/// One source's (metadata, summary) pair, through the cache if given.
+fn fetch_pair(
+    client: &StartsClient<'_>,
+    cache: Option<&CatalogCache>,
+    metadata_url: &str,
+) -> Result<(SourceMetadata, ContentSummary), starts_net::client::ClientError> {
+    match cache {
+        Some(cache) => {
+            let metadata = cache.fetch_metadata(client, metadata_url)?;
+            let summary = cache.fetch_summary(client, &metadata.content_summary_linkage)?;
+            Ok((metadata, summary))
+        }
+        None => {
+            let metadata = client.fetch_metadata(metadata_url)?;
+            let summary = client.fetch_summary(&metadata.content_summary_linkage)?;
+            Ok((metadata, summary))
+        }
     }
 }
 
@@ -215,6 +308,61 @@ mod tests {
             .unwrap();
         assert_eq!(added, 0);
         assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn cached_discovery_and_refresh_hit_the_wire_once() {
+        let net = net_with_everything();
+        let client = StartsClient::new(&net);
+        let cache = CatalogCache::new(std::time::Duration::from_secs(60));
+        let mut catalog = Catalog::default();
+        catalog
+            .discover_resource_cached(
+                &client,
+                &cache,
+                "starts://dialog",
+                LinkProfile::default(),
+                false,
+            )
+            .unwrap();
+        catalog
+            .discover_source_cached(
+                &client,
+                &cache,
+                "starts://solo/metadata",
+                LinkProfile::default(),
+                false,
+            )
+            .unwrap();
+        assert_eq!(catalog.len(), 3);
+        // The refresh walks all three entries but every fetch is a hit.
+        let walked = catalog.refresh(&client, &cache).unwrap();
+        assert_eq!(walked, 3);
+        let snap = net.registry().snapshot();
+        assert_eq!(
+            snap.counter("catalog.cache.misses", &[("kind", "metadata")]),
+            3
+        );
+        assert_eq!(
+            snap.counter("catalog.cache.hits", &[("kind", "metadata")]),
+            3
+        );
+        assert_eq!(
+            snap.counter("catalog.cache.misses", &[("kind", "summary")]),
+            3
+        );
+        assert_eq!(
+            snap.counter("catalog.cache.hits", &[("kind", "summary")]),
+            3
+        );
+        // After invalidation the refresh pays the wire cost again.
+        cache.invalidate();
+        catalog.refresh(&client, &cache).unwrap();
+        let snap = net.registry().snapshot();
+        assert_eq!(
+            snap.counter("catalog.cache.misses", &[("kind", "metadata")]),
+            6
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!
 //! * [`catalog`] — periodic discovery: resource listings, source
 //!   metadata, content summaries, sample-database results (§3.4);
+//! * [`cache`] — a TTL'd cache over those fetches, so "periodically"
+//!   means one wire round-trip per source per refresh window;
 //! * [`select`] — source selection from content summaries: bGlOSS and
 //!   gGlOSS (the paper's refs \[7, 8\]), CORI (ref \[5\]), plus naive and
 //!   cost-aware strategies (§3.3);
@@ -30,6 +32,7 @@
 //!   network, with parallel fan-out and latency/cost accounting.
 
 pub mod adapt;
+pub mod cache;
 pub mod calibrate;
 pub mod catalog;
 pub mod eval;
@@ -38,7 +41,8 @@ pub mod metasearcher;
 pub mod savvy;
 pub mod select;
 
+pub use cache::CatalogCache;
 pub use catalog::{Catalog, CatalogEntry};
-pub use merge::{MergedDoc, Merger, SourceResult};
+pub use merge::{MergeStats, MergedDoc, Merger, SourceResult};
 pub use metasearcher::{MetaConfig, MetaResponse, Metasearcher, QueryStats};
 pub use select::Selector;

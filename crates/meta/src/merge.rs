@@ -18,7 +18,7 @@
 //! | [`TfIdfMerge`] | TermStats + summary global df | §4.2's "as if they all belonged in a single, large document source" |
 //! | [`WeightedMerge`] | normalized score × source belief | CORI-style weighted merging (ref \[5\]) |
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use starts_proto::{Field, QueryResults, ResultDocument, SourceMetadata};
 
@@ -71,6 +71,52 @@ pub trait Merger: Send + Sync {
     /// Merge per-source results into a single rank, best first,
     /// deduplicated by linkage.
     fn merge(&self, inputs: &[SourceResult]) -> Vec<MergedDoc>;
+
+    /// Merge keeping only the best `k` documents, plus the dedup
+    /// accounting a bounded merge would otherwise lose. The result is
+    /// exactly `self.merge(inputs)` truncated to `k`.
+    ///
+    /// The default runs the full merge; strategies whose per-source
+    /// transform preserves each source's rank order ([`RawScoreMerge`],
+    /// [`NormalizedMerge`]) override it with a bounded k-way heap merge
+    /// over the already-sorted per-source lists.
+    fn merge_top_k(&self, inputs: &[SourceResult], k: usize) -> (Vec<MergedDoc>, MergeStats) {
+        full_merge_top_k(self, inputs, k)
+    }
+}
+
+/// Accounting from a merge: how many per-source result documents went
+/// in and how many distinct linkages they collapsed to. The difference
+/// is the cross-source duplicate count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Per-source result documents fed into the merge.
+    pub candidates: usize,
+    /// Distinct linkages among them (documents without a linkage are
+    /// unidentifiable across sources and drop out).
+    pub distinct: usize,
+}
+
+impl MergeStats {
+    /// Candidates that collapsed into an already-seen linkage.
+    pub fn duplicates(&self) -> usize {
+        self.candidates.saturating_sub(self.distinct)
+    }
+}
+
+/// The fallback `merge_top_k`: full merge, then truncate.
+fn full_merge_top_k(
+    merger: &(impl Merger + ?Sized),
+    inputs: &[SourceResult],
+    k: usize,
+) -> (Vec<MergedDoc>, MergeStats) {
+    let mut merged = merger.merge(inputs);
+    let stats = MergeStats {
+        candidates: inputs.iter().map(|i| i.results.documents.len()).sum(),
+        distinct: merged.len(),
+    };
+    merged.truncate(k);
+    (merged, stats)
 }
 
 fn doc_title(d: &ResultDocument) -> Option<String> {
@@ -102,13 +148,128 @@ fn collect(scored: Vec<(f64, &ResultDocument, &str)>) -> Vec<MergedDoc> {
         }
     }
     let mut out: Vec<MergedDoc> = by_url.into_values().collect();
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.linkage.cmp(&b.linkage))
-    });
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.linkage.cmp(&b.linkage)));
     out
+}
+
+/// Bounded k-way merge over per-source scored lists, equivalent to
+/// [`collect`] + sort + truncate but doing only `O(n log s)` heap work
+/// for the selection.
+///
+/// Requires every input list to be non-increasing in its (transformed)
+/// score — true whenever the per-source transform is monotone and the
+/// source returned ranked results. Returns `None` when any input
+/// violates that, so the caller can fall back to the full merge.
+///
+/// Exactness over the heap sketch needs two refinements. Equal-score
+/// runs are drained completely and emitted in linkage order, because the
+/// full sort breaks score ties by linkage ascending — a plain heap pop
+/// would interleave them arbitrarily. And after the top `k` linkages are
+/// fixed, one linear pass over all inputs (in input order) rebuilds each
+/// winner's source list and title exactly as the unbounded merge
+/// accumulates them, and counts distinct linkages for the stats.
+fn bounded_merge<'a>(
+    inputs: &'a [SourceResult],
+    scored: &[Vec<(f64, &'a ResultDocument)>],
+    k: usize,
+) -> Option<(Vec<MergedDoc>, MergeStats)> {
+    for list in scored {
+        if list
+            .windows(2)
+            .any(|w| w[0].0.total_cmp(&w[1].0) == std::cmp::Ordering::Less)
+        {
+            return None;
+        }
+    }
+    // Max-heap of (score, input index): pop order visits every
+    // occurrence in score-descending order, so the first occurrence of a
+    // linkage carries its final (maximum) score.
+    struct Head(f64, usize);
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+    let mut cursors = vec![0usize; scored.len()];
+    let mut heap: BinaryHeap<Head> = BinaryHeap::with_capacity(scored.len());
+    for (i, list) in scored.iter().enumerate() {
+        if let Some(&(s, _)) = list.first() {
+            heap.push(Head(s, i));
+        }
+    }
+    let mut emitted: HashMap<&str, usize> = HashMap::new();
+    let mut out: Vec<MergedDoc> = Vec::with_capacity(k.min(64));
+    let mut tie_batch: Vec<&str> = Vec::new();
+    while out.len() < k && !heap.is_empty() {
+        let tie_score = heap.peek().expect("nonempty").0;
+        tie_batch.clear();
+        // Drain the whole equal-score run across all inputs.
+        while let Some(Head(s, _)) = heap.peek() {
+            if s.total_cmp(&tie_score) != std::cmp::Ordering::Equal {
+                break;
+            }
+            let Head(_, i) = heap.pop().expect("peeked");
+            let (_, doc) = scored[i][cursors[i]];
+            cursors[i] += 1;
+            if let Some(&(next, _)) = scored[i].get(cursors[i]) {
+                heap.push(Head(next, i));
+            }
+            if let Some(url) = doc.linkage() {
+                if !emitted.contains_key(url) && !tie_batch.contains(&url) {
+                    tie_batch.push(url);
+                }
+            }
+        }
+        tie_batch.sort_unstable();
+        for url in tie_batch.drain(..) {
+            if out.len() == k {
+                break;
+            }
+            emitted.insert(url, out.len());
+            out.push(MergedDoc {
+                linkage: url.to_string(),
+                title: None,
+                score: tie_score,
+                sources: Vec::new(),
+            });
+        }
+    }
+    // Rebuild pass: sources, titles and dedup accounting accumulate in
+    // input order, exactly as the unbounded `collect` does.
+    let mut distinct: HashSet<&str> = HashSet::new();
+    let mut candidates = 0usize;
+    for input in inputs {
+        let sid = source_id(input);
+        for d in &input.results.documents {
+            candidates += 1;
+            let Some(url) = d.linkage() else { continue };
+            distinct.insert(url);
+            if let Some(&i) = emitted.get(url) {
+                if !out[i].sources.iter().any(|s| s == sid) {
+                    out[i].sources.push(sid.to_string());
+                }
+                if out[i].title.is_none() {
+                    out[i].title = doc_title(d);
+                }
+            }
+        }
+    }
+    let stats = MergeStats {
+        candidates,
+        distinct: distinct.len(),
+    };
+    Some((out, stats))
 }
 
 fn source_id(input: &SourceResult) -> &str {
@@ -121,6 +282,15 @@ fn source_id(input: &SourceResult) -> &str {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RawScoreMerge;
 
+fn raw_scored(input: &SourceResult) -> Vec<(f64, &ResultDocument)> {
+    input
+        .results
+        .documents
+        .iter()
+        .map(|d| (d.raw_score.unwrap_or(0.0), d))
+        .collect()
+}
+
 impl Merger for RawScoreMerge {
     fn name(&self) -> &'static str {
         "raw-score"
@@ -129,11 +299,16 @@ impl Merger for RawScoreMerge {
     fn merge(&self, inputs: &[SourceResult]) -> Vec<MergedDoc> {
         let mut scored = Vec::new();
         for input in inputs {
-            for d in &input.results.documents {
-                scored.push((d.raw_score.unwrap_or(0.0), d, source_id(input)));
+            for (s, d) in raw_scored(input) {
+                scored.push((s, d, source_id(input)));
             }
         }
         collect(scored)
+    }
+
+    fn merge_top_k(&self, inputs: &[SourceResult], k: usize) -> (Vec<MergedDoc>, MergeStats) {
+        let scored: Vec<_> = inputs.iter().map(raw_scored).collect();
+        bounded_merge(inputs, &scored, k).unwrap_or_else(|| full_merge_top_k(self, inputs, k))
     }
 }
 
@@ -143,6 +318,30 @@ impl Merger for RawScoreMerge {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NormalizedMerge;
 
+fn normalized_scored(input: &SourceResult) -> Vec<(f64, &ResultDocument)> {
+    let (min, max) = input.metadata.score_range;
+    let observed_max = input
+        .results
+        .documents
+        .iter()
+        .filter_map(|d| d.raw_score)
+        .fold(0.0_f64, f64::max);
+    let (lo, hi) = if min.is_finite() && max.is_finite() && max > min {
+        (min, max)
+    } else {
+        (0.0, observed_max.max(1e-12))
+    };
+    input
+        .results
+        .documents
+        .iter()
+        .map(|d| {
+            let raw = d.raw_score.unwrap_or(lo);
+            (((raw - lo) / (hi - lo)).clamp(0.0, 1.0), d)
+        })
+        .collect()
+}
+
 impl Merger for NormalizedMerge {
     fn name(&self) -> &'static str {
         "range-normalized"
@@ -151,25 +350,16 @@ impl Merger for NormalizedMerge {
     fn merge(&self, inputs: &[SourceResult]) -> Vec<MergedDoc> {
         let mut scored = Vec::new();
         for input in inputs {
-            let (min, max) = input.metadata.score_range;
-            let observed_max = input
-                .results
-                .documents
-                .iter()
-                .filter_map(|d| d.raw_score)
-                .fold(0.0_f64, f64::max);
-            let (lo, hi) = if min.is_finite() && max.is_finite() && max > min {
-                (min, max)
-            } else {
-                (0.0, observed_max.max(1e-12))
-            };
-            for d in &input.results.documents {
-                let raw = d.raw_score.unwrap_or(lo);
-                let norm = ((raw - lo) / (hi - lo)).clamp(0.0, 1.0);
-                scored.push((norm, d, source_id(input)));
+            for (s, d) in normalized_scored(input) {
+                scored.push((s, d, source_id(input)));
             }
         }
         collect(scored)
+    }
+
+    fn merge_top_k(&self, inputs: &[SourceResult], k: usize) -> (Vec<MergedDoc>, MergeStats) {
+        let scored: Vec<_> = inputs.iter().map(normalized_scored).collect();
+        bounded_merge(inputs, &scored, k).unwrap_or_else(|| full_merge_top_k(self, inputs, k))
     }
 }
 
@@ -348,8 +538,7 @@ impl Merger for WeightedMerge {
         // Reuse range normalization per source, then scale.
         let mut scored = Vec::new();
         for input in inputs {
-            let solo = [input.clone()];
-            for d in normalized.merge(&solo) {
+            for d in normalized.merge(std::slice::from_ref(input)) {
                 scored.push((d.score * input.source_weight, d));
             }
         }
@@ -373,12 +562,7 @@ impl Merger for WeightedMerge {
             }
         }
         let mut v: Vec<MergedDoc> = out.into_values().collect();
-        v.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.linkage.cmp(&b.linkage))
-        });
+        v.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.linkage.cmp(&b.linkage)));
         v
     }
 }
@@ -587,5 +771,77 @@ mod tests {
     fn titles_carried_through() {
         let merged = RawScoreMerge.merge(&paper_scenario());
         assert_eq!(merged[0].title.as_deref(), Some("Title of http://x/dood"));
+    }
+
+    /// A messier fixture for the bounded merge: score ties within and
+    /// across sources, cross-source duplicates, mixed scales.
+    fn tied_inputs() -> Vec<SourceResult> {
+        vec![
+            input(
+                "A",
+                (0.0, 1.0),
+                vec![
+                    doc("u/zz", 0.9, &[]),
+                    doc("u/aa", 0.9, &[]),
+                    doc("u/shared", 0.5, &[]),
+                    doc("u/low", 0.1, &[]),
+                ],
+            ),
+            input(
+                "B",
+                (0.0, 1000.0),
+                vec![
+                    doc("u/shared", 900.0, &[]),
+                    doc("u/mm", 900.0, &[]),
+                    doc("u/aa", 500.0, &[]),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn bounded_merge_equals_full_merge_truncated() {
+        let inputs = tied_inputs();
+        for merger in [&RawScoreMerge as &dyn Merger, &NormalizedMerge] {
+            let full = merger.merge(&inputs);
+            for k in 0..=full.len() + 1 {
+                let (bounded, stats) = merger.merge_top_k(&inputs, k);
+                assert_eq!(
+                    bounded,
+                    full[..k.min(full.len())],
+                    "{} k={k}",
+                    merger.name()
+                );
+                assert_eq!(stats.candidates, 7, "{}", merger.name());
+                assert_eq!(stats.distinct, 5, "{}", merger.name());
+                assert_eq!(stats.duplicates(), 2, "{}", merger.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_merge_falls_back_on_unsorted_input() {
+        // Ascending raw scores: not a ranked list, so the bounded path
+        // must detect it and fall back to the exact full merge.
+        let inputs = vec![input(
+            "A",
+            (0.0, 1.0),
+            vec![doc("u/a", 0.1, &[]), doc("u/b", 0.9, &[])],
+        )];
+        let full = RawScoreMerge.merge(&inputs);
+        let (bounded, stats) = RawScoreMerge.merge_top_k(&inputs, 1);
+        assert_eq!(bounded, full[..1]);
+        assert_eq!((stats.candidates, stats.distinct), (2, 2));
+    }
+
+    #[test]
+    fn default_merge_top_k_truncates_any_strategy() {
+        let inputs = tied_inputs();
+        for merger in [&TfMerge as &dyn Merger, &RoundRobinMerge, &WeightedMerge] {
+            let full = merger.merge(&inputs);
+            let (bounded, stats) = merger.merge_top_k(&inputs, 2);
+            assert_eq!(bounded, full[..2], "{}", merger.name());
+            assert_eq!(stats.candidates, 7, "{}", merger.name());
+        }
     }
 }

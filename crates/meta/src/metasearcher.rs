@@ -325,17 +325,21 @@ impl<'n> Metasearcher<'n> {
             .map(|(i, _)| self.catalog.entries[*i].link.cost_per_query)
             .sum();
 
-        // 5. Merge.
+        // 5. Merge — bounded: per-source lists already arrive sorted by
+        // score, so the merger only materialises the best
+        // `max_results` documents instead of every candidate.
         let merged = {
             let _span = obs.span("merge");
-            let candidates: usize = per_source.iter().map(|s| s.results.documents.len()).sum();
-            let mut merged = self.config.merger.merge(&per_source);
+            let (merged, mstats) = self
+                .config
+                .merger
+                .merge_top_k(&per_source, self.config.max_results);
             // Cross-source duplicates collapse during the merge: the
-            // difference between candidates in and documents out.
-            obs.counter("meta.merge.candidates").add(candidates as u64);
+            // difference between candidates in and distinct documents.
+            obs.counter("meta.merge.candidates")
+                .add(mstats.candidates as u64);
             obs.counter("meta.merge.duplicates")
-                .add(candidates.saturating_sub(merged.len()) as u64);
-            merged.truncate(self.config.max_results);
+                .add(mstats.duplicates() as u64);
             merged
         };
         MetaResponse {

@@ -124,6 +124,7 @@ mod tests {
     fn entry(id: &str, latency_ms: u32) -> CatalogEntry {
         CatalogEntry {
             id: id.to_string(),
+            metadata_url: String::new(),
             metadata: SourceMetadata {
                 source_id: id.to_string(),
                 ..SourceMetadata::default()

@@ -285,6 +285,7 @@ mod tests {
     fn entry(id: &str, num_docs: u32, terms: &[(&str, u32)], link: LinkProfile) -> CatalogEntry {
         CatalogEntry {
             id: id.to_string(),
+            metadata_url: String::new(),
             metadata: SourceMetadata {
                 source_id: id.to_string(),
                 ..SourceMetadata::default()

@@ -62,6 +62,13 @@ impl<'a> StartsClient<'a> {
         self.net
     }
 
+    /// The network's metric registry — the same registry host-side
+    /// handlers record into, so client-side instrumentation (e.g. the
+    /// metasearcher's catalog cache) lands in one scoreboard.
+    pub fn registry(&self) -> &starts_obs::Registry {
+        self.net.registry()
+    }
+
     /// Fetch a resource descriptor (§4.3.3): the periodic
     /// "extract the list of sources from the resources" task.
     pub fn fetch_resource(&self, url: &str) -> Result<Resource, ClientError> {

@@ -79,7 +79,16 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
 
     // Phase 3: execute — search, answer specification, result objects.
     let _span = obs.map(|reg| reg.span("execute"));
-    let mut hits = engine.search(filter_ir.as_ref(), ranking_ir.as_ref());
+    let limit = fast_path_limit(&query.answer, ranking_ir.is_some());
+    if let Some(reg) = obs {
+        reg.counter(if limit.is_some() {
+            "engine.topk.bounded"
+        } else {
+            "engine.topk.full"
+        })
+        .inc();
+    }
+    let mut hits = engine.search_top_k(filter_ir.as_ref(), ranking_ir.as_ref(), limit);
 
     // Answer specification: minimum score …
     if query.answer.min_doc_score.is_finite() {
@@ -115,6 +124,20 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
         documents,
         trace: query.trace.clone(),
     }
+}
+
+/// Whether the engine may bound its search to the best
+/// `MaxNumberDocuments` hits instead of materializing everything.
+///
+/// The bound is sound exactly when the truncation the answer spec will
+/// apply afterwards keeps the *first* k hits of the engine's own order:
+/// the query must be ranked, ask for the default sort (score
+/// descending), and actually carry a cap. `MinDocumentScore` does not
+/// disqualify the fast path — in descending order the above-threshold
+/// docs form a prefix, so filtering commutes with truncation.
+fn fast_path_limit(answer: &starts_proto::AnswerSpec, ranked: bool) -> Option<usize> {
+    let default_sort = answer.sort_by.as_slice() == [SortKey::score_descending()];
+    (ranked && default_sort && answer.max_documents != usize::MAX).then_some(answer.max_documents)
 }
 
 /// Count §4.2 downgrades: a query part the rewrite changed
@@ -161,10 +184,14 @@ fn sort_hits(source: &Source, hits: &mut [Hit], sort_by: &[SortKey]) {
     hits.sort_by(|a, b| {
         for key in sort_by {
             let ord = match &key.field {
-                None => b
-                    .score
-                    .partial_cmp(&a.score)
-                    .unwrap_or(std::cmp::Ordering::Equal),
+                // Score key: descending, under a total order (None sorts
+                // last; NaN cannot destabilize the comparison).
+                None => match (&b.score, &a.score) {
+                    (Some(x), Some(y)) => x.total_cmp(y),
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (None, None) => std::cmp::Ordering::Equal,
+                },
                 Some(f) => {
                     let fid = index.schema().get(f.name());
                     let (va, vb) = match fid {
@@ -354,6 +381,30 @@ mod tests {
         q.answer.min_doc_score = 2.0; // above Acme-1's maximum
         let r = s.execute(&q);
         assert!(r.documents.is_empty());
+    }
+
+    #[test]
+    fn bounded_execution_matches_full_and_is_counted() {
+        let s = source();
+        let full = s.execute(&query("", r#"list((body-of-text "databases"))"#));
+        let mut q = query("", r#"list((body-of-text "databases"))"#);
+        q.answer.max_documents = 1;
+        let reg = Registry::default();
+        let bounded = execute_traced(&s, &q, Some(&reg));
+        assert_eq!(bounded.documents.len(), 1);
+        assert_eq!(bounded.documents[0], full.documents[0]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("engine.topk.bounded", &[]), 1);
+        assert_eq!(snap.counter("engine.topk.full", &[]), 0);
+        // A non-default sort order opts out of the bounded path.
+        let mut q = query("", r#"list((body-of-text "databases"))"#);
+        q.answer.max_documents = 1;
+        q.answer.sort_by = vec![SortKey {
+            field: Some(Field::Title),
+            order: SortOrder::Ascending,
+        }];
+        execute_traced(&s, &q, Some(&reg));
+        assert_eq!(reg.snapshot().counter("engine.topk.full", &[]), 1);
     }
 
     #[test]
