@@ -71,9 +71,17 @@ fn main() {
         terms.len()
     );
 
-    // Engine paths: one engine over the combined corpus.
+    // Engine paths: one engine over the combined corpus. Time the build
+    // too — the indexing rate is part of the artifact (see
+    // docs/performance.md).
     let docs = corpus.all_docs();
+    let build_start = Instant::now();
     let engine = Engine::build(&docs, EngineConfig::default());
+    let build_docs_per_s = docs.len() as f64 / build_start.elapsed().as_secs_f64().max(1e-12);
+    println!(
+        "index build: {build_docs_per_s:.0} docs/s over {} docs",
+        docs.len()
+    );
     let naive = measure(&terms, |t| {
         let node = rank_node(t);
         let mut hits = engine.eval_ranking_naive(&node);
@@ -124,6 +132,7 @@ fn main() {
         smoke,
         &corpus,
         n_queries,
+        build_docs_per_s,
         &naive,
         &topk,
         &source_path,
@@ -245,6 +254,7 @@ fn render_json(
     smoke: bool,
     corpus: &GeneratedCorpus,
     n_queries: usize,
+    build_docs_per_s: f64,
     naive: &PathStats,
     topk: &PathStats,
     source: &PathStats,
@@ -253,6 +263,7 @@ fn render_json(
     format!(
         "{{\n  \"bench\": \"x14_hotpath\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
          \"queries\": {n_queries},\n  \"corpus\": {{\"sources\": {}, \"docs\": {}}},\n  \
+         \"build_docs_per_s\": {build_docs_per_s:.0},\n  \
          \"paths\": {{\n    \"engine_naive\": {},\n    \"engine_topk\": {},\n    \
          \"source\": {},\n    \"federated\": {}\n  }},\n  \
          \"engine_speedup\": {:.2}\n}}\n",

@@ -1,0 +1,258 @@
+//! X15 — sharded engine: parallel index build and fan-out top-k
+//! (beyond the paper's artifacts).
+//!
+//! The monolithic engine builds its index and answers every query on
+//! one thread. The sharded engine partitions the documents across N
+//! shards, builds the per-shard indexes concurrently, and answers
+//! `search_top_k` by fanning out to all shards and k-way-merging the
+//! per-shard sorted lists — with global collection statistics, so the
+//! merged top-k is *bit-identical* to the monolithic answer (enforced
+//! here by a spot check and exhaustively by
+//! `crates/index/tests/shard_properties.rs`).
+//!
+//! This experiment measures what sharding buys at each shard count
+//! (1/2/4/8): index build rate in docs/s, and query QPS with p50/p95/p99
+//! latency at k = 10 on the same Zipf workload X14 uses. The artifact
+//! records `machine_parallelism`: on a single-core machine the parallel
+//! build cannot beat the monolithic one — the numbers then show the
+//! fan-out overhead, which is exactly what a deployment on such a
+//! machine would pay.
+//!
+//! Writes `BENCH_shard.json` (override with `--out PATH`); pass
+//! `--smoke` for a seconds-scale CI run on the standard corpus.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starts_bench::{arg_value, header, print_table, section, standard_corpus};
+use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
+use starts_index::{EngineConfig, RankNode, ShardedEngine, TermSpec};
+
+/// Result-list bound for every query (the X14 regime).
+const K: usize = 10;
+
+/// Shard counts under measurement; 1 is the monolithic baseline.
+const SHARD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let n_queries = if smoke { 60 } else { 400 };
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    header("X15  sharded engine: parallel build + fan-out top-k vs monolithic");
+    let corpus = if smoke {
+        standard_corpus()
+    } else {
+        generate_corpus(&CorpusConfig {
+            n_sources: 12,
+            docs_per_source: 400,
+            n_topics: 4,
+            background_vocab: 1500,
+            topic_vocab: 100,
+            doc_len: (25, 90),
+            topic_skew: 0.35,
+            bilingual_fraction: 0.0,
+            seed: 19970526,
+        })
+    };
+    let docs = corpus.all_docs();
+    let terms = zipf_workload(&corpus, n_queries, 1997);
+    println!(
+        "corpus: {} docs; workload: {} Zipf queries; k = {K}; \
+         machine parallelism: {parallelism}",
+        docs.len(),
+        terms.len()
+    );
+    if parallelism < *SHARD_COUNTS.last().unwrap() {
+        println!(
+            "note: only {parallelism} hardware thread(s) available — shard counts \
+             beyond that measure fan-out overhead, not speedup"
+        );
+    }
+
+    let config = |shards: usize| EngineConfig {
+        shards,
+        ..EngineConfig::default()
+    };
+
+    // Baseline for the exactness spot check.
+    let baseline = ShardedEngine::build(&docs, config(1));
+
+    let mut rows = Vec::new();
+    let mut stats = Vec::new();
+    for &shards in SHARD_COUNTS {
+        let build_start = Instant::now();
+        let engine = ShardedEngine::build(&docs, config(shards));
+        let build_s = build_start.elapsed().as_secs_f64().max(1e-12);
+        let build_docs_per_s = docs.len() as f64 / build_s;
+
+        // Exactness spot check on the first queries of the workload;
+        // the property suite covers this exhaustively.
+        for t in terms.iter().take(10) {
+            let node = rank_node(t);
+            assert_eq!(
+                engine.search_top_k(None, Some(&node), Some(K)),
+                baseline.search_top_k(None, Some(&node), Some(K)),
+                "sharded top-k diverged from monolithic at shards={shards}"
+            );
+        }
+
+        let qs = measure(&terms, |t| {
+            let node = rank_node(t);
+            engine.search_top_k(None, Some(&node), Some(K)).len()
+        });
+        rows.push(vec![
+            shards.to_string(),
+            format!("{build_docs_per_s:.0}"),
+            format!("{:.0}", qs.qps),
+            format!("{:.1}", qs.p50_us),
+            format!("{:.1}", qs.p95_us),
+            format!("{:.1}", qs.p99_us),
+        ]);
+        stats.push(ShardStats {
+            shards,
+            build_s,
+            build_docs_per_s,
+            qs,
+        });
+    }
+
+    section("build rate and query latency per shard count");
+    print_table(
+        &[
+            "shards",
+            "build docs/s",
+            "QPS",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+        ],
+        &rows,
+    );
+    println!();
+    let base_build = stats[0].build_docs_per_s;
+    for s in &stats[1..] {
+        println!(
+            "shards={}: build {:.2}x vs monolithic, query p95 {:.1} µs vs {:.1} µs",
+            s.shards,
+            s.build_docs_per_s / base_build.max(1e-9),
+            s.qs.p95_us,
+            stats[0].qs.p95_us
+        );
+    }
+
+    let json = render_json(smoke, &docs.len(), n_queries, parallelism, &stats);
+    std::fs::write(&out_path, json).expect("write BENCH_shard.json");
+    println!("wrote {out_path}");
+}
+
+/// Per-shard-count measurements.
+struct ShardStats {
+    shards: usize,
+    build_s: f64,
+    build_docs_per_s: f64,
+    qs: QueryStats,
+}
+
+/// Query-side timing summary (the X14 `PathStats` shape).
+struct QueryStats {
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Time one closure over the whole workload (after a short warmup) and
+/// summarize per-query latency.
+fn measure(terms: &[Vec<String>], mut run: impl FnMut(&[String]) -> usize) -> QueryStats {
+    for t in terms.iter().take(5) {
+        run(t);
+    }
+    let mut lat_us: Vec<f64> = Vec::with_capacity(terms.len());
+    let total = Instant::now();
+    for t in terms {
+        let start = Instant::now();
+        std::hint::black_box(run(t));
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = total.elapsed().as_secs_f64();
+    lat_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        let idx = ((lat_us.len() - 1) as f64 * p).round() as usize;
+        lat_us[idx]
+    };
+    QueryStats {
+        qps: terms.len() as f64 / elapsed.max(1e-12),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+    }
+}
+
+/// The same Zipf workload X14 draws: 1–3 words per query, mostly common
+/// background vocabulary, sometimes a rare topic word.
+fn zipf_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg = Zipf::new(corpus.background.len(), 1.0);
+    let topic = Zipf::new(corpus.topics[0].len(), 0.8);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=3);
+            (0..k)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        let t = rng.gen_range(0..corpus.topics.len());
+                        corpus.topics[t][topic.sample(&mut rng)].clone()
+                    } else {
+                        corpus.background[bg.sample(&mut rng)].clone()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The engine-level ranking expression for a term list.
+fn rank_node(terms: &[String]) -> RankNode {
+    RankNode::List(
+        terms
+            .iter()
+            .map(|t| RankNode::term(TermSpec::fielded("body-of-text", t)))
+            .collect(),
+    )
+}
+
+/// Hand-rolled JSON artifact (schema documented in
+/// `docs/performance.md`).
+fn render_json(
+    smoke: bool,
+    n_docs: &usize,
+    n_queries: usize,
+    parallelism: usize,
+    stats: &[ShardStats],
+) -> String {
+    let shards: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"shards\": {}, \"build_s\": {:.4}, \"build_docs_per_s\": {:.0}, \
+                 \"qps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+                s.shards,
+                s.build_s,
+                s.build_docs_per_s,
+                s.qs.qps,
+                s.qs.p50_us,
+                s.qs.p95_us,
+                s.qs.p99_us
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"x15_shard\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
+         \"queries\": {n_queries},\n  \"docs\": {n_docs},\n  \
+         \"machine_parallelism\": {parallelism},\n  \"shards\": [\n{}\n  ]\n}}\n",
+        shards.join(",\n")
+    )
+}

@@ -9,7 +9,7 @@
 //! protocol's only error-reporting channel (a source silently drops what
 //! it cannot do and shows you what it did).
 
-use starts_soif::{write_object, SoifObject, SoifReader, STARTS_VERSION, VERSION_ATTR};
+use starts_soif::{write_object_into, SoifObject, SoifReader, STARTS_VERSION, VERSION_ATTR};
 
 use crate::attrs::Field;
 use crate::error::ProtoError;
@@ -218,12 +218,20 @@ impl QueryResults {
     /// Encode the full result as a SOIF stream: one `@SQResults` object
     /// followed by one `@SQRDocument` per document (Example 8's layout).
     pub fn to_soif_stream(&self) -> Vec<u8> {
-        let mut out = write_object(&self.header_soif());
+        let mut out = Vec::new();
+        self.to_soif_stream_into(&mut out);
+        out
+    }
+
+    /// Append the SOIF stream encoding to `out` — the buffer-reuse
+    /// counterpart of [`QueryResults::to_soif_stream`] for hosts that
+    /// encode one response per exchange into a recycled buffer.
+    pub fn to_soif_stream_into(&self, out: &mut Vec<u8>) {
+        write_object_into(&self.header_soif(), out);
         for d in &self.documents {
             out.push(b'\n');
-            out.extend_from_slice(&write_object(&d.to_soif()));
+            write_object_into(&d.to_soif(), out);
         }
-        out
     }
 
     /// The `@SQResults` header object alone.
@@ -302,6 +310,7 @@ impl QueryResults {
 mod tests {
     use super::*;
     use crate::attrs::Modifier;
+    use starts_soif::write_object;
 
     fn example8_results() -> QueryResults {
         QueryResults {

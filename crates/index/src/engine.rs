@@ -6,6 +6,8 @@
 //! executed query was — is what the STARTS source layer
 //! (`starts-source`) wraps and exports.
 
+use std::sync::Arc;
+
 use starts_text::{Analyzer, AnalyzerConfig, Thesaurus};
 
 use crate::boolean::{difference, intersect, prox_match, union, BoolNode};
@@ -14,6 +16,7 @@ use crate::index::{Index, IndexBuilder, Posting};
 use crate::matchspec::{CmpOp, TermSpec};
 use crate::ranking::{RankingAlgorithm, TermDocStats};
 use crate::schema::{FieldId, ANY_FIELD};
+use crate::sharded::CollectionStats;
 use crate::topk::{kway_union, TopK};
 
 /// A ranking-expression tree at the engine level. Leaves carry the
@@ -153,6 +156,14 @@ pub struct EngineConfig {
     pub fuzzy_ranking_ops: bool,
     /// The engine's thesaurus (for the `Thesaurus` modifier).
     pub thesaurus: Thesaurus,
+    /// Shard count for [`crate::ShardedEngine`]: how many partitions the
+    /// document set is split into for parallel index build and query
+    /// fan-out. `0` (the default) resolves to the machine's available
+    /// parallelism; `1` reproduces the monolithic single-threaded
+    /// behaviour. Results are bit-identical at every setting — global
+    /// collection statistics are broadcast to each shard. Ignored by the
+    /// plain [`Engine`] constructors.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -162,6 +173,7 @@ impl Default for EngineConfig {
             ranking_id: "Acme-1".to_string(),
             fuzzy_ranking_ops: true,
             thesaurus: Thesaurus::empty(),
+            shards: 0,
         }
     }
 }
@@ -173,6 +185,11 @@ pub struct Engine {
     fuzzy_ranking_ops: bool,
     thesaurus: Thesaurus,
     doc_norms: Vec<f64>,
+    /// Present when this engine is one shard of a [`crate::ShardedEngine`]:
+    /// global statistics (df, N, average length) that replace the local
+    /// index's, so each shard scores exactly as the monolithic engine
+    /// would.
+    collection: Option<Arc<CollectionStats>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -201,10 +218,22 @@ impl Engine {
 
     /// Wrap an already-built index.
     pub fn from_index(index: Index, config: EngineConfig) -> Self {
+        Self::from_index_with_stats(index, config, None)
+    }
+
+    /// Wrap an index that is one shard of a sharded collection: every
+    /// statistic a ranking algorithm consumes (df, N, average document
+    /// length, and the doc norms derived from them) comes from the global
+    /// `collection` instead of the local shard.
+    pub(crate) fn from_index_with_stats(
+        index: Index,
+        config: EngineConfig,
+        collection: Option<Arc<CollectionStats>>,
+    ) -> Self {
         let ranking = crate::ranking::ranking_by_id(&config.ranking_id)
             .unwrap_or_else(|| panic!("unknown RankingAlgorithmID {:?}", config.ranking_id));
         let doc_norms = if ranking.needs_doc_norms() {
-            compute_doc_norms(&index, ranking.as_ref())
+            compute_doc_norms(&index, ranking.as_ref(), collection.as_deref())
         } else {
             vec![1.0; index.n_docs() as usize]
         };
@@ -214,6 +243,7 @@ impl Engine {
             fuzzy_ranking_ops: config.fuzzy_ranking_ops,
             thesaurus: config.thesaurus,
             doc_norms,
+            collection,
         }
     }
 
@@ -282,34 +312,51 @@ impl Engine {
                 })
                 .collect(),
             (Some(f), Some(r)) => {
-                // Score only the filter set: the filter decides
-                // membership, so there is no reason to evaluate the
-                // ranking expression over its own (often much larger)
-                // candidate set. Zero-scoring docs stay in.
-                let set = self.eval_filter(f);
-                let slots = self.score_set(r, &set);
-                let mut scores: Vec<(DocId, f64)> = set.into_iter().zip(slots).collect();
+                let mut scores = self.eval_filter_ranked_raw(f, r, limit);
+                // As in `eval_ranking_top_k`: `finalize` rescales
+                // monotonically, so selecting on raw scores first and
+                // finalizing the selected slice equals finalizing the
+                // whole filter set then truncating.
                 self.ranking.finalize(&mut scores);
-                let ranked = match limit {
-                    Some(k) => {
-                        let mut top = TopK::new(k);
-                        for (doc, score) in scores {
-                            top.push(doc, score);
-                        }
-                        top.into_sorted_vec()
-                    }
-                    None => {
-                        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                        scores
-                    }
-                };
-                ranked
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scores
                     .into_iter()
                     .map(|(doc, score)| Hit {
                         doc,
                         score: Some(score),
                     })
                     .collect()
+            }
+        }
+    }
+
+    /// The combined filter+ranking evaluation up to (but not including)
+    /// `finalize`: score only the filter set — the filter decides
+    /// membership, so there is no reason to evaluate the ranking
+    /// expression over its own (often much larger) candidate set.
+    /// Zero-scoring docs stay in. Returns raw scores sorted by (score
+    /// desc, doc asc), at most `limit` of them. Shards combine these raw
+    /// lists before the single global `finalize`.
+    pub(crate) fn eval_filter_ranked_raw(
+        &self,
+        filter: &BoolNode,
+        ranking: &RankNode,
+        limit: Option<usize>,
+    ) -> Vec<(DocId, f64)> {
+        let set = self.eval_filter(filter);
+        let slots = self.score_set(ranking, &set);
+        match limit {
+            Some(k) => {
+                let mut top = TopK::new(k);
+                for (doc, score) in set.into_iter().zip(slots) {
+                    top.push(doc, score);
+                }
+                top.into_sorted_vec()
+            }
+            None => {
+                let mut scores: Vec<(DocId, f64)> = set.into_iter().zip(slots).collect();
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scores
             }
         }
     }
@@ -344,6 +391,25 @@ impl Engine {
     /// best `k` documents are selected by a bounded heap; the result is
     /// exactly the first `k` entries of the unbounded evaluation.
     pub fn eval_ranking_top_k(&self, node: &RankNode, limit: Option<usize>) -> Vec<(DocId, f64)> {
+        let mut scores = self.eval_ranking_top_k_raw(node, limit);
+        // `finalize` rescales monotonically (the §3.2 vendor pins its
+        // top hit to 1000); the global maximum is always inside the top
+        // k, so finalizing the selected slice equals finalizing
+        // everything then truncating.
+        self.ranking.finalize(&mut scores);
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scores
+    }
+
+    /// [`Engine::eval_ranking_top_k`] stopping short of `finalize`: the
+    /// best `limit` positive raw scores, sorted by (score desc, doc asc).
+    /// The sharded fan-out merges these per-shard lists and applies the
+    /// single global `finalize` afterwards.
+    pub(crate) fn eval_ranking_top_k_raw(
+        &self,
+        node: &RankNode,
+        limit: Option<usize>,
+    ) -> Vec<(DocId, f64)> {
         let effective;
         let node = if self.fuzzy_ranking_ops {
             node
@@ -365,14 +431,7 @@ impl Engine {
                         top.push(doc, score);
                     }
                 }
-                let mut scores = top.into_sorted_vec();
-                // `finalize` rescales monotonically (the §3.2 vendor
-                // pins its top hit to 1000); the global maximum is
-                // always inside the top k, so finalizing the selected
-                // slice equals finalizing everything then truncating.
-                self.ranking.finalize(&mut scores);
-                scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                scores
+                top.into_sorted_vec()
             }
             None => {
                 let mut scores: Vec<(DocId, f64)> = candidates
@@ -380,7 +439,6 @@ impl Engine {
                     .zip(slots)
                     .filter(|(_, s)| *s > 0.0)
                     .collect();
-                self.ranking.finalize(&mut scores);
                 scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 scores
             }
@@ -442,6 +500,9 @@ impl Engine {
     }
 
     /// Resolve a spec to the set of index-vocabulary terms it matches.
+    /// When this engine is a shard, resolution runs against the *global*
+    /// vocabulary: a key another shard indexed still contributes its
+    /// (global) document frequency to this shard's scoring.
     fn resolve_keys(&self, field: FieldId, spec: &TermSpec) -> Vec<String> {
         let cfg = self.index.analyzer().config();
         if spec.needs_scan(cfg.stem, cfg.case) {
@@ -449,12 +510,19 @@ impl Engine {
             // When the engine stems its index, compare against stems of
             // the query term too (normalize first).
             let query = &spec.term;
-            let mut keys: Vec<String> = self
-                .index
-                .field_vocabulary(field)
-                .filter(|(vocab, _)| pred(query, vocab))
-                .map(|(vocab, _)| vocab.to_string())
-                .collect();
+            let mut keys: Vec<String> = match &self.collection {
+                Some(c) => c
+                    .field_terms(field)
+                    .filter(|(vocab, _)| pred(query, vocab))
+                    .map(|(vocab, _)| vocab.to_string())
+                    .collect(),
+                None => self
+                    .index
+                    .field_vocabulary(field)
+                    .filter(|(vocab, _)| pred(query, vocab))
+                    .map(|(vocab, _)| vocab.to_string())
+                    .collect(),
+            };
             keys.sort_unstable();
             keys
         } else if spec.has(crate::matchspec::TermMatch::Thesaurus) {
@@ -463,18 +531,35 @@ impl Engine {
                 .expand(&spec.term)
                 .into_iter()
                 .map(|w| self.index.analyzer().normalize_term(&w))
-                .filter(|w| self.index.postings(field, w).is_some())
+                .filter(|w| self.has_term(field, w))
                 .collect();
             keys.sort_unstable();
             keys.dedup();
             keys
         } else {
             let key = self.index.analyzer().normalize_term(&spec.term);
-            if self.index.postings(field, &key).is_some() {
+            if self.has_term(field, &key) {
                 vec![key]
             } else {
                 Vec::new()
             }
+        }
+    }
+
+    /// Whether the (field, term) pair exists anywhere in the collection —
+    /// globally when this engine is a shard, else locally.
+    fn has_term(&self, field: FieldId, term: &str) -> bool {
+        match &self.collection {
+            Some(c) => c.contains(field, term),
+            None => self.index.postings(field, term).is_some(),
+        }
+    }
+
+    /// Document frequency of an index key — global when sharded.
+    fn df_of(&self, field: FieldId, key: &str) -> u32 {
+        match &self.collection {
+            Some(c) => c.df(field, key),
+            None => self.index.df(field, key),
         }
     }
 
@@ -569,8 +654,8 @@ impl Engine {
         let mut tf = 0;
         let mut df = 0;
         for key in keys {
+            df = df.max(self.df_of(field, key));
             if let Some(postings) = self.index.postings(field, key) {
-                df = df.max(postings.len() as u32);
                 if let Some(p) = find_posting(postings, doc) {
                     tf += p.tf();
                 }
@@ -580,12 +665,16 @@ impl Engine {
     }
 
     fn stats_for(&self, doc: DocId, tf: u32, df: u32) -> TermDocStats {
+        let (n_docs, avg_tokens) = match &self.collection {
+            Some(c) => (c.n_docs(), c.avg_doc_tokens()),
+            None => (self.index.n_docs(), self.index.avg_doc_tokens()),
+        };
         TermDocStats {
             tf,
             df,
-            n_docs: self.index.n_docs(),
+            n_docs,
             doc_tokens: self.index.doc_token_count(doc),
-            avg_tokens: self.index.avg_doc_tokens(),
+            avg_tokens,
             doc_norm: self.doc_norms[doc.0 as usize],
         }
     }
@@ -605,8 +694,8 @@ impl Engine {
                 };
                 if let Some(field) = self.resolve_field(spec) {
                     for key in self.resolve_keys(field, spec) {
+                        ctx.df = ctx.df.max(self.df_of(field, &key));
                         if let Some(postings) = self.index.postings(field, &key) {
-                            ctx.df = ctx.df.max(postings.len() as u32);
                             ctx.postings.push(postings);
                         }
                     }
@@ -939,12 +1028,27 @@ fn find_posting(postings: &[Posting], doc: DocId) -> Option<&Posting> {
         .map(|i| &postings[i])
 }
 
-fn compute_doc_norms(index: &Index, ranking: &dyn RankingAlgorithm) -> Vec<f64> {
+fn compute_doc_norms(
+    index: &Index,
+    ranking: &dyn RankingAlgorithm,
+    collection: Option<&CollectionStats>,
+) -> Vec<f64> {
     let mut sq = vec![0.0_f64; index.n_docs() as usize];
-    let n_docs = index.n_docs();
-    let avg = index.avg_doc_tokens();
-    for (_, postings) in index.field_vocabulary(ANY_FIELD) {
-        let df = postings.len() as u32;
+    let (n_docs, avg) = match collection {
+        Some(c) => (c.n_docs(), c.avg_doc_tokens()),
+        None => (index.n_docs(), index.avg_doc_tokens()),
+    };
+    // Accumulate in sorted term order: each document then sums its
+    // squared term weights in the same sequence whether the index is
+    // monolithic or one shard of many, making the floating-point norms
+    // (and thus every downstream score) bit-identical across shardings.
+    let mut vocab: Vec<(&str, &[Posting])> = index.field_vocabulary(ANY_FIELD).collect();
+    vocab.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (term, postings) in vocab {
+        let df = match collection {
+            Some(c) => c.df(ANY_FIELD, term),
+            None => postings.len() as u32,
+        };
         for p in postings {
             let st = TermDocStats {
                 tf: p.tf(),

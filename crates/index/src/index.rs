@@ -69,9 +69,17 @@ impl IndexBuilder {
     /// Start building with the engine's analyzer (the source's whole text
     /// pipeline: tokenizer, case mode, stemming, stop list).
     pub fn new(analyzer: Analyzer) -> Self {
+        IndexBuilder::with_schema(analyzer, Schema::new())
+    }
+
+    /// Start building with a pre-interned schema. Shard builders use this
+    /// so that every shard of a [`crate::ShardedEngine`] assigns the same
+    /// `FieldId` to the same field name, letting per-shard statistics be
+    /// merged by id.
+    pub fn with_schema(analyzer: Analyzer, schema: Schema) -> Self {
         IndexBuilder {
             inner: Index {
-                schema: Schema::new(),
+                schema,
                 analyzer,
                 terms: Vec::new(),
                 vocab: HashMap::new(),
@@ -105,19 +113,21 @@ impl IndexBuilder {
                     .or_default()
                     .insert(lang.clone());
             }
-            let tokens = idx.analyzer.analyze(&fv.text);
+            // Borrowed tokens: no per-token String allocation — terms
+            // only get copied on a vocabulary miss inside `intern_term`.
+            let tokens = idx.analyzer.analyze_borrowed(&fv.text);
             let fbase = *field_base.get(&fid).unwrap_or(&0);
             let mut max_pos = 0u32;
-            for tok in &tokens {
-                max_pos = max_pos.max(tok.position);
+            for (term, position) in &tokens {
+                max_pos = max_pos.max(*position);
                 token_count += 1;
-                let tid = intern_term(&mut idx.vocab, &mut idx.terms, &tok.term);
-                push_position(&mut idx.postings, (fid, tid), doc_id, fbase + tok.position);
+                let tid = intern_term(&mut idx.vocab, &mut idx.terms, term);
+                push_position(&mut idx.postings, (fid, tid), doc_id, fbase + position);
                 push_position(
                     &mut idx.postings,
                     (ANY_FIELD, tid),
                     doc_id,
-                    global_base + tok.position,
+                    global_base + position,
                 );
             }
             let advance = if tokens.is_empty() { 0 } else { max_pos + 1 };
@@ -269,6 +279,15 @@ impl Index {
     /// All document ids.
     pub fn all_docs(&self) -> impl Iterator<Item = DocId> {
         (0..self.docs.len() as u32).map(DocId)
+    }
+
+    /// Every `(field, term, postings)` triple in the index, in arbitrary
+    /// order — the raw feed for merging per-shard document frequencies
+    /// into global collection statistics.
+    pub(crate) fn all_postings(&self) -> impl Iterator<Item = (FieldId, &str, &[Posting])> + '_ {
+        self.postings
+            .iter()
+            .map(|((fid, tid), list)| (*fid, self.terms[tid.0 as usize].as_str(), list.as_slice()))
     }
 }
 

@@ -34,6 +34,7 @@ pub mod index;
 pub mod matchspec;
 pub mod ranking;
 pub mod schema;
+pub mod sharded;
 pub mod topk;
 
 pub use boolean::BoolNode;
@@ -43,4 +44,5 @@ pub use index::{Index, IndexBuilder, Posting};
 pub use matchspec::{CmpOp, TermMatch, TermSpec};
 pub use ranking::{ranking_by_id, RankingAlgorithm, ScoreRange};
 pub use schema::{FieldId, Schema, ANY_FIELD};
-pub use topk::TopK;
+pub use sharded::{CollectionStats, ShardedEngine};
+pub use topk::{merge_ranked, TopK};

@@ -1,0 +1,641 @@
+//! The sharded engine: parallel index build and parallel query fan-out
+//! with an exact per-shard merge.
+//!
+//! The paper's sources are opaque engines that must still return
+//! mergeable ranked results (§3.2). A [`ShardedEngine`] partitions a
+//! source's documents into `N` contiguous shards, builds one [`Index`]
+//! per shard concurrently, and answers every query by fanning the
+//! evaluation out to all shards and combining the per-shard lists with a
+//! bounded k-way heap merge ([`crate::topk::merge_ranked`]).
+//!
+//! The merge is *exact*: every ranking algorithm scores each document
+//! identically to the monolithic engine, because global collection
+//! statistics ([`CollectionStats`] — document frequencies, document
+//! count, average document length, and the doc norms derived from them)
+//! are computed once over all shards and broadcast to each. Per-shard
+//! evaluation stops short of the ranking algorithm's `finalize`
+//! (score-scale) step; the merged global list is finalized exactly once,
+//! so even the §3.2 vendor that pins its top hit to 1000 scales off the
+//! true global maximum.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+use starts_text::{Analyzer, LangTag, Thesaurus};
+
+use crate::boolean::BoolNode;
+use crate::doc::{DocId, Document};
+use crate::engine::{Engine, EngineConfig, Hit, RankNode, TermStat};
+use crate::index::{Index, IndexBuilder};
+use crate::matchspec::TermSpec;
+use crate::ranking::RankingAlgorithm;
+use crate::schema::{FieldId, Schema};
+use crate::topk::merge_ranked;
+
+/// Global collection statistics, computed across all shards and shared
+/// (via `Arc`) with each per-shard [`Engine`]. Holding these makes a
+/// shard score every local document exactly as the monolithic engine
+/// scores it: `df`, `N` and the average document length — every
+/// collection-dependent input to a ranking formula — are global.
+#[derive(Debug)]
+pub struct CollectionStats {
+    n_docs: u32,
+    total_tokens: u64,
+    /// Per-field document frequencies. `BTreeMap` so vocabulary scans
+    /// iterate in sorted term order, matching the sorted scan the
+    /// monolithic resolver produces.
+    df: HashMap<FieldId, BTreeMap<String, u32>>,
+}
+
+impl CollectionStats {
+    /// Merge per-shard indexes into global statistics. Shards hold
+    /// disjoint documents, so document frequencies simply add.
+    pub(crate) fn from_indexes(indexes: &[Index]) -> Self {
+        let mut n_docs = 0u32;
+        let mut total_tokens = 0u64;
+        let mut df: HashMap<FieldId, BTreeMap<String, u32>> = HashMap::new();
+        for index in indexes {
+            n_docs += index.n_docs();
+            total_tokens += index.total_tokens();
+            for (field, term, postings) in index.all_postings() {
+                *df.entry(field)
+                    .or_default()
+                    .entry(term.to_string())
+                    .or_insert(0) += postings.len() as u32;
+            }
+        }
+        CollectionStats {
+            n_docs,
+            total_tokens,
+            df,
+        }
+    }
+
+    /// Total documents across all shards.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Total tokens across all shards.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Mean document length in tokens across all shards.
+    pub fn avg_doc_tokens(&self) -> f64 {
+        if self.n_docs == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / f64::from(self.n_docs)
+        }
+    }
+
+    /// Global document frequency of an index key in a field.
+    pub fn df(&self, field: FieldId, term: &str) -> u32 {
+        self.df
+            .get(&field)
+            .and_then(|terms| terms.get(term))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether any shard indexed this (field, term) pair.
+    pub fn contains(&self, field: FieldId, term: &str) -> bool {
+        self.df
+            .get(&field)
+            .is_some_and(|terms| terms.contains_key(term))
+    }
+
+    /// The global vocabulary of a field with each term's document
+    /// frequency, in sorted term order.
+    pub fn field_terms(&self, field: FieldId) -> impl Iterator<Item = (&str, u32)> + '_ {
+        self.df
+            .get(&field)
+            .into_iter()
+            .flat_map(|terms| terms.iter().map(|(t, &df)| (t.as_str(), df)))
+    }
+}
+
+/// A search engine whose documents are partitioned across `N` shard
+/// [`Engine`]s, built and queried in parallel, with results merged
+/// exactly (bit-identical scores and ordering) to the monolithic
+/// [`Engine`] over the same documents.
+///
+/// Documents are assigned to shards contiguously: shard `i` holds the
+/// global doc-id range `[bases[i], bases[i] + shards[i].n_docs())`, so
+/// shard order is global document order and a global id maps to a shard
+/// by binary search over the bases.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    /// `bases[i]` = global id of shard `i`'s local document 0.
+    bases: Vec<u32>,
+    n_docs: u32,
+    collection: Option<Arc<CollectionStats>>,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("n_docs", &self.n_docs)
+            .field("ranking", &self.ranking().id())
+            .finish()
+    }
+}
+
+/// Resolve a configured shard count: `0` means the machine's available
+/// parallelism; the result is clamped so no shard can be empty by
+/// construction (at most one shard per document, at least one shard).
+fn resolve_shard_count(requested: usize, n_docs: usize) -> usize {
+    let wanted = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    };
+    wanted.clamp(1, n_docs.max(1))
+}
+
+impl ShardedEngine {
+    /// Partition `docs` into `config.shards` shards (0 = available
+    /// parallelism), build the per-shard indexes concurrently, compute
+    /// global collection statistics, and wrap each shard in an
+    /// [`Engine`] carrying those statistics.
+    ///
+    /// # Panics
+    /// Panics if `config.ranking_id` is unknown, as [`Engine::build`]
+    /// does.
+    pub fn build(docs: &[Document], config: EngineConfig) -> Self {
+        let shard_count = resolve_shard_count(config.shards, docs.len());
+        if shard_count == 1 {
+            // Monolithic: one shard, local statistics (which *are* the
+            // global ones), no fan-out overhead on any path.
+            let engine = Engine::build(docs, config);
+            let n_docs = engine.index().n_docs();
+            return ShardedEngine {
+                shards: vec![engine],
+                bases: vec![0],
+                n_docs,
+                collection: None,
+            };
+        }
+        // Sequential schema pre-pass: intern field names in first-
+        // appearance order — the order the monolithic builder would have
+        // used — so every shard shares one FieldId assignment and the
+        // per-field statistics can merge by id.
+        let mut schema = Schema::new();
+        for d in docs {
+            for fv in d.fields() {
+                schema.intern(&fv.name);
+            }
+        }
+        // Contiguous, balanced partition: the first (n % s) shards get
+        // one extra document, and concatenating shards in order yields
+        // the monolithic document order.
+        let n = docs.len();
+        let base_size = n / shard_count;
+        let extra = n % shard_count;
+        let mut chunks: Vec<&[Document]> = Vec::with_capacity(shard_count);
+        let mut start = 0;
+        for i in 0..shard_count {
+            let len = base_size + usize::from(i < extra);
+            chunks.push(&docs[start..start + len]);
+            start += len;
+        }
+        let analyzer_cfg = &config.analyzer;
+        let schema_ref = &schema;
+        let indexes: Vec<Index> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut builder = IndexBuilder::with_schema(
+                            Analyzer::new(analyzer_cfg.clone()),
+                            schema_ref.clone(),
+                        );
+                        for d in *chunk {
+                            builder.add(d);
+                        }
+                        builder.build()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard index build panicked"))
+                .collect()
+        })
+        .expect("shard build scope");
+        let collection = Arc::new(CollectionStats::from_indexes(&indexes));
+        let mut bases = Vec::with_capacity(shard_count);
+        let mut next = 0u32;
+        for index in &indexes {
+            bases.push(next);
+            next += index.n_docs();
+        }
+        // Engine construction is also parallel: doc-norm computation
+        // (needed by the cosine rankers) is the expensive part and only
+        // reads the shard-local index plus the shared statistics.
+        let config_ref = &config;
+        let stats_ref = &collection;
+        let shards: Vec<Engine> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = indexes
+                .into_iter()
+                .map(|index| {
+                    scope.spawn(move |_| {
+                        Engine::from_index_with_stats(
+                            index,
+                            config_ref.clone(),
+                            Some(Arc::clone(stats_ref)),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard engine build panicked"))
+                .collect()
+        })
+        .expect("shard engine scope");
+        ShardedEngine {
+            shards,
+            bases,
+            n_docs: next,
+            collection: Some(collection),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engines, in global document order. Content-summary
+    /// generation iterates these to aggregate per-field term statistics.
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// Execute a query across all shards (unbounded).
+    pub fn search(&self, filter: Option<&BoolNode>, ranking: Option<&RankNode>) -> Vec<Hit> {
+        self.search_top_k(filter, ranking, None)
+    }
+
+    /// Execute a query across all shards, keeping the best `limit` hits.
+    /// The result is exactly — scores, ordering, doc-id tie-breaks — what
+    /// the monolithic [`Engine::search_top_k`] returns over the same
+    /// documents.
+    pub fn search_top_k(
+        &self,
+        filter: Option<&BoolNode>,
+        ranking: Option<&RankNode>,
+        limit: Option<usize>,
+    ) -> Vec<Hit> {
+        self.search_top_k_timed(filter, ranking, limit).0
+    }
+
+    /// [`ShardedEngine::search_top_k`] that also reports each shard's
+    /// evaluation latency in microseconds (index-aligned with
+    /// [`ShardedEngine::shards`]) for observability.
+    pub fn search_top_k_timed(
+        &self,
+        filter: Option<&BoolNode>,
+        ranking: Option<&RankNode>,
+        limit: Option<usize>,
+    ) -> (Vec<Hit>, Vec<u64>) {
+        if self.shards.len() == 1 {
+            let start = Instant::now();
+            let hits = self.shards[0].search_top_k(filter, ranking, limit);
+            return (hits, vec![elapsed_us(start)]);
+        }
+        match (filter, ranking) {
+            (None, None) => (Vec::new(), vec![0; self.shards.len()]),
+            (Some(f), None) => {
+                // Filter-only: shard results are sorted local doc sets;
+                // offsetting to global ids and concatenating in shard
+                // order *is* the globally sorted set.
+                let per_shard = self.fan_out(|engine| engine.eval_filter(f));
+                let (lists, timings) = split_timed(per_shard);
+                let mut docs: Vec<DocId> = Vec::new();
+                for (i, list) in lists.into_iter().enumerate() {
+                    let base = self.bases[i];
+                    docs.extend(list.into_iter().map(|d| DocId(base + d.0)));
+                    if let Some(k) = limit {
+                        if docs.len() >= k {
+                            docs.truncate(k);
+                            break;
+                        }
+                    }
+                }
+                let hits = docs
+                    .into_iter()
+                    .map(|doc| Hit { doc, score: None })
+                    .collect();
+                (hits, timings)
+            }
+            (None, Some(r)) => {
+                let per_shard = self.fan_out(|engine| engine.eval_ranking_top_k_raw(r, limit));
+                let (lists, timings) = split_timed(per_shard);
+                (self.merge_ranked_hits(lists, limit), timings)
+            }
+            (Some(f), Some(r)) => {
+                let per_shard = self.fan_out(|engine| engine.eval_filter_ranked_raw(f, r, limit));
+                let (lists, timings) = split_timed(per_shard);
+                (self.merge_ranked_hits(lists, limit), timings)
+            }
+        }
+    }
+
+    /// Merge per-shard raw ranked lists (already sorted by score desc,
+    /// local doc asc), rebase local doc ids to global ones, apply the
+    /// single global `finalize`, and emit hits.
+    fn merge_ranked_hits(&self, lists: Vec<Vec<(DocId, f64)>>, limit: Option<usize>) -> Vec<Hit> {
+        let rebased: Vec<Vec<(DocId, f64)>> = lists
+            .into_iter()
+            .enumerate()
+            .map(|(i, list)| {
+                let base = self.bases[i];
+                list.into_iter()
+                    .map(|(d, s)| (DocId(base + d.0), s))
+                    .collect()
+            })
+            .collect();
+        let mut merged = merge_ranked(rebased, limit);
+        self.ranking().finalize(&mut merged);
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged
+            .into_iter()
+            .map(|(doc, score)| Hit {
+                doc,
+                score: Some(score),
+            })
+            .collect()
+    }
+
+    /// Run `f` against every shard in parallel, returning each shard's
+    /// result with its evaluation latency (µs), in shard order.
+    fn fan_out<T, F>(&self, f: F) -> Vec<(T, u64)>
+    where
+        T: Send,
+        F: Fn(&Engine) -> T + Sync,
+    {
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|engine| {
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let out = f(engine);
+                        (out, elapsed_us(start))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query panicked"))
+                .collect()
+        })
+        .expect("shard query scope")
+    }
+
+    /// Locate a global doc id: `(shard index, local doc id)`.
+    fn locate(&self, doc: DocId) -> (usize, DocId) {
+        let shard = match self.bases.binary_search(&doc.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (shard, DocId(doc.0 - self.bases[shard]))
+    }
+
+    // ---- monolithic-engine facade (global doc ids) ----
+
+    /// The analyzer (identical across shards).
+    pub fn analyzer(&self) -> &Analyzer {
+        self.shards[0].index().analyzer()
+    }
+
+    /// The field schema (identical across shards — interned by a
+    /// sequential pre-pass in first-appearance order).
+    pub fn schema(&self) -> &Schema {
+        self.shards[0].index().schema()
+    }
+
+    /// The ranking algorithm (identical across shards).
+    pub fn ranking(&self) -> &dyn RankingAlgorithm {
+        self.shards[0].ranking()
+    }
+
+    /// The engine's thesaurus.
+    pub fn thesaurus(&self) -> &Thesaurus {
+        self.shards[0].thesaurus()
+    }
+
+    /// Total documents across all shards.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Total tokens across all shards.
+    pub fn total_tokens(&self) -> u64 {
+        match &self.collection {
+            Some(c) => c.total_tokens(),
+            None => self.shards[0].index().total_tokens(),
+        }
+    }
+
+    /// Mean document length in tokens across all shards.
+    pub fn avg_doc_tokens(&self) -> f64 {
+        match &self.collection {
+            Some(c) => c.avg_doc_tokens(),
+            None => self.shards[0].index().avg_doc_tokens(),
+        }
+    }
+
+    /// Token count of one document (`DocCount`).
+    pub fn doc_token_count(&self, doc: DocId) -> u32 {
+        let (shard, local) = self.locate(doc);
+        self.shards[shard].index().doc_token_count(local)
+    }
+
+    /// Byte size of one document (`DocSize` is this, in KBytes).
+    pub fn doc_byte_size(&self, doc: DocId) -> u32 {
+        let (shard, local) = self.locate(doc);
+        self.shards[shard].index().doc_byte_size(local)
+    }
+
+    /// Stored field values of a document, in insertion order.
+    pub fn doc_fields(&self, doc: DocId) -> impl Iterator<Item = (&str, &str, Option<&LangTag>)> {
+        let (shard, local) = self.locate(doc);
+        self.shards[shard].index().doc_fields(local)
+    }
+
+    /// First stored value of the named field for a document.
+    pub fn doc_field(&self, doc: DocId, field: FieldId) -> Option<&str> {
+        let (shard, local) = self.locate(doc);
+        self.shards[shard].index().doc_field(local, field)
+    }
+
+    /// The `TermStats` entry for one term in one result document —
+    /// identical to the monolithic engine's (tf is document-local, df and
+    /// the weight's collection inputs are global).
+    pub fn term_stats(&self, doc: DocId, spec: &TermSpec) -> TermStat {
+        let (shard, local) = self.locate(doc);
+        self.shards[shard].term_stats(local, spec)
+    }
+
+    /// Languages observed in a field's values, across all shards
+    /// (sorted, deduplicated).
+    pub fn field_languages(&self, field: FieldId) -> Vec<LangTag> {
+        let mut langs: Vec<LangTag> = self
+            .shards
+            .iter()
+            .flat_map(|e| e.index().field_languages(field))
+            .collect();
+        langs.sort_unstable();
+        langs.dedup();
+        langs
+    }
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn split_timed<T>(per_shard: Vec<(T, u64)>) -> (Vec<T>, Vec<u64>) {
+    per_shard.into_iter().unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Document> {
+        (0..10)
+            .map(|i| {
+                Document::new()
+                    .field("title", ["alpha beta", "beta gamma", "gamma delta"][i % 3])
+                    .field(
+                        "body-of-text",
+                        [
+                            "alpha systems databases",
+                            "distributed beta databases",
+                            "gamma scheduling kernels",
+                            "delta alpha paging",
+                        ][i % 4],
+                    )
+            })
+            .collect()
+    }
+
+    fn config(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_exactly() {
+        let docs = corpus();
+        let mono = Engine::build(&docs, config(1));
+        let ranking = RankNode::term(TermSpec::any("databases"));
+        let filter = BoolNode::Term(TermSpec::any("alpha"));
+        for shards in [1, 2, 3, 7] {
+            let sharded = ShardedEngine::build(&docs, config(shards));
+            for limit in [None, Some(0), Some(2), Some(100)] {
+                assert_eq!(
+                    sharded.search_top_k(None, Some(&ranking), limit),
+                    mono.search_top_k(None, Some(&ranking), limit),
+                    "ranked, shards={shards} limit={limit:?}"
+                );
+                assert_eq!(
+                    sharded.search_top_k(Some(&filter), None, limit),
+                    mono.search_top_k(Some(&filter), None, limit),
+                    "filter, shards={shards} limit={limit:?}"
+                );
+                assert_eq!(
+                    sharded.search_top_k(Some(&filter), Some(&ranking), limit),
+                    mono.search_top_k(Some(&filter), Some(&ranking), limit),
+                    "combined, shards={shards} limit={limit:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collection_stats_are_global() {
+        let docs = corpus();
+        let mono = Engine::build(&docs, config(1));
+        let sharded = ShardedEngine::build(&docs, config(3));
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.n_docs(), mono.index().n_docs());
+        assert_eq!(sharded.total_tokens(), mono.index().total_tokens());
+        assert_eq!(sharded.avg_doc_tokens(), mono.index().avg_doc_tokens());
+        let spec = TermSpec::any("databases");
+        for doc in 0..docs.len() as u32 {
+            assert_eq!(
+                sharded.term_stats(DocId(doc), &spec),
+                mono.term_stats(DocId(doc), &spec),
+                "doc {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn doc_accessors_use_global_ids() {
+        let docs = corpus();
+        let mono = Engine::build(&docs, config(1));
+        let sharded = ShardedEngine::build(&docs, config(4));
+        let title = sharded.schema().get("title").unwrap();
+        for doc in 0..docs.len() as u32 {
+            let doc = DocId(doc);
+            assert_eq!(
+                sharded.doc_field(doc, title),
+                mono.index().doc_field(doc, title)
+            );
+            assert_eq!(
+                sharded.doc_token_count(doc),
+                mono.index().doc_token_count(doc)
+            );
+            assert_eq!(sharded.doc_byte_size(doc), mono.index().doc_byte_size(doc));
+            assert_eq!(
+                sharded.doc_fields(doc).count(),
+                mono.index().doc_fields(doc).count()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_resolution() {
+        assert_eq!(resolve_shard_count(4, 100), 4);
+        assert_eq!(resolve_shard_count(4, 2), 2);
+        assert_eq!(resolve_shard_count(1, 100), 1);
+        assert_eq!(resolve_shard_count(7, 0), 1);
+        assert!(resolve_shard_count(0, 100) >= 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_corpora() {
+        let sharded = ShardedEngine::build(&[], config(4));
+        assert_eq!(sharded.shard_count(), 1);
+        assert!(sharded
+            .search(None, Some(&RankNode::term(TermSpec::any("x"))))
+            .is_empty());
+        let one = vec![Document::new().field("title", "solo doc")];
+        let sharded = ShardedEngine::build(&one, config(8));
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.n_docs(), 1);
+    }
+
+    #[test]
+    fn timed_search_reports_per_shard_latencies() {
+        let docs = corpus();
+        let sharded = ShardedEngine::build(&docs, config(2));
+        let ranking = RankNode::term(TermSpec::any("databases"));
+        let (hits, timings) = sharded.search_top_k_timed(None, Some(&ranking), Some(5));
+        assert!(!hits.is_empty());
+        assert_eq!(timings.len(), 2);
+    }
+}

@@ -106,6 +106,46 @@ impl TopK {
     }
 }
 
+/// Merge per-shard ranked lists — each already sorted by (score
+/// descending via [`f64::total_cmp`], doc id ascending) — into one list
+/// under the same order, keeping at most `limit` entries when bounded.
+///
+/// This is the exact-merge step of the sharded fan-out: a bounded k-way
+/// heap merge over the list heads, `O(total log s)` for `s` lists, that
+/// reproduces precisely the prefix a global sort of the concatenation
+/// would have produced.
+pub fn merge_ranked(lists: Vec<Vec<(DocId, f64)>>, limit: Option<usize>) -> Vec<(DocId, f64)> {
+    let mut lists = lists;
+    if lists.len() == 1 {
+        let mut only = lists.pop().expect("one list");
+        if let Some(k) = limit {
+            only.truncate(k);
+        }
+        return only;
+    }
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let cap = limit.map_or(total, |k| k.min(total));
+    let mut heads: Vec<std::vec::IntoIter<(DocId, f64)>> =
+        lists.into_iter().map(Vec::into_iter).collect();
+    // Max-heap on (Entry, list): pops best-placed entry first; the list
+    // index tie-break is unreachable because doc ids are globally unique.
+    let mut heap: BinaryHeap<(Entry, usize)> = BinaryHeap::with_capacity(heads.len());
+    for (i, stream) in heads.iter_mut().enumerate() {
+        if let Some((doc, score)) = stream.next() {
+            heap.push((Entry { score, doc }, i));
+        }
+    }
+    let mut out = Vec::with_capacity(cap);
+    while out.len() < cap {
+        let Some((entry, i)) = heap.pop() else { break };
+        out.push((entry.doc, entry.score));
+        if let Some((doc, score)) = heads[i].next() {
+            heap.push((Entry { score, doc }, i));
+        }
+    }
+    out
+}
+
 /// Merge any number of sorted (ascending) doc-id streams into one
 /// sorted, deduplicated vector — the candidate set of a ranking
 /// expression, built in one pass over all posting lists.
@@ -178,6 +218,36 @@ mod tests {
         let kept = top.into_sorted_vec();
         assert_eq!(kept[0].0, DocId(0));
         assert_eq!(kept[1].0, DocId(2));
+    }
+
+    #[test]
+    fn merge_ranked_matches_global_sort() {
+        let a = vec![(DocId(1), 0.9), (DocId(0), 0.5), (DocId(2), 0.5)];
+        let b = vec![(DocId(4), 0.9), (DocId(3), 0.7)];
+        let c: Vec<(DocId, f64)> = Vec::new();
+        let all: Vec<(DocId, f64)> = a.iter().chain(&b).chain(&c).copied().collect();
+        for k in 0..=all.len() + 1 {
+            let merged = merge_ranked(vec![a.clone(), b.clone(), c.clone()], Some(k));
+            let mut expect = all.clone();
+            expect.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            expect.truncate(k);
+            assert_eq!(merged, expect, "k={k}");
+        }
+        let unbounded = merge_ranked(vec![a.clone(), b.clone()], None);
+        assert_eq!(unbounded.len(), 5);
+        assert_eq!(unbounded[0], (DocId(1), 0.9));
+        assert_eq!(unbounded[1], (DocId(4), 0.9));
+    }
+
+    #[test]
+    fn merge_ranked_single_list_truncates() {
+        let a = vec![(DocId(0), 0.9), (DocId(1), 0.1)];
+        assert_eq!(
+            merge_ranked(vec![a.clone()], Some(1)),
+            vec![(DocId(0), 0.9)]
+        );
+        assert_eq!(merge_ranked(vec![a.clone()], None), a);
+        assert!(merge_ranked(Vec::new(), Some(3)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Property-based tests for the sharded engine: for random corpora,
+//! random ranking expressions and every ranking algorithm, the sharded
+//! fan-out + k-way merge must return exactly — bit-identical scores,
+//! ordering, and doc-id tie-breaks — what the monolithic engine returns,
+//! in every query mode (filter-only, ranking-only, combined) and for
+//! shard counts {1, 2, 3, 7}, including `k` larger than any single
+//! shard's hit count.
+
+use proptest::prelude::*;
+use starts_index::{BoolNode, Document, Engine, EngineConfig, RankNode, ShardedEngine, TermSpec};
+
+/// The same tiny closed vocabulary the top-k properties use, so queries
+/// hit documents and equal scores (hence tie-breaks) are common.
+const VOCAB: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+];
+
+/// Shard counts exercised: 1 (monolithic delegation), 2, 3 (uneven
+/// split of most corpus sizes), 7 (more shards than hits per shard —
+/// many shards end up with zero or one matching doc).
+const SHARD_COUNTS: &[usize] = &[1, 2, 3, 7];
+
+fn arb_doc() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..VOCAB.len(), 1..25)
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
+    proptest::collection::vec(arb_doc(), 1..20).prop_map(|docs| {
+        docs.into_iter()
+            .map(|words| {
+                let body: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                Document::new().field("body-of-text", body.join(" "))
+            })
+            .collect()
+    })
+}
+
+/// A weighted term leaf (weights quantized so equal weights — and so
+/// score ties — actually occur).
+fn arb_leaf() -> impl Strategy<Value = RankNode> {
+    (0..VOCAB.len(), 1u32..=4)
+        .prop_map(|(w, q)| RankNode::weighted(TermSpec::any(VOCAB[w]), f64::from(q) * 0.25))
+}
+
+/// A ranking expression using every operator the engine scores.
+fn arb_rank_expr() -> impl Strategy<Value = RankNode> {
+    arb_leaf().prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::List),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::Or),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RankNode::AndNot(Box::new(a), Box::new(b))),
+            (inner.clone(), inner, 0u32..6, any::<bool>()).prop_map(|(l, r, distance, ordered)| {
+                RankNode::Prox {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    distance,
+                    ordered,
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_ranking_id() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("Acme-1"),
+        Just("Vendor-K"),
+        Just("Okapi-1"),
+        Just("Plain-1"),
+    ]
+}
+
+fn config(ranking_id: &str, fuzzy: bool, shards: usize) -> EngineConfig {
+    EngineConfig {
+        ranking_id: ranking_id.to_string(),
+        fuzzy_ranking_ops: fuzzy,
+        shards,
+        ..EngineConfig::default()
+    }
+}
+
+proptest! {
+    /// Sharded ≡ monolithic for all three query modes, bounded and
+    /// unbounded, at every shard count and for every ranking algorithm.
+    /// `k` ranges past the corpus size, so it regularly exceeds any
+    /// single shard's hit count.
+    #[test]
+    fn sharded_top_k_equals_monolithic(
+        docs in arb_corpus(),
+        filter_term in 0..VOCAB.len(),
+        expr in arb_rank_expr(),
+        ranking_id in arb_ranking_id(),
+        fuzzy in any::<bool>(),
+        k in 0usize..25,
+    ) {
+        let mono = Engine::build(&docs, config(ranking_id, fuzzy, 1));
+        let filter = BoolNode::Term(TermSpec::any(VOCAB[filter_term]));
+        for &shards in SHARD_COUNTS {
+            let sharded = ShardedEngine::build(&docs, config(ranking_id, fuzzy, shards));
+            for (f, r) in [
+                (Some(&filter), None),
+                (None, Some(&expr)),
+                (Some(&filter), Some(&expr)),
+            ] {
+                for limit in [Some(k), None] {
+                    let expect = mono.search_top_k(f, r, limit);
+                    let got = sharded.search_top_k(f, r, limit);
+                    prop_assert_eq!(
+                        got, expect,
+                        "shards={} limit={:?} filter={} ranked={}",
+                        shards, limit, f.is_some(), r.is_some()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-document statistics reported in results (`TermStats`) are
+    /// identical under sharding: tf is document-local, df and the term
+    /// weight's collection inputs come from the global statistics.
+    #[test]
+    fn sharded_term_stats_equal_monolithic(
+        docs in arb_corpus(),
+        term in 0..VOCAB.len(),
+        ranking_id in arb_ranking_id(),
+    ) {
+        let mono = Engine::build(&docs, config(ranking_id, true, 1));
+        let spec = TermSpec::any(VOCAB[term]);
+        for &shards in SHARD_COUNTS {
+            let sharded = ShardedEngine::build(&docs, config(ranking_id, true, shards));
+            for doc in 0..docs.len() as u32 {
+                let doc = starts_index::DocId(doc);
+                prop_assert_eq!(
+                    sharded.term_stats(doc, &spec),
+                    mono.term_stats(doc, &spec),
+                    "shards={} doc={:?}", shards, doc
+                );
+            }
+        }
+    }
+}

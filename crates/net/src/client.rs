@@ -46,6 +46,16 @@ impl From<starts_soif::ParseError> for ClientError {
     }
 }
 
+thread_local! {
+    /// Request-encoding scratch, reused across exchanges so a query
+    /// burst allocates one buffer per thread, not one per query. Taken
+    /// out of the cell for the duration of an exchange (and put back
+    /// afterwards), so re-entrant use degrades to a fresh allocation,
+    /// never a panic. Thread-local rather than a client field so the
+    /// client stays `Sync` for the metasearcher's dispatch fan-out.
+    static ENCODE_BUF: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// A metasearcher's view of the network: typed STARTS operations.
 pub struct StartsClient<'a> {
     net: &'a SimNet,
@@ -127,9 +137,14 @@ impl<'a> StartsClient<'a> {
         query: &Query,
     ) -> Result<(QueryResults, Exchange), ClientError> {
         let _span = self.op_span("client.query", url);
-        let req = starts_soif::write_object(&query.to_soif());
-        let resp = self.net.request(url, &req)?;
-        let exchange = Exchange::of(&resp, req.len());
+        let mut req = ENCODE_BUF.take();
+        req.clear();
+        starts_soif::write_object_into(&query.to_soif(), &mut req);
+        let result = self.net.request(url, &req);
+        let req_len = req.len();
+        ENCODE_BUF.replace(req);
+        let resp = result?;
+        let exchange = Exchange::of(&resp, req_len);
         Ok((QueryResults::from_soif_stream(&resp.bytes)?, exchange))
     }
 

@@ -156,12 +156,14 @@ fn wire_stats(net: &SimNet, base: &str, profile: LinkProfile) {
 }
 
 /// Encode sample results: alternating `@SQuery` and result streams.
+/// Everything is appended to one output buffer — no per-object
+/// intermediate allocations.
 pub fn encode_sample(samples: &[(Query, QueryResults)]) -> Vec<u8> {
     let mut out = Vec::new();
     for (q, r) in samples {
-        out.extend_from_slice(&starts_soif::write_object(&q.to_soif()));
+        starts_soif::write_object_into(&q.to_soif(), &mut out);
         out.push(b'\n');
-        out.extend_from_slice(&r.to_soif_stream());
+        r.to_soif_stream_into(&mut out);
         out.push(b'\n');
     }
     out

@@ -15,11 +15,20 @@ use crate::object::SoifObject;
 /// and a newline terminates each attribute. Multi-line values are embedded
 /// verbatim — the count makes them parseable.
 pub fn write_object(obj: &SoifObject) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_object_into(obj, &mut out);
+    out
+}
+
+/// Append the wire form of `obj` to `out` — the allocation-free entry
+/// point for hot paths that encode many objects per exchange and reuse
+/// one buffer. [`write_object`] is a convenience wrapper around this.
+pub fn write_object_into(obj: &SoifObject, out: &mut Vec<u8>) {
     let mut cap = obj.template.len() + 8;
     for a in &obj.attrs {
         cap += a.name.len() + a.value.len() + 16;
     }
-    let mut out = Vec::with_capacity(cap);
+    out.reserve(cap);
     out.push(b'@');
     out.extend_from_slice(obj.template.as_bytes());
     out.push(b'{');
@@ -31,26 +40,48 @@ pub fn write_object(obj: &SoifObject) -> Vec<u8> {
     for a in &obj.attrs {
         out.extend_from_slice(a.name.as_bytes());
         out.push(b'{');
-        out.extend_from_slice(a.value.len().to_string().as_bytes());
+        push_decimal(a.value.len(), out);
         out.extend_from_slice(b"}: ");
         out.extend_from_slice(&a.value);
         out.push(b'\n');
     }
     out.extend_from_slice(b"}\n");
-    out
+}
+
+/// Append the decimal digits of `n` without going through a `String`.
+fn push_decimal(n: usize, out: &mut Vec<u8>) {
+    // usize is at most 20 decimal digits; fill a stack buffer backwards.
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut n = n;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
 }
 
 /// Serialize a stream of objects, separated by a blank line (the layout
 /// Examples 8–9 use between `@SQResults` and its `@SQRDocument`s).
 pub fn write_stream(objects: &[SoifObject]) -> Vec<u8> {
     let mut out = Vec::new();
+    write_stream_into(objects, &mut out);
+    out
+}
+
+/// Append a blank-line-separated stream of objects to `out` (the
+/// buffer-reuse counterpart of [`write_stream`]).
+pub fn write_stream_into(objects: &[SoifObject], out: &mut Vec<u8>) {
     for (i, obj) in objects.iter().enumerate() {
         if i > 0 {
             out.push(b'\n');
         }
-        out.extend_from_slice(&write_object(obj));
+        write_object_into(obj, out);
     }
-    out
 }
 
 #[cfg(test)]
@@ -91,6 +122,25 @@ mod tests {
         o.push_str("RankingExpression", "");
         let got = String::from_utf8(write_object(&o)).unwrap();
         assert!(got.contains("RankingExpression{0}: \n"));
+    }
+
+    #[test]
+    fn into_variant_appends_without_touching_prefix() {
+        let mut o = SoifObject::new("SQuery");
+        o.push_str("Version", "STARTS 1.0");
+        let mut buf = b"prefix".to_vec();
+        write_object_into(&o, &mut buf);
+        assert!(buf.starts_with(b"prefix@SQuery{"));
+        assert_eq!(&buf[6..], write_object(&o).as_slice());
+    }
+
+    #[test]
+    fn decimal_lengths_match_to_string() {
+        for n in [0usize, 1, 9, 10, 42, 999, 1000, usize::MAX] {
+            let mut out = Vec::new();
+            push_decimal(n, &mut out);
+            assert_eq!(out, n.to_string().into_bytes());
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
         }
     });
     let engine = source.engine();
-    let analyzer = engine.index().analyzer();
+    let analyzer = engine.analyzer();
     let is_stop = |w: &str| analyzer.is_stop_word(w);
 
     // Phase 1: rewrite against the source's declared capabilities.
@@ -88,7 +88,35 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
         })
         .inc();
     }
-    let mut hits = engine.search_top_k(filter_ir.as_ref(), ranking_ir.as_ref(), limit);
+    let (mut hits, shard_latencies) = {
+        // The fan-out span only appears when there is an actual fan-out;
+        // a single-shard engine searches inline and the span would be
+        // noise. It nests under the `execute` phase span automatically.
+        let _fanout = obs.and_then(|reg| {
+            (engine.shard_count() > 1).then(|| {
+                reg.span_with(
+                    "engine.shard.fanout",
+                    vec![
+                        ("source", source.id().to_string()),
+                        ("shards", engine.shard_count().to_string()),
+                    ],
+                )
+            })
+        });
+        engine.search_top_k_timed(filter_ir.as_ref(), ranking_ir.as_ref(), limit)
+    };
+    if let Some(reg) = obs {
+        let shards = engine.shard_count().to_string();
+        reg.counter_with(
+            "engine.shard.searches",
+            &[("source", source.id()), ("shards", &shards)],
+        )
+        .inc();
+        for us in shard_latencies {
+            reg.histogram_with("engine.shard.latency_us", &[("source", source.id())])
+                .observe(us);
+        }
+    }
 
     // Answer specification: minimum score …
     if query.answer.min_doc_score.is_finite() {
@@ -180,7 +208,7 @@ fn count_downgrades(reg: &Registry, source_id: &str, query: &Query, rewritten: &
 }
 
 fn sort_hits(source: &Source, hits: &mut [Hit], sort_by: &[SortKey]) {
-    let index = source.engine().index();
+    let engine = source.engine();
     hits.sort_by(|a, b| {
         for key in sort_by {
             let ord = match &key.field {
@@ -193,11 +221,11 @@ fn sort_hits(source: &Source, hits: &mut [Hit], sort_by: &[SortKey]) {
                     (None, None) => std::cmp::Ordering::Equal,
                 },
                 Some(f) => {
-                    let fid = index.schema().get(f.name());
+                    let fid = engine.schema().get(f.name());
                     let (va, vb) = match fid {
                         Some(fid) => (
-                            index.doc_field(a.doc, fid).unwrap_or(""),
-                            index.doc_field(b.doc, fid).unwrap_or(""),
+                            engine.doc_field(a.doc, fid).unwrap_or(""),
+                            engine.doc_field(b.doc, fid).unwrap_or(""),
                         ),
                         None => ("", ""),
                     };
@@ -225,13 +253,13 @@ fn build_document(
     query: &Query,
     ranking_terms: &[starts_proto::WeightedTerm],
 ) -> ResultDocument {
-    let index = source.engine().index();
+    let engine = source.engine();
     // Linkage is always returned (§4.1.2), then the requested fields.
     let mut fields: Vec<(Field, String)> = Vec::with_capacity(1 + query.answer.fields.len());
-    push_field(index, hit.doc, &Field::Linkage, &mut fields);
+    push_field(engine, hit.doc, &Field::Linkage, &mut fields);
     for f in &query.answer.fields {
         if f != &Field::Linkage {
-            push_field(index, hit.doc, f, &mut fields);
+            push_field(engine, hit.doc, f, &mut fields);
         }
     }
     let term_stats = ranking_terms
@@ -253,19 +281,19 @@ fn build_document(
         sources: vec![source.id().to_string()],
         fields,
         term_stats,
-        doc_size_kb: index.doc_byte_size(hit.doc).div_ceil(1024),
-        doc_count: u64::from(index.doc_token_count(hit.doc)),
+        doc_size_kb: engine.doc_byte_size(hit.doc).div_ceil(1024),
+        doc_count: u64::from(engine.doc_token_count(hit.doc)),
     }
 }
 
 fn push_field(
-    index: &starts_index::Index,
+    engine: &starts_index::ShardedEngine,
     doc: DocId,
     field: &Field,
     out: &mut Vec<(Field, String)>,
 ) {
-    if let Some(fid) = index.schema().get(field.name()) {
-        if let Some(value) = index.doc_field(doc, fid) {
+    if let Some(fid) = engine.schema().get(field.name()) {
+        if let Some(value) = engine.doc_field(doc, fid) {
             out.push((field.clone(), value.to_string()));
         }
     }

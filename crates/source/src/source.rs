@@ -1,6 +1,6 @@
 //! The [`Source`] type: one STARTS-conformant document source.
 
-use starts_index::{Document, Engine};
+use starts_index::{Document, ShardedEngine};
 use starts_proto::metadata::SourceMetadata;
 use starts_proto::summary::ContentSummary;
 use starts_proto::{Query, QueryResults};
@@ -35,7 +35,7 @@ use crate::config::SourceConfig;
 /// ```
 pub struct Source {
     config: SourceConfig,
-    engine: Engine,
+    engine: ShardedEngine,
     /// Metadata is immutable once built; assemble it eagerly.
     metadata: SourceMetadata,
 }
@@ -44,15 +44,18 @@ impl std::fmt::Debug for Source {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Source")
             .field("id", &self.config.id)
-            .field("n_docs", &self.engine.index().n_docs())
+            .field("n_docs", &self.engine.n_docs())
             .finish()
     }
 }
 
 impl Source {
-    /// Index `docs` under the configured engine personality.
+    /// Index `docs` under the configured engine personality. The index
+    /// is built in parallel across `config.engine.shards` shards
+    /// (default: available parallelism); results are bit-identical at
+    /// any shard count.
     pub fn build(config: SourceConfig, docs: &[Document]) -> Self {
-        let engine = Engine::build(docs, config.engine.clone());
+        let engine = ShardedEngine::build(docs, config.engine.clone());
         let metadata = assemble_metadata(&config, &engine);
         Source {
             config,
@@ -73,13 +76,13 @@ impl Source {
 
     /// The engine (test and experiment access; a protocol client never
     /// touches this).
-    pub fn engine(&self) -> &Engine {
+    pub fn engine(&self) -> &ShardedEngine {
         &self.engine
     }
 
     /// Number of documents.
     pub fn num_docs(&self) -> u32 {
-        self.engine.index().n_docs()
+        self.engine.n_docs()
     }
 
     /// The exported `@SMetaAttributes` metadata (§4.3.1).
@@ -116,17 +119,16 @@ impl Source {
     }
 }
 
-fn assemble_metadata(config: &SourceConfig, engine: &Engine) -> SourceMetadata {
-    let analyzer_cfg = engine.index().analyzer().config();
-    let index = engine.index();
+fn assemble_metadata(config: &SourceConfig, engine: &ShardedEngine) -> SourceMetadata {
+    let analyzer_cfg = engine.analyzer().config();
     let fields_supported = config
         .supported_fields
         .iter()
         .map(|f| {
-            let langs = index
+            let langs = engine
                 .schema()
                 .get(f.name())
-                .map(|fid| index.field_languages(fid))
+                .map(|fid| engine.field_languages(fid))
                 .unwrap_or_default();
             (f.clone(), langs)
         })

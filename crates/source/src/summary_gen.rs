@@ -23,25 +23,25 @@ use crate::source::Source;
 
 /// Generate the content summary for a source.
 pub fn generate(source: &Source) -> ContentSummary {
-    let index = source.engine().index();
-    let cfg = index.analyzer().config();
+    let engine = source.engine();
+    let cfg = engine.analyzer().config();
     let mut sections = Vec::new();
     if source.config().summary_fields_qualified {
         // One section per concrete field, in schema order.
-        for fid in index.schema().concrete_fields() {
-            let terms = collect_terms(index, fid, source.config().summary_max_terms);
+        for fid in engine.schema().concrete_fields() {
+            let terms = collect_terms(engine, fid, source.config().summary_max_terms);
             if terms.is_empty() {
                 continue;
             }
-            let langs = index.field_languages(fid);
+            let langs = engine.field_languages(fid);
             sections.push(SummarySection {
-                field: Some(index.schema().name(fid).to_string()),
+                field: Some(engine.schema().name(fid).to_string()),
                 language: langs.first().cloned(),
                 terms,
             });
         }
     } else {
-        let terms = collect_terms(index, ANY_FIELD, source.config().summary_max_terms);
+        let terms = collect_terms(engine, ANY_FIELD, source.config().summary_max_terms);
         if !terms.is_empty() {
             sections.push(SummarySection {
                 field: None,
@@ -55,21 +55,27 @@ pub fn generate(source: &Source) -> ContentSummary {
         // Words in the index never include the engine's stop words.
         stop_words_included: cfg.stop_words.is_empty(),
         case_sensitive: cfg.case == CaseMode::Sensitive,
-        num_docs: index.n_docs(),
+        num_docs: engine.n_docs(),
         sections,
     }
 }
 
 fn collect_terms(
-    index: &starts_index::Index,
+    engine: &starts_index::ShardedEngine,
     field: starts_index::FieldId,
     max_terms: usize,
 ) -> Vec<TermSummary> {
-    // BTreeMap gives deterministic (sorted) export order.
+    // BTreeMap gives deterministic (sorted) export order. Shards hold
+    // disjoint document subsets, so per-shard postings totals and
+    // document frequencies add up to the collection-wide figures.
     let mut stats: BTreeMap<&str, (u64, u32)> = BTreeMap::new();
-    for (term, postings) in index.field_vocabulary(field) {
-        let total: u64 = postings.iter().map(|p| u64::from(p.tf())).sum();
-        stats.insert(term, (total, postings.len() as u32));
+    for shard in engine.shards() {
+        for (term, postings) in shard.index().field_vocabulary(field) {
+            let total: u64 = postings.iter().map(|p| u64::from(p.tf())).sum();
+            let entry = stats.entry(term).or_insert((0, 0));
+            entry.0 += total;
+            entry.1 += postings.len() as u32;
+        }
     }
     let mut terms: Vec<TermSummary> = stats
         .into_iter()

@@ -49,6 +49,7 @@ pub fn acme(id: &str) -> SourceConfig {
         ranking_id: "Acme-1".to_string(),
         fuzzy_ranking_ops: true,
         thesaurus: Thesaurus::empty(),
+        shards: 0,
     };
     c.supported_fields = all_optional_fields();
     c.supported_modifiers = vec![
@@ -78,6 +79,7 @@ pub fn bolt(id: &str) -> SourceConfig {
         ranking_id: "Vendor-K".to_string(),
         fuzzy_ranking_ops: false,
         thesaurus: Thesaurus::empty(),
+        shards: 0,
     };
     c.supported_fields = vec![Field::Author, Field::BodyOfText];
     c.supported_modifiers = vec![Modifier::RightTruncation];
@@ -100,6 +102,7 @@ pub fn okapi(id: &str) -> SourceConfig {
         ranking_id: "Okapi-1".to_string(),
         fuzzy_ranking_ops: true,
         thesaurus: Thesaurus::computer_science(),
+        shards: 0,
     };
     c.supported_fields = all_optional_fields();
     // Okapi is the research engine: it also honours the two STARTS-new
@@ -136,6 +139,7 @@ pub fn glimpse(id: &str) -> SourceConfig {
         ranking_id: "Plain-1".to_string(),
         fuzzy_ranking_ops: false,
         thesaurus: Thesaurus::empty(),
+        shards: 0,
     };
     c.query_parts = QueryParts::Filter;
     c.supported_fields = all_optional_fields();
@@ -163,6 +167,7 @@ pub fn rankonly(id: &str) -> SourceConfig {
         ranking_id: "Plain-1".to_string(),
         fuzzy_ranking_ops: false,
         thesaurus: Thesaurus::empty(),
+        shards: 0,
     };
     c.query_parts = QueryParts::Ranking;
     c.supported_fields = vec![Field::BodyOfText];

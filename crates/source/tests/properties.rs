@@ -120,10 +120,9 @@ proptest! {
     fn rewrite_is_idempotent(q in arb_query()) {
         for cfg in vendors::fleet() {
             let source = Source::build(cfg, &corpus());
-            let stop = |w: &str| source.engine().index().analyzer().is_stop_word(w);
+            let stop = |w: &str| source.engine().analyzer().is_stop_word(w);
             let can_disable = source
                 .engine()
-                .index()
                 .analyzer()
                 .config()
                 .can_disable_stop_words;

@@ -9,6 +9,8 @@
 //! case sensitive. Heterogeneous analyzers across sources reproduce the
 //! Section 3.1 query-language problem in full.
 
+use std::borrow::Cow;
+
 use crate::casefold::CaseMode;
 use crate::porter::porter_stem;
 use crate::stopwords::StopWordList;
@@ -93,12 +95,35 @@ impl Analyzer {
     /// Normalize a single already-tokenized term (fold + stem). Used when
     /// matching protocol-level query terms that arrive pre-tokenized.
     pub fn normalize_term(&self, term: &str) -> String {
-        let folded = self.config.case.apply(term);
+        self.normalize_term_cow(term).into_owned()
+    }
+
+    /// Like [`Analyzer::normalize_term`], but borrows the input when no
+    /// rewriting is needed (already-folded term, no stemming).
+    pub fn normalize_term_cow<'t>(&self, term: &'t str) -> Cow<'t, str> {
+        let folded = self.config.case.apply_cow(term);
         if self.config.stem {
-            porter_stem(&folded)
+            Cow::Owned(porter_stem(&folded))
         } else {
             folded
         }
+    }
+
+    /// Analyze a field's text for **indexing** without allocating a
+    /// `String` per token: each surviving token is a `Cow` borrowing the
+    /// input text whenever folding and stemming leave it unchanged.
+    /// Equivalent to [`Analyzer::analyze`] term-for-term.
+    pub fn analyze_borrowed<'t>(&self, text: &'t str) -> Vec<(Cow<'t, str>, u32)> {
+        let spans = self.config.tokenizer.token_spans(text);
+        let mut out = Vec::with_capacity(spans.len());
+        for (pos, (start, end)) in spans.into_iter().enumerate() {
+            let raw = &text[start..end];
+            if self.config.stop_words.contains(raw) {
+                continue; // position consumed, token dropped
+            }
+            out.push((self.normalize_term_cow(raw), pos as u32));
+        }
+        out
     }
 
     /// Whether the analyzer would eliminate this word as a stop word.
@@ -195,6 +220,42 @@ mod tests {
             ..AnalyzerConfig::default()
         });
         assert_eq!(terms(&a, "The Who"), vec!["The", "Who"]);
+    }
+
+    #[test]
+    fn analyze_borrowed_matches_analyze() {
+        for config in [
+            AnalyzerConfig::default(),
+            AnalyzerConfig {
+                stem: true,
+                ..AnalyzerConfig::default()
+            },
+            AnalyzerConfig {
+                case: CaseMode::Sensitive,
+                stop_words: StopWordList::none(),
+                ..AnalyzerConfig::default()
+            },
+        ] {
+            let a = Analyzer::new(config);
+            for text in ["The Quick and the Dead", "Título de DATOS z39.50", ""] {
+                let owned = a.analyze(text);
+                let borrowed = a.analyze_borrowed(text);
+                assert_eq!(owned.len(), borrowed.len());
+                for (tok, (term, pos)) in owned.iter().zip(&borrowed) {
+                    assert_eq!(tok.term, term.as_ref());
+                    assert_eq!(tok.position, *pos);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_path_borrows_when_possible() {
+        let a = Analyzer::default();
+        let out = a.analyze_borrowed("quick brown");
+        assert!(out
+            .iter()
+            .all(|(t, _)| matches!(t, std::borrow::Cow::Borrowed(_))));
     }
 
     #[test]

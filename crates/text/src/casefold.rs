@@ -8,6 +8,8 @@
 //! paper's bilingual (English/Spanish) sources — `Título` folds to
 //! `título` — without attempting full locale tailoring.
 
+use std::borrow::Cow;
+
 /// How a source treats character case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CaseMode {
@@ -22,9 +24,16 @@ impl CaseMode {
     /// Apply this mode to a term: identity when sensitive, lowercase fold
     /// when insensitive.
     pub fn apply(self, term: &str) -> String {
+        self.apply_cow(term).into_owned()
+    }
+
+    /// Like [`CaseMode::apply`], but borrows when the term is already in
+    /// folded form — the indexing hot path, where most tokens are
+    /// lowercase ASCII and need no copy at all.
+    pub fn apply_cow(self, term: &str) -> Cow<'_, str> {
         match self {
-            CaseMode::Sensitive => term.to_string(),
-            CaseMode::Insensitive => fold_case(term),
+            CaseMode::Sensitive => Cow::Borrowed(term),
+            CaseMode::Insensitive => fold_case_cow(term),
         }
     }
 
@@ -46,10 +55,17 @@ impl CaseMode {
 
 /// Unicode simple lowercase fold.
 pub fn fold_case(s: &str) -> String {
+    fold_case_cow(s).into_owned()
+}
+
+/// Unicode simple lowercase fold that borrows the input when it is
+/// already folded (all-ASCII with no uppercase), which is the common
+/// case for indexed text.
+pub fn fold_case_cow(s: &str) -> Cow<'_, str> {
     if s.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase()) {
-        return s.to_string();
+        return Cow::Borrowed(s);
     }
-    s.chars().flat_map(char::to_lowercase).collect()
+    Cow::Owned(s.chars().flat_map(char::to_lowercase).collect())
 }
 
 #[cfg(test)]

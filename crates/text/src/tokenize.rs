@@ -79,10 +79,24 @@ impl TokenizerKind {
 
     /// Tokenize `text` into raw tokens.
     pub fn tokenize(self, text: &str) -> Vec<RawToken> {
+        self.token_spans(text)
+            .into_iter()
+            .map(|(start, end)| RawToken {
+                text: text[start..end].to_string(),
+                start,
+                end,
+            })
+            .collect()
+    }
+
+    /// The byte spans of the tokens, without copying any token text —
+    /// the indexing hot path borrows `&text[start..end]` instead of
+    /// allocating one `String` per token.
+    pub fn token_spans(self, text: &str) -> Vec<(usize, usize)> {
         match self {
-            TokenizerKind::Whitespace => tokenize_whitespace(text),
-            TokenizerKind::AlnumRuns => tokenize_alnum(text),
-            TokenizerKind::WordJoiners => tokenize_joiners(text),
+            TokenizerKind::Whitespace => spans_whitespace(text),
+            TokenizerKind::AlnumRuns => spans_alnum(text),
+            TokenizerKind::WordJoiners => spans_joiners(text),
         }
     }
 }
@@ -116,33 +130,25 @@ impl Tokenizer for TokenizerKind {
     }
 }
 
-fn tokenize_whitespace(text: &str) -> Vec<RawToken> {
+fn spans_whitespace(text: &str) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut start = None;
     for (i, c) in text.char_indices() {
         if c.is_whitespace() {
             if let Some(s) = start.take() {
-                out.push(RawToken {
-                    text: text[s..i].to_string(),
-                    start: s,
-                    end: i,
-                });
+                out.push((s, i));
             }
         } else if start.is_none() {
             start = Some(i);
         }
     }
     if let Some(s) = start {
-        out.push(RawToken {
-            text: text[s..].to_string(),
-            start: s,
-            end: text.len(),
-        });
+        out.push((s, text.len()));
     }
     out
 }
 
-fn tokenize_alnum(text: &str) -> Vec<RawToken> {
+fn spans_alnum(text: &str) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut start = None;
     for (i, c) in text.char_indices() {
@@ -151,24 +157,16 @@ fn tokenize_alnum(text: &str) -> Vec<RawToken> {
                 start = Some(i);
             }
         } else if let Some(s) = start.take() {
-            out.push(RawToken {
-                text: text[s..i].to_string(),
-                start: s,
-                end: i,
-            });
+            out.push((s, i));
         }
     }
     if let Some(s) = start {
-        out.push(RawToken {
-            text: text[s..].to_string(),
-            start: s,
-            end: text.len(),
-        });
+        out.push((s, text.len()));
     }
     out
 }
 
-fn tokenize_joiners(text: &str) -> Vec<RawToken> {
+fn spans_joiners(text: &str) -> Vec<(usize, usize)> {
     // A joiner (. - ') is part of a token iff both neighbours are
     // alphanumeric.
     let chars: Vec<(usize, char)> = text.char_indices().collect();
@@ -190,19 +188,11 @@ fn tokenize_joiners(text: &str) -> Vec<RawToken> {
                 start = Some(i);
             }
         } else if let Some(s) = start.take() {
-            out.push(RawToken {
-                text: text[s..i].to_string(),
-                start: s,
-                end: i,
-            });
+            out.push((s, i));
         }
     }
     if let Some(s) = start {
-        out.push(RawToken {
-            text: text[s..].to_string(),
-            start: s,
-            end: text.len(),
-        });
+        out.push((s, text.len()));
     }
     out
 }
