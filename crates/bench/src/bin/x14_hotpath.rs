@@ -29,7 +29,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use starts_bench::{arg_value, header, print_table, section, standard_corpus, wire_and_discover};
 use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
-use starts_index::{Engine, EngineConfig, RankNode, TermSpec};
+use starts_index::{Engine, EngineConfig, PruneMode, RankNode, TermSpec};
 use starts_meta::metasearcher::{MetaConfig, Metasearcher};
 use starts_net::SimNet;
 use starts_proto::query::ast::{QTerm, RankExpr};
@@ -92,6 +92,20 @@ fn main() {
         let node = rank_node(t);
         engine.eval_ranking_top_k(&node, Some(K)).len()
     });
+    // The same bounded pipeline with dynamic pruning disabled — the
+    // topk-vs-noprune delta is what the score-upper-bound skip buys
+    // (X16 measures it in depth).
+    let engine_noprune = Engine::build(
+        &docs,
+        EngineConfig {
+            prune: PruneMode::Off,
+            ..EngineConfig::default()
+        },
+    );
+    let topk_noprune = measure(&terms, |t| {
+        let node = rank_node(t);
+        engine_noprune.eval_ranking_top_k(&node, Some(K)).len()
+    });
 
     // Source path: the full STARTS pipeline on one combined source.
     let source = Source::build(SourceConfig::new("Hot"), &docs);
@@ -117,6 +131,7 @@ fn main() {
         &[
             naive.row("engine-naive"),
             topk.row("engine-topk"),
+            topk_noprune.row("engine-topk (prune off)"),
             source_path.row("source"),
             federated.row("federated"),
         ],
@@ -135,6 +150,7 @@ fn main() {
         build_docs_per_s,
         &naive,
         &topk,
+        &topk_noprune,
         &source_path,
         &federated,
     );
@@ -257,6 +273,7 @@ fn render_json(
     build_docs_per_s: f64,
     naive: &PathStats,
     topk: &PathStats,
+    topk_noprune: &PathStats,
     source: &PathStats,
     federated: &PathStats,
 ) -> String {
@@ -265,12 +282,14 @@ fn render_json(
          \"queries\": {n_queries},\n  \"corpus\": {{\"sources\": {}, \"docs\": {}}},\n  \
          \"build_docs_per_s\": {build_docs_per_s:.0},\n  \
          \"paths\": {{\n    \"engine_naive\": {},\n    \"engine_topk\": {},\n    \
+         \"engine_topk_noprune\": {},\n    \
          \"source\": {},\n    \"federated\": {}\n  }},\n  \
          \"engine_speedup\": {:.2}\n}}\n",
         corpus.sources.len(),
         corpus.total_docs(),
         naive.json(),
         topk.json(),
+        topk_noprune.json(),
         source.json(),
         federated.json(),
         topk.qps / naive.qps.max(1e-9),

@@ -250,7 +250,10 @@ fn render_json(
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"x15_shard\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
+        "{{\n  \"bench\": \"x15_shard\",\n  \
+         \"note\": \"measured on a {parallelism}-core container; the parallel build \
+         cannot beat monolithic there and multi-shard rows show fan-out overhead, \
+         not speedup\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
          \"queries\": {n_queries},\n  \"docs\": {n_docs},\n  \
          \"machine_parallelism\": {parallelism},\n  \"shards\": [\n{}\n  ]\n}}\n",
         shards.join(",\n")

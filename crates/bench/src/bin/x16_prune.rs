@@ -1,0 +1,289 @@
+//! X16 — dynamic pruning: score-upper-bound top-k vs exhaustive scoring
+//! (beyond the paper's artifacts).
+//!
+//! The bounded top-k pipeline (X14) still *scores every candidate* and
+//! lets the heap discard the losers. Dynamic pruning skips the scoring
+//! itself: at build time the engine records, per (field, term), the
+//! largest partial score any document can contribute; at query time the
+//! leaves are walked in descending-bound order and a document is
+//! abandoned the moment its remaining upper bound falls strictly below
+//! the top-k threshold. Under sharding the threshold is shared across
+//! shards through an atomic cell, so one shard's full heap tightens
+//! every other shard's bound check. The results are *bit-identical* to
+//! the unpruned path (enforced here by a spot check and exhaustively by
+//! `crates/index/tests/prune_properties.rs`).
+//!
+//! This experiment measures the pruned vs unpruned query path
+//! (`PruneMode::Auto` vs `PruneMode::Off`) at shard counts 1 and 4 on
+//! the X14 Zipf workload: QPS, p50/p95/p99 latency, and the fraction of
+//! candidate documents the bound check discarded without scoring.
+//!
+//! Writes `BENCH_prune.json` (override with `--out PATH`); pass
+//! `--smoke` for a seconds-scale CI run on the standard corpus.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starts_bench::{arg_value, header, print_table, section, standard_corpus};
+use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
+use starts_index::{
+    EngineConfig, PruneMode, PruneReport, RankNode, SearchOptions, ShardedEngine, TermSpec,
+};
+
+/// Result-list bound for every query (the X14 regime).
+const K: usize = 10;
+
+/// Shard counts under measurement: the monolithic engine and a fan-out
+/// wide enough that threshold sharing matters.
+const SHARD_COUNTS: &[usize] = &[1, 4];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_prune.json".to_string());
+    let n_queries = if smoke { 60 } else { 400 };
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    header("X16  dynamic pruning: score-upper-bound top-k vs exhaustive scoring");
+    let corpus = if smoke {
+        standard_corpus()
+    } else {
+        generate_corpus(&CorpusConfig {
+            n_sources: 12,
+            docs_per_source: 400,
+            n_topics: 4,
+            background_vocab: 1500,
+            topic_vocab: 100,
+            doc_len: (25, 90),
+            topic_skew: 0.35,
+            bilingual_fraction: 0.0,
+            seed: 19970526,
+        })
+    };
+    let docs = corpus.all_docs();
+    let terms = zipf_workload(&corpus, n_queries, 1997);
+    println!(
+        "corpus: {} docs; workload: {} Zipf queries; k = {K}; \
+         machine parallelism: {parallelism}",
+        docs.len(),
+        terms.len()
+    );
+
+    let config = |shards: usize, prune: PruneMode| EngineConfig {
+        shards,
+        prune,
+        ..EngineConfig::default()
+    };
+    let opts = SearchOptions {
+        limit: Some(K),
+        ..SearchOptions::default()
+    };
+
+    // Baseline for the exactness spot check: monolithic, unpruned.
+    let baseline = ShardedEngine::build(&docs, config(1, PruneMode::Off));
+
+    let mut rows = Vec::new();
+    let mut stats = Vec::new();
+    for &shards in SHARD_COUNTS {
+        for prune in [PruneMode::Off, PruneMode::Auto] {
+            let engine = ShardedEngine::build(&docs, config(shards, prune));
+
+            // Exactness spot check on the first queries of the
+            // workload, and the prune tallies over all of them; the
+            // property suite covers exactness exhaustively.
+            let mut report = PruneReport::default();
+            for (i, t) in terms.iter().enumerate() {
+                let node = rank_node(t);
+                let (hits, _, r) = engine.search_top_k_observed(None, Some(&node), &opts);
+                report.candidates += r.candidates;
+                report.skipped_docs += r.skipped_docs;
+                report.skipped_leaves += r.skipped_leaves;
+                report.threshold_updates += r.threshold_updates;
+                if i < 10 {
+                    assert_eq!(
+                        hits,
+                        baseline.search_top_k(None, Some(&node), Some(K)),
+                        "pruned top-k diverged at shards={shards} prune={prune:?}"
+                    );
+                }
+            }
+            match prune {
+                PruneMode::Auto => assert!(
+                    report.skipped_docs > 0,
+                    "pruning never engaged on the Zipf workload: {report:?}"
+                ),
+                PruneMode::Off => assert_eq!(report.skipped_docs, 0),
+            }
+            let pruned_fraction = if report.candidates > 0 {
+                report.skipped_docs as f64 / report.candidates as f64
+            } else {
+                0.0
+            };
+
+            let qs = measure(&terms, |t| {
+                let node = rank_node(t);
+                engine
+                    .search_top_k_observed(None, Some(&node), &opts)
+                    .0
+                    .len()
+            });
+            rows.push(vec![
+                shards.to_string(),
+                format!("{prune:?}"),
+                format!("{:.0}", qs.qps),
+                format!("{:.1}", qs.p50_us),
+                format!("{:.1}", qs.p95_us),
+                format!("{:.1}", qs.p99_us),
+                format!("{:.1}%", pruned_fraction * 100.0),
+            ]);
+            stats.push(PruneStats {
+                shards,
+                prune,
+                qs,
+                pruned_fraction,
+                report,
+            });
+        }
+    }
+
+    section("query latency: pruned vs unpruned per shard count");
+    print_table(
+        &[
+            "shards", "prune", "QPS", "p50 µs", "p95 µs", "p99 µs", "pruned",
+        ],
+        &rows,
+    );
+    println!();
+    for pair in stats.chunks(2) {
+        let (off, auto) = (&pair[0], &pair[1]);
+        println!(
+            "shards={}: prune {:.2}x QPS vs off ({:.0} -> {:.0}), \
+             {:.1}% of candidates skipped unscored",
+            auto.shards,
+            auto.qs.qps / off.qs.qps.max(1e-9),
+            off.qs.qps,
+            auto.qs.qps,
+            auto.pruned_fraction * 100.0
+        );
+    }
+
+    let json = render_json(smoke, docs.len(), n_queries, parallelism, &stats);
+    std::fs::write(&out_path, json).expect("write BENCH_prune.json");
+    println!("wrote {out_path}");
+}
+
+/// Per-configuration measurements.
+struct PruneStats {
+    shards: usize,
+    prune: PruneMode,
+    qs: QueryStats,
+    pruned_fraction: f64,
+    report: PruneReport,
+}
+
+/// Query-side timing summary (the X14 `PathStats` shape).
+struct QueryStats {
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Time one closure over the whole workload (after a short warmup) and
+/// summarize per-query latency.
+fn measure(terms: &[Vec<String>], mut run: impl FnMut(&[String]) -> usize) -> QueryStats {
+    for t in terms.iter().take(5) {
+        run(t);
+    }
+    let mut lat_us: Vec<f64> = Vec::with_capacity(terms.len());
+    let total = Instant::now();
+    for t in terms {
+        let start = Instant::now();
+        std::hint::black_box(run(t));
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = total.elapsed().as_secs_f64();
+    lat_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        let idx = ((lat_us.len() - 1) as f64 * p).round() as usize;
+        lat_us[idx]
+    };
+    QueryStats {
+        qps: terms.len() as f64 / elapsed.max(1e-12),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+    }
+}
+
+/// The same Zipf workload X14 draws: 1–3 words per query, mostly common
+/// background vocabulary, sometimes a rare topic word.
+fn zipf_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg = Zipf::new(corpus.background.len(), 1.0);
+    let topic = Zipf::new(corpus.topics[0].len(), 0.8);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=3);
+            (0..k)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        let t = rng.gen_range(0..corpus.topics.len());
+                        corpus.topics[t][topic.sample(&mut rng)].clone()
+                    } else {
+                        corpus.background[bg.sample(&mut rng)].clone()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The engine-level ranking expression for a term list.
+fn rank_node(terms: &[String]) -> RankNode {
+    RankNode::List(
+        terms
+            .iter()
+            .map(|t| RankNode::term(TermSpec::fielded("body-of-text", t)))
+            .collect(),
+    )
+}
+
+/// Hand-rolled JSON artifact (schema documented in
+/// `docs/performance.md`).
+fn render_json(
+    smoke: bool,
+    n_docs: usize,
+    n_queries: usize,
+    parallelism: usize,
+    stats: &[PruneStats],
+) -> String {
+    let configs: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"shards\": {}, \"prune\": \"{:?}\", \"qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \
+                 \"pruned_fraction\": {:.4}, \"skipped_docs\": {}, \"candidates\": {}}}",
+                s.shards,
+                s.prune,
+                s.qs.qps,
+                s.qs.p50_us,
+                s.qs.p95_us,
+                s.qs.p99_us,
+                s.pruned_fraction,
+                s.report.skipped_docs,
+                s.report.candidates
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"x16_prune\",\n  \
+         \"note\": \"measured on a {parallelism}-core container; with fewer cores \
+         than shards the fan-out adds overhead pruning must first pay back\",\n  \
+         \"smoke\": {smoke},\n  \"k\": {K},\n  \"queries\": {n_queries},\n  \
+         \"docs\": {n_docs},\n  \"machine_parallelism\": {parallelism},\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        configs.join(",\n")
+    )
+}

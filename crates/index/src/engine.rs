@@ -6,18 +6,19 @@
 //! executed query was — is what the STARTS source layer
 //! (`starts-source`) wraps and exports.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use starts_text::{Analyzer, AnalyzerConfig, Thesaurus};
 
 use crate::boolean::{difference, intersect, prox_match, union, BoolNode};
 use crate::doc::{DocId, Document};
-use crate::index::{Index, IndexBuilder, Posting};
+use crate::index::{Index, IndexBuilder, Posting, TermBound, TermBounds};
 use crate::matchspec::{CmpOp, TermSpec};
 use crate::ranking::{RankingAlgorithm, TermDocStats};
 use crate::schema::{FieldId, ANY_FIELD};
 use crate::sharded::CollectionStats;
-use crate::topk::{kway_union, TopK};
+use crate::topk::{kway_union, SharedThreshold, TopK};
 
 /// A ranking-expression tree at the engine level. Leaves carry the
 /// query-assigned weight (§4.1.1: "Each term in a ranking expression may
@@ -143,6 +144,25 @@ pub struct TermStat {
     pub df: u32,
 }
 
+/// Dynamic-pruning mode for the ranked top-k path.
+///
+/// Under [`PruneMode::Auto`] the engine records a [`TermBounds`] sidecar
+/// at build time and skips candidates whose score upper bound provably
+/// cannot enter the bounded result — returned hits stay bit-identical
+/// to the unpruned evaluation (scores, order, and tie-breaks; enforced
+/// by `crates/index/tests/prune_properties.rs`). [`PruneMode::Off`] is
+/// the escape hatch: no sidecar, no skipping, exactly the pre-pruning
+/// code path — diff a query against `Off` to diagnose any suspected
+/// exactness regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// Build term bounds and skip provably non-competitive documents.
+    #[default]
+    Auto,
+    /// Never skip: every candidate is scored.
+    Off,
+}
+
 /// Engine configuration: the vendor's whole observable personality.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -164,6 +184,8 @@ pub struct EngineConfig {
     /// collection statistics are broadcast to each shard. Ignored by the
     /// plain [`Engine`] constructors.
     pub shards: usize,
+    /// Dynamic pruning of the ranked top-k path (see [`PruneMode`]).
+    pub prune: PruneMode,
 }
 
 impl Default for EngineConfig {
@@ -174,6 +196,7 @@ impl Default for EngineConfig {
             fuzzy_ranking_ops: true,
             thesaurus: Thesaurus::empty(),
             shards: 0,
+            prune: PruneMode::Auto,
         }
     }
 }
@@ -190,6 +213,11 @@ pub struct Engine {
     /// index's, so each shard scores exactly as the monolithic engine
     /// would.
     collection: Option<Arc<CollectionStats>>,
+    prune: PruneMode,
+    /// The dynamic-pruning sidecar (present iff `prune` is `Auto`):
+    /// per-(field, term) extrema of the exact term weights scoring can
+    /// produce on this engine's documents.
+    bounds: Option<TermBounds>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -237,6 +265,15 @@ impl Engine {
         } else {
             vec![1.0; index.n_docs() as usize]
         };
+        let bounds = match config.prune {
+            PruneMode::Auto => Some(compute_term_bounds(
+                &index,
+                ranking.as_ref(),
+                collection.as_deref(),
+                &doc_norms,
+            )),
+            PruneMode::Off => None,
+        };
         Engine {
             index,
             ranking,
@@ -244,6 +281,8 @@ impl Engine {
             thesaurus: config.thesaurus,
             doc_norms,
             collection,
+            prune: config.prune,
+            bounds,
         }
     }
 
@@ -292,6 +331,19 @@ impl Engine {
         ranking: Option<&RankNode>,
         limit: Option<usize>,
     ) -> Vec<Hit> {
+        self.search_top_k_hooked(filter, ranking, limit, &PruneHooks::NONE)
+    }
+
+    /// [`Engine::search_top_k`] with the query-scoped pruning context: a
+    /// raw-score floor seeded from `min-doc-score`, the cross-shard
+    /// shared threshold, and the telemetry counters.
+    pub(crate) fn search_top_k_hooked(
+        &self,
+        filter: Option<&BoolNode>,
+        ranking: Option<&RankNode>,
+        limit: Option<usize>,
+        hooks: &PruneHooks<'_>,
+    ) -> Vec<Hit> {
         match (filter, ranking) {
             (None, None) => Vec::new(),
             (Some(f), None) => {
@@ -303,16 +355,20 @@ impl Engine {
                     .map(|doc| Hit { doc, score: None })
                     .collect()
             }
-            (None, Some(r)) => self
-                .eval_ranking_top_k(r, limit)
-                .into_iter()
-                .map(|(doc, score)| Hit {
-                    doc,
-                    score: Some(score),
-                })
-                .collect(),
+            (None, Some(r)) => {
+                let mut scores = self.eval_ranking_top_k_raw(r, limit, hooks);
+                self.ranking.finalize(&mut scores);
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scores
+                    .into_iter()
+                    .map(|(doc, score)| Hit {
+                        doc,
+                        score: Some(score),
+                    })
+                    .collect()
+            }
             (Some(f), Some(r)) => {
-                let mut scores = self.eval_filter_ranked_raw(f, r, limit);
+                let mut scores = self.eval_filter_ranked_raw(f, r, limit, hooks);
                 // As in `eval_ranking_top_k`: `finalize` rescales
                 // monotonically, so selecting on raw scores first and
                 // finalizing the selected slice equals finalizing the
@@ -342,12 +398,15 @@ impl Engine {
         filter: &BoolNode,
         ranking: &RankNode,
         limit: Option<usize>,
+        hooks: &PruneHooks<'_>,
     ) -> Vec<(DocId, f64)> {
         let set = self.eval_filter(filter);
         let slots = self.score_set(ranking, &set);
         match limit {
             Some(k) => {
-                let mut top = TopK::new(k);
+                // The floor seeds the heap: docs below `min-doc-score`
+                // are never held, so the heap threshold starts tight.
+                let mut top = TopK::with_floor(k, hooks.floor);
                 for (doc, score) in set.into_iter().zip(slots) {
                     top.push(doc, score);
                 }
@@ -391,7 +450,7 @@ impl Engine {
     /// best `k` documents are selected by a bounded heap; the result is
     /// exactly the first `k` entries of the unbounded evaluation.
     pub fn eval_ranking_top_k(&self, node: &RankNode, limit: Option<usize>) -> Vec<(DocId, f64)> {
-        let mut scores = self.eval_ranking_top_k_raw(node, limit);
+        let mut scores = self.eval_ranking_top_k_raw(node, limit, &PruneHooks::NONE);
         // `finalize` rescales monotonically (the §3.2 vendor pins its
         // top hit to 1000); the global maximum is always inside the top
         // k, so finalizing the selected slice equals finalizing
@@ -409,6 +468,7 @@ impl Engine {
         &self,
         node: &RankNode,
         limit: Option<usize>,
+        hooks: &PruneHooks<'_>,
     ) -> Vec<(DocId, f64)> {
         let effective;
         let node = if self.fuzzy_ranking_ops {
@@ -419,13 +479,24 @@ impl Engine {
         };
         let mut leaves = Vec::new();
         self.resolve_leaves(node, &mut leaves);
+        if let Some(k) = limit {
+            if self.prune == PruneMode::Auto {
+                if let Some(plan) = prune_plan(node, &leaves) {
+                    return self.eval_ranking_pruned(&leaves, &plan, k, hooks);
+                }
+            }
+        }
         let candidates = candidate_docs(&leaves);
+        if let Some(c) = hooks.counters {
+            c.candidates
+                .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        }
         let mut cursor = 0;
         let mut tf_scratch = Vec::new();
         let slots = self.score_tree(node, &candidates, &leaves, &mut cursor, &mut tf_scratch);
         match limit {
             Some(k) => {
-                let mut top = TopK::new(k);
+                let mut top = TopK::with_floor(k, hooks.floor);
                 for (&doc, &score) in candidates.iter().zip(&slots) {
                     if score > 0.0 {
                         top.push(doc, score);
@@ -443,6 +514,120 @@ impl Engine {
                 scores
             }
         }
+    }
+
+    /// The MaxScore-style pruned evaluator for flat term lists (see
+    /// `docs/performance.md` § Dynamic pruning). Bit-identical to the
+    /// unpruned path by construction:
+    ///
+    /// * a candidate is skipped only when its *inflated* score upper
+    ///   bound is strictly below the current threshold θ — and θ is
+    ///   either the seeded raw-score floor (the floored heap rejects
+    ///   such docs anyway), the local heap floor once the heap holds
+    ///   `k` entries (a doc strictly below it can never displace an
+    ///   entry: ties break toward the smaller doc ids already held), or
+    ///   another shard's published heap floor (then `k` strictly better
+    ///   docs exist elsewhere in the collection);
+    /// * survivors are scored by the exact per-slot arithmetic of the
+    ///   unpruned path: present leaves accumulate
+    ///   `weight · term_weight(stats)` in tree order, absent leaves add
+    ///   an exact `+ 0.0`, and the weighted-mean division happens once.
+    ///
+    /// The inflation (`plan.slack`) makes the float comparison safe:
+    /// `acc + suffix[pos]` is one summation order of per-leaf bounds,
+    /// each of which dominates (as a float) the leaf's actual
+    /// contribution, while the exact numerator is a different summation
+    /// order of the dominated values — it can exceed `acc + suffix`
+    /// only by summation-order rounding, which `(n + 3)·ε` of headroom
+    /// provably covers. Division by the positive denominator is
+    /// monotone, so `ub < θ ⇒ score < θ`.
+    fn eval_ranking_pruned(
+        &self,
+        leaves: &[LeafCtx<'_>],
+        plan: &PrunePlan,
+        k: usize,
+        hooks: &PruneHooks<'_>,
+    ) -> Vec<(DocId, f64)> {
+        let candidates = candidate_docs(leaves);
+        let n = leaves.len();
+        let mut cursors = vec![0usize; n];
+        let mut tfs = vec![0u32; n];
+        let mut top = TopK::with_floor(k, hooks.floor);
+        let mut theta = top.threshold();
+        let mut skipped_docs = 0u64;
+        let mut skipped_leaves = 0u64;
+        let mut threshold_updates = 0u64;
+        'docs: for &doc in &candidates {
+            if let Some(shared) = hooks.shared {
+                let global = shared.get();
+                if global > theta {
+                    theta = global;
+                }
+            }
+            for tf in tfs.iter_mut() {
+                *tf = 0;
+            }
+            let mut acc = 0.0_f64;
+            for (pos, &li) in plan.order.iter().enumerate() {
+                let mut ub = (acc + plan.suffix[pos]) * plan.slack;
+                if let Some(den) = plan.den {
+                    ub /= den;
+                }
+                if ub < theta {
+                    skipped_docs += 1;
+                    skipped_leaves += (n - pos) as u64;
+                    continue 'docs;
+                }
+                // Monotone per-leaf cursor over the candidate sweep —
+                // amortized O(total postings), like the merge-join of
+                // the unpruned path.
+                if let Some(postings) = leaves[li].postings.first() {
+                    let cur = &mut cursors[li];
+                    while *cur < postings.len() && postings[*cur].doc < doc {
+                        *cur += 1;
+                    }
+                    if let Some(p) = postings.get(*cur) {
+                        if p.doc == doc {
+                            tfs[li] = p.tf();
+                            acc += leaves[li].bound;
+                        }
+                    }
+                }
+            }
+            // Exact score in tree (leaf-index) order over present leaves.
+            let mut num = 0.0_f64;
+            for (leaf, &tf) in leaves.iter().zip(&tfs) {
+                if tf > 0 {
+                    num +=
+                        leaf.weight * self.ranking.term_weight(&self.stats_for(doc, tf, leaf.df));
+                }
+            }
+            let score = match plan.den {
+                Some(den) => num / den,
+                None => num,
+            };
+            if score > 0.0 {
+                top.push(doc, score);
+                let floor = top.threshold();
+                if floor > theta {
+                    theta = floor;
+                    threshold_updates += 1;
+                    if let Some(shared) = hooks.shared {
+                        shared.raise(floor);
+                    }
+                }
+            }
+        }
+        if let Some(c) = hooks.counters {
+            c.candidates
+                .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+            c.skipped_docs.fetch_add(skipped_docs, Ordering::Relaxed);
+            c.skipped_leaves
+                .fetch_add(skipped_leaves, Ordering::Relaxed);
+            c.threshold_updates
+                .fetch_add(threshold_updates, Ordering::Relaxed);
+        }
+        top.into_sorted_vec()
     }
 
     /// The pre-fast-path evaluator: per-document recursive tree walk over
@@ -691,13 +876,22 @@ impl Engine {
                     df: 0,
                     postings: Vec::new(),
                     cmp_docs: None,
+                    bound: f64::INFINITY,
                 };
+                // Track the resolved-key shape for the pruning bound: a
+                // finite bound needs exactly one vocabulary key, because
+                // multi-key leaves sum tf across keys and take the max
+                // df — neither of which the per-key envelope covers.
+                let mut n_keys = 0usize;
+                let mut single = None;
                 if let Some(field) = self.resolve_field(spec) {
                     for key in self.resolve_keys(field, spec) {
+                        n_keys += 1;
                         ctx.df = ctx.df.max(self.df_of(field, &key));
                         if let Some(postings) = self.index.postings(field, &key) {
                             ctx.postings.push(postings);
                         }
+                        single = (n_keys == 1).then_some((field, key));
                     }
                 }
                 // Comparison leaves match on stored field values; their
@@ -706,6 +900,7 @@ impl Engine {
                 if spec.cmp.is_some() {
                     ctx.cmp_docs = Some(self.eval_term(spec));
                 }
+                ctx.bound = self.leaf_bound(&ctx, single.as_ref());
                 out.push(ctx);
             }
             RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => {
@@ -721,6 +916,35 @@ impl Engine {
                 self.resolve_leaves(left, out);
                 self.resolve_leaves(right, out);
             }
+        }
+    }
+
+    /// The largest contribution `leaf` can make to any local document's
+    /// score slot, as a float — `+inf` (no sound finite bound, pruning
+    /// disabled for the query) for comparison leaves, negative or
+    /// non-finite query weights, multi-key resolutions, or a key whose
+    /// recorded weight envelope is negative or non-finite. A leaf with
+    /// no local postings contributes exactly 0 on this engine.
+    fn leaf_bound(&self, leaf: &LeafCtx<'_>, single: Option<&(FieldId, String)>) -> f64 {
+        let Some(bounds) = &self.bounds else {
+            return f64::INFINITY; // prune == Off: never consulted
+        };
+        if leaf.cmp_docs.is_some() || !leaf.weight.is_finite() || leaf.weight < 0.0 {
+            return f64::INFINITY;
+        }
+        if leaf.postings.is_empty() {
+            return 0.0;
+        }
+        let Some((field, key)) = single else {
+            return f64::INFINITY;
+        };
+        match self
+            .index
+            .term_id(key)
+            .and_then(|tid| bounds.get(*field, tid))
+        {
+            Some(b) if b.min >= 0.0 && b.max.is_finite() => (leaf.weight * b.max).max(0.0),
+            _ => f64::INFINITY,
         }
     }
 
@@ -977,6 +1201,180 @@ struct LeafCtx<'a> {
     df: u32,
     postings: Vec<&'a [Posting]>,
     cmp_docs: Option<Vec<DocId>>,
+    /// Upper bound (weight folded in) on this leaf's contribution to
+    /// any local document's score slot; `+inf` when no sound finite
+    /// bound exists — then the whole query falls back to the exact
+    /// unpruned path.
+    bound: f64,
+}
+
+/// Aggregate pruning telemetry for one query evaluation (summed across
+/// every shard of a [`crate::ShardedEngine`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Candidate documents entering ranked evaluation.
+    pub candidates: u64,
+    /// Candidates skipped without computing their exact score.
+    pub skipped_docs: u64,
+    /// Leaf probes those skips avoided (one per unexamined leaf).
+    pub skipped_leaves: u64,
+    /// Times a heap-floor rise tightened the pruning threshold.
+    pub threshold_updates: u64,
+}
+
+/// Shared atomic tallies behind a [`PruneReport`] — written once per
+/// shard evaluation, snapshotted once per query.
+#[derive(Debug, Default)]
+pub(crate) struct PruneCounters {
+    pub(crate) candidates: AtomicU64,
+    pub(crate) skipped_docs: AtomicU64,
+    pub(crate) skipped_leaves: AtomicU64,
+    pub(crate) threshold_updates: AtomicU64,
+}
+
+impl PruneCounters {
+    /// Snapshot the tallies.
+    pub(crate) fn report(&self) -> PruneReport {
+        PruneReport {
+            candidates: self.candidates.load(Ordering::Relaxed),
+            skipped_docs: self.skipped_docs.load(Ordering::Relaxed),
+            skipped_leaves: self.skipped_leaves.load(Ordering::Relaxed),
+            threshold_updates: self.threshold_updates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Query-scoped pruning context threaded through the raw evaluators: a
+/// raw-score floor (seeded from `min-doc-score` when the ranking
+/// algorithm allows it), the cross-shard shared threshold cell, and the
+/// telemetry counters.
+#[derive(Clone, Copy)]
+pub(crate) struct PruneHooks<'a> {
+    pub(crate) floor: f64,
+    pub(crate) shared: Option<&'a SharedThreshold>,
+    pub(crate) counters: Option<&'a PruneCounters>,
+}
+
+impl PruneHooks<'_> {
+    /// No floor, no sharing, no counting — the behaviour of the public
+    /// unhooked entry points.
+    pub(crate) const NONE: PruneHooks<'static> = PruneHooks {
+        floor: f64::NEG_INFINITY,
+        shared: None,
+        counters: None,
+    };
+}
+
+/// The precomputed pruning schedule for a flat list of single-key term
+/// leaves: leaf visit order by descending bound, suffix sums of the
+/// ordered bounds, the list's weight denominator, and a multiplicative
+/// slack that dominates floating-point summation-order error.
+struct PrunePlan {
+    /// Leaf indices, largest bound first.
+    order: Vec<usize>,
+    /// `suffix[j]` = sum of bounds of `order[j..]` (`suffix[n]` = 0).
+    suffix: Vec<f64>,
+    /// The `list` weight denominator; `None` for a bare term leaf
+    /// (scored without the weighted-mean division).
+    den: Option<f64>,
+    /// Upper-bound inflation factor (see `eval_ranking_pruned`).
+    slack: f64,
+}
+
+/// Decide whether `node` (already flattened when the engine ignores
+/// fuzzy operators) has the shape the pruned evaluator handles — a bare
+/// term or a flat `list` of terms, every leaf carrying a finite bound —
+/// and build the schedule if so. Any other shape falls back to the
+/// exact unpruned path, where pruning is a documented no-op.
+fn prune_plan(node: &RankNode, leaves: &[LeafCtx<'_>]) -> Option<PrunePlan> {
+    let den = match node {
+        RankNode::Term { .. } => None,
+        RankNode::List(children) => {
+            if children.is_empty() || children.iter().any(|c| !matches!(c, RankNode::Term { .. })) {
+                return None;
+            }
+            // Same accumulation order as the unpruned List evaluation.
+            let mut den = 0.0;
+            for c in children {
+                den += leaf_weight(c);
+            }
+            if den > 0.0 {
+                Some(den)
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    if leaves.iter().any(|l| !l.bound.is_finite()) {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..leaves.len()).collect();
+    order.sort_by(|&a, &b| leaves[b].bound.total_cmp(&leaves[a].bound));
+    let mut suffix = vec![0.0; leaves.len() + 1];
+    for j in (0..leaves.len()).rev() {
+        suffix[j] = leaves[order[j]].bound + suffix[j + 1];
+    }
+    // Any two floating-point summation orders of n non-negative terms
+    // differ by at most a factor ~(1 + ε/2)^(n-1) each way; (n + 3)·ε
+    // of headroom dominates that plus the rounding of the slack
+    // multiplication and the division for every realistic n.
+    let slack = 1.0 + (leaves.len() as f64 + 3.0) * f64::EPSILON;
+    Some(PrunePlan {
+        order,
+        suffix,
+        den,
+        slack,
+    })
+}
+
+/// Record, per (field, term) key, the float max/min of the exact term
+/// weights query-time scoring can produce for that key: the same
+/// `term_weight` over the same [`TermDocStats`] (global df/N/avg when
+/// sharded, this engine's doc norms) the evaluators compute. Because
+/// each recorded max is a float max over identical float values, a
+/// leaf's upper bound holds exactly — no epsilon at the leaf level.
+fn compute_term_bounds(
+    index: &Index,
+    ranking: &dyn RankingAlgorithm,
+    collection: Option<&CollectionStats>,
+    doc_norms: &[f64],
+) -> TermBounds {
+    let (n_docs, avg_tokens) = match collection {
+        Some(c) => (c.n_docs(), c.avg_doc_tokens()),
+        None => (index.n_docs(), index.avg_doc_tokens()),
+    };
+    let mut out = TermBounds::default();
+    for (field, tid, term, postings) in index.all_postings() {
+        let df = match collection {
+            Some(c) => c.df(field, term),
+            None => postings.len() as u32,
+        };
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for p in postings {
+            let st = TermDocStats {
+                tf: p.tf(),
+                df,
+                n_docs,
+                doc_tokens: index.doc_token_count(p.doc),
+                avg_tokens,
+                doc_norm: doc_norms[p.doc.0 as usize],
+            };
+            let w = ranking.term_weight(&st);
+            // `total_cmp` extrema: a NaN weight poisons the envelope
+            // (it sorts above +inf / below -inf), correctly disabling
+            // pruning for the key.
+            if w.total_cmp(&max).is_gt() {
+                max = w;
+            }
+            if w.total_cmp(&min).is_lt() {
+                min = w;
+            }
+        }
+        out.insert(field, tid, TermBound { max, min });
+    }
+    out
 }
 
 /// One sorted doc-id stream feeding the candidate merge: either a

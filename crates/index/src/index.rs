@@ -45,6 +45,43 @@ pub(crate) struct StoredDoc {
     pub byte_size: u32,
 }
 
+/// The recorded term-weight envelope of one `(field, term)` key: the
+/// float max/min of the ranking algorithm's `term_weight` across the
+/// key's postings.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TermBound {
+    /// Float max of the key's term weights.
+    pub max: f64,
+    /// Float min — pruning demands non-negative weights, so a negative
+    /// (or non-finite) envelope disables the bound for its key.
+    pub min: f64,
+}
+
+/// Per-`(field, term)` extrema of the ranking algorithm's term weights
+/// over one index's postings — the build-time sidecar behind the
+/// engine's dynamic pruning (see `docs/performance.md`). For a shard of
+/// a sharded collection the weights are computed against the *global*
+/// collection statistics, so each recorded maximum is the float max of
+/// exactly the weight values query-time scoring can produce for that
+/// key on this shard; a leaf's upper bound therefore holds without any
+/// epsilon.
+#[derive(Debug, Default)]
+pub struct TermBounds {
+    bounds: HashMap<(FieldId, TermId), TermBound>,
+}
+
+impl TermBounds {
+    /// Record the envelope for one key.
+    pub(crate) fn insert(&mut self, field: FieldId, term: TermId, bound: TermBound) {
+        self.bounds.insert((field, term), bound);
+    }
+
+    /// The envelope recorded for a key, if any.
+    pub(crate) fn get(&self, field: FieldId, term: TermId) -> Option<TermBound> {
+        self.bounds.get(&(field, term)).copied()
+    }
+}
+
 /// An immutable, fully-built index.
 #[derive(Debug)]
 pub struct Index {
@@ -281,13 +318,26 @@ impl Index {
         (0..self.docs.len() as u32).map(DocId)
     }
 
-    /// Every `(field, term, postings)` triple in the index, in arbitrary
-    /// order — the raw feed for merging per-shard document frequencies
-    /// into global collection statistics.
-    pub(crate) fn all_postings(&self) -> impl Iterator<Item = (FieldId, &str, &[Posting])> + '_ {
-        self.postings
-            .iter()
-            .map(|((fid, tid), list)| (*fid, self.terms[tid.0 as usize].as_str(), list.as_slice()))
+    /// Every `(field, term id, term, postings)` tuple in the index, in
+    /// arbitrary order — the raw feed for merging per-shard document
+    /// frequencies into global collection statistics and for building
+    /// the [`TermBounds`] pruning sidecar.
+    pub(crate) fn all_postings(
+        &self,
+    ) -> impl Iterator<Item = (FieldId, TermId, &str, &[Posting])> + '_ {
+        self.postings.iter().map(|((fid, tid), list)| {
+            (
+                *fid,
+                *tid,
+                self.terms[tid.0 as usize].as_str(),
+                list.as_slice(),
+            )
+        })
+    }
+
+    /// The interned id of an index-normalized term, if present.
+    pub(crate) fn term_id(&self, term: &str) -> Option<TermId> {
+        self.vocab.get(term).copied()
     }
 }
 

@@ -39,10 +39,10 @@ pub mod topk;
 
 pub use boolean::BoolNode;
 pub use doc::{DocId, Document, FieldValue};
-pub use engine::{Engine, EngineConfig, Hit, RankNode, TermStat};
-pub use index::{Index, IndexBuilder, Posting};
+pub use engine::{Engine, EngineConfig, Hit, PruneMode, PruneReport, RankNode, TermStat};
+pub use index::{Index, IndexBuilder, Posting, TermBounds};
 pub use matchspec::{CmpOp, TermMatch, TermSpec};
 pub use ranking::{ranking_by_id, RankingAlgorithm, ScoreRange};
 pub use schema::{FieldId, Schema, ANY_FIELD};
-pub use sharded::{CollectionStats, ShardedEngine};
-pub use topk::{merge_ranked, TopK};
+pub use sharded::{CollectionStats, SearchOptions, ShardedEngine};
+pub use topk::{merge_ranked, SharedThreshold, TopK};

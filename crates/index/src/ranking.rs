@@ -90,6 +90,17 @@ pub trait RankingAlgorithm: Send + Sync {
     /// Post-process the complete score list (e.g. rescale so the top
     /// document always gets the vendor's signature score).
     fn finalize(&self, _scores: &mut [(DocId, f64)]) {}
+
+    /// Map a final-score threshold (the `min-doc-score` filter, applied
+    /// after [`RankingAlgorithm::finalize`]) to a raw-score floor the
+    /// bounded evaluators may seed their selection with: raw scores
+    /// below the returned floor can never finalize to `min_score` or
+    /// more. Algorithms with an identity `finalize` return the
+    /// threshold unchanged; algorithms whose `finalize` rescales by a
+    /// result-dependent factor must return `None`, disabling the seed.
+    fn raw_score_floor(&self, min_score: f64) -> Option<f64> {
+        Some(min_score)
+    }
 }
 
 /// Resolve a `RankingAlgorithmID` to an implementation. Unknown ids — the
@@ -167,6 +178,11 @@ impl RankingAlgorithm for VendorScaled {
                 *s *= k;
             }
         }
+    }
+    fn raw_score_floor(&self, _min_score: f64) -> Option<f64> {
+        // `finalize` rescales by 1000 / max(raw), unknown until every
+        // raw score is in — no raw floor is sound.
+        None
     }
 }
 
@@ -340,6 +356,17 @@ mod tests {
         assert!(TfIdfCosine.score_range().is_bounded());
         assert_eq!(VendorScaled.score_range().max, 1000.0);
         assert!(!Bm25::default().score_range().is_bounded());
+    }
+
+    #[test]
+    fn raw_score_floor_tracks_finalize() {
+        // Identity-finalize algorithms pass the threshold through …
+        for id in ["Acme-1", "Okapi-1", "Plain-1"] {
+            let alg = ranking_by_id(id).expect("known id");
+            assert_eq!(alg.raw_score_floor(0.25), Some(0.25), "{id}");
+        }
+        // … while Vendor-K's result-dependent rescale forbids a seed.
+        assert_eq!(VendorScaled.raw_score_floor(0.25), None);
     }
 
     #[test]

@@ -26,12 +26,14 @@ use starts_text::{Analyzer, LangTag, Thesaurus};
 
 use crate::boolean::BoolNode;
 use crate::doc::{DocId, Document};
-use crate::engine::{Engine, EngineConfig, Hit, RankNode, TermStat};
+use crate::engine::{
+    Engine, EngineConfig, Hit, PruneCounters, PruneHooks, PruneReport, RankNode, TermStat,
+};
 use crate::index::{Index, IndexBuilder};
 use crate::matchspec::TermSpec;
 use crate::ranking::RankingAlgorithm;
 use crate::schema::{FieldId, Schema};
-use crate::topk::merge_ranked;
+use crate::topk::{merge_ranked, SharedThreshold};
 
 /// Global collection statistics, computed across all shards and shared
 /// (via `Arc`) with each per-shard [`Engine`]. Holding these makes a
@@ -58,7 +60,7 @@ impl CollectionStats {
         for index in indexes {
             n_docs += index.n_docs();
             total_tokens += index.total_tokens();
-            for (field, term, postings) in index.all_postings() {
+            for (field, _tid, term, postings) in index.all_postings() {
                 *df.entry(field)
                     .or_default()
                     .entry(term.to_string())
@@ -303,13 +305,59 @@ impl ShardedEngine {
         ranking: Option<&RankNode>,
         limit: Option<usize>,
     ) -> (Vec<Hit>, Vec<u64>) {
+        let (hits, timings, _) = self.search_top_k_observed(
+            filter,
+            ranking,
+            &SearchOptions {
+                limit,
+                ..SearchOptions::default()
+            },
+        );
+        (hits, timings)
+    }
+
+    /// [`ShardedEngine::search_top_k_timed`] with the full pruning
+    /// surface: an optional `min-doc-score` floor seed and a
+    /// [`PruneReport`] aggregated across shards. When more than one
+    /// shard evaluates a ranked query, the shards share one rising
+    /// threshold cell — a shard whose heap fills first tightens every
+    /// other shard's pruning bound mid-flight. Hits at or above
+    /// `opts.min_score` are never dropped; callers still apply their
+    /// own final `min-doc-score` retention.
+    pub fn search_top_k_observed(
+        &self,
+        filter: Option<&BoolNode>,
+        ranking: Option<&RankNode>,
+        opts: &SearchOptions,
+    ) -> (Vec<Hit>, Vec<u64>, PruneReport) {
+        let limit = opts.limit;
+        // Seed the raw-score floor only when the ranking algorithm can
+        // soundly translate the post-finalize threshold back to raw
+        // scores (the §3.2 max-rescaling vendor cannot).
+        let floor = match ranking {
+            Some(_) if opts.min_score.is_finite() => self
+                .ranking()
+                .raw_score_floor(opts.min_score)
+                .unwrap_or(f64::NEG_INFINITY),
+            _ => f64::NEG_INFINITY,
+        };
+        let counters = PruneCounters::default();
         if self.shards.len() == 1 {
+            let hooks = PruneHooks {
+                floor,
+                shared: None,
+                counters: Some(&counters),
+            };
             let start = Instant::now();
-            let hits = self.shards[0].search_top_k(filter, ranking, limit);
-            return (hits, vec![elapsed_us(start)]);
+            let hits = self.shards[0].search_top_k_hooked(filter, ranking, limit, &hooks);
+            return (hits, vec![elapsed_us(start)], counters.report());
         }
         match (filter, ranking) {
-            (None, None) => (Vec::new(), vec![0; self.shards.len()]),
+            (None, None) => (
+                Vec::new(),
+                vec![0; self.shards.len()],
+                PruneReport::default(),
+            ),
             (Some(f), None) => {
                 // Filter-only: shard results are sorted local doc sets;
                 // offsetting to global ids and concatenating in shard
@@ -331,17 +379,52 @@ impl ShardedEngine {
                     .into_iter()
                     .map(|doc| Hit { doc, score: None })
                     .collect();
-                (hits, timings)
+                (hits, timings, PruneReport::default())
             }
             (None, Some(r)) => {
-                let per_shard = self.fan_out(|engine| engine.eval_ranking_top_k_raw(r, limit));
+                // Every shard selects raw top-k with the same limit, so
+                // a threshold published by one shard — "k local docs at
+                // or above θ exist" — is a sound strict-below cutoff
+                // for all: the merged global top-k cannot contain a doc
+                // scoring strictly below any shard's full heap floor.
+                let shared = SharedThreshold::new(floor);
+                let per_shard = self.fan_out(|engine| {
+                    engine.eval_ranking_top_k_raw(
+                        r,
+                        limit,
+                        &PruneHooks {
+                            floor,
+                            shared: Some(&shared),
+                            counters: Some(&counters),
+                        },
+                    )
+                });
                 let (lists, timings) = split_timed(per_shard);
-                (self.merge_ranked_hits(lists, limit), timings)
+                (
+                    self.merge_ranked_hits(lists, limit),
+                    timings,
+                    counters.report(),
+                )
             }
             (Some(f), Some(r)) => {
-                let per_shard = self.fan_out(|engine| engine.eval_filter_ranked_raw(f, r, limit));
+                let per_shard = self.fan_out(|engine| {
+                    engine.eval_filter_ranked_raw(
+                        f,
+                        r,
+                        limit,
+                        &PruneHooks {
+                            floor,
+                            shared: None,
+                            counters: Some(&counters),
+                        },
+                    )
+                });
                 let (lists, timings) = split_timed(per_shard);
-                (self.merge_ranked_hits(lists, limit), timings)
+                (
+                    self.merge_ranked_hits(lists, limit),
+                    timings,
+                    counters.report(),
+                )
             }
         }
     }
@@ -496,6 +579,29 @@ impl ShardedEngine {
         langs.sort_unstable();
         langs.dedup();
         langs
+    }
+}
+
+/// Options for [`ShardedEngine::search_top_k_observed`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Keep only the best `limit` hits (`None` = unbounded).
+    pub limit: Option<usize>,
+    /// The `min-doc-score` answer threshold, on the post-`finalize`
+    /// score scale. Finite values seed the ranked selection floor when
+    /// the ranking algorithm can map them to raw scores
+    /// ([`RankingAlgorithm::raw_score_floor`]); hits at or above the
+    /// threshold are never dropped, hits below it may or may not be —
+    /// callers still apply the final retention.
+    pub min_score: f64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            limit: None,
+            min_score: f64::NEG_INFINITY,
+        }
     }
 }
 

@@ -15,6 +15,7 @@
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::sync::atomic::AtomicU64;
 
 use crate::doc::DocId;
 
@@ -67,21 +68,31 @@ impl Ord for Entry {
 #[derive(Debug)]
 pub struct TopK {
     k: usize,
+    floor: f64,
     heap: BinaryHeap<Reverse<Entry>>,
 }
 
 impl TopK {
     /// An empty selector keeping at most `k` entries.
     pub fn new(k: usize) -> Self {
+        TopK::with_floor(k, f64::NEG_INFINITY)
+    }
+
+    /// A selector that additionally rejects every score strictly below
+    /// `floor` (under [`f64::total_cmp`]), even while fewer than `k`
+    /// entries are held — how a `min-doc-score` answer threshold seeds
+    /// the selection before the heap fills.
+    pub fn with_floor(k: usize, floor: f64) -> Self {
         TopK {
             k,
+            floor,
             heap: BinaryHeap::with_capacity(k + 1),
         }
     }
 
     /// Offer one scored document.
     pub fn push(&mut self, doc: DocId, score: f64) {
-        if self.k == 0 {
+        if self.k == 0 || score.total_cmp(&self.floor) == Ordering::Less {
             return;
         }
         let entry = Entry { score, doc };
@@ -95,6 +106,21 @@ impl TopK {
         }
     }
 
+    /// The current selection threshold: any future offer scoring
+    /// *strictly* below it cannot enter the result (an equal score may
+    /// still win its doc-id tie-break). The heap-floor score once `k`
+    /// entries are held, else the score floor (`-inf` without one);
+    /// `+inf` for `k = 0`, which accepts nothing.
+    pub fn threshold(&self) -> f64 {
+        if self.k == 0 {
+            f64::INFINITY
+        } else if self.heap.len() == self.k {
+            self.heap.peek().map_or(self.floor, |worst| worst.0.score)
+        } else {
+            self.floor
+        }
+    }
+
     /// The kept entries, best first — exactly the first `min(k, n)`
     /// elements a full sort of all pushed pairs would have produced.
     pub fn into_sorted_vec(self) -> Vec<(DocId, f64)> {
@@ -103,6 +129,46 @@ impl TopK {
             .into_iter()
             .map(|Reverse(e)| (e.doc, e.score))
             .collect()
+    }
+}
+
+/// A monotonically rising score threshold shared across concurrently
+/// searching shards: an `AtomicU64` holding `f64` bits. Each shard
+/// publishes its heap floor as it rises; any shard may then skip a
+/// document whose score upper bound is *strictly* below the cell's
+/// value, because `k` strictly better documents already exist
+/// somewhere in the collection. Only values that compare greater under
+/// plain `f64` ordering land in the cell (NaN never does), so the
+/// threshold can only tighten.
+#[derive(Debug)]
+pub struct SharedThreshold(AtomicU64);
+
+impl SharedThreshold {
+    /// A cell starting at `initial` (use `f64::NEG_INFINITY` for "no
+    /// threshold yet").
+    pub fn new(initial: f64) -> Self {
+        SharedThreshold(AtomicU64::new(initial.to_bits()))
+    }
+
+    /// The current threshold.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Raise the threshold to `value` if it is strictly higher; lower,
+    /// equal, or NaN values leave the cell untouched.
+    pub fn raise(&self, value: f64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut cur = self.0.load(Relaxed);
+        while value > f64::from_bits(cur) {
+            match self
+                .0
+                .compare_exchange_weak(cur, value.to_bits(), Relaxed, Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 }
 

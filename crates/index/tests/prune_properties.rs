@@ -1,0 +1,238 @@
+//! Property-based tests for dynamic pruning: the score-upper-bound
+//! pruned top-k path must be *bit-identical* — scores, ordering, and
+//! doc-id tie-breaks — to the naive full-sort evaluator and to an
+//! engine with pruning disabled, for every ranking algorithm, for flat
+//! weighted term lists (the shape the pruner accelerates) and for
+//! arbitrary operator trees (the shape it must fall back on), across
+//! shard counts {1, 2, 3, 7} and k ∈ {1, 10, > corpus}.
+
+use proptest::prelude::*;
+use starts_index::{
+    BoolNode, Document, Engine, EngineConfig, PruneMode, RankNode, SearchOptions, ShardedEngine,
+    TermSpec,
+};
+
+/// The same tiny closed vocabulary the other property suites use, so
+/// queries hit documents and equal scores (hence tie-breaks) are common.
+const VOCAB: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+];
+
+/// Shard counts exercised: 1 (monolithic delegation), 2, 3 (uneven
+/// split), 7 (more shards than hits per shard).
+const SHARD_COUNTS: &[usize] = &[1, 2, 3, 7];
+
+fn arb_doc() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..VOCAB.len(), 1..25)
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
+    proptest::collection::vec(arb_doc(), 1..20).prop_map(|docs| {
+        docs.into_iter()
+            .map(|words| {
+                let body: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                Document::new().field("body-of-text", body.join(" "))
+            })
+            .collect()
+    })
+}
+
+/// A weighted term leaf (weights quantized so equal weights — and so
+/// score ties — actually occur).
+fn arb_leaf() -> impl Strategy<Value = RankNode> {
+    (0..VOCAB.len(), 1u32..=4)
+        .prop_map(|(w, q)| RankNode::weighted(TermSpec::any(VOCAB[w]), f64::from(q) * 0.25))
+}
+
+/// A flat weighted `list(...)` of plain term leaves — exactly the
+/// expression shape `prune_plan` accepts, so these inputs actually run
+/// the pruned evaluator rather than the exact fallback.
+fn arb_flat_list() -> impl Strategy<Value = RankNode> {
+    prop_oneof![
+        arb_leaf(),
+        proptest::collection::vec(arb_leaf(), 1..5).prop_map(RankNode::List),
+    ]
+}
+
+/// A ranking expression using every operator the engine scores — the
+/// pruner must recognize these as out of scope and fall back exactly.
+fn arb_rank_expr() -> impl Strategy<Value = RankNode> {
+    arb_leaf().prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::List),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::Or),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RankNode::AndNot(Box::new(a), Box::new(b))),
+            (inner.clone(), inner, 0u32..6, any::<bool>()).prop_map(|(l, r, distance, ordered)| {
+                RankNode::Prox {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    distance,
+                    ordered,
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_ranking_id() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("Acme-1"),
+        Just("Vendor-K"),
+        Just("Okapi-1"),
+        Just("Plain-1"),
+    ]
+}
+
+fn config(ranking_id: &str, prune: PruneMode, shards: usize) -> EngineConfig {
+    EngineConfig {
+        ranking_id: ranking_id.to_string(),
+        fuzzy_ranking_ops: true,
+        shards,
+        prune,
+        ..EngineConfig::default()
+    }
+}
+
+/// The k values the issue calls out: 1 (tight threshold, maximum
+/// skipping), 10 (typical page), and one past any corpus size here
+/// (heap never fills — pruning must be a silent no-op).
+fn limits(n_docs: usize) -> [usize; 3] {
+    [1, 10, n_docs + 5]
+}
+
+/// The pruner must actually engage — not just fall back to the exact
+/// path — on the workload shape it targets. One heavy doc sets a high
+/// threshold; the light docs' upper bounds fall strictly below it, so
+/// they are skipped without scoring. Deterministic on purpose: a
+/// regression that silently disables pruning fails here, not just in
+/// the benchmarks.
+#[test]
+fn pruner_engages_on_skewed_corpus() {
+    let mut docs = vec![Document::new().field("body-of-text", "omega omega omega alpha")];
+    for _ in 0..9 {
+        docs.push(Document::new().field("body-of-text", "alpha"));
+    }
+    let engine = ShardedEngine::build(&docs, config("Plain-1", PruneMode::Auto, 1));
+    let expr = RankNode::List(vec![
+        RankNode::term(TermSpec::fielded("body-of-text", "alpha")),
+        RankNode::term(TermSpec::fielded("body-of-text", "omega")),
+    ]);
+    let (hits, _, report) = engine.search_top_k_observed(
+        None,
+        Some(&expr),
+        &SearchOptions {
+            limit: Some(1),
+            min_score: f64::NEG_INFINITY,
+        },
+    );
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].doc, starts_index::DocId(0));
+    assert!(report.skipped_docs > 0, "pruner never skipped: {report:?}");
+    assert!(report.threshold_updates >= 1, "{report:?}");
+    assert!(report.candidates >= 10, "{report:?}");
+}
+
+proptest! {
+    /// Pruned top-k ≡ the first `k` of the naive full sort, on the flat
+    /// weighted lists the pruner actually accelerates, for every
+    /// ranking algorithm.
+    #[test]
+    fn pruned_top_k_equals_naive(
+        docs in arb_corpus(),
+        expr in arb_flat_list(),
+        ranking_id in arb_ranking_id(),
+    ) {
+        let engine = Engine::build(&docs, config(ranking_id, PruneMode::Auto, 1));
+        let full = engine.eval_ranking_naive(&expr);
+        for k in limits(docs.len()) {
+            let bounded = engine.eval_ranking_top_k(&expr, Some(k));
+            prop_assert_eq!(&bounded[..], &full[..k.min(full.len())], "k={}", k);
+        }
+    }
+
+    /// `PruneMode::Auto` ≡ `PruneMode::Off` on arbitrary operator trees:
+    /// expressions the plan rejects must take the exact fallback, and
+    /// expressions it accepts must still be bit-identical.
+    #[test]
+    fn prune_auto_equals_prune_off(
+        docs in arb_corpus(),
+        expr in arb_rank_expr(),
+        ranking_id in arb_ranking_id(),
+        k in 0usize..25,
+    ) {
+        let auto = Engine::build(&docs, config(ranking_id, PruneMode::Auto, 1));
+        let off = Engine::build(&docs, config(ranking_id, PruneMode::Off, 1));
+        prop_assert_eq!(
+            auto.eval_ranking_top_k(&expr, Some(k)),
+            off.eval_ranking_top_k(&expr, Some(k))
+        );
+    }
+
+    /// Pruned sharded fan-out (threshold shared across shards) ≡ the
+    /// monolithic engine with pruning off, in every query mode, at
+    /// every shard count.
+    #[test]
+    fn pruned_sharded_equals_unpruned_monolithic(
+        docs in arb_corpus(),
+        filter_term in 0..VOCAB.len(),
+        expr in arb_flat_list(),
+        ranking_id in arb_ranking_id(),
+    ) {
+        let mono = Engine::build(&docs, config(ranking_id, PruneMode::Off, 1));
+        let filter = BoolNode::Term(TermSpec::any(VOCAB[filter_term]));
+        for &shards in SHARD_COUNTS {
+            let sharded = ShardedEngine::build(&docs, config(ranking_id, PruneMode::Auto, shards));
+            for (f, r) in [
+                (Some(&filter), None),
+                (None, Some(&expr)),
+                (Some(&filter), Some(&expr)),
+            ] {
+                for k in limits(docs.len()) {
+                    let expect = mono.search_top_k(f, r, Some(k));
+                    let got = sharded.search_top_k(f, r, Some(k));
+                    prop_assert_eq!(
+                        got, expect,
+                        "shards={} k={} filter={} ranked={}",
+                        shards, k, f.is_some(), r.is_some()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Seeding the heap floor from `min_score` never changes the
+    /// surviving results: `search_top_k_observed` with a floor ≡ the
+    /// plain search post-filtered to `score ≥ min`. Covers the
+    /// algorithms where the floor is live (identity finalize) and where
+    /// it must be ignored (Vendor-K rescales after selection).
+    #[test]
+    fn min_score_floor_matches_post_filter(
+        docs in arb_corpus(),
+        expr in arb_flat_list(),
+        ranking_id in arb_ranking_id(),
+        min_q in 0u32..8,
+        k in 1usize..25,
+    ) {
+        let min_score = f64::from(min_q) * 0.5;
+        for &shards in SHARD_COUNTS {
+            let sharded = ShardedEngine::build(&docs, config(ranking_id, PruneMode::Auto, shards));
+            let plain = sharded.search_top_k(None, Some(&expr), Some(k));
+            let expect: Vec<_> = plain
+                .into_iter()
+                .filter(|h| h.score.is_some_and(|s| s >= min_score))
+                .collect();
+            let (got, _, _) = sharded.search_top_k_observed(
+                None,
+                Some(&expr),
+                &SearchOptions { limit: Some(k), min_score },
+            );
+            let got: Vec<_> = got
+                .into_iter()
+                .filter(|h| h.score.is_some_and(|s| s >= min_score))
+                .collect();
+            prop_assert_eq!(got, expect, "shards={} min={}", shards, min_score);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Query execution at one source: rewrite → translate → search → answer
 //! specification → result construction (§4.1.2, §4.2).
 
-use starts_index::{DocId, Hit};
+use starts_index::{DocId, Hit, SearchOptions};
 use starts_obs::Registry;
 use starts_proto::query::{SortKey, SortOrder};
 use starts_proto::{Field, Query, QueryResults, ResultDocument, TermStatsEntry};
@@ -88,7 +88,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
         })
         .inc();
     }
-    let (mut hits, shard_latencies) = {
+    let (mut hits, shard_latencies, prune) = {
         // The fan-out span only appears when there is an actual fan-out;
         // a single-shard engine searches inline and the span would be
         // noise. It nests under the `execute` phase span automatically.
@@ -103,7 +103,14 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
                 )
             })
         });
-        engine.search_top_k_timed(filter_ir.as_ref(), ranking_ir.as_ref(), limit)
+        engine.search_top_k_observed(
+            filter_ir.as_ref(),
+            ranking_ir.as_ref(),
+            &SearchOptions {
+                limit,
+                min_score: query.answer.min_doc_score,
+            },
+        )
     };
     if let Some(reg) = obs {
         let shards = engine.shard_count().to_string();
@@ -115,6 +122,20 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
         for us in shard_latencies {
             reg.histogram_with("engine.shard.latency_us", &[("source", source.id())])
                 .observe(us);
+        }
+        // Dynamic-pruning effectiveness (§ docs/performance.md): how many
+        // candidate docs the bound check discarded without scoring. The
+        // counters register even when zero so dashboards see the series.
+        let labels = [("source", source.id())];
+        reg.counter_with("engine.prune.skipped_docs", &labels)
+            .add(prune.skipped_docs);
+        reg.counter_with("engine.prune.skipped_leaves", &labels)
+            .add(prune.skipped_leaves);
+        reg.counter_with("engine.prune.threshold_updates", &labels)
+            .add(prune.threshold_updates);
+        if prune.candidates > 0 {
+            reg.gauge_with("engine.prune.fraction", &labels)
+                .set(prune.skipped_docs as f64 / prune.candidates as f64);
         }
     }
 

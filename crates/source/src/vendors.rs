@@ -15,7 +15,7 @@
 //! | `glimpse`    | —          | F only      | Acme-1    | no    | none           | keep | —         |
 //! | `rankonly`   | Plain-1    | R only      | Acme-1    | no    | minimal        | fold | no        |
 
-use starts_index::EngineConfig;
+use starts_index::{EngineConfig, PruneMode};
 use starts_proto::attrs::CmpOp;
 use starts_proto::metadata::QueryParts;
 use starts_proto::{Field, Modifier};
@@ -50,6 +50,7 @@ pub fn acme(id: &str) -> SourceConfig {
         fuzzy_ranking_ops: true,
         thesaurus: Thesaurus::empty(),
         shards: 0,
+        prune: PruneMode::Auto,
     };
     c.supported_fields = all_optional_fields();
     c.supported_modifiers = vec![
@@ -80,6 +81,7 @@ pub fn bolt(id: &str) -> SourceConfig {
         fuzzy_ranking_ops: false,
         thesaurus: Thesaurus::empty(),
         shards: 0,
+        prune: PruneMode::Auto,
     };
     c.supported_fields = vec![Field::Author, Field::BodyOfText];
     c.supported_modifiers = vec![Modifier::RightTruncation];
@@ -103,6 +105,7 @@ pub fn okapi(id: &str) -> SourceConfig {
         fuzzy_ranking_ops: true,
         thesaurus: Thesaurus::computer_science(),
         shards: 0,
+        prune: PruneMode::Auto,
     };
     c.supported_fields = all_optional_fields();
     // Okapi is the research engine: it also honours the two STARTS-new
@@ -140,6 +143,7 @@ pub fn glimpse(id: &str) -> SourceConfig {
         fuzzy_ranking_ops: false,
         thesaurus: Thesaurus::empty(),
         shards: 0,
+        prune: PruneMode::Auto,
     };
     c.query_parts = QueryParts::Filter;
     c.supported_fields = all_optional_fields();
@@ -168,6 +172,7 @@ pub fn rankonly(id: &str) -> SourceConfig {
         fuzzy_ranking_ops: false,
         thesaurus: Thesaurus::empty(),
         shards: 0,
+        prune: PruneMode::Auto,
     };
     c.query_parts = QueryParts::Ranking;
     c.supported_fields = vec![Field::BodyOfText];

@@ -305,6 +305,103 @@ fn sharded_source_records_fanout_span_and_shard_metrics() {
 }
 
 #[test]
+fn prune_metrics_flow_through_stats_and_prometheus() {
+    use starts::index::{Document, PruneMode};
+    use starts::proto::{query::parse_ranking, Query};
+
+    // A corpus built so pruning deterministically engages under the
+    // Plain-1 (raw-tf) ranker: doc 0 scores (3+1)/2 = 2 and fills the
+    // k=1 heap first, after which every alpha-only doc's upper bound
+    // (≈ 1/2) sits strictly below the threshold and is skipped.
+    let docs: Vec<Document> = std::iter::once("omega omega omega alpha")
+        .chain(std::iter::repeat_n("alpha", 9))
+        .enumerate()
+        .map(|(i, body)| {
+            Document::new()
+                .field("body-of-text", body)
+                .field("linkage", format!("http://x/{i}"))
+        })
+        .collect();
+    let q = Query {
+        ranking: Some(
+            parse_ranking(r#"list((body-of-text "alpha") (body-of-text "omega"))"#).unwrap(),
+        ),
+        answer: starts::proto::AnswerSpec {
+            max_documents: 1,
+            ..starts::proto::AnswerSpec::default()
+        },
+        ..Query::default()
+    };
+
+    let net = SimNet::new();
+    let mut cfg = SourceConfig::new("Pruned");
+    cfg.engine.ranking_id = "Plain-1".to_string();
+    cfg.engine.shards = 2;
+    let url = wire_source(&net, Source::build(cfg, &docs), LinkProfile::default());
+    let resp = net
+        .request(&url, &starts::soif::write_object(&q.to_soif()))
+        .unwrap();
+    let results = starts::proto::QueryResults::from_soif_stream(&resp.bytes).unwrap();
+    assert_eq!(results.documents.len(), 1);
+    assert_eq!(results.documents[0].linkage(), Some("http://x/0"));
+
+    // The host registry carries the prune counters and the per-query
+    // pruned-fraction gauge, labeled by source.
+    let snap = net.registry().snapshot();
+    let labels = [("source", "Pruned")];
+    let skipped = snap.counter("engine.prune.skipped_docs", &labels);
+    assert!(skipped > 0, "pruning should have skipped alpha-only docs");
+    assert!(snap.counter("engine.prune.skipped_leaves", &labels) >= skipped);
+    assert!(snap.counter("engine.prune.threshold_updates", &labels) >= 1);
+    let fraction = snap.gauge("engine.prune.fraction", &labels);
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "pruned fraction should be a proper fraction, got {fraction}"
+    );
+
+    // Both exporters carry the prune families: Prometheus text …
+    let text = export::prometheus(&snap);
+    for needle in [
+        "engine_prune_skipped_docs",
+        "engine_prune_skipped_leaves",
+        "engine_prune_threshold_updates",
+        "engine_prune_fraction",
+    ] {
+        assert!(text.contains(needle), "prometheus dump missing {needle:?}");
+    }
+    // … and the SOIF @SStats object, losslessly.
+    let bytes = starts::soif::write_object(&export::to_soif(&snap));
+    let obj = &starts::soif::parse(&bytes, starts::soif::ParseMode::Strict).unwrap()[0];
+    assert_eq!(export::snapshot_from_soif(obj).unwrap(), snap);
+
+    // The escape hatch: the same corpus and query with pruning off
+    // returns the identical document and skips nothing.
+    let mut off = SourceConfig::new("Unpruned");
+    off.engine.ranking_id = "Plain-1".to_string();
+    off.engine.shards = 2;
+    off.engine.prune = PruneMode::Off;
+    let url_off = wire_source(&net, Source::build(off, &docs), LinkProfile::default());
+    let resp_off = net
+        .request(&url_off, &starts::soif::write_object(&q.to_soif()))
+        .unwrap();
+    let results_off = starts::proto::QueryResults::from_soif_stream(&resp_off.bytes).unwrap();
+    // (Full document equality can't hold — each result names its own
+    // source — so compare the identity and the bit-exact score.)
+    assert_eq!(results_off.documents.len(), results.documents.len());
+    assert_eq!(results_off.documents[0].linkage(), Some("http://x/0"));
+    assert_eq!(
+        results_off.documents[0].raw_score,
+        results.documents[0].raw_score
+    );
+    let snap = net.registry().snapshot();
+    assert_eq!(
+        snap.counter("engine.prune.skipped_docs", &[("source", "Unpruned")]),
+        0,
+        "PruneMode::Off must never skip"
+    );
+}
+
+#[test]
 fn trace_unaware_exchanges_still_answer() {
     // §4.3 backward compatibility: a query carrying no XTraceContext —
     // or a garbage one — is answered exactly as before.
