@@ -1,0 +1,83 @@
+//! `bench_diff` — the CI perf-regression gate.
+//!
+//! Compares a fresh bench JSON artifact against a checked-in baseline
+//! and exits nonzero when the gate fails:
+//!
+//! ```text
+//! bench_diff --baseline BENCH_hotpath.json --current fresh.json [--tolerance 0.15]
+//! ```
+//!
+//! When the two artifacts share provenance (`machine_parallelism` and
+//! `smoke` both match), every `qps` metric must stay within the
+//! relative tolerance of the baseline. When they don't — the usual
+//! case for a checked-in baseline from a developer container vs a CI
+//! runner — the gate degrades to invariant checks on the fresh run
+//! (see `starts_bench::diff` for the full policy).
+
+use starts_bench::diff::{diff, DEFAULT_QPS_TOLERANCE};
+use starts_bench::json::Json;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let baseline_path = match starts_bench::arg_value("--baseline") {
+        Some(p) => p,
+        None => return usage("missing --baseline"),
+    };
+    let current_path = match starts_bench::arg_value("--current") {
+        Some(p) => p,
+        None => return usage("missing --current"),
+    };
+    let tolerance = match starts_bench::arg_value("--tolerance") {
+        Some(t) => match t.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => return usage("--tolerance must be a fraction in [0, 1)"),
+        },
+        None => DEFAULT_QPS_TOLERANCE,
+    };
+
+    let baseline = match load(&baseline_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return 2;
+        }
+    };
+    let current = match load(&current_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return 2;
+        }
+    };
+
+    match diff(&baseline, &current, tolerance) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                println!("PASS ({} vs {})", current_path, baseline_path);
+                0
+            } else {
+                println!("FAIL ({} vs {})", current_path, baseline_path);
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            2
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).ok_or_else(|| format!("{path}: not valid JSON"))
+}
+
+fn usage(err: &str) -> i32 {
+    eprintln!("bench_diff: {err}");
+    eprintln!("usage: bench_diff --baseline BENCH_x.json --current fresh.json [--tolerance 0.15]");
+    2
+}

@@ -120,6 +120,5 @@ fn main() {
         1
     );
     println!("   matching Figure 1's motivation for in-resource fan-out.");
-    starts_bench::maybe_dump_stats(net.registry());
-    starts_bench::maybe_dump_trace_jsonl(net.registry());
+    starts_bench::BenchArgs::parse().finish(net.registry());
 }

@@ -77,5 +77,5 @@ fn main() {
             );
         }
     }
-    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
+    starts_bench::BenchArgs::parse().finish(starts_obs::Registry::global());
 }

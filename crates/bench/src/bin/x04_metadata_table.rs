@@ -53,5 +53,5 @@ fn main() {
     }
     println!();
     println!("all fleet members export conformant MBasic-1 metadata.");
-    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
+    starts_bench::BenchArgs::parse().finish(starts_obs::Registry::global());
 }

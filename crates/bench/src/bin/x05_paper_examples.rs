@@ -160,5 +160,5 @@ fn main() {
         "verdict: all arithmetically-consistent counts reproduced exactly; 5 counts in the\n\
          paper's camera-ready examples are off by one (documented in EXPERIMENTS.md)."
     );
-    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
+    starts_bench::BenchArgs::parse().finish(starts_obs::Registry::global());
 }

@@ -157,5 +157,5 @@ fn main() {
         "summary-based selection must clearly beat query-blind selection"
     );
     println!("   shape matches GlOSS (refs [7,8]): summaries suffice to pick the right sources.");
-    starts_bench::maybe_dump_stats(net.registry());
+    starts_bench::BenchArgs::parse().finish(net.registry());
 }

@@ -156,5 +156,5 @@ fn main() {
          set by an order of magnitude. Both sides of the §4.1.1 compromise were right\n\
          about their half, which is why the operator survived in simplified form."
     );
-    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
+    starts_bench::BenchArgs::parse().finish(starts_obs::Registry::global());
 }

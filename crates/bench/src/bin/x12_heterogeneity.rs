@@ -204,6 +204,5 @@ fn main() {
         "   the named tokenizer id predicts the behaviour — the metasearcher learns it\n\
          once per tokenizer, as §4.3.1 prescribes."
     );
-    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
-    starts_bench::maybe_dump_trace_jsonl(starts_obs::Registry::global());
+    starts_bench::BenchArgs::parse().finish(starts_obs::Registry::global());
 }

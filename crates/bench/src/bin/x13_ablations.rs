@@ -214,5 +214,5 @@ fn ablation_summary_fields() {
          workloads (title-only queries against title-section statistics); the paper's\n\
          \"if possible\" hedge is the right default."
     );
-    starts_bench::maybe_dump_stats(starts_obs::Registry::global());
+    starts_bench::BenchArgs::parse().finish(starts_obs::Registry::global());
 }

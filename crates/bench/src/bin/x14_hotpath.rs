@@ -21,13 +21,18 @@
 //! exactly the regime where scoring everything hurts.
 //!
 //! Writes `BENCH_hotpath.json` (override with `--out PATH`); pass
-//! `--smoke` for a seconds-scale CI run on the standard corpus.
+//! `--smoke` for a seconds-scale CI run on the standard corpus, and
+//! `--explain` to print one federated query's cost tree (EXPLAIN
+//! profile) after the measurements.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use starts_bench::{arg_value, header, print_table, section, standard_corpus, wire_and_discover};
+use starts_bench::{
+    header, machine_parallelism, print_table, provenance_note, section, standard_corpus,
+    wire_and_discover, BenchArgs,
+};
 use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
 use starts_index::{Engine, EngineConfig, PruneMode, RankNode, TermSpec};
 use starts_meta::metasearcher::{MetaConfig, Metasearcher};
@@ -41,8 +46,9 @@ use starts_source::{Source, SourceConfig};
 const K: usize = 10;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let out_path = args.out_or("BENCH_hotpath.json");
     let n_queries = if smoke { 60 } else { 400 };
 
     header("X14  top-k hot path: naive walk vs bounded term-at-a-time pipeline");
@@ -123,6 +129,16 @@ fn main() {
         },
     );
     let federated = measure(&terms, |t| meta.search(&starts_query(t)).merged.len());
+
+    if args.explain {
+        // EXPLAIN one representative query: the full federated cost
+        // tree (client stages, per-source fan-out, host-side stages
+        // echoed back over the wire) plus its critical path.
+        section("EXPLAIN: federated cost profile for one query");
+        let profile = meta.search(&starts_query(&terms[0])).profile;
+        println!("{}", profile.render());
+        println!("critical path: {}", profile.critical_path_summary());
+    }
 
     let speedup = topk.qps / naive.qps.max(1e-9);
     section("throughput and latency per path");
@@ -277,9 +293,16 @@ fn render_json(
     source: &PathStats,
     federated: &PathStats,
 ) -> String {
+    let parallelism = machine_parallelism();
+    let note = provenance_note(
+        parallelism,
+        "the engine speedup is machine-independent but absolute QPS is not",
+    );
     format!(
-        "{{\n  \"bench\": \"x14_hotpath\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
-         \"queries\": {n_queries},\n  \"corpus\": {{\"sources\": {}, \"docs\": {}}},\n  \
+        "{{\n  \"bench\": \"x14_hotpath\",\n  \"note\": \"{note}\",\n  \
+         \"smoke\": {smoke},\n  \"k\": {K},\n  \
+         \"queries\": {n_queries},\n  \"machine_parallelism\": {parallelism},\n  \
+         \"corpus\": {{\"sources\": {}, \"docs\": {}}},\n  \
          \"build_docs_per_s\": {build_docs_per_s:.0},\n  \
          \"paths\": {{\n    \"engine_naive\": {},\n    \"engine_topk\": {},\n    \
          \"engine_topk_noprune\": {},\n    \

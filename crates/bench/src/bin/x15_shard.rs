@@ -25,7 +25,9 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use starts_bench::{arg_value, header, print_table, section, standard_corpus};
+use starts_bench::{
+    header, machine_parallelism, print_table, provenance_note, section, standard_corpus, BenchArgs,
+};
 use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
 use starts_index::{EngineConfig, RankNode, ShardedEngine, TermSpec};
 
@@ -36,10 +38,11 @@ const K: usize = 10;
 const SHARD_COUNTS: &[usize] = &[1, 2, 4, 8];
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let out_path = args.out_or("BENCH_shard.json");
     let n_queries = if smoke { 60 } else { 400 };
-    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallelism = machine_parallelism();
 
     header("X15  sharded engine: parallel build + fan-out top-k vs monolithic");
     let corpus = if smoke {
@@ -249,11 +252,14 @@ fn render_json(
             )
         })
         .collect();
+    let note = provenance_note(
+        parallelism,
+        "with one core the parallel build cannot beat monolithic and multi-shard \
+         rows show fan-out overhead, not speedup",
+    );
     format!(
         "{{\n  \"bench\": \"x15_shard\",\n  \
-         \"note\": \"measured on a {parallelism}-core container; the parallel build \
-         cannot beat monolithic there and multi-shard rows show fan-out overhead, \
-         not speedup\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
+         \"note\": \"{note}\",\n  \"smoke\": {smoke},\n  \"k\": {K},\n  \
          \"queries\": {n_queries},\n  \"docs\": {n_docs},\n  \
          \"machine_parallelism\": {parallelism},\n  \"shards\": [\n{}\n  ]\n}}\n",
         shards.join(",\n")

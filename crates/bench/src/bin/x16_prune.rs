@@ -25,7 +25,9 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use starts_bench::{arg_value, header, print_table, section, standard_corpus};
+use starts_bench::{
+    header, machine_parallelism, print_table, provenance_note, section, standard_corpus, BenchArgs,
+};
 use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
 use starts_index::{
     EngineConfig, PruneMode, PruneReport, RankNode, SearchOptions, ShardedEngine, TermSpec,
@@ -39,10 +41,11 @@ const K: usize = 10;
 const SHARD_COUNTS: &[usize] = &[1, 4];
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_prune.json".to_string());
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let out_path = args.out_or("BENCH_prune.json");
     let n_queries = if smoke { 60 } else { 400 };
-    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallelism = machine_parallelism();
 
     header("X16  dynamic pruning: score-upper-bound top-k vs exhaustive scoring");
     let corpus = if smoke {
@@ -277,10 +280,14 @@ fn render_json(
             )
         })
         .collect();
+    let note = provenance_note(
+        parallelism,
+        "with fewer cores than shards the fan-out adds overhead pruning must \
+         first pay back",
+    );
     format!(
         "{{\n  \"bench\": \"x16_prune\",\n  \
-         \"note\": \"measured on a {parallelism}-core container; with fewer cores \
-         than shards the fan-out adds overhead pruning must first pay back\",\n  \
+         \"note\": \"{note}\",\n  \
          \"smoke\": {smoke},\n  \"k\": {K},\n  \"queries\": {n_queries},\n  \
          \"docs\": {n_docs},\n  \"machine_parallelism\": {parallelism},\n  \
          \"configs\": [\n{}\n  ]\n}}\n",

@@ -1,0 +1,355 @@
+//! The perf-regression gate behind the `bench_diff` binary.
+//!
+//! Compares a freshly-generated bench JSON artifact against a
+//! checked-in baseline (`BENCH_hotpath.json` / `BENCH_shard.json` /
+//! `BENCH_prune.json`). The comparison is **provenance-aware**: raw
+//! QPS numbers only mean something when both runs came from the same
+//! kind of machine doing the same kind of run, so
+//!
+//! * when `machine_parallelism` and `smoke` match, every `qps` field
+//!   (and `engine_speedup`, when present) must stay within a relative
+//!   tolerance of the baseline — a throughput drop past the tolerance
+//!   fails the gate;
+//! * otherwise the gate degrades to **invariant checks** on the fresh
+//!   run alone: every `qps` must be positive, `engine_speedup` must not
+//!   dip below 1, and pruning rows marked `"prune": "Auto"` must
+//!   actually prune (`pruned_fraction > 0`).
+//!
+//! Latency percentiles are deliberately not gated — they are far
+//! noisier than throughput on shared CI machines.
+
+use crate::json::Json;
+
+/// Relative QPS drop tolerated before the gate fails (same-provenance
+/// mode). 0.15 means a fresh run may be up to 15% slower than the
+/// baseline; an injected 20% regression fails.
+pub const DEFAULT_QPS_TOLERANCE: f64 = 0.15;
+
+/// One comparison (or invariant) the gate evaluated.
+#[derive(Debug)]
+pub struct Check {
+    /// What was checked, e.g. `paths/engine_topk/qps`.
+    pub name: String,
+    /// Whether it passed.
+    pub ok: bool,
+    /// Human-readable numbers behind the verdict.
+    pub detail: String,
+}
+
+/// The gate's full verdict for one baseline/current pair.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// The shared `bench` name of the two artifacts.
+    pub bench: String,
+    /// Whether the two runs share provenance (same machine
+    /// parallelism, same smoke mode) and were compared numerically.
+    pub comparable: bool,
+    /// Every check evaluated, in order.
+    pub checks: Vec<Check>,
+}
+
+impl DiffReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Render the verdict as an aligned plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench {}: {} mode\n",
+            self.bench,
+            if self.comparable {
+                "same provenance — numeric comparison"
+            } else {
+                "different provenance — invariant checks only"
+            }
+        ));
+        let width = self.checks.iter().map(|c| c.name.len()).max().unwrap_or(0);
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  [{}] {:<width$}  {}\n",
+                if c.ok { "ok" } else { "FAIL" },
+                c.name,
+                c.detail,
+            ));
+        }
+        out
+    }
+}
+
+/// Compare a fresh artifact against its baseline. `Err` when the two
+/// documents are not artifacts of the same bench.
+pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<DiffReport, String> {
+    let b_name = baseline
+        .get("bench")
+        .and_then(Json::str_)
+        .ok_or("baseline has no \"bench\" field")?;
+    let c_name = current
+        .get("bench")
+        .and_then(Json::str_)
+        .ok_or("current has no \"bench\" field")?;
+    if b_name != c_name {
+        return Err(format!(
+            "bench mismatch: baseline is {b_name}, current is {c_name}"
+        ));
+    }
+
+    let parallelism = |j: &Json| j.get("machine_parallelism").and_then(Json::num);
+    let smoke = |j: &Json| j.get("smoke").and_then(Json::bool_);
+    let comparable = parallelism(baseline).is_some()
+        && parallelism(baseline) == parallelism(current)
+        && smoke(baseline) == smoke(current);
+
+    let mut checks = Vec::new();
+    if comparable {
+        let base_qps = collect_named(baseline, "qps");
+        let cur_qps: Vec<(String, f64)> = collect_named(current, "qps");
+        for (path, base) in &base_qps {
+            match cur_qps.iter().find(|(p, _)| p == path) {
+                Some((_, cur)) => {
+                    let floor = base * (1.0 - tolerance);
+                    checks.push(Check {
+                        name: path.clone(),
+                        ok: *cur >= floor,
+                        detail: format!(
+                            "baseline {base:.1}, current {cur:.1} ({:+.1}%), floor {floor:.1}",
+                            (cur / base - 1.0) * 100.0
+                        ),
+                    });
+                }
+                None => checks.push(Check {
+                    name: path.clone(),
+                    ok: false,
+                    detail: "present in baseline, missing in current".to_string(),
+                }),
+            }
+        }
+        let speedups = (
+            baseline.get("engine_speedup").and_then(Json::num),
+            current.get("engine_speedup").and_then(Json::num),
+        );
+        if let (Some(base), Some(cur)) = speedups {
+            let floor = base * (1.0 - tolerance);
+            checks.push(Check {
+                name: "engine_speedup".to_string(),
+                ok: cur >= floor,
+                detail: format!("baseline {base:.2}x, current {cur:.2}x, floor {floor:.2}x"),
+            });
+        }
+    } else {
+        for (path, qps) in collect_named(current, "qps") {
+            checks.push(Check {
+                name: format!("{path} > 0"),
+                ok: qps > 0.0,
+                detail: format!("{qps:.1}"),
+            });
+        }
+        if let Some(speedup) = current.get("engine_speedup").and_then(Json::num) {
+            checks.push(Check {
+                name: "engine_speedup >= 1".to_string(),
+                ok: speedup >= 1.0,
+                detail: format!("{speedup:.2}x"),
+            });
+        }
+        for (path, frac) in auto_prune_fractions(current) {
+            checks.push(Check {
+                name: format!("{path} prunes"),
+                ok: frac > 0.0,
+                detail: format!("pruned_fraction {frac:.4}"),
+            });
+        }
+    }
+    if checks.is_empty() {
+        return Err(format!("no {b_name} metrics found to check"));
+    }
+    Ok(DiffReport {
+        bench: b_name.to_string(),
+        comparable,
+        checks,
+    })
+}
+
+/// Every numeric field called `key`, with its slash-separated path.
+fn collect_named(j: &Json, key: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(j, "", &mut |path, k, v| {
+        if k == key {
+            if let Some(n) = v.num() {
+                out.push((join(path, k), n));
+            }
+        }
+    });
+    out
+}
+
+/// `pruned_fraction` of every object configured with `"prune": "Auto"`.
+fn auto_prune_fractions(j: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk_objects(j, "", &mut |path, obj| {
+        if obj.get("prune").and_then(Json::str_) == Some("Auto") {
+            if let Some(frac) = obj.get("pruned_fraction").and_then(Json::num) {
+                out.push((path.to_string(), frac));
+            }
+        }
+    });
+    out
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}/{key}")
+    }
+}
+
+fn walk(j: &Json, path: &str, f: &mut impl FnMut(&str, &str, &Json)) {
+    match j {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                f(path, k, v);
+                walk(v, &join(path, k), f);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, &join(path, &i.to_string()), f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn walk_objects(j: &Json, path: &str, f: &mut impl FnMut(&str, &Json)) {
+    match j {
+        Json::Obj(members) => {
+            f(path, j);
+            for (k, v) in members {
+                walk_objects(v, &join(path, k), f);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk_objects(v, &join(path, &i.to_string()), f);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(text: &str) -> Json {
+        Json::parse(text).expect("artifact parses")
+    }
+
+    /// Multiply every `qps` field by `factor` — an injected regression.
+    fn scale_qps(j: &mut Json, factor: f64) {
+        match j {
+            Json::Obj(members) => {
+                for (k, v) in members.iter_mut() {
+                    if k == "qps" {
+                        if let Json::Num(n) = v {
+                            *n *= factor;
+                        }
+                    }
+                    scale_qps(v, factor);
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(|v| scale_qps(v, factor)),
+            _ => {}
+        }
+    }
+
+    fn set_top(j: &mut Json, key: &str, value: Json) {
+        if let Json::Obj(members) = j {
+            for (k, v) in members.iter_mut() {
+                if k == key {
+                    *v = value;
+                    return;
+                }
+            }
+            members.push((key.to_string(), value));
+        }
+    }
+
+    const ARTIFACTS: [&str; 3] = [
+        include_str!("../../../BENCH_hotpath.json"),
+        include_str!("../../../BENCH_shard.json"),
+        include_str!("../../../BENCH_prune.json"),
+    ];
+
+    #[test]
+    fn every_baseline_passes_against_itself() {
+        for text in ARTIFACTS {
+            let j = artifact(text);
+            let report = diff(&j, &j, DEFAULT_QPS_TOLERANCE).expect("diff");
+            assert!(report.passed(), "self-diff failed:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        for text in ARTIFACTS {
+            let baseline = artifact(text);
+            if baseline.get("machine_parallelism").is_none() {
+                continue; // provenance-free artifact cannot be gated numerically
+            }
+            let mut current = baseline.clone();
+            scale_qps(&mut current, 0.78); // a 22% QPS drop
+            let report = diff(&baseline, &current, DEFAULT_QPS_TOLERANCE).expect("diff");
+            assert!(report.comparable);
+            assert!(
+                !report.passed(),
+                "22% regression slipped through:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn small_wobble_passes_the_gate() {
+        let baseline = artifact(ARTIFACTS[2]);
+        let mut current = baseline.clone();
+        scale_qps(&mut current, 0.95); // 5% slower: within tolerance
+        let report = diff(&baseline, &current, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn different_provenance_degrades_to_invariants() {
+        let baseline = artifact(ARTIFACTS[2]);
+        let mut current = baseline.clone();
+        set_top(&mut current, "machine_parallelism", Json::Num(64.0));
+        scale_qps(&mut current, 0.5); // huge drop, but incomparable machines
+        let report = diff(&baseline, &current, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(!report.comparable);
+        assert!(report.passed(), "{}", report.render());
+
+        // ... but broken invariants still fail: a non-pruning Auto row.
+        let mut broken = current.clone();
+        if let Json::Obj(members) = &mut broken {
+            if let Some((_, Json::Arr(configs))) = members.iter_mut().find(|(k, _)| k == "configs")
+            {
+                for cfg in configs.iter_mut() {
+                    if cfg.get("prune").and_then(Json::str_) == Some("Auto") {
+                        set_top(cfg, "pruned_fraction", Json::Num(0.0));
+                    }
+                }
+            }
+        }
+        let report = diff(&baseline, &broken, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(!report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn mismatched_benches_are_an_error() {
+        let a = artifact(ARTIFACTS[0]);
+        let b = artifact(ARTIFACTS[1]);
+        assert!(diff(&a, &b, DEFAULT_QPS_TOLERANCE).is_err());
+    }
+}

@@ -13,6 +13,9 @@ use starts_meta::catalog::Catalog;
 use starts_net::{host::wire_source, LinkProfile, SimNet, StartsClient};
 use starts_source::{Source, SourceConfig};
 
+pub mod diff;
+pub mod json;
+
 /// The standard experiment corpus: 12 sources, 4 topics, moderate skew.
 pub fn standard_corpus() -> GeneratedCorpus {
     generate_corpus(&CorpusConfig {
@@ -41,21 +44,14 @@ pub fn standard_workload(corpus: &GeneratedCorpus) -> Workload {
     )
 }
 
-/// Publish each corpus source with the default (Acme) personality and
-/// discover them into a catalog.
-/// Honour the `--stats-json` flag that every experiment binary
-/// supports: when present on the command line, dump the registry's
-/// metric snapshot as a JSON document after the regular output.
-pub fn maybe_dump_stats(obs: &starts_obs::Registry) {
-    if std::env::args().any(|a| a == "--stats-json") {
-        println!("{}", starts_obs::export::json(&obs.snapshot()));
-    }
-}
-
 /// Read a flag's value from the command line, accepting both
 /// `--flag value` and `--flag=value` spellings.
 pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
+    find_flag_value(&args, flag)
+}
+
+fn find_flag_value(args: &[String], flag: &str) -> Option<String> {
     let prefix = format!("{flag}=");
     for (i, a) in args.iter().enumerate() {
         if a == flag {
@@ -68,17 +64,81 @@ pub fn arg_value(flag: &str) -> Option<String> {
     None
 }
 
-/// Honour the `--trace-jsonl <path>` flag: when present, dump the
-/// registry's recent span events as JSON Lines (one span per line; see
-/// `starts_obs::trace::write_jsonl`) to the given path.
-pub fn maybe_dump_trace_jsonl(obs: &starts_obs::Registry) {
-    if let Some(path) = arg_value("--trace-jsonl") {
-        let events = obs.recent_spans();
-        match starts_obs::trace::dump_jsonl(&events, std::path::Path::new(&path)) {
-            Ok(n) => eprintln!("wrote {n} spans to {path}"),
-            Err(e) => eprintln!("--trace-jsonl {path}: {e}"),
+/// The flags every experiment binary honours, parsed once.
+///
+/// X1–X13 grew near-identical copies of `--stats-json` / `--trace-jsonl`
+/// handling and X14–X16 of `--smoke` / `--out`; this struct is the one
+/// place that knows the spelling of all of them.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--smoke`: seconds-scale run for CI (smaller corpus/workload).
+    pub smoke: bool,
+    /// `--explain`: after the measurements, run one representative
+    /// query and print its cost tree (`QueryProfile::render`) plus the
+    /// critical path.
+    pub explain: bool,
+    /// `--out PATH`: where to write the bench's JSON artifact.
+    pub out: Option<String>,
+    /// `--stats-json`: dump the registry's metric snapshot as JSON
+    /// after the regular output.
+    pub stats_json: bool,
+    /// `--trace-jsonl PATH`: dump recent span events as JSON Lines.
+    pub trace_jsonl: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parse the process's command line.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args)
+    }
+
+    /// Parse an explicit argument list (testable form of [`parse`]).
+    ///
+    /// [`parse`]: BenchArgs::parse
+    pub fn from_args(args: &[String]) -> Self {
+        BenchArgs {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            explain: args.iter().any(|a| a == "--explain"),
+            out: find_flag_value(args, "--out"),
+            stats_json: args.iter().any(|a| a == "--stats-json"),
+            trace_jsonl: find_flag_value(args, "--trace-jsonl"),
         }
     }
+
+    /// The output path, or `default` when `--out` was not given.
+    pub fn out_or(&self, default: &str) -> String {
+        self.out.clone().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Honour the dump flags against a registry; call once at the end
+    /// of `main`. `--stats-json` prints the metric snapshot as JSON;
+    /// `--trace-jsonl PATH` writes recent spans as JSON Lines.
+    pub fn finish(&self, obs: &starts_obs::Registry) {
+        if self.stats_json {
+            println!("{}", starts_obs::export::json(&obs.snapshot()));
+        }
+        if let Some(path) = &self.trace_jsonl {
+            let events = obs.recent_spans();
+            match starts_obs::trace::dump_jsonl(&events, std::path::Path::new(path)) {
+                Ok(n) => eprintln!("wrote {n} spans to {path}"),
+                Err(e) => eprintln!("--trace-jsonl {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Hardware threads available to this process (1 when unknown). Bench
+/// JSON artifacts record this so a regression gate can tell whether a
+/// baseline from another machine is comparable at all.
+pub fn machine_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The uniform provenance note for bench JSON artifacts:
+/// `"measured on a N-core container; <detail>"`.
+pub fn provenance_note(parallelism: usize, detail: &str) -> String {
+    format!("measured on a {parallelism}-core container; {detail}")
 }
 
 pub fn wire_and_discover(net: &SimNet, corpus: &GeneratedCorpus) -> Catalog {
@@ -195,6 +255,40 @@ mod tests {
         assert_eq!(find(&args, "--trace-jsonl"), None);
         // The real parser at least agrees there is no such flag here.
         assert_eq!(arg_value("--definitely-not-passed"), None);
+    }
+
+    #[test]
+    fn bench_args_parse_every_flag() {
+        let argv: Vec<String> = [
+            "x14",
+            "--smoke",
+            "--out",
+            "fresh.json",
+            "--stats-json",
+            "--trace-jsonl=t.jsonl",
+            "--explain",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = BenchArgs::from_args(&argv);
+        assert!(args.smoke && args.stats_json && args.explain);
+        assert_eq!(args.out.as_deref(), Some("fresh.json"));
+        assert_eq!(args.trace_jsonl.as_deref(), Some("t.jsonl"));
+        assert_eq!(args.out_or("default.json"), "fresh.json");
+
+        let none = BenchArgs::from_args(&["x01".to_string()]);
+        assert!(!none.smoke && !none.stats_json && !none.explain);
+        assert_eq!(none.out_or("default.json"), "default.json");
+    }
+
+    #[test]
+    fn provenance_note_names_the_machine() {
+        assert_eq!(
+            provenance_note(4, "numbers below"),
+            "measured on a 4-core container; numbers below"
+        );
+        assert!(machine_parallelism() >= 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod conformance;
 pub mod error;
 pub mod lstring;
 pub mod metadata;
+pub mod profile;
 pub mod query;
 pub mod resource;
 pub mod results;
@@ -44,6 +45,7 @@ pub use attrs::{Field, Modifier, ATTRSET_BASIC1, ATTRSET_MBASIC1};
 pub use error::ProtoError;
 pub use lstring::LString;
 pub use metadata::{FieldModCombo, QueryParts, SourceMetadata};
+pub use profile::{QueryProfile, StageCost, PROFILE_ATTR};
 pub use query::{
     AnswerSpec, FilterExpr, ProxSpec, QTerm, Query, RankExpr, SortKey, SortOrder, WeightedTerm,
 };

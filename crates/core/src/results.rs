@@ -13,6 +13,7 @@ use starts_soif::{write_object_into, SoifObject, SoifReader, STARTS_VERSION, VER
 
 use crate::attrs::Field;
 use crate::error::ProtoError;
+use crate::profile::{QueryProfile, PROFILE_ATTR};
 use crate::query::{
     fmt_weight, parse_filter, parse_ranking, print_filter, print_ranking, print_term, FilterExpr,
     QTerm, RankExpr,
@@ -212,6 +213,10 @@ pub struct QueryResults {
     /// Trace context echoed back from the query (§4.3 extension
     /// attribute `XTraceContext`); `None` for untraced exchanges.
     pub trace: Option<TraceContext>,
+    /// Host-side cost breakdown of this execution (§4.3 extension
+    /// attribute `XQueryProfile`); `None` unless the exchange was
+    /// traced and the host is profile-aware.
+    pub profile: Option<QueryProfile>,
 }
 
 impl QueryResults {
@@ -259,6 +264,9 @@ impl QueryResults {
         if let Some(ctx) = &self.trace {
             o.push_str(TRACE_ATTR, ctx.encode());
         }
+        if let Some(profile) = &self.profile {
+            o.push_str(PROFILE_ATTR, profile.encode());
+        }
         o
     }
 
@@ -300,8 +308,9 @@ impl QueryResults {
             actual_filter,
             actual_ranking,
             documents: Vec::new(),
-            // Lenient per §4.3: malformed trace context degrades to None.
+            // Lenient per §4.3: malformed extension data degrades to None.
             trace: o.get_str(TRACE_ATTR).and_then(TraceContext::decode),
+            profile: o.get_str(PROFILE_ATTR).and_then(QueryProfile::decode),
         })
     }
 }
@@ -352,6 +361,7 @@ mod tests {
                 doc_count: 10213,
             }],
             trace: None,
+            profile: None,
         }
     }
 
@@ -407,6 +417,7 @@ mod tests {
             actual_ranking: None,
             documents: vec![],
             trace: None,
+            profile: None,
         };
         let o = r.header_soif();
         assert_eq!(o.get_str("ActualRankingExpression"), Some(""));
@@ -434,6 +445,30 @@ mod tests {
         assert_eq!(back.trace, r.trace);
         // Untraced results omit the attribute entirely.
         assert!(!QueryResults::default().header_soif().has(TRACE_ATTR));
+    }
+
+    #[test]
+    fn query_profile_echoes_through_the_header() {
+        use crate::profile::StageCost;
+        let mut root = StageCost::new("source.execute", 0, 450);
+        root.children = vec![
+            StageCost::new("rewrite", 0, 10),
+            StageCost::new("execute", 10, 400).with_meta("shards", 2),
+        ];
+        let r = QueryResults {
+            sources: vec!["S".to_string()],
+            profile: Some(QueryProfile {
+                query_id: "q-000004".to_string(),
+                root,
+            }),
+            ..QueryResults::default()
+        };
+        let o = r.header_soif();
+        assert!(o.has(PROFILE_ATTR));
+        let back = QueryResults::from_header(&o).unwrap();
+        assert_eq!(back.profile, r.profile);
+        // Unprofiled results omit the attribute entirely.
+        assert!(!QueryResults::default().header_soif().has(PROFILE_ATTR));
     }
 
     #[test]

@@ -608,6 +608,7 @@ mod tests {
                 actual_ranking: None,
                 documents: docs,
                 trace: None,
+                profile: None,
             },
             source_weight: 1.0,
         }

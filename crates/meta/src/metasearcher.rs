@@ -7,10 +7,11 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use starts_net::{Exchange, SimNet, StartsClient};
-use starts_obs::{HealthBoard, SourceOutcome, TraceTree};
-use starts_proto::{Field, QTerm, Query, TraceContext};
+use starts_obs::{FlightRecorder, HealthBoard, SourceOutcome, TraceTree};
+use starts_proto::{Field, QTerm, Query, QueryProfile, StageCost, TraceContext};
 
 use crate::adapt::{adapt_query, least_common_denominator};
 use crate::catalog::Catalog;
@@ -49,6 +50,11 @@ pub struct MetaConfig {
     /// Latency budget per exchange: a source whose simulated round-trip
     /// reaches this counts as timed out on the health board.
     pub timeout_ms: u64,
+    /// The always-on flight recorder: every search's [`QueryProfile`]
+    /// lands here, and slow queries (rolling p99 or absolute budget) are
+    /// captured for the slow-log. Shared (`Arc`) so callers can drain it
+    /// while the metasearcher keeps recording.
+    pub recorder: Arc<FlightRecorder>,
 }
 
 impl Default for MetaConfig {
@@ -61,6 +67,7 @@ impl Default for MetaConfig {
             max_results: 20,
             health: Arc::new(HealthBoard::default()),
             timeout_ms: 30_000,
+            recorder: Arc::new(FlightRecorder::default()),
         }
     }
 }
@@ -130,6 +137,12 @@ pub struct MetaResponse {
     /// The trace id minted for this search; feed it to
     /// [`Metasearcher::trace_tree`] to stitch the per-query trace.
     pub query_id: String,
+    /// The hierarchical cost breakdown of this search: client-side
+    /// select/adapt/dispatch/merge stages, one `source` stage per
+    /// completed exchange, and each host's `XQueryProfile` breakdown
+    /// grafted under its dispatching stage. Also recorded on
+    /// [`MetaConfig::recorder`].
+    pub profile: QueryProfile,
 }
 
 /// The metasearcher.
@@ -169,10 +182,15 @@ impl<'n> Metasearcher<'n> {
     pub fn search(&self, query: &Query) -> MetaResponse {
         let obs = self.net.registry();
         let query_id = starts_obs::trace::next_query_id();
+        // Spans record on drop; the wire-visible QueryProfile keeps its
+        // own explicit clock, all offsets relative to `t0`.
+        let t0 = Instant::now();
+        let elapsed_us = |t0: Instant| t0.elapsed().as_micros() as u64;
         let _root = obs.span_with("meta.search", vec![("trace", query_id.clone())]);
         obs.counter("meta.searches").inc();
 
         // 1. Select sources.
+        let select_start = elapsed_us(t0);
         let chosen: Vec<(usize, f64)> = {
             let _span = obs.span("select");
             let owned_terms = Self::selection_terms(query);
@@ -187,12 +205,14 @@ impl<'n> Metasearcher<'n> {
                 .take(self.config.max_sources.max(1))
                 .collect()
         };
+        let select_end = elapsed_us(t0);
         let selected: Vec<String> = chosen
             .iter()
             .map(|(i, _)| self.catalog.entries[*i].id.clone())
             .collect();
 
         // 2. Adapt queries.
+        let adapt_start = elapsed_us(t0);
         let prepared: Vec<(usize, f64, Query)> = {
             let _span = obs.span("adapt");
             let lcd_query = if self.config.adapt == AdaptMode::Lcd {
@@ -218,6 +238,8 @@ impl<'n> Metasearcher<'n> {
                 .collect()
         };
 
+        let adapt_end = elapsed_us(t0);
+
         // 3. Dispatch in parallel (the fan-out of Figure 1's client).
         let client = StartsClient::new(self.net);
         let max_belief = chosen
@@ -225,8 +247,9 @@ impl<'n> Metasearcher<'n> {
             .map(|(_, s)| *s)
             .fold(f64::MIN, f64::max)
             .max(1e-12);
-        let mut slots: Vec<Option<(SourceResult, Exchange)>> = Vec::new();
+        let mut slots: Vec<Option<(SourceResult, Exchange, StageCost)>> = Vec::new();
         slots.resize_with(prepared.len(), || None);
+        let dispatch_start = elapsed_us(t0);
         {
             let dispatch = obs.span("dispatch");
             let dispatch_handle = dispatch.handle();
@@ -257,8 +280,10 @@ impl<'n> Metasearcher<'n> {
                             parent_path: span.path().to_string(),
                             parent_span_id: span.id(),
                         });
+                        let w_start = elapsed_us(t0);
                         match client.query_with_exchange(entry.query_url(), &q) {
                             Ok((results, exchange)) => {
+                                let w_end = elapsed_us(t0);
                                 let latency = u64::from(exchange.latency_ms);
                                 obs.histogram_with(
                                     "meta.source_latency_ms",
@@ -273,6 +298,25 @@ impl<'n> Metasearcher<'n> {
                                         SourceOutcome::ok(latency)
                                     },
                                 );
+                                // Per-worker stage for the profile. The
+                                // host's own XQueryProfile (if it sent
+                                // one) nests under it, rebased from the
+                                // host's clock onto ours: the exchange
+                                // ran inline inside this window, so the
+                                // shifted subtree stays contained.
+                                let mut stage = StageCost::new(
+                                    "source",
+                                    w_start,
+                                    w_end.saturating_sub(w_start),
+                                )
+                                .with_meta("source", &entry.id)
+                                .with_meta("latency_ms", exchange.latency_ms)
+                                .with_meta("cost", exchange.cost);
+                                if let Some(host) = results.profile.clone() {
+                                    let mut root = host.root;
+                                    root.shift(w_start);
+                                    stage.children.push(root);
+                                }
                                 *slot = Some((
                                     SourceResult {
                                         metadata: entry.metadata.clone(),
@@ -280,6 +324,7 @@ impl<'n> Metasearcher<'n> {
                                         source_weight: (score / max_belief).clamp(0.0, 1.0),
                                     },
                                     exchange,
+                                    stage,
                                 ));
                             }
                             Err(_) => {
@@ -299,15 +344,18 @@ impl<'n> Metasearcher<'n> {
             })
             .expect("crossbeam scope");
         }
+        let dispatch_end = elapsed_us(t0);
         // Publish the refreshed scoreboard so every exporter (and the
         // /stats endpoint of anyone sharing this registry) carries it.
         self.config.health.export_to(obs);
         let mut stats = QueryStats::default();
+        let mut source_stages = Vec::new();
         let per_source: Vec<SourceResult> = slots
             .into_iter()
             .flatten()
-            .map(|(result, exchange)| {
+            .map(|(result, exchange, stage)| {
                 stats.absorb(&exchange);
+                source_stages.push(stage);
                 result
             })
             .collect();
@@ -328,7 +376,8 @@ impl<'n> Metasearcher<'n> {
         // 5. Merge — bounded: per-source lists already arrive sorted by
         // score, so the merger only materialises the best
         // `max_results` documents instead of every candidate.
-        let merged = {
+        let merge_start = elapsed_us(t0);
+        let (merged, merge_meta) = {
             let _span = obs.span("merge");
             let (merged, mstats) = self
                 .config
@@ -340,8 +389,46 @@ impl<'n> Metasearcher<'n> {
                 .add(mstats.candidates as u64);
             obs.counter("meta.merge.duplicates")
                 .add(mstats.duplicates() as u64);
-            merged
+            let meta = (mstats.candidates, mstats.duplicates());
+            (merged, meta)
         };
+        let merge_end = elapsed_us(t0);
+
+        // 6. Assemble the per-query cost profile and hand it to the
+        // flight recorder (which decides whether it was slow enough to
+        // keep in the slow-log).
+        let mut dispatch_stage = StageCost::new(
+            "dispatch",
+            dispatch_start,
+            dispatch_end.saturating_sub(dispatch_start),
+        )
+        .with_meta("sources", source_stages.len());
+        dispatch_stage.children = source_stages;
+        let profile = QueryProfile {
+            query_id: query_id.clone(),
+            root: StageCost {
+                name: "meta.search".to_string(),
+                start_us: 0,
+                duration_us: elapsed_us(t0),
+                meta: vec![("results".to_string(), merged.len().to_string())],
+                children: vec![
+                    StageCost::new(
+                        "select",
+                        select_start,
+                        select_end.saturating_sub(select_start),
+                    )
+                    .with_meta("chosen", selected.len()),
+                    StageCost::new("adapt", adapt_start, adapt_end.saturating_sub(adapt_start)),
+                    dispatch_stage,
+                    StageCost::new("merge", merge_start, merge_end.saturating_sub(merge_start))
+                        .with_meta("candidates", merge_meta.0)
+                        .with_meta("duplicates", merge_meta.1),
+                ],
+            },
+        };
+        self.config.recorder.record(&profile);
+        self.config.recorder.export_to(obs);
+
         MetaResponse {
             merged,
             selected,
@@ -350,6 +437,7 @@ impl<'n> Metasearcher<'n> {
             total_cost,
             stats,
             query_id,
+            profile,
         }
     }
 }

@@ -19,6 +19,10 @@
 //!   per-query trees (spans carry ids and parent ids, and a
 //!   [`SpanHandle`] can cross threads or the wire), with critical-path
 //!   extraction and a JSONL sink;
+//! * **Flight recorder** — [`FlightRecorder`] keeps the last N
+//!   per-query cost profiles (`starts_proto::QueryProfile`) in a
+//!   bounded ring, captures queries over a rolling p99 or an absolute
+//!   budget into a JSONL slow-log, and exports `recorder.*` gauges;
 //! * **Health** — a rolling per-source [`health::HealthBoard`]
 //!   (availability, error rate, timeouts, latency quantiles, score)
 //!   that exports as plain gauges so every exporter carries it.
@@ -32,12 +36,14 @@
 pub mod export;
 pub mod health;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
 pub use health::{HealthBoard, SourceHealth, SourceOutcome};
 pub use metrics::{Counter, Gauge, Histogram};
+pub use profile::FlightRecorder;
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricId, Registry, Snapshot,
 };

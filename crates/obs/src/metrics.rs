@@ -102,6 +102,10 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
 
 struct HistogramCore {
     buckets: [AtomicU64; NUM_BUCKETS],
+    /// Largest observation seen per bucket (0 when the bucket is empty),
+    /// so percentile estimates clamp to real extremes instead of bucket
+    /// upper bounds.
+    bucket_max: [AtomicU64; NUM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     /// `u64::MAX` until the first observation.
@@ -125,6 +129,7 @@ impl Default for Histogram {
         Histogram {
             core: Arc::new(HistogramCore {
                 buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                bucket_max: std::array::from_fn(|_| AtomicU64::new(0)),
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
                 min: AtomicU64::new(u64::MAX),
@@ -138,7 +143,9 @@ impl Histogram {
     /// Record one observation.
     pub fn observe(&self, v: u64) {
         let c = &self.core;
-        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let i = bucket_index(v);
+        c.buckets[i].fetch_add(1, Ordering::Relaxed);
+        c.bucket_max[i].fetch_max(v, Ordering::Relaxed);
         c.count.fetch_add(1, Ordering::Relaxed);
         c.sum.fetch_add(v, Ordering::Relaxed);
         c.min.fetch_min(v, Ordering::Relaxed);
@@ -161,6 +168,11 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count: u64 = buckets.iter().sum();
+        let bucket_max: Vec<u64> = c
+            .bucket_max
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         let min = c.min.load(Ordering::Relaxed);
         HistogramValues {
             count,
@@ -168,6 +180,7 @@ impl Histogram {
             min: if min == u64::MAX { 0 } else { min },
             max: c.max.load(Ordering::Relaxed),
             buckets,
+            bucket_max,
         }
     }
 }
@@ -185,12 +198,18 @@ pub struct HistogramValues {
     pub max: u64,
     /// Per-bucket counts, indexed as [`bucket_index`].
     pub buckets: Vec<u64>,
+    /// Largest observation per bucket (0 for empty buckets), indexed as
+    /// [`bucket_index`].
+    pub bucket_max: Vec<u64>,
 }
 
 impl HistogramValues {
-    /// Estimate the `q`-quantile (0 < q ≤ 1): the upper bound of the
-    /// bucket holding the ⌈q·count⌉-th smallest observation, clamped to
-    /// the observed maximum. Returns 0 for an empty histogram.
+    /// Estimate the `q`-quantile (0 < q ≤ 1): the largest *observed*
+    /// value in the bucket holding the ⌈q·count⌉-th smallest
+    /// observation, clamped to the bucket's upper bound and the global
+    /// observed maximum — so the estimate is a real extreme of the
+    /// distribution, never an artificial power-of-two bound. Returns 0
+    /// for an empty histogram.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -200,7 +219,14 @@ impl HistogramValues {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return bucket_upper_bound(i).min(self.max);
+                let upper = bucket_upper_bound(i).min(self.max);
+                // An in-flight concurrent observe can leave the per-bucket
+                // max momentarily behind the count; fall back to the
+                // bucket bound in that window.
+                return match self.bucket_max.get(i) {
+                    Some(&m) if m > 0 => m.min(upper),
+                    _ => upper,
+                };
             }
         }
         self.max
@@ -259,10 +285,33 @@ mod tests {
         assert_eq!(s.sum, 1100);
         assert_eq!(s.min, 10);
         assert_eq!(s.max, 1000);
-        // p50 lands in the bucket of 30 ([16,31]).
-        assert_eq!(s.percentile(0.5), 31);
+        // p50 lands in the bucket of 30 ([16,31]); the bucket's observed
+        // max is the exact order statistic here.
+        assert_eq!(s.percentile(0.5), 30);
         // p99 lands in the last bucket, clamped to the max.
         assert_eq!(s.percentile(0.99), 1000);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_extremes() {
+        // A single repeated value: every quantile is that exact value,
+        // not its bucket's power-of-two upper bound.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(70); // bucket [64,127]
+        }
+        let s = h.snapshot_values();
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(s.percentile(q), 70);
+        }
+        // Two buckets: the p50 bucket's own max bounds the estimate.
+        let h = Histogram::default();
+        for v in [65u64, 100, 9000, 9000] {
+            h.observe(v);
+        }
+        let s = h.snapshot_values();
+        assert_eq!(s.percentile(0.5), 100);
+        assert_eq!(s.percentile(0.99), 9000);
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! The query flight recorder: per-query [`QueryProfile`] retention with
+//! automatic slow-query capture.
+//!
+//! The metasearcher produces one [`QueryProfile`] per federated search
+//! (client-side select/adapt/dispatch/merge stages, with each host's
+//! `XQueryProfile` breakdown grafted under the dispatching stage). This
+//! module keeps them useful after the fact:
+//!
+//! * a **lock-light ring** of the last N profiles ([`FlightRecorder::recent`]),
+//! * **slow-query capture**: a query whose total exceeds the rolling p99
+//!   of everything recorded so far (after a warmup) or an absolute
+//!   budget is copied to a separate slow ring
+//!   ([`FlightRecorder::drain_slow`]) and appended, one JSON object per
+//!   line, to an optional slow-log file — crash-tolerant by
+//!   construction, because each line is self-contained and
+//!   [`crate::trace::read_jsonl`]-style readers skip torn tails,
+//! * **export**: [`FlightRecorder::export_to`] publishes `recorder.*`
+//!   gauges into a [`Registry`], so `/stats`, Prometheus, and JSON dumps
+//!   all carry the recorder's state with no extra wiring.
+//!
+//! A [`profile_from_trace`] helper converts a stitched
+//! [`TraceTree`] into the same [`QueryProfile`]
+//! shape, so offline span dumps and wire-carried profiles feed one
+//! toolchain.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use starts_proto::{QueryProfile, StageCost};
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+use crate::trace::{TraceNode, TraceTree, TRACE_FIELD};
+
+/// Profiles kept in the main ring by default.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Slow profiles kept between drains.
+const SLOW_CAPACITY: usize = 64;
+
+/// Recorded queries required before the rolling-p99 trigger arms (an
+/// empty distribution flags everything; a tiny one flags noise).
+pub const P99_WARMUP: u64 = 32;
+
+/// A bounded recorder of recent query profiles with slow-query capture.
+///
+/// `record` takes one short mutex hold per ring touched plus a few
+/// relaxed atomics — cheap enough to stay always-on in the search path.
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<QueryProfile>>,
+    slow: Mutex<VecDeque<QueryProfile>>,
+    capacity: usize,
+    /// Rolling distribution of total query wall-clock, for the p99
+    /// trigger (exact-extreme clamping keeps the threshold honest).
+    totals: Histogram,
+    /// Absolute slow budget in µs; `u64::MAX` disables it.
+    budget_us: AtomicU64,
+    recorded: AtomicU64,
+    slow_seen: AtomicU64,
+    last_total_us: AtomicU64,
+    slow_log: Mutex<Option<PathBuf>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last [`DEFAULT_CAPACITY`] profiles.
+    pub fn new() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// A recorder keeping the last `capacity` profiles.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
+            slow: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            totals: Histogram::default(),
+            budget_us: AtomicU64::new(u64::MAX),
+            recorded: AtomicU64::new(0),
+            slow_seen: AtomicU64::new(0),
+            last_total_us: AtomicU64::new(0),
+            slow_log: Mutex::new(None),
+        }
+    }
+
+    /// Set the absolute slow budget: any query slower than `us` is
+    /// captured regardless of the rolling p99.
+    pub fn set_budget_us(&self, us: u64) {
+        self.budget_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The absolute slow budget, or `None` when disabled.
+    pub fn budget_us(&self) -> Option<u64> {
+        match self.budget_us.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            us => Some(us),
+        }
+    }
+
+    /// Append captured slow queries to `path` as JSON Lines (one
+    /// self-contained object per query). The file is opened per capture,
+    /// so a crash can lose at most the line being written.
+    pub fn set_slow_log(&self, path: impl Into<PathBuf>) {
+        *self.slow_log.lock() = Some(path.into());
+    }
+
+    /// The configured slow-log path, if any.
+    pub fn slow_log_path(&self) -> Option<PathBuf> {
+        self.slow_log.lock().clone()
+    }
+
+    /// Record one profile. Returns `true` when the query was captured as
+    /// slow (over the absolute budget, or — once [`P99_WARMUP`] queries
+    /// have been seen — over the rolling p99 of all recorded totals).
+    pub fn record(&self, profile: &QueryProfile) -> bool {
+        let total = profile.total_us();
+        let seen = self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.last_total_us.store(total, Ordering::Relaxed);
+        // Threshold from the distribution *before* this observation, so
+        // one outlier cannot raise the bar it is judged against.
+        let p99 = self.totals.snapshot_values().percentile(0.99);
+        self.totals.observe(total);
+        let over_budget = total > self.budget_us.load(Ordering::Relaxed);
+        let over_p99 = seen >= P99_WARMUP && total > p99;
+        let slow = over_budget || over_p99;
+        {
+            let mut ring = self.ring.lock();
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(profile.clone());
+        }
+        if slow {
+            self.slow_seen.fetch_add(1, Ordering::Relaxed);
+            {
+                let mut slow_ring = self.slow.lock();
+                if slow_ring.len() == SLOW_CAPACITY {
+                    slow_ring.pop_front();
+                }
+                slow_ring.push_back(profile.clone());
+            }
+            if let Some(path) = self.slow_log.lock().as_deref() {
+                // Best-effort: a failing sink must not fail the query.
+                let _ = append_slow_log(path, profile);
+            }
+        }
+        slow
+    }
+
+    /// The retained profiles, oldest first.
+    pub fn recent(&self) -> Vec<QueryProfile> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Take the captured slow profiles, clearing the slow ring.
+    pub fn drain_slow(&self) -> Vec<QueryProfile> {
+        self.slow.lock().drain(..).collect()
+    }
+
+    /// Total queries recorded over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Total queries captured as slow over the recorder's lifetime.
+    pub fn slow_seen(&self) -> u64 {
+        self.slow_seen.load(Ordering::Relaxed)
+    }
+
+    /// Publish the recorder's state as `recorder.*` gauges, so every
+    /// exporter (Prometheus, JSON, `@SStats` — and therefore `/stats`)
+    /// carries it.
+    pub fn export_to(&self, reg: &Registry) {
+        let totals = self.totals.snapshot_values();
+        reg.gauge("recorder.queries")
+            .set(self.recorded.load(Ordering::Relaxed) as f64);
+        reg.gauge("recorder.slow_queries")
+            .set(self.slow_seen.load(Ordering::Relaxed) as f64);
+        reg.gauge("recorder.last_total_us")
+            .set(self.last_total_us.load(Ordering::Relaxed) as f64);
+        reg.gauge("recorder.p50_us")
+            .set(totals.percentile(0.50) as f64);
+        reg.gauge("recorder.p99_us")
+            .set(totals.percentile(0.99) as f64);
+        if let Some(budget) = self.budget_us() {
+            reg.gauge("recorder.budget_us").set(budget as f64);
+        }
+    }
+}
+
+fn append_slow_log(path: &Path, profile: &QueryProfile) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut line = profile_to_json(profile);
+    line.push('\n');
+    file.write_all(line.as_bytes())
+}
+
+/// One profile as a single-line JSON object (the slow-log format):
+/// `{"query_id":…,"total_us":…,"critical_path":…,"root":{…}}` with the
+/// stage tree nested under `root`.
+pub fn profile_to_json(profile: &QueryProfile) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!(
+        "{{\"query_id\":\"{}\",\"total_us\":{},\"critical_path\":\"{}\",\"root\":",
+        crate::export::json_escape(&profile.query_id),
+        profile.total_us(),
+        crate::export::json_escape(&profile.critical_path_summary()),
+    ));
+    stage_to_json(&profile.root, &mut out);
+    out.push('}');
+    out
+}
+
+fn stage_to_json(stage: &StageCost, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"start_us\":{},\"duration_us\":{}",
+        crate::export::json_escape(&stage.name),
+        stage.start_us,
+        stage.duration_us
+    ));
+    if !stage.meta.is_empty() {
+        let metas: Vec<String> = stage
+            .meta
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    "\"{}\":\"{}\"",
+                    crate::export::json_escape(k),
+                    crate::export::json_escape(v)
+                )
+            })
+            .collect();
+        out.push_str(&format!(",\"meta\":{{{}}}", metas.join(",")));
+    }
+    if !stage.children.is_empty() {
+        out.push_str(",\"children\":[");
+        for (i, c) in stage.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            stage_to_json(c, out);
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+/// Convert a stitched [`TraceTree`] into a [`QueryProfile`]: the first
+/// root becomes the profile root, span fields become stage metadata
+/// (minus the `trace` tag), and start offsets are rebased so the root
+/// starts at 0. Returns `None` for an empty tree.
+pub fn profile_from_trace(tree: &TraceTree) -> Option<QueryProfile> {
+    let root = tree.roots.first()?;
+    let base = root.event.start_us;
+    Some(QueryProfile {
+        query_id: tree.query_id.clone(),
+        root: node_to_stage(root, base),
+    })
+}
+
+fn node_to_stage(node: &TraceNode, base: u64) -> StageCost {
+    StageCost {
+        name: node.event.name.clone(),
+        start_us: node.event.start_us.saturating_sub(base),
+        duration_us: node.event.duration_us,
+        meta: node
+            .event
+            .fields
+            .iter()
+            .filter(|(k, _)| *k != TRACE_FIELD)
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        children: node
+            .children
+            .iter()
+            .map(|c| node_to_stage(c, base))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(id: &str, total_us: u64) -> QueryProfile {
+        let mut root = StageCost::new("meta.search", 0, total_us);
+        root.children = vec![StageCost::new("dispatch", 0, total_us / 2)];
+        QueryProfile {
+            query_id: id.to_string(),
+            root,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            rec.record(&profile(&format!("q-{i}"), 100));
+        }
+        let recent = rec.recent();
+        assert_eq!(recent.len(), 3);
+        let ids: Vec<&str> = recent.iter().map(|p| p.query_id.as_str()).collect();
+        assert_eq!(ids, ["q-2", "q-3", "q-4"]);
+        assert_eq!(rec.recorded(), 5);
+    }
+
+    #[test]
+    fn absolute_budget_captures_slow_queries() {
+        let rec = FlightRecorder::new();
+        rec.set_budget_us(1_000);
+        assert!(!rec.record(&profile("q-fast", 500)));
+        assert!(rec.record(&profile("q-slow", 2_000)));
+        assert_eq!(rec.slow_seen(), 1);
+        let slow = rec.drain_slow();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].query_id, "q-slow");
+        // Draining clears the slow ring but not the counters.
+        assert!(rec.drain_slow().is_empty());
+        assert_eq!(rec.slow_seen(), 1);
+    }
+
+    #[test]
+    fn rolling_p99_arms_after_warmup() {
+        let rec = FlightRecorder::new();
+        // Uniform baseline: nothing is slow during or after warmup,
+        // because the p99 threshold equals the observed value.
+        for i in 0..40 {
+            assert!(!rec.record(&profile(&format!("q-{i}"), 100)), "query {i}");
+        }
+        // A 100× outlier trips the trigger with no budget configured.
+        assert!(rec.record(&profile("q-outlier", 10_000)));
+        assert_eq!(rec.drain_slow()[0].query_id, "q-outlier");
+    }
+
+    #[test]
+    fn p99_trigger_stays_quiet_during_warmup() {
+        let rec = FlightRecorder::new();
+        assert!(!rec.record(&profile("q-a", 100)));
+        // Far over the (single-sample) p99, but the trigger is not armed.
+        assert!(!rec.record(&profile("q-b", 1_000_000)));
+    }
+
+    #[test]
+    fn slow_log_appends_one_json_line_per_capture() {
+        let dir = std::env::temp_dir().join(format!("starts-fr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rec = FlightRecorder::new();
+        rec.set_budget_us(1_000);
+        rec.set_slow_log(&path);
+        rec.record(&profile("q-ok", 10));
+        rec.record(&profile("q-slow-1", 5_000));
+        rec.record(&profile("q-slow-2", 9_000));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"query_id\":\"q-slow-1\""));
+        assert!(lines[1].contains("\"query_id\":\"q-slow-2\""));
+        assert!(lines[0].contains("\"total_us\":5000"));
+        assert!(lines[0].contains("\"critical_path\":"));
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn export_publishes_recorder_gauges() {
+        let rec = FlightRecorder::new();
+        rec.set_budget_us(50_000);
+        for i in 0..10 {
+            rec.record(&profile(&format!("q-{i}"), 200));
+        }
+        let reg = Registry::new();
+        rec.export_to(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("recorder.queries", &[]), 10.0);
+        assert_eq!(snap.gauge("recorder.slow_queries", &[]), 0.0);
+        assert_eq!(snap.gauge("recorder.last_total_us", &[]), 200.0);
+        // Exact-extreme clamping: the p-gauges are the observed value.
+        assert_eq!(snap.gauge("recorder.p50_us", &[]), 200.0);
+        assert_eq!(snap.gauge("recorder.p99_us", &[]), 200.0);
+        assert_eq!(snap.gauge("recorder.budget_us", &[]), 50_000.0);
+    }
+
+    #[test]
+    fn trace_tree_converts_to_a_profile() {
+        let reg = Registry::new();
+        {
+            let root = reg.span_with("meta.search", vec![(TRACE_FIELD, "q-p".to_string())]);
+            let _ = root.path();
+            {
+                let _child = reg.span_with("dispatch", vec![("wave", "1".to_string())]);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let tree = TraceTree::build("q-p", &reg.recent_spans());
+        let p = profile_from_trace(&tree).expect("non-empty tree");
+        assert_eq!(p.query_id, "q-p");
+        assert_eq!(p.root.name, "meta.search");
+        assert_eq!(p.root.start_us, 0);
+        let dispatch = p.find("dispatch").expect("child stage");
+        assert!(dispatch.duration_us >= 1_000, "slept 1ms");
+        assert_eq!(dispatch.meta_value("wave"), Some("1"));
+        // The trace tag is stripped from stage metadata.
+        assert!(p.root.meta_value(TRACE_FIELD).is_none());
+        assert!(profile_from_trace(&TraceTree::build("q-none", &[])).is_none());
+    }
+}

@@ -295,6 +295,264 @@ pub fn dump_jsonl(events: &[SpanEvent], path: &Path) -> io::Result<usize> {
     Ok(events.len())
 }
 
+// ---------------------------------------------------------------------
+// JSONL source
+// ---------------------------------------------------------------------
+
+/// Read span events back from the JSON Lines format [`write_jsonl`]
+/// produces. Tolerant by design: sinks append incrementally (the flight
+/// recorder's slow-log, `--trace-jsonl` dumps), so a crash can leave a
+/// truncated or garbled final line — any line that does not parse into a
+/// complete span object is skipped rather than failing the read. The
+/// spans that did make it to disk reconstruct into [`TraceTree`]s as
+/// usual.
+pub fn read_jsonl(text: &str) -> Vec<SpanEvent> {
+    text.lines().filter_map(parse_jsonl_line).collect()
+}
+
+/// Span field keys are `&'static str` (they come from call sites);
+/// events read back from disk intern their keys through a process-wide
+/// dedup table, so the leak is bounded by the number of *distinct* keys
+/// ever read.
+fn intern_field_key(key: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+    static KEYS: OnceLock<parking_lot::Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let table = KEYS.get_or_init(|| parking_lot::Mutex::new(HashSet::new()));
+    let mut table = table.lock();
+    match table.get(key) {
+        Some(k) => k,
+        None => {
+            let leaked: &'static str = Box::leak(key.to_string().into_boxed_str());
+            table.insert(leaked);
+            leaked
+        }
+    }
+}
+
+struct JsonCursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonCursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Option<()> {
+        (self.next()? == c).then_some(())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    /// A quoted JSON string, unescaped.
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = self.b.get(self.i..self.i + 4)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        self.i += 4;
+                    }
+                    _ => return None,
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-assemble a multi-byte UTF-8 sequence.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.b.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    /// An unsigned integer (the only number shape [`write_jsonl`] emits).
+    fn number(&mut self) -> Option<u64> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// Skip one value of any shape — forward compatibility for keys this
+    /// reader does not know.
+    fn skip_value(&mut self) -> Option<()> {
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => self.string().map(|_| ()),
+            b'{' | b'[' => {
+                let (open, close) = if self.peek() == Some(b'{') {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                self.i += 1;
+                let mut depth = 1usize;
+                loop {
+                    match self.peek()? {
+                        b'"' => {
+                            self.string()?;
+                        }
+                        c => {
+                            self.i += 1;
+                            if c == open {
+                                depth += 1;
+                            } else if c == close {
+                                depth -= 1;
+                                if depth == 0 {
+                                    return Some(());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                while matches!(
+                    self.peek(),
+                    Some(
+                        b'0'..=b'9'
+                            | b'-'
+                            | b'+'
+                            | b'.'
+                            | b'e'
+                            | b'E'
+                            | b't'
+                            | b'r'
+                            | b'u'
+                            | b'f'
+                            | b'a'
+                            | b'l'
+                            | b's'
+                            | b'n'
+                    )
+                ) {
+                    self.i += 1;
+                }
+                Some(())
+            }
+        }
+    }
+}
+
+fn parse_jsonl_line(line: &str) -> Option<SpanEvent> {
+    let mut p = JsonCursor {
+        b: line.trim().as_bytes(),
+        i: 0,
+    };
+    p.expect(b'{')?;
+    let mut ev = SpanEvent {
+        id: 0,
+        parent_id: 0,
+        path: String::new(),
+        name: String::new(),
+        parent: String::new(),
+        start_us: 0,
+        duration_us: 0,
+        fields: Vec::new(),
+    };
+    let (mut has_id, mut has_duration) = (false, false);
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "id" => {
+                ev.id = p.number()?;
+                has_id = true;
+            }
+            "parent_id" => ev.parent_id = p.number()?,
+            "path" => ev.path = p.string()?,
+            "name" => ev.name = p.string()?,
+            "start_us" => ev.start_us = p.number()?,
+            "duration_us" => {
+                ev.duration_us = p.number()?;
+                has_duration = true;
+            }
+            "fields" => {
+                p.expect(b'{')?;
+                p.skip_ws();
+                if p.peek() == Some(b'}') {
+                    p.i += 1;
+                } else {
+                    loop {
+                        p.skip_ws();
+                        let k = p.string()?;
+                        p.skip_ws();
+                        p.expect(b':')?;
+                        p.skip_ws();
+                        let v = p.string()?;
+                        ev.fields.push((intern_field_key(&k), v));
+                        p.skip_ws();
+                        match p.next()? {
+                            b',' => continue,
+                            b'}' => break,
+                            _ => return None,
+                        }
+                    }
+                }
+            }
+            _ => p.skip_value()?,
+        }
+        p.skip_ws();
+        match p.next()? {
+            b',' => continue,
+            b'}' => break,
+            _ => return None,
+        }
+    }
+    p.skip_ws();
+    if p.peek().is_some() {
+        return None; // trailing garbage after the closing brace
+    }
+    // `write_jsonl` does not carry the parent path explicitly; it is
+    // derivable (the path minus its leaf segment).
+    ev.parent = ev
+        .path
+        .rsplit_once('/')
+        .map(|(parent, _)| parent.to_string())
+        .unwrap_or_default();
+    (has_id && has_duration && !ev.path.is_empty() && ev.id != 0).then_some(ev)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +687,63 @@ mod tests {
             assert!(line.contains("\"duration_us\":"), "{line}");
         }
         assert!(text.contains("\"trace\":\"q-j\""));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_reader() {
+        let reg = Registry::new();
+        record_query(&reg, "q-r");
+        let events = reg.recent_spans();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let back = read_jsonl(std::str::from_utf8(&buf).unwrap());
+        assert_eq!(back, events);
+        // The reconstructed events stitch into the same tree.
+        let tree = TraceTree::build("q-r", &back);
+        assert_eq!(tree.len(), TraceTree::build("q-r", &events).len());
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_not_fatal() {
+        let reg = Registry::new();
+        record_query(&reg, "q-t");
+        let events = reg.recent_spans();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Simulate a crash mid-append: cut the file inside the last line.
+        let cut = text.trim_end().len() - 25;
+        let back = read_jsonl(&text[..cut]);
+        assert_eq!(back.len(), events.len() - 1);
+        assert_eq!(back, events[..events.len() - 1]);
+        // The surviving spans still build a (partial but rooted) trace.
+        let tree = TraceTree::build("q-t", &back);
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span_with("solo", vec![(TRACE_FIELD, "q-g".to_string())]);
+        }
+        let mut buf = Vec::new();
+        write_jsonl(&reg.recent_spans(), &mut buf).unwrap();
+        let good = String::from_utf8(buf).unwrap();
+        let noisy =
+            format!("not json at all\n{{\"id\":5}}\n{good}{{\"id\":7,\"path\":\"x\",trailing\n\n");
+        let back = read_jsonl(&noisy);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "solo");
+        assert_eq!(back[0].field(TRACE_FIELD), Some("q-g"));
+    }
+
+    #[test]
+    fn reader_unescapes_field_values() {
+        let line = r#"{"id":3,"parent_id":0,"path":"a","name":"a","start_us":1,"duration_us":2,"fields":{"note":"line\nbreak \"quoted\" \u0007"}}"#;
+        let ev = parse_jsonl_line(line).expect("parses");
+        assert_eq!(ev.field("note"), Some("line\nbreak \"quoted\" \u{7}"));
+        assert_eq!(ev.parent, "");
     }
 
     #[test]

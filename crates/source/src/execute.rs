@@ -1,10 +1,14 @@
 //! Query execution at one source: rewrite → translate → search → answer
 //! specification → result construction (§4.1.2, §4.2).
 
+use std::time::Instant;
+
 use starts_index::{DocId, Hit, SearchOptions};
 use starts_obs::Registry;
 use starts_proto::query::{SortKey, SortOrder};
-use starts_proto::{Field, Query, QueryResults, ResultDocument, TermStatsEntry};
+use starts_proto::{
+    Field, Query, QueryProfile, QueryResults, ResultDocument, StageCost, TermStatsEntry,
+};
 
 use crate::extensions::{translate_filter_ext, translate_ranking_ext};
 use crate::rewrite::{rewrite_query, Rewritten};
@@ -24,8 +28,18 @@ pub fn execute(source: &Source, query: &Query) -> QueryResults {
 /// extension attribute, §4.3), the `source.execute` span parents under
 /// the metasearcher's dispatching span and is tagged with the query id,
 /// so both sides of the wire stitch into one trace tree — and the
-/// context is echoed back on the results.
+/// context is echoed back on the results, together with an
+/// `XQueryProfile` extension attribute breaking the host-side cost into
+/// rewrite/translate/execute stages (per-shard search latencies and
+/// prune counters included). Untraced queries get neither attribute, so
+/// their encodings stay byte-identical to the paper's examples.
 pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) -> QueryResults {
+    // Spans record durations only when dropped, so the wire-visible
+    // profile keeps its own explicit clock. All offsets are relative to
+    // `t0`, the host-side root.
+    let profiling = query.trace.is_some();
+    let t0 = Instant::now();
+    let elapsed_us = |t0: Instant| t0.elapsed().as_micros() as u64;
     let _root = obs.map(|reg| {
         reg.counter_with("source.queries", &[("source", source.id())])
             .inc();
@@ -49,6 +63,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
     let is_stop = |w: &str| analyzer.is_stop_word(w);
 
     // Phase 1: rewrite against the source's declared capabilities.
+    let rewrite_start = elapsed_us(t0);
     let rewritten = {
         let _span = obs.map(|reg| reg.span("rewrite"));
         rewrite_query(
@@ -58,11 +73,13 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
             analyzer.config().can_disable_stop_words,
         )
     };
+    let rewrite_end = elapsed_us(t0);
     if let Some(reg) = obs {
         count_downgrades(reg, source.id(), query, &rewritten);
     }
 
     // Phase 2: translate the actual query into the engine's IR.
+    let translate_start = elapsed_us(t0);
     let (filter_ir, ranking_ir) = {
         let _span = obs.map(|reg| reg.span("translate"));
         (
@@ -76,8 +93,10 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
                 .map(|r| translate_ranking_ext(r, analyzer)),
         )
     };
+    let translate_end = elapsed_us(t0);
 
     // Phase 3: execute — search, answer specification, result objects.
+    let execute_start = elapsed_us(t0);
     let _span = obs.map(|reg| reg.span("execute"));
     let limit = fast_path_limit(&query.answer, ranking_ir.is_some());
     if let Some(reg) = obs {
@@ -88,6 +107,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
         })
         .inc();
     }
+    let search_start = elapsed_us(t0);
     let (mut hits, shard_latencies, prune) = {
         // The fan-out span only appears when there is an actual fan-out;
         // a single-shard engine searches inline and the span would be
@@ -112,6 +132,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
             },
         )
     };
+    let search_end = elapsed_us(t0);
     if let Some(reg) = obs {
         let shards = engine.shard_count().to_string();
         reg.counter_with(
@@ -119,7 +140,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
             &[("source", source.id()), ("shards", &shards)],
         )
         .inc();
-        for us in shard_latencies {
+        for &us in &shard_latencies {
             reg.histogram_with("engine.shard.latency_us", &[("source", source.id())])
                 .observe(us);
         }
@@ -166,12 +187,62 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
             .observe(documents.len() as u64);
     }
 
+    let profile = profiling.then(|| {
+        // The per-shard search windows: shards run in parallel, so each
+        // child starts at the search call and lasts its own measured
+        // latency (each ≤ the call's wall-clock, so nesting holds).
+        let mut search = StageCost::new("search", search_start, search_end - search_start)
+            .with_meta("shards", engine.shard_count());
+        search.children = shard_latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &us)| {
+                StageCost::new(
+                    format!("shard-{i}"),
+                    search_start,
+                    us.min(search_end - search_start),
+                )
+            })
+            .collect();
+        let execute_end = elapsed_us(t0);
+        let mut execute = StageCost::new("execute", execute_start, execute_end - execute_start)
+            .with_meta("candidates", prune.candidates)
+            .with_meta("skipped_docs", prune.skipped_docs)
+            .with_meta("skipped_leaves", prune.skipped_leaves)
+            .with_meta("results", documents.len());
+        execute.children = vec![search];
+        let total = elapsed_us(t0);
+        QueryProfile {
+            query_id: query
+                .trace
+                .as_ref()
+                .map(|ctx| ctx.query_id.clone())
+                .unwrap_or_default(),
+            root: StageCost {
+                name: "source.execute".to_string(),
+                start_us: 0,
+                duration_us: total,
+                meta: vec![("source".to_string(), source.id().to_string())],
+                children: vec![
+                    StageCost::new("rewrite", rewrite_start, rewrite_end - rewrite_start),
+                    StageCost::new(
+                        "translate",
+                        translate_start,
+                        translate_end - translate_start,
+                    ),
+                    execute,
+                ],
+            },
+        }
+    });
+
     QueryResults {
         sources: vec![source.id().to_string()],
         actual_filter: rewritten.filter,
         actual_ranking: rewritten.ranking,
         documents,
         trace: query.trace.clone(),
+        profile,
     }
 }
 

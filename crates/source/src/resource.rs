@@ -80,6 +80,7 @@ impl ResourceHost {
             actual_ranking: None,
             documents: Vec::new(),
             trace: query.trace.clone(),
+            profile: None,
         };
         // Deduplicate by linkage; documents without a linkage cannot be
         // identified across sources and pass through unmerged.

@@ -221,13 +221,21 @@ fn main() {
     );
     println!();
 
+    // EXPLAIN: the per-query cost tree, client stages with each
+    // source's own stage costs grafted in over the wire.
+    println!("== EXPLAIN (QueryProfile cost tree) ==");
+    print!("{}", resp.profile.render());
+    println!("critical path: {}", resp.profile.critical_path_summary());
+    println!();
+
     // The registry snapshot: phase timings, per-source latencies, costs.
     let snap = net.registry().snapshot();
     println!("== Metrics snapshot (Prometheus text, excerpt) ==");
-    for line in starts::obs::export::prometheus(&snap)
-        .lines()
-        .filter(|l| l.starts_with("meta_") || l.starts_with("span_duration_us{span=\"meta"))
-    {
+    for line in starts::obs::export::prometheus(&snap).lines().filter(|l| {
+        l.starts_with("meta_")
+            || l.starts_with("recorder_")
+            || l.starts_with("span_duration_us{span=\"meta")
+    }) {
         println!("{line}");
     }
     println!();

@@ -438,6 +438,266 @@ fn trace_unaware_exchanges_still_answer() {
 }
 
 #[test]
+fn federated_search_returns_a_consistent_query_profile() {
+    let net = SimNet::new();
+    let (meta, corpus) = searcher(&net);
+    let query = &generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .queries[0]
+        .query;
+
+    let resp = meta.search(query);
+    let profile = &resp.profile;
+    assert_eq!(profile.query_id, resp.query_id);
+    assert_eq!(profile.root.name, "meta.search");
+
+    // Stage costs sum consistently with their parents: every child
+    // interval (including the host-side subtrees grafted in from the
+    // wire) nests inside its parent's.
+    assert!(profile.is_consistent(), "profile:\n{}", profile.render());
+
+    // Client stages in pipeline order.
+    let stages: Vec<&str> = profile
+        .root
+        .children
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(stages, ["select", "adapt", "dispatch", "merge"]);
+    let select = profile.find("select").unwrap();
+    let adapt = profile.find("adapt").unwrap();
+    let dispatch = profile.find("dispatch").unwrap();
+    let merge = profile.find("merge").unwrap();
+    assert!(select.end_us() <= adapt.start_us, "phases run in order");
+    assert!(adapt.end_us() <= dispatch.start_us);
+    assert!(dispatch.end_us() <= merge.start_us);
+
+    // The dispatch fan-out carries one worker stage per source, each
+    // with the host's own XQueryProfile grafted under it: the §4.3
+    // extension attribute crossed the wire and came back.
+    let workers: Vec<_> = dispatch
+        .children
+        .iter()
+        .filter(|c| c.name == "source")
+        .collect();
+    assert_eq!(workers.len(), N_SOURCES, "one worker per source");
+    for worker in &workers {
+        assert!(worker.meta_value("source").is_some());
+        let host = worker
+            .find("source.execute")
+            .expect("host profile grafted under the client worker stage");
+        for phase in ["rewrite", "translate", "execute"] {
+            assert!(host.find(phase).is_some(), "missing host stage {phase}");
+        }
+        let execute = host.find("execute").unwrap();
+        assert!(execute.meta_value("candidates").is_some());
+        assert!(execute.find("search").is_some());
+    }
+
+    // The profile round-trips through its own wire encoding, and the
+    // critical path starts at the root.
+    let encoded = profile.encode();
+    assert_eq!(
+        starts::proto::QueryProfile::decode(&encoded).as_ref(),
+        Some(profile)
+    );
+    assert_eq!(profile.critical_path()[0].name, "meta.search");
+
+    // The flight recorder saw the query and its gauges rode the
+    // registry exporters.
+    assert_eq!(meta.config.recorder.recorded(), 1);
+    let snap = net.registry().snapshot();
+    assert!(snap.gauge("recorder.queries", &[]) >= 1.0);
+    assert!(snap.gauge("recorder.last_total_us", &[]) > 0.0);
+}
+
+#[test]
+fn query_profile_extension_is_backward_compatible() {
+    // §4.3: trace-unaware exchanges carry no XQueryProfile bytes at
+    // all, and a garbage XQueryProfile degrades to None, not an error.
+    let net = SimNet::new();
+    let (_meta, corpus) = searcher(&net);
+    let query = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .queries[0]
+        .query
+        .clone();
+    let url = format!("starts://{}/query", corpus.sources[0].id.to_lowercase());
+
+    // An untraced query produces a byte stream with no profile
+    // attribute anywhere — byte-identical to the pre-profile protocol.
+    let resp = net
+        .request(&url, &starts::soif::write_object(&query.to_soif()))
+        .unwrap();
+    let text = String::from_utf8(resp.bytes.clone()).unwrap();
+    assert!(
+        !text.contains("XQueryProfile"),
+        "untraced results must not grow a profile attribute"
+    );
+    let results = starts::proto::QueryResults::from_soif_stream(&resp.bytes).unwrap();
+    assert!(results.profile.is_none());
+
+    // A traced query *does* carry one, and it decodes.
+    let mut traced = query.clone();
+    traced.trace = Some(starts::proto::TraceContext {
+        query_id: "q-test".to_string(),
+        parent_path: "meta.search/dispatch/source".to_string(),
+        parent_span_id: 7,
+    });
+    let resp = net
+        .request(&url, &starts::soif::write_object(&traced.to_soif()))
+        .unwrap();
+    let results = starts::proto::QueryResults::from_soif_stream(&resp.bytes).unwrap();
+    let profile = results.profile.expect("traced results carry a profile");
+    assert_eq!(profile.query_id, "q-test");
+    assert_eq!(profile.root.name, "source.execute");
+    assert!(profile.is_consistent());
+
+    // Garbage in the attribute position is ignored on decode.
+    let mut header = starts::proto::QueryResults::default().header_soif();
+    header.push_str("XQueryProfile", "not a profile \x01 at all");
+    let bytes = starts::soif::write_object(&header);
+    let results = starts::proto::QueryResults::from_soif_stream(&bytes).unwrap();
+    assert!(results.profile.is_none(), "garbage degrades to None");
+}
+
+#[test]
+fn slow_source_lands_in_the_flight_recorder_slow_log() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let net = SimNet::new();
+    let (meta, corpus) = searcher(&net);
+    let queries = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 3,
+            ..WorkloadConfig::default()
+        },
+    )
+    .queries;
+
+    // A stable path (CI uploads it as an artifact when the test job
+    // fails), cleared at the start of each run rather than the end so
+    // a failing run leaves its evidence behind.
+    let slow_log = std::path::PathBuf::from("target/slow_queries.jsonl");
+    let _ = std::fs::remove_file(&slow_log);
+    // A generous absolute budget: the simulated links only *account*
+    // latency, so a healthy in-process search finishes in well under
+    // 100ms of wall clock.
+    meta.config.recorder.set_budget_us(100_000);
+    meta.config.recorder.set_slow_log(&slow_log);
+
+    let fast = meta.search(&queries[0].query);
+    assert!(fast.profile.total_us() < 100_000, "healthy query is fast");
+    assert_eq!(meta.config.recorder.slow_seen(), 0);
+
+    // Degrade one source: replace its query endpoint with a handler
+    // that stalls for real wall-clock time before answering.
+    let source_id = corpus.sources[1].id.clone();
+    let url = format!("starts://{}/query", source_id.to_lowercase());
+    let slow_source = Arc::new(Source::build(
+        SourceConfig::new(&source_id),
+        &corpus.sources[1].docs,
+    ));
+    let obs = Arc::clone(net.registry());
+    net.register(
+        url,
+        LinkProfile {
+            latency_ms: 40,
+            cost_per_query: 0.0,
+        },
+        Arc::new(move |request: &[u8]| {
+            std::thread::sleep(Duration::from_millis(150));
+            let parsed = starts::soif::parse_one(request, starts::soif::ParseMode::Lenient)
+                .ok()
+                .and_then(|o| starts::proto::Query::from_soif(&o).ok());
+            match parsed {
+                Some(q) => slow_source.execute_traced(&q, Some(&obs)).to_soif_stream(),
+                None => starts::proto::QueryResults::default().to_soif_stream(),
+            }
+        }),
+    );
+
+    let slow = meta.search(&queries[1].query);
+    assert!(slow.profile.total_us() >= 150_000, "the stall dominates");
+    assert_eq!(meta.config.recorder.slow_seen(), 1);
+
+    // The capture is drainable and blames the stalled source: the
+    // critical path runs through its dispatch worker.
+    let captured = meta.config.recorder.drain_slow();
+    assert_eq!(captured.len(), 1);
+    assert_eq!(captured[0].query_id, slow.query_id);
+    let path = captured[0].critical_path_summary();
+    assert!(path.contains("source"), "critical path: {path}");
+
+    // The slow-log file carries one JSON line for the capture, naming
+    // the query and its total cost.
+    let logged = std::fs::read_to_string(&slow_log).expect("slow log written");
+    let lines: Vec<&str> = logged.lines().collect();
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].contains(&slow.query_id));
+    assert!(lines[0].contains("\"total_us\""));
+    assert!(lines[0].contains("\"critical_path\""));
+
+    // The recorder's gauges (including the slow count) are on the
+    // shared registry, so any /stats endpoint sharing it serves them.
+    let snap = net.registry().snapshot();
+    assert!(snap.gauge("recorder.slow_queries", &[]) >= 1.0);
+}
+
+#[test]
+fn trace_trees_rebuild_from_partial_jsonl_dumps() {
+    // The flight-recorder workflow writes spans as JSONL; a crashed or
+    // still-writing process leaves a truncated tail. Reconstruction
+    // must keep every complete line and stay a rooted tree.
+    let net = SimNet::new();
+    let (meta, corpus) = searcher(&net);
+    let query = &generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            n_queries: 1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .queries[0]
+        .query;
+    net.registry().reset();
+    let resp = meta.search(query);
+
+    let events = net.registry().recent_spans();
+    let mut buf = Vec::new();
+    starts::obs::trace::write_jsonl(&events, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    // Intact dump round-trips.
+    let back = starts::obs::trace::read_jsonl(&text);
+    assert_eq!(back.len(), events.len());
+    let tree = starts::obs::TraceTree::build(&resp.query_id, &back);
+    assert_eq!(tree.roots.len(), 1);
+    assert_eq!(tree.roots[0].event.name, "meta.search");
+
+    // Truncate mid-line and inject garbage: the damaged lines drop,
+    // the rest still reconstructs.
+    let cut = text.len() - 27;
+    let damaged = format!("not json\n{}", &text[..cut]);
+    let partial = starts::obs::trace::read_jsonl(&damaged);
+    assert_eq!(partial.len(), events.len() - 1);
+    let tree = starts::obs::TraceTree::build(&resp.query_id, &partial);
+    assert!(!tree.is_empty(), "partial dump still yields a tree");
+}
+
+#[test]
 fn repeated_searches_accumulate_per_source_histograms() {
     let net = SimNet::new();
     let (meta, corpus) = searcher(&net);

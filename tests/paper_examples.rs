@@ -215,6 +215,7 @@ fn example_8_results() -> QueryResults {
             doc_count: 10213,
         }],
         trace: None,
+        profile: None,
     }
 }
 
