@@ -27,13 +27,11 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use starts_bench::{
     header, machine_parallelism, print_table, provenance_note, section, standard_corpus,
-    wire_and_discover, BenchArgs,
+    wire_and_discover, zipf_workload, BenchArgs,
 };
-use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
+use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus};
 use starts_index::{Engine, EngineConfig, PruneMode, RankNode, TermSpec};
 use starts_meta::metasearcher::{MetaConfig, Metasearcher};
 use starts_net::SimNet;
@@ -226,30 +224,6 @@ fn measure(terms: &[Vec<String>], mut run: impl FnMut(&[String]) -> usize) -> Pa
         p95_us: pct(0.95),
         p99_us: pct(0.99),
     }
-}
-
-/// Draw `n` queries of 1–3 words with Zipf-distributed ranks: mostly
-/// background vocabulary (common words, big posting lists), sometimes a
-/// topic word (rare, discriminative).
-fn zipf_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<Vec<String>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let bg = Zipf::new(corpus.background.len(), 1.0);
-    let topic = Zipf::new(corpus.topics[0].len(), 0.8);
-    (0..n)
-        .map(|_| {
-            let k = rng.gen_range(1..=3);
-            (0..k)
-                .map(|_| {
-                    if rng.gen_bool(0.3) {
-                        let t = rng.gen_range(0..corpus.topics.len());
-                        corpus.topics[t][topic.sample(&mut rng)].clone()
-                    } else {
-                        corpus.background[bg.sample(&mut rng)].clone()
-                    }
-                })
-                .collect()
-        })
-        .collect()
 }
 
 /// The engine-level ranking expression for a term list.

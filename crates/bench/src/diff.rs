@@ -277,10 +277,11 @@ mod tests {
         }
     }
 
-    const ARTIFACTS: [&str; 3] = [
+    const ARTIFACTS: [&str; 4] = [
         include_str!("../../../BENCH_hotpath.json"),
         include_str!("../../../BENCH_shard.json"),
         include_str!("../../../BENCH_prune.json"),
+        include_str!("../../../BENCH_monitor.json"),
     ];
 
     #[test]
@@ -318,6 +319,19 @@ mod tests {
         scale_qps(&mut current, 0.95); // 5% slower: within tolerance
         let report = diff(&baseline, &current, DEFAULT_QPS_TOLERANCE).expect("diff");
         assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn a_looser_tolerance_admits_a_bigger_drop() {
+        // The same 22% drop that fails the default gate passes when the
+        // caller opts into `--tolerance 0.30` (noisy shared runners).
+        let baseline = artifact(ARTIFACTS[3]);
+        let mut current = baseline.clone();
+        scale_qps(&mut current, 0.78);
+        let strict = diff(&baseline, &current, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(!strict.passed(), "{}", strict.render());
+        let loose = diff(&baseline, &current, 0.30).expect("diff");
+        assert!(loose.passed(), "{}", loose.render());
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! EXPERIMENTS.md records paper-vs-measured. Binaries print plain-text
 //! tables to stdout so their output can be diffed between runs.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use starts_corpus::{
     generate_corpus, generate_workload, CorpusConfig, GeneratedCorpus, Workload, WorkloadConfig,
+    Zipf,
 };
 use starts_meta::catalog::Catalog;
 use starts_net::{host::wire_source, LinkProfile, SimNet, StartsClient};
@@ -42,6 +45,31 @@ pub fn standard_workload(corpus: &GeneratedCorpus) -> Workload {
             seed: 1996,
         },
     )
+}
+
+/// Draw `n` queries of 1–3 words with Zipf-distributed ranks: mostly
+/// background vocabulary (common words, big posting lists), sometimes a
+/// topic word (rare, discriminative). The shared workload shape for the
+/// hot-path (X14) and monitoring (X18) benches.
+pub fn zipf_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg = Zipf::new(corpus.background.len(), 1.0);
+    let topic = Zipf::new(corpus.topics[0].len(), 0.8);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=3);
+            (0..k)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        let t = rng.gen_range(0..corpus.topics.len());
+                        corpus.topics[t][topic.sample(&mut rng)].clone()
+                    } else {
+                        corpus.background[bg.sample(&mut rng)].clone()
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Read a flag's value from the command line, accepting both
@@ -84,6 +112,12 @@ pub struct BenchArgs {
     pub stats_json: bool,
     /// `--trace-jsonl PATH`: dump recent span events as JSON Lines.
     pub trace_jsonl: Option<String>,
+    /// `--live`: render a top-style terminal dashboard while the bench
+    /// runs (X18).
+    pub live: bool,
+    /// `--alerts-jsonl PATH`: where the monitor appends structured
+    /// alert transition events (X18).
+    pub alerts_jsonl: Option<String>,
 }
 
 impl BenchArgs {
@@ -103,6 +137,8 @@ impl BenchArgs {
             out: find_flag_value(args, "--out"),
             stats_json: args.iter().any(|a| a == "--stats-json"),
             trace_jsonl: find_flag_value(args, "--trace-jsonl"),
+            live: args.iter().any(|a| a == "--live"),
+            alerts_jsonl: find_flag_value(args, "--alerts-jsonl"),
         }
     }
 
@@ -267,19 +303,36 @@ mod tests {
             "--stats-json",
             "--trace-jsonl=t.jsonl",
             "--explain",
+            "--live",
+            "--alerts-jsonl=a.jsonl",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         let args = BenchArgs::from_args(&argv);
-        assert!(args.smoke && args.stats_json && args.explain);
+        assert!(args.smoke && args.stats_json && args.explain && args.live);
         assert_eq!(args.out.as_deref(), Some("fresh.json"));
         assert_eq!(args.trace_jsonl.as_deref(), Some("t.jsonl"));
+        assert_eq!(args.alerts_jsonl.as_deref(), Some("a.jsonl"));
         assert_eq!(args.out_or("default.json"), "fresh.json");
 
         let none = BenchArgs::from_args(&["x01".to_string()]);
-        assert!(!none.smoke && !none.stats_json && !none.explain);
+        assert!(!none.smoke && !none.stats_json && !none.explain && !none.live);
+        assert_eq!(none.alerts_jsonl, None);
         assert_eq!(none.out_or("default.json"), "default.json");
+    }
+
+    #[test]
+    fn zipf_workload_is_deterministic_and_bounded() {
+        let corpus = generate_corpus(&CorpusConfig {
+            n_sources: 2,
+            docs_per_source: 5,
+            ..CorpusConfig::default()
+        });
+        let a = zipf_workload(&corpus, 25, 7);
+        let b = zipf_workload(&corpus, 25, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|q| (1..=3).contains(&q.len())));
     }
 
     #[test]

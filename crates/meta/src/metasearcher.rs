@@ -55,6 +55,12 @@ pub struct MetaConfig {
     /// captured for the slow-log. Shared (`Arc`) so callers can drain it
     /// while the metasearcher keeps recording.
     pub recorder: Arc<FlightRecorder>,
+    /// Absolute slow-query budget in microseconds: a search whose total
+    /// duration exceeds this is captured in the recorder's slow-log
+    /// regardless of the rolling p99. `None` (the default) keeps the
+    /// recorder's own default (p99-relative only). Applied to
+    /// [`MetaConfig::recorder`] when the metasearcher is built.
+    pub slow_budget_us: Option<u64>,
 }
 
 impl Default for MetaConfig {
@@ -68,6 +74,7 @@ impl Default for MetaConfig {
             health: Arc::new(HealthBoard::default()),
             timeout_ms: 30_000,
             recorder: Arc::new(FlightRecorder::default()),
+            slow_budget_us: None,
         }
     }
 }
@@ -83,6 +90,7 @@ impl fmt::Debug for MetaConfig {
             .field("adapt", &self.adapt)
             .field("max_results", &self.max_results)
             .field("timeout_ms", &self.timeout_ms)
+            .field("slow_budget_us", &self.slow_budget_us)
             .finish_non_exhaustive()
     }
 }
@@ -157,6 +165,9 @@ pub struct Metasearcher<'n> {
 impl<'n> Metasearcher<'n> {
     /// Build over a network and a discovered catalog.
     pub fn new(net: &'n SimNet, catalog: Catalog, config: MetaConfig) -> Self {
+        if let Some(budget) = config.slow_budget_us {
+            config.recorder.set_budget_us(budget);
+        }
         Metasearcher {
             net,
             catalog,
@@ -428,6 +439,11 @@ impl<'n> Metasearcher<'n> {
         };
         self.config.recorder.record(&profile);
         self.config.recorder.export_to(obs);
+        // Feed the continuous-monitoring layer: sample the registry
+        // (health gauges above are fresh), evaluate SLO burn rates, and
+        // advance the alert state machine. Between sample steps this is
+        // a clock read.
+        self.net.monitor().tick(obs);
 
         MetaResponse {
             merged,

@@ -124,6 +124,17 @@ impl<'a> StartsClient<'a> {
             .map_err(|e| ClientError::Proto(ProtoError::invalid("SStats", e)))
     }
 
+    /// Fetch a host's `<base>/alerts` admin endpoint and decode the
+    /// `@SAlerts` object: current alert states, the latest SLO
+    /// evaluation, and recent transition events.
+    pub fn fetch_alerts(&self, url: &str) -> Result<starts_obs::AlertsSnapshot, ClientError> {
+        let _span = self.op_span("client.fetch_alerts", url);
+        let resp = self.net.request(url, b"")?;
+        let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict)?;
+        starts_obs::AlertsSnapshot::from_soif(&obj)
+            .map_err(|e| ClientError::Proto(ProtoError::invalid("SAlerts", e)))
+    }
+
     /// Submit a query to a source's query URL.
     pub fn query(&self, url: &str, query: &Query) -> Result<QueryResults, ClientError> {
         self.query_with_exchange(url, query).map(|(r, _)| r)
@@ -220,6 +231,15 @@ mod tests {
         client.query("starts://demo/query", &q).unwrap();
         let snap = client.fetch_stats("starts://demo/stats").unwrap();
         assert_eq!(snap.counter("source.queries", &[("source", "Demo")]), 1);
+    }
+
+    #[test]
+    fn fetch_alerts_decodes_the_monitor_state() {
+        let net = wire_demo_net();
+        let client = StartsClient::new(&net);
+        let alerts = client.fetch_alerts("starts://demo/alerts").unwrap();
+        assert!(alerts.firing().is_empty());
+        assert!(alerts.events.is_empty());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   results, as alternating `@SQuery` / `@SQResults`-stream sections;
 //! * `<base>/stats` — an admin endpoint returning the host's metric
 //!   registry as an `@SStats` object (a §4.3-style extension: stats
-//!   served in the protocol's own object model).
+//!   served in the protocol's own object model);
+//! * `<base>/alerts` — an admin endpoint returning the network
+//!   monitor's SLO and alert state as an `@SAlerts` object.
 //!
 //! A resource additionally serves `<resource-url>` → `@SResource`.
 //! Queries submitted to a member's `/query` URL honour the query's
@@ -66,6 +68,7 @@ pub fn wire_source(net: &SimNet, source: Source, profile: LinkProfile) -> String
     );
 
     wire_stats(net, &base, profile);
+    wire_alerts(net, &base, profile);
 
     {
         let source = Arc::clone(&source);
@@ -120,6 +123,7 @@ pub fn wire_resource(
             Arc::new(move |_: &[u8]| sample_bytes.clone()),
         );
         wire_stats(net, &base, profile);
+        wire_alerts(net, &base, profile);
     }
     for source in host.sources() {
         let id = source.id().to_string();
@@ -152,6 +156,19 @@ fn wire_stats(net: &SimNet, base: &str, profile: LinkProfile) {
         Arc::new(move |_: &[u8]| {
             starts_soif::write_object(&starts_obs::export::to_soif(&obs.snapshot()))
         }),
+    );
+}
+
+/// Register `<base>/alerts`: the network monitor's current SLO and
+/// alert state as an `@SAlerts` object, snapshotted at request time.
+/// The monitor is captured at wiring time — install a custom one with
+/// `SimNet::set_monitor` *before* wiring hosts.
+fn wire_alerts(net: &SimNet, base: &str, profile: LinkProfile) {
+    let monitor = net.monitor();
+    net.register(
+        format!("{base}/alerts"),
+        profile,
+        Arc::new(move |_: &[u8]| starts_soif::write_object(&monitor.snapshot_alerts().to_soif())),
     );
 }
 
@@ -220,6 +237,7 @@ mod tests {
             "sample-results",
             "query",
             "stats",
+            "alerts",
         ] {
             assert!(net.knows(&format!("starts://s/{path}")), "{path} missing");
         }
@@ -263,6 +281,19 @@ mod tests {
         assert_eq!(obj.template, starts_obs::export::SSTATS_TEMPLATE);
         let snap = starts_obs::export::snapshot_from_soif(&obj).unwrap();
         assert_eq!(snap.counter("source.queries", &[("source", "S")]), 1);
+    }
+
+    #[test]
+    fn alerts_endpoint_serves_parseable_salerts() {
+        let net = SimNet::new();
+        let source = Source::build(SourceConfig::new("S"), &docs());
+        wire_source(&net, source, LinkProfile::default());
+        let resp = net.request("starts://s/alerts", b"").unwrap();
+        let obj = starts_soif::parse_one(&resp.bytes, starts_soif::ParseMode::Strict).unwrap();
+        assert_eq!(obj.template, starts_obs::monitor::SALERTS_TEMPLATE);
+        let snap = starts_obs::AlertsSnapshot::from_soif(&obj).unwrap();
+        // A freshly wired net has nothing firing.
+        assert!(snap.firing().is_empty());
     }
 
     #[test]

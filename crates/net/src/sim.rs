@@ -5,7 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use starts_obs::Registry;
+use starts_obs::{Monitor, Registry};
 
 /// A request handler bound to a URL. Handlers must be stateless with
 /// respect to the transport: they see only the request bytes.
@@ -123,6 +123,7 @@ pub struct SimNet {
     stats: RwLock<NetStats>,
     per_url: RwLock<HashMap<String, NetStats>>,
     obs: Arc<Registry>,
+    monitor: RwLock<Arc<Monitor>>,
 }
 
 impl SimNet {
@@ -144,6 +145,20 @@ impl SimNet {
     /// test gets isolated accounting per `SimNet`.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.obs
+    }
+
+    /// The network's monitor: the time-series/alerting layer over this
+    /// net's registry. Metasearchers tick it after each search; hosts
+    /// serve its state on `<base>/alerts`.
+    pub fn monitor(&self) -> Arc<Monitor> {
+        Arc::clone(&self.monitor.read())
+    }
+
+    /// Replace the monitor (e.g. to inject a deterministic clock or
+    /// custom SLOs). Call *before* wiring hosts — `<base>/alerts`
+    /// endpoints capture the monitor at wiring time.
+    pub fn set_monitor(&self, monitor: Arc<Monitor>) {
+        *self.monitor.write() = monitor;
     }
 
     /// Register (or replace) an endpoint at a URL.

@@ -25,7 +25,12 @@
 //!   budget into a JSONL slow-log, and exports `recorder.*` gauges;
 //! * **Health** — a rolling per-source [`health::HealthBoard`]
 //!   (availability, error rate, timeouts, latency quantiles, score)
-//!   that exports as plain gauges so every exporter carries it.
+//!   that exports as plain gauges so every exporter carries it;
+//! * **Monitoring** — [`monitor::Monitor`] samples snapshots into
+//!   ring-buffered time series, evaluates SLO burn rates and EWMA
+//!   anomaly scores, and drives a pending → firing → resolved alert
+//!   state machine with an `alerts.jsonl` event log and `alerts.*` /
+//!   `slo.*` gauges.
 //!
 //! A [`Registry`] is cheap to share: `starts-net`'s `SimNet` owns one
 //! in an `Arc` so that every test gets isolated accounting, and
@@ -36,6 +41,7 @@
 pub mod export;
 pub mod health;
 pub mod metrics;
+pub mod monitor;
 pub mod profile;
 pub mod registry;
 pub mod span;
@@ -43,6 +49,10 @@ pub mod trace;
 
 pub use health::{HealthBoard, SourceHealth, SourceOutcome};
 pub use metrics::{Counter, Gauge, Histogram};
+pub use monitor::{
+    AlertState, AlertStatus, AlertsSnapshot, Clock, ManualClock, MetricStore, Monitor,
+    MonitorConfig, SloSpec, SloStatus, SystemClock,
+};
 pub use profile::FlightRecorder;
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricId, Registry, Snapshot,

@@ -1,0 +1,1763 @@
+//! Continuous monitoring: windowed time series, SLO burn-rate alerts,
+//! and per-source anomaly detection.
+//!
+//! Everything the registry exports is point-in-time: counters are
+//! lifetime-cumulative and gauges are "now". A metasearcher that has to
+//! *decide* a source degraded (§3.4's continuous source tracking) needs
+//! windows and thresholds instead. This module layers them on without
+//! touching the metric pipeline:
+//!
+//! * a [`MetricStore`] samples registry [`Snapshot`]s into fixed-width
+//!   ring buffers — counters are delta-encoded into per-second rates,
+//!   gauges are sampled as-is, and histograms yield *windowed* p50/p99
+//!   (from bucket-count deltas) plus an observation rate. Wall-clock
+//!   timestamps come from a [`Clock`] so tests and the bench harness
+//!   can run on a [`ManualClock`] and stay deterministic;
+//! * [`SloSpec`]s declare objectives over those series (`meta.search
+//!   p99 < 50ms`, per-source `error_rate < 1%`) evaluated with
+//!   multi-window burn rates, the SRE alerting idiom: the fraction of
+//!   bad samples in a short and a long window, each divided by the
+//!   error budget `1 - objective`;
+//! * an EWMA/z-score detector flags per-source latency and error
+//!   anomalies — a sample more than `z_threshold` deviations above the
+//!   exponentially-weighted mean;
+//! * an alert state machine (pending → firing → resolved, with a
+//!   for-duration debounce so one bad sample never pages) appends
+//!   structured events to an `alerts.jsonl` log and exports `alerts.*`
+//!   and `slo.*` gauges into the registry, so every existing exporter
+//!   (Prometheus, JSON, `@SStats`) carries alert state for free.
+//!
+//! The [`Monitor`] bundles all four. `starts-net`'s `SimNet` owns one
+//! and serves it at `<base>/alerts` as an `@SAlerts` object; the
+//! metasearcher ticks it after every search and its `HealthAware`
+//! selector hard-demotes sources with firing alerts to the probe floor.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::export::json_escape;
+use crate::registry::{MetricId, Registry, Snapshot};
+
+/// The SOIF template name for exported alert state.
+pub const SALERTS_TEMPLATE: &str = "SAlerts";
+
+// ---------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------
+
+/// A millisecond clock. The monitor never reads time directly: tests
+/// and the bench harness inject a [`ManualClock`] so ring rotation,
+/// burn windows, and for-duration debounce are deterministic; everyone
+/// else uses the [`SystemClock`] wall clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since the clock's epoch (Unix for the system
+    /// clock, arbitrary for a manual one).
+    fn now_ms(&self) -> u64;
+}
+
+/// The wall clock (Unix epoch milliseconds).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64)
+    }
+}
+
+/// A deterministic clock advanced by hand.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// A clock starting at `start_ms`.
+    pub fn new(start_ms: u64) -> Self {
+        ManualClock(AtomicU64::new(start_ms))
+    }
+
+    /// Advance the clock by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.0.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Jump the clock to an absolute time.
+    pub fn set(&self, ms: u64) {
+        self.0.store(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------
+// MetricStore: snapshots → ring-buffered series
+// ---------------------------------------------------------------------
+
+/// Which derived series of a metric a key refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Aspect {
+    /// Per-second rate (counter deltas; histogram observation counts).
+    Rate,
+    /// The sampled value (gauges).
+    Value,
+    /// Windowed median from histogram bucket deltas.
+    P50,
+    /// Windowed 99th percentile from histogram bucket deltas.
+    P99,
+}
+
+impl Aspect {
+    /// Short name, used in the `@SAlerts` encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aspect::Rate => "rate",
+            Aspect::Value => "value",
+            Aspect::P50 => "p50",
+            Aspect::P99 => "p99",
+        }
+    }
+
+    /// Parse a short name back into an aspect.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rate" => Some(Aspect::Rate),
+            "value" => Some(Aspect::Value),
+            "p50" => Some(Aspect::P50),
+            "p99" => Some(Aspect::P99),
+            _ => None,
+        }
+    }
+}
+
+/// Identity of one time series: a metric plus the derived aspect.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeriesKey {
+    /// The underlying metric.
+    pub id: MetricId,
+    /// Which derived series of that metric.
+    pub aspect: Aspect,
+}
+
+/// One sample in a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Sample timestamp (clock milliseconds).
+    pub t_ms: u64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Ring-buffer sizing for the [`MetricStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Minimum milliseconds between samples; ticks arriving earlier
+    /// are no-ops, so callers can tick on every request.
+    pub step_ms: u64,
+    /// Points kept per series (the ring width).
+    pub retention: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            step_ms: 1_000,
+            retention: 256,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Ring {
+    points: VecDeque<Point>,
+}
+
+impl Ring {
+    fn push(&mut self, cap: usize, p: Point) {
+        if self.points.len() == cap.max(1) {
+            self.points.pop_front();
+        }
+        self.points.push_back(p);
+    }
+}
+
+#[derive(Default)]
+struct StoreInner {
+    /// Timestamp of the last recorded sample.
+    last_ms: Option<u64>,
+    /// Whether the first (baseline) sample has been taken. Counters
+    /// and histograms only emit deltas from the second sample on; a
+    /// metric first seen *after* the baseline has an implicit previous
+    /// value of zero (registry counters start at zero), so it emits
+    /// immediately.
+    primed: bool,
+    prev_counters: HashMap<MetricId, u64>,
+    prev_buckets: HashMap<MetricId, Vec<(u64, u64)>>,
+    series: HashMap<SeriesKey, Ring>,
+}
+
+/// Samples registry snapshots into fixed-width ring-buffered series.
+pub struct MetricStore {
+    cfg: StoreConfig,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<StoreInner>,
+}
+
+impl MetricStore {
+    /// A store sampling on the given clock.
+    pub fn new(cfg: StoreConfig, clock: Arc<dyn Clock>) -> Self {
+        MetricStore {
+            cfg,
+            clock,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// Sample width in milliseconds.
+    pub fn step_ms(&self) -> u64 {
+        self.cfg.step_ms
+    }
+
+    /// Points kept per series.
+    pub fn retention(&self) -> usize {
+        self.cfg.retention
+    }
+
+    /// Whether a tick right now would record a sample (a full step has
+    /// elapsed, or nothing was sampled yet). Lets callers skip the
+    /// snapshot cost between steps.
+    pub fn due(&self) -> bool {
+        let now = self.clock.now_ms();
+        match self.inner.lock().last_ms {
+            Some(last) => now >= last.saturating_add(self.cfg.step_ms),
+            None => true,
+        }
+    }
+
+    /// Record one sample from a snapshot, if a full step has elapsed.
+    /// Returns the sample timestamp when one was recorded.
+    ///
+    /// The first tick establishes delta baselines (counters and
+    /// histograms carry lifetime totals, so the first sighting cannot
+    /// be turned into a rate); gauges emit from the first tick.
+    pub fn tick(&self, snap: &Snapshot) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        // Clock read under the lock: ticks serialize here, and the
+        // clock is monotone, so ring timestamps never go backwards.
+        let now = self.clock.now_ms();
+        if let Some(last) = inner.last_ms {
+            if now < last.saturating_add(self.cfg.step_ms) {
+                return None;
+            }
+        }
+        let dt_s = inner
+            .last_ms
+            .map(|last| (now.saturating_sub(last) as f64 / 1_000.0).max(1e-9));
+        let primed = inner.primed;
+        let cap = self.cfg.retention;
+
+        for c in &snap.counters {
+            let prev = inner.prev_counters.insert(c.id.clone(), c.value);
+            if !primed {
+                continue;
+            }
+            let delta = c.value.saturating_sub(prev.unwrap_or(0));
+            let rate = delta as f64 / dt_s.unwrap_or(1.0);
+            let key = SeriesKey {
+                id: c.id.clone(),
+                aspect: Aspect::Rate,
+            };
+            inner.series.entry(key).or_default().push(
+                cap,
+                Point {
+                    t_ms: now,
+                    value: rate,
+                },
+            );
+        }
+        for g in &snap.gauges {
+            let key = SeriesKey {
+                id: g.id.clone(),
+                aspect: Aspect::Value,
+            };
+            inner.series.entry(key).or_default().push(
+                cap,
+                Point {
+                    t_ms: now,
+                    value: g.value,
+                },
+            );
+        }
+        for h in &snap.histograms {
+            let prev = inner.prev_buckets.insert(h.id.clone(), h.buckets.clone());
+            if !primed {
+                continue;
+            }
+            let prev = prev.unwrap_or_default();
+            let deltas = bucket_deltas(&h.buckets, &prev);
+            let total: u64 = deltas.iter().map(|&(_, n)| n).sum();
+            let mut put = |aspect: Aspect, value: f64| {
+                let key = SeriesKey {
+                    id: h.id.clone(),
+                    aspect,
+                };
+                inner
+                    .series
+                    .entry(key)
+                    .or_default()
+                    .push(cap, Point { t_ms: now, value });
+            };
+            put(Aspect::Rate, total as f64 / dt_s.unwrap_or(1.0));
+            if total > 0 {
+                put(Aspect::P50, bucket_quantile(&deltas, total, 0.50));
+                put(Aspect::P99, bucket_quantile(&deltas, total, 0.99));
+            }
+        }
+        inner.primed = true;
+        inner.last_ms = Some(now);
+        Some(now)
+    }
+
+    /// The points of one series, oldest first (empty if unknown).
+    pub fn series(&self, name: &str, labels: &[(&str, &str)], aspect: Aspect) -> Vec<Point> {
+        let key = SeriesKey {
+            id: MetricId::new(name, labels),
+            aspect,
+        };
+        self.inner
+            .lock()
+            .series
+            .get(&key)
+            .map(|r| r.points.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The newest point of one series.
+    pub fn latest(&self, name: &str, labels: &[(&str, &str)], aspect: Aspect) -> Option<Point> {
+        self.series(name, labels, aspect).last().copied()
+    }
+
+    /// Every series key currently held, sorted for stable iteration.
+    pub fn keys(&self) -> Vec<SeriesKey> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<SeriesKey> = inner.series.keys().cloned().collect();
+        keys.sort_by(|a, b| a.id.cmp(&b.id).then(a.aspect.cmp(&b.aspect)));
+        keys
+    }
+
+    /// All series of `metric`/`aspect` whose labels include every
+    /// `fixed` pair — the wildcard-expansion primitive behind
+    /// per-source SLOs. Returns `(id, points)` pairs sorted by id.
+    pub fn matching(
+        &self,
+        metric: &str,
+        aspect: Aspect,
+        fixed: &[(String, String)],
+    ) -> Vec<(MetricId, Vec<Point>)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(MetricId, Vec<Point>)> = inner
+            .series
+            .iter()
+            .filter(|(k, _)| {
+                k.aspect == aspect
+                    && k.id.name == metric
+                    && fixed
+                        .iter()
+                        .all(|(fk, fv)| k.id.labels.iter().any(|(lk, lv)| lk == fk && lv == fv))
+            })
+            .map(|(k, r)| (k.id.clone(), r.points.iter().copied().collect()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Per-bucket observation deltas between two cumulative bucket lists,
+/// keyed by bucket upper bound (the lists may differ in which buckets
+/// they materialize). Sorted by upper bound.
+fn bucket_deltas(current: &[(u64, u64)], prev: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let prev: HashMap<u64, u64> = prev.iter().copied().collect();
+    let mut deltas: Vec<(u64, u64)> = current
+        .iter()
+        .map(|&(upper, n)| {
+            (
+                upper,
+                n.saturating_sub(prev.get(&upper).copied().unwrap_or(0)),
+            )
+        })
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    deltas.sort_unstable();
+    deltas
+}
+
+/// The q-quantile of a windowed bucket-delta distribution: the upper
+/// bound of the bucket containing the ⌈q·total⌉-th observation.
+fn bucket_quantile(deltas: &[(u64, u64)], total: u64, q: f64) -> f64 {
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for &(upper, n) in deltas {
+        seen += n;
+        if seen >= rank {
+            return upper as f64;
+        }
+    }
+    deltas.last().map_or(0.0, |&(upper, _)| upper as f64)
+}
+
+// ---------------------------------------------------------------------
+// SLOs with multi-window burn rates
+// ---------------------------------------------------------------------
+
+/// The direction of an objective: the series is *good* when
+/// `value op threshold` holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloOp {
+    /// Good when the value is strictly below the threshold.
+    Lt,
+    /// Good when the value is strictly above the threshold.
+    Gt,
+}
+
+/// An objective over one stored series (or a per-source family of
+/// them), evaluated with multi-window burn rates.
+///
+/// The burn rate of a window is `bad_fraction / (1 - objective)`: 1.0
+/// means the error budget is being consumed exactly as provisioned,
+/// higher means faster. The SLO *breaches* when both the short and the
+/// long window burn at or above [`burn_threshold`] — the short window
+/// makes alerts responsive, the long window keeps one bad sample after
+/// a quiet hour from paging.
+///
+/// A label value of `"*"` is a wildcard: the spec expands to one
+/// status (and one alert) per concrete series matching the remaining
+/// labels, which is how "per-source error_rate < 1%" is written.
+///
+/// [`burn_threshold`]: SloSpec::burn_threshold
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Objective name (also the alert name).
+    pub name: String,
+    /// The metric the objective reads.
+    pub metric: String,
+    /// Label selector; `"*"` values expand per matching series.
+    pub labels: Vec<(String, String)>,
+    /// Which derived series of the metric.
+    pub aspect: Aspect,
+    /// Good-direction comparison.
+    pub op: SloOp,
+    /// The objective's threshold on the series value.
+    pub threshold: f64,
+    /// Target compliance in `(0, 1)`, e.g. `0.99` = 1% error budget.
+    pub objective: f64,
+    /// Short burn window, in samples.
+    pub short_window: usize,
+    /// Long burn window, in samples.
+    pub long_window: usize,
+    /// Both windows must burn at or above this to breach.
+    pub burn_threshold: f64,
+    /// How long the breach must persist before the alert fires.
+    pub for_ms: u64,
+}
+
+impl SloSpec {
+    /// An objective with the conventional defaults: 99% target, 5/30
+    /// sample windows, burn threshold 1, 2-second for-duration.
+    pub fn new(
+        name: impl Into<String>,
+        metric: impl Into<String>,
+        labels: &[(&str, &str)],
+        aspect: Aspect,
+        op: SloOp,
+        threshold: f64,
+    ) -> Self {
+        SloSpec {
+            name: name.into(),
+            metric: metric.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            aspect,
+            op,
+            threshold,
+            objective: 0.99,
+            short_window: 5,
+            long_window: 30,
+            burn_threshold: 1.0,
+            for_ms: 2_000,
+        }
+    }
+}
+
+/// The evaluated state of one (possibly wildcard-expanded) objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name.
+    pub slo: String,
+    /// The expanded `source` label, for per-source objectives.
+    pub source: Option<String>,
+    /// Newest sample of the underlying series.
+    pub latest: Option<f64>,
+    /// Burn rate over the short window.
+    pub burn_short: f64,
+    /// Burn rate over the long window.
+    pub burn_long: f64,
+    /// Whether both windows burn at or above the spec's threshold.
+    pub breaching: bool,
+}
+
+fn burn_rate(points: &[Point], window: usize, spec: &SloSpec) -> f64 {
+    let tail = &points[points.len().saturating_sub(window.max(1))..];
+    if tail.is_empty() {
+        return 0.0;
+    }
+    // A sample is *bad* unless the good-direction comparison holds, so
+    // NaN counts against the budget rather than for it.
+    let bad = tail
+        .iter()
+        .filter(|p| {
+            let good = match spec.op {
+                SloOp::Lt => p.value < spec.threshold,
+                SloOp::Gt => p.value > spec.threshold,
+            };
+            !good
+        })
+        .count();
+    let budget = (1.0 - spec.objective).max(1e-9);
+    (bad as f64 / tail.len() as f64) / budget
+}
+
+fn evaluate_slo(store: &MetricStore, spec: &SloSpec) -> Vec<SloStatus> {
+    let fixed: Vec<(String, String)> = spec
+        .labels
+        .iter()
+        .filter(|(_, v)| v != "*")
+        .cloned()
+        .collect();
+    let wildcard = fixed.len() != spec.labels.len();
+    let families: Vec<(Option<String>, Vec<Point>)> = if wildcard {
+        store
+            .matching(&spec.metric, spec.aspect, &fixed)
+            .into_iter()
+            .map(|(id, points)| {
+                let source = id
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "source")
+                    .map(|(_, v)| v.clone());
+                (source, points)
+            })
+            .collect()
+    } else {
+        let labels: Vec<(&str, &str)> = fixed
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        vec![(None, store.series(&spec.metric, &labels, spec.aspect))]
+    };
+    families
+        .into_iter()
+        .map(|(source, points)| {
+            let burn_short = burn_rate(&points, spec.short_window, spec);
+            let burn_long = burn_rate(&points, spec.long_window, spec);
+            SloStatus {
+                slo: spec.name.clone(),
+                source,
+                latest: points.last().map(|p| p.value),
+                burn_short,
+                burn_long,
+                breaching: burn_short >= spec.burn_threshold && burn_long >= spec.burn_threshold,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// EWMA / z-score anomaly detection
+// ---------------------------------------------------------------------
+
+/// Configuration of the per-series anomaly detector.
+#[derive(Debug, Clone)]
+pub struct AnomalyConfig {
+    /// The series families to watch (metric name + aspect); every
+    /// concrete labeled series of a watched family gets its own EWMA.
+    pub metrics: Vec<(String, Aspect)>,
+    /// EWMA smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+    /// A sample this many deviations *above* the mean is anomalous
+    /// (one-sided: latency and error rates only hurt upward).
+    pub z_threshold: f64,
+    /// Samples required before a series can flag at all.
+    pub min_samples: usize,
+    /// For-duration debounce of anomaly alerts.
+    pub for_ms: u64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            metrics: vec![
+                ("health.latency_p95_ms".to_string(), Aspect::Value),
+                ("health.error_rate".to_string(), Aspect::Value),
+            ],
+            alpha: 0.3,
+            z_threshold: 4.0,
+            min_samples: 8,
+            for_ms: 2_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    mean: f64,
+    var: f64,
+    n: usize,
+    last_t: u64,
+}
+
+impl Ewma {
+    /// Score the sample against the current estimate, then absorb it.
+    /// Returns the one-sided z-score (0 when below the mean or during
+    /// warmup). A sustained shift is gradually absorbed into the mean,
+    /// so a "new normal" stops flagging — and its alert resolves —
+    /// without manual intervention.
+    fn observe(&mut self, alpha: f64, min_samples: usize, x: f64) -> f64 {
+        let z = if self.n >= min_samples {
+            let sd = self.var.max(0.0).sqrt();
+            if x > self.mean {
+                (x - self.mean) / sd.max(1e-9).max(self.mean.abs() * 1e-3)
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        let diff = x - self.mean;
+        let incr = alpha * diff;
+        self.mean += incr;
+        self.var = (1.0 - alpha) * (self.var + diff * incr);
+        self.n += 1;
+        z
+    }
+}
+
+// ---------------------------------------------------------------------
+// Alert state machine
+// ---------------------------------------------------------------------
+
+/// The lifecycle state of one alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertState {
+    /// Condition false, nothing brewing.
+    Idle,
+    /// Condition true, waiting out the for-duration.
+    Pending,
+    /// Condition held for the for-duration.
+    Firing,
+    /// Condition cleared after firing.
+    Resolved,
+}
+
+impl AlertState {
+    /// Short name, used in events, logs, and the `@SAlerts` encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertState::Idle => "idle",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "idle" => Some(AlertState::Idle),
+            "pending" => Some(AlertState::Pending),
+            "firing" => Some(AlertState::Firing),
+            "resolved" => Some(AlertState::Resolved),
+            _ => None,
+        }
+    }
+
+    fn rank(self) -> f64 {
+        match self {
+            AlertState::Idle => 0.0,
+            AlertState::Pending => 1.0,
+            AlertState::Firing => 2.0,
+            AlertState::Resolved => 3.0,
+        }
+    }
+}
+
+/// The current state of one alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertStatus {
+    /// Alert name (the SLO name, or `anomaly:<metric>`).
+    pub name: String,
+    /// The source the alert is about, for per-source alerts.
+    pub source: Option<String>,
+    /// Current lifecycle state.
+    pub state: AlertState,
+    /// When the current state was entered (clock milliseconds).
+    pub since_ms: u64,
+    /// The observed value behind the condition (burn rate or z-score).
+    pub value: f64,
+    /// The threshold the value is compared against.
+    pub threshold: f64,
+}
+
+/// One state transition, as appended to the `alerts.jsonl` log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Transition timestamp (clock milliseconds).
+    pub ts_ms: u64,
+    /// Alert name.
+    pub alert: String,
+    /// The source the alert is about, if per-source.
+    pub source: Option<String>,
+    /// The state entered (pending, firing, or resolved).
+    pub state: AlertState,
+    /// Observed value at transition time.
+    pub value: f64,
+    /// Condition threshold.
+    pub threshold: f64,
+}
+
+impl AlertEvent {
+    /// The event as one JSON line (the `alerts.jsonl` format).
+    pub fn to_json(&self) -> String {
+        let source = match &self.source {
+            Some(s) => format!(",\"source\":\"{}\"", json_escape(s)),
+            None => String::new(),
+        };
+        format!(
+            "{{\"ts_ms\":{},\"alert\":\"{}\"{source},\"state\":\"{}\",\"value\":{},\"threshold\":{}}}",
+            self.ts_ms,
+            json_escape(&self.alert),
+            self.state.name(),
+            fmt_f64(self.value),
+            fmt_f64(self.threshold),
+        )
+    }
+}
+
+/// Render a float so it parses back (JSON has no NaN/inf literals).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// One evaluated condition feeding the state machine this tick.
+struct Condition {
+    name: String,
+    source: Option<String>,
+    active: bool,
+    value: f64,
+    threshold: f64,
+    for_ms: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AlertInstance {
+    state: AlertState,
+    since_ms: u64,
+    value: f64,
+    threshold: f64,
+}
+
+// ---------------------------------------------------------------------
+// Monitor
+// ---------------------------------------------------------------------
+
+/// Everything a [`Monitor`] needs: sampling cadence, objectives,
+/// anomaly detection, the clock, and the event log.
+pub struct MonitorConfig {
+    /// Ring-buffer sizing for the metric store.
+    pub store: StoreConfig,
+    /// The objectives to evaluate each sample.
+    pub slos: Vec<SloSpec>,
+    /// Anomaly-detector settings.
+    pub anomaly: AnomalyConfig,
+    /// Time source; inject a [`ManualClock`] for determinism.
+    pub clock: Arc<dyn Clock>,
+    /// Where to append structured alert events (JSON Lines), if
+    /// anywhere.
+    pub log_path: Option<PathBuf>,
+    /// Transition events kept in memory for `/alerts` and dashboards.
+    pub events_kept: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            store: StoreConfig::default(),
+            slos: default_slos(),
+            anomaly: AnomalyConfig::default(),
+            clock: Arc::new(SystemClock),
+            log_path: None,
+            events_kept: 256,
+        }
+    }
+}
+
+/// The stock objectives: federated-search latency and per-source
+/// reliability, the two §3.4 cares about.
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        // meta.search p99 < 50ms, from the windowed span histogram.
+        SloSpec::new(
+            "meta-search-p99",
+            "span.duration_us",
+            &[("span", "meta.search")],
+            Aspect::P99,
+            SloOp::Lt,
+            50_000.0,
+        ),
+        // Per-source error rate < 1%, from the health board's gauges.
+        SloSpec::new(
+            "source-error-rate",
+            "health.error_rate",
+            &[("source", "*")],
+            Aspect::Value,
+            SloOp::Lt,
+            0.01,
+        ),
+    ]
+}
+
+#[derive(Default)]
+struct MonitorState {
+    slos: Vec<SloSpec>,
+    anomaly: Option<AnomalyConfig>,
+    ewma: HashMap<SeriesKey, Ewma>,
+    alerts: BTreeMap<(String, Option<String>), AlertInstance>,
+    events: VecDeque<AlertEvent>,
+    events_kept: usize,
+    events_total: u64,
+    log_path: Option<PathBuf>,
+    last_slo: Vec<SloStatus>,
+}
+
+/// The time-series and alerting layer: samples a registry on
+/// [`tick`], evaluates SLO burn rates and anomalies, advances the
+/// alert state machine, logs transitions, and exports `slo.*` /
+/// `alerts.*` gauges back into the registry.
+///
+/// [`tick`]: Monitor::tick
+pub struct Monitor {
+    store: MetricStore,
+    state: Mutex<MonitorState>,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new(MonitorConfig::default())
+    }
+}
+
+impl Monitor {
+    /// Build a monitor from a configuration.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Monitor {
+            store: MetricStore::new(cfg.store, cfg.clock),
+            state: Mutex::new(MonitorState {
+                slos: cfg.slos,
+                anomaly: Some(cfg.anomaly),
+                ewma: HashMap::new(),
+                alerts: BTreeMap::new(),
+                events: VecDeque::new(),
+                events_kept: cfg.events_kept.max(1),
+                events_total: 0,
+                log_path: cfg.log_path,
+                last_slo: Vec::new(),
+            }),
+        }
+    }
+
+    /// The underlying time-series store (for dashboards).
+    pub fn store(&self) -> &MetricStore {
+        &self.store
+    }
+
+    /// Add an objective at runtime.
+    pub fn add_slo(&self, spec: SloSpec) {
+        self.state.lock().slos.push(spec);
+    }
+
+    /// Point the structured event log at a file (JSON Lines, append).
+    pub fn set_log(&self, path: impl Into<PathBuf>) {
+        self.state.lock().log_path = Some(path.into());
+    }
+
+    /// Sample the registry and run one evaluation pass, if a full step
+    /// has elapsed since the last sample. Returns whether a sample was
+    /// recorded. Cheap to call on every request: between steps it is a
+    /// clock read.
+    pub fn tick(&self, reg: &Registry) -> bool {
+        if !self.store.due() {
+            return false;
+        }
+        let snap = reg.snapshot();
+        let Some(now) = self.store.tick(&snap) else {
+            return false;
+        };
+        self.evaluate(reg, now);
+        true
+    }
+
+    fn evaluate(&self, reg: &Registry, now: u64) {
+        let mut st = self.state.lock();
+
+        // 1. Objectives → burn rates → conditions.
+        let specs = st.slos.clone();
+        let mut statuses: Vec<SloStatus> = Vec::new();
+        let mut conditions: Vec<Condition> = Vec::new();
+        for spec in &specs {
+            for status in evaluate_slo(&self.store, spec) {
+                conditions.push(Condition {
+                    name: spec.name.clone(),
+                    source: status.source.clone(),
+                    active: status.breaching,
+                    value: status.burn_short,
+                    threshold: spec.burn_threshold,
+                    for_ms: spec.for_ms,
+                });
+                statuses.push(status);
+            }
+        }
+
+        // 2. Anomaly detection over the watched families.
+        if let Some(cfg) = st.anomaly.clone() {
+            for (metric, aspect) in &cfg.metrics {
+                for (id, points) in self.store.matching(metric, *aspect, &[]) {
+                    let key = SeriesKey {
+                        id: id.clone(),
+                        aspect: *aspect,
+                    };
+                    let ewma = st.ewma.entry(key).or_default();
+                    let mut z = 0.0;
+                    for p in &points {
+                        if p.t_ms > ewma.last_t {
+                            z = ewma.observe(cfg.alpha, cfg.min_samples, p.value);
+                            ewma.last_t = p.t_ms;
+                        } else if p.t_ms == ewma.last_t {
+                            // z of the newest already-seen point keeps
+                            // the condition level between new samples.
+                        }
+                    }
+                    let source = id
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "source")
+                        .map(|(_, v)| v.clone());
+                    conditions.push(Condition {
+                        name: format!("anomaly:{metric}"),
+                        source,
+                        active: z >= cfg.z_threshold,
+                        value: z,
+                        threshold: cfg.z_threshold,
+                        for_ms: cfg.for_ms,
+                    });
+                }
+            }
+        }
+
+        // 3. Advance the state machine, collecting transition events.
+        let mut events: Vec<AlertEvent> = Vec::new();
+        for c in conditions {
+            let key = (c.name.clone(), c.source.clone());
+            let inst = st.alerts.entry(key).or_insert(AlertInstance {
+                state: AlertState::Idle,
+                since_ms: now,
+                value: 0.0,
+                threshold: c.threshold,
+            });
+            inst.value = c.value;
+            inst.threshold = c.threshold;
+            let mut enter = |inst: &mut AlertInstance, state: AlertState, emit: bool| {
+                inst.state = state;
+                inst.since_ms = now;
+                if emit {
+                    events.push(AlertEvent {
+                        ts_ms: now,
+                        alert: c.name.clone(),
+                        source: c.source.clone(),
+                        state,
+                        value: c.value,
+                        threshold: c.threshold,
+                    });
+                }
+            };
+            match (inst.state, c.active) {
+                (AlertState::Idle | AlertState::Resolved, true) => {
+                    enter(inst, AlertState::Pending, true);
+                    if c.for_ms == 0 {
+                        enter(inst, AlertState::Firing, true);
+                    }
+                }
+                (AlertState::Pending, true) if now.saturating_sub(inst.since_ms) >= c.for_ms => {
+                    enter(inst, AlertState::Firing, true);
+                }
+                // A blip shorter than the for-duration dies silently:
+                // this is the flap suppression.
+                (AlertState::Pending, false) => enter(inst, AlertState::Idle, false),
+                (AlertState::Firing, false) => enter(inst, AlertState::Resolved, true),
+                _ => {}
+            }
+        }
+
+        // 4. Log and retain the events.
+        if !events.is_empty() {
+            if let Some(path) = st.log_path.clone() {
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    for e in &events {
+                        let _ = writeln!(f, "{}", e.to_json());
+                    }
+                }
+            }
+            st.events_total += events.len() as u64;
+            for e in events {
+                if st.events.len() == st.events_kept {
+                    st.events.pop_front();
+                }
+                st.events.push_back(e);
+            }
+        }
+
+        // 5. Export slo.* / alerts.* gauges so every exporter — and
+        // the /stats endpoint — carries alerting state.
+        for s in &statuses {
+            let mut labels: Vec<(&str, &str)> = vec![("slo", s.slo.as_str())];
+            if let Some(src) = &s.source {
+                labels.push(("source", src.as_str()));
+            }
+            reg.gauge_with("slo.burn_short", &labels).set(s.burn_short);
+            reg.gauge_with("slo.burn_long", &labels).set(s.burn_long);
+            reg.gauge_with("slo.breaching", &labels)
+                .set(if s.breaching { 1.0 } else { 0.0 });
+        }
+        let firing = st
+            .alerts
+            .values()
+            .filter(|a| a.state == AlertState::Firing)
+            .count();
+        let pending = st
+            .alerts
+            .values()
+            .filter(|a| a.state == AlertState::Pending)
+            .count();
+        reg.gauge("alerts.firing").set(firing as f64);
+        reg.gauge("alerts.pending").set(pending as f64);
+        reg.gauge("alerts.events").set(st.events_total as f64);
+        for ((name, source), inst) in &st.alerts {
+            let mut labels: Vec<(&str, &str)> = vec![("alert", name.as_str())];
+            if let Some(src) = source {
+                labels.push(("source", src.as_str()));
+            }
+            reg.gauge_with("alerts.state", &labels)
+                .set(inst.state.rank());
+        }
+
+        st.last_slo = statuses;
+    }
+
+    /// The objectives' most recent evaluation.
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        self.state.lock().last_slo.clone()
+    }
+
+    /// Every alert's current state, sorted by (name, source).
+    pub fn alerts(&self) -> Vec<AlertStatus> {
+        self.state
+            .lock()
+            .alerts
+            .iter()
+            .map(|((name, source), inst)| AlertStatus {
+                name: name.clone(),
+                source: source.clone(),
+                state: inst.state,
+                since_ms: inst.since_ms,
+                value: inst.value,
+                threshold: inst.threshold,
+            })
+            .collect()
+    }
+
+    /// The alerts currently firing.
+    pub fn firing(&self) -> Vec<AlertStatus> {
+        self.alerts()
+            .into_iter()
+            .filter(|a| a.state == AlertState::Firing)
+            .collect()
+    }
+
+    /// Whether any alert about `source` is firing — the signal the
+    /// `HealthAware` selector uses for its hard probe-floor demotion.
+    pub fn is_source_firing(&self, source: &str) -> bool {
+        self.state.lock().alerts.iter().any(|((_, src), inst)| {
+            inst.state == AlertState::Firing && src.as_deref() == Some(source)
+        })
+    }
+
+    /// Recent transition events, oldest first.
+    pub fn recent_events(&self) -> Vec<AlertEvent> {
+        self.state.lock().events.iter().cloned().collect()
+    }
+
+    /// Total transition events emitted since construction.
+    pub fn events_total(&self) -> u64 {
+        self.state.lock().events_total
+    }
+
+    /// One human line summarizing SLO and alert state, e.g. for the
+    /// quickstart example or a CLI status dump.
+    pub fn summary_line(&self) -> String {
+        let st = self.state.lock();
+        let objectives = st.last_slo.len();
+        let breaching = st.last_slo.iter().filter(|s| s.breaching).count();
+        let firing = st
+            .alerts
+            .values()
+            .filter(|a| a.state == AlertState::Firing)
+            .count();
+        let pending = st
+            .alerts
+            .values()
+            .filter(|a| a.state == AlertState::Pending)
+            .count();
+        format!(
+            "slo: {objectives} objectives, {breaching} breaching | alerts: {firing} firing, \
+             {pending} pending | {} events",
+            st.events_total
+        )
+    }
+
+    /// A self-contained snapshot of alerting state (for `/alerts`).
+    pub fn snapshot_alerts(&self) -> AlertsSnapshot {
+        let st = self.state.lock();
+        AlertsSnapshot {
+            generated_ms: self.store.clock.now_ms(),
+            slos: st.last_slo.clone(),
+            alerts: st
+                .alerts
+                .iter()
+                .map(|((name, source), inst)| AlertStatus {
+                    name: name.clone(),
+                    source: source.clone(),
+                    state: inst.state,
+                    since_ms: inst.since_ms,
+                    value: inst.value,
+                    threshold: inst.threshold,
+                })
+                .collect(),
+            events: st.events.iter().cloned().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// @SAlerts: alert state in the protocol's own object model
+// ---------------------------------------------------------------------
+
+/// A decoded `/alerts` payload: current alert states, the latest SLO
+/// evaluation, and recent transition events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AlertsSnapshot {
+    /// When the snapshot was taken (clock milliseconds).
+    pub generated_ms: u64,
+    /// Latest SLO evaluation.
+    pub slos: Vec<SloStatus>,
+    /// Every alert's current state.
+    pub alerts: Vec<AlertStatus>,
+    /// Recent transition events, oldest first.
+    pub events: Vec<AlertEvent>,
+}
+
+impl AlertsSnapshot {
+    /// The alerts currently firing.
+    pub fn firing(&self) -> Vec<&AlertStatus> {
+        self.alerts
+            .iter()
+            .filter(|a| a.state == AlertState::Firing)
+            .collect()
+    }
+
+    /// Encode as an `@SAlerts` SOIF object (repeated `Slo` / `Alert` /
+    /// `Event` attributes, like `@SStats` repeats `Counter`).
+    pub fn to_soif(&self) -> starts_soif::SoifObject {
+        let mut obj = starts_soif::SoifObject::new(SALERTS_TEMPLATE);
+        obj.push_str("Version", "STARTS 1.0");
+        obj.push_str("Generated", self.generated_ms.to_string());
+        for s in &self.slos {
+            let mut line = format!("slo={}", kv_quote(&s.slo));
+            if let Some(src) = &s.source {
+                line.push_str(&format!(" source={}", kv_quote(src)));
+            }
+            line.push_str(&format!(
+                " latest={} burn_short={} burn_long={} breaching={}",
+                s.latest.map_or("-".to_string(), fmt_f64),
+                fmt_f64(s.burn_short),
+                fmt_f64(s.burn_long),
+                u8::from(s.breaching),
+            ));
+            obj.push_str("Slo", line);
+        }
+        for a in &self.alerts {
+            let mut line = format!("alert={}", kv_quote(&a.name));
+            if let Some(src) = &a.source {
+                line.push_str(&format!(" source={}", kv_quote(src)));
+            }
+            line.push_str(&format!(
+                " state={} since={} value={} threshold={}",
+                a.state.name(),
+                a.since_ms,
+                fmt_f64(a.value),
+                fmt_f64(a.threshold),
+            ));
+            obj.push_str("Alert", line);
+        }
+        for e in &self.events {
+            let mut line = format!("alert={}", kv_quote(&e.alert));
+            if let Some(src) = &e.source {
+                line.push_str(&format!(" source={}", kv_quote(src)));
+            }
+            line.push_str(&format!(
+                " state={} ts={} value={} threshold={}",
+                e.state.name(),
+                e.ts_ms,
+                fmt_f64(e.value),
+                fmt_f64(e.threshold),
+            ));
+            obj.push_str("Event", line);
+        }
+        obj
+    }
+
+    /// Decode an `@SAlerts` object.
+    pub fn from_soif(obj: &starts_soif::SoifObject) -> Result<AlertsSnapshot, String> {
+        if obj.template != SALERTS_TEMPLATE {
+            return Err(format!(
+                "expected @{SALERTS_TEMPLATE}, got @{}",
+                obj.template
+            ));
+        }
+        let mut snap = AlertsSnapshot {
+            generated_ms: obj
+                .get_str("Generated")
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0),
+            ..AlertsSnapshot::default()
+        };
+        for line in obj.get_all_str("Slo") {
+            let kv = parse_kv(line)?;
+            snap.slos.push(SloStatus {
+                slo: kv_str(&kv, "slo")?,
+                source: kv_opt(&kv, "source"),
+                latest: match kv.iter().find(|(k, _)| k == "latest") {
+                    Some((_, v)) if v != "-" => Some(kv_num(v, "latest")?),
+                    _ => None,
+                },
+                burn_short: kv_num(&kv_str(&kv, "burn_short")?, "burn_short")?,
+                burn_long: kv_num(&kv_str(&kv, "burn_long")?, "burn_long")?,
+                breaching: kv_str(&kv, "breaching")? == "1",
+            });
+        }
+        for line in obj.get_all_str("Alert") {
+            let kv = parse_kv(line)?;
+            snap.alerts.push(AlertStatus {
+                name: kv_str(&kv, "alert")?,
+                source: kv_opt(&kv, "source"),
+                state: parse_state(&kv)?,
+                since_ms: kv_num(&kv_str(&kv, "since")?, "since")? as u64,
+                value: kv_num(&kv_str(&kv, "value")?, "value")?,
+                threshold: kv_num(&kv_str(&kv, "threshold")?, "threshold")?,
+            });
+        }
+        for line in obj.get_all_str("Event") {
+            let kv = parse_kv(line)?;
+            snap.events.push(AlertEvent {
+                alert: kv_str(&kv, "alert")?,
+                source: kv_opt(&kv, "source"),
+                state: parse_state(&kv)?,
+                ts_ms: kv_num(&kv_str(&kv, "ts")?, "ts")? as u64,
+                value: kv_num(&kv_str(&kv, "value")?, "value")?,
+                threshold: kv_num(&kv_str(&kv, "threshold")?, "threshold")?,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+fn parse_state(kv: &[(String, String)]) -> Result<AlertState, String> {
+    let s = kv_str(kv, "state")?;
+    AlertState::parse(&s).ok_or_else(|| format!("unknown alert state {s:?}"))
+}
+
+/// Quote a kv value: bare when it has no specials, else `"..."` with
+/// backslash escapes.
+fn kv_quote(v: &str) -> String {
+    if !v.is_empty()
+        && v.chars()
+            .all(|c| !c.is_whitespace() && c != '"' && c != '\\' && c != '=')
+    {
+        v.to_string()
+    } else {
+        let mut out = String::with_capacity(v.len() + 2);
+        out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' | '\\' => {
+                    out.push('\\');
+                    out.push(c);
+                }
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+/// Parse a `key=value key="quoted value"` line into pairs.
+fn parse_kv(line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(format!("token without '=' in {line:?}"));
+        }
+        let key = line[key_start..i].to_string();
+        i += 1; // '='
+        let value = if bytes.get(i) == Some(&b'"') {
+            i += 1;
+            let mut v = Vec::new();
+            loop {
+                match bytes.get(i) {
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(i + 1) {
+                            Some(b'n') => v.push(b'\n'),
+                            Some(&c) => v.push(c),
+                            None => return Err(format!("dangling escape in {line:?}")),
+                        }
+                        i += 2;
+                    }
+                    Some(&c) => {
+                        v.push(c);
+                        i += 1;
+                    }
+                    None => return Err(format!("unterminated quote in {line:?}")),
+                }
+            }
+            String::from_utf8(v).map_err(|_| format!("non-UTF-8 value in {line:?}"))?
+        } else {
+            let start = i;
+            while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            line[start..i].to_string()
+        };
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+fn kv_str(kv: &[(String, String)], key: &str) -> Result<String, String> {
+    kv.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn kv_opt(kv: &[(String, String)], key: &str) -> Option<String> {
+    kv.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+}
+
+fn kv_num(v: &str, key: &str) -> Result<f64, String> {
+    v.parse::<f64>().map_err(|e| format!("{key}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual() -> (Arc<ManualClock>, Arc<dyn Clock>) {
+        let c = Arc::new(ManualClock::new(1_000_000));
+        (Arc::clone(&c), c.clone() as Arc<dyn Clock>)
+    }
+
+    fn store(clock: Arc<dyn Clock>, step_ms: u64, retention: usize) -> MetricStore {
+        MetricStore::new(StoreConfig { step_ms, retention }, clock)
+    }
+
+    #[test]
+    fn counters_delta_encode_into_rates() {
+        let (clock, dynck) = manual();
+        let store = store(dynck, 1_000, 16);
+        let reg = Registry::new();
+        let c = reg.counter("requests");
+        c.add(100); // pre-baseline history must not become a rate spike
+        assert!(store.tick(&reg.snapshot()).is_some());
+        assert!(store.series("requests", &[], Aspect::Rate).is_empty());
+
+        c.add(50);
+        clock.advance(1_000);
+        assert!(store.tick(&reg.snapshot()).is_some());
+        let pts = store.series("requests", &[], Aspect::Rate);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].value - 50.0).abs() < 1e-9, "{pts:?}");
+
+        // A counter born after the baseline emits from zero at once.
+        reg.counter("late").add(10);
+        clock.advance(2_000);
+        assert!(store.tick(&reg.snapshot()).is_some());
+        let late = store.series("late", &[], Aspect::Rate);
+        assert_eq!(late.len(), 1);
+        assert!((late[0].value - 5.0).abs() < 1e-9, "{late:?}");
+    }
+
+    #[test]
+    fn ticks_between_steps_are_no_ops() {
+        let (clock, dynck) = manual();
+        let store = store(dynck, 1_000, 16);
+        let reg = Registry::new();
+        reg.gauge("g").set(1.0);
+        assert!(store.tick(&reg.snapshot()).is_some());
+        clock.advance(400);
+        assert!(!store.due());
+        assert!(store.tick(&reg.snapshot()).is_none());
+        clock.advance(600);
+        assert!(store.due());
+        assert!(store.tick(&reg.snapshot()).is_some());
+        assert_eq!(store.series("g", &[], Aspect::Value).len(), 2);
+    }
+
+    #[test]
+    fn rings_rotate_at_retention() {
+        let (clock, dynck) = manual();
+        let store = store(dynck, 100, 4);
+        let reg = Registry::new();
+        for i in 0..10 {
+            reg.gauge("g").set(i as f64);
+            store.tick(&reg.snapshot());
+            clock.advance(100);
+        }
+        let pts = store.series("g", &[], Aspect::Value);
+        assert_eq!(pts.len(), 4);
+        let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![6.0, 7.0, 8.0, 9.0]);
+        assert!(pts.windows(2).all(|w| w[0].t_ms < w[1].t_ms));
+    }
+
+    #[test]
+    fn histograms_yield_windowed_quantiles() {
+        let (clock, dynck) = manual();
+        let store = store(dynck, 1_000, 16);
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [10, 10, 10] {
+            h.observe(v);
+        }
+        store.tick(&reg.snapshot()); // baseline
+                                     // A window full of 5_000s: the *windowed* p99 must reflect it
+                                     // even though the lifetime histogram is still mostly 10s.
+        for _ in 0..10 {
+            h.observe(5_000);
+        }
+        clock.advance(1_000);
+        store.tick(&reg.snapshot());
+        let p99 = store.latest("lat", &[], Aspect::P99).unwrap().value;
+        assert!(p99 >= 5_000.0, "windowed p99 {p99}");
+        let rate = store.latest("lat", &[], Aspect::Rate).unwrap().value;
+        assert!((rate - 10.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    fn error_rate_slo(for_ms: u64) -> SloSpec {
+        SloSpec {
+            objective: 0.9,
+            short_window: 2,
+            long_window: 4,
+            for_ms,
+            ..SloSpec::new(
+                "source-error-rate",
+                "health.error_rate",
+                &[("source", "*")],
+                Aspect::Value,
+                SloOp::Lt,
+                0.01,
+            )
+        }
+    }
+
+    fn monitor_with(clock: Arc<dyn Clock>, slos: Vec<SloSpec>) -> Monitor {
+        Monitor::new(MonitorConfig {
+            store: StoreConfig {
+                step_ms: 1_000,
+                retention: 32,
+            },
+            slos,
+            anomaly: AnomalyConfig {
+                metrics: Vec::new(), // SLO-only in these tests
+                ..AnomalyConfig::default()
+            },
+            clock,
+            log_path: None,
+            events_kept: 64,
+        })
+    }
+
+    /// The pinned lifecycle: an injected degradation walks
+    /// pending → firing → resolved, and a sub-for-duration blip never
+    /// fires (flap suppression).
+    #[test]
+    fn alert_state_machine_lifecycle_and_flap_suppression() {
+        let (clock, dynck) = manual();
+        let monitor = monitor_with(dynck, vec![error_rate_slo(2_000)]);
+        let reg = Registry::new();
+        let gauge = reg.gauge_with("health.error_rate", &[("source", "S1")]);
+
+        let step = |value: f64| {
+            gauge.set(value);
+            clock.advance(1_000);
+            assert!(monitor.tick(&reg));
+        };
+
+        // Healthy samples: no alerts, no events.
+        for _ in 0..4 {
+            step(0.0);
+        }
+        assert!(monitor.firing().is_empty());
+        assert_eq!(monitor.events_total(), 0);
+
+        // One bad sample, then recovery: pending only, suppressed.
+        step(0.5);
+        let a = &monitor.alerts()[0];
+        assert_eq!(a.state, AlertState::Pending);
+        step(0.0);
+        // Recovery needs the short window (2 samples) to clear.
+        step(0.0);
+        assert_eq!(monitor.alerts()[0].state, AlertState::Idle);
+        let states: Vec<AlertState> = monitor.recent_events().iter().map(|e| e.state).collect();
+        assert!(
+            !states.contains(&AlertState::Firing),
+            "a one-sample blip must not fire: {states:?}"
+        );
+
+        // Sustained degradation: pending, then firing after for_ms.
+        step(0.5); // pending again
+        step(0.5); // 1s pending
+        step(0.5); // 2s pending -> firing
+        assert_eq!(monitor.alerts()[0].state, AlertState::Firing);
+        assert!(monitor.is_source_firing("S1"));
+        assert!(!monitor.is_source_firing("S2"));
+
+        // Recovery: both windows drain, then the alert resolves.
+        step(0.0);
+        step(0.0);
+        assert_eq!(monitor.alerts()[0].state, AlertState::Resolved);
+        assert!(!monitor.is_source_firing("S1"));
+        let states: Vec<AlertState> = monitor.recent_events().iter().map(|e| e.state).collect();
+        assert_eq!(
+            states,
+            vec![
+                AlertState::Pending, // the suppressed blip
+                AlertState::Pending,
+                AlertState::Firing,
+                AlertState::Resolved,
+            ]
+        );
+    }
+
+    #[test]
+    fn firing_alerts_export_through_every_exporter() {
+        let (clock, dynck) = manual();
+        let monitor = monitor_with(dynck, vec![error_rate_slo(0)]);
+        let reg = Registry::new();
+        let gauge = reg.gauge_with("health.error_rate", &[("source", "bad")]);
+        for _ in 0..3 {
+            gauge.set(1.0);
+            clock.advance(1_000);
+            monitor.tick(&reg);
+        }
+        assert!(monitor.is_source_firing("bad"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("alerts.firing", &[]), 1.0);
+        assert_eq!(
+            snap.gauge(
+                "alerts.state",
+                &[("alert", "source-error-rate"), ("source", "bad")]
+            ),
+            AlertState::Firing.rank()
+        );
+        assert_eq!(
+            snap.gauge(
+                "slo.breaching",
+                &[("slo", "source-error-rate"), ("source", "bad")]
+            ),
+            1.0
+        );
+        // Prometheus text, JSON, and @SStats all carry the gauges.
+        let prom = crate::export::prometheus(&snap);
+        assert!(prom.contains("alerts_firing 1"), "{prom}");
+        let json = crate::export::json(&snap);
+        assert!(json.contains("\"name\":\"alerts.firing\""), "{json}");
+        let obj = crate::export::to_soif(&snap);
+        let back = crate::export::snapshot_from_soif(&obj).unwrap();
+        assert_eq!(back.gauge("alerts.firing", &[]), 1.0);
+    }
+
+    #[test]
+    fn events_append_to_jsonl_log() {
+        let (clock, dynck) = manual();
+        let path =
+            std::env::temp_dir().join(format!("starts_monitor_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let monitor = monitor_with(dynck, vec![error_rate_slo(0)]);
+        monitor.set_log(&path);
+        let reg = Registry::new();
+        let gauge = reg.gauge_with("health.error_rate", &[("source", "S1")]);
+        for v in [1.0, 1.0, 0.0, 0.0] {
+            gauge.set(v);
+            clock.advance(1_000);
+            monitor.tick(&reg);
+        }
+        let text = std::fs::read_to_string(&path).expect("alert log written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "{lines:?}");
+        assert!(lines[0].contains("\"state\":\"pending\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"state\":\"firing\""), "{}", lines[1]);
+        assert!(
+            lines.last().unwrap().contains("\"state\":\"resolved\""),
+            "{text}"
+        );
+        for line in &lines {
+            assert!(line.starts_with("{\"ts_ms\":"), "{line}");
+            assert!(line.contains("\"alert\":\"source-error-rate\""), "{line}");
+            assert!(line.contains("\"source\":\"S1\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn anomaly_detector_flags_latency_shift() {
+        let (clock, dynck) = manual();
+        let monitor = Monitor::new(MonitorConfig {
+            store: StoreConfig {
+                step_ms: 1_000,
+                retention: 64,
+            },
+            slos: Vec::new(),
+            anomaly: AnomalyConfig {
+                min_samples: 4,
+                for_ms: 0,
+                ..AnomalyConfig::default()
+            },
+            clock: dynck,
+            log_path: None,
+            events_kept: 64,
+        });
+        let reg = Registry::new();
+        let gauge = reg.gauge_with("health.latency_p95_ms", &[("source", "S1")]);
+        // A stable baseline with mild jitter…
+        for v in [100.0, 102.0, 98.0, 101.0, 99.0, 100.0, 101.0, 99.0] {
+            gauge.set(v);
+            clock.advance(1_000);
+            monitor.tick(&reg);
+        }
+        assert!(monitor.firing().is_empty());
+        // …then a 50x spike: the z-score detector must flag it.
+        gauge.set(5_000.0);
+        clock.advance(1_000);
+        monitor.tick(&reg);
+        assert!(
+            monitor.is_source_firing("S1"),
+            "alerts: {:?}",
+            monitor.alerts()
+        );
+        assert_eq!(monitor.firing()[0].name, "anomaly:health.latency_p95_ms");
+    }
+
+    #[test]
+    fn salerts_round_trips_through_the_parser() {
+        let snap = AlertsSnapshot {
+            generated_ms: 123_456,
+            slos: vec![SloStatus {
+                slo: "source-error-rate".to_string(),
+                source: Some("S one \"quoted\"".to_string()),
+                latest: Some(0.25),
+                burn_short: 2.5,
+                burn_long: 1.25,
+                breaching: true,
+            }],
+            alerts: vec![AlertStatus {
+                name: "source-error-rate".to_string(),
+                source: Some("S one \"quoted\"".to_string()),
+                state: AlertState::Firing,
+                since_ms: 120_000,
+                value: 2.5,
+                threshold: 1.0,
+            }],
+            events: vec![AlertEvent {
+                ts_ms: 120_000,
+                alert: "source-error-rate".to_string(),
+                source: None,
+                state: AlertState::Pending,
+                value: 2.5,
+                threshold: 1.0,
+            }],
+        };
+        let bytes = starts_soif::write_object(&snap.to_soif());
+        let obj = starts_soif::parse_one(&bytes, starts_soif::ParseMode::Strict).unwrap();
+        assert_eq!(obj.template, SALERTS_TEMPLATE);
+        let back = AlertsSnapshot::from_soif(&obj).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.firing().len(), 1);
+    }
+
+    #[test]
+    fn salerts_rejects_wrong_template() {
+        let obj = starts_soif::SoifObject::new("SQuery");
+        assert!(AlertsSnapshot::from_soif(&obj).is_err());
+    }
+
+    #[test]
+    fn aspect_names_round_trip() {
+        for a in [Aspect::Rate, Aspect::Value, Aspect::P50, Aspect::P99] {
+            assert_eq!(Aspect::parse(a.name()), Some(a));
+        }
+        assert_eq!(Aspect::parse("nope"), None);
+    }
+}

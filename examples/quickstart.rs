@@ -221,6 +221,13 @@ fn main() {
     );
     println!();
 
+    // The metasearcher ticks the net's continuous monitor after every
+    // search: the stock SLOs (meta.search p99, per-source error rate)
+    // are already being watched.
+    println!("== SLO summary (continuous monitoring) ==");
+    println!("{}", net.monitor().summary_line());
+    println!();
+
     // EXPLAIN: the per-query cost tree, client stages with each
     // source's own stage costs grafted in over the wire.
     println!("== EXPLAIN (QueryProfile cost tree) ==");

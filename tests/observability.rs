@@ -698,6 +698,257 @@ fn trace_trees_rebuild_from_partial_jsonl_dumps() {
 }
 
 #[test]
+fn alert_lifecycle_walks_pending_firing_resolved_end_to_end() {
+    use std::sync::Arc;
+
+    use starts::meta::select::{GGlossSum, HealthAware};
+    use starts::obs::monitor::{
+        AnomalyConfig, Aspect, ManualClock, Monitor, MonitorConfig, SloOp, SloSpec, StoreConfig,
+    };
+    use starts::obs::{AlertState, HealthBoard};
+
+    let corpus = generate_corpus(&CorpusConfig {
+        n_sources: N_SOURCES,
+        docs_per_source: 30,
+        n_topics: 2,
+        background_vocab: 300,
+        topic_vocab: 50,
+        doc_len: (20, 50),
+        topic_skew: 0.4,
+        bilingual_fraction: 0.0,
+        seed: 99,
+    });
+    let victim = corpus.sources[1].id.clone();
+
+    // Deterministic time: one simulated second per search.
+    let clock = Arc::new(ManualClock::new(0));
+    let board = Arc::new(HealthBoard::with_clock(4, 60_000, clock.clone()));
+    let alerts_log = std::path::PathBuf::from("target/alerts_e2e.jsonl");
+    let _ = std::fs::remove_file(&alerts_log);
+    let monitor = Arc::new(Monitor::new(MonitorConfig {
+        store: StoreConfig {
+            step_ms: 1_000,
+            retention: 128,
+        },
+        slos: vec![SloSpec {
+            short_window: 2,
+            long_window: 4,
+            for_ms: 2_000,
+            ..SloSpec::new(
+                "source-error-rate",
+                "health.error_rate",
+                &[("source", "*")],
+                Aspect::Value,
+                SloOp::Lt,
+                0.01,
+            )
+        }],
+        // SLO lifecycle only: no anomaly detector in this test.
+        anomaly: AnomalyConfig {
+            metrics: vec![],
+            ..AnomalyConfig::default()
+        },
+        clock: clock.clone(),
+        log_path: Some(alerts_log.clone()),
+        events_kept: 64,
+    }));
+
+    // The monitor goes into the net *before* wiring, so every source's
+    // `<base>/alerts` endpoint serves it.
+    let net = SimNet::new();
+    net.set_monitor(Arc::clone(&monitor));
+    let mut catalog = Catalog::default();
+    let client = StartsClient::new(&net);
+    for s in &corpus.sources {
+        wire_source(
+            &net,
+            Source::build(SourceConfig::new(&s.id), &s.docs),
+            LinkProfile::default(),
+        );
+        catalog
+            .discover_source(
+                &client,
+                &format!("starts://{}/metadata", s.id.to_lowercase()),
+                LinkProfile::default(),
+                false,
+            )
+            .unwrap();
+    }
+    let meta = Metasearcher::new(
+        &net,
+        catalog,
+        MetaConfig {
+            selector: Box::new(HealthAware::with_monitor(
+                GGlossSum,
+                Arc::clone(&board),
+                Arc::clone(&monitor),
+            )),
+            max_sources: N_SOURCES,
+            max_results: 30,
+            health: Arc::clone(&board),
+            ..MetaConfig::default()
+        },
+    );
+
+    // Background words occur in every source, so every source scores
+    // positive goodness and selection order reflects health alone.
+    let query = {
+        use starts::proto::query::ast::{QTerm, RankExpr};
+        use starts::proto::{AnswerSpec, Field, Query};
+        Query {
+            ranking: Some(RankExpr::list_of(
+                corpus.background[..2]
+                    .iter()
+                    .map(|t| QTerm::fielded(Field::BodyOfText, t.clone())),
+            )),
+            answer: AnswerSpec {
+                fields: vec![Field::Title],
+                max_documents: 10,
+                ..AnswerSpec::default()
+            },
+            ..Query::default()
+        }
+    };
+    let search = || {
+        clock.advance(1_000);
+        meta.search(&query)
+    };
+
+    // Phase 1 — healthy: the monitor samples but never makes a sound.
+    for _ in 0..5 {
+        search();
+    }
+    assert_eq!(monitor.events_total(), 0, "healthy run must stay silent");
+    assert!(monitor.firing().is_empty());
+    let snap = net.registry().snapshot();
+    assert_eq!(snap.gauge("alerts.firing", &[]), 0.0);
+    assert_eq!(
+        snap.gauge(
+            "slo.breaching",
+            &[("slo", "source-error-rate"), ("source", &victim)]
+        ),
+        0.0
+    );
+    assert!(
+        !alerts_log.exists() || std::fs::read_to_string(&alerts_log).unwrap().is_empty(),
+        "no alert events logged while healthy"
+    );
+
+    // Phase 2 — degrade the victim: its query endpoint answers garbage.
+    net.register(
+        format!("starts://{}/query", victim.to_lowercase()),
+        LinkProfile::default(),
+        Arc::new(|_: &[u8]| b"HTTP/1.0 500 Internal Server Error".to_vec()),
+    );
+    search(); // first bad sample: breach begins -> pending
+    let pending: Vec<_> = monitor
+        .alerts()
+        .into_iter()
+        .filter(|a| a.state == AlertState::Pending)
+        .collect();
+    assert_eq!(pending.len(), 1, "one pending alert after the first breach");
+    assert_eq!(pending[0].source.as_deref(), Some(&*victim));
+    assert!(!monitor.is_source_firing(&victim), "for-duration holds it");
+
+    search(); // breach persists (1s elapsed of the 2s for-duration)
+    search(); // 2s elapsed: pending -> firing
+    assert!(
+        monitor.is_source_firing(&victim),
+        "alert fires after for_ms"
+    );
+
+    // While firing, the selector hard-demotes the victim to the probe
+    // floor: it ranks last (but is still probed, so it can recover).
+    let resp = search();
+    assert_eq!(resp.selected.len(), N_SOURCES);
+    assert_eq!(
+        resp.selected.last().map(String::as_str),
+        Some(&*victim),
+        "firing source is demoted to the bottom of the selection order"
+    );
+
+    // The firing alert is visible everywhere at once:
+    // (a) over the wire, from any host's <base>/alerts endpoint;
+    let fetched = client
+        .fetch_alerts(&format!(
+            "starts://{}/alerts",
+            corpus.sources[0].id.to_lowercase()
+        ))
+        .expect("fetch_alerts");
+    let firing = fetched.firing();
+    assert_eq!(firing.len(), 1);
+    assert_eq!(firing[0].source.as_deref(), Some(&*victim));
+    assert!(
+        fetched.events.iter().any(|e| e.state == AlertState::Firing),
+        "the snapshot carries the transition history"
+    );
+
+    // (b) in the structured alerts.jsonl log;
+    let logged = std::fs::read_to_string(&alerts_log).expect("alerts.jsonl written");
+    assert!(logged.lines().any(|l| l.contains("\"pending\"")));
+    assert!(logged.lines().any(|l| l.contains("\"firing\"")));
+    assert!(logged.contains(&format!("\"source\":\"{victim}\"")));
+
+    // (c) through all three registry exporters.
+    let snap = net.registry().snapshot();
+    assert!(snap.gauge("alerts.firing", &[]) >= 1.0);
+    assert_eq!(
+        snap.gauge(
+            "slo.breaching",
+            &[("slo", "source-error-rate"), ("source", &victim)]
+        ),
+        1.0
+    );
+    let text = export::prometheus(&snap);
+    assert!(text.contains("alerts_firing"));
+    assert!(text.contains("slo_breaching"));
+    let json = export::json(&snap);
+    assert!(json.contains("alerts.firing"));
+    let obj = export::to_soif(&snap);
+    let back = export::snapshot_from_soif(&obj).unwrap();
+    assert!(back.gauge("alerts.firing", &[]) >= 1.0);
+
+    // Phase 3 — re-wire the victim healthy; the probes it kept
+    // receiving drain the health window and the alert resolves.
+    wire_source(
+        &net,
+        Source::build(SourceConfig::new(&victim), &corpus.sources[1].docs),
+        LinkProfile::default(),
+    );
+    for _ in 0..10 {
+        search();
+    }
+    assert!(monitor.firing().is_empty(), "alert resolves after recovery");
+    assert!(!monitor.is_source_firing(&victim));
+
+    // The event history tells the whole story, in order, all about the
+    // one victim.
+    let events = monitor.recent_events();
+    let states: Vec<AlertState> = events.iter().map(|e| e.state).collect();
+    assert_eq!(
+        states,
+        [
+            AlertState::Pending,
+            AlertState::Firing,
+            AlertState::Resolved
+        ]
+    );
+    assert!(events.iter().all(|e| e.source.as_deref() == Some(&*victim)));
+    let logged = std::fs::read_to_string(&alerts_log).unwrap();
+    assert!(logged.lines().any(|l| l.contains("\"resolved\"")));
+
+    // And the wire view agrees: nothing firing anywhere.
+    let fetched = client
+        .fetch_alerts(&format!(
+            "starts://{}/alerts",
+            corpus.sources[0].id.to_lowercase()
+        ))
+        .unwrap();
+    assert!(fetched.firing().is_empty());
+    assert_eq!(net.registry().snapshot().gauge("alerts.firing", &[]), 0.0);
+}
+
+#[test]
 fn repeated_searches_accumulate_per_source_histograms() {
     let net = SimNet::new();
     let (meta, corpus) = searcher(&net);
