@@ -277,11 +277,12 @@ mod tests {
         }
     }
 
-    const ARTIFACTS: [&str; 4] = [
+    const ARTIFACTS: [&str; 5] = [
         include_str!("../../../BENCH_hotpath.json"),
         include_str!("../../../BENCH_shard.json"),
         include_str!("../../../BENCH_prune.json"),
         include_str!("../../../BENCH_monitor.json"),
+        include_str!("../../../BENCH_concurrency.json"),
     ];
 
     #[test]

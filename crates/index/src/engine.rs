@@ -178,11 +178,15 @@ pub struct EngineConfig {
     pub thesaurus: Thesaurus,
     /// Shard count for [`crate::ShardedEngine`]: how many partitions the
     /// document set is split into for parallel index build and query
-    /// fan-out. `0` (the default) resolves to the machine's available
-    /// parallelism; `1` reproduces the monolithic single-threaded
-    /// behaviour. Results are bit-identical at every setting — global
-    /// collection statistics are broadcast to each shard. Ignored by the
-    /// plain [`Engine`] constructors.
+    /// fan-out. `0` (the default) resolves adaptively — the machine's
+    /// available parallelism capped by corpus size (at least
+    /// [`crate::sharded::MIN_DOCS_PER_AUTO_SHARD`] documents per shard),
+    /// so 1-core containers and small corpora never pay fan-out
+    /// overhead; `1` reproduces the monolithic single-threaded
+    /// behaviour; explicit `N ≥ 1` is honoured exactly (clamped to the
+    /// document count). Results are bit-identical at every setting —
+    /// global collection statistics are broadcast to each shard. Ignored
+    /// by the plain [`Engine`] constructors.
     pub shards: usize,
     /// Dynamic pruning of the ranked top-k path (see [`PruneMode`]).
     pub prune: PruneMode,

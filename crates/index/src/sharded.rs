@@ -149,9 +149,23 @@ impl std::fmt::Debug for ShardedEngine {
 /// Resolve a configured shard count: `0` means the machine's available
 /// parallelism; the result is clamped so no shard can be empty by
 /// construction (at most one shard per document, at least one shard).
+/// Corpus-size floor for auto-sharding: an auto-resolved shard should
+/// hold at least this many documents before fan-out pays for itself.
+/// `BENCH_shard.json` documents the regime this guards against — on
+/// small corpora (and on 1-core containers) multi-shard is pure
+/// per-query fan-out overhead, so `shards: 0` only splits when both the
+/// hardware *and* the corpus justify it. Explicit `shards: N` remains
+/// exact (clamped to the document count).
+pub const MIN_DOCS_PER_AUTO_SHARD: usize = 1024;
+
 fn resolve_shard_count(requested: usize, n_docs: usize) -> usize {
     let wanted = if requested == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
+        // Adaptive: machine parallelism capped by corpus size, so a
+        // 1-core container never fans out and a tiny corpus never
+        // splits just because the machine is wide.
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let by_corpus = (n_docs / MIN_DOCS_PER_AUTO_SHARD).max(1);
+        cores.min(by_corpus)
     } else {
         requested
     };
@@ -720,6 +734,22 @@ mod tests {
         assert_eq!(resolve_shard_count(1, 100), 1);
         assert_eq!(resolve_shard_count(7, 0), 1);
         assert!(resolve_shard_count(0, 100) >= 1);
+    }
+
+    #[test]
+    fn auto_shard_count_considers_corpus_size_not_just_cores() {
+        // Below the per-shard floor, Auto never splits — regardless of
+        // how wide the machine is.
+        assert_eq!(resolve_shard_count(0, 100), 1);
+        assert_eq!(resolve_shard_count(0, MIN_DOCS_PER_AUTO_SHARD), 1);
+        assert_eq!(resolve_shard_count(0, 2 * MIN_DOCS_PER_AUTO_SHARD - 1), 1);
+        // Past the floor, Auto is still capped by machine parallelism.
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let big = 64 * MIN_DOCS_PER_AUTO_SHARD;
+        assert_eq!(resolve_shard_count(0, big), cores.min(64));
+        // Explicit counts stay exact even on small corpora: pinning
+        // fan-out for the bit-identity property tests is sanctioned.
+        assert_eq!(resolve_shard_count(3, 100), 3);
     }
 
     #[test]

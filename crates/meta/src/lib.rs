@@ -28,6 +28,9 @@
 //! * [`eval`] — precision/recall/rank-correlation metrics against
 //!   generator-known relevance;
 //! * [`savvy`] — a SavvySearch-style learned selector (§5);
+//! * [`pipeline`] — the pipeline decomposed into reusable stages
+//!   (plan / per-source dispatch / merge) shared by the scoped
+//!   metasearcher and the `starts-serve` executor pool;
 //! * [`metasearcher`] — the end-to-end pipeline over the simulated
 //!   network, with parallel fan-out and latency/cost accounting.
 
@@ -38,6 +41,7 @@ pub mod catalog;
 pub mod eval;
 pub mod merge;
 pub mod metasearcher;
+pub mod pipeline;
 pub mod savvy;
 pub mod select;
 

@@ -10,12 +10,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use starts_net::{Exchange, SimNet, StartsClient};
-use starts_obs::{FlightRecorder, HealthBoard, SourceOutcome, TraceTree};
-use starts_proto::{Field, QTerm, Query, QueryProfile, StageCost, TraceContext};
+use starts_obs::{FlightRecorder, HealthBoard, TraceTree};
+use starts_proto::{Field, QTerm, Query, QueryProfile, StageCost};
 
-use crate::adapt::{adapt_query, least_common_denominator};
 use crate::catalog::Catalog;
 use crate::merge::{MergedDoc, Merger, SourceResult};
+use crate::pipeline;
 use crate::select::Selector;
 
 /// How queries are adjusted before dispatch.
@@ -116,7 +116,10 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    fn absorb(&mut self, e: &Exchange) {
+    /// Fold one exchange's accounting into the totals. Public so the
+    /// serving layer (`starts-serve`) can account its pooled dispatches
+    /// the same way the scoped metasearcher does.
+    pub fn absorb(&mut self, e: &Exchange) {
         self.requests += 1;
         self.total_latency_ms += u64::from(e.latency_ms);
         self.max_latency_ms = self.max_latency_ms.max(e.latency_ms);
@@ -190,6 +193,15 @@ impl<'n> Metasearcher<'n> {
     }
 
     /// Run the full pipeline for one query.
+    ///
+    /// Composes the stages in [`crate::pipeline`] under a scoped
+    /// per-query fan-out: one worker thread per selected source, joined
+    /// before returning. A panicking worker does **not** poison the
+    /// query — it is recorded as a failed-source outcome (health board,
+    /// `meta.dispatch.failures`, `meta.dispatch.panics`) and the merge
+    /// proceeds with the sources that answered. The concurrent serving
+    /// layer (`starts-serve`) runs the same stages on a shared executor
+    /// pool instead.
     pub fn search(&self, query: &Query) -> MetaResponse {
         let obs = self.net.registry();
         let query_id = starts_obs::trace::next_query_id();
@@ -200,66 +212,13 @@ impl<'n> Metasearcher<'n> {
         let _root = obs.span_with("meta.search", vec![("trace", query_id.clone())]);
         obs.counter("meta.searches").inc();
 
-        // 1. Select sources.
-        let select_start = elapsed_us(t0);
-        let chosen: Vec<(usize, f64)> = {
-            let _span = obs.span("select");
-            let owned_terms = Self::selection_terms(query);
-            let terms: Vec<(Option<&str>, &str)> = owned_terms
-                .iter()
-                .map(|(f, t)| (f.as_deref(), t.as_str()))
-                .collect();
-            self.config
-                .selector
-                .rank(&self.catalog, &terms)
-                .into_iter()
-                .take(self.config.max_sources.max(1))
-                .collect()
-        };
-        let select_end = elapsed_us(t0);
-        let selected: Vec<String> = chosen
-            .iter()
-            .map(|(i, _)| self.catalog.entries[*i].id.clone())
-            .collect();
-
-        // 2. Adapt queries.
-        let adapt_start = elapsed_us(t0);
-        let prepared: Vec<(usize, f64, Query)> = {
-            let _span = obs.span("adapt");
-            let lcd_query = if self.config.adapt == AdaptMode::Lcd {
-                let metas: Vec<&starts_proto::SourceMetadata> = chosen
-                    .iter()
-                    .map(|(i, _)| &self.catalog.entries[*i].metadata)
-                    .collect();
-                Some(least_common_denominator(query, &metas))
-            } else {
-                None
-            };
-            chosen
-                .iter()
-                .map(|&(i, score)| {
-                    let entry = &self.catalog.entries[i];
-                    let q = match self.config.adapt {
-                        AdaptMode::Verbatim => query.clone(),
-                        AdaptMode::PerSource => adapt_query(query, &entry.metadata, &entry.summary),
-                        AdaptMode::Lcd => lcd_query.clone().expect("computed above"),
-                    };
-                    (i, score, q)
-                })
-                .collect()
-        };
-
-        let adapt_end = elapsed_us(t0);
+        // 1+2. Select sources and adapt the query per source.
+        let plan = pipeline::plan(&self.catalog, &self.config, query, obs, t0);
 
         // 3. Dispatch in parallel (the fan-out of Figure 1's client).
         let client = StartsClient::new(self.net);
-        let max_belief = chosen
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(f64::MIN, f64::max)
-            .max(1e-12);
-        let mut slots: Vec<Option<(SourceResult, Exchange, StageCost)>> = Vec::new();
-        slots.resize_with(prepared.len(), || None);
+        let mut slots: Vec<Option<pipeline::TaskSuccess>> = Vec::new();
+        slots.resize_with(plan.tasks.len(), || None);
         let dispatch_start = elapsed_us(t0);
         {
             let dispatch = obs.span("dispatch");
@@ -268,89 +227,35 @@ impl<'n> Metasearcher<'n> {
             let timeout_ms = self.config.timeout_ms;
             crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (slot, (i, score, q)) in slots.iter_mut().zip(&prepared) {
-                    let entry = &self.catalog.entries[*i];
+                for (slot, task) in slots.iter_mut().zip(&plan.tasks) {
                     let client = &client;
                     let dispatch_handle = &dispatch_handle;
                     let query_id = &query_id;
-                    handles.push(scope.spawn(move |_| {
+                    let handle = scope.spawn(move |_| {
                         // The worker thread's span stack is empty;
-                        // parent it to the dispatch span explicitly.
-                        let span = obs.span_under(
-                            "source",
+                        // run_task parents to the dispatch span
+                        // explicitly via the handle.
+                        *slot = pipeline::run_task(
+                            client,
+                            task,
+                            health,
+                            timeout_ms,
                             dispatch_handle,
-                            vec![("source", entry.id.clone()), ("trace", query_id.clone())],
-                        );
-                        // Thread the trace context through the wire
-                        // (§4.3 extension attribute): the source's
-                        // spans parent under this worker span, and the
-                        // context echoes back on the results.
-                        let mut q = q.clone();
-                        q.trace = Some(TraceContext {
-                            query_id: query_id.clone(),
-                            parent_path: span.path().to_string(),
-                            parent_span_id: span.id(),
-                        });
-                        let w_start = elapsed_us(t0);
-                        match client.query_with_exchange(entry.query_url(), &q) {
-                            Ok((results, exchange)) => {
-                                let w_end = elapsed_us(t0);
-                                let latency = u64::from(exchange.latency_ms);
-                                obs.histogram_with(
-                                    "meta.source_latency_ms",
-                                    &[("source", &entry.id)],
-                                )
-                                .observe(latency);
-                                health.record(
-                                    &entry.id,
-                                    if latency >= timeout_ms {
-                                        SourceOutcome::timed_out(latency, true)
-                                    } else {
-                                        SourceOutcome::ok(latency)
-                                    },
-                                );
-                                // Per-worker stage for the profile. The
-                                // host's own XQueryProfile (if it sent
-                                // one) nests under it, rebased from the
-                                // host's clock onto ours: the exchange
-                                // ran inline inside this window, so the
-                                // shifted subtree stays contained.
-                                let mut stage = StageCost::new(
-                                    "source",
-                                    w_start,
-                                    w_end.saturating_sub(w_start),
-                                )
-                                .with_meta("source", &entry.id)
-                                .with_meta("latency_ms", exchange.latency_ms)
-                                .with_meta("cost", exchange.cost);
-                                if let Some(host) = results.profile.clone() {
-                                    let mut root = host.root;
-                                    root.shift(w_start);
-                                    stage.children.push(root);
-                                }
-                                *slot = Some((
-                                    SourceResult {
-                                        metadata: entry.metadata.clone(),
-                                        results,
-                                        source_weight: (score / max_belief).clamp(0.0, 1.0),
-                                    },
-                                    exchange,
-                                    stage,
-                                ));
-                            }
-                            Err(_) => {
-                                health.record(&entry.id, SourceOutcome::failed());
-                                obs.counter_with(
-                                    "meta.dispatch.failures",
-                                    &[("source", &entry.id)],
-                                )
-                                .inc();
-                            }
-                        }
-                    }));
+                            query_id,
+                            t0,
+                            None,
+                        )
+                        .ok();
+                    });
+                    handles.push((task.id.clone(), handle));
                 }
-                for h in handles {
-                    h.join().expect("dispatch thread panicked");
+                for (source, h) in handles {
+                    // Panic isolation: a worker that panicked becomes a
+                    // failed-source outcome instead of poisoning the
+                    // whole query.
+                    if h.join().is_err() {
+                        pipeline::record_panicked_dispatch(obs, health, &source);
+                    }
                 }
             })
             .expect("crossbeam scope");
@@ -364,48 +269,26 @@ impl<'n> Metasearcher<'n> {
         let per_source: Vec<SourceResult> = slots
             .into_iter()
             .flatten()
-            .map(|(result, exchange, stage)| {
-                stats.absorb(&exchange);
-                source_stages.push(stage);
-                result
+            .map(|success| {
+                stats.absorb(&success.exchange);
+                source_stages.push(success.stage);
+                success.result
             })
             .collect();
         obs.gauge("meta.query_cost").add(stats.total_cost);
 
-        // 4. Accounting: the wave runs concurrently, so the user-visible
-        // latency is the slowest selected link; costs add up.
-        let wave_latency_ms = chosen
-            .iter()
-            .map(|(i, _)| self.catalog.entries[*i].link.latency_ms)
-            .max()
-            .unwrap_or(0);
-        let total_cost: f64 = chosen
-            .iter()
-            .map(|(i, _)| self.catalog.entries[*i].link.cost_per_query)
-            .sum();
-
-        // 5. Merge — bounded: per-source lists already arrive sorted by
+        // 4. Merge — bounded: per-source lists already arrive sorted by
         // score, so the merger only materialises the best
         // `max_results` documents instead of every candidate.
-        let merge_start = elapsed_us(t0);
-        let (merged, merge_meta) = {
-            let _span = obs.span("merge");
-            let (merged, mstats) = self
-                .config
-                .merger
-                .merge_top_k(&per_source, self.config.max_results);
-            // Cross-source duplicates collapse during the merge: the
-            // difference between candidates in and distinct documents.
-            obs.counter("meta.merge.candidates")
-                .add(mstats.candidates as u64);
-            obs.counter("meta.merge.duplicates")
-                .add(mstats.duplicates() as u64);
-            let meta = (mstats.candidates, mstats.duplicates());
-            (merged, meta)
-        };
-        let merge_end = elapsed_us(t0);
+        let (merged, _mstats, merge_costs) = pipeline::merge_stage(
+            self.config.merger.as_ref(),
+            &per_source,
+            self.config.max_results,
+            obs,
+            t0,
+        );
 
-        // 6. Assemble the per-query cost profile and hand it to the
+        // 5. Assemble the per-query cost profile and hand it to the
         // flight recorder (which decides whether it was slow enough to
         // keep in the slow-log).
         let mut dispatch_stage = StageCost::new(
@@ -423,17 +306,10 @@ impl<'n> Metasearcher<'n> {
                 duration_us: elapsed_us(t0),
                 meta: vec![("results".to_string(), merged.len().to_string())],
                 children: vec![
-                    StageCost::new(
-                        "select",
-                        select_start,
-                        select_end.saturating_sub(select_start),
-                    )
-                    .with_meta("chosen", selected.len()),
-                    StageCost::new("adapt", adapt_start, adapt_end.saturating_sub(adapt_start)),
+                    plan.select_stage.clone(),
+                    plan.adapt_stage.clone(),
                     dispatch_stage,
-                    StageCost::new("merge", merge_start, merge_end.saturating_sub(merge_start))
-                        .with_meta("candidates", merge_meta.0)
-                        .with_meta("duplicates", merge_meta.1),
+                    merge_costs,
                 ],
             },
         };
@@ -447,10 +323,10 @@ impl<'n> Metasearcher<'n> {
 
         MetaResponse {
             merged,
-            selected,
+            selected: plan.selected,
             per_source,
-            wave_latency_ms,
-            total_cost,
+            wave_latency_ms: plan.wave_latency_ms,
+            total_cost: plan.total_cost,
             stats,
             query_id,
             profile,
@@ -738,6 +614,44 @@ mod tests {
         let resp = meta.search(&ranked_query(r#"list((body-of-text "text"))"#));
         assert_eq!(resp.wave_latency_ms, 700);
         assert!((resp.total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn panicking_source_worker_becomes_a_failed_source_not_a_poisoned_query() {
+        let net = SimNet::new();
+        wire_topical_net(&net);
+        let catalog = catalog_for(&net, &["DB", "Food", "Stars"]);
+        // Replace one source's query endpoint with a handler that
+        // panics mid-request: its dispatch worker dies, the other two
+        // keep going.
+        let url = catalog.entry("Food").unwrap().query_url().to_string();
+        net.register(
+            url,
+            LinkProfile::default(),
+            Arc::new(|_req: &[u8]| -> Vec<u8> { panic!("endpoint blew up") }),
+        );
+        net.registry().reset();
+        let meta = Metasearcher::new(&net, catalog, MetaConfig::default());
+        let resp = meta.search(&ranked_query(r#"list((body-of-text "text"))"#));
+        // The query survived with the two healthy sources merged…
+        assert_eq!(resp.per_source.len(), 2);
+        assert!(!resp.merged.is_empty());
+        assert_eq!(resp.stats.requests, 2);
+        // …and the panic is accounted as a failed source.
+        let snap = net.registry().snapshot();
+        assert_eq!(
+            snap.counter("meta.dispatch.failures", &[("source", "Food")]),
+            1
+        );
+        assert_eq!(
+            snap.counter("meta.dispatch.panics", &[("source", "Food")]),
+            1
+        );
+        let h = meta.config.health.health("Food").expect("health recorded");
+        assert_eq!(h.availability, 0.0);
+        // A healthy source is untouched.
+        assert_eq!(snap.counter("meta.dispatch.panics", &[("source", "DB")]), 0);
+        assert_eq!(meta.config.health.health("DB").unwrap().availability, 1.0);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! The metasearch pipeline, decomposed into reusable stages.
+//!
+//! [`Metasearcher::search`](crate::Metasearcher::search) used to be one
+//! monolithic function: select → adapt → per-source dispatch → merge.
+//! The concurrent serving layer (`starts-serve`) needs the same stages
+//! but under a different execution regime — a shared worker pool instead
+//! of scoped per-query threads, hedged dispatch, deadlines that abandon
+//! stragglers. This module is the common ground both execute on:
+//!
+//! * [`plan`] — selection + adaptation, producing fully *owned*
+//!   [`DispatchTask`]s that any thread (scoped or pooled, outliving the
+//!   query or not) can run;
+//! * [`run_task`] — the per-source dispatch body: trace-context
+//!   propagation, the wire exchange (cancellable), health recording,
+//!   and the per-worker [`StageCost`] with the host's `XQueryProfile`
+//!   grafted in;
+//! * [`merge_stage`] — the bounded merge with its dedup accounting.
+//!
+//! The stages share one explicit clock (`t0`): every [`StageCost`]
+//! offset is relative to it, so a profile assembled from stage pieces
+//! keeps the containment invariant `QueryProfile::is_consistent` checks.
+
+use std::time::Instant;
+
+use starts_net::{CancelToken, Exchange, StartsClient};
+use starts_obs::{HealthBoard, Registry, SourceOutcome, SpanHandle};
+use starts_proto::{Query, SourceMetadata, StageCost, TraceContext};
+
+use crate::adapt::{adapt_query, least_common_denominator};
+use crate::catalog::Catalog;
+use crate::merge::{MergeStats, MergedDoc, Merger, SourceResult};
+use crate::metasearcher::{AdaptMode, MetaConfig};
+
+/// Everything one per-source dispatch needs, fully owned: the serving
+/// layer hands these to pool workers that may outlive the query that
+/// planned them (a deadline-abandoned straggler keeps running until its
+/// cancellation token is honoured).
+#[derive(Debug, Clone)]
+pub struct DispatchTask {
+    /// Index of the source in the planning catalog (slot order).
+    pub entry_index: usize,
+    /// The source id.
+    pub id: String,
+    /// The query URL to dispatch to.
+    pub url: String,
+    /// The source's metadata (carried into the [`SourceResult`]).
+    pub metadata: SourceMetadata,
+    /// Selection belief normalized into `[0, 1]` (consumed by
+    /// weighted merging).
+    pub weight: f64,
+    /// The adapted query for this source.
+    pub query: Query,
+}
+
+/// The outcome of [`plan`]: which sources to contact, with what
+/// queries, plus the quoted accounting and the select/adapt stage
+/// costs for the query profile.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Ids of the selected sources, in selection order.
+    pub selected: Vec<String>,
+    /// One owned dispatch task per selected source, in selection order.
+    pub tasks: Vec<DispatchTask>,
+    /// Quoted wall-clock latency of the parallel fan-out: the max
+    /// selected link latency (from the catalog's link profiles).
+    pub wave_latency_ms: u32,
+    /// Quoted total monetary cost of the wave.
+    pub total_cost: f64,
+    /// The `select` stage cost (offsets relative to the plan's `t0`).
+    pub select_stage: StageCost,
+    /// The `adapt` stage cost.
+    pub adapt_stage: StageCost,
+}
+
+/// Why a dispatch task produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task's cancellation token tripped mid-flight (a hedge won,
+    /// or the query's deadline expired). Not counted against the
+    /// source's health.
+    Cancelled,
+    /// The exchange failed (transport or protocol error). Recorded as a
+    /// health failure and a `meta.dispatch.failures` count.
+    Failed,
+}
+
+/// One successful per-source dispatch.
+#[derive(Debug, Clone)]
+pub struct TaskSuccess {
+    /// The source's contribution to the merge.
+    pub result: SourceResult,
+    /// The exchange accounting (latency, cost, bytes).
+    pub exchange: Exchange,
+    /// The per-worker `source` stage, with the host's own profile
+    /// grafted under it.
+    pub stage: StageCost,
+}
+
+/// Stage 1+2: select sources and adapt the query per source.
+///
+/// Runs on the calling thread (selection and adaptation never touch the
+/// wire), opening `select` and `adapt` spans that nest under whatever
+/// span the caller holds open. Consumes only the strategy fields of
+/// [`MetaConfig`] (`selector`, `adapt`, `max_sources`).
+pub fn plan(
+    catalog: &Catalog,
+    config: &MetaConfig,
+    query: &Query,
+    obs: &Registry,
+    t0: Instant,
+) -> QueryPlan {
+    let elapsed_us = |t0: Instant| t0.elapsed().as_micros() as u64;
+
+    // 1. Select sources.
+    let select_start = elapsed_us(t0);
+    let chosen: Vec<(usize, f64)> = {
+        let _span = obs.span("select");
+        let owned_terms = crate::Metasearcher::selection_terms(query);
+        let terms: Vec<(Option<&str>, &str)> = owned_terms
+            .iter()
+            .map(|(f, t)| (f.as_deref(), t.as_str()))
+            .collect();
+        config
+            .selector
+            .rank(catalog, &terms)
+            .into_iter()
+            .take(config.max_sources.max(1))
+            .collect()
+    };
+    let select_end = elapsed_us(t0);
+    let selected: Vec<String> = chosen
+        .iter()
+        .map(|(i, _)| catalog.entries[*i].id.clone())
+        .collect();
+
+    // 2. Adapt queries.
+    let adapt_start = elapsed_us(t0);
+    let max_belief = chosen
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let tasks: Vec<DispatchTask> = {
+        let _span = obs.span("adapt");
+        let lcd_query = if config.adapt == AdaptMode::Lcd {
+            let metas: Vec<&SourceMetadata> = chosen
+                .iter()
+                .map(|(i, _)| &catalog.entries[*i].metadata)
+                .collect();
+            Some(least_common_denominator(query, &metas))
+        } else {
+            None
+        };
+        chosen
+            .iter()
+            .map(|&(i, score)| {
+                let entry = &catalog.entries[i];
+                let q = match config.adapt {
+                    AdaptMode::Verbatim => query.clone(),
+                    AdaptMode::PerSource => adapt_query(query, &entry.metadata, &entry.summary),
+                    AdaptMode::Lcd => lcd_query.clone().expect("computed above"),
+                };
+                DispatchTask {
+                    entry_index: i,
+                    id: entry.id.clone(),
+                    url: entry.query_url().to_string(),
+                    metadata: entry.metadata.clone(),
+                    weight: (score / max_belief).clamp(0.0, 1.0),
+                    query: q,
+                }
+            })
+            .collect()
+    };
+    let adapt_end = elapsed_us(t0);
+
+    // Quoted accounting: the wave runs concurrently, so the
+    // user-visible latency is the slowest selected link; costs add up.
+    let wave_latency_ms = chosen
+        .iter()
+        .map(|(i, _)| catalog.entries[*i].link.latency_ms)
+        .max()
+        .unwrap_or(0);
+    let total_cost: f64 = chosen
+        .iter()
+        .map(|(i, _)| catalog.entries[*i].link.cost_per_query)
+        .sum();
+
+    QueryPlan {
+        selected,
+        tasks,
+        wave_latency_ms,
+        total_cost,
+        select_stage: StageCost::new(
+            "select",
+            select_start,
+            select_end.saturating_sub(select_start),
+        )
+        .with_meta("chosen", chosen.len()),
+        adapt_stage: StageCost::new("adapt", adapt_start, adapt_end.saturating_sub(adapt_start)),
+    }
+}
+
+/// Stage 3, per source: one dispatch exchange, runnable on any thread.
+///
+/// Opens a `source` span under `parent` (the dispatch span's handle),
+/// threads the trace context over the wire, records the outcome on the
+/// health board, and builds the per-worker [`StageCost`] with the
+/// host's `XQueryProfile` grafted in — exactly what the scoped worker
+/// in `Metasearcher::search` always did, now callable from a shared
+/// pool with an optional [`CancelToken`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_task(
+    client: &StartsClient<'_>,
+    task: &DispatchTask,
+    health: &HealthBoard,
+    timeout_ms: u64,
+    parent: &SpanHandle,
+    query_id: &str,
+    t0: Instant,
+    cancel: Option<&CancelToken>,
+) -> Result<TaskSuccess, TaskError> {
+    let obs = client.registry();
+    let elapsed_us = |t0: Instant| t0.elapsed().as_micros() as u64;
+    let span = obs.span_under(
+        "source",
+        parent,
+        vec![("source", task.id.clone()), ("trace", query_id.to_string())],
+    );
+    // Thread the trace context through the wire (§4.3 extension
+    // attribute): the source's spans parent under this worker span, and
+    // the context echoes back on the results.
+    let mut q = task.query.clone();
+    q.trace = Some(TraceContext {
+        query_id: query_id.to_string(),
+        parent_path: span.path().to_string(),
+        parent_span_id: span.id(),
+    });
+    let w_start = elapsed_us(t0);
+    match client.query_cancellable(&task.url, &q, cancel) {
+        Ok((results, exchange)) => {
+            let w_end = elapsed_us(t0);
+            let latency = u64::from(exchange.latency_ms);
+            obs.histogram_with("meta.source_latency_ms", &[("source", &task.id)])
+                .observe(latency);
+            health.record(
+                &task.id,
+                if latency >= timeout_ms {
+                    SourceOutcome::timed_out(latency, true)
+                } else {
+                    SourceOutcome::ok(latency)
+                },
+            );
+            // Per-worker stage for the profile. The host's own
+            // XQueryProfile (if it sent one) nests under it, rebased
+            // from the host's clock onto ours: the exchange ran inline
+            // inside this window, so the shifted subtree stays
+            // contained.
+            let mut stage = StageCost::new("source", w_start, w_end.saturating_sub(w_start))
+                .with_meta("source", &task.id)
+                .with_meta("latency_ms", exchange.latency_ms)
+                .with_meta("cost", exchange.cost);
+            if let Some(host) = results.profile.clone() {
+                let mut root = host.root;
+                root.shift(w_start);
+                stage.children.push(root);
+            }
+            Ok(TaskSuccess {
+                result: SourceResult {
+                    metadata: task.metadata.clone(),
+                    results,
+                    source_weight: task.weight,
+                },
+                exchange,
+                stage,
+            })
+        }
+        Err(e) if e.is_cancelled() => {
+            // A lost hedge race or an expired deadline: the source did
+            // nothing wrong, so its health is untouched.
+            obs.counter_with("meta.dispatch.cancelled", &[("source", &task.id)])
+                .inc();
+            Err(TaskError::Cancelled)
+        }
+        Err(_) => {
+            health.record(&task.id, SourceOutcome::failed());
+            obs.counter_with("meta.dispatch.failures", &[("source", &task.id)])
+                .inc();
+            Err(TaskError::Failed)
+        }
+    }
+}
+
+/// Record a dispatch that never produced an outcome because its worker
+/// panicked: the source counts as failed (health + failure counter +
+/// a dedicated panic counter), and the query carries on with the
+/// sources that answered.
+pub fn record_panicked_dispatch(obs: &Registry, health: &HealthBoard, source: &str) {
+    health.record(source, SourceOutcome::failed());
+    let labels = [("source", source)];
+    obs.counter_with("meta.dispatch.failures", &labels).inc();
+    obs.counter_with("meta.dispatch.panics", &labels).inc();
+}
+
+/// Stage 4: the bounded merge, with its dedup accounting recorded on
+/// the registry and returned as a `merge` [`StageCost`].
+pub fn merge_stage(
+    merger: &dyn Merger,
+    per_source: &[SourceResult],
+    max_results: usize,
+    obs: &Registry,
+    t0: Instant,
+) -> (Vec<MergedDoc>, MergeStats, StageCost) {
+    let elapsed_us = |t0: Instant| t0.elapsed().as_micros() as u64;
+    let merge_start = elapsed_us(t0);
+    let (merged, mstats) = {
+        let _span = obs.span("merge");
+        merger.merge_top_k(per_source, max_results)
+    };
+    let merge_end = elapsed_us(t0);
+    // Cross-source duplicates collapse during the merge: the difference
+    // between candidates in and distinct documents out.
+    obs.counter("meta.merge.candidates")
+        .add(mstats.candidates as u64);
+    obs.counter("meta.merge.duplicates")
+        .add(mstats.duplicates() as u64);
+    let stage = StageCost::new("merge", merge_start, merge_end.saturating_sub(merge_start))
+        .with_meta("candidates", mstats.candidates)
+        .with_meta("duplicates", mstats.duplicates());
+    (merged, mstats, stage)
+}
+
+/// The canonical singleflight/cache key material for a query: its SOIF
+/// encoding with the per-dispatch trace context stripped. Two queries
+/// with the same key are wire-identical to every source.
+pub fn normalized_query_key(query: &Query) -> String {
+    let mut q = query.clone();
+    q.trace = None;
+    let mut buf = Vec::new();
+    starts_soif::write_object_into(&q.to_soif(), &mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}

@@ -6,7 +6,7 @@ use starts_proto::summary::ContentSummary;
 use starts_proto::{ProtoError, Query, QueryResults, Resource, SourceMetadata};
 
 use crate::host::decode_sample;
-use crate::sim::{Exchange, NetError, SimNet};
+use crate::sim::{CancelToken, Exchange, NetError, SimNet};
 
 /// Client-side errors: transport or protocol decoding.
 #[derive(Debug)]
@@ -23,6 +23,16 @@ impl fmt::Display for ClientError {
             ClientError::Net(e) => write!(f, "transport: {e}"),
             ClientError::Proto(e) => write!(f, "protocol: {e}"),
         }
+    }
+}
+
+impl ClientError {
+    /// Whether this error is a mid-flight cancellation (a hedge won the
+    /// race, or the caller's deadline expired) rather than a real
+    /// transport or protocol failure. Cancellations should not count
+    /// against a source's health.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ClientError::Net(NetError::Cancelled(_)))
     }
 }
 
@@ -147,11 +157,24 @@ impl<'a> StartsClient<'a> {
         url: &str,
         query: &Query,
     ) -> Result<(QueryResults, Exchange), ClientError> {
+        self.query_cancellable(url, query, None)
+    }
+
+    /// Submit a query that a [`CancelToken`] can abort mid-flight: the
+    /// hedged-dispatch primitive. Cancellation surfaces as
+    /// `ClientError::Net(NetError::Cancelled)` — see
+    /// [`ClientError::is_cancelled`].
+    pub fn query_cancellable(
+        &self,
+        url: &str,
+        query: &Query,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(QueryResults, Exchange), ClientError> {
         let _span = self.op_span("client.query", url);
         let mut req = ENCODE_BUF.take();
         req.clear();
         starts_soif::write_object_into(&query.to_soif(), &mut req);
-        let result = self.net.request(url, &req);
+        let result = self.net.request_cancellable(url, &req, cancel);
         let req_len = req.len();
         ENCODE_BUF.replace(req);
         let resp = result?;

@@ -33,4 +33,4 @@ pub mod host;
 pub mod sim;
 
 pub use client::StartsClient;
-pub use sim::{Exchange, LinkProfile, NetError, NetStats, Response, SimNet};
+pub use sim::{CancelToken, Exchange, LinkProfile, NetError, NetStats, Response, SimNet};

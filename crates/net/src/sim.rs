@@ -2,10 +2,44 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
 use starts_obs::{Monitor, Registry};
+
+/// A shared cancellation flag for one in-flight request (or a group of
+/// them). Cloning shares the flag: a hedged dispatch hands the same
+/// token family to primary and backup, and cancels the loser the moment
+/// the winner lands.
+///
+/// Cancellation is cooperative. The transport checks the token while it
+/// paces out the simulated round-trip (see [`SimNet::set_pacing`]); a
+/// request cancelled mid-flight aborts with [`NetError::Cancelled`]
+/// before the endpoint's handler runs. With pacing off (the default)
+/// requests complete instantly, so only a token cancelled *before* the
+/// call has any effect.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trip the flag: every request carrying a clone of this token
+    /// aborts at its next cancellation check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// A request handler bound to a URL. Handlers must be stateless with
 /// respect to the transport: they see only the request bytes.
@@ -83,12 +117,17 @@ impl Exchange {
 pub enum NetError {
     /// No endpoint is registered at the URL.
     UnknownUrl(String),
+    /// The request's [`CancelToken`] was tripped before a response
+    /// landed (a hedge raced it and won, or the caller's deadline
+    /// expired).
+    Cancelled(String),
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownUrl(u) => write!(f, "no endpoint at {u:?}"),
+            NetError::Cancelled(u) => write!(f, "request to {u:?} cancelled"),
         }
     }
 }
@@ -124,6 +163,10 @@ pub struct SimNet {
     per_url: RwLock<HashMap<String, NetStats>>,
     obs: Arc<Registry>,
     monitor: RwLock<Arc<Monitor>>,
+    /// Real-time pacing: microseconds of wall-clock sleep per simulated
+    /// millisecond of link latency. 0 (the default) keeps every request
+    /// instant, as the transport always behaved.
+    pacing_us_per_ms: AtomicU64,
 }
 
 impl SimNet {
@@ -178,8 +221,38 @@ impl SimNet {
         self.endpoints.read().contains_key(url)
     }
 
+    /// Turn on real-time pacing: every request sleeps `us_per_ms`
+    /// microseconds of wall-clock time per simulated millisecond of its
+    /// link's latency before the endpoint handler runs, checking its
+    /// [`CancelToken`] (if any) along the way. This is what makes hedged
+    /// requests *race* in real time and cancellation actually abort
+    /// work; 0 restores the instant transport.
+    pub fn set_pacing(&self, us_per_ms: u64) {
+        self.pacing_us_per_ms.store(us_per_ms, Ordering::SeqCst);
+    }
+
+    /// The current pacing factor (µs of wall clock per simulated ms).
+    pub fn pacing(&self) -> u64 {
+        self.pacing_us_per_ms.load(Ordering::SeqCst)
+    }
+
     /// Issue a sessionless request.
     pub fn request(&self, url: &str, body: &[u8]) -> Result<Response, NetError> {
+        self.request_cancellable(url, body, None)
+    }
+
+    /// Issue a sessionless request that a [`CancelToken`] can abort.
+    ///
+    /// With pacing on, the simulated round-trip is slept out in slices
+    /// and the token is checked between slices: a cancellation lands as
+    /// [`NetError::Cancelled`] *before* the endpoint does any work. With
+    /// pacing off, only a token tripped before the call aborts it.
+    pub fn request_cancellable(
+        &self,
+        url: &str,
+        body: &[u8],
+        cancel: Option<&CancelToken>,
+    ) -> Result<Response, NetError> {
         // Clone the handler out so long-running handlers do not hold the
         // table lock (requests may fan out from multiple threads).
         let (endpoint, profile) = {
@@ -190,6 +263,12 @@ impl SimNet {
             };
             (Arc::clone(&reg.endpoint), reg.profile)
         };
+        if self.pace_out(profile.latency_ms, cancel).is_err() {
+            self.obs
+                .counter_with("net.cancelled", &[("url", url)])
+                .inc();
+            return Err(NetError::Cancelled(url.to_string()));
+        }
         let bytes = endpoint.handle(body);
         let response = Response {
             latency_ms: profile.latency_ms,
@@ -222,6 +301,34 @@ impl SimNet {
         // §3.3 cost accrual per link: fractional, so a gauge.
         self.obs.gauge_with("net.cost", &labels).add(response.cost);
         Ok(response)
+    }
+
+    /// Sleep out a link's simulated latency under the current pacing
+    /// factor, in bounded slices so a cancellation lands promptly.
+    /// `Err(())` means the token tripped mid-flight.
+    fn pace_out(&self, latency_ms: u32, cancel: Option<&CancelToken>) -> Result<(), ()> {
+        let check = |c: Option<&CancelToken>| -> Result<(), ()> {
+            match c {
+                Some(c) if c.is_cancelled() => Err(()),
+                _ => Ok(()),
+            }
+        };
+        check(cancel)?;
+        let us_per_ms = self.pacing_us_per_ms.load(Ordering::SeqCst);
+        if us_per_ms == 0 {
+            return Ok(());
+        }
+        let mut remaining_us = u64::from(latency_ms).saturating_mul(us_per_ms);
+        // 200µs slices: fine enough that hedges and deadlines observe
+        // cancellation within a fraction of any realistic link latency.
+        const SLICE_US: u64 = 200;
+        while remaining_us > 0 {
+            let slice = remaining_us.min(SLICE_US);
+            std::thread::sleep(Duration::from_micros(slice));
+            remaining_us -= slice;
+            check(cancel)?;
+        }
+        Ok(())
     }
 
     /// Global statistics snapshot.
@@ -359,6 +466,68 @@ mod tests {
         a.request("u", b"x").unwrap();
         b.request("u", b"y").unwrap();
         assert_eq!(obs.snapshot().counter("net.requests", &[("url", "u")]), 2);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_without_handler_work() {
+        let net = SimNet::new();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register(
+            "u",
+            LinkProfile::default(),
+            Arc::new(move |req: &[u8]| {
+                h.fetch_add(1, Ordering::SeqCst);
+                req.to_vec()
+            }),
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            net.request_cancellable("u", b"x", Some(&token)),
+            Err(NetError::Cancelled("u".to_string()))
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "handler must not run");
+        assert_eq!(
+            net.registry()
+                .snapshot()
+                .counter("net.cancelled", &[("url", "u")]),
+            1
+        );
+        // An untripped token passes through.
+        let ok = net.request_cancellable("u", b"x", Some(&CancelToken::new()));
+        assert!(ok.is_ok());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pacing_makes_cancellation_abort_mid_flight() {
+        let net = Arc::new(SimNet::new());
+        net.register(
+            "slow",
+            LinkProfile {
+                latency_ms: 10_000, // 10s simulated…
+                cost_per_query: 0.0,
+            },
+            echo(),
+        );
+        net.set_pacing(1_000); // …which is 10s of wall clock too
+        assert_eq!(net.pacing(), 1_000);
+        let token = CancelToken::new();
+        let cancel_from_outside = token.clone();
+        let start = std::time::Instant::now();
+        let result = std::thread::scope(|scope| {
+            let net = Arc::clone(&net);
+            let h = scope.spawn(move || net.request_cancellable("slow", b"x", Some(&token)));
+            std::thread::sleep(Duration::from_millis(20));
+            cancel_from_outside.cancel();
+            h.join().unwrap()
+        });
+        assert_eq!(result, Err(NetError::Cancelled("slow".to_string())));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancellation must cut the paced sleep short"
+        );
     }
 
     #[test]

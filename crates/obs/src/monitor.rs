@@ -836,6 +836,28 @@ pub fn default_slos() -> Vec<SloSpec> {
             SloOp::Lt,
             0.01,
         ),
+        // Serving-layer end-to-end p99 < 100ms, from the executor's
+        // windowed latency histogram (`starts-serve`). Burns nothing on
+        // nets that never serve: an absent series never breaches.
+        SloSpec::new(
+            "serve-p99",
+            "serve.latency_us",
+            &[],
+            Aspect::P99,
+            SloOp::Lt,
+            100_000.0,
+        ),
+        // Admission-queue sheds should be rare: the shed rate (events
+        // per second over the sampling window) staying under 1/s is the
+        // stock overload objective.
+        SloSpec::new(
+            "serve-shed-rate",
+            "serve.shed",
+            &[],
+            Aspect::Rate,
+            SloOp::Lt,
+            1.0,
+        ),
     ]
 }
 

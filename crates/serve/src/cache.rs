@@ -1,0 +1,219 @@
+//! The TTL'd, generation-stamped query-result cache.
+//!
+//! Same freshness model as [`starts_meta::CatalogCache`] — an entry is
+//! fresh while its age is under the TTL *and* its generation stamps
+//! still match — but where the catalog cache keeps one global
+//! generation, results are stamped **per source**: a response caches
+//! the generation of every source it consulted, and
+//! `ResultCache::invalidate_source` (called when a source's content
+//! summary changes) stales exactly the responses that touched that
+//! source. Responses built from other sources stay servable.
+//!
+//! Lookups land on the shared registry as `serve.cache.hits` /
+//! `serve.cache.misses`. A zero TTL disables the cache entirely (no
+//! storage, no counters) — the bench uses that to measure raw
+//! execution.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use starts_obs::Registry;
+
+use crate::executor::ServeResponse;
+
+/// Soft bound on stored responses: a store that finds the map at this
+/// size first evicts every stale entry.
+const SWEEP_AT: usize = 1024;
+
+struct CachedResponse {
+    value: Arc<ServeResponse>,
+    fetched_at: Instant,
+    epoch: u64,
+    /// `(source id, generation at store time)` for every source the
+    /// response consulted.
+    stamps: Vec<(String, u64)>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Global epoch: bumped by [`ResultCache::invalidate_all`].
+    epoch: u64,
+    /// Per-source generation counters (absent = 0).
+    generations: HashMap<String, u64>,
+    entries: HashMap<String, CachedResponse>,
+}
+
+impl CacheInner {
+    fn generation(&self, source: &str) -> u64 {
+        self.generations.get(source).copied().unwrap_or(0)
+    }
+
+    fn fresh(&self, entry: &CachedResponse, ttl: Duration) -> bool {
+        entry.epoch == self.epoch
+            && entry.fetched_at.elapsed() < ttl
+            && entry
+                .stamps
+                .iter()
+                .all(|(source, gen)| self.generation(source) == *gen)
+    }
+}
+
+/// A freshness-window cache over whole serve responses, keyed by
+/// normalized query + selected source set.
+pub(crate) struct ResultCache {
+    ttl: Duration,
+    state: Mutex<CacheInner>,
+}
+
+impl ResultCache {
+    pub(crate) fn new(ttl: Duration) -> Self {
+        ResultCache {
+            ttl,
+            state: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Fetch a fresh entry, counting the hit or miss on `obs`.
+    pub(crate) fn lookup(&self, key: &str, obs: &Registry) -> Option<Arc<ServeResponse>> {
+        if self.ttl.is_zero() {
+            return None;
+        }
+        let state = self.state.lock().expect("cache lock");
+        let fresh = state
+            .entries
+            .get(key)
+            .filter(|e| state.fresh(e, self.ttl))
+            .map(|e| Arc::clone(&e.value));
+        drop(state);
+        let counter = if fresh.is_some() {
+            "serve.cache.hits"
+        } else {
+            "serve.cache.misses"
+        };
+        obs.counter(counter).inc();
+        fresh
+    }
+
+    /// Store a response, stamping the current generation of every
+    /// source it consulted.
+    pub(crate) fn store(&self, key: String, value: Arc<ServeResponse>, sources: &[String]) {
+        if self.ttl.is_zero() {
+            return;
+        }
+        let mut state = self.state.lock().expect("cache lock");
+        if state.entries.len() >= SWEEP_AT {
+            let (epoch, ttl) = (state.epoch, self.ttl);
+            let generations = std::mem::take(&mut state.generations);
+            state.entries.retain(|_, e| {
+                e.epoch == epoch
+                    && e.fetched_at.elapsed() < ttl
+                    && e.stamps
+                        .iter()
+                        .all(|(s, g)| generations.get(s).copied().unwrap_or(0) == *g)
+            });
+            state.generations = generations;
+        }
+        let stamps = sources
+            .iter()
+            .map(|s| (s.clone(), state.generation(s)))
+            .collect();
+        let epoch = state.epoch;
+        state.entries.insert(
+            key,
+            CachedResponse {
+                value,
+                fetched_at: Instant::now(),
+                epoch,
+                stamps,
+            },
+        );
+    }
+
+    /// Bump one source's generation: every cached response that
+    /// consulted it is instantly stale; responses that did not are
+    /// untouched.
+    pub(crate) fn invalidate_source(&self, source: &str) {
+        let mut state = self.state.lock().expect("cache lock");
+        *state.generations.entry(source.to_string()).or_insert(0) += 1;
+    }
+
+    /// Stale every cached response at once.
+    pub(crate) fn invalidate_all(&self) {
+        self.state.lock().expect("cache lock").epoch += 1;
+    }
+
+    /// Number of stored responses (fresh or stale).
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response() -> Arc<ServeResponse> {
+        Arc::new(ServeResponse {
+            merged: Vec::new(),
+            selected: Vec::new(),
+            per_source: Vec::new(),
+            completeness: Vec::new(),
+            partial: false,
+            stats: Default::default(),
+            query_id: "q-test".to_string(),
+            profile: Default::default(),
+        })
+    }
+
+    #[test]
+    fn per_source_generations_stale_only_consulting_entries() {
+        let cache = ResultCache::new(Duration::from_secs(60));
+        let obs = Registry::new();
+        cache.store("a".into(), response(), &["DB".into(), "Food".into()]);
+        cache.store("b".into(), response(), &["Stars".into()]);
+        assert!(cache.lookup("a", &obs).is_some());
+        assert!(cache.lookup("b", &obs).is_some());
+
+        cache.invalidate_source("Food");
+        // "a" consulted Food → stale; "b" did not → still fresh.
+        assert!(cache.lookup("a", &obs).is_none());
+        assert!(cache.lookup("b", &obs).is_some());
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("serve.cache.hits", &[]), 3);
+        assert_eq!(snap.counter("serve.cache.misses", &[]), 1);
+    }
+
+    #[test]
+    fn epoch_bump_stales_everything_and_zero_ttl_disables() {
+        let cache = ResultCache::new(Duration::from_secs(60));
+        let obs = Registry::new();
+        cache.store("a".into(), response(), &[]);
+        cache.invalidate_all();
+        assert!(cache.lookup("a", &obs).is_none());
+        // A re-store in the new epoch is fresh again.
+        cache.store("a".into(), response(), &[]);
+        assert!(cache.lookup("a", &obs).is_some());
+
+        let off = ResultCache::new(Duration::ZERO);
+        off.store("a".into(), response(), &[]);
+        assert_eq!(off.len(), 0);
+        assert!(off.lookup("a", &obs).is_none());
+        // Disabled cache counts nothing.
+        assert_eq!(obs.snapshot().counter("serve.cache.misses", &[]), 1);
+    }
+
+    #[test]
+    fn sweep_evicts_stale_entries_under_pressure() {
+        let cache = ResultCache::new(Duration::from_secs(60));
+        for i in 0..SWEEP_AT {
+            cache.store(format!("k{i}"), response(), &["S".into()]);
+        }
+        assert_eq!(cache.len(), SWEEP_AT);
+        // Everything consulted S; staling S lets the next store sweep.
+        cache.invalidate_source("S");
+        cache.store("fresh".into(), response(), &[]);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! The concurrent serving layer: a query executor over the metasearch
+//! pipeline built for sustained multi-client load.
+//!
+//! [`Metasearcher::search`](starts_meta::Metasearcher) spawns one
+//! scoped thread per selected source per query — fine for a single
+//! caller, wasteful under concurrency. [`Server`] runs the same
+//! pipeline stages ([`starts_meta::pipeline`]) under a serving regime:
+//!
+//! * **Fixed worker pools** — a query pool executes whole queries off a
+//!   bounded admission queue; a shared dispatch pool runs the
+//!   per-source exchanges. No thread is ever spawned per query.
+//! * **Singleflight** — concurrent identical queries (same normalized
+//!   query text, same selected source set) collapse into one dispatch
+//!   wave; followers wait on the leader and share its response.
+//! * **Result cache** — responses are cached under a TTL with
+//!   per-source generation stamps: invalidating one source (say, after
+//!   its content summary changed) stales exactly the responses that
+//!   consulted it.
+//! * **Hedged dispatch** — a source that has not answered within a
+//!   health-derived delay (p95 × factor, floored) gets a backup
+//!   request, optionally to a replica URL; the first response wins and
+//!   the loser is cancelled. Cancellations never count against health.
+//! * **Deadline-bounded partial results** — a query past its wall-clock
+//!   budget cancels its stragglers and returns the merge of the sources
+//!   that finished, flagged `partial: true` with per-source
+//!   completeness.
+//! * **Load shedding** — the admission queue is bounded; under overload
+//!   the oldest waiting query is shed (`ServeError::Shed`) and workers
+//!   pop newest-first (LIFO), keeping fresh requests inside their
+//!   deadlines instead of serving a queue full of expired ones.
+//!
+//! Everything is observable on the shared registry as `serve.*`
+//! metrics, and `serve-p99` / `serve-shed-rate` ship in
+//! [`starts_obs::monitor::default_slos`].
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`executor`] | [`Server`], its worker pools, hedging and deadlines |
+//! | [`flight`] | singleflight registry and response slots |
+//! | [`cache`] | TTL + generation-stamped result cache |
+
+pub mod cache;
+pub mod executor;
+pub mod flight;
+
+pub use executor::{
+    HedgeConfig, ServeConfig, ServeError, ServeOutcome, ServeResponse, Served, Server,
+    SourceCompleteness, SourceStatus,
+};

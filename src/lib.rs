@@ -27,6 +27,7 @@
 //! | [`net`] | `starts-net` | the sessionless transport simulation |
 //! | [`obs`] | `starts-obs` | spans, metrics, and the Prometheus/SOIF stats exporters |
 //! | [`meta`] | `starts-meta` | the metasearcher: selection, adaptation, merging, calibration |
+//! | [`serve`] | `starts-serve` | the concurrent serving layer: executor pools, singleflight, result cache, hedged dispatch, deadlines |
 //! | [`corpus`] | `starts-corpus` | synthetic corpora and workloads with known relevance |
 //! | [`zdsr`] | `starts-zdsr` | the Z39.50/ZDSR bridge (filter expressions ⇄ PQF) |
 //!
@@ -64,6 +65,7 @@ pub use starts_meta as meta;
 pub use starts_net as net;
 pub use starts_obs as obs;
 pub use starts_proto as proto;
+pub use starts_serve as serve;
 pub use starts_soif as soif;
 pub use starts_source as source;
 pub use starts_text as text;

@@ -1,0 +1,487 @@
+//! Acceptance tests for the concurrent serving layer (`starts-serve`):
+//! singleflight dedup of identical concurrent queries, bit-identical
+//! cached responses with per-source generation invalidation,
+//! deadline-bounded partial results that are a prefix-consistent merge
+//! of the finished sources, hedged dispatch racing a replica against a
+//! slow primary, LIFO load shedding under overload, and panic isolation
+//! in the shared dispatch pool.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use starts::index::Document;
+use starts::meta::catalog::Catalog;
+use starts::meta::merge::{Merger, NormalizedMerge};
+use starts::meta::metasearcher::{MetaConfig, Metasearcher};
+use starts::net::{host::wire_source, LinkProfile, SimNet, StartsClient};
+use starts::proto::{query::parse_ranking, Query};
+use starts::serve::{HedgeConfig, ServeConfig, ServeError, Served, Server, SourceStatus};
+use starts::source::{Source, SourceConfig};
+
+fn docs(words: &[&str], n: usize, tag: &str) -> Vec<Document> {
+    (0..n)
+        .map(|i| {
+            let body = format!(
+                "{} {} {} filler{} text",
+                words[i % words.len()],
+                words[(i + 1) % words.len()],
+                words[0],
+                i
+            );
+            Document::new()
+                .field("title", format!("{tag} doc {i}"))
+                .field("body-of-text", body)
+                .field("linkage", format!("http://{tag}/{i}"))
+        })
+        .collect()
+}
+
+fn wire(net: &SimNet, id: &str, words: &[&str], latency_ms: u32) {
+    wire_source(
+        net,
+        Source::build(SourceConfig::new(id), &docs(words, 12, &id.to_lowercase())),
+        LinkProfile {
+            latency_ms,
+            cost_per_query: 0.0,
+        },
+    );
+}
+
+fn discover(net: &SimNet, ids: &[&str]) -> Catalog {
+    let client = StartsClient::new(net);
+    let mut catalog = Catalog::default();
+    for id in ids {
+        catalog
+            .discover_source(
+                &client,
+                &format!("starts://{}/metadata", id.to_lowercase()),
+                LinkProfile::default(),
+                false,
+            )
+            .unwrap();
+    }
+    catalog
+}
+
+fn ranked(terms: &str) -> Query {
+    Query {
+        ranking: Some(parse_ranking(terms).unwrap()),
+        ..Query::default()
+    }
+}
+
+fn hedge_off() -> HedgeConfig {
+    HedgeConfig {
+        enabled: false,
+        ..HedgeConfig::default()
+    }
+}
+
+#[test]
+fn singleflight_collapses_identical_concurrent_queries_into_one_wave() {
+    const CLIENTS: usize = 8;
+    let net = Arc::new(SimNet::new());
+    wire(&net, "DB", &["databases", "queries"], 100);
+    wire(&net, "Food", &["cooking", "recipes"], 100);
+    let catalog = discover(&net, &["DB", "Food"]);
+    net.registry().reset();
+    // Pace the simulation so the wave takes real time (~50ms): every
+    // client enqueues while the leader's dispatch is in flight.
+    net.set_pacing(500);
+    let server = Server::new(
+        Arc::clone(&net),
+        catalog,
+        MetaConfig::default(),
+        ServeConfig {
+            query_workers: CLIENTS,
+            hedge: hedge_off(),
+            ..ServeConfig::default()
+        },
+    );
+
+    let query = ranked(r#"list((body-of-text "text"))"#);
+    let barrier = Barrier::new(CLIENTS);
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let (server, query, barrier) = (&server, &query, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    server.search(query).expect("served")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    net.set_pacing(0);
+
+    // Exactly one wave executed; everyone else coalesced onto it.
+    let executed = outcomes
+        .iter()
+        .filter(|o| o.via == Served::Executed)
+        .count();
+    let coalesced = outcomes
+        .iter()
+        .filter(|o| o.via == Served::Coalesced)
+        .count();
+    assert_eq!((executed, coalesced), (1, CLIENTS - 1));
+    // All M responses share the leader's response verbatim.
+    let leader = &outcomes[0].response;
+    for o in &outcomes {
+        assert!(Arc::ptr_eq(&o.response, leader));
+        assert!(!o.response.merged.is_empty());
+        assert!(!o.response.partial);
+    }
+    // One dispatch per source total — not one per client.
+    let snap = net.registry().snapshot();
+    for source in ["DB", "Food"] {
+        let h = snap
+            .histogram("meta.source_latency_ms", &[("source", source)])
+            .expect("source latency histogram");
+        assert_eq!(h.count, 1, "{source} dispatched more than once");
+    }
+    assert_eq!(snap.counter("serve.singleflight.leader", &[]), 1);
+    assert_eq!(
+        snap.counter("serve.singleflight.coalesced", &[]),
+        (CLIENTS - 1) as u64
+    );
+    assert_eq!(snap.counter("serve.requests", &[]), CLIENTS as u64);
+}
+
+#[test]
+fn cached_responses_are_shared_verbatim_and_stale_per_source() {
+    let net = Arc::new(SimNet::new());
+    wire(&net, "DB", &["databases", "queries"], 10);
+    wire(&net, "Food", &["cooking", "recipes"], 10);
+    wire(&net, "Stars", &["galaxies", "orbits"], 10);
+    let catalog = discover(&net, &["DB", "Food", "Stars"]);
+    net.registry().reset();
+    let server = Server::new(
+        Arc::clone(&net),
+        catalog,
+        MetaConfig {
+            max_sources: 2,
+            ..MetaConfig::default()
+        },
+        ServeConfig {
+            query_workers: 1,
+            hedge: hedge_off(),
+            ..ServeConfig::default()
+        },
+    );
+
+    let query = ranked(r#"list((body-of-text "databases"))"#);
+    let first = server.search(&query).unwrap();
+    assert_eq!(first.via, Served::Executed);
+    assert!(!first.response.selected.contains(&"Stars".to_string()));
+
+    // Bit-identical: the cache hands back the very same response.
+    let second = server.search(&query).unwrap();
+    assert_eq!(second.via, Served::CacheHit);
+    assert!(Arc::ptr_eq(&first.response, &second.response));
+
+    // Staling a source the response never consulted keeps it servable…
+    server.invalidate_source("Stars");
+    assert_eq!(server.search(&query).unwrap().via, Served::CacheHit);
+    // …staling a consulted source forces a fresh wave.
+    server.invalidate_source(&first.response.selected[0]);
+    let refreshed = server.search(&query).unwrap();
+    assert_eq!(refreshed.via, Served::Executed);
+    assert!(!Arc::ptr_eq(&first.response, &refreshed.response));
+
+    let snap = net.registry().snapshot();
+    assert_eq!(snap.counter("serve.cache.hits", &[]), 2);
+    assert_eq!(snap.counter("serve.cache.misses", &[]), 2);
+}
+
+#[test]
+fn deadline_expiry_returns_prefix_consistent_partial_results() {
+    let net = Arc::new(SimNet::new());
+    wire(&net, "Fast", &["databases", "queries"], 10);
+    wire(&net, "Slow", &["cooking", "recipes"], 400);
+    let catalog = discover(&net, &["Fast", "Slow"]);
+    net.registry().reset();
+    // 400 simulated ms at 500µs/ms = 200ms wall for the slow source;
+    // the 60ms deadline expires long before it answers.
+    net.set_pacing(500);
+    let config = MetaConfig::default();
+    let health = Arc::clone(&config.health);
+    let server = Server::new(
+        Arc::clone(&net),
+        catalog,
+        config,
+        ServeConfig {
+            query_workers: 1,
+            deadline_ms: 60,
+            cache_ttl: Duration::ZERO,
+            hedge: hedge_off(),
+            ..ServeConfig::default()
+        },
+    );
+
+    let outcome = server
+        .search(&ranked(r#"list((body-of-text "text"))"#))
+        .unwrap();
+    net.set_pacing(0);
+    let resp = &outcome.response;
+    assert!(resp.partial, "deadline should have expired");
+    let status: HashMap<&str, SourceStatus> = resp
+        .completeness
+        .iter()
+        .map(|c| (c.source.as_str(), c.status))
+        .collect();
+    assert_eq!(status["Fast"], SourceStatus::Complete);
+    assert_eq!(status["Slow"], SourceStatus::TimedOut);
+
+    // Prefix-consistent: the partial merge is exactly the merge of the
+    // finished sources — nothing from the straggler leaked in.
+    assert_eq!(resp.per_source.len(), 1);
+    assert!(resp.merged.iter().all(|d| d.sources == ["Fast"]));
+    let (direct, _) = NormalizedMerge.merge_top_k(&resp.per_source, 20);
+    assert_eq!(
+        resp.merged.iter().map(|d| &d.linkage).collect::<Vec<_>>(),
+        direct.iter().map(|d| &d.linkage).collect::<Vec<_>>()
+    );
+
+    // The straggler was cancelled, not failed: its health is untouched
+    // and the cancellation is accounted separately.
+    assert!(health.health("Slow").is_none());
+    let snap = net.registry().snapshot();
+    assert_eq!(snap.counter("serve.partial", &[]), 1);
+    assert_eq!(
+        snap.counter("meta.dispatch.cancelled", &[("source", "Slow")]),
+        1
+    );
+    assert_eq!(
+        snap.counter("meta.dispatch.failures", &[("source", "Slow")]),
+        0
+    );
+}
+
+#[test]
+fn hedged_dispatch_races_a_replica_and_cancels_the_loser() {
+    let net = Arc::new(SimNet::new());
+    // Primary endpoint is pathologically slow; a replica of the same
+    // corpus sits behind a fast link.
+    wire(&net, "DB", &["databases", "queries"], 2_000);
+    wire(&net, "DB2", &["databases", "queries"], 5);
+    let catalog = discover(&net, &["DB"]);
+    net.registry().reset();
+    net.set_pacing(200); // primary: 400ms wall, replica: 1ms wall
+    let server = Server::new(
+        Arc::clone(&net),
+        catalog,
+        MetaConfig {
+            max_sources: 1,
+            ..MetaConfig::default()
+        },
+        ServeConfig {
+            query_workers: 1,
+            hedge: HedgeConfig {
+                enabled: true,
+                factor: 3.0,
+                min_delay_ms: 10, // 2ms wall at this pacing
+            },
+            replicas: HashMap::from([("DB".to_string(), "starts://db2/query".to_string())]),
+            ..ServeConfig::default()
+        },
+    );
+
+    let outcome = server
+        .search(&ranked(r#"list((body-of-text "databases"))"#))
+        .unwrap();
+    net.set_pacing(0);
+    let resp = &outcome.response;
+    // The replica's answer arrived long before the primary: the query
+    // is complete, served by the hedge.
+    assert!(!resp.partial);
+    assert!(!resp.merged.is_empty());
+    assert_eq!(resp.completeness[0].status, SourceStatus::Complete);
+
+    let snap = net.registry().snapshot();
+    assert_eq!(snap.counter("serve.hedge.launched", &[("source", "DB")]), 1);
+    assert_eq!(snap.counter("serve.hedge.wins", &[("source", "DB")]), 1);
+    // The losing primary was cancelled — no health penalty for DB.
+    assert_eq!(
+        snap.counter("meta.dispatch.cancelled", &[("source", "DB")]),
+        1
+    );
+    assert_eq!(
+        snap.counter("meta.dispatch.failures", &[("source", "DB")]),
+        0
+    );
+    // The hedge attempt is visible as a span under the dispatch stage.
+    let hedge_spans = snap
+        .histogram(
+            "span.duration_us",
+            &[("span", "serve.query/dispatch/hedge")],
+        )
+        .expect("hedge span recorded");
+    assert_eq!(hedge_spans.count, 1);
+}
+
+#[test]
+fn overload_sheds_the_oldest_waiter_and_answers_the_rest() {
+    const CLIENTS: usize = 6;
+    let net = Arc::new(SimNet::new());
+    wire(&net, "DB", &["databases", "queries"], 100);
+    let catalog = discover(&net, &["DB"]);
+    net.registry().reset();
+    net.set_pacing(400); // each wave ~40ms wall
+    let server = Server::new(
+        Arc::clone(&net),
+        catalog,
+        MetaConfig {
+            max_sources: 1,
+            ..MetaConfig::default()
+        },
+        ServeConfig {
+            query_workers: 1,
+            queue_capacity: 2,
+            cache_ttl: Duration::ZERO,
+            hedge: hedge_off(),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Six *distinct* queries at once (no singleflight): one executes,
+    // two wait, the overflow sheds the oldest waiters.
+    let barrier = Barrier::new(CLIENTS);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let (server, barrier) = (&server, &barrier);
+                scope.spawn(move || {
+                    let query = ranked(&format!(r#"list((body-of-text "filler{i}"))"#));
+                    barrier.wait();
+                    server.search(&query)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    net.set_pacing(0);
+
+    let served = results.iter().filter(|r| r.is_ok()).count();
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Shed)))
+        .count();
+    assert_eq!(served + shed, CLIENTS, "every caller got an answer");
+    assert!(served >= 1, "at least the running query completes");
+    assert!(shed >= 1, "overload must shed");
+    let snap = net.registry().snapshot();
+    assert_eq!(snap.counter("serve.shed", &[]), shed as u64);
+}
+
+#[test]
+fn pool_isolates_panicking_endpoints_and_survives() {
+    let net = Arc::new(SimNet::new());
+    wire(&net, "DB", &["databases", "queries"], 10);
+    wire(&net, "Food", &["cooking", "recipes"], 10);
+    let catalog = discover(&net, &["DB", "Food"]);
+    let url = catalog.entry("Food").unwrap().query_url().to_string();
+    net.register(
+        url,
+        LinkProfile::default(),
+        Arc::new(|_req: &[u8]| -> Vec<u8> { panic!("endpoint blew up") }),
+    );
+    net.registry().reset();
+    let server = Server::new(
+        Arc::clone(&net),
+        catalog,
+        MetaConfig::default(),
+        ServeConfig {
+            query_workers: 1,
+            cache_ttl: Duration::ZERO,
+            hedge: hedge_off(),
+            ..ServeConfig::default()
+        },
+    );
+
+    let query = ranked(r#"list((body-of-text "text"))"#);
+    let first = server.search(&query).unwrap();
+    let status: HashMap<&str, SourceStatus> = first
+        .response
+        .completeness
+        .iter()
+        .map(|c| (c.source.as_str(), c.status))
+        .collect();
+    assert_eq!(status["Food"], SourceStatus::Failed);
+    assert_eq!(status["DB"], SourceStatus::Complete);
+    assert!(!first.response.merged.is_empty());
+    assert!(!first.response.partial, "failure is not a timeout");
+
+    // The dispatch pool survived the panic: a second query still runs.
+    let second = server.search(&query).unwrap();
+    assert_eq!(second.via, Served::Executed);
+    let snap = net.registry().snapshot();
+    assert_eq!(
+        snap.counter("meta.dispatch.panics", &[("source", "Food")]),
+        2
+    );
+}
+
+#[test]
+fn pooled_wave_matches_the_scoped_metasearcher_and_ships_stock_slos() {
+    let net = Arc::new(SimNet::new());
+    wire(&net, "DB", &["databases", "queries"], 10);
+    wire(&net, "Food", &["cooking", "recipes"], 10);
+    wire(&net, "Stars", &["galaxies", "orbits"], 10);
+    let query = ranked(r#"list((body-of-text "text"))"#);
+
+    let scoped = Metasearcher::new(
+        &net,
+        discover(&net, &["DB", "Food", "Stars"]),
+        MetaConfig::default(),
+    )
+    .search(&query);
+    let server = Server::new(
+        Arc::clone(&net),
+        discover(&net, &["DB", "Food", "Stars"]),
+        MetaConfig::default(),
+        ServeConfig {
+            query_workers: 1,
+            hedge: hedge_off(),
+            ..ServeConfig::default()
+        },
+    );
+    let pooled = server.search(&query).unwrap();
+
+    // Same stages, same strategies → the same merged ranking.
+    assert_eq!(
+        scoped.merged.iter().map(|d| &d.linkage).collect::<Vec<_>>(),
+        pooled
+            .response
+            .merged
+            .iter()
+            .map(|d| &d.linkage)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(scoped.selected, pooled.response.selected);
+    // The pooled profile keeps the stage-containment invariant.
+    assert!(pooled.response.profile.is_consistent());
+    assert!(pooled
+        .response
+        .profile
+        .root
+        .children
+        .iter()
+        .any(|s| s.name == "dispatch" && !s.children.is_empty()));
+
+    // Serving metrics land on the shared registry, and the stock SLO
+    // catalog covers the serving layer.
+    let snap = net.registry().snapshot();
+    assert!(snap.counter("serve.requests", &[]) >= 1);
+    assert!(snap
+        .histogram("serve.latency_us", &[])
+        .is_some_and(|h| h.count >= 1));
+    let slos = starts::obs::monitor::default_slos();
+    for name in ["serve-p99", "serve-shed-rate"] {
+        assert!(
+            slos.iter().any(|s| s.name == name),
+            "missing stock SLO {name}"
+        );
+    }
+}
