@@ -1,22 +1,36 @@
-//! X16 — dynamic pruning: score-upper-bound top-k vs exhaustive scoring
+//! X16 — dynamic pruning: Block-Max-WAND top-k vs exhaustive scoring
 //! (beyond the paper's artifacts).
 //!
 //! The bounded top-k pipeline (X14) still *scores every candidate* and
-//! lets the heap discard the losers. Dynamic pruning skips the scoring
-//! itself: at build time the engine records, per (field, term), the
-//! largest partial score any document can contribute; at query time the
-//! leaves are walked in descending-bound order and a document is
-//! abandoned the moment its remaining upper bound falls strictly below
-//! the top-k threshold. Under sharding the threshold is shared across
+//! lets the heap discard the losers. Block-Max WAND skips the scoring
+//! itself: postings are mirrored into fixed 128-doc blocks (doc-id
+//! deltas + tfs, varint-encoded) with a per-block score upper bound
+//! recorded at build time; at query time doc-sorted cursors select a
+//! pivot against the top-k threshold θ and whole blocks whose bound
+//! falls strictly below θ are jumped without ever being decoded —
+//! including through `and`/`or`/weighted operator *trees*, whose bound
+//! is propagated bottom-up per block. Under sharding θ is shared across
 //! shards through an atomic cell, so one shard's full heap tightens
 //! every other shard's bound check. The results are *bit-identical* to
 //! the unpruned path (enforced here by a spot check and exhaustively by
 //! `crates/index/tests/prune_properties.rs`).
 //!
-//! This experiment measures the pruned vs unpruned query path
-//! (`PruneMode::Auto` vs `PruneMode::Off`) at shard counts 1 and 4 on
-//! the X14 Zipf workload: QPS, p50/p95/p99 latency, and the fraction of
-//! candidate documents the bound check discarded without scoring.
+//! Three workloads stress different skip regimes, each measured with
+//! `PruneMode::Auto` vs `PruneMode::Off` at shard counts 1 and 4:
+//!
+//! * `zipf` — the X14 mix: 1–3 word flat lists, mostly common words,
+//!   sometimes a rare topic word (the historical baseline),
+//! * `tree` — operator-tree-heavy: nested `and`/`or`/`and-not` shapes,
+//!   every query anchored by a rare topic word so the threshold rises
+//!   fast and tree-bound pruning engages,
+//! * `long` — long-postings: the most common background words (the
+//!   longest lists in the index) paired with one rare anchor, the
+//!   workload where leaping undecoded blocks pays most.
+//!
+//! Reported per configuration: QPS, p50/p95/p99 latency, the fraction
+//! of candidate postings skipped unscored, and the number of whole
+//! blocks jumped without decoding. The artifact also records the
+//! resident bytes of both postings representations.
 //!
 //! Writes `BENCH_prune.json` (override with `--out PATH`); pass
 //! `--smoke` for a seconds-scale CI run on the standard corpus.
@@ -47,7 +61,7 @@ fn main() {
     let n_queries = if smoke { 60 } else { 400 };
     let parallelism = machine_parallelism();
 
-    header("X16  dynamic pruning: score-upper-bound top-k vs exhaustive scoring");
+    header("X16  dynamic pruning: Block-Max-WAND top-k vs exhaustive scoring");
     let corpus = if smoke {
         standard_corpus()
     } else {
@@ -64,12 +78,26 @@ fn main() {
         })
     };
     let docs = corpus.all_docs();
-    let terms = zipf_workload(&corpus, n_queries, 1997);
+    let workloads = [
+        Workload {
+            name: "zipf",
+            queries: zipf_workload(&corpus, n_queries, 1997),
+        },
+        Workload {
+            name: "tree",
+            queries: tree_workload(&corpus, n_queries, 4111),
+        },
+        Workload {
+            name: "long",
+            queries: long_postings_workload(&corpus, n_queries, 5309),
+        },
+    ];
     println!(
-        "corpus: {} docs; workload: {} Zipf queries; k = {K}; \
+        "corpus: {} docs; workloads: {} x {} queries; k = {K}; \
          machine parallelism: {parallelism}",
         docs.len(),
-        terms.len()
+        workloads.len(),
+        n_queries
     );
 
     let config = |shards: usize, prune: PruneMode| EngineConfig {
@@ -84,75 +112,95 @@ fn main() {
 
     // Baseline for the exactness spot check: monolithic, unpruned.
     let baseline = ShardedEngine::build(&docs, config(1, PruneMode::Off));
+    let footprint = baseline.postings_footprint();
 
     let mut rows = Vec::new();
     let mut stats = Vec::new();
-    for &shards in SHARD_COUNTS {
-        for prune in [PruneMode::Off, PruneMode::Auto] {
-            let engine = ShardedEngine::build(&docs, config(shards, prune));
+    for workload in &workloads {
+        for &shards in SHARD_COUNTS {
+            for prune in [PruneMode::Off, PruneMode::Auto] {
+                let engine = ShardedEngine::build(&docs, config(shards, prune));
 
-            // Exactness spot check on the first queries of the
-            // workload, and the prune tallies over all of them; the
-            // property suite covers exactness exhaustively.
-            let mut report = PruneReport::default();
-            for (i, t) in terms.iter().enumerate() {
-                let node = rank_node(t);
-                let (hits, _, r) = engine.search_top_k_observed(None, Some(&node), &opts);
-                report.candidates += r.candidates;
-                report.skipped_docs += r.skipped_docs;
-                report.skipped_leaves += r.skipped_leaves;
-                report.threshold_updates += r.threshold_updates;
-                if i < 10 {
-                    assert_eq!(
-                        hits,
-                        baseline.search_top_k(None, Some(&node), Some(K)),
-                        "pruned top-k diverged at shards={shards} prune={prune:?}"
-                    );
+                // Exactness spot check on the first queries of the
+                // workload, and the prune tallies over all of them; the
+                // property suite covers exactness exhaustively.
+                let mut report = PruneReport::default();
+                for (i, node) in workload.queries.iter().enumerate() {
+                    let (hits, _, r) = engine.search_top_k_observed(None, Some(node), &opts);
+                    report.merge(&r);
+                    if i < 10 {
+                        assert_eq!(
+                            hits,
+                            baseline.search_top_k(None, Some(node), Some(K)),
+                            "pruned top-k diverged at workload={} shards={shards} \
+                             prune={prune:?}",
+                            workload.name
+                        );
+                    }
                 }
-            }
-            match prune {
-                PruneMode::Auto => assert!(
-                    report.skipped_docs > 0,
-                    "pruning never engaged on the Zipf workload: {report:?}"
-                ),
-                PruneMode::Off => assert_eq!(report.skipped_docs, 0),
-            }
-            let pruned_fraction = if report.candidates > 0 {
-                report.skipped_docs as f64 / report.candidates as f64
-            } else {
-                0.0
-            };
+                match prune {
+                    PruneMode::Auto => {
+                        assert!(
+                            report.skipped_docs > 0,
+                            "pruning never engaged on the {} workload: {report:?}",
+                            workload.name
+                        );
+                        // Whole-block jumps need lists spanning several
+                        // blocks; splitting the corpus across shards can
+                        // shrink every list under the 128-doc block size,
+                        // so the hard assertion is monolithic-only.
+                        if shards == 1 {
+                            assert!(
+                                report.blocks_skipped > 0,
+                                "no whole block was ever jumped on the {} workload: {report:?}",
+                                workload.name
+                            );
+                        }
+                    }
+                    PruneMode::Off => {
+                        assert_eq!(report.skipped_docs, 0);
+                        assert_eq!(report.blocks_skipped, 0);
+                    }
+                }
+                let pruned_fraction = if report.candidates > 0 {
+                    report.skipped_docs as f64 / report.candidates as f64
+                } else {
+                    0.0
+                };
 
-            let qs = measure(&terms, |t| {
-                let node = rank_node(t);
-                engine
-                    .search_top_k_observed(None, Some(&node), &opts)
-                    .0
-                    .len()
-            });
-            rows.push(vec![
-                shards.to_string(),
-                format!("{prune:?}"),
-                format!("{:.0}", qs.qps),
-                format!("{:.1}", qs.p50_us),
-                format!("{:.1}", qs.p95_us),
-                format!("{:.1}", qs.p99_us),
-                format!("{:.1}%", pruned_fraction * 100.0),
-            ]);
-            stats.push(PruneStats {
-                shards,
-                prune,
-                qs,
-                pruned_fraction,
-                report,
-            });
+                let qs = measure(&workload.queries, |node| {
+                    engine
+                        .search_top_k_observed(None, Some(node), &opts)
+                        .0
+                        .len()
+                });
+                rows.push(vec![
+                    workload.name.to_string(),
+                    shards.to_string(),
+                    format!("{prune:?}"),
+                    format!("{:.0}", qs.qps),
+                    format!("{:.1}", qs.p50_us),
+                    format!("{:.1}", qs.p95_us),
+                    format!("{:.1}", qs.p99_us),
+                    format!("{:.1}%", pruned_fraction * 100.0),
+                    report.blocks_skipped.to_string(),
+                ]);
+                stats.push(PruneStats {
+                    workload: workload.name,
+                    shards,
+                    prune,
+                    qs,
+                    pruned_fraction,
+                    report,
+                });
+            }
         }
     }
 
-    section("query latency: pruned vs unpruned per shard count");
+    section("query latency: pruned vs unpruned per workload and shard count");
     print_table(
         &[
-            "shards", "prune", "QPS", "p50 µs", "p95 µs", "p99 µs", "pruned",
+            "workload", "shards", "prune", "QPS", "p50 µs", "p95 µs", "p99 µs", "pruned", "blocks",
         ],
         &rows,
     );
@@ -160,23 +208,44 @@ fn main() {
     for pair in stats.chunks(2) {
         let (off, auto) = (&pair[0], &pair[1]);
         println!(
-            "shards={}: prune {:.2}x QPS vs off ({:.0} -> {:.0}), \
-             {:.1}% of candidates skipped unscored",
+            "{} shards={}: prune {:.2}x QPS vs off ({:.0} -> {:.0}), \
+             {:.1}% of candidate postings skipped, {} blocks jumped undecoded",
+            auto.workload,
             auto.shards,
             auto.qs.qps / off.qs.qps.max(1e-9),
             off.qs.qps,
             auto.qs.qps,
-            auto.pruned_fraction * 100.0
+            auto.pruned_fraction * 100.0,
+            auto.report.blocks_skipped
         );
     }
+    println!(
+        "postings memory: {} lists, {} postings; {} B positional, \
+         {} B block mirror",
+        footprint.lists, footprint.postings, footprint.positional_bytes, footprint.block_bytes
+    );
 
-    let json = render_json(smoke, docs.len(), n_queries, parallelism, &stats);
+    let json = render_json(
+        smoke,
+        docs.len(),
+        n_queries,
+        parallelism,
+        &footprint,
+        &stats,
+    );
     std::fs::write(&out_path, json).expect("write BENCH_prune.json");
     println!("wrote {out_path}");
 }
 
+/// A named query mix.
+struct Workload {
+    name: &'static str,
+    queries: Vec<RankNode>,
+}
+
 /// Per-configuration measurements.
 struct PruneStats {
+    workload: &'static str,
     shards: usize,
     prune: PruneMode,
     qs: QueryStats,
@@ -194,15 +263,15 @@ struct QueryStats {
 
 /// Time one closure over the whole workload (after a short warmup) and
 /// summarize per-query latency.
-fn measure(terms: &[Vec<String>], mut run: impl FnMut(&[String]) -> usize) -> QueryStats {
-    for t in terms.iter().take(5) {
-        run(t);
+fn measure(queries: &[RankNode], mut run: impl FnMut(&RankNode) -> usize) -> QueryStats {
+    for q in queries.iter().take(5) {
+        run(q);
     }
-    let mut lat_us: Vec<f64> = Vec::with_capacity(terms.len());
+    let mut lat_us: Vec<f64> = Vec::with_capacity(queries.len());
     let total = Instant::now();
-    for t in terms {
+    for q in queries {
         let start = Instant::now();
-        std::hint::black_box(run(t));
+        std::hint::black_box(run(q));
         lat_us.push(start.elapsed().as_secs_f64() * 1e6);
     }
     let elapsed = total.elapsed().as_secs_f64();
@@ -212,44 +281,105 @@ fn measure(terms: &[Vec<String>], mut run: impl FnMut(&[String]) -> usize) -> Qu
         lat_us[idx]
     };
     QueryStats {
-        qps: terms.len() as f64 / elapsed.max(1e-12),
+        qps: queries.len() as f64 / elapsed.max(1e-12),
         p50_us: pct(0.50),
         p95_us: pct(0.95),
         p99_us: pct(0.99),
     }
 }
 
+/// A term leaf on the `body-of-text` field.
+fn leaf(word: &str) -> RankNode {
+    RankNode::term(TermSpec::fielded("body-of-text", word))
+}
+
+/// A random common background word (Zipf-distributed, low rank = long
+/// posting list).
+fn bg_word(corpus: &GeneratedCorpus, zipf: &Zipf, rng: &mut StdRng) -> String {
+    corpus.background[zipf.sample(rng)].clone()
+}
+
+/// A random rare topic word (high scores on few documents — these are
+/// what drive the top-k threshold up early).
+fn topic_word(corpus: &GeneratedCorpus, zipf: &Zipf, rng: &mut StdRng) -> String {
+    let t = rng.gen_range(0..corpus.topics.len());
+    corpus.topics[t][zipf.sample(rng)].clone()
+}
+
 /// The same Zipf workload X14 draws: 1–3 words per query, mostly common
 /// background vocabulary, sometimes a rare topic word.
-fn zipf_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<Vec<String>> {
+fn zipf_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<RankNode> {
     let mut rng = StdRng::seed_from_u64(seed);
     let bg = Zipf::new(corpus.background.len(), 1.0);
     let topic = Zipf::new(corpus.topics[0].len(), 0.8);
     (0..n)
         .map(|_| {
             let k = rng.gen_range(1..=3);
-            (0..k)
-                .map(|_| {
-                    if rng.gen_bool(0.3) {
-                        let t = rng.gen_range(0..corpus.topics.len());
-                        corpus.topics[t][topic.sample(&mut rng)].clone()
-                    } else {
-                        corpus.background[bg.sample(&mut rng)].clone()
-                    }
-                })
-                .collect()
+            RankNode::List(
+                (0..k)
+                    .map(|_| {
+                        if rng.gen_bool(0.3) {
+                            leaf(&topic_word(corpus, &topic, &mut rng))
+                        } else {
+                            leaf(&bg_word(corpus, &bg, &mut rng))
+                        }
+                    })
+                    .collect(),
+            )
         })
         .collect()
 }
 
-/// The engine-level ranking expression for a term list.
-fn rank_node(terms: &[String]) -> RankNode {
-    RankNode::List(
-        terms
-            .iter()
-            .map(|t| RankNode::term(TermSpec::fielded("body-of-text", t)))
-            .collect(),
-    )
+/// Operator-tree-heavy workload: nested `and`/`or`/`and-not` shapes the
+/// block-max evaluator must prune *through* by propagating per-block
+/// bounds bottom-up. Every query is anchored by a rare topic word so a
+/// few high-scoring documents raise θ early and the common-word
+/// subtrees become block-skippable.
+fn tree_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<RankNode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg = Zipf::new(corpus.background.len(), 1.0);
+    let topic = Zipf::new(corpus.topics[0].len(), 0.8);
+    (0..n)
+        .map(|_| {
+            let anchor = leaf(&topic_word(corpus, &topic, &mut rng));
+            let a = leaf(&bg_word(corpus, &bg, &mut rng));
+            let b = leaf(&bg_word(corpus, &bg, &mut rng));
+            let c = leaf(&bg_word(corpus, &bg, &mut rng));
+            match rng.gen_range(0..4) {
+                0 => RankNode::Or(vec![anchor, RankNode::And(vec![a, b])]),
+                1 => RankNode::List(vec![anchor, RankNode::Or(vec![a, b]), c]),
+                2 => RankNode::Or(vec![
+                    RankNode::List(vec![anchor, a]),
+                    RankNode::AndNot(Box::new(b), Box::new(c)),
+                ]),
+                _ => RankNode::And(vec![
+                    RankNode::Or(vec![anchor, a]),
+                    RankNode::Or(vec![b, c]),
+                ]),
+            }
+        })
+        .collect()
+}
+
+/// Long-postings workload: the most common background words — the
+/// longest posting lists in the index, spanning the most blocks — with
+/// one rare topic anchor. Once the anchor's documents fill the heap,
+/// whole blocks of the common lists fall below θ and are jumped
+/// without decoding.
+fn long_postings_workload(corpus: &GeneratedCorpus, n: usize, seed: u64) -> Vec<RankNode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topic = Zipf::new(corpus.topics[0].len(), 0.8);
+    let head = corpus.background.len().min(8);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=2);
+            let mut leaves = vec![leaf(&topic_word(corpus, &topic, &mut rng))];
+            for _ in 0..k {
+                leaves.push(leaf(&corpus.background[rng.gen_range(0..head)]));
+            }
+            RankNode::List(leaves)
+        })
+        .collect()
 }
 
 /// Hand-rolled JSON artifact (schema documented in
@@ -259,15 +389,19 @@ fn render_json(
     n_docs: usize,
     n_queries: usize,
     parallelism: usize,
+    footprint: &starts_index::PostingsFootprint,
     stats: &[PruneStats],
 ) -> String {
     let configs: Vec<String> = stats
         .iter()
         .map(|s| {
             format!(
-                "    {{\"shards\": {}, \"prune\": \"{:?}\", \"qps\": {:.1}, \
+                "    {{\"workload\": \"{}\", \"shards\": {}, \"prune\": \"{:?}\", \
+                 \"qps\": {:.1}, \
                  \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \
-                 \"pruned_fraction\": {:.4}, \"skipped_docs\": {}, \"candidates\": {}}}",
+                 \"pruned_fraction\": {:.4}, \"skipped_docs\": {}, \"candidates\": {}, \
+                 \"blocks_skipped\": {}}}",
+                s.workload,
                 s.shards,
                 s.prune,
                 s.qs.qps,
@@ -276,7 +410,8 @@ fn render_json(
                 s.qs.p99_us,
                 s.pruned_fraction,
                 s.report.skipped_docs,
-                s.report.candidates
+                s.report.candidates,
+                s.report.blocks_skipped
             )
         })
         .collect();
@@ -290,7 +425,10 @@ fn render_json(
          \"note\": \"{note}\",\n  \
          \"smoke\": {smoke},\n  \"k\": {K},\n  \"queries\": {n_queries},\n  \
          \"docs\": {n_docs},\n  \"machine_parallelism\": {parallelism},\n  \
+         \"postings_bytes\": {{\"positional\": {}, \"blocks\": {}}},\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
+        footprint.positional_bytes,
+        footprint.block_bytes,
         configs.join(",\n")
     )
 }

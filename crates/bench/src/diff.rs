@@ -12,8 +12,11 @@
 //!   fails the gate;
 //! * otherwise the gate degrades to **invariant checks** on the fresh
 //!   run alone: every `qps` must be positive, `engine_speedup` must not
-//!   dip below 1, and pruning rows marked `"prune": "Auto"` must
-//!   actually prune (`pruned_fraction > 0`).
+//!   dip below 1, pruning rows marked `"prune": "Auto"` must actually
+//!   prune (`pruned_fraction > 0`), and monolithic (`"shards": 1`)
+//!   Auto rows that report `blocks_skipped` must have jumped at least
+//!   one whole block undecoded (sharding can shrink every posting list
+//!   under the block size, so multi-shard rows are exempt).
 //!
 //! Latency percentiles are deliberately not gated — they are far
 //! noisier than throughput on shared CI machines.
@@ -160,6 +163,13 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<DiffRepor
                 detail: format!("pruned_fraction {frac:.4}"),
             });
         }
+        for (path, blocks) in auto_block_skips(current) {
+            checks.push(Check {
+                name: format!("{path} skips blocks"),
+                ok: blocks > 0.0,
+                detail: format!("blocks_skipped {blocks:.0}"),
+            });
+        }
     }
     if checks.is_empty() {
         return Err(format!("no {b_name} metrics found to check"));
@@ -191,6 +201,24 @@ fn auto_prune_fractions(j: &Json) -> Vec<(String, f64)> {
         if obj.get("prune").and_then(Json::str_) == Some("Auto") {
             if let Some(frac) = obj.get("pruned_fraction").and_then(Json::num) {
                 out.push((path.to_string(), frac));
+            }
+        }
+    });
+    out
+}
+
+/// `blocks_skipped` of every monolithic (`"shards": 1`) object
+/// configured with `"prune": "Auto"` that reports the field. Block-Max
+/// WAND must jump whole blocks there; multi-shard rows may legitimately
+/// report zero when the per-shard lists fit in a single block.
+fn auto_block_skips(j: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk_objects(j, "", &mut |path, obj| {
+        if obj.get("prune").and_then(Json::str_) == Some("Auto")
+            && obj.get("shards").and_then(Json::num) == Some(1.0)
+        {
+            if let Some(blocks) = obj.get("blocks_skipped").and_then(Json::num) {
+                out.push((path.to_string(), blocks));
             }
         }
     });
@@ -359,6 +387,36 @@ mod tests {
         }
         let report = diff(&baseline, &broken, DEFAULT_QPS_TOLERANCE).expect("diff");
         assert!(!report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn monolithic_auto_rows_must_skip_blocks() {
+        let baseline = artifact(ARTIFACTS[2]);
+        let mut current = baseline.clone();
+        set_top(&mut current, "machine_parallelism", Json::Num(64.0));
+        // Zero out blocks_skipped everywhere: only the shards=1 Auto
+        // rows should trip the gate — multi-shard rows may have lists
+        // too short to span multiple blocks.
+        let mut zeroed_multi_only = current.clone();
+        for (j, multi_only) in [(&mut current, false), (&mut zeroed_multi_only, true)] {
+            if let Json::Obj(members) = j {
+                if let Some((_, Json::Arr(configs))) =
+                    members.iter_mut().find(|(k, _)| k == "configs")
+                {
+                    for cfg in configs.iter_mut() {
+                        let shards = cfg.get("shards").and_then(Json::num);
+                        if !multi_only || shards != Some(1.0) {
+                            set_top(cfg, "blocks_skipped", Json::Num(0.0));
+                        }
+                    }
+                }
+            }
+        }
+        let report = diff(&baseline, &current, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(!report.comparable);
+        assert!(!report.passed(), "{}", report.render());
+        let report = diff(&baseline, &zeroed_multi_only, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(report.passed(), "{}", report.render());
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Fixed-size compressed block postings and the skip-capable cursor —
+//! the storage layer behind Block-Max-WAND pruning (see
+//! `docs/performance.md` § Block-Max WAND).
+//!
+//! Every posting list is chunked into blocks of at most [`BLOCK_DOCS`]
+//! documents. Within a block, doc ids are delta-encoded against the
+//! previous posting (the previous *block's* last doc for the block's
+//! first entry) and term frequencies ride along, both as LEB128
+//! varints. Each block carries a small uncompressed header — last doc
+//! id, posting count, byte offset — so a cursor can decide whether a
+//! block can contain a target document, and what the block's best score
+//! is, *without decoding it*. That is the whole trick: `next_geq` seeks
+//! by header, decodes only the landing block, and counts every block it
+//! jumped clean over.
+//!
+//! Layout of one encoded list (`B` = number of blocks):
+//!
+//! ```text
+//! headers: [ {max_doc, count, offset} ; B ]     (uncompressed, 12 B each)
+//! data:    [ block 0 bytes | block 1 bytes | … | block B-1 bytes ]
+//! block b: (Δdoc varint, tf varint) × count_b
+//!          Δdoc of the first entry is against headers[b-1].max_doc
+//!          (0 for block 0), so any block decodes independently.
+//! ```
+//!
+//! Score bounds are *not* stored here — they depend on the ranking
+//! algorithm, so the engine computes them next to its [`crate::TermBounds`]
+//! sidecar and hands the per-block slice to [`BlockCursor::with_bounds`].
+
+/// Documents per block. 128 keeps headers tiny (one per 128 postings)
+/// while making a skipped block worth ~128 avoided score evaluations.
+pub const BLOCK_DOCS: usize = 128;
+
+/// The sentinel [`BlockCursor::doc`] returns once a cursor is past its
+/// last posting. Doc ids are `Vec` indices (`DocId(u32)`), so a real
+/// document can never carry this id.
+pub const EXHAUSTED: u32 = u32::MAX;
+
+/// The uncompressed per-block header: everything a cursor may read
+/// without decoding the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// The last (largest) doc id in the block.
+    pub max_doc: u32,
+    /// Postings in the block (`1..=BLOCK_DOCS`).
+    pub count: u16,
+    /// Byte offset of the block's encoded entries in the data stream.
+    pub offset: u32,
+}
+
+/// One posting list, block-compressed: per-block headers plus one
+/// contiguous varint stream.
+#[derive(Debug, Clone, Default)]
+pub struct BlockPostings {
+    headers: Vec<BlockHeader>,
+    data: Vec<u8>,
+    len: u64,
+}
+
+impl BlockPostings {
+    /// Encode a posting list given as `(doc, tf)` pairs with strictly
+    /// increasing doc ids below [`EXHAUSTED`].
+    ///
+    /// # Panics
+    /// Panics (debug builds) when doc ids are not strictly increasing.
+    pub fn encode(postings: &[(u32, u32)]) -> Self {
+        let mut headers = Vec::with_capacity(postings.len().div_ceil(BLOCK_DOCS));
+        let mut data = Vec::new();
+        let mut prev = 0u32;
+        for chunk in postings.chunks(BLOCK_DOCS) {
+            let offset = u32::try_from(data.len()).expect("block data exceeds u32 offsets");
+            for &(doc, tf) in chunk {
+                debug_assert!(
+                    doc < EXHAUSTED && (data.is_empty() && doc >= prev || doc > prev),
+                    "doc ids must be strictly increasing and below u32::MAX"
+                );
+                write_varint(&mut data, doc - prev);
+                write_varint(&mut data, tf);
+                prev = doc;
+            }
+            headers.push(BlockHeader {
+                max_doc: prev,
+                count: chunk.len() as u16,
+                offset,
+            });
+        }
+        BlockPostings {
+            headers,
+            data,
+            len: postings.len() as u64,
+        }
+    }
+
+    /// Total postings across all blocks.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// The header of block `b`.
+    pub fn header(&self, b: usize) -> &BlockHeader {
+        &self.headers[b]
+    }
+
+    /// Bytes held by this list: the varint stream plus the headers.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() + self.headers.len() * std::mem::size_of::<BlockHeader>()) as u64
+    }
+
+    /// Decode block `b` into the scratch vectors (cleared first).
+    fn decode_block(&self, b: usize, docs: &mut Vec<u32>, tfs: &mut Vec<u32>) {
+        docs.clear();
+        tfs.clear();
+        let h = &self.headers[b];
+        let mut pos = h.offset as usize;
+        let mut prev = if b == 0 {
+            0
+        } else {
+            self.headers[b - 1].max_doc
+        };
+        for _ in 0..h.count {
+            prev += read_varint(&self.data, &mut pos);
+            docs.push(prev);
+            tfs.push(read_varint(&self.data, &mut pos));
+        }
+    }
+}
+
+/// A forward-only cursor over a [`BlockPostings`] list with header-level
+/// skipping: `next()` steps one posting, `next_geq(d)` seeks to the
+/// first posting at or past `d` decoding only the landing block, and
+/// `block_max_score()` exposes the current block's score upper bound.
+/// The cursor tallies the blocks it jumped without decoding and the
+/// postings it actually rested on — the raw feed for the engine's
+/// `blocks_skipped` / `skipped_docs` telemetry.
+#[derive(Debug)]
+pub struct BlockCursor<'a> {
+    list: &'a BlockPostings,
+    /// Per-block score upper bounds (engine-computed); empty = unknown.
+    bounds: &'a [f64],
+    /// Current block; `list.n_blocks()` once exhausted.
+    block: usize,
+    pos: usize,
+    docs: Vec<u32>,
+    tfs: Vec<u32>,
+    blocks_skipped: u64,
+    visited: u64,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// A cursor positioned on the first posting (exhausted immediately
+    /// for an empty list), without score bounds.
+    pub fn new(list: &'a BlockPostings) -> Self {
+        Self::with_bounds(list, &[])
+    }
+
+    /// [`BlockCursor::new`] with per-block score upper bounds; `bounds[b]`
+    /// must dominate every score contribution a document of block `b`
+    /// can make. The engine derives these from the exact `term_weight`
+    /// values next to its global [`crate::TermBounds`] envelope.
+    pub fn with_bounds(list: &'a BlockPostings, bounds: &'a [f64]) -> Self {
+        let mut cursor = BlockCursor {
+            list,
+            bounds,
+            block: 0,
+            pos: 0,
+            docs: Vec::new(),
+            tfs: Vec::new(),
+            blocks_skipped: 0,
+            visited: 0,
+        };
+        if cursor.list.n_blocks() > 0 {
+            cursor
+                .list
+                .decode_block(0, &mut cursor.docs, &mut cursor.tfs);
+            cursor.visited = 1;
+        }
+        cursor
+    }
+
+    /// The current doc id, or [`EXHAUSTED`] past the end.
+    pub fn doc(&self) -> u32 {
+        if self.is_exhausted() {
+            EXHAUSTED
+        } else {
+            self.docs[self.pos]
+        }
+    }
+
+    /// Term frequency of the current posting.
+    ///
+    /// # Panics
+    /// Panics when the cursor is exhausted.
+    pub fn tf(&self) -> u32 {
+        self.tfs[self.pos]
+    }
+
+    /// Whether the cursor is past its last posting.
+    pub fn is_exhausted(&self) -> bool {
+        self.block >= self.list.n_blocks()
+    }
+
+    /// Advance to the next posting.
+    pub fn next(&mut self) {
+        if self.is_exhausted() {
+            return;
+        }
+        self.pos += 1;
+        if self.pos == self.docs.len() {
+            self.block += 1;
+            self.pos = 0;
+            if self.block < self.list.n_blocks() {
+                self.list
+                    .decode_block(self.block, &mut self.docs, &mut self.tfs);
+            }
+        }
+        if !self.is_exhausted() {
+            self.visited += 1;
+        }
+    }
+
+    /// Seek to the first posting with doc id `>= target`, decoding only
+    /// the block it lands in: candidate blocks are located through the
+    /// header `max_doc` fence posts, and every block passed clean over
+    /// is tallied in [`BlockCursor::blocks_skipped`] without being
+    /// decoded. A target at or before the current doc is a no-op.
+    pub fn next_geq(&mut self, target: u32) {
+        if self.is_exhausted() || target <= self.docs[self.pos] {
+            return;
+        }
+        if target > self.list.header(self.block).max_doc {
+            // Header-only seek to the first block that can hold target.
+            let rest = &self.list.headers[self.block + 1..];
+            let ahead = rest.partition_point(|h| h.max_doc < target);
+            self.blocks_skipped += ahead as u64;
+            self.block += 1 + ahead;
+            self.pos = 0;
+            if self.is_exhausted() {
+                return;
+            }
+            self.list
+                .decode_block(self.block, &mut self.docs, &mut self.tfs);
+        }
+        self.pos += self.docs[self.pos..].partition_point(|&d| d < target);
+        debug_assert!(
+            self.pos < self.docs.len(),
+            "header promised a doc >= target"
+        );
+        self.visited += 1;
+    }
+
+    /// Index of the current block.
+    pub fn block_index(&self) -> usize {
+        self.block
+    }
+
+    /// Last doc id of the current block (the header fence post).
+    ///
+    /// # Panics
+    /// Panics when the cursor is exhausted.
+    pub fn block_max_doc(&self) -> u32 {
+        self.list.header(self.block).max_doc
+    }
+
+    /// Score upper bound of the current block; `+inf` when the cursor
+    /// was built without bounds (no skipping is then ever justified).
+    pub fn block_max_score(&self) -> f64 {
+        self.bounds
+            .get(self.block)
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Header-only lookup: the first block at or after the current one
+    /// whose `max_doc` reaches `target` — the block a `next_geq(target)`
+    /// would land in — or `None` when the list ends before `target`.
+    /// Does not move the cursor and decodes nothing.
+    pub fn block_for(&self, target: u32) -> Option<usize> {
+        if self.is_exhausted() {
+            return None;
+        }
+        if self.list.header(self.block).max_doc >= target {
+            return Some(self.block);
+        }
+        let rest = &self.list.headers[self.block + 1..];
+        let ahead = rest.partition_point(|h| h.max_doc < target);
+        let b = self.block + 1 + ahead;
+        (b < self.list.n_blocks()).then_some(b)
+    }
+
+    /// Score upper bound of block `b` (see [`BlockCursor::block_max_score`]).
+    pub fn block_max_score_at(&self, b: usize) -> f64 {
+        self.bounds.get(b).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Last doc id of block `b`.
+    pub fn block_last_doc(&self, b: usize) -> u32 {
+        self.list.header(b).max_doc
+    }
+
+    /// Total postings in the underlying list.
+    pub fn len(&self) -> u64 {
+        self.list.len()
+    }
+
+    /// Whether the underlying list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Blocks jumped over without decoding, so far.
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped
+    }
+
+    /// Distinct postings the cursor has rested on, so far. The
+    /// difference `len() - visited()` is the number of postings the
+    /// cursor never paid a score evaluation for.
+    pub fn visited(&self) -> u64 {
+        self.visited
+    }
+}
+
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(list: &BlockPostings) -> Vec<(u32, u32)> {
+        let mut cursor = BlockCursor::new(list);
+        let mut out = Vec::new();
+        while !cursor.is_exhausted() {
+            out.push((cursor.doc(), cursor.tf()));
+            cursor.next();
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let postings = vec![(0, 1), (3, 2), (4, 1), (1000, 70000)];
+        let list = BlockPostings::encode(&postings);
+        assert_eq!(list.len(), 4);
+        assert_eq!(list.n_blocks(), 1);
+        assert_eq!(decode_all(&list), postings);
+    }
+
+    #[test]
+    fn round_trip_multi_block() {
+        let postings: Vec<(u32, u32)> = (0..1000).map(|i| (i * 3, i % 7 + 1)).collect();
+        let list = BlockPostings::encode(&postings);
+        assert_eq!(list.n_blocks(), 1000usize.div_ceil(BLOCK_DOCS));
+        assert_eq!(decode_all(&list), postings);
+        // Header fence posts partition the doc space.
+        assert_eq!(list.header(0).max_doc, (BLOCK_DOCS as u32 - 1) * 3);
+        assert_eq!(list.header(list.n_blocks() - 1).max_doc, 999 * 3);
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = BlockPostings::encode(&[]);
+        assert!(list.is_empty());
+        assert_eq!(list.n_blocks(), 0);
+        let cursor = BlockCursor::new(&list);
+        assert!(cursor.is_exhausted());
+        assert_eq!(cursor.doc(), EXHAUSTED);
+    }
+
+    #[test]
+    fn next_geq_skips_blocks_without_decoding() {
+        let postings: Vec<(u32, u32)> = (0..1000).map(|i| (i, 1)).collect();
+        let list = BlockPostings::encode(&postings);
+        let mut cursor = BlockCursor::new(&list);
+        cursor.next_geq(900);
+        assert_eq!(cursor.doc(), 900);
+        // Blocks 1..block(900) were passed without decode.
+        assert_eq!(cursor.block_index(), 900 / BLOCK_DOCS);
+        assert_eq!(cursor.blocks_skipped(), (900 / BLOCK_DOCS - 1) as u64);
+        // Only the first and the landing posting were rested on.
+        assert_eq!(cursor.visited(), 2);
+    }
+
+    #[test]
+    fn next_geq_is_monotone_and_clamps() {
+        let list = BlockPostings::encode(&[(5, 1), (9, 2), (200, 3)]);
+        let mut cursor = BlockCursor::new(&list);
+        cursor.next_geq(0); // target before current: no-op
+        assert_eq!(cursor.doc(), 5);
+        cursor.next_geq(6);
+        assert_eq!((cursor.doc(), cursor.tf()), (9, 2));
+        cursor.next_geq(9); // at current: no-op
+        assert_eq!(cursor.doc(), 9);
+        cursor.next_geq(201);
+        assert!(cursor.is_exhausted());
+        cursor.next(); // past end: stays exhausted
+        assert_eq!(cursor.doc(), EXHAUSTED);
+    }
+
+    #[test]
+    fn block_for_is_a_pure_lookup() {
+        let postings: Vec<(u32, u32)> = (0..300).map(|i| (i * 2, 1)).collect();
+        let list = BlockPostings::encode(&postings);
+        let cursor = BlockCursor::new(&list);
+        assert_eq!(cursor.block_for(0), Some(0));
+        assert_eq!(cursor.block_for(2 * BLOCK_DOCS as u32), Some(1));
+        assert_eq!(cursor.block_for(598), Some(2));
+        assert_eq!(cursor.block_for(599), None);
+        assert_eq!(cursor.doc(), 0, "lookup must not move the cursor");
+        assert_eq!(cursor.blocks_skipped(), 0);
+    }
+
+    #[test]
+    fn bounds_surface() {
+        let postings: Vec<(u32, u32)> = (0..200).map(|i| (i, 1)).collect();
+        let list = BlockPostings::encode(&postings);
+        let bounds = [0.5, 2.0];
+        let mut cursor = BlockCursor::with_bounds(&list, &bounds);
+        assert_eq!(cursor.block_max_score(), 0.5);
+        cursor.next_geq(BLOCK_DOCS as u32);
+        assert_eq!(cursor.block_max_score(), 2.0);
+        assert_eq!(cursor.block_max_score_at(0), 0.5);
+        let unbounded = BlockCursor::new(&list);
+        assert_eq!(unbounded.block_max_score(), f64::INFINITY);
+    }
+
+    #[test]
+    fn varint_extremes_round_trip() {
+        let postings = vec![(0, u32::MAX), (u32::MAX - 1, 1)];
+        let list = BlockPostings::encode(&postings);
+        assert_eq!(decode_all(&list), postings);
+    }
+
+    #[test]
+    fn compression_beats_raw_pairs() {
+        // Dense doc ids and small tfs: ~2 bytes per posting vs 8 raw.
+        let postings: Vec<(u32, u32)> = (0..10_000).map(|i| (i, 1)).collect();
+        let list = BlockPostings::encode(&postings);
+        assert!(list.bytes() < 8 * list.len() / 2, "bytes={}", list.bytes());
+    }
+}

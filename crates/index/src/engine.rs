@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use starts_text::{Analyzer, AnalyzerConfig, Thesaurus};
 
+use crate::blocks::{BlockCursor, BlockPostings, BLOCK_DOCS};
 use crate::boolean::{difference, intersect, prox_match, union, BoolNode};
 use crate::doc::{DocId, Document};
 use crate::index::{Index, IndexBuilder, Posting, TermBound, TermBounds};
@@ -147,10 +148,13 @@ pub struct TermStat {
 /// Dynamic-pruning mode for the ranked top-k path.
 ///
 /// Under [`PruneMode::Auto`] the engine records a [`TermBounds`] sidecar
-/// at build time and skips candidates whose score upper bound provably
-/// cannot enter the bounded result — returned hits stay bit-identical
-/// to the unpruned evaluation (scores, order, and tie-breaks; enforced
-/// by `crates/index/tests/prune_properties.rs`). [`PruneMode::Off`] is
+/// (whole-list *and* per-block weight maxima) at build time and runs
+/// bounded top-k queries through the Block-Max-WAND evaluator: postings
+/// whose score upper bound provably cannot enter the bounded result are
+/// never visited, and whole 128-doc blocks are jumped without being
+/// decoded. Returned hits stay bit-identical to the unpruned evaluation
+/// (scores, order, and tie-breaks; enforced by
+/// `crates/index/tests/prune_properties.rs`). [`PruneMode::Off`] is
 /// the escape hatch: no sidecar, no skipping, exactly the pre-pruning
 /// code path — diff a query against `Off` to diagnose any suspected
 /// exactness regression.
@@ -484,10 +488,8 @@ impl Engine {
         let mut leaves = Vec::new();
         self.resolve_leaves(node, &mut leaves);
         if let Some(k) = limit {
-            if self.prune == PruneMode::Auto {
-                if let Some(plan) = prune_plan(node, &leaves) {
-                    return self.eval_ranking_pruned(&leaves, &plan, k, hooks);
-                }
+            if self.prune == PruneMode::Auto && bmw_eligible(node, &leaves) {
+                return self.eval_ranking_bmw(node, &leaves, k, hooks);
             }
         }
         let candidates = candidate_docs(&leaves);
@@ -520,114 +522,287 @@ impl Engine {
         }
     }
 
-    /// The MaxScore-style pruned evaluator for flat term lists (see
-    /// `docs/performance.md` § Dynamic pruning). Bit-identical to the
-    /// unpruned path by construction:
+    /// The Block-Max-WAND evaluator (see `docs/performance.md` § Block-Max
+    /// WAND): skip-capable block cursors, WAND pivot selection against the
+    /// running threshold θ, and per-block score bounds propagated through
+    /// the whole operator tree. Bit-identical to the unpruned path by
+    /// construction:
     ///
-    /// * a candidate is skipped only when its *inflated* score upper
-    ///   bound is strictly below the current threshold θ — and θ is
-    ///   either the seeded raw-score floor (the floored heap rejects
-    ///   such docs anyway), the local heap floor once the heap holds
-    ///   `k` entries (a doc strictly below it can never displace an
-    ///   entry: ties break toward the smaller doc ids already held), or
-    ///   another shard's published heap floor (then `k` strictly better
-    ///   docs exist elsewhere in the collection);
-    /// * survivors are scored by the exact per-slot arithmetic of the
-    ///   unpruned path: present leaves accumulate
-    ///   `weight · term_weight(stats)` in tree order, absent leaves add
-    ///   an exact `+ 0.0`, and the weighted-mean division happens once.
+    /// * a document (or block of documents) is skipped only when its tree
+    ///   score upper bound is strictly below θ — and θ is either the
+    ///   seeded raw-score floor (the floored heap rejects such docs
+    ///   anyway), the local heap floor once the heap holds `k` entries (a
+    ///   doc strictly below it can never displace an entry: ties break
+    ///   toward the smaller doc ids already held), or another shard's
+    ///   published heap floor (then `k` strictly better docs exist
+    ///   elsewhere in the collection);
+    /// * the tree bound is computed by [`bmw_tree_bound`], which runs the
+    ///   *same* float expression in the *same* accumulation order as the
+    ///   exact evaluator with each leaf value replaced by a dominating
+    ///   leaf bound — every operator involved (`+`, `×` by a value in
+    ///   `[0, 1]`, `/` by a shared positive denominator, `min`, `max`) is
+    ///   monotone under IEEE round-to-nearest, so the bound dominates the
+    ///   exact score *bit-wise*, with no epsilon slack at all (tighter
+    ///   than the earlier flat-list pruner, which needed `(n+3)·ε` of
+    ///   headroom for its reordered suffix sums);
+    /// * survivors are scored by [`bmw_tree_exact`], whose per-leaf
+    ///   values and tree arithmetic mirror `score_tree` exactly.
     ///
-    /// The inflation (`plan.slack`) makes the float comparison safe:
-    /// `acc + suffix[pos]` is one summation order of per-leaf bounds,
-    /// each of which dominates (as a float) the leaf's actual
-    /// contribution, while the exact numerator is a different summation
-    /// order of the dominated values — it can exceed `acc + suffix`
-    /// only by summation-order rounding, which `(n + 3)·ε` of headroom
-    /// provably covers. Division by the positive denominator is
-    /// monotone, so `ub < θ ⇒ score < θ`.
-    fn eval_ranking_pruned(
+    /// Skips never cross a block boundary the bound argument does not
+    /// cover: a jump target is capped by every active leaf's covering
+    /// block's last doc + 1, so each skipped doc's contributions are
+    /// bounded by exactly the per-block maxima that were consulted.
+    fn eval_ranking_bmw(
         &self,
+        node: &RankNode,
         leaves: &[LeafCtx<'_>],
-        plan: &PrunePlan,
         k: usize,
         hooks: &PruneHooks<'_>,
     ) -> Vec<(DocId, f64)> {
-        let candidates = candidate_docs(leaves);
         let n = leaves.len();
-        let mut cursors = vec![0usize; n];
-        let mut tfs = vec![0u32; n];
+        let mut cursors: Vec<Option<BlockCursor<'_>>> = leaves
+            .iter()
+            .map(|l| match l.blocks {
+                Some(b) if !b.is_empty() => Some(BlockCursor::with_bounds(b, l.block_max)),
+                _ => None,
+            })
+            .collect();
+        let total_postings: u64 = cursors
+            .iter()
+            .map(|c| c.as_ref().map_or(0, |c| c.len()))
+            .sum();
         let mut top = TopK::with_floor(k, hooks.floor);
         let mut theta = top.threshold();
-        let mut skipped_docs = 0u64;
-        let mut skipped_leaves = 0u64;
         let mut threshold_updates = 0u64;
-        'docs: for &doc in &candidates {
+        let mut ub = vec![0.0_f64; n];
+        let mut vals = vec![0.0_f64; n];
+        // The overwhelmingly common query shape is a flat weighted list
+        // of term leaves. Its tree walk — add each child slot in order,
+        // divide by the constant denominator — is a plain loop, so run
+        // that loop directly and skip the recursion. The accumulation
+        // order is identical, so bounds and exact scores stay bit-equal
+        // to the general walk.
+        let flat_den: Option<f64> = match node {
+            RankNode::List(children)
+                if children.iter().all(|c| matches!(c, RankNode::Term { .. })) =>
+            {
+                let mut den = 0.0_f64;
+                for c in children {
+                    den += leaf_weight(c);
+                }
+                Some(den)
+            }
+            _ => None,
+        };
+        fn flat_list_eval(slots: &[f64], den: f64) -> f64 {
+            let mut num = 0.0_f64;
+            for &v in slots {
+                num += v;
+            }
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        }
+        let tree_bound = |slots: &[f64]| -> f64 {
+            match flat_den {
+                Some(den) => flat_list_eval(slots, den),
+                None => {
+                    let mut cur = 0;
+                    bmw_tree_bound(node, slots, &mut cur)
+                }
+            }
+        };
+        let tree_exact = |slots: &[f64]| -> f64 {
+            match flat_den {
+                Some(den) => flat_list_eval(slots, den),
+                None => {
+                    let mut cur = 0;
+                    bmw_tree_exact(node, slots, &mut cur)
+                }
+            }
+        };
+        // Frontier cache: `docs[i]` mirrors `cursors[i].doc()` (exhausted
+        // and absent cursors pin at `u32::MAX`), so the sort and the
+        // prefix walk never touch the cursors themselves.
+        let mut docs: Vec<u32> = cursors
+            .iter()
+            .map(|c| c.as_ref().map_or(u32::MAX, BlockCursor::doc))
+            .collect();
+        let mut live: Vec<usize> = Vec::with_capacity(n);
+        loop {
             if let Some(shared) = hooks.shared {
                 let global = shared.get();
                 if global > theta {
                     theta = global;
                 }
             }
-            for tf in tfs.iter_mut() {
-                *tf = 0;
+            live.clear();
+            live.extend((0..n).filter(|&i| docs[i] != u32::MAX));
+            if live.is_empty() {
+                break;
             }
-            let mut acc = 0.0_f64;
-            for (pos, &li) in plan.order.iter().enumerate() {
-                let mut ub = (acc + plan.suffix[pos]) * plan.slack;
-                if let Some(den) = plan.den {
-                    ub /= den;
+            live.sort_unstable_by_key(|&i| docs[i]);
+
+            // --- WAND pivot selection -----------------------------------
+            // Walk prefixes of the doc-sorted cursors, one equal-doc group
+            // at a time. A doc `d` can only draw contributions from
+            // cursors currently at or before `d`, so the tree bound over
+            // prefix leaves (at their whole-list bounds) dominates every
+            // doc before the *next* group. The bound must be evaluated at
+            // every prefix: `and` (min) makes it non-monotone in the
+            // active set, so a low bound here says nothing about the
+            // next, larger prefix.
+            let mut pivot: Option<(usize, u32)> = None; // (prefix end, doc)
+            if theta == f64::NEG_INFINITY {
+                // Nothing can be skipped yet: the first group is the pivot.
+                let d = docs[live[0]];
+                let end = live.iter().take_while(|&&i| docs[i] == d).count();
+                pivot = Some((end, d));
+            } else {
+                for s in ub.iter_mut() {
+                    *s = 0.0;
                 }
-                if ub < theta {
-                    skipped_docs += 1;
-                    skipped_leaves += (n - pos) as u64;
-                    continue 'docs;
-                }
-                // Monotone per-leaf cursor over the candidate sweep —
-                // amortized O(total postings), like the merge-join of
-                // the unpruned path.
-                if let Some(postings) = leaves[li].postings.first() {
-                    let cur = &mut cursors[li];
-                    while *cur < postings.len() && postings[*cur].doc < doc {
-                        *cur += 1;
+                let mut j = 0;
+                while j < live.len() {
+                    let d = docs[live[j]];
+                    while j < live.len() && docs[live[j]] == d {
+                        ub[live[j]] = leaves[live[j]].bound;
+                        j += 1;
                     }
-                    if let Some(p) = postings.get(*cur) {
-                        if p.doc == doc {
-                            tfs[li] = p.tf();
-                            acc += leaves[li].bound;
+                    // Skip on *strictly below* only: a bound equal to θ
+                    // may be a tie, and ties are never skipped. Spelled
+                    // via `partial_cmp` so an incomparable (NaN) bound
+                    // also refuses to skip.
+                    if tree_bound(&ub).partial_cmp(&theta) != Some(std::cmp::Ordering::Less) {
+                        pivot = Some((j, d));
+                        break;
+                    }
+                }
+            }
+            let Some((prefix_end, pivot_doc)) = pivot else {
+                break; // no prefix can reach θ: nothing left can compete
+            };
+            let next_doc = live.get(prefix_end).map_or(u32::MAX, |&i| docs[i]);
+
+            if docs[live[0]] == pivot_doc {
+                // Aligned: every prefix cursor sits on the pivot. Check
+                // the *current* blocks' score bounds.
+                for s in ub.iter_mut() {
+                    *s = 0.0;
+                }
+                for &i in &live[..prefix_end] {
+                    let c = cursors[i].as_ref().expect("live cursor");
+                    ub[i] = (leaves[i].weight * c.block_max_score()).max(0.0);
+                }
+                if tree_bound(&ub) < theta {
+                    // Shallow advance: everything up to the earliest
+                    // current-block boundary (or the next cursor's doc)
+                    // is covered by the bounds just consulted.
+                    let mut jump = next_doc;
+                    for &i in &live[..prefix_end] {
+                        let c = cursors[i].as_ref().expect("live cursor");
+                        jump = jump.min(c.block_max_doc().saturating_add(1));
+                    }
+                    for &i in &live[..prefix_end] {
+                        let c = cursors[i].as_mut().expect("live cursor");
+                        c.next_geq(jump);
+                        docs[i] = c.doc();
+                    }
+                    continue;
+                }
+                // Survivor: exact score with the unpruned arithmetic.
+                for s in vals.iter_mut() {
+                    *s = 0.0;
+                }
+                let doc = DocId(pivot_doc);
+                for &i in &live[..prefix_end] {
+                    let tf = cursors[i].as_ref().expect("live cursor").tf();
+                    if tf > 0 {
+                        vals[i] = leaves[i].weight
+                            * self
+                                .ranking
+                                .term_weight(&self.stats_for(doc, tf, leaves[i].df));
+                    }
+                }
+                let score = tree_exact(&vals);
+                if score > 0.0 {
+                    top.push(doc, score);
+                    let floor = top.threshold();
+                    if floor > theta {
+                        theta = floor;
+                        threshold_updates += 1;
+                        if let Some(shared) = hooks.shared {
+                            shared.raise(floor);
                         }
                     }
                 }
-            }
-            // Exact score in tree (leaf-index) order over present leaves.
-            let mut num = 0.0_f64;
-            for (leaf, &tf) in leaves.iter().zip(&tfs) {
-                if tf > 0 {
-                    num +=
-                        leaf.weight * self.ranking.term_weight(&self.stats_for(doc, tf, leaf.df));
+                for &i in &live[..prefix_end] {
+                    let c = cursors[i].as_mut().expect("live cursor");
+                    c.next();
+                    docs[i] = c.doc();
                 }
-            }
-            let score = match plan.den {
-                Some(den) => num / den,
-                None => num,
-            };
-            if score > 0.0 {
-                top.push(doc, score);
-                let floor = top.threshold();
-                if floor > theta {
-                    theta = floor;
-                    threshold_updates += 1;
-                    if let Some(shared) = hooks.shared {
-                        shared.raise(floor);
+            } else {
+                // Laggards sit before the pivot: a header-only lookup of
+                // the blocks that *would* cover it, no decoding.
+                for s in ub.iter_mut() {
+                    *s = 0.0;
+                }
+                for &i in &live[..prefix_end] {
+                    let c = cursors[i].as_ref().expect("live cursor");
+                    ub[i] = match c.block_for(pivot_doc) {
+                        Some(b) => (leaves[i].weight * c.block_max_score_at(b)).max(0.0),
+                        // List ends before the pivot: contributes nothing
+                        // to any doc from the pivot on.
+                        None => 0.0,
+                    };
+                }
+                if tree_bound(&ub) < theta {
+                    let mut jump = next_doc;
+                    for &i in &live[..prefix_end] {
+                        let c = cursors[i].as_ref().expect("live cursor");
+                        if let Some(b) = c.block_for(pivot_doc) {
+                            jump = jump.min(c.block_last_doc(b).saturating_add(1));
+                        }
+                    }
+                    for &i in &live[..prefix_end] {
+                        let c = cursors[i].as_mut().expect("live cursor");
+                        c.next_geq(jump);
+                        docs[i] = c.doc();
+                    }
+                } else {
+                    // Competitive: align the laggards onto the pivot and
+                    // re-run selection from the new frontier.
+                    for &i in &live[..prefix_end] {
+                        let c = cursors[i].as_mut().expect("live cursor");
+                        if c.doc() < pivot_doc {
+                            c.next_geq(pivot_doc);
+                            docs[i] = c.doc();
+                        }
                     }
                 }
             }
         }
         if let Some(c) = hooks.counters {
-            c.candidates
-                .fetch_add(candidates.len() as u64, Ordering::Relaxed);
-            c.skipped_docs.fetch_add(skipped_docs, Ordering::Relaxed);
+            let visited: u64 = cursors.iter().flatten().map(BlockCursor::visited).sum();
+            let blocks_skipped: u64 = cursors
+                .iter()
+                .flatten()
+                .map(BlockCursor::blocks_skipped)
+                .sum();
+            // BMW accounting is postings-grained: `candidates` is every
+            // posting entering evaluation, and a "skipped doc" is a
+            // posting the cursors never rested on — each one an avoided
+            // `term_weight` computation. The unpruned fallback keeps the
+            // older union-of-candidates granularity.
+            c.candidates.fetch_add(total_postings, Ordering::Relaxed);
+            c.skipped_docs
+                .fetch_add(total_postings - visited, Ordering::Relaxed);
             c.skipped_leaves
-                .fetch_add(skipped_leaves, Ordering::Relaxed);
+                .fetch_add(total_postings - visited, Ordering::Relaxed);
+            c.blocks_skipped
+                .fetch_add(blocks_skipped, Ordering::Relaxed);
             c.threshold_updates
                 .fetch_add(threshold_updates, Ordering::Relaxed);
         }
@@ -881,6 +1056,8 @@ impl Engine {
                     postings: Vec::new(),
                     cmp_docs: None,
                     bound: f64::INFINITY,
+                    blocks: None,
+                    block_max: &[],
                 };
                 // Track the resolved-key shape for the pruning bound: a
                 // finite bound needs exactly one vocabulary key, because
@@ -905,6 +1082,24 @@ impl Engine {
                     ctx.cmp_docs = Some(self.eval_term(spec));
                 }
                 ctx.bound = self.leaf_bound(&ctx, single.as_ref());
+                // A finite bound over non-empty postings implies a
+                // single key (see `leaf_bound`); wire up the key's
+                // block-compressed mirror and per-block weight maxima
+                // so Block-Max-WAND can skip through this leaf.
+                if ctx.bound.is_finite() && !ctx.postings.is_empty() {
+                    if let Some((field, key)) = &single {
+                        if let Some(tid) = self.index.term_id(key) {
+                            ctx.blocks = self.index.block_postings(*field, tid);
+                            if let Some(bm) = self
+                                .bounds
+                                .as_ref()
+                                .and_then(|b| b.block_maxima(*field, tid))
+                            {
+                                ctx.block_max = bm;
+                            }
+                        }
+                    }
+                }
                 out.push(ctx);
             }
             RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => {
@@ -1210,20 +1405,46 @@ struct LeafCtx<'a> {
     /// bound exists — then the whole query falls back to the exact
     /// unpruned path.
     bound: f64,
+    /// Block-compressed mirror of the leaf's single resolved key (set
+    /// only when `bound` is finite and postings exist) — what the
+    /// Block-Max-WAND cursor walks.
+    blocks: Option<&'a BlockPostings>,
+    /// Per-block maxima of the key's exact term weights (query weight
+    /// *not* folded in — applied at use), aligned with `blocks`.
+    block_max: &'a [f64],
 }
 
 /// Aggregate pruning telemetry for one query evaluation (summed across
 /// every shard of a [`crate::ShardedEngine`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PruneReport {
-    /// Candidate documents entering ranked evaluation.
+    /// Work entering ranked evaluation: on the Block-Max-WAND path the
+    /// total postings across all query leaves, on the unpruned fallback
+    /// the candidate documents of the k-way union.
     pub candidates: u64,
-    /// Candidates skipped without computing their exact score.
+    /// Work skipped without computing an exact score: postings the BMW
+    /// cursors never rested on (each one an avoided `term_weight`
+    /// computation), or candidate docs skipped on legacy paths.
     pub skipped_docs: u64,
-    /// Leaf probes those skips avoided (one per unexamined leaf).
+    /// Mirror of `skipped_docs` on the BMW path (one leaf probe avoided
+    /// per unvisited posting).
     pub skipped_leaves: u64,
+    /// Whole 128-doc blocks the cursors jumped over without decoding.
+    pub blocks_skipped: u64,
     /// Times a heap-floor rise tightened the pruning threshold.
     pub threshold_updates: u64,
+}
+
+impl PruneReport {
+    /// Fold another report into this one (aggregation across queries or
+    /// shards).
+    pub fn merge(&mut self, other: &PruneReport) {
+        self.candidates += other.candidates;
+        self.skipped_docs += other.skipped_docs;
+        self.skipped_leaves += other.skipped_leaves;
+        self.blocks_skipped += other.blocks_skipped;
+        self.threshold_updates += other.threshold_updates;
+    }
 }
 
 /// Shared atomic tallies behind a [`PruneReport`] — written once per
@@ -1233,6 +1454,7 @@ pub(crate) struct PruneCounters {
     pub(crate) candidates: AtomicU64,
     pub(crate) skipped_docs: AtomicU64,
     pub(crate) skipped_leaves: AtomicU64,
+    pub(crate) blocks_skipped: AtomicU64,
     pub(crate) threshold_updates: AtomicU64,
 }
 
@@ -1243,6 +1465,7 @@ impl PruneCounters {
             candidates: self.candidates.load(Ordering::Relaxed),
             skipped_docs: self.skipped_docs.load(Ordering::Relaxed),
             skipped_leaves: self.skipped_leaves.load(Ordering::Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
             threshold_updates: self.threshold_updates.load(Ordering::Relaxed),
         }
     }
@@ -1269,67 +1492,152 @@ impl PruneHooks<'_> {
     };
 }
 
-/// The precomputed pruning schedule for a flat list of single-key term
-/// leaves: leaf visit order by descending bound, suffix sums of the
-/// ordered bounds, the list's weight denominator, and a multiplicative
-/// slack that dominates floating-point summation-order error.
-struct PrunePlan {
-    /// Leaf indices, largest bound first.
-    order: Vec<usize>,
-    /// `suffix[j]` = sum of bounds of `order[j..]` (`suffix[n]` = 0).
-    suffix: Vec<f64>,
-    /// The `list` weight denominator; `None` for a bare term leaf
-    /// (scored without the weighted-mean division).
-    den: Option<f64>,
-    /// Upper-bound inflation factor (see `eval_ranking_pruned`).
-    slack: f64,
+/// Decide whether `node` (already flattened when the engine ignores
+/// fuzzy operators) has the shape the Block-Max-WAND evaluator handles:
+/// any tree of `term`/`list`/`and`/`or`/`and-not` (no `prox` — its
+/// positional predicate has no sound per-block bound), every leaf
+/// carrying a finite whole-list bound and, when it has postings, a
+/// block-compressed mirror with one recorded maximum per block. Any
+/// other shape falls back to the exact unpruned path, where pruning is
+/// a documented no-op.
+fn bmw_eligible(node: &RankNode, leaves: &[LeafCtx<'_>]) -> bool {
+    fn shape_ok(node: &RankNode) -> bool {
+        match node {
+            RankNode::Term { .. } => true,
+            RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => c.iter().all(shape_ok),
+            RankNode::AndNot(a, b) => shape_ok(a) && shape_ok(b),
+            RankNode::Prox { .. } => false,
+        }
+    }
+    shape_ok(node)
+        && !leaves.is_empty()
+        && leaves.iter().all(|l| {
+            l.bound.is_finite()
+                && (l.postings.is_empty()
+                    || matches!(l.blocks, Some(b) if b.n_blocks() == l.block_max.len()))
+        })
 }
 
-/// Decide whether `node` (already flattened when the engine ignores
-/// fuzzy operators) has the shape the pruned evaluator handles — a bare
-/// term or a flat `list` of terms, every leaf carrying a finite bound —
-/// and build the schedule if so. Any other shape falls back to the
-/// exact unpruned path, where pruning is a documented no-op.
-fn prune_plan(node: &RankNode, leaves: &[LeafCtx<'_>]) -> Option<PrunePlan> {
-    let den = match node {
-        RankNode::Term { .. } => None,
+/// Leaf count of a subtree — how many [`LeafCtx`] slots it consumes.
+fn n_leaves(node: &RankNode) -> usize {
+    match node {
+        RankNode::Term { .. } => 1,
+        RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => c.iter().map(n_leaves).sum(),
+        RankNode::AndNot(a, b) => n_leaves(a) + n_leaves(b),
+        RankNode::Prox { left, right, .. } => n_leaves(left) + n_leaves(right),
+    }
+}
+
+/// Score upper bound of a ranking tree given per-leaf upper bounds,
+/// consuming `ub` slots in the depth-first order `resolve_leaves` emits.
+///
+/// This is `score_tree`'s arithmetic verbatim — same expression, same
+/// accumulation order — applied to leaf *bounds* instead of leaf values.
+/// Because each leaf bound dominates its exact value as a float, and
+/// every operator here (`+` of non-negatives, `/` by the identical
+/// positive denominator, `min`, `max`) is monotone under IEEE
+/// round-to-nearest, the result dominates the exact tree score bit-wise
+/// with no epsilon slack.
+fn bmw_tree_bound(node: &RankNode, ub: &[f64], cursor: &mut usize) -> f64 {
+    match node {
+        RankNode::Term { .. } => {
+            let v = ub[*cursor];
+            *cursor += 1;
+            v
+        }
         RankNode::List(children) => {
-            if children.is_empty() || children.iter().any(|c| !matches!(c, RankNode::Term { .. })) {
-                return None;
-            }
-            // Same accumulation order as the unpruned List evaluation.
-            let mut den = 0.0;
+            let mut num = 0.0_f64;
+            let mut den = 0.0_f64;
             for c in children {
+                num += bmw_tree_bound(c, ub, cursor);
                 den += leaf_weight(c);
             }
             if den > 0.0 {
-                Some(den)
+                num / den
             } else {
-                return None;
+                0.0
             }
         }
-        _ => return None,
-    };
-    if leaves.iter().any(|l| !l.bound.is_finite()) {
-        return None;
+        RankNode::And(children) => {
+            if children.is_empty() {
+                return 0.0;
+            }
+            let mut acc = f64::INFINITY;
+            for c in children {
+                acc = f64::min(acc, bmw_tree_bound(c, ub, cursor));
+            }
+            f64::max(acc, 0.0)
+        }
+        RankNode::Or(children) => {
+            let mut acc = 0.0_f64;
+            for c in children {
+                acc = f64::max(acc, bmw_tree_bound(c, ub, cursor));
+            }
+            acc
+        }
+        RankNode::AndNot(a, b) => {
+            let pos = bmw_tree_bound(a, ub, cursor);
+            // The negative side only attenuates: the exact evaluator
+            // multiplies by `1 - neg.clamp(0, 1)` ∈ [0, 1] and subtree
+            // scores are non-negative, so `pos` alone is a sound bound.
+            // Its leaf slots must still be consumed to stay aligned.
+            *cursor += n_leaves(b);
+            pos
+        }
+        // Excluded by the shape gate; +inf disables pruning defensively.
+        RankNode::Prox { .. } => f64::INFINITY,
     }
-    let mut order: Vec<usize> = (0..leaves.len()).collect();
-    order.sort_by(|&a, &b| leaves[b].bound.total_cmp(&leaves[a].bound));
-    let mut suffix = vec![0.0; leaves.len() + 1];
-    for j in (0..leaves.len()).rev() {
-        suffix[j] = leaves[order[j]].bound + suffix[j + 1];
+}
+
+/// Exact score of a ranking tree given per-leaf values, consuming
+/// `vals` slots in the depth-first order `resolve_leaves` emits. The
+/// scalar mirror of `score_tree`'s per-slot arithmetic (same
+/// expressions, same accumulation order), so Block-Max-WAND survivors
+/// score bit-identically to the unpruned path.
+fn bmw_tree_exact(node: &RankNode, vals: &[f64], cursor: &mut usize) -> f64 {
+    match node {
+        RankNode::Term { .. } => {
+            let v = vals[*cursor];
+            *cursor += 1;
+            v
+        }
+        RankNode::List(children) => {
+            let mut num = 0.0_f64;
+            let mut den = 0.0_f64;
+            for c in children {
+                num += bmw_tree_exact(c, vals, cursor);
+                den += leaf_weight(c);
+            }
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        }
+        RankNode::And(children) => {
+            if children.is_empty() {
+                return 0.0;
+            }
+            let mut acc = f64::INFINITY;
+            for c in children {
+                acc = f64::min(acc, bmw_tree_exact(c, vals, cursor));
+            }
+            f64::max(acc, 0.0)
+        }
+        RankNode::Or(children) => {
+            let mut acc = 0.0_f64;
+            for c in children {
+                acc = f64::max(acc, bmw_tree_exact(c, vals, cursor));
+            }
+            acc
+        }
+        RankNode::AndNot(a, b) => {
+            let pos = bmw_tree_exact(a, vals, cursor);
+            let neg = bmw_tree_exact(b, vals, cursor);
+            pos * (1.0 - neg.clamp(0.0, 1.0))
+        }
+        RankNode::Prox { .. } => unreachable!("Prox is excluded by the BMW shape gate"),
     }
-    // Any two floating-point summation orders of n non-negative terms
-    // differ by at most a factor ~(1 + ε/2)^(n-1) each way; (n + 3)·ε
-    // of headroom dominates that plus the rounding of the slack
-    // multiplication and the division for every realistic n.
-    let slack = 1.0 + (leaves.len() as f64 + 3.0) * f64::EPSILON;
-    Some(PrunePlan {
-        order,
-        suffix,
-        den,
-        slack,
-    })
 }
 
 /// Record, per (field, term) key, the float max/min of the exact term
@@ -1356,27 +1664,39 @@ fn compute_term_bounds(
         };
         let mut max = f64::NEG_INFINITY;
         let mut min = f64::INFINITY;
-        for p in postings {
-            let st = TermDocStats {
-                tf: p.tf(),
-                df,
-                n_docs,
-                doc_tokens: index.doc_token_count(p.doc),
-                avg_tokens,
-                doc_norm: doc_norms[p.doc.0 as usize],
-            };
-            let w = ranking.term_weight(&st);
-            // `total_cmp` extrema: a NaN weight poisons the envelope
-            // (it sorts above +inf / below -inf), correctly disabling
-            // pruning for the key.
-            if w.total_cmp(&max).is_gt() {
-                max = w;
+        // Per-block maxima ride along in the same pass, chunked exactly
+        // as `BlockPostings::encode` chunks the list, so maxima line up
+        // one-to-one with the blocks the BMW cursors walk.
+        let mut block_max = Vec::with_capacity(postings.len().div_ceil(BLOCK_DOCS));
+        for chunk in postings.chunks(BLOCK_DOCS) {
+            let mut bmax = f64::NEG_INFINITY;
+            for p in chunk {
+                let st = TermDocStats {
+                    tf: p.tf(),
+                    df,
+                    n_docs,
+                    doc_tokens: index.doc_token_count(p.doc),
+                    avg_tokens,
+                    doc_norm: doc_norms[p.doc.0 as usize],
+                };
+                let w = ranking.term_weight(&st);
+                // `total_cmp` extrema: a NaN weight poisons the envelope
+                // (it sorts above +inf / below -inf), correctly disabling
+                // pruning for the key.
+                if w.total_cmp(&max).is_gt() {
+                    max = w;
+                }
+                if w.total_cmp(&min).is_lt() {
+                    min = w;
+                }
+                if w.total_cmp(&bmax).is_gt() {
+                    bmax = w;
+                }
             }
-            if w.total_cmp(&min).is_lt() {
-                min = w;
-            }
+            block_max.push(bmax);
         }
         out.insert(field, tid, TermBound { max, min });
+        out.insert_block_max(field, tid, block_max);
     }
     out
 }

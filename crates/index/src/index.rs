@@ -4,6 +4,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use starts_text::{Analyzer, LangTag};
 
+use crate::blocks::BlockPostings;
 use crate::doc::{DocId, Document};
 use crate::schema::{FieldId, Schema, ANY_FIELD};
 
@@ -68,6 +69,12 @@ pub(crate) struct TermBound {
 #[derive(Debug, Default)]
 pub struct TermBounds {
     bounds: HashMap<(FieldId, TermId), TermBound>,
+    /// Per-block maxima of the same weights, one entry per 128-doc block
+    /// of the key's posting list (see [`crate::blocks::BLOCK_DOCS`]) —
+    /// the "block-max" side of Block-Max-WAND. Each value is the float
+    /// max of the exact weights of its block only, so it is usually far
+    /// tighter than the whole-list `max` above.
+    block_max: HashMap<(FieldId, TermId), Vec<f64>>,
 }
 
 impl TermBounds {
@@ -80,6 +87,43 @@ impl TermBounds {
     pub(crate) fn get(&self, field: FieldId, term: TermId) -> Option<TermBound> {
         self.bounds.get(&(field, term)).copied()
     }
+
+    /// Record the per-block weight maxima for one key.
+    pub(crate) fn insert_block_max(&mut self, field: FieldId, term: TermId, maxima: Vec<f64>) {
+        self.block_max.insert((field, term), maxima);
+    }
+
+    /// The per-block weight maxima recorded for a key, if any.
+    pub(crate) fn block_maxima(&self, field: FieldId, term: TermId) -> Option<&[f64]> {
+        self.block_max.get(&(field, term)).map(Vec::as_slice)
+    }
+}
+
+/// Memory accounting for an index's posting storage, split by
+/// representation so the block codec's compression win is measurable
+/// (`Index::postings_footprint`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostingsFootprint {
+    /// Number of posting lists (distinct `(field, term)` keys).
+    pub lists: u64,
+    /// Total postings across all lists.
+    pub postings: u64,
+    /// Bytes held by the uncompressed positional postings (`Posting`
+    /// structs plus their position vectors).
+    pub positional_bytes: u64,
+    /// Bytes held by the block-compressed doc/tf streams, headers
+    /// included.
+    pub block_bytes: u64,
+}
+
+impl PostingsFootprint {
+    /// Fold another footprint into this one (shard aggregation).
+    pub fn merge(&mut self, other: &PostingsFootprint) {
+        self.lists += other.lists;
+        self.postings += other.postings;
+        self.positional_bytes += other.positional_bytes;
+        self.block_bytes += other.block_bytes;
+    }
 }
 
 /// An immutable, fully-built index.
@@ -90,6 +134,11 @@ pub struct Index {
     terms: Vec<String>,
     vocab: HashMap<String, TermId>,
     postings: HashMap<(FieldId, TermId), Vec<Posting>>,
+    /// Block-compressed `(doc, tf)` mirror of every posting list, built
+    /// once in [`IndexBuilder::build`] — the skippable representation
+    /// Block-Max-WAND cursors walk (positions stay in `postings`, which
+    /// remains the source of truth for `prox` and stats reporting).
+    blocks: HashMap<(FieldId, TermId), BlockPostings>,
     docs: Vec<StoredDoc>,
     total_tokens: u64,
     /// Languages observed per field, for metadata export.
@@ -121,6 +170,7 @@ impl IndexBuilder {
                 terms: Vec::new(),
                 vocab: HashMap::new(),
                 postings: HashMap::new(),
+                blocks: HashMap::new(),
                 docs: Vec::new(),
                 total_tokens: 0,
                 field_langs: HashMap::new(),
@@ -181,9 +231,18 @@ impl IndexBuilder {
         doc_id
     }
 
-    /// Finish building.
+    /// Finish building: freezes the positional lists and encodes the
+    /// block-compressed `(doc, tf)` mirror each one (delta + varint in
+    /// 128-doc blocks) that skip-capable cursors walk.
     pub fn build(self) -> Index {
-        self.inner
+        let mut index = self.inner;
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for (&key, list) in &index.postings {
+            scratch.clear();
+            scratch.extend(list.iter().map(|p| (p.doc.0, p.tf())));
+            index.blocks.insert(key, BlockPostings::encode(&scratch));
+        }
+        index
     }
 }
 
@@ -278,8 +337,13 @@ impl Index {
     }
 
     /// Document frequency of a term in a field (`Document-frequency`).
+    /// Doc ids are `u32`, so a list can never exceed `u32::MAX` entries;
+    /// the checked conversion turns a broken invariant into a loud
+    /// panic instead of a silent truncation.
     pub fn df(&self, field: FieldId, term: &str) -> u32 {
-        self.postings(field, term).map_or(0, |p| p.len() as u32)
+        self.postings(field, term).map_or(0, |p| {
+            u32::try_from(p.len()).expect("posting list longer than the u32 doc-id space")
+        })
     }
 
     /// Total postings (sum of tf over docs) of a term in a field — the
@@ -338,6 +402,31 @@ impl Index {
     /// The interned id of an index-normalized term, if present.
     pub(crate) fn term_id(&self, term: &str) -> Option<TermId> {
         self.vocab.get(term).copied()
+    }
+
+    /// The block-compressed mirror of a posting list, if built.
+    pub(crate) fn block_postings(&self, field: FieldId, term: TermId) -> Option<&BlockPostings> {
+        self.blocks.get(&(field, term))
+    }
+
+    /// Memory held by posting storage, split into the uncompressed
+    /// positional lists and the block-compressed doc/tf mirror, so the
+    /// codec's compression ratio is directly observable.
+    pub fn postings_footprint(&self) -> PostingsFootprint {
+        let mut fp = PostingsFootprint::default();
+        for list in self.postings.values() {
+            fp.lists += 1;
+            fp.postings += list.len() as u64;
+            fp.positional_bytes += (list.len() * std::mem::size_of::<Posting>()) as u64
+                + list
+                    .iter()
+                    .map(|p| (p.positions.len() * std::mem::size_of::<u32>()) as u64)
+                    .sum::<u64>();
+        }
+        for blocks in self.blocks.values() {
+            fp.block_bytes += blocks.bytes();
+        }
+        fp
     }
 }
 
@@ -467,6 +556,35 @@ mod tests {
         assert_eq!(idx.n_docs(), 0);
         assert_eq!(idx.avg_doc_tokens(), 0.0);
         assert_eq!(idx.vocabulary_size(), 0);
+    }
+
+    #[test]
+    fn block_mirror_matches_positional_lists() {
+        let idx = small_index();
+        for (field, tid, _, list) in idx.all_postings() {
+            let blocks = idx.block_postings(field, tid).expect("mirror built");
+            assert_eq!(blocks.len(), list.len() as u64);
+            let mut cursor = crate::blocks::BlockCursor::new(blocks);
+            for p in list {
+                assert_eq!((cursor.doc(), cursor.tf()), (p.doc.0, p.tf()));
+                cursor.next();
+            }
+            assert!(cursor.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn footprint_counts_both_representations() {
+        let idx = small_index();
+        let fp = idx.postings_footprint();
+        assert!(fp.lists > 0);
+        assert!(fp.postings > 0);
+        assert!(fp.positional_bytes > 0);
+        assert!(fp.block_bytes > 0);
+        // Varint doc/tf pairs are far smaller than positional postings.
+        assert!(fp.block_bytes < fp.positional_bytes);
+        let empty = IndexBuilder::new(plain_analyzer()).build();
+        assert_eq!(empty.postings_footprint(), PostingsFootprint::default());
     }
 
     #[test]

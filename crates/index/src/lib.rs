@@ -27,6 +27,7 @@
 //!   frequency, term weight, document frequency, document size and token
 //!   count (§4.2, Example 8).
 
+pub mod blocks;
 pub mod boolean;
 pub mod doc;
 pub mod engine;
@@ -37,10 +38,11 @@ pub mod schema;
 pub mod sharded;
 pub mod topk;
 
+pub use blocks::{BlockCursor, BlockHeader, BlockPostings, BLOCK_DOCS};
 pub use boolean::BoolNode;
 pub use doc::{DocId, Document, FieldValue};
 pub use engine::{Engine, EngineConfig, Hit, PruneMode, PruneReport, RankNode, TermStat};
-pub use index::{Index, IndexBuilder, Posting, TermBounds};
+pub use index::{Index, IndexBuilder, Posting, PostingsFootprint, TermBounds};
 pub use matchspec::{CmpOp, TermMatch, TermSpec};
 pub use ranking::{ranking_by_id, RankingAlgorithm, ScoreRange};
 pub use schema::{FieldId, Schema, ANY_FIELD};

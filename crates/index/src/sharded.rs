@@ -29,7 +29,7 @@ use crate::doc::{DocId, Document};
 use crate::engine::{
     Engine, EngineConfig, Hit, PruneCounters, PruneHooks, PruneReport, RankNode, TermStat,
 };
-use crate::index::{Index, IndexBuilder};
+use crate::index::{Index, IndexBuilder, PostingsFootprint};
 use crate::matchspec::TermSpec;
 use crate::ranking::RankingAlgorithm;
 use crate::schema::{FieldId, Schema};
@@ -540,6 +540,17 @@ impl ShardedEngine {
             Some(c) => c.total_tokens(),
             None => self.shards[0].index().total_tokens(),
         }
+    }
+
+    /// Memory held by the postings representations, summed across all
+    /// shards — both the positional lists and the compressed block
+    /// mirror the Block-Max-WAND evaluator seeks over.
+    pub fn postings_footprint(&self) -> PostingsFootprint {
+        let mut total = PostingsFootprint::default();
+        for shard in &self.shards {
+            total.merge(&shard.index().postings_footprint());
+        }
+        total
     }
 
     /// Mean document length in tokens across all shards.

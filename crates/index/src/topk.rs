@@ -110,7 +110,9 @@ impl TopK {
     /// *strictly* below it cannot enter the result (an equal score may
     /// still win its doc-id tie-break). The heap-floor score once `k`
     /// entries are held, else the score floor (`-inf` without one);
-    /// `+inf` for `k = 0`, which accepts nothing.
+    /// `+inf` for `k = 0`, which accepts nothing. This is the θ the
+    /// Block-Max-WAND evaluator prunes against: blocks whose score
+    /// upper bound falls strictly below it are skipped undecoded.
     pub fn threshold(&self) -> f64 {
         if self.k == 0 {
             f64::INFINITY
@@ -134,10 +136,11 @@ impl TopK {
 
 /// A monotonically rising score threshold shared across concurrently
 /// searching shards: an `AtomicU64` holding `f64` bits. Each shard
-/// publishes its heap floor as it rises; any shard may then skip a
-/// document whose score upper bound is *strictly* below the cell's
-/// value, because `k` strictly better documents already exist
-/// somewhere in the collection. Only values that compare greater under
+/// publishes its heap floor as it rises; any shard's Block-Max-WAND
+/// loop may then skip a document — or a whole posting block — whose
+/// score upper bound is *strictly* below the cell's value, because `k`
+/// strictly better documents already exist somewhere in the
+/// collection. Only values that compare greater under
 /// plain `f64` ordering land in the cell (NaN never does), so the
 /// threshold can only tighten.
 #[derive(Debug)]

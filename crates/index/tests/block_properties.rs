@@ -1,0 +1,137 @@
+//! Property-based tests for the block postings codec and the
+//! skip-capable cursor: delta+varint encode/decode must round-trip any
+//! posting list (including pathological tf runs and huge doc-id gaps),
+//! and `next_geq` must land exactly where a linear scan would, under
+//! arbitrary interleavings of `next` and `next_geq`.
+
+use proptest::prelude::*;
+use starts_index::{BlockCursor, BlockPostings, BLOCK_DOCS};
+
+/// An arbitrary posting list: strictly increasing doc ids built from
+/// arbitrary positive gaps (1 to a whole-block-sized jump), each with an
+/// arbitrary term frequency — including tf 0 and near-`u32::MAX` runs
+/// the index itself never produces but the codec must not corrupt.
+fn arb_postings() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec(
+        (
+            1u32..3 * BLOCK_DOCS as u32,
+            prop_oneof![Just(0u32), 1u32..100, Just(u32::MAX - 1), Just(u32::MAX)],
+        ),
+        0..600,
+    )
+    .prop_map(|gaps| {
+        let mut doc = 0u32;
+        gaps.into_iter()
+            .map(|(gap, tf)| {
+                doc += gap;
+                (doc, tf)
+            })
+            .collect()
+    })
+}
+
+/// One cursor operation: a single-step advance or a seek relative to
+/// the current doc (0 = a no-op backward/at-current seek, larger =
+/// anywhere from within the current block to several blocks ahead).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Next,
+    NextGeq(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Op::Next),
+            (0u32..5 * BLOCK_DOCS as u32).prop_map(Op::NextGeq),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    /// Encode → decode is the identity, block structure included.
+    #[test]
+    fn codec_round_trips(postings in arb_postings()) {
+        let list = BlockPostings::encode(&postings);
+        prop_assert_eq!(list.len(), postings.len() as u64);
+        prop_assert_eq!(list.n_blocks(), postings.len().div_ceil(BLOCK_DOCS));
+        let mut cursor = BlockCursor::new(&list);
+        for &(doc, tf) in &postings {
+            prop_assert!(!cursor.is_exhausted());
+            prop_assert_eq!((cursor.doc(), cursor.tf()), (doc, tf));
+            cursor.next();
+        }
+        prop_assert!(cursor.is_exhausted());
+        // Header fence posts are exactly the per-block last doc ids.
+        for b in 0..list.n_blocks() {
+            let chunk = &postings[b * BLOCK_DOCS..((b + 1) * BLOCK_DOCS).min(postings.len())];
+            prop_assert_eq!(list.header(b).max_doc, chunk.last().unwrap().0);
+            prop_assert_eq!(usize::from(list.header(b).count), chunk.len());
+        }
+        // Every posting visited once, no block ever jumped.
+        prop_assert_eq!(cursor.visited(), postings.len() as u64);
+        prop_assert_eq!(cursor.blocks_skipped(), 0);
+    }
+
+    /// Under any interleaving of `next` / `next_geq`, the skipping
+    /// cursor tracks a linear-scan reference position exactly, and its
+    /// work counters stay consistent (visited ≤ len, each posting
+    /// counted at most once).
+    #[test]
+    fn next_geq_equals_linear_scan(postings in arb_postings(), ops in arb_ops()) {
+        let list = BlockPostings::encode(&postings);
+        let mut cursor = BlockCursor::new(&list);
+        let mut pos = 0usize; // reference: index into `postings`
+        for op in ops {
+            match op {
+                Op::Next => {
+                    if pos < postings.len() {
+                        pos += 1;
+                    }
+                    cursor.next();
+                }
+                Op::NextGeq(delta) => {
+                    if pos >= postings.len() {
+                        continue;
+                    }
+                    // Seek targets relative to the current doc so they
+                    // land before, at, inside, and past the current
+                    // block with roughly equal probability.
+                    let target = postings[pos].0.saturating_add(delta);
+                    while pos < postings.len() && postings[pos].0 < target {
+                        pos += 1;
+                    }
+                    cursor.next_geq(target);
+                }
+            }
+            match postings.get(pos) {
+                Some(&(doc, tf)) => {
+                    prop_assert!(!cursor.is_exhausted());
+                    prop_assert_eq!((cursor.doc(), cursor.tf()), (doc, tf));
+                }
+                None => prop_assert!(cursor.is_exhausted()),
+            }
+        }
+        prop_assert!(cursor.visited() <= list.len());
+        prop_assert!(cursor.blocks_skipped() as usize <= list.n_blocks());
+    }
+
+    /// `block_for` is a pure header lookup: it agrees with where a real
+    /// seek lands, and never moves the cursor.
+    #[test]
+    fn block_for_predicts_the_seek(postings in arb_postings(), target_gap in 0u32..10 * BLOCK_DOCS as u32) {
+        prop_assume!(!postings.is_empty());
+        let list = BlockPostings::encode(&postings);
+        let cursor = BlockCursor::new(&list);
+        let target = postings[0].0.saturating_add(target_gap);
+        let predicted = cursor.block_for(target);
+        prop_assert_eq!(cursor.doc(), postings[0].0, "lookup moved the cursor");
+        let mut seeker = BlockCursor::new(&list);
+        seeker.next_geq(target);
+        match predicted {
+            Some(b) => prop_assert_eq!(seeker.block_index(), b),
+            None => prop_assert!(seeker.is_exhausted()),
+        }
+    }
+}

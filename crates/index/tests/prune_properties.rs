@@ -1,10 +1,11 @@
-//! Property-based tests for dynamic pruning: the score-upper-bound
-//! pruned top-k path must be *bit-identical* — scores, ordering, and
-//! doc-id tie-breaks — to the naive full-sort evaluator and to an
-//! engine with pruning disabled, for every ranking algorithm, for flat
-//! weighted term lists (the shape the pruner accelerates) and for
-//! arbitrary operator trees (the shape it must fall back on), across
-//! shard counts {1, 2, 3, 7} and k ∈ {1, 10, > corpus}.
+//! Property-based tests for dynamic pruning: the Block-Max-WAND top-k
+//! path must be *bit-identical* — scores, ordering, and doc-id
+//! tie-breaks — to the naive full-sort evaluator and to an engine with
+//! pruning disabled, for every ranking algorithm, for flat weighted
+//! term lists, for the and/or/weighted operator trees BMW prunes
+//! *through*, and for arbitrary expressions including the `prox` shape
+//! it must fall back on, across shard counts {1, 2, 3, 7} and
+//! k ∈ {1, 10, > corpus}.
 
 use proptest::prelude::*;
 use starts_index::{
@@ -44,9 +45,8 @@ fn arb_leaf() -> impl Strategy<Value = RankNode> {
         .prop_map(|(w, q)| RankNode::weighted(TermSpec::any(VOCAB[w]), f64::from(q) * 0.25))
 }
 
-/// A flat weighted `list(...)` of plain term leaves — exactly the
-/// expression shape `prune_plan` accepts, so these inputs actually run
-/// the pruned evaluator rather than the exact fallback.
+/// A flat weighted `list(...)` of plain term leaves — the classic WAND
+/// workload shape, always eligible for the block-max evaluator.
 fn arb_flat_list() -> impl Strategy<Value = RankNode> {
     prop_oneof![
         arb_leaf(),
@@ -54,8 +54,23 @@ fn arb_flat_list() -> impl Strategy<Value = RankNode> {
     ]
 }
 
-/// A ranking expression using every operator the engine scores — the
-/// pruner must recognize these as out of scope and fall back exactly.
+/// An and/or/weighted operator tree *without* `prox` — the shapes
+/// Block-Max WAND prunes through by propagating per-block bounds
+/// bottom-up, rather than falling back to the exact scan.
+fn arb_bmw_tree() -> impl Strategy<Value = RankNode> {
+    arb_leaf().prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::List),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| RankNode::AndNot(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// A ranking expression using every operator the engine scores —
+/// including `prox`, which the block-max evaluator must recognize as
+/// out of scope and fall back on exactly.
 fn arb_rank_expr() -> impl Strategy<Value = RankNode> {
     arb_leaf().prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
@@ -134,6 +149,49 @@ fn pruner_engages_on_skewed_corpus() {
     assert!(report.candidates >= 10, "{report:?}");
 }
 
+/// Block-Max WAND must actually *skip whole blocks without decoding
+/// them*, not merely skip documents. Two heavy docs (0 and 650) pin the
+/// threshold above everything a lone `alpha` can score; the ~5 blocks
+/// of light docs between them are non-competitive, so the `alpha`
+/// cursor's `next_geq(650)` must jump straight over them via headers
+/// alone. Deterministic: a regression that decodes every block (or
+/// disables block skipping) fails here, not just in the benchmarks.
+#[test]
+fn block_max_wand_skips_blocks() {
+    let heavy = "omega omega omega alpha";
+    let mut docs = Vec::with_capacity(700);
+    for d in 0..700 {
+        let body = if d == 0 || d == 650 { heavy } else { "alpha" };
+        docs.push(Document::new().field("body-of-text", body));
+    }
+    let engine = ShardedEngine::build(&docs, config("Plain-1", PruneMode::Auto, 1));
+    let expr = RankNode::List(vec![
+        RankNode::term(TermSpec::fielded("body-of-text", "alpha")),
+        RankNode::term(TermSpec::fielded("body-of-text", "omega")),
+    ]);
+    let opts = SearchOptions {
+        limit: Some(1),
+        min_score: f64::NEG_INFINITY,
+    };
+    let (hits, _, report) = engine.search_top_k_observed(None, Some(&expr), &opts);
+    assert_eq!(hits.len(), 1);
+    // Docs 0 and 650 tie at (1 + 3) / 2 = 2.0; the smaller doc id wins.
+    assert_eq!(hits[0].doc, starts_index::DocId(0));
+    // `alpha` spans 6 blocks (ceil(700 / 128)); the seek to doc 650 must
+    // leap blocks 1-4 with only header arithmetic.
+    assert!(
+        report.blocks_skipped >= 4,
+        "no block-level skips: {report:?}"
+    );
+    assert!(report.skipped_docs > 600, "{report:?}");
+    assert!(report.candidates >= 700, "{report:?}");
+    // Skipping must not have changed the answer.
+    let off = ShardedEngine::build(&docs, config("Plain-1", PruneMode::Off, 1));
+    let (expect, _, off_report) = off.search_top_k_observed(None, Some(&expr), &opts);
+    assert_eq!(hits, expect);
+    assert_eq!(off_report.blocks_skipped, 0, "{off_report:?}");
+}
+
 proptest! {
     /// Pruned top-k ≡ the first `k` of the naive full sort, on the flat
     /// weighted lists the pruner actually accelerates, for every
@@ -152,9 +210,48 @@ proptest! {
         }
     }
 
+    /// Block-Max WAND over and/or/weighted operator *trees* ≡ the first
+    /// `k` of the naive full sort, for every ranking algorithm and
+    /// every k regime — the per-block bounds propagated bottom-up
+    /// through the tree must never skip a document that belongs in the
+    /// answer, and survivors must be rescored in exact tree order.
+    #[test]
+    fn bmw_tree_equals_naive(
+        docs in arb_corpus(),
+        expr in arb_bmw_tree(),
+        ranking_id in arb_ranking_id(),
+    ) {
+        let engine = Engine::build(&docs, config(ranking_id, PruneMode::Auto, 1));
+        let full = engine.eval_ranking_naive(&expr);
+        for k in limits(docs.len()) {
+            let bounded = engine.eval_ranking_top_k(&expr, Some(k));
+            prop_assert_eq!(&bounded[..], &full[..k.min(full.len())], "k={}", k);
+        }
+    }
+
+    /// Block-max sharded fan-out on operator trees ≡ the monolithic
+    /// engine with pruning off, at every shard count and k regime.
+    #[test]
+    fn bmw_tree_sharded_equals_unpruned_monolithic(
+        docs in arb_corpus(),
+        expr in arb_bmw_tree(),
+        ranking_id in arb_ranking_id(),
+    ) {
+        let mono = Engine::build(&docs, config(ranking_id, PruneMode::Off, 1));
+        for &shards in SHARD_COUNTS {
+            let sharded = ShardedEngine::build(&docs, config(ranking_id, PruneMode::Auto, shards));
+            for k in limits(docs.len()) {
+                let expect = mono.search_top_k(None, Some(&expr), Some(k));
+                let got = sharded.search_top_k(None, Some(&expr), Some(k));
+                prop_assert_eq!(got, expect, "shards={} k={}", shards, k);
+            }
+        }
+    }
+
     /// `PruneMode::Auto` ≡ `PruneMode::Off` on arbitrary operator trees:
-    /// expressions the plan rejects must take the exact fallback, and
-    /// expressions it accepts must still be bit-identical.
+    /// expressions the eligibility gate rejects (e.g. containing `prox`)
+    /// must take the exact fallback, and expressions it accepts must
+    /// still be bit-identical.
     #[test]
     fn prune_auto_equals_prune_off(
         docs in arb_corpus(),

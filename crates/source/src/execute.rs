@@ -154,10 +154,21 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
             .add(prune.skipped_leaves);
         reg.counter_with("engine.prune.threshold_updates", &labels)
             .add(prune.threshold_updates);
+        reg.counter_with("engine.prune.blocks_skipped", &labels)
+            .add(prune.blocks_skipped);
         if prune.candidates > 0 {
             reg.gauge_with("engine.prune.fraction", &labels)
                 .set(prune.skipped_docs as f64 / prune.candidates as f64);
         }
+        // Resident postings memory, both representations: the positional
+        // lists (exact scoring, prox) and the compressed block mirror
+        // (Block-Max-WAND seeks). Static per index build, but exported
+        // per query so dashboards track it without a registration hook.
+        let footprint = engine.postings_footprint();
+        reg.gauge_with("engine.postings.positional_bytes", &labels)
+            .set(footprint.positional_bytes as f64);
+        reg.gauge_with("engine.postings.block_bytes", &labels)
+            .set(footprint.block_bytes as f64);
     }
 
     // Answer specification: minimum score …
@@ -209,6 +220,7 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
             .with_meta("candidates", prune.candidates)
             .with_meta("skipped_docs", prune.skipped_docs)
             .with_meta("skipped_leaves", prune.skipped_leaves)
+            .with_meta("blocks_skipped", prune.blocks_skipped)
             .with_meta("results", documents.len());
         execute.children = vec![search];
         let total = elapsed_us(t0);
