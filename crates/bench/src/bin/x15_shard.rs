@@ -29,7 +29,7 @@ use starts_bench::{
     header, machine_parallelism, print_table, provenance_note, section, standard_corpus, BenchArgs,
 };
 use starts_corpus::{generate_corpus, CorpusConfig, GeneratedCorpus, Zipf};
-use starts_index::{EngineConfig, RankNode, ShardedEngine, TermSpec};
+use starts_index::{EngineConfig, RankNode, ShardPolicy, ShardedEngine, TermSpec};
 
 /// Result-list bound for every query (the X14 regime).
 const K: usize = 10;
@@ -75,8 +75,12 @@ fn main() {
         );
     }
 
+    // Exact policy: this experiment exists to measure what each
+    // *physical* shard count costs, so the adaptive coalescing that
+    // deployments get by default is deliberately switched off here.
     let config = |shards: usize| EngineConfig {
         shards,
+        shard_policy: ShardPolicy::Exact,
         ..EngineConfig::default()
     };
 

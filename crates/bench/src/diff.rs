@@ -6,17 +6,24 @@
 //! QPS numbers only mean something when both runs came from the same
 //! kind of machine doing the same kind of run, so
 //!
-//! * when `machine_parallelism` and `smoke` match, every `qps` field
-//!   (and `engine_speedup`, when present) must stay within a relative
-//!   tolerance of the baseline — a throughput drop past the tolerance
-//!   fails the gate;
+//! * when `machine_parallelism` and `smoke` match, every `qps` and
+//!   `decode_mints_per_s` field (and `engine_speedup`, when present)
+//!   must stay within a relative tolerance of the baseline — a
+//!   throughput drop past the tolerance fails the gate;
 //! * otherwise the gate degrades to **invariant checks** on the fresh
-//!   run alone: every `qps` must be positive, `engine_speedup` must not
-//!   dip below 1, pruning rows marked `"prune": "Auto"` must actually
-//!   prune (`pruned_fraction > 0`), and monolithic (`"shards": 1`)
-//!   Auto rows that report `blocks_skipped` must have jumped at least
-//!   one whole block undecoded (sharding can shrink every posting list
-//!   under the block size, so multi-shard rows are exempt).
+//!   run alone: every `qps` and `decode_mints_per_s` must be positive,
+//!   `engine_speedup` must not dip below 1, pruning rows marked
+//!   `"prune": "Auto"` must actually prune (`pruned_fraction > 0`),
+//!   and monolithic (`"shards": 1`) Auto rows that report
+//!   `blocks_skipped` must have jumped at least one whole block
+//!   undecoded (sharding can shrink every posting list under the block
+//!   size, so multi-shard rows are exempt).
+//!
+//! Postings memory is gated in **both** modes: byte counts under a
+//! `postings_bytes*` object are machine-independent, so whenever both
+//! artifacts carry them the fresh run may not grow any of them past
+//! [`MEM_GROWTH_TOLERANCE`] over the baseline — a memory-diet
+//! regression fails even on an incomparable machine.
 //!
 //! Latency percentiles are deliberately not gated — they are far
 //! noisier than throughput on shared CI machines.
@@ -27,6 +34,12 @@ use crate::json::Json;
 /// mode). 0.15 means a fresh run may be up to 15% slower than the
 /// baseline; an injected 20% regression fails.
 pub const DEFAULT_QPS_TOLERANCE: f64 = 0.15;
+
+/// Relative growth tolerated in any `postings_bytes*` figure before the
+/// gate fails. Byte counts are deterministic per corpus, so the slack
+/// only absorbs deliberate small format changes — a fresh run may not
+/// grow a footprint past 10% over the baseline.
+pub const MEM_GROWTH_TOLERANCE: f64 = 0.10;
 
 /// One comparison (or invariant) the gate evaluated.
 #[derive(Debug)]
@@ -107,26 +120,28 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<DiffRepor
 
     let mut checks = Vec::new();
     if comparable {
-        let base_qps = collect_named(baseline, "qps");
-        let cur_qps: Vec<(String, f64)> = collect_named(current, "qps");
-        for (path, base) in &base_qps {
-            match cur_qps.iter().find(|(p, _)| p == path) {
-                Some((_, cur)) => {
-                    let floor = base * (1.0 - tolerance);
-                    checks.push(Check {
+        for key in ["qps", "decode_mints_per_s"] {
+            let base_vals = collect_named(baseline, key);
+            let cur_vals: Vec<(String, f64)> = collect_named(current, key);
+            for (path, base) in &base_vals {
+                match cur_vals.iter().find(|(p, _)| p == path) {
+                    Some((_, cur)) => {
+                        let floor = base * (1.0 - tolerance);
+                        checks.push(Check {
+                            name: path.clone(),
+                            ok: *cur >= floor,
+                            detail: format!(
+                                "baseline {base:.1}, current {cur:.1} ({:+.1}%), floor {floor:.1}",
+                                (cur / base - 1.0) * 100.0
+                            ),
+                        });
+                    }
+                    None => checks.push(Check {
                         name: path.clone(),
-                        ok: *cur >= floor,
-                        detail: format!(
-                            "baseline {base:.1}, current {cur:.1} ({:+.1}%), floor {floor:.1}",
-                            (cur / base - 1.0) * 100.0
-                        ),
-                    });
+                        ok: false,
+                        detail: "present in baseline, missing in current".to_string(),
+                    }),
                 }
-                None => checks.push(Check {
-                    name: path.clone(),
-                    ok: false,
-                    detail: "present in baseline, missing in current".to_string(),
-                }),
             }
         }
         let speedups = (
@@ -142,12 +157,14 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<DiffRepor
             });
         }
     } else {
-        for (path, qps) in collect_named(current, "qps") {
-            checks.push(Check {
-                name: format!("{path} > 0"),
-                ok: qps > 0.0,
-                detail: format!("{qps:.1}"),
-            });
+        for key in ["qps", "decode_mints_per_s"] {
+            for (path, v) in collect_named(current, key) {
+                checks.push(Check {
+                    name: format!("{path} > 0"),
+                    ok: v > 0.0,
+                    detail: format!("{v:.1}"),
+                });
+            }
         }
         if let Some(speedup) = current.get("engine_speedup").and_then(Json::num) {
             checks.push(Check {
@@ -171,6 +188,29 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<DiffRepor
             });
         }
     }
+
+    // Postings memory: byte counts are deterministic per corpus, so
+    // they are gated regardless of machine provenance — but only when
+    // both artifacts carry the figure (old baselines predate it).
+    let cur_bytes = postings_bytes(current);
+    for (path, base) in postings_bytes(baseline) {
+        if let Some((_, cur)) = cur_bytes.iter().find(|(p, _)| *p == path) {
+            let ceiling = base * (1.0 + MEM_GROWTH_TOLERANCE);
+            checks.push(Check {
+                name: path,
+                ok: *cur <= ceiling,
+                detail: format!(
+                    "baseline {base:.0} B, current {cur:.0} B ({:+.1}%), ceiling {ceiling:.0} B",
+                    if base > 0.0 {
+                        (cur / base - 1.0) * 100.0
+                    } else {
+                        0.0
+                    }
+                ),
+            });
+        }
+    }
+
     if checks.is_empty() {
         return Err(format!("no {b_name} metrics found to check"));
     }
@@ -186,6 +226,21 @@ fn collect_named(j: &Json, key: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     walk(j, "", &mut |path, k, v| {
         if k == key {
+            if let Some(n) = v.num() {
+                out.push((join(path, k), n));
+            }
+        }
+    });
+    out
+}
+
+/// Every numeric leaf under an object keyed `postings_bytes*`
+/// (`postings_bytes/positional`, `postings_bytes_no_positions/blocks`,
+/// …), with its slash-separated path.
+fn postings_bytes(j: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(j, "", &mut |path, k, v| {
+        if path.split('/').any(|seg| seg.starts_with("postings_bytes")) {
             if let Some(n) = v.num() {
                 out.push((join(path, k), n));
             }
@@ -275,22 +330,29 @@ mod tests {
         Json::parse(text).expect("artifact parses")
     }
 
-    /// Multiply every `qps` field by `factor` — an injected regression.
-    fn scale_qps(j: &mut Json, factor: f64) {
+    /// Multiply every field named `key` by `factor` — an injected
+    /// regression.
+    fn scale_field(j: &mut Json, key: &str, factor: f64) {
         match j {
             Json::Obj(members) => {
                 for (k, v) in members.iter_mut() {
-                    if k == "qps" {
+                    if k == key {
                         if let Json::Num(n) = v {
                             *n *= factor;
                         }
                     }
-                    scale_qps(v, factor);
+                    scale_field(v, key, factor);
                 }
             }
-            Json::Arr(items) => items.iter_mut().for_each(|v| scale_qps(v, factor)),
+            Json::Arr(items) => items.iter_mut().for_each(|v| scale_field(v, key, factor)),
             _ => {}
         }
+    }
+
+    /// Injected throughput regression: scale both gated rate metrics.
+    fn scale_qps(j: &mut Json, factor: f64) {
+        scale_field(j, "qps", factor);
+        scale_field(j, "decode_mints_per_s", factor);
     }
 
     fn set_top(j: &mut Json, key: &str, value: Json) {
@@ -305,12 +367,13 @@ mod tests {
         }
     }
 
-    const ARTIFACTS: [&str; 5] = [
+    const ARTIFACTS: [&str; 6] = [
         include_str!("../../../BENCH_hotpath.json"),
         include_str!("../../../BENCH_shard.json"),
         include_str!("../../../BENCH_prune.json"),
         include_str!("../../../BENCH_monitor.json"),
         include_str!("../../../BENCH_concurrency.json"),
+        include_str!("../../../BENCH_decode.json"),
     ];
 
     #[test]
@@ -416,6 +479,47 @@ mod tests {
         assert!(!report.comparable);
         assert!(!report.passed(), "{}", report.render());
         let report = diff(&baseline, &zeroed_multi_only, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn decode_throughput_regression_fails_the_gate() {
+        let baseline = artifact(ARTIFACTS[5]);
+        let mut current = baseline.clone();
+        scale_field(&mut current, "decode_mints_per_s", 0.78); // 22% slower codec
+        let report = diff(&baseline, &current, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(report.comparable);
+        assert!(
+            !report.passed(),
+            "decode regression slipped through:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn memory_growth_fails_the_gate_in_both_modes() {
+        let baseline = artifact(ARTIFACTS[2]);
+
+        // 20% postings growth on the same machine: QPS untouched, but
+        // the footprint ceiling trips.
+        let mut bloated = baseline.clone();
+        scale_field(&mut bloated, "positional", 1.2);
+        let report = diff(&baseline, &bloated, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(report.comparable);
+        assert!(!report.passed(), "{}", report.render());
+
+        // The same growth on an incomparable machine still fails: byte
+        // counts do not depend on core count.
+        set_top(&mut bloated, "machine_parallelism", Json::Num(64.0));
+        let report = diff(&baseline, &bloated, DEFAULT_QPS_TOLERANCE).expect("diff");
+        assert!(!report.comparable);
+        assert!(!report.passed(), "{}", report.render());
+
+        // Growth inside the tolerance passes.
+        let mut wobble = baseline.clone();
+        scale_field(&mut wobble, "positional", 1.05);
+        scale_field(&mut wobble, "blocks", 1.05);
+        let report = diff(&baseline, &wobble, DEFAULT_QPS_TOLERANCE).expect("diff");
         assert!(report.passed(), "{}", report.render());
     }
 

@@ -1,27 +1,42 @@
-//! Fixed-size compressed block postings and the skip-capable cursor —
+//! Fixed-size bit-packed block postings and the skip-capable cursor —
 //! the storage layer behind Block-Max-WAND pruning (see
-//! `docs/performance.md` § Block-Max WAND).
+//! `docs/performance.md` § Block codec & memory footprint).
 //!
 //! Every posting list is chunked into blocks of at most [`BLOCK_DOCS`]
 //! documents. Within a block, doc ids are delta-encoded against the
 //! previous posting (the previous *block's* last doc for the block's
-//! first entry) and term frequencies ride along, both as LEB128
-//! varints. Each block carries a small uncompressed header — last doc
-//! id, posting count, byte offset — so a cursor can decide whether a
-//! block can contain a target document, and what the block's best score
-//! is, *without decoding it*. That is the whole trick: `next_geq` seeks
-//! by header, decodes only the landing block, and counts every block it
-//! jumped clean over.
+//! first entry) and stored as **FOR-style bit-packed frames**: the block
+//! header records the bit width of the widest doc-gap and the widest
+//! term frequency, and every value in the block is packed at exactly
+//! that width, LSB-first. Each block carries a small uncompressed
+//! header — last doc id, posting count, the two widths, byte offset —
+//! so a cursor can decide whether a block can contain a target document,
+//! and what the block's best score is, *without decoding it*. `next_geq`
+//! seeks by header, decodes only the landing block, and counts every
+//! block it jumped clean over.
 //!
 //! Layout of one encoded list (`B` = number of blocks):
 //!
 //! ```text
-//! headers: [ {max_doc, count, offset} ; B ]     (uncompressed, 12 B each)
-//! data:    [ block 0 bytes | block 1 bytes | … | block B-1 bytes ]
-//! block b: (Δdoc varint, tf varint) × count_b
-//!          Δdoc of the first entry is against headers[b-1].max_doc
-//!          (0 for block 0), so any block decodes independently.
+//! headers: [ {max_doc, count, doc_bits, tf_bits, offset} ; B ]   (12 B each)
+//! data:    [ block 0 frame | block 1 frame | … | block B-1 frame | pad ]
+//! frame b: [ Δdoc × count_b  @ doc_bits ] [ tf × count_b @ tf_bits ]
+//!          each section bit-packed LSB-first and padded to a byte
+//!          boundary; Δdoc of the first entry is against
+//!          headers[b-1].max_doc (0 for block 0), so any block decodes
+//!          independently.
+//! pad:     8 zero bytes, so the word-parallel decoder may always read
+//!          whole u64 words without running off the buffer.
 //! ```
+//!
+//! Decoding is word-parallel: the scalar kernel is monomorphized per
+//! width and reads each value with one unaligned `u64` load at a
+//! compile-time-constant offset and shift (eight values always realign
+//! to a byte boundary, so there is no carried bit-buffer and no
+//! per-value byte loop), and on `x86_64` an AVX2 kernel — selected by
+//! runtime feature detection, bit-identical to the scalar path —
+//! widens whole 32-lane groups at the byte-aligned widths (8/16/32).
+//! SSE2-only or non-x86 machines always take the scalar kernel.
 //!
 //! Score bounds are *not* stored here — they depend on the ranking
 //! algorithm, so the engine computes them next to its [`crate::TermBounds`]
@@ -36,6 +51,10 @@ pub const BLOCK_DOCS: usize = 128;
 /// document can never carry this id.
 pub const EXHAUSTED: u32 = u32::MAX;
 
+/// Zero bytes appended after the last frame so the u64-word decoder can
+/// always load a full word at the tail of the final section.
+const PAD_BYTES: usize = 8;
+
 /// The uncompressed per-block header: everything a cursor may read
 /// without decoding the block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,17 +63,34 @@ pub struct BlockHeader {
     pub max_doc: u32,
     /// Postings in the block (`1..=BLOCK_DOCS`).
     pub count: u16,
-    /// Byte offset of the block's encoded entries in the data stream.
+    /// Bit width of the block's packed doc-gap section (`0..=32`).
+    pub doc_bits: u8,
+    /// Bit width of the block's packed term-frequency section (`0..=32`).
+    pub tf_bits: u8,
+    /// Byte offset of the block's frame in the data stream.
     pub offset: u32,
 }
 
 /// One posting list, block-compressed: per-block headers plus one
-/// contiguous varint stream.
+/// contiguous stream of bit-packed frames.
 #[derive(Debug, Clone, Default)]
 pub struct BlockPostings {
     headers: Vec<BlockHeader>,
     data: Vec<u8>,
     len: u64,
+    sum_tf: u64,
+}
+
+/// Packed byte length of `count` values at `width` bits each.
+#[inline]
+fn packed_byte_len(count: usize, width: u32) -> usize {
+    (count * width as usize).div_ceil(8)
+}
+
+/// Bits needed to represent `v` (0 for 0).
+#[inline]
+fn bits_for(v: u32) -> u32 {
+    32 - v.leading_zeros()
 }
 
 impl BlockPostings {
@@ -67,27 +103,59 @@ impl BlockPostings {
         let mut headers = Vec::with_capacity(postings.len().div_ceil(BLOCK_DOCS));
         let mut data = Vec::new();
         let mut prev = 0u32;
+        let mut first = true;
+        let mut sum_tf = 0u64;
+        let mut gaps = [0u32; BLOCK_DOCS];
+        let mut tfs = [0u32; BLOCK_DOCS];
         for chunk in postings.chunks(BLOCK_DOCS) {
             let offset = u32::try_from(data.len()).expect("block data exceeds u32 offsets");
-            for &(doc, tf) in chunk {
+            let mut doc_bits = 0u32;
+            let mut tf_bits = 0u32;
+            for (i, &(doc, tf)) in chunk.iter().enumerate() {
                 debug_assert!(
-                    doc < EXHAUSTED && (data.is_empty() && doc >= prev || doc > prev),
+                    doc < EXHAUSTED && (first && doc >= prev || doc > prev),
                     "doc ids must be strictly increasing and below u32::MAX"
                 );
-                write_varint(&mut data, doc - prev);
-                write_varint(&mut data, tf);
+                gaps[i] = doc - prev;
+                tfs[i] = tf;
+                doc_bits = doc_bits.max(bits_for(gaps[i]));
+                tf_bits = tf_bits.max(bits_for(tf));
+                sum_tf += u64::from(tf);
                 prev = doc;
+                first = false;
             }
+            pack_bits(&mut data, &gaps[..chunk.len()], doc_bits);
+            pack_bits(&mut data, &tfs[..chunk.len()], tf_bits);
             headers.push(BlockHeader {
                 max_doc: prev,
                 count: chunk.len() as u16,
+                doc_bits: doc_bits as u8,
+                tf_bits: tf_bits as u8,
                 offset,
             });
+        }
+        if !headers.is_empty() {
+            data.extend_from_slice(&[0u8; PAD_BYTES]);
         }
         BlockPostings {
             headers,
             data,
             len: postings.len() as u64,
+            sum_tf,
+        }
+    }
+
+    /// Reassemble a list from raw parts *without validation* — the entry
+    /// point for hostile-bytes fuzzing of the lenient decoder. A list
+    /// built this way must only be decoded through
+    /// [`BlockPostings::try_decode_block`], which checks every header
+    /// invariant before touching the data.
+    pub fn from_raw_parts(headers: Vec<BlockHeader>, data: Vec<u8>, len: u64) -> Self {
+        BlockPostings {
+            headers,
+            data,
+            len,
+            sum_tf: 0,
         }
     }
 
@@ -101,6 +169,12 @@ impl BlockPostings {
         self.len == 0
     }
 
+    /// Sum of all term frequencies in the list (total postings count in
+    /// the content-summary sense).
+    pub fn total_tf(&self) -> u64 {
+        self.sum_tf
+    }
+
     /// Number of blocks.
     pub fn n_blocks(&self) -> usize {
         self.headers.len()
@@ -111,27 +185,250 @@ impl BlockPostings {
         &self.headers[b]
     }
 
-    /// Bytes held by this list: the varint stream plus the headers.
+    /// Bytes held by this list: the packed frames (incl. the tail pad)
+    /// plus the headers.
     pub fn bytes(&self) -> u64 {
         (self.data.len() + self.headers.len() * std::mem::size_of::<BlockHeader>()) as u64
     }
 
     /// Decode block `b` into the scratch vectors (cleared first).
-    fn decode_block(&self, b: usize, docs: &mut Vec<u32>, tfs: &mut Vec<u32>) {
+    /// Trusted fast path: `self` must come from [`BlockPostings::encode`].
+    pub(crate) fn decode_block(&self, b: usize, docs: &mut Vec<u32>, tfs: &mut Vec<u32>) {
+        self.decode_block_docs(b, docs);
+        self.decode_block_tfs(b, tfs);
+    }
+
+    /// Decode only block `b`'s doc ids (gap unpack + prefix sum). The
+    /// cursor uses this on every landing block and defers
+    /// [`BlockPostings::decode_block_tfs`] until a tf is actually read
+    /// — blocks that are bounded out never pay for their tf section.
+    pub(crate) fn decode_block_docs(&self, b: usize, docs: &mut Vec<u32>) {
+        let h = self.headers[b];
+        let count = usize::from(h.count);
         docs.clear();
-        tfs.clear();
-        let h = &self.headers[b];
-        let mut pos = h.offset as usize;
+        docs.resize(count, 0);
+        unpack_bits(
+            &self.data[h.offset as usize..],
+            count,
+            h.doc_bits.into(),
+            docs,
+        );
         let mut prev = if b == 0 {
             0
         } else {
             self.headers[b - 1].max_doc
         };
-        for _ in 0..h.count {
-            prev += read_varint(&self.data, &mut pos);
-            docs.push(prev);
-            tfs.push(read_varint(&self.data, &mut pos));
+        for d in docs.iter_mut() {
+            prev = prev.wrapping_add(*d);
+            *d = prev;
         }
+    }
+
+    /// Decode only block `b`'s term frequencies.
+    pub(crate) fn decode_block_tfs(&self, b: usize, tfs: &mut Vec<u32>) {
+        let h = self.headers[b];
+        let count = usize::from(h.count);
+        tfs.clear();
+        tfs.resize(count, 0);
+        let base = h.offset as usize + packed_byte_len(count, h.doc_bits.into());
+        unpack_bits(&self.data[base..], count, h.tf_bits.into(), tfs);
+    }
+
+    /// Lenient decode of block `b`: validates the header against the
+    /// data before unpacking and returns `None` instead of panicking on
+    /// any malformed input (bad widths, counts, offsets, truncated
+    /// data). This is the path fuzzed with hostile bytes.
+    pub fn try_decode_block(&self, b: usize) -> Option<(Vec<u32>, Vec<u32>)> {
+        let h = *self.headers.get(b)?;
+        let count = usize::from(h.count);
+        if count == 0 || count > BLOCK_DOCS || h.doc_bits > 32 || h.tf_bits > 32 {
+            return None;
+        }
+        let base = h.offset as usize;
+        let doc_bytes = packed_byte_len(count, h.doc_bits.into());
+        let tf_bytes = packed_byte_len(count, h.tf_bits.into());
+        // The word decoder may overrun a section by up to 7 bytes; the
+        // pad requirement keeps every u64 load inside `data`.
+        let end = base
+            .checked_add(doc_bytes)?
+            .checked_add(tf_bytes)?
+            .checked_add(PAD_BYTES)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let mut docs = vec![0u32; count];
+        let mut tfs = vec![0u32; count];
+        unpack_bits(&self.data[base..], count, h.doc_bits.into(), &mut docs);
+        unpack_bits(
+            &self.data[base + doc_bytes..],
+            count,
+            h.tf_bits.into(),
+            &mut tfs,
+        );
+        let mut prev = if b == 0 {
+            0u32
+        } else {
+            self.headers[b - 1].max_doc
+        };
+        for d in docs.iter_mut() {
+            prev = prev.wrapping_add(*d);
+            *d = prev;
+        }
+        Some((docs, tfs))
+    }
+}
+
+/// Append `values` to `out`, packed at `width` bits each, LSB-first.
+fn pack_bits(out: &mut Vec<u8>, values: &[u32], width: u32) {
+    if width == 0 {
+        return;
+    }
+    let mut acc = 0u64;
+    let mut have = 0u32;
+    for &v in values {
+        debug_assert!(width == 32 || v < (1 << width));
+        acc |= u64::from(v) << have;
+        have += width;
+        while have >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            have -= 8;
+        }
+    }
+    if have > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Unpack `count` values of `width` bits from the head of `src` into
+/// `out`, choosing the best kernel for this machine at runtime: on
+/// `x86_64` with AVX2, whole 32-lane groups at byte widths (8/16/32)
+/// take the vector kernel; everything else takes the word-parallel
+/// scalar kernel. Both kernels are bit-identical by construction and by
+/// the `simd_matches_scalar` property test.
+///
+/// `src` must hold at least `packed_byte_len(count, width) + 8` bytes —
+/// the decoder reads whole u64 words and may overrun the packed section
+/// by up to 7 bytes.
+#[doc(hidden)]
+pub fn unpack_bits(src: &[u8], count: usize, width: u32, out: &mut [u32]) {
+    assert!(width <= 32 && count <= out.len());
+    assert!(src.len() >= packed_byte_len(count, width) + PAD_BYTES);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if matches!(width, 8 | 16 | 32)
+            && count >= 32
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            let groups = count / 32;
+            // Safety: AVX2 presence was just detected; the length
+            // assertion above covers every load the kernel performs
+            // (groups * 4 * width bytes, all inside the packed section).
+            unsafe { unpack_groups_avx2(src, groups, width, out) };
+            let done = groups * 32;
+            let consumed = groups * 4 * width as usize;
+            unpack_bits_scalar(&src[consumed..], count - done, width, &mut out[done..]);
+            return;
+        }
+    }
+    unpack_bits_scalar(src, count, width, out);
+}
+
+/// The scalar unpacking kernel, word-parallel with no carried state:
+/// eight consecutive values at `width` bits always realign to a byte
+/// boundary (8·width ≡ 0 mod 8), so the loop is monomorphized per
+/// width and every value inside an 8-group is one unaligned `u64` load
+/// at a compile-time-constant byte offset, shift and mask — a form the
+/// optimizer unrolls and vectorizes freely. Public (hidden) so
+/// property tests can pin the dispatched kernel against it. Same `src`
+/// length contract as [`unpack_bits`].
+#[doc(hidden)]
+pub fn unpack_bits_scalar(src: &[u8], count: usize, width: u32, out: &mut [u32]) {
+    assert!(width <= 32 && count <= out.len());
+    if width == 0 {
+        out[..count].fill(0);
+        return;
+    }
+    assert!(src.len() >= packed_byte_len(count, width) + PAD_BYTES);
+    macro_rules! dispatch {
+        ($($w:literal)*) => {
+            match width {
+                $($w => unpack_fixed::<$w>(src, count, out),)*
+                _ => unreachable!("width checked above"),
+            }
+        };
+    }
+    dispatch!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32);
+}
+
+/// One value of the packed stream: an unaligned little-endian `u64`
+/// load covering bit `bit` onward (at most 7 + 32 = 39 bits needed, so
+/// one word always suffices), shifted and masked. The +8 pad in the
+/// `src` contract keeps the load in bounds even for the last value.
+#[inline(always)]
+fn extract<const W: u32>(src: &[u8], bit: usize) -> u32 {
+    let mask = if W == 32 { u32::MAX } else { (1u32 << W) - 1 };
+    let byte = bit >> 3;
+    let word = u64::from_le_bytes(src[byte..byte + 8].try_into().unwrap());
+    (word >> (bit & 7)) as u32 & mask
+}
+
+/// [`unpack_bits_scalar`] at one compile-time width: full 8-value
+/// groups with constant in-group offsets, then a tail loop.
+fn unpack_fixed<const W: u32>(src: &[u8], count: usize, out: &mut [u32]) {
+    let groups = count / 8;
+    let mut base = 0usize;
+    for chunk in out[..groups * 8].chunks_exact_mut(8) {
+        for (j, o) in chunk.iter_mut().enumerate() {
+            *o = extract::<W>(&src[base..], j * W as usize);
+        }
+        base += W as usize;
+    }
+    for (i, o) in out[groups * 8..count].iter_mut().enumerate() {
+        *o = extract::<W>(src, (groups * 8 + i) * W as usize);
+    }
+}
+
+/// AVX2 kernel: widen `groups` full 32-lane groups at a byte-aligned
+/// width (8, 16 or 32 bits) straight into `out`.
+///
+/// # Safety
+/// Requires AVX2; `src` must hold `groups * 4 * width` readable bytes
+/// and `out` at least `groups * 32` slots.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn unpack_groups_avx2(src: &[u8], groups: usize, width: u32, out: &mut [u32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(matches!(width, 8 | 16 | 32));
+    debug_assert!(src.len() >= groups * 4 * width as usize && out.len() >= groups * 32);
+    let mut src_p = src.as_ptr();
+    let mut out_p = out.as_mut_ptr();
+    for _ in 0..groups {
+        match width {
+            8 => {
+                // 32 bytes -> four 8-lane zero-extensions.
+                for k in 0..4 {
+                    let v = _mm_loadl_epi64(src_p.add(8 * k).cast());
+                    _mm256_storeu_si256(out_p.add(8 * k).cast(), _mm256_cvtepu8_epi32(v));
+                }
+            }
+            16 => {
+                // 64 bytes -> four 8-lane zero-extensions.
+                for k in 0..4 {
+                    let v = _mm_loadu_si128(src_p.add(16 * k).cast());
+                    _mm256_storeu_si256(out_p.add(8 * k).cast(), _mm256_cvtepu16_epi32(v));
+                }
+            }
+            _ => {
+                // width 32: 128 bytes copied through four 256-bit lanes.
+                for k in 0..4 {
+                    let v = _mm256_loadu_si256(src_p.add(32 * k).cast());
+                    _mm256_storeu_si256(out_p.add(8 * k).cast(), v);
+                }
+            }
+        }
+        src_p = src_p.add(4 * width as usize);
+        out_p = out_p.add(32);
     }
 }
 
@@ -152,6 +449,11 @@ pub struct BlockCursor<'a> {
     pos: usize,
     docs: Vec<u32>,
     tfs: Vec<u32>,
+    /// Whether `tfs` holds the current block's frequencies. Doc ids are
+    /// decoded on every landing block; the tf section only when
+    /// [`BlockCursor::tf`] is first called on it, so blocks that are
+    /// bounded out never pay the second unpack.
+    tfs_valid: bool,
     blocks_skipped: u64,
     visited: u64,
 }
@@ -175,13 +477,12 @@ impl<'a> BlockCursor<'a> {
             pos: 0,
             docs: Vec::new(),
             tfs: Vec::new(),
+            tfs_valid: false,
             blocks_skipped: 0,
             visited: 0,
         };
         if cursor.list.n_blocks() > 0 {
-            cursor
-                .list
-                .decode_block(0, &mut cursor.docs, &mut cursor.tfs);
+            cursor.list.decode_block_docs(0, &mut cursor.docs);
             cursor.visited = 1;
         }
         cursor
@@ -196,11 +497,16 @@ impl<'a> BlockCursor<'a> {
         }
     }
 
-    /// Term frequency of the current posting.
+    /// Term frequency of the current posting, decoding the block's tf
+    /// section on first use.
     ///
     /// # Panics
     /// Panics when the cursor is exhausted.
-    pub fn tf(&self) -> u32 {
+    pub fn tf(&mut self) -> u32 {
+        if !self.tfs_valid {
+            self.list.decode_block_tfs(self.block, &mut self.tfs);
+            self.tfs_valid = true;
+        }
         self.tfs[self.pos]
     }
 
@@ -219,8 +525,8 @@ impl<'a> BlockCursor<'a> {
             self.block += 1;
             self.pos = 0;
             if self.block < self.list.n_blocks() {
-                self.list
-                    .decode_block(self.block, &mut self.docs, &mut self.tfs);
+                self.list.decode_block_docs(self.block, &mut self.docs);
+                self.tfs_valid = false;
             }
         }
         if !self.is_exhausted() {
@@ -247,8 +553,8 @@ impl<'a> BlockCursor<'a> {
             if self.is_exhausted() {
                 return;
             }
-            self.list
-                .decode_block(self.block, &mut self.docs, &mut self.tfs);
+            self.list.decode_block_docs(self.block, &mut self.docs);
+            self.tfs_valid = false;
         }
         self.pos += self.docs[self.pos..].partition_point(|&d| d < target);
         debug_assert!(
@@ -328,33 +634,46 @@ impl<'a> BlockCursor<'a> {
     pub fn visited(&self) -> u64 {
         self.visited
     }
-}
 
-#[inline]
-fn write_varint(out: &mut Vec<u8>, mut v: u32) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
+    /// The current block's remaining postings, from the cursor's
+    /// position to the block's end, as parallel `(docs, tfs)` slices
+    /// (entry 0 is the current posting). Decodes the block's tf
+    /// section on first use — callers bulk-scoring a run read both
+    /// arrays directly instead of paying a `next()`/[`BlockCursor::tf`]
+    /// round-trip per posting.
+    ///
+    /// # Panics
+    /// Panics when the cursor is exhausted.
+    pub fn remaining_in_block(&mut self) -> (&[u32], &[u32]) {
+        if !self.tfs_valid {
+            self.list.decode_block_tfs(self.block, &mut self.tfs);
+            self.tfs_valid = true;
         }
-        out.push(byte | 0x80);
+        (&self.docs[self.pos..], &self.tfs[self.pos..])
     }
-}
 
-#[inline]
-fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
-    let mut v = 0u32;
-    let mut shift = 0;
-    loop {
-        let byte = data[*pos];
-        *pos += 1;
-        v |= u32::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return v;
+    /// Step `m` postings forward within the current block — `m` at most
+    /// the length of [`BlockCursor::remaining_in_block`] — with the
+    /// same bookkeeping as `m` successive [`BlockCursor::next`] calls:
+    /// each posting stepped over counts as visited, and consuming the
+    /// whole remainder rolls over into the next block.
+    pub fn advance_in_block(&mut self, m: usize) {
+        debug_assert!(self.pos + m <= self.docs.len());
+        self.pos += m;
+        if self.pos == self.docs.len() {
+            self.block += 1;
+            self.pos = 0;
+            if self.block < self.list.n_blocks() {
+                self.list.decode_block_docs(self.block, &mut self.docs);
+                self.tfs_valid = false;
+            }
         }
-        shift += 7;
+        self.visited += m as u64;
+        if m > 0 && self.is_exhausted() {
+            // The last step moved past the end, not onto a posting —
+            // exactly as `next()` refuses to count exhaustion.
+            self.visited -= 1;
+        }
     }
 }
 
@@ -373,12 +692,41 @@ mod tests {
     }
 
     #[test]
+    fn batch_walk_matches_next_walk() {
+        let postings: Vec<(u32, u32)> = (0..300u32).map(|i| (i * 3, 1 + (i % 5))).collect();
+        let list = BlockPostings::encode(&postings);
+        let mut batch = BlockCursor::new(&list);
+        let mut from_batch = Vec::new();
+        while !batch.is_exhausted() {
+            let (docs, tfs) = batch.remaining_in_block();
+            let run = docs.len();
+            from_batch.extend(docs.iter().copied().zip(tfs.iter().copied()));
+            batch.advance_in_block(run);
+        }
+        assert_eq!(from_batch, postings);
+        let mut single = BlockCursor::new(&list);
+        while !single.is_exhausted() {
+            single.next();
+        }
+        assert_eq!(batch.visited(), single.visited());
+        // A partial advance agrees with the same number of `next()` steps.
+        let mut a = BlockCursor::new(&list);
+        let mut b = BlockCursor::new(&list);
+        a.advance_in_block(2);
+        b.next();
+        b.next();
+        assert_eq!((a.doc(), a.tf()), (b.doc(), b.tf()));
+        assert_eq!(a.visited(), b.visited());
+    }
+
+    #[test]
     fn round_trip_small() {
         let postings = vec![(0, 1), (3, 2), (4, 1), (1000, 70000)];
         let list = BlockPostings::encode(&postings);
         assert_eq!(list.len(), 4);
         assert_eq!(list.n_blocks(), 1);
         assert_eq!(decode_all(&list), postings);
+        assert_eq!(list.total_tf(), 1 + 2 + 1 + 70000);
     }
 
     #[test]
@@ -400,6 +748,20 @@ mod tests {
         let cursor = BlockCursor::new(&list);
         assert!(cursor.is_exhausted());
         assert_eq!(cursor.doc(), EXHAUSTED);
+    }
+
+    #[test]
+    fn headers_record_frame_widths() {
+        // Gaps of 3 need 2 bits; tfs up to 7 need 3 bits.
+        let postings: Vec<(u32, u32)> = (0..200).map(|i| (i * 3, i % 7 + 1)).collect();
+        let list = BlockPostings::encode(&postings);
+        assert_eq!(list.header(0).doc_bits, 2);
+        assert_eq!(list.header(0).tf_bits, 3);
+        // A lone zero needs zero bits for both sections.
+        let tiny = BlockPostings::encode(&[(0, 0)]);
+        assert_eq!(tiny.header(0).doc_bits, 0);
+        assert_eq!(tiny.header(0).tf_bits, 0);
+        assert_eq!(decode_all(&tiny), vec![(0, 0)]);
     }
 
     #[test]
@@ -460,10 +822,87 @@ mod tests {
     }
 
     #[test]
-    fn varint_extremes_round_trip() {
+    fn extreme_widths_round_trip() {
+        // 32-bit gaps and 32-bit tfs in one block.
         let postings = vec![(0, u32::MAX), (u32::MAX - 1, 1)];
         let list = BlockPostings::encode(&postings);
+        assert_eq!(list.header(0).doc_bits, 32);
+        assert_eq!(list.header(0).tf_bits, 32);
         assert_eq!(decode_all(&list), postings);
+    }
+
+    #[test]
+    fn dispatched_unpack_matches_scalar() {
+        // Exercise every width 0..=32 with >32 values so the AVX2
+        // group kernel (when present) covers full groups and the
+        // scalar tail.
+        for width in 0..=32u32 {
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width).wrapping_sub(1)
+            };
+            let values: Vec<u32> = (0..77u32)
+                .map(|i| i.wrapping_mul(0x9e37_79b9).rotate_left(i % 31) & mask)
+                .collect();
+            let mut packed = Vec::new();
+            pack_bits(&mut packed, &values, width);
+            packed.extend_from_slice(&[0u8; PAD_BYTES]);
+            let mut scalar = vec![0u32; values.len()];
+            let mut dispatched = vec![0u32; values.len()];
+            unpack_bits_scalar(&packed, values.len(), width, &mut scalar);
+            unpack_bits(&packed, values.len(), width, &mut dispatched);
+            assert_eq!(scalar, values, "width {width}");
+            assert_eq!(dispatched, values, "width {width}");
+        }
+    }
+
+    #[test]
+    fn lenient_decode_rejects_malformed_headers() {
+        // Offset far past the data.
+        let h = BlockHeader {
+            max_doc: 10,
+            count: 4,
+            doc_bits: 8,
+            tf_bits: 8,
+            offset: 1000,
+        };
+        let list = BlockPostings::from_raw_parts(vec![h], vec![0u8; 16], 4);
+        assert!(list.try_decode_block(0).is_none());
+        // Width out of range.
+        let h = BlockHeader {
+            max_doc: 10,
+            count: 4,
+            doc_bits: 64,
+            tf_bits: 8,
+            offset: 0,
+        };
+        let list = BlockPostings::from_raw_parts(vec![h], vec![0u8; 64], 4);
+        assert!(list.try_decode_block(0).is_none());
+        // Count out of range.
+        let h = BlockHeader {
+            max_doc: 10,
+            count: 60_000,
+            doc_bits: 1,
+            tf_bits: 1,
+            offset: 0,
+        };
+        let list = BlockPostings::from_raw_parts(vec![h], vec![0u8; 64], 4);
+        assert!(list.try_decode_block(0).is_none());
+        // Missing block.
+        assert!(list.try_decode_block(7).is_none());
+    }
+
+    #[test]
+    fn lenient_decode_agrees_with_cursor_on_valid_lists() {
+        let postings: Vec<(u32, u32)> = (0..300).map(|i| (i * 5 + 2, i % 9)).collect();
+        let list = BlockPostings::encode(&postings);
+        let mut seen = Vec::new();
+        for b in 0..list.n_blocks() {
+            let (docs, tfs) = list.try_decode_block(b).expect("valid block");
+            seen.extend(docs.into_iter().zip(tfs));
+        }
+        assert_eq!(seen, postings);
     }
 
     #[test]

@@ -14,9 +14,11 @@ use starts_text::{Analyzer, AnalyzerConfig, Thesaurus};
 use crate::blocks::{BlockCursor, BlockPostings, BLOCK_DOCS};
 use crate::boolean::{difference, intersect, prox_match, union, BoolNode};
 use crate::doc::{DocId, Document};
-use crate::index::{Index, IndexBuilder, Posting, TermBound, TermBounds};
+use crate::index::{
+    Index, IndexBuilder, PositionsMode, PostingsIter, PostingsList, TermBound, TermBounds,
+};
 use crate::matchspec::{CmpOp, TermSpec};
-use crate::ranking::{RankingAlgorithm, TermDocStats};
+use crate::ranking::{PreparedWeight, RankingAlgorithm, TermDocStats};
 use crate::schema::{FieldId, ANY_FIELD};
 use crate::sharded::CollectionStats;
 use crate::topk::{kway_union, SharedThreshold, TopK};
@@ -187,13 +189,26 @@ pub struct EngineConfig {
     /// [`crate::sharded::MIN_DOCS_PER_AUTO_SHARD`] documents per shard),
     /// so 1-core containers and small corpora never pay fan-out
     /// overhead; `1` reproduces the monolithic single-threaded
-    /// behaviour; explicit `N ≥ 1` is honoured exactly (clamped to the
-    /// document count). Results are bit-identical at every setting —
-    /// global collection statistics are broadcast to each shard. Ignored
-    /// by the plain [`Engine`] constructors.
+    /// behaviour; explicit `N ≥ 1` is an upper bound under the default
+    /// [`ShardPolicy::Adaptive`] and honoured exactly under
+    /// [`ShardPolicy::Exact`] (always clamped to the document count).
+    /// Results are bit-identical at every setting — global collection
+    /// statistics are broadcast to each shard. Ignored by the plain
+    /// [`Engine`] constructors.
     pub shards: usize,
+    /// How literally [`EngineConfig::shards`] is honoured (see
+    /// [`ShardPolicy`]).
+    pub shard_policy: ShardPolicy,
     /// Dynamic pruning of the ranked top-k path (see [`PruneMode`]).
     pub prune: PruneMode,
+    /// Whether the index keeps the positional store (see
+    /// [`PositionsMode`]). Vendors whose query surface never consults
+    /// positions — no `prox` operator reachable — set
+    /// [`PositionsMode::None`] and serve search exclusively from the
+    /// block-compressed postings, dropping the positional arena
+    /// entirely; `prox` then degrades to plain intersection (a
+    /// degradation §4.1.1 sanctions for unsupported features).
+    pub positions: PositionsMode,
 }
 
 impl Default for EngineConfig {
@@ -204,9 +219,32 @@ impl Default for EngineConfig {
             fuzzy_ranking_ops: true,
             thesaurus: Thesaurus::empty(),
             shards: 0,
+            shard_policy: ShardPolicy::Adaptive,
             prune: PruneMode::Auto,
+            positions: PositionsMode::All,
         }
     }
+}
+
+/// How literally [`EngineConfig::shards`] is honoured by
+/// [`crate::ShardedEngine::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// An explicit shard count is an *upper bound*: the effective count
+    /// is additionally capped by the machine's available parallelism
+    /// and by the block-span floor
+    /// ([`crate::sharded::MIN_DOCS_PER_AUTO_SHARD`] documents per
+    /// shard), so a 1-core container stops paying query fan-out for
+    /// parallelism it does not have, and shards never shrink below the
+    /// size where Block-Max skipping still has whole blocks to skip.
+    /// Results stay bit-identical at every effective count, so the
+    /// only observable difference is speed.
+    #[default]
+    Adaptive,
+    /// The requested count is built exactly (clamped only to the
+    /// document count) — for tests and benchmarks that must construct a
+    /// specific physical layout regardless of the machine they run on.
+    Exact,
 }
 
 /// A complete, queryable engine.
@@ -245,7 +283,8 @@ impl Engine {
     /// Panics if `config.ranking_id` is unknown — engines are constructed
     /// by the test/bench harness with known vendors.
     pub fn build(docs: &[Document], config: EngineConfig) -> Self {
-        let mut builder = IndexBuilder::new(Analyzer::new(config.analyzer.clone()));
+        let mut builder =
+            IndexBuilder::new(Analyzer::new(config.analyzer.clone())).positions(config.positions);
         for d in docs {
             builder.add(d);
         }
@@ -576,6 +615,12 @@ impl Engine {
         let mut threshold_updates = 0u64;
         let mut ub = vec![0.0_f64; n];
         let mut vals = vec![0.0_f64; n];
+        // Survivor scoring dominates BMW wall time, so fold each leaf's
+        // per-(term, collection) ranking constants once up front instead
+        // of recomputing them (two `ln` calls and a virtual dispatch)
+        // for every surviving posting.
+        let prepared: Vec<Option<PreparedWeight>> =
+            leaves.iter().map(|l| self.prepare_leaf(l.df)).collect();
         // The overwhelmingly common query shape is a flat weighted list
         // of term leaves. Its tree walk — add each child slot in order,
         // divide by the constant denominator — is a plain loop, so run
@@ -614,23 +659,37 @@ impl Engine {
                 }
             }
         };
-        let tree_exact = |slots: &[f64]| -> f64 {
+        // One positional-check doc set per `prox` node, computed once
+        // for the whole query (exactly as `score_tree` computes it) and
+        // consumed by `bmw_tree_exact` in depth-first order.
+        let prox_sets: Vec<Option<Vec<DocId>>> = {
+            let mut sets = Vec::new();
+            self.collect_prox_sets(node, &mut sets);
+            sets
+        };
+        let tree_exact = |slots: &[f64], doc: DocId| -> f64 {
             match flat_den {
                 Some(den) => flat_list_eval(slots, den),
                 None => {
                     let mut cur = 0;
-                    bmw_tree_exact(node, slots, &mut cur)
+                    let mut pcur = 0;
+                    bmw_tree_exact(node, slots, &mut cur, doc, &prox_sets, &mut pcur)
                 }
             }
         };
         // Frontier cache: `docs[i]` mirrors `cursors[i].doc()` (exhausted
-        // and absent cursors pin at `u32::MAX`), so the sort and the
-        // prefix walk never touch the cursors themselves.
+        // and absent cursors pin at `u32::MAX`), so ordering and the
+        // prefix walk never touch the cursors themselves. `order` keeps
+        // every leaf index sorted by its frontier doc — exhausted
+        // cursors sink to the tail — and is repaired by insertion after
+        // each advance instead of being rebuilt per iteration: only the
+        // just-advanced prefix is ever out of place.
         let mut docs: Vec<u32> = cursors
             .iter()
             .map(|c| c.as_ref().map_or(u32::MAX, BlockCursor::doc))
             .collect();
-        let mut live: Vec<usize> = Vec::with_capacity(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&i| docs[i]);
         loop {
             if let Some(shared) = hooks.shared {
                 let global = shared.get();
@@ -638,12 +697,9 @@ impl Engine {
                     theta = global;
                 }
             }
-            live.clear();
-            live.extend((0..n).filter(|&i| docs[i] != u32::MAX));
-            if live.is_empty() {
+            if order.is_empty() || docs[order[0]] == u32::MAX {
                 break;
             }
-            live.sort_unstable_by_key(|&i| docs[i]);
 
             // --- WAND pivot selection -----------------------------------
             // Walk prefixes of the doc-sorted cursors, one equal-doc group
@@ -657,18 +713,18 @@ impl Engine {
             let mut pivot: Option<(usize, u32)> = None; // (prefix end, doc)
             if theta == f64::NEG_INFINITY {
                 // Nothing can be skipped yet: the first group is the pivot.
-                let d = docs[live[0]];
-                let end = live.iter().take_while(|&&i| docs[i] == d).count();
+                let d = docs[order[0]];
+                let end = order.iter().take_while(|&&i| docs[i] == d).count();
                 pivot = Some((end, d));
             } else {
                 for s in ub.iter_mut() {
                     *s = 0.0;
                 }
                 let mut j = 0;
-                while j < live.len() {
-                    let d = docs[live[j]];
-                    while j < live.len() && docs[live[j]] == d {
-                        ub[live[j]] = leaves[live[j]].bound;
+                while j < n && docs[order[j]] != u32::MAX {
+                    let d = docs[order[j]];
+                    while j < n && docs[order[j]] == d {
+                        ub[order[j]] = leaves[order[j]].bound;
                         j += 1;
                     }
                     // Skip on *strictly below* only: a bound equal to θ
@@ -684,15 +740,44 @@ impl Engine {
             let Some((prefix_end, pivot_doc)) = pivot else {
                 break; // no prefix can reach θ: nothing left can compete
             };
-            let next_doc = live.get(prefix_end).map_or(u32::MAX, |&i| docs[i]);
+            let next_doc = order.get(prefix_end).map_or(u32::MAX, |&i| docs[i]);
 
-            if docs[live[0]] == pivot_doc {
+            if docs[order[0]] == pivot_doc {
+                if prefix_end == 1 {
+                    if let Some(den) = flat_den {
+                        // Sole-owner run: every doc from the pivot up to
+                        // the next cursor's frontier sits on this one
+                        // list, and the flat-list score of such a doc is
+                        // its single slot over the constant denominator.
+                        // Score the whole run in bulk straight off the
+                        // decoded block arrays — block bounds still
+                        // prune, but pivot selection re-runs once per
+                        // run instead of once per document.
+                        let i = order[0];
+                        let c = cursors[i].as_mut().expect("live cursor");
+                        self.bmw_flat_run(
+                            leaves[i].weight,
+                            leaves[i].df,
+                            prepared[i].as_ref(),
+                            den,
+                            next_doc,
+                            c,
+                            &mut top,
+                            &mut theta,
+                            &mut threshold_updates,
+                            hooks.shared,
+                        );
+                        docs[i] = c.doc();
+                        repair_frontier_order(&mut order, &docs);
+                        continue;
+                    }
+                }
                 // Aligned: every prefix cursor sits on the pivot. Check
                 // the *current* blocks' score bounds.
                 for s in ub.iter_mut() {
                     *s = 0.0;
                 }
-                for &i in &live[..prefix_end] {
+                for &i in &order[..prefix_end] {
                     let c = cursors[i].as_ref().expect("live cursor");
                     ub[i] = (leaves[i].weight * c.block_max_score()).max(0.0);
                 }
@@ -701,15 +786,16 @@ impl Engine {
                     // current-block boundary (or the next cursor's doc)
                     // is covered by the bounds just consulted.
                     let mut jump = next_doc;
-                    for &i in &live[..prefix_end] {
+                    for &i in &order[..prefix_end] {
                         let c = cursors[i].as_ref().expect("live cursor");
                         jump = jump.min(c.block_max_doc().saturating_add(1));
                     }
-                    for &i in &live[..prefix_end] {
+                    for &i in &order[..prefix_end] {
                         let c = cursors[i].as_mut().expect("live cursor");
                         c.next_geq(jump);
                         docs[i] = c.doc();
                     }
+                    repair_frontier_order(&mut order, &docs);
                     continue;
                 }
                 // Survivor: exact score with the unpruned arithmetic.
@@ -717,16 +803,14 @@ impl Engine {
                     *s = 0.0;
                 }
                 let doc = DocId(pivot_doc);
-                for &i in &live[..prefix_end] {
-                    let tf = cursors[i].as_ref().expect("live cursor").tf();
+                for &i in &order[..prefix_end] {
+                    let tf = cursors[i].as_mut().expect("live cursor").tf();
                     if tf > 0 {
                         vals[i] = leaves[i].weight
-                            * self
-                                .ranking
-                                .term_weight(&self.stats_for(doc, tf, leaves[i].df));
+                            * self.weigh_leaf(prepared[i].as_ref(), doc, tf, leaves[i].df);
                     }
                 }
-                let score = tree_exact(&vals);
+                let score = tree_exact(&vals, doc);
                 if score > 0.0 {
                     top.push(doc, score);
                     let floor = top.threshold();
@@ -738,18 +822,19 @@ impl Engine {
                         }
                     }
                 }
-                for &i in &live[..prefix_end] {
+                for &i in &order[..prefix_end] {
                     let c = cursors[i].as_mut().expect("live cursor");
                     c.next();
                     docs[i] = c.doc();
                 }
+                repair_frontier_order(&mut order, &docs);
             } else {
                 // Laggards sit before the pivot: a header-only lookup of
                 // the blocks that *would* cover it, no decoding.
                 for s in ub.iter_mut() {
                     *s = 0.0;
                 }
-                for &i in &live[..prefix_end] {
+                for &i in &order[..prefix_end] {
                     let c = cursors[i].as_ref().expect("live cursor");
                     ub[i] = match c.block_for(pivot_doc) {
                         Some(b) => (leaves[i].weight * c.block_max_score_at(b)).max(0.0),
@@ -760,13 +845,13 @@ impl Engine {
                 }
                 if tree_bound(&ub) < theta {
                     let mut jump = next_doc;
-                    for &i in &live[..prefix_end] {
+                    for &i in &order[..prefix_end] {
                         let c = cursors[i].as_ref().expect("live cursor");
                         if let Some(b) = c.block_for(pivot_doc) {
                             jump = jump.min(c.block_last_doc(b).saturating_add(1));
                         }
                     }
-                    for &i in &live[..prefix_end] {
+                    for &i in &order[..prefix_end] {
                         let c = cursors[i].as_mut().expect("live cursor");
                         c.next_geq(jump);
                         docs[i] = c.doc();
@@ -774,7 +859,7 @@ impl Engine {
                 } else {
                     // Competitive: align the laggards onto the pivot and
                     // re-run selection from the new frontier.
-                    for &i in &live[..prefix_end] {
+                    for &i in &order[..prefix_end] {
                         let c = cursors[i].as_mut().expect("live cursor");
                         if c.doc() < pivot_doc {
                             c.next_geq(pivot_doc);
@@ -782,6 +867,7 @@ impl Engine {
                         }
                     }
                 }
+                repair_frontier_order(&mut order, &docs);
             }
         }
         if let Some(c) = hooks.counters {
@@ -807,6 +893,66 @@ impl Engine {
                 .fetch_add(threshold_updates, Ordering::Relaxed);
         }
         top.into_sorted_vec()
+    }
+
+    /// Bulk-score a sole-owner run for the flat-list Block-Max loop:
+    /// every doc from the cursor's position up to `stop` (exclusive)
+    /// appears on no other frontier, so its flat-list score is its one
+    /// slot over the constant denominator `den` — computed here
+    /// straight off the decoded block arrays, with the identical
+    /// arithmetic the slot-array walk performs (adding a value to a
+    /// row of zero slots and dividing is exact, so scores stay
+    /// bit-equal). Blocks whose score bound stays strictly under θ are
+    /// hopped without touching their tf section, exactly as the
+    /// per-document loop shallow-advances; offering a sub-θ doc to the
+    /// selector is a no-op, so bulk-scoring past a mid-block θ rise
+    /// cannot change the result either.
+    #[allow(clippy::too_many_arguments)]
+    fn bmw_flat_run(
+        &self,
+        leaf_weight: f64,
+        df: u32,
+        prepared: Option<&PreparedWeight>,
+        den: f64,
+        stop: u32,
+        c: &mut BlockCursor<'_>,
+        top: &mut TopK,
+        theta: &mut f64,
+        threshold_updates: &mut u64,
+        shared: Option<&SharedThreshold>,
+    ) {
+        while c.doc() < stop {
+            let block_ub = (leaf_weight * c.block_max_score()).max(0.0);
+            let bound = if den > 0.0 { block_ub / den } else { 0.0 };
+            if bound.partial_cmp(theta) == Some(std::cmp::Ordering::Less) {
+                // Bounded out: hop to the block's end (or to `stop`)
+                // without decoding the tf section.
+                c.next_geq(stop.min(c.block_max_doc().saturating_add(1)));
+                continue;
+            }
+            let (bdocs, btfs) = c.remaining_in_block();
+            let run = bdocs.partition_point(|&d| d < stop);
+            for (&d, &tf) in bdocs[..run].iter().zip(btfs) {
+                if tf == 0 {
+                    continue;
+                }
+                let doc = DocId(d);
+                let v = leaf_weight * self.weigh_leaf(prepared, doc, tf, df);
+                let score = if den > 0.0 { v / den } else { 0.0 };
+                if score > 0.0 {
+                    top.push(doc, score);
+                    let floor = top.threshold();
+                    if floor > *theta {
+                        *theta = floor;
+                        *threshold_updates += 1;
+                        if let Some(shared) = shared {
+                            shared.raise(floor);
+                        }
+                    }
+                }
+            }
+            c.advance_in_block(run);
+        }
     }
 
     /// The pre-fast-path evaluator: per-document recursive tree walk over
@@ -940,7 +1086,7 @@ impl Engine {
         let mut docs: Vec<DocId> = Vec::new();
         for key in self.resolve_keys(field, spec) {
             if let Some(postings) = self.index.postings(field, &key) {
-                let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
+                let ids: Vec<DocId> = postings.docs().collect();
                 docs = union(&docs, &ids);
             }
         }
@@ -980,8 +1126,14 @@ impl Engine {
         let rkeys = self.resolve_keys(rf, right);
         let ldocs = self.docs_of_keys(lf, &lkeys);
         let rdocs = self.docs_of_keys(rf, &rkeys);
-        intersect(&ldocs, &rdocs)
-            .into_iter()
+        let both = intersect(&ldocs, &rdocs);
+        if !self.index.has_positions() {
+            // Built with [`PositionsMode::None`]: no positional store
+            // exists, so proximity degrades to plain co-occurrence —
+            // the §4.1.1-sanctioned relaxation for unsupported features.
+            return both;
+        }
+        both.into_iter()
             .filter(|&doc| {
                 let lpos = self.positions_of(doc, lf, &lkeys);
                 let rpos = self.positions_of(doc, rf, &rkeys);
@@ -994,7 +1146,7 @@ impl Engine {
         let mut docs = Vec::new();
         for key in keys {
             if let Some(postings) = self.index.postings(field, key) {
-                let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
+                let ids: Vec<DocId> = postings.docs().collect();
                 docs = union(&docs, &ids);
             }
         }
@@ -1005,8 +1157,8 @@ impl Engine {
         let mut pos = Vec::new();
         for key in keys {
             if let Some(postings) = self.index.postings(field, key) {
-                if let Some(p) = find_posting(postings, doc) {
-                    pos.extend_from_slice(&p.positions);
+                if let Some((i, _)) = postings.find(doc) {
+                    pos.extend_from_slice(postings.positions_at(i));
                 }
             }
         }
@@ -1020,19 +1172,49 @@ impl Engine {
         for key in keys {
             df = df.max(self.df_of(field, key));
             if let Some(postings) = self.index.postings(field, key) {
-                if let Some(p) = find_posting(postings, doc) {
-                    tf += p.tf();
-                }
+                tf += postings.tf_of(doc);
             }
         }
         (tf, df)
     }
 
-    fn stats_for(&self, doc: DocId, tf: u32, df: u32) -> TermDocStats {
-        let (n_docs, avg_tokens) = match &self.collection {
+    /// The (document count, mean document length) pair every
+    /// [`TermDocStats`] carries: the calibrated collection-wide view
+    /// when one is installed, this index's own otherwise.
+    fn collection_counts(&self) -> (u32, f64) {
+        match &self.collection {
             Some(c) => (c.n_docs(), c.avg_doc_tokens()),
             None => (self.index.n_docs(), self.index.avg_doc_tokens()),
-        };
+        }
+    }
+
+    /// Fold the per-(term, collection) constants of the ranking
+    /// algorithm for a leaf with document frequency `df`, or `None`
+    /// when the algorithm doesn't support folding and scoring must go
+    /// through [`RankingAlgorithm::term_weight`].
+    fn prepare_leaf(&self, df: u32) -> Option<PreparedWeight> {
+        let (n_docs, avg_tokens) = self.collection_counts();
+        self.ranking.prepare(df, n_docs, avg_tokens)
+    }
+
+    /// One leaf's term weight for one document: the folded-constant
+    /// fast path when `prepared` is available, the generic
+    /// [`RankingAlgorithm::term_weight`] otherwise. The two are
+    /// bit-identical by construction (see [`PreparedWeight`]).
+    #[inline]
+    fn weigh_leaf(&self, prepared: Option<&PreparedWeight>, doc: DocId, tf: u32, df: u32) -> f64 {
+        match prepared {
+            Some(p) => p.weight(
+                tf,
+                self.index.doc_token_count(doc),
+                self.doc_norms[doc.0 as usize],
+            ),
+            None => self.ranking.term_weight(&self.stats_for(doc, tf, df)),
+        }
+    }
+
+    fn stats_for(&self, doc: DocId, tf: u32, df: u32) -> TermDocStats {
+        let (n_docs, avg_tokens) = self.collection_counts();
         TermDocStats {
             tf,
             df,
@@ -1084,12 +1266,15 @@ impl Engine {
                 ctx.bound = self.leaf_bound(&ctx, single.as_ref());
                 // A finite bound over non-empty postings implies a
                 // single key (see `leaf_bound`); wire up the key's
-                // block-compressed mirror and per-block weight maxima
-                // so Block-Max-WAND can skip through this leaf.
+                // block postings and per-block weight maxima so
+                // Block-Max-WAND can skip through this leaf.
                 if ctx.bound.is_finite() && !ctx.postings.is_empty() {
                     if let Some((field, key)) = &single {
                         if let Some(tid) = self.index.term_id(key) {
-                            ctx.blocks = self.index.block_postings(*field, tid);
+                            ctx.blocks = self
+                                .index
+                                .postings_by_id(*field, tid)
+                                .map(PostingsList::blocks);
                             if let Some(bm) = self
                                 .bounds
                                 .as_ref()
@@ -1161,18 +1346,19 @@ impl Engine {
         tf_scratch.resize(candidates.len(), 0);
         for postings in &leaf.postings {
             let mut ci = 0;
-            for p in postings.iter() {
-                while ci < candidates.len() && candidates[ci] < p.doc {
+            for (doc, tf) in postings.docs_tfs() {
+                while ci < candidates.len() && candidates[ci] < doc {
                     ci += 1;
                 }
                 if ci == candidates.len() {
                     break;
                 }
-                if candidates[ci] == p.doc {
-                    tf_scratch[ci] += p.tf();
+                if candidates[ci] == doc {
+                    tf_scratch[ci] += tf;
                 }
             }
         }
+        let prepared = self.prepare_leaf(leaf.df);
         candidates
             .iter()
             .zip(tf_scratch.iter())
@@ -1180,7 +1366,7 @@ impl Engine {
                 if tf == 0 {
                     0.0
                 } else {
-                    leaf.weight * self.ranking.term_weight(&self.stats_for(doc, tf, leaf.df))
+                    leaf.weight * self.weigh_leaf(prepared.as_ref(), doc, tf, leaf.df)
                 }
             })
             .collect()
@@ -1389,6 +1575,41 @@ impl Engine {
             }
         }
     }
+
+    /// Collect the positional-check doc set of every `prox` node in the
+    /// tree, children-first depth-first — the order `bmw_tree_exact`
+    /// consumes them. `Some` (possibly empty) when both children are
+    /// term leaves, `None` when the node degrades to fuzzy `and` —
+    /// mirroring `score_tree`'s per-node decision exactly.
+    fn collect_prox_sets(&self, node: &RankNode, out: &mut Vec<Option<Vec<DocId>>>) {
+        match node {
+            RankNode::Term { .. } => {}
+            RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => {
+                for n in c {
+                    self.collect_prox_sets(n, out);
+                }
+            }
+            RankNode::AndNot(a, b) => {
+                self.collect_prox_sets(a, out);
+                self.collect_prox_sets(b, out);
+            }
+            RankNode::Prox {
+                left,
+                right,
+                distance,
+                ordered,
+            } => {
+                self.collect_prox_sets(left, out);
+                self.collect_prox_sets(right, out);
+                out.push(match (left.as_ref(), right.as_ref()) {
+                    (RankNode::Term { spec: ls, .. }, RankNode::Term { spec: rs, .. }) => {
+                        Some(self.eval_prox(ls, rs, *distance, *ordered))
+                    }
+                    _ => None,
+                });
+            }
+        }
+    }
 }
 
 /// Per-leaf query-time state, resolved exactly once per query: the
@@ -1398,16 +1619,16 @@ impl Engine {
 struct LeafCtx<'a> {
     weight: f64,
     df: u32,
-    postings: Vec<&'a [Posting]>,
+    postings: Vec<&'a PostingsList>,
     cmp_docs: Option<Vec<DocId>>,
     /// Upper bound (weight folded in) on this leaf's contribution to
     /// any local document's score slot; `+inf` when no sound finite
     /// bound exists — then the whole query falls back to the exact
     /// unpruned path.
     bound: f64,
-    /// Block-compressed mirror of the leaf's single resolved key (set
-    /// only when `bound` is finite and postings exist) — what the
-    /// Block-Max-WAND cursor walks.
+    /// Block postings of the leaf's single resolved key (set only when
+    /// `bound` is finite and postings exist) — what the Block-Max-WAND
+    /// cursor walks.
     blocks: Option<&'a BlockPostings>,
     /// Per-block maxima of the key's exact term weights (query weight
     /// *not* folded in — applied at use), aligned with `blocks`.
@@ -1494,10 +1715,12 @@ impl PruneHooks<'_> {
 
 /// Decide whether `node` (already flattened when the engine ignores
 /// fuzzy operators) has the shape the Block-Max-WAND evaluator handles:
-/// any tree of `term`/`list`/`and`/`or`/`and-not` (no `prox` — its
-/// positional predicate has no sound per-block bound), every leaf
-/// carrying a finite whole-list bound and, when it has postings, a
-/// block-compressed mirror with one recorded maximum per block. Any
+/// any tree of `term`/`list`/`and`/`or`/`and-not`/`prox`, every leaf
+/// carrying a finite whole-list bound and, when it has postings, block
+/// postings with one recorded maximum per block. `prox` prunes through
+/// its positions-ignored over-estimate (the fuzzy-`and` bound — the
+/// positional predicate only ever *zeroes* a score, so ignoring it
+/// dominates); survivors still run the exact positional check. Any
 /// other shape falls back to the exact unpruned path, where pruning is
 /// a documented no-op.
 fn bmw_eligible(node: &RankNode, leaves: &[LeafCtx<'_>]) -> bool {
@@ -1506,7 +1729,7 @@ fn bmw_eligible(node: &RankNode, leaves: &[LeafCtx<'_>]) -> bool {
             RankNode::Term { .. } => true,
             RankNode::List(c) | RankNode::And(c) | RankNode::Or(c) => c.iter().all(shape_ok),
             RankNode::AndNot(a, b) => shape_ok(a) && shape_ok(b),
-            RankNode::Prox { .. } => false,
+            RankNode::Prox { left, right, .. } => shape_ok(left) && shape_ok(right),
         }
     }
     shape_ok(node)
@@ -1516,6 +1739,21 @@ fn bmw_eligible(node: &RankNode, leaves: &[LeafCtx<'_>]) -> bool {
                 && (l.postings.is_empty()
                     || matches!(l.blocks, Some(b) if b.n_blocks() == l.block_max.len()))
         })
+}
+
+/// Restore the Block-Max WAND frontier `order` (leaf indices keyed by
+/// their current doc in `docs`) to ascending doc order. Insertion
+/// sort: each advance moves only the already-adjacent prefix cursors
+/// forward, so the array is always nearly sorted and the repair is a
+/// handful of compares instead of a rebuild.
+fn repair_frontier_order(order: &mut [usize], docs: &[u32]) {
+    for i in 1..order.len() {
+        let mut j = i;
+        while j > 0 && docs[order[j - 1]] > docs[order[j]] {
+            order.swap(j - 1, j);
+            j -= 1;
+        }
+    }
 }
 
 /// Leaf count of a subtree — how many [`LeafCtx`] slots it consumes.
@@ -1584,8 +1822,17 @@ fn bmw_tree_bound(node: &RankNode, ub: &[f64], cursor: &mut usize) -> f64 {
             *cursor += n_leaves(b);
             pos
         }
-        // Excluded by the shape gate; +inf disables pruning defensively.
-        RankNode::Prox { .. } => f64::INFINITY,
+        RankNode::Prox { left, right, .. } => {
+            // Positions-ignored over-estimate: the exact score is the
+            // fuzzy-`and` base when the positional predicate passes and
+            // 0 when it fails (or the base is non-positive), so
+            // `max(min(l, r), 0)` dominates it — `min`/`max` are
+            // monotone under IEEE semantics, keeping the bound bit-wise
+            // sound with no epsilon.
+            let l = bmw_tree_bound(left, ub, cursor);
+            let r = bmw_tree_bound(right, ub, cursor);
+            f64::max(f64::min(l, r), 0.0)
+        }
     }
 }
 
@@ -1593,8 +1840,19 @@ fn bmw_tree_bound(node: &RankNode, ub: &[f64], cursor: &mut usize) -> f64 {
 /// `vals` slots in the depth-first order `resolve_leaves` emits. The
 /// scalar mirror of `score_tree`'s per-slot arithmetic (same
 /// expressions, same accumulation order), so Block-Max-WAND survivors
-/// score bit-identically to the unpruned path.
-fn bmw_tree_exact(node: &RankNode, vals: &[f64], cursor: &mut usize) -> f64 {
+/// score bit-identically to the unpruned path. `prox_sets` holds one
+/// entry per `prox` node in the same depth-first (children-first)
+/// order, precomputed once per query — `Some(docs)` when both children
+/// are term leaves (the positional check applies), `None` otherwise
+/// (degrades to fuzzy `and`, exactly as `score_tree` does).
+fn bmw_tree_exact(
+    node: &RankNode,
+    vals: &[f64],
+    cursor: &mut usize,
+    doc: DocId,
+    prox_sets: &[Option<Vec<DocId>>],
+    prox_cursor: &mut usize,
+) -> f64 {
     match node {
         RankNode::Term { .. } => {
             let v = vals[*cursor];
@@ -1605,7 +1863,7 @@ fn bmw_tree_exact(node: &RankNode, vals: &[f64], cursor: &mut usize) -> f64 {
             let mut num = 0.0_f64;
             let mut den = 0.0_f64;
             for c in children {
-                num += bmw_tree_exact(c, vals, cursor);
+                num += bmw_tree_exact(c, vals, cursor, doc, prox_sets, prox_cursor);
                 den += leaf_weight(c);
             }
             if den > 0.0 {
@@ -1620,23 +1878,42 @@ fn bmw_tree_exact(node: &RankNode, vals: &[f64], cursor: &mut usize) -> f64 {
             }
             let mut acc = f64::INFINITY;
             for c in children {
-                acc = f64::min(acc, bmw_tree_exact(c, vals, cursor));
+                acc = f64::min(
+                    acc,
+                    bmw_tree_exact(c, vals, cursor, doc, prox_sets, prox_cursor),
+                );
             }
             f64::max(acc, 0.0)
         }
         RankNode::Or(children) => {
             let mut acc = 0.0_f64;
             for c in children {
-                acc = f64::max(acc, bmw_tree_exact(c, vals, cursor));
+                acc = f64::max(
+                    acc,
+                    bmw_tree_exact(c, vals, cursor, doc, prox_sets, prox_cursor),
+                );
             }
             acc
         }
         RankNode::AndNot(a, b) => {
-            let pos = bmw_tree_exact(a, vals, cursor);
-            let neg = bmw_tree_exact(b, vals, cursor);
+            let pos = bmw_tree_exact(a, vals, cursor, doc, prox_sets, prox_cursor);
+            let neg = bmw_tree_exact(b, vals, cursor, doc, prox_sets, prox_cursor);
             pos * (1.0 - neg.clamp(0.0, 1.0))
         }
-        RankNode::Prox { .. } => unreachable!("Prox is excluded by the BMW shape gate"),
+        RankNode::Prox { left, right, .. } => {
+            let l = bmw_tree_exact(left, vals, cursor, doc, prox_sets, prox_cursor);
+            let r = bmw_tree_exact(right, vals, cursor, doc, prox_sets, prox_cursor);
+            let set = &prox_sets[*prox_cursor];
+            *prox_cursor += 1;
+            let base = l.min(r);
+            if base <= 0.0 {
+                return 0.0;
+            }
+            match set {
+                Some(s) if s.binary_search(&doc).is_err() => 0.0,
+                _ => base,
+            }
+        }
     }
 }
 
@@ -1665,34 +1942,42 @@ fn compute_term_bounds(
         let mut max = f64::NEG_INFINITY;
         let mut min = f64::INFINITY;
         // Per-block maxima ride along in the same pass, chunked exactly
-        // as `BlockPostings::encode` chunks the list, so maxima line up
-        // one-to-one with the blocks the BMW cursors walk.
+        // as `BlockPostings::encode` chunks the list (every block full
+        // except the last), so maxima line up one-to-one with the
+        // blocks the BMW cursors walk.
         let mut block_max = Vec::with_capacity(postings.len().div_ceil(BLOCK_DOCS));
-        for chunk in postings.chunks(BLOCK_DOCS) {
-            let mut bmax = f64::NEG_INFINITY;
-            for p in chunk {
-                let st = TermDocStats {
-                    tf: p.tf(),
-                    df,
-                    n_docs,
-                    doc_tokens: index.doc_token_count(p.doc),
-                    avg_tokens,
-                    doc_norm: doc_norms[p.doc.0 as usize],
-                };
-                let w = ranking.term_weight(&st);
-                // `total_cmp` extrema: a NaN weight poisons the envelope
-                // (it sorts above +inf / below -inf), correctly disabling
-                // pruning for the key.
-                if w.total_cmp(&max).is_gt() {
-                    max = w;
-                }
-                if w.total_cmp(&min).is_lt() {
-                    min = w;
-                }
-                if w.total_cmp(&bmax).is_gt() {
-                    bmax = w;
-                }
+        let mut bmax = f64::NEG_INFINITY;
+        let mut in_block = 0usize;
+        for (doc, tf) in postings.docs_tfs() {
+            let st = TermDocStats {
+                tf,
+                df,
+                n_docs,
+                doc_tokens: index.doc_token_count(doc),
+                avg_tokens,
+                doc_norm: doc_norms[doc.0 as usize],
+            };
+            let w = ranking.term_weight(&st);
+            // `total_cmp` extrema: a NaN weight poisons the envelope
+            // (it sorts above +inf / below -inf), correctly disabling
+            // pruning for the key.
+            if w.total_cmp(&max).is_gt() {
+                max = w;
             }
+            if w.total_cmp(&min).is_lt() {
+                min = w;
+            }
+            if w.total_cmp(&bmax).is_gt() {
+                bmax = w;
+            }
+            in_block += 1;
+            if in_block == BLOCK_DOCS {
+                block_max.push(bmax);
+                bmax = f64::NEG_INFINITY;
+                in_block = 0;
+            }
+        }
+        if in_block > 0 {
             block_max.push(bmax);
         }
         out.insert(field, tid, TermBound { max, min });
@@ -1702,9 +1987,10 @@ fn compute_term_bounds(
 }
 
 /// One sorted doc-id stream feeding the candidate merge: either a
-/// posting-list slice or an owned doc set (comparison leaves).
+/// block-decoding posting iterator or an owned doc set (comparison
+/// leaves).
 enum DocStream<'a> {
-    Postings(std::slice::Iter<'a, Posting>),
+    Postings(PostingsIter<'a>),
     Ids(std::slice::Iter<'a, DocId>),
 }
 
@@ -1713,7 +1999,7 @@ impl Iterator for DocStream<'_> {
 
     fn next(&mut self) -> Option<DocId> {
         match self {
-            DocStream::Postings(it) => it.next().map(|p| p.doc),
+            DocStream::Postings(it) => it.next().map(|(doc, _)| doc),
             DocStream::Ids(it) => it.next().copied(),
         }
     }
@@ -1728,7 +2014,7 @@ fn candidate_docs(leaves: &[LeafCtx<'_>]) -> Vec<DocId> {
             Some(ids) => streams.push(DocStream::Ids(ids.iter())),
             None => {
                 for postings in &leaf.postings {
-                    streams.push(DocStream::Postings(postings.iter()));
+                    streams.push(DocStream::Postings(postings.docs_tfs()));
                 }
             }
         }
@@ -1741,13 +2027,6 @@ fn leaf_weight(node: &RankNode) -> f64 {
         RankNode::Term { weight, .. } => *weight,
         _ => 1.0,
     }
-}
-
-fn find_posting(postings: &[Posting], doc: DocId) -> Option<&Posting> {
-    postings
-        .binary_search_by_key(&doc, |p| p.doc)
-        .ok()
-        .map(|i| &postings[i])
 }
 
 fn compute_doc_norms(
@@ -1764,24 +2043,24 @@ fn compute_doc_norms(
     // squared term weights in the same sequence whether the index is
     // monolithic or one shard of many, making the floating-point norms
     // (and thus every downstream score) bit-identical across shardings.
-    let mut vocab: Vec<(&str, &[Posting])> = index.field_vocabulary(ANY_FIELD).collect();
+    let mut vocab: Vec<(&str, &PostingsList)> = index.field_vocabulary(ANY_FIELD).collect();
     vocab.sort_unstable_by(|a, b| a.0.cmp(b.0));
     for (term, postings) in vocab {
         let df = match collection {
             Some(c) => c.df(ANY_FIELD, term),
             None => postings.len() as u32,
         };
-        for p in postings {
+        for (doc, tf) in postings.docs_tfs() {
             let st = TermDocStats {
-                tf: p.tf(),
+                tf,
                 df,
                 n_docs,
-                doc_tokens: index.doc_token_count(p.doc),
+                doc_tokens: index.doc_token_count(doc),
                 avg_tokens: avg,
                 doc_norm: 1.0,
             };
             let w = ranking.unnormalized_weight(&st);
-            sq[p.doc.0 as usize] += w * w;
+            sq[doc.0 as usize] += w * w;
         }
     }
     sq.into_iter().map(f64::sqrt).collect()

@@ -1,4 +1,11 @@
-//! The positional inverted index and its builder.
+//! The inverted index and its builder.
+//!
+//! Since the block codec became the primary doc/tf store, a posting
+//! list is a [`BlockPostings`] stream (always present, always what
+//! search evaluates) plus an optional *positional arena* — a compact
+//! `offsets`/`positions` pair consulted only by `prox` and stats
+//! reporting. Engines whose queries can never reach `prox` build with
+//! [`PositionsMode::None`] and store no positions at all.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -17,20 +24,177 @@ const FIELD_GAP: u32 = 100;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct TermId(pub u32);
 
-/// One document's entry in a posting list, with token positions.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Posting {
-    /// The document.
-    pub doc: DocId,
-    /// Sorted token positions of the term within the field.
-    pub positions: Vec<u32>,
+/// Whether an index keeps token positions next to its block postings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PositionsMode {
+    /// Keep the positional arena for every field (the default): `prox`
+    /// filters on real word distances.
+    #[default]
+    All,
+    /// Store no positions. Ranking and Boolean evaluation are
+    /// unaffected (they only read the block postings); `prox` degrades
+    /// to plain document intersection, the honest capability of a
+    /// source without a positional index.
+    None,
 }
 
-impl Posting {
-    /// Term frequency: the number of occurrences (the `Term-frequency`
-    /// statistic of §4.2).
-    pub fn tf(&self) -> u32 {
-        self.positions.len() as u32
+/// The positional arena of one posting list: all position lists
+/// back-to-back in one `u32` buffer, fenced by `offsets` (one entry per
+/// posting plus a final end fence). Replaces the former per-posting
+/// `Vec<u32>` representation at a fraction of the memory.
+#[derive(Debug, Clone, Default)]
+struct PositionalArena {
+    offsets: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl PositionalArena {
+    fn slice(&self, i: usize) -> &[u32] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.positions[lo..hi]
+    }
+
+    fn bytes(&self) -> u64 {
+        ((self.offsets.len() + self.positions.len()) * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// One term's posting list: the block-compressed `(doc, tf)` stream all
+/// evaluation runs on, plus the optional positional arena for `prox`.
+#[derive(Debug, Clone, Default)]
+pub struct PostingsList {
+    blocks: BlockPostings,
+    positions: Option<PositionalArena>,
+}
+
+impl PostingsList {
+    /// Number of postings (documents) in the list.
+    pub fn len(&self) -> usize {
+        self.blocks.len() as usize
+    }
+
+    /// Whether the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block-compressed stream (the store cursors seek over).
+    pub fn blocks(&self) -> &BlockPostings {
+        &self.blocks
+    }
+
+    /// Sum of term frequencies across the list (the content summary's
+    /// "total number of postings").
+    pub fn total_tf(&self) -> u64 {
+        self.blocks.total_tf()
+    }
+
+    /// Iterate the `(doc, tf)` pairs in doc order, decoding block by
+    /// block.
+    pub fn docs_tfs(&self) -> PostingsIter<'_> {
+        PostingsIter::new(&self.blocks)
+    }
+
+    /// Iterate the doc ids in order.
+    pub fn docs(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.docs_tfs().map(|(doc, _)| doc)
+    }
+
+    /// Locate a document: its posting index and term frequency. Seeks
+    /// by block header and decodes only the landing block.
+    pub fn find(&self, doc: DocId) -> Option<(usize, u32)> {
+        let n = self.blocks.n_blocks();
+        if n == 0 {
+            return None;
+        }
+        // Binary search the header fence posts for the landing block.
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.blocks.header(mid).max_doc < doc.0 {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let b = lo;
+        if b == n {
+            return None;
+        }
+        let mut docs = Vec::new();
+        let mut tfs = Vec::new();
+        self.blocks.decode_block(b, &mut docs, &mut tfs);
+        let i = docs.binary_search(&doc.0).ok()?;
+        Some((b * crate::blocks::BLOCK_DOCS + i, tfs[i]))
+    }
+
+    /// Term frequency of a document, 0 when absent.
+    pub fn tf_of(&self, doc: DocId) -> u32 {
+        self.find(doc).map_or(0, |(_, tf)| tf)
+    }
+
+    /// Whether this list carries token positions.
+    pub fn has_positions(&self) -> bool {
+        self.positions.is_some()
+    }
+
+    /// Sorted token positions of the `i`-th posting; empty when the
+    /// index was built without positions.
+    pub fn positions_at(&self, i: usize) -> &[u32] {
+        self.positions.as_ref().map_or(&[], |a| a.slice(i))
+    }
+
+    /// Bytes held by the positional arena (0 without positions).
+    pub fn positional_bytes(&self) -> u64 {
+        self.positions.as_ref().map_or(0, PositionalArena::bytes)
+    }
+}
+
+/// Block-decoding iterator over a posting list's `(doc, tf)` pairs.
+#[derive(Debug)]
+pub struct PostingsIter<'a> {
+    list: &'a BlockPostings,
+    block: usize,
+    pos: usize,
+    docs: Vec<u32>,
+    tfs: Vec<u32>,
+}
+
+impl<'a> PostingsIter<'a> {
+    fn new(list: &'a BlockPostings) -> Self {
+        let mut it = PostingsIter {
+            list,
+            block: 0,
+            pos: 0,
+            docs: Vec::new(),
+            tfs: Vec::new(),
+        };
+        if list.n_blocks() > 0 {
+            list.decode_block(0, &mut it.docs, &mut it.tfs);
+        }
+        it
+    }
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = (DocId, u32);
+
+    fn next(&mut self) -> Option<(DocId, u32)> {
+        if self.block >= self.list.n_blocks() {
+            return None;
+        }
+        let out = (DocId(self.docs[self.pos]), self.tfs[self.pos]);
+        self.pos += 1;
+        if self.pos == self.docs.len() {
+            self.block += 1;
+            self.pos = 0;
+            if self.block < self.list.n_blocks() {
+                self.list
+                    .decode_block(self.block, &mut self.docs, &mut self.tfs);
+            }
+        }
+        Some(out)
     }
 }
 
@@ -100,19 +264,20 @@ impl TermBounds {
 }
 
 /// Memory accounting for an index's posting storage, split by
-/// representation so the block codec's compression win is measurable
-/// (`Index::postings_footprint`).
+/// representation so the block codec's compression win — and the
+/// positional diet — stay measurable (`Index::postings_footprint`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PostingsFootprint {
     /// Number of posting lists (distinct `(field, term)` keys).
     pub lists: u64,
+    /// Lists that carry a positional arena (0 under
+    /// [`PositionsMode::None`]).
+    pub positional_lists: u64,
     /// Total postings across all lists.
     pub postings: u64,
-    /// Bytes held by the uncompressed positional postings (`Posting`
-    /// structs plus their position vectors).
+    /// Bytes held by the positional arenas (offsets + positions).
     pub positional_bytes: u64,
-    /// Bytes held by the block-compressed doc/tf streams, headers
-    /// included.
+    /// Bytes held by the bit-packed block streams, headers included.
     pub block_bytes: u64,
 }
 
@@ -120,6 +285,7 @@ impl PostingsFootprint {
     /// Fold another footprint into this one (shard aggregation).
     pub fn merge(&mut self, other: &PostingsFootprint) {
         self.lists += other.lists;
+        self.positional_lists += other.positional_lists;
         self.postings += other.postings;
         self.positional_bytes += other.positional_bytes;
         self.block_bytes += other.block_bytes;
@@ -133,22 +299,31 @@ pub struct Index {
     analyzer: Analyzer,
     terms: Vec<String>,
     vocab: HashMap<String, TermId>,
-    postings: HashMap<(FieldId, TermId), Vec<Posting>>,
-    /// Block-compressed `(doc, tf)` mirror of every posting list, built
-    /// once in [`IndexBuilder::build`] — the skippable representation
-    /// Block-Max-WAND cursors walk (positions stay in `postings`, which
-    /// remains the source of truth for `prox` and stats reporting).
-    blocks: HashMap<(FieldId, TermId), BlockPostings>,
+    postings: HashMap<(FieldId, TermId), PostingsList>,
     docs: Vec<StoredDoc>,
     total_tokens: u64,
     /// Languages observed per field, for metadata export.
     field_langs: HashMap<FieldId, BTreeSet<LangTag>>,
+    positions_stored: bool,
+}
+
+/// Build-time accumulation for one posting list: columnar doc/tf plus
+/// the flat position stream (empty under [`PositionsMode::None`]).
+/// Documents arrive in increasing order and positions in increasing
+/// order within a document, so everything is append-only.
+#[derive(Debug, Default)]
+struct ScratchList {
+    docs: Vec<u32>,
+    tfs: Vec<u32>,
+    positions: Vec<u32>,
 }
 
 /// Mutable index construction.
 #[derive(Debug)]
 pub struct IndexBuilder {
     inner: Index,
+    scratch: HashMap<(FieldId, TermId), ScratchList>,
+    store_positions: bool,
 }
 
 impl IndexBuilder {
@@ -170,12 +345,23 @@ impl IndexBuilder {
                 terms: Vec::new(),
                 vocab: HashMap::new(),
                 postings: HashMap::new(),
-                blocks: HashMap::new(),
                 docs: Vec::new(),
                 total_tokens: 0,
                 field_langs: HashMap::new(),
+                positions_stored: true,
             },
+            scratch: HashMap::new(),
+            store_positions: true,
         }
+    }
+
+    /// Select whether token positions are stored
+    /// ([`PositionsMode::All`], the default) or retired entirely
+    /// ([`PositionsMode::None`]).
+    pub fn positions(mut self, mode: PositionsMode) -> Self {
+        self.store_positions = mode == PositionsMode::All;
+        self.inner.positions_stored = self.store_positions;
+        self
     }
 
     /// Add a document; returns its id. Every token is indexed under its
@@ -209,12 +395,19 @@ impl IndexBuilder {
                 max_pos = max_pos.max(*position);
                 token_count += 1;
                 let tid = intern_term(&mut idx.vocab, &mut idx.terms, term);
-                push_position(&mut idx.postings, (fid, tid), doc_id, fbase + position);
                 push_position(
-                    &mut idx.postings,
+                    &mut self.scratch,
+                    (fid, tid),
+                    doc_id,
+                    fbase + position,
+                    self.store_positions,
+                );
+                push_position(
+                    &mut self.scratch,
                     (ANY_FIELD, tid),
                     doc_id,
                     global_base + position,
+                    self.store_positions,
                 );
             }
             let advance = if tokens.is_empty() { 0 } else { max_pos + 1 };
@@ -231,16 +424,41 @@ impl IndexBuilder {
         doc_id
     }
 
-    /// Finish building: freezes the positional lists and encodes the
-    /// block-compressed `(doc, tf)` mirror each one (delta + varint in
-    /// 128-doc blocks) that skip-capable cursors walk.
+    /// Finish building: bit-pack each accumulated list into 128-doc
+    /// blocks (the store all evaluation runs on) and freeze the flat
+    /// position streams into per-list arenas — or drop them under
+    /// [`PositionsMode::None`].
     pub fn build(self) -> Index {
         let mut index = self.inner;
-        let mut scratch: Vec<(u32, u32)> = Vec::new();
-        for (&key, list) in &index.postings {
-            scratch.clear();
-            scratch.extend(list.iter().map(|p| (p.doc.0, p.tf())));
-            index.blocks.insert(key, BlockPostings::encode(&scratch));
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (key, scratch) in self.scratch {
+            pairs.clear();
+            pairs.extend(
+                scratch
+                    .docs
+                    .iter()
+                    .copied()
+                    .zip(scratch.tfs.iter().copied()),
+            );
+            let blocks = BlockPostings::encode(&pairs);
+            let positions = self.store_positions.then(|| {
+                let mut offsets = Vec::with_capacity(scratch.tfs.len() + 1);
+                let mut acc = 0u32;
+                offsets.push(0);
+                for &tf in &scratch.tfs {
+                    acc = acc
+                        .checked_add(tf)
+                        .expect("position arena longer than the u32 offset space");
+                    offsets.push(acc);
+                }
+                PositionalArena {
+                    offsets,
+                    positions: scratch.positions,
+                }
+            });
+            index
+                .postings
+                .insert(key, PostingsList { blocks, positions });
         }
         index
     }
@@ -257,18 +475,22 @@ fn intern_term(vocab: &mut HashMap<String, TermId>, terms: &mut Vec<String>, ter
 }
 
 fn push_position(
-    postings: &mut HashMap<(FieldId, TermId), Vec<Posting>>,
+    scratch: &mut HashMap<(FieldId, TermId), ScratchList>,
     key: (FieldId, TermId),
     doc: DocId,
     position: u32,
+    store_positions: bool,
 ) {
-    let list = postings.entry(key).or_default();
-    match list.last_mut() {
-        Some(last) if last.doc == doc => last.positions.push(position),
-        _ => list.push(Posting {
-            doc,
-            positions: vec![position],
-        }),
+    let list = scratch.entry(key).or_default();
+    match list.docs.last() {
+        Some(&last) if last == doc.0 => *list.tfs.last_mut().unwrap() += 1,
+        _ => {
+            list.docs.push(doc.0);
+            list.tfs.push(1);
+        }
+    }
+    if store_positions {
+        list.positions.push(position);
     }
 }
 
@@ -329,11 +551,16 @@ impl Index {
             .map(|(_, text, _)| text.as_str())
     }
 
+    /// Whether this index stores token positions ([`PositionsMode`]).
+    pub fn has_positions(&self) -> bool {
+        self.positions_stored
+    }
+
     /// The posting list for a (field, term) pair. The term must be in
     /// index-normalized form (the caller normalizes via the analyzer).
-    pub fn postings(&self, field: FieldId, term: &str) -> Option<&[Posting]> {
+    pub fn postings(&self, field: FieldId, term: &str) -> Option<&PostingsList> {
         let tid = self.vocab.get(term)?;
-        self.postings.get(&(field, *tid)).map(Vec::as_slice)
+        self.postings.get(&(field, *tid))
     }
 
     /// Document frequency of a term in a field (`Document-frequency`).
@@ -349,19 +576,18 @@ impl Index {
     /// Total postings (sum of tf over docs) of a term in a field — the
     /// content summary's "total number of postings" statistic.
     pub fn total_postings(&self, field: FieldId, term: &str) -> u64 {
-        self.postings(field, term)
-            .map_or(0, |p| p.iter().map(|x| u64::from(x.tf())).sum())
+        self.postings(field, term).map_or(0, PostingsList::total_tf)
     }
 
     /// Iterate the vocabulary of a field: `(term, postings)`.
     pub fn field_vocabulary(
         &self,
         field: FieldId,
-    ) -> impl Iterator<Item = (&str, &[Posting])> + '_ {
+    ) -> impl Iterator<Item = (&str, &PostingsList)> + '_ {
         self.postings
             .iter()
             .filter(move |((fid, _), _)| *fid == field)
-            .map(|((_, tid), list)| (self.terms[tid.0 as usize].as_str(), list.as_slice()))
+            .map(|((_, tid), list)| (self.terms[tid.0 as usize].as_str(), list))
     }
 
     /// Languages observed in a field's values.
@@ -388,15 +614,10 @@ impl Index {
     /// the [`TermBounds`] pruning sidecar.
     pub(crate) fn all_postings(
         &self,
-    ) -> impl Iterator<Item = (FieldId, TermId, &str, &[Posting])> + '_ {
-        self.postings.iter().map(|((fid, tid), list)| {
-            (
-                *fid,
-                *tid,
-                self.terms[tid.0 as usize].as_str(),
-                list.as_slice(),
-            )
-        })
+    ) -> impl Iterator<Item = (FieldId, TermId, &str, &PostingsList)> + '_ {
+        self.postings
+            .iter()
+            .map(|((fid, tid), list)| (*fid, *tid, self.terms[tid.0 as usize].as_str(), list))
     }
 
     /// The interned id of an index-normalized term, if present.
@@ -404,27 +625,25 @@ impl Index {
         self.vocab.get(term).copied()
     }
 
-    /// The block-compressed mirror of a posting list, if built.
-    pub(crate) fn block_postings(&self, field: FieldId, term: TermId) -> Option<&BlockPostings> {
-        self.blocks.get(&(field, term))
+    /// The posting list of an interned key, if present.
+    pub(crate) fn postings_by_id(&self, field: FieldId, term: TermId) -> Option<&PostingsList> {
+        self.postings.get(&(field, term))
     }
 
-    /// Memory held by posting storage, split into the uncompressed
-    /// positional lists and the block-compressed doc/tf mirror, so the
-    /// codec's compression ratio is directly observable.
+    /// Memory held by posting storage, split into the bit-packed block
+    /// streams and the positional arenas, so both the codec's
+    /// compression ratio and the positional diet are directly
+    /// observable.
     pub fn postings_footprint(&self) -> PostingsFootprint {
         let mut fp = PostingsFootprint::default();
         for list in self.postings.values() {
             fp.lists += 1;
             fp.postings += list.len() as u64;
-            fp.positional_bytes += (list.len() * std::mem::size_of::<Posting>()) as u64
-                + list
-                    .iter()
-                    .map(|p| (p.positions.len() * std::mem::size_of::<u32>()) as u64)
-                    .sum::<u64>();
-        }
-        for blocks in self.blocks.values() {
-            fp.block_bytes += blocks.bytes();
+            fp.block_bytes += list.blocks.bytes();
+            if list.has_positions() {
+                fp.positional_lists += 1;
+                fp.positional_bytes += list.positional_bytes();
+            }
         }
         fp
     }
@@ -476,8 +695,11 @@ mod tests {
         // doc 0 contains "databases" twice (title + body) under Any.
         let p = idx.postings(ANY_FIELD, "databases").unwrap();
         assert_eq!(p.len(), 1);
-        assert_eq!(p[0].doc, DocId(0));
-        assert_eq!(p[0].tf(), 2);
+        let pairs: Vec<(DocId, u32)> = p.docs_tfs().collect();
+        assert_eq!(pairs, vec![(DocId(0), 2)]);
+        assert_eq!(p.tf_of(DocId(0)), 2);
+        assert_eq!(p.find(DocId(0)), Some((0, 2)));
+        assert_eq!(p.find(DocId(1)), None);
         assert_eq!(idx.total_postings(ANY_FIELD, "databases"), 2);
     }
 
@@ -487,7 +709,26 @@ mod tests {
         let p = idx.postings(ANY_FIELD, "databases").unwrap();
         // "databases" is title token 1 and body token 0; body starts
         // after title's 2 tokens + FIELD_GAP.
-        assert_eq!(p[0].positions, vec![1, 2 + FIELD_GAP]);
+        assert!(p.has_positions());
+        assert_eq!(p.positions_at(0), &[1, 2 + FIELD_GAP]);
+    }
+
+    #[test]
+    fn positions_mode_none_drops_the_arena() {
+        let mut b = IndexBuilder::new(plain_analyzer()).positions(PositionsMode::None);
+        b.add(&Document::new().field("body-of-text", "lean lean postings"));
+        let idx = b.build();
+        assert!(!idx.has_positions());
+        let p = idx.postings(ANY_FIELD, "lean").unwrap();
+        assert!(!p.has_positions());
+        assert_eq!(p.positions_at(0), &[] as &[u32]);
+        // Doc/tf data is unaffected by the diet.
+        assert_eq!(p.tf_of(DocId(0)), 2);
+        assert_eq!(idx.total_postings(ANY_FIELD, "lean"), 2);
+        let fp = idx.postings_footprint();
+        assert_eq!(fp.positional_lists, 0);
+        assert_eq!(fp.positional_bytes, 0);
+        assert!(fp.block_bytes > 0);
     }
 
     #[test]
@@ -547,7 +788,7 @@ mod tests {
         let author = idx.schema().get("author").unwrap();
         let p = idx.postings(author, "hector").unwrap();
         // Second author instance starts after 2 tokens + FIELD_GAP.
-        assert_eq!(p[0].positions, vec![2 + FIELD_GAP]);
+        assert_eq!(p.positions_at(0), &[2 + FIELD_GAP]);
     }
 
     #[test]
@@ -559,14 +800,14 @@ mod tests {
     }
 
     #[test]
-    fn block_mirror_matches_positional_lists() {
+    fn blocks_agree_with_iteration_and_find() {
         let idx = small_index();
         for (field, tid, _, list) in idx.all_postings() {
-            let blocks = idx.block_postings(field, tid).expect("mirror built");
-            assert_eq!(blocks.len(), list.len() as u64);
-            let mut cursor = crate::blocks::BlockCursor::new(blocks);
-            for p in list {
-                assert_eq!((cursor.doc(), cursor.tf()), (p.doc.0, p.tf()));
+            assert_eq!(idx.postings_by_id(field, tid).unwrap().len(), list.len());
+            let mut cursor = crate::blocks::BlockCursor::new(list.blocks());
+            for (doc, tf) in list.docs_tfs() {
+                assert_eq!((cursor.doc(), cursor.tf()), (doc.0, tf));
+                assert_eq!(list.tf_of(doc), tf);
                 cursor.next();
             }
             assert!(cursor.is_exhausted());
@@ -578,11 +819,10 @@ mod tests {
         let idx = small_index();
         let fp = idx.postings_footprint();
         assert!(fp.lists > 0);
+        assert_eq!(fp.positional_lists, fp.lists);
         assert!(fp.postings > 0);
         assert!(fp.positional_bytes > 0);
         assert!(fp.block_bytes > 0);
-        // Varint doc/tf pairs are far smaller than positional postings.
-        assert!(fp.block_bytes < fp.positional_bytes);
         let empty = IndexBuilder::new(plain_analyzer()).build();
         assert_eq!(empty.postings_footprint(), PostingsFootprint::default());
     }

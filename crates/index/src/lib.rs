@@ -14,8 +14,9 @@
 //! * fielded documents with per-field language tags (`title`, `author`,
 //!   `body-of-text`, … — the engine is schema-agnostic; the STARTS field
 //!   semantics live in `starts-source`),
-//! * a positional inverted index (term positions feed the `prox`
-//!   operator of §4.1.1),
+//! * a block-compressed inverted index with an optional positional
+//!   store (term positions feed the `prox` operator of §4.1.1; engines
+//!   whose queries never consult positions drop the store entirely),
 //! * Boolean evaluation: `and`, `or`, `and-not`, `prox[d,order]`,
 //! * vector-space evaluation with *pluggable ranking algorithms*
 //!   ([`ranking`]): tf–idf cosine (`Acme-1`), a vendor-scaled ranker whose
@@ -41,8 +42,12 @@ pub mod topk;
 pub use blocks::{BlockCursor, BlockHeader, BlockPostings, BLOCK_DOCS};
 pub use boolean::BoolNode;
 pub use doc::{DocId, Document, FieldValue};
-pub use engine::{Engine, EngineConfig, Hit, PruneMode, PruneReport, RankNode, TermStat};
-pub use index::{Index, IndexBuilder, Posting, PostingsFootprint, TermBounds};
+pub use engine::{
+    Engine, EngineConfig, Hit, PruneMode, PruneReport, RankNode, ShardPolicy, TermStat,
+};
+pub use index::{
+    Index, IndexBuilder, PositionsMode, PostingsFootprint, PostingsIter, PostingsList, TermBounds,
+};
 pub use matchspec::{CmpOp, TermMatch, TermSpec};
 pub use ranking::{ranking_by_id, RankingAlgorithm, ScoreRange};
 pub use schema::{FieldId, Schema, ANY_FIELD};

@@ -60,6 +60,107 @@ pub struct TermDocStats {
     pub doc_norm: f64,
 }
 
+/// A term weighter with every per-(term, collection) constant already
+/// folded — the hot loops' replacement for repeated
+/// [`RankingAlgorithm::term_weight`] calls, which pay the idf
+/// logarithm and a virtual dispatch on every document. Constructed
+/// once per query leaf via [`RankingAlgorithm::prepare`]; for the same
+/// statistics, [`PreparedWeight::weight`] returns *bit-identical*
+/// results to `term_weight` — the folded constants are computed by the
+/// same expressions, and the residual arithmetic keeps the exact
+/// operation order (enforced by the pruned-equals-naive property
+/// suites, which score the pruned path through prepared weights and
+/// the naive path through `term_weight`).
+#[derive(Debug, Clone, Copy)]
+pub enum PreparedWeight {
+    /// The tf–idf cosine family (`Acme-1`, `Vendor-K`): `idf` is
+    /// `ln(1 + N/df)`; the per-call work is the tf saturation (skipped
+    /// entirely for the overwhelmingly common `tf == 1`, where
+    /// `1 + ln 1` is exactly `1.0`) and the cosine norm division.
+    TfIdf {
+        /// `ln(1 + N/df)`.
+        idf: f64,
+    },
+    /// BM25 (`Okapi-1`): Robertson idf plus the document-length
+    /// normalization constants.
+    Bm25 {
+        /// `ln((N - df + 0.5) / (df + 0.5) + 1)`.
+        idf: f64,
+        /// Term-frequency saturation `k1`.
+        k1: f64,
+        /// Length normalization `b`.
+        b: f64,
+        /// `k1 + 1`, folded.
+        k1p1: f64,
+        /// Mean tokens per document (1.0 when the collection reports
+        /// none — the same fallback `term_weight` applies per call).
+        avg: f64,
+    },
+    /// Raw term frequency (`Plain-1`).
+    RawTf,
+    /// Degenerate statistics (`df == 0` or `N == 0`): always zero.
+    Zero,
+}
+
+/// `1 + ln tf` for every small term frequency, filled once by the
+/// exact expression the fallback below evaluates — so indexing the
+/// table is bit-identical to computing inline, it just skips the
+/// logarithm call that otherwise dominates hot-loop scoring. Slot 0
+/// holds `-inf` and is never read (`tf == 0` returns early).
+static TF_PART: std::sync::LazyLock<[f64; 256]> = std::sync::LazyLock::new(|| {
+    let mut table = [0.0_f64; 256];
+    for (tf, slot) in table.iter_mut().enumerate() {
+        *slot = 1.0 + (tf as f64).ln();
+    }
+    table
+});
+
+impl PreparedWeight {
+    /// The weight of a term occurring `tf` times in a document of
+    /// `doc_tokens` tokens with precomputed norm `doc_norm` —
+    /// bit-identical to the `term_weight` call it replaces.
+    #[inline]
+    pub fn weight(&self, tf: u32, doc_tokens: u32, doc_norm: f64) -> f64 {
+        match *self {
+            PreparedWeight::Zero => 0.0,
+            PreparedWeight::RawTf => f64::from(tf),
+            PreparedWeight::TfIdf { idf } => {
+                if tf == 0 {
+                    return 0.0;
+                }
+                let tf_part = if tf == 1 {
+                    1.0
+                } else if let Some(&t) = TF_PART.get(tf as usize) {
+                    t
+                } else {
+                    1.0 + f64::from(tf).ln()
+                };
+                let w = tf_part * idf;
+                if doc_norm > 0.0 {
+                    w / doc_norm
+                } else {
+                    w
+                }
+            }
+            PreparedWeight::Bm25 {
+                idf,
+                k1,
+                b,
+                k1p1,
+                avg,
+            } => {
+                if tf == 0 {
+                    return 0.0;
+                }
+                let tf = f64::from(tf);
+                let dl = f64::from(doc_tokens);
+                let denom = tf + k1 * (1.0 - b + b * dl / avg);
+                idf * tf * k1p1 / denom
+            }
+        }
+    }
+}
+
 /// A ranking algorithm: the engine's proprietary scoring.
 pub trait RankingAlgorithm: Send + Sync {
     /// The `RankingAlgorithmID` exported in source metadata.
@@ -73,6 +174,18 @@ pub trait RankingAlgorithm: Send + Sync {
     /// normalized tf.idf weight … or whatever other weighing of terms in
     /// documents the search engine might use").
     fn term_weight(&self, st: &TermDocStats) -> f64;
+
+    /// Fold this algorithm's per-(term, collection) constants into a
+    /// [`PreparedWeight`] whose [`weight`] is bit-identical to
+    /// [`term_weight`] for any `(tf, doc_tokens, doc_norm)`. Returns
+    /// `None` (the default) when no folded form exists; callers then
+    /// keep calling `term_weight`.
+    ///
+    /// [`weight`]: PreparedWeight::weight
+    /// [`term_weight`]: RankingAlgorithm::term_weight
+    fn prepare(&self, _df: u32, _n_docs: u32, _avg_tokens: f64) -> Option<PreparedWeight> {
+        None
+    }
 
     /// Raw (un-normalized) weight used when accumulating document norms;
     /// defaults to `term_weight` with norm 1.
@@ -143,6 +256,13 @@ impl RankingAlgorithm for TfIdfCosine {
             w
         }
     }
+    fn prepare(&self, df: u32, n_docs: u32, _avg_tokens: f64) -> Option<PreparedWeight> {
+        if df == 0 || n_docs == 0 {
+            return Some(PreparedWeight::Zero);
+        }
+        let idf = (1.0 + f64::from(n_docs) / f64::from(df)).ln();
+        Some(PreparedWeight::TfIdf { idf })
+    }
     fn needs_doc_norms(&self) -> bool {
         true
     }
@@ -166,6 +286,9 @@ impl RankingAlgorithm for VendorScaled {
     }
     fn term_weight(&self, st: &TermDocStats) -> f64 {
         TfIdfCosine.term_weight(st)
+    }
+    fn prepare(&self, df: u32, n_docs: u32, avg_tokens: f64) -> Option<PreparedWeight> {
+        TfIdfCosine.prepare(df, n_docs, avg_tokens)
     }
     fn needs_doc_norms(&self) -> bool {
         true
@@ -228,6 +351,20 @@ impl RankingAlgorithm for Bm25 {
         let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg);
         idf * tf * (self.k1 + 1.0) / denom
     }
+    fn prepare(&self, df: u32, n_docs: u32, avg_tokens: f64) -> Option<PreparedWeight> {
+        if n_docs == 0 {
+            return Some(PreparedWeight::Zero);
+        }
+        let n = f64::from(n_docs);
+        let dff = f64::from(df);
+        Some(PreparedWeight::Bm25 {
+            idf: ((n - dff + 0.5) / (dff + 0.5) + 1.0).ln(),
+            k1: self.k1,
+            b: self.b,
+            k1p1: self.k1 + 1.0,
+            avg: if avg_tokens > 0.0 { avg_tokens } else { 1.0 },
+        })
+    }
 }
 
 /// `Plain-1`: the crudest engine — score is the raw occurrence count.
@@ -250,6 +387,9 @@ impl RankingAlgorithm for RawTf {
     }
     fn term_weight(&self, st: &TermDocStats) -> f64 {
         f64::from(st.tf)
+    }
+    fn prepare(&self, _df: u32, _n_docs: u32, _avg_tokens: f64) -> Option<PreparedWeight> {
+        Some(PreparedWeight::RawTf)
     }
 }
 
@@ -367,6 +507,45 @@ mod tests {
         }
         // … while Vendor-K's result-dependent rescale forbids a seed.
         assert_eq!(VendorScaled.raw_score_floor(0.25), None);
+    }
+
+    #[test]
+    fn prepared_weight_is_bit_identical() {
+        // Every built-in algorithm folds, and the folded weight matches
+        // `term_weight` to the last bit across a grid spanning the tf
+        // table, its overflow fallback, zero/degenerate statistics, and
+        // both norm branches.
+        for id in ["Acme-1", "Vendor-K", "Okapi-1", "Plain-1"] {
+            let alg = ranking_by_id(id).expect("known id");
+            for n_docs in [0u32, 1, 17, 4800] {
+                for df in [0u32, 1, 9, 4800] {
+                    for avg_tokens in [0.0, 57.3] {
+                        let p = alg
+                            .prepare(df, n_docs, avg_tokens)
+                            .expect("built-ins always fold");
+                        for tf in [0u32, 1, 2, 7, 255, 256, 100_000] {
+                            for doc_tokens in [0u32, 25, 500] {
+                                for doc_norm in [0.0, 1.0, 2.625] {
+                                    let st = TermDocStats {
+                                        tf,
+                                        df,
+                                        n_docs,
+                                        doc_tokens,
+                                        avg_tokens,
+                                        doc_norm,
+                                    };
+                                    assert_eq!(
+                                        alg.term_weight(&st).to_bits(),
+                                        p.weight(tf, doc_tokens, doc_norm).to_bits(),
+                                        "{id} {st:?}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,8 @@ use starts_text::{Analyzer, LangTag, Thesaurus};
 use crate::boolean::BoolNode;
 use crate::doc::{DocId, Document};
 use crate::engine::{
-    Engine, EngineConfig, Hit, PruneCounters, PruneHooks, PruneReport, RankNode, TermStat,
+    Engine, EngineConfig, Hit, PruneCounters, PruneHooks, PruneReport, RankNode, ShardPolicy,
+    TermStat,
 };
 use crate::index::{Index, IndexBuilder, PostingsFootprint};
 use crate::matchspec::TermSpec;
@@ -146,28 +147,33 @@ impl std::fmt::Debug for ShardedEngine {
     }
 }
 
-/// Resolve a configured shard count: `0` means the machine's available
-/// parallelism; the result is clamped so no shard can be empty by
-/// construction (at most one shard per document, at least one shard).
 /// Corpus-size floor for auto-sharding: an auto-resolved shard should
 /// hold at least this many documents before fan-out pays for itself.
 /// `BENCH_shard.json` documents the regime this guards against — on
 /// small corpora (and on 1-core containers) multi-shard is pure
 /// per-query fan-out overhead, so `shards: 0` only splits when both the
 /// hardware *and* the corpus justify it. Explicit `shards: N` remains
-/// exact (clamped to the document count).
-pub const MIN_DOCS_PER_AUTO_SHARD: usize = 1024;
+/// exact (clamped to the document count). The floor is expressed in
+/// blocks: a shard below 8 × [`crate::BLOCK_DOCS`] documents rarely
+/// spans enough 128-doc blocks per posting list for Block-Max-WAND to
+/// skip anything, so splitting it costs fan-out overhead *and* forfeits
+/// block-skip opportunity.
+pub const MIN_DOCS_PER_AUTO_SHARD: usize = 8 * crate::blocks::BLOCK_DOCS;
 
-fn resolve_shard_count(requested: usize, n_docs: usize) -> usize {
-    let wanted = if requested == 0 {
-        // Adaptive: machine parallelism capped by corpus size, so a
-        // 1-core container never fans out and a tiny corpus never
-        // splits just because the machine is wide.
-        let cores = std::thread::available_parallelism().map_or(1, usize::from);
-        let by_corpus = (n_docs / MIN_DOCS_PER_AUTO_SHARD).max(1);
-        cores.min(by_corpus)
-    } else {
-        requested
+fn resolve_shard_count(requested: usize, n_docs: usize, policy: ShardPolicy) -> usize {
+    // Machine parallelism capped by corpus size: a 1-core container
+    // never fans out, and a tiny corpus never splits just because the
+    // machine is wide.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let by_corpus = (n_docs / MIN_DOCS_PER_AUTO_SHARD).max(1);
+    let wanted = match (requested, policy) {
+        (0, _) => cores.min(by_corpus),
+        // Adaptive: an explicit request is an upper bound — querying N
+        // shards on a machine that can only run one worker pays N
+        // resolve/evaluate/merge passes for zero parallel speedup, and
+        // under-floor shards forfeit block-skip opportunity on top.
+        (n, ShardPolicy::Adaptive) => n.min(cores).min(by_corpus),
+        (n, ShardPolicy::Exact) => n,
     };
     wanted.clamp(1, n_docs.max(1))
 }
@@ -182,7 +188,7 @@ impl ShardedEngine {
     /// Panics if `config.ranking_id` is unknown, as [`Engine::build`]
     /// does.
     pub fn build(docs: &[Document], config: EngineConfig) -> Self {
-        let shard_count = resolve_shard_count(config.shards, docs.len());
+        let shard_count = resolve_shard_count(config.shards, docs.len(), config.shard_policy);
         if shard_count == 1 {
             // Monolithic: one shard, local statistics (which *are* the
             // global ones), no fan-out overhead on any path.
@@ -220,6 +226,7 @@ impl ShardedEngine {
         }
         let analyzer_cfg = &config.analyzer;
         let schema_ref = &schema;
+        let positions = config.positions;
         let indexes: Vec<Index> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
@@ -228,7 +235,8 @@ impl ShardedEngine {
                         let mut builder = IndexBuilder::with_schema(
                             Analyzer::new(analyzer_cfg.clone()),
                             schema_ref.clone(),
-                        );
+                        )
+                        .positions(positions);
                         for d in *chunk {
                             builder.add(d);
                         }
@@ -469,29 +477,62 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Run `f` against every shard in parallel, returning each shard's
-    /// result with its evaluation latency (µs), in shard order.
+    /// Run `f` against every shard, returning each shard's result with
+    /// its evaluation latency (µs), in shard order.
+    ///
+    /// Dispatch is adaptive: the effective worker count is the
+    /// machine's available parallelism capped by the shard count. With
+    /// one worker, per-shard threads buy no overlap and cost scheduling
+    /// latency on every query (`BENCH_prune.json`'s 1-core 4-shard rows
+    /// paid ~2× for it), so shards evaluate sequentially on the caller
+    /// thread — which also lets a rising pruning threshold propagate
+    /// shard-to-shard through the shared cell *before* the next shard
+    /// starts, not just mid-flight. With fewer workers than shards,
+    /// contiguous shard groups share a thread so the machine is never
+    /// oversubscribed. Results are bit-identical at every worker count:
+    /// the shared threshold only tightens pruning, never changes what
+    /// survives it.
     fn fan_out<T, F>(&self, f: F) -> Vec<(T, u64)>
     where
         T: Send,
         F: Fn(&Engine) -> T + Sync,
     {
-        let f = &f;
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
+        let workers = std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .min(self.shards.len());
+        if workers <= 1 {
+            return self
                 .shards
                 .iter()
                 .map(|engine| {
+                    let start = Instant::now();
+                    let out = f(engine);
+                    (out, elapsed_us(start))
+                })
+                .collect();
+        }
+        let f = &f;
+        let chunk = self.shards.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .chunks(chunk)
+                .map(|group| {
                     scope.spawn(move |_| {
-                        let start = Instant::now();
-                        let out = f(engine);
-                        (out, elapsed_us(start))
+                        group
+                            .iter()
+                            .map(|engine| {
+                                let start = Instant::now();
+                                let out = f(engine);
+                                (out, elapsed_us(start))
+                            })
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard query panicked"))
+                .flat_map(|h| h.join().expect("shard query panicked"))
                 .collect()
         })
         .expect("shard query scope")
@@ -543,8 +584,8 @@ impl ShardedEngine {
     }
 
     /// Memory held by the postings representations, summed across all
-    /// shards — both the positional lists and the compressed block
-    /// mirror the Block-Max-WAND evaluator seeks over.
+    /// shards — the bit-packed block postings search runs on, plus any
+    /// positional arenas kept for `prox` evaluation.
     pub fn postings_footprint(&self) -> PostingsFootprint {
         let mut total = PostingsFootprint::default();
         for shard in &self.shards {
@@ -663,6 +704,9 @@ mod tests {
     fn config(shards: usize) -> EngineConfig {
         EngineConfig {
             shards,
+            // The equality tests need the physical layouts they name,
+            // whatever machine CI runs on.
+            shard_policy: ShardPolicy::Exact,
             ..EngineConfig::default()
         }
     }
@@ -740,27 +784,57 @@ mod tests {
 
     #[test]
     fn shard_count_resolution() {
-        assert_eq!(resolve_shard_count(4, 100), 4);
-        assert_eq!(resolve_shard_count(4, 2), 2);
-        assert_eq!(resolve_shard_count(1, 100), 1);
-        assert_eq!(resolve_shard_count(7, 0), 1);
-        assert!(resolve_shard_count(0, 100) >= 1);
+        assert_eq!(resolve_shard_count(4, 100, ShardPolicy::Exact), 4);
+        assert_eq!(resolve_shard_count(4, 2, ShardPolicy::Exact), 2);
+        assert_eq!(resolve_shard_count(1, 100, ShardPolicy::Exact), 1);
+        assert_eq!(resolve_shard_count(7, 0, ShardPolicy::Exact), 1);
+        assert!(resolve_shard_count(0, 100, ShardPolicy::Exact) >= 1);
+    }
+
+    #[test]
+    fn adaptive_policy_caps_explicit_requests() {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        // An explicit request never exceeds machine parallelism …
+        let big = 64 * MIN_DOCS_PER_AUTO_SHARD;
+        assert_eq!(
+            resolve_shard_count(4, big, ShardPolicy::Adaptive),
+            4.min(cores)
+        );
+        // … nor the block-span floor: a corpus too small to give every
+        // shard several blocks is not split, whatever the machine.
+        assert_eq!(resolve_shard_count(4, 100, ShardPolicy::Adaptive), 1);
+        assert_eq!(
+            resolve_shard_count(4, MIN_DOCS_PER_AUTO_SHARD, ShardPolicy::Adaptive),
+            1
+        );
+        // `1` always means monolithic, and zero docs never splits.
+        assert_eq!(resolve_shard_count(1, big, ShardPolicy::Adaptive), 1);
+        assert_eq!(resolve_shard_count(7, 0, ShardPolicy::Adaptive), 1);
     }
 
     #[test]
     fn auto_shard_count_considers_corpus_size_not_just_cores() {
         // Below the per-shard floor, Auto never splits — regardless of
         // how wide the machine is.
-        assert_eq!(resolve_shard_count(0, 100), 1);
-        assert_eq!(resolve_shard_count(0, MIN_DOCS_PER_AUTO_SHARD), 1);
-        assert_eq!(resolve_shard_count(0, 2 * MIN_DOCS_PER_AUTO_SHARD - 1), 1);
+        assert_eq!(resolve_shard_count(0, 100, ShardPolicy::Adaptive), 1);
+        assert_eq!(
+            resolve_shard_count(0, MIN_DOCS_PER_AUTO_SHARD, ShardPolicy::Adaptive),
+            1
+        );
+        assert_eq!(
+            resolve_shard_count(0, 2 * MIN_DOCS_PER_AUTO_SHARD - 1, ShardPolicy::Adaptive),
+            1
+        );
         // Past the floor, Auto is still capped by machine parallelism.
         let cores = std::thread::available_parallelism().map_or(1, usize::from);
         let big = 64 * MIN_DOCS_PER_AUTO_SHARD;
-        assert_eq!(resolve_shard_count(0, big), cores.min(64));
-        // Explicit counts stay exact even on small corpora: pinning
+        assert_eq!(
+            resolve_shard_count(0, big, ShardPolicy::Adaptive),
+            cores.min(64)
+        );
+        // Exact-policy counts stay exact even on small corpora: pinning
         // fan-out for the bit-identity property tests is sanctioned.
-        assert_eq!(resolve_shard_count(3, 100), 3);
+        assert_eq!(resolve_shard_count(3, 100, ShardPolicy::Exact), 3);
     }
 
     #[test]

@@ -2,15 +2,16 @@
 //! path must be *bit-identical* — scores, ordering, and doc-id
 //! tie-breaks — to the naive full-sort evaluator and to an engine with
 //! pruning disabled, for every ranking algorithm, for flat weighted
-//! term lists, for the and/or/weighted operator trees BMW prunes
-//! *through*, and for arbitrary expressions including the `prox` shape
-//! it must fall back on, across shard counts {1, 2, 3, 7} and
+//! term lists, for the and/or/weighted/prox operator trees BMW prunes
+//! *through* (prox via its positions-ignored over-estimate; survivors
+//! still run the exact positional check), and for arbitrary
+//! expressions, across shard counts {1, 2, 3, 7} and
 //! k ∈ {1, 10, > corpus}.
 
 use proptest::prelude::*;
 use starts_index::{
-    BoolNode, Document, Engine, EngineConfig, PruneMode, RankNode, SearchOptions, ShardedEngine,
-    TermSpec,
+    BoolNode, Document, Engine, EngineConfig, PositionsMode, PruneMode, RankNode, SearchOptions,
+    ShardPolicy, ShardedEngine, TermSpec,
 };
 
 /// The same tiny closed vocabulary the other property suites use, so
@@ -54,9 +55,10 @@ fn arb_flat_list() -> impl Strategy<Value = RankNode> {
     ]
 }
 
-/// An and/or/weighted operator tree *without* `prox` — the shapes
-/// Block-Max WAND prunes through by propagating per-block bounds
-/// bottom-up, rather than falling back to the exact scan.
+/// An operator tree of the shapes Block-Max WAND prunes through by
+/// propagating per-block bounds bottom-up: and/or/weighted plus
+/// term-term `prox`, whose bound is the positions-ignored fuzzy-`and`
+/// over-estimate (survivors rerun the exact positional check).
 fn arb_bmw_tree() -> impl Strategy<Value = RankNode> {
     arb_leaf().prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
@@ -64,13 +66,22 @@ fn arb_bmw_tree() -> impl Strategy<Value = RankNode> {
             proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::And),
             proptest::collection::vec(inner.clone(), 1..4).prop_map(RankNode::Or),
             (inner.clone(), inner).prop_map(|(a, b)| RankNode::AndNot(Box::new(a), Box::new(b))),
+            (arb_leaf(), arb_leaf(), 0u32..6, any::<bool>()).prop_map(
+                |(l, r, distance, ordered)| RankNode::Prox {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    distance,
+                    ordered,
+                }
+            ),
         ]
     })
 }
 
 /// A ranking expression using every operator the engine scores —
-/// including `prox`, which the block-max evaluator must recognize as
-/// out of scope and fall back on exactly.
+/// including `prox` over arbitrary (non-leaf) subtrees, which the
+/// block-max evaluator still bounds soundly via the positions-ignored
+/// over-estimate before the exact rescore decides the doc.
 fn arb_rank_expr() -> impl Strategy<Value = RankNode> {
     arb_leaf().prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
@@ -105,6 +116,9 @@ fn config(ranking_id: &str, prune: PruneMode, shards: usize) -> EngineConfig {
         ranking_id: ranking_id.to_string(),
         fuzzy_ranking_ops: true,
         shards,
+        // The properties quantify over physical shard counts — build
+        // exactly what the strategy drew, whatever machine runs CI.
+        shard_policy: ShardPolicy::Exact,
         prune,
         ..EngineConfig::default()
     }
@@ -192,6 +206,49 @@ fn block_max_wand_skips_blocks() {
     assert_eq!(off_report.blocks_skipped, 0, "{off_report:?}");
 }
 
+/// Block-Max WAND must prune *through* `prox`, not fall back on it:
+/// the positions-ignored fuzzy-`and` bound lets the evaluator skip
+/// docs holding only one of the two terms, while survivors still run
+/// the exact positional check. Same skewed corpus as
+/// `block_max_wand_skips_blocks` — docs 0 and 650 contain the adjacent
+/// pair, everything else only `alpha`, so once doc 0 sets the
+/// threshold every `alpha`-only doc has upper bound
+/// `max(min(0, w_alpha), 0) = 0` and is skipped without decoding
+/// positions. Deterministic: a regression that demotes `prox` back to
+/// the exact scan fails here, not just in the benchmarks.
+#[test]
+fn bmw_prunes_through_prox() {
+    let heavy = "omega alpha filler";
+    let mut docs = Vec::with_capacity(700);
+    for d in 0..700 {
+        let body = if d == 0 || d == 650 { heavy } else { "alpha" };
+        docs.push(Document::new().field("body-of-text", body));
+    }
+    let expr = RankNode::Prox {
+        left: Box::new(RankNode::term(TermSpec::fielded("body-of-text", "omega"))),
+        right: Box::new(RankNode::term(TermSpec::fielded("body-of-text", "alpha"))),
+        distance: 0,
+        ordered: true,
+    };
+    let opts = SearchOptions {
+        limit: Some(1),
+        min_score: f64::NEG_INFINITY,
+    };
+    let auto = ShardedEngine::build(&docs, config("Plain-1", PruneMode::Auto, 1));
+    let (hits, _, report) = auto.search_top_k_observed(None, Some(&expr), &opts);
+    assert_eq!(hits.len(), 1);
+    // Docs 0 and 650 tie; the smaller doc id wins.
+    assert_eq!(hits[0].doc, starts_index::DocId(0));
+    assert!(
+        report.skipped_docs > 600,
+        "prox tree fell back to the exact scan: {report:?}"
+    );
+    // Skipping through the over-estimate must not change the answer.
+    let off = ShardedEngine::build(&docs, config("Plain-1", PruneMode::Off, 1));
+    let (expect, _, _) = off.search_top_k_observed(None, Some(&expr), &opts);
+    assert_eq!(hits, expect);
+}
+
 proptest! {
     /// Pruned top-k ≡ the first `k` of the naive full sort, on the flat
     /// weighted lists the pruner actually accelerates, for every
@@ -248,10 +305,11 @@ proptest! {
         }
     }
 
-    /// `PruneMode::Auto` ≡ `PruneMode::Off` on arbitrary operator trees:
-    /// expressions the eligibility gate rejects (e.g. containing `prox`)
-    /// must take the exact fallback, and expressions it accepts must
-    /// still be bit-identical.
+    /// `PruneMode::Auto` ≡ `PruneMode::Off` on arbitrary operator
+    /// trees: expressions the eligibility gate accepts (now including
+    /// `prox`, bounded by its positions-ignored over-estimate) must
+    /// prune bit-identically, and the ones it still rejects must take
+    /// the exact fallback.
     #[test]
     fn prune_auto_equals_prune_off(
         docs in arb_corpus(),
@@ -297,6 +355,31 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Retiring the positional store must not perturb prox-free
+    /// ranking: an engine built with `PositionsMode::None` serves the
+    /// classic WAND workload bit-identically to the default engine —
+    /// search runs entirely off the block postings either way.
+    #[test]
+    fn positions_none_matches_all_on_flat_lists(
+        docs in arb_corpus(),
+        expr in arb_flat_list(),
+        ranking_id in arb_ranking_id(),
+        k in 1usize..25,
+    ) {
+        let all = Engine::build(&docs, config(ranking_id, PruneMode::Auto, 1));
+        let none = Engine::build(
+            &docs,
+            EngineConfig {
+                positions: PositionsMode::None,
+                ..config(ranking_id, PruneMode::Auto, 1)
+            },
+        );
+        prop_assert_eq!(
+            all.eval_ranking_top_k(&expr, Some(k)),
+            none.eval_ranking_top_k(&expr, Some(k))
+        );
     }
 
     /// Seeding the heap floor from `min_score` never changes the

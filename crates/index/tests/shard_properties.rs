@@ -7,7 +7,9 @@
 //! shard's hit count.
 
 use proptest::prelude::*;
-use starts_index::{BoolNode, Document, Engine, EngineConfig, RankNode, ShardedEngine, TermSpec};
+use starts_index::{
+    BoolNode, Document, Engine, EngineConfig, RankNode, ShardPolicy, ShardedEngine, TermSpec,
+};
 
 /// The same tiny closed vocabulary the top-k properties use, so queries
 /// hit documents and equal scores (hence tie-breaks) are common.
@@ -77,6 +79,9 @@ fn config(ranking_id: &str, fuzzy: bool, shards: usize) -> EngineConfig {
         ranking_id: ranking_id.to_string(),
         fuzzy_ranking_ops: fuzzy,
         shards,
+        // The properties quantify over physical shard counts — build
+        // exactly what the strategy drew, whatever machine runs CI.
+        shard_policy: ShardPolicy::Exact,
         ..EngineConfig::default()
     }
 }

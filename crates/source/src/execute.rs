@@ -160,10 +160,11 @@ pub fn execute_traced(source: &Source, query: &Query, obs: Option<&Registry>) ->
             reg.gauge_with("engine.prune.fraction", &labels)
                 .set(prune.skipped_docs as f64 / prune.candidates as f64);
         }
-        // Resident postings memory, both representations: the positional
-        // lists (exact scoring, prox) and the compressed block mirror
-        // (Block-Max-WAND seeks). Static per index build, but exported
-        // per query so dashboards track it without a registration hook.
+        // Resident postings memory: the bit-packed block postings every
+        // evaluator runs on, and the positional arenas kept only where
+        // `prox` needs them (zero for positions-free vendors). Static
+        // per index build, but exported per query so dashboards track
+        // it without a registration hook.
         let footprint = engine.postings_footprint();
         reg.gauge_with("engine.postings.positional_bytes", &labels)
             .set(footprint.positional_bytes as f64);

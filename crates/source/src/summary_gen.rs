@@ -71,9 +71,8 @@ fn collect_terms(
     let mut stats: BTreeMap<&str, (u64, u32)> = BTreeMap::new();
     for shard in engine.shards() {
         for (term, postings) in shard.index().field_vocabulary(field) {
-            let total: u64 = postings.iter().map(|p| u64::from(p.tf())).sum();
             let entry = stats.entry(term).or_insert((0, 0));
-            entry.0 += total;
+            entry.0 += postings.total_tf();
             entry.1 += postings.len() as u32;
         }
     }

@@ -15,7 +15,7 @@
 //! | `glimpse`    | —          | F only      | Acme-1    | no    | none           | keep | —         |
 //! | `rankonly`   | Plain-1    | R only      | Acme-1    | no    | minimal        | fold | no        |
 
-use starts_index::{EngineConfig, PruneMode};
+use starts_index::{EngineConfig, PositionsMode, PruneMode, ShardPolicy};
 use starts_proto::attrs::CmpOp;
 use starts_proto::metadata::QueryParts;
 use starts_proto::{Field, Modifier};
@@ -51,6 +51,8 @@ pub fn acme(id: &str) -> SourceConfig {
         thesaurus: Thesaurus::empty(),
         shards: 0,
         prune: PruneMode::Auto,
+        positions: PositionsMode::All,
+        shard_policy: ShardPolicy::Adaptive,
     };
     c.supported_fields = all_optional_fields();
     c.supported_modifiers = vec![
@@ -82,6 +84,8 @@ pub fn bolt(id: &str) -> SourceConfig {
         thesaurus: Thesaurus::empty(),
         shards: 0,
         prune: PruneMode::Auto,
+        positions: PositionsMode::All,
+        shard_policy: ShardPolicy::Adaptive,
     };
     c.supported_fields = vec![Field::Author, Field::BodyOfText];
     c.supported_modifiers = vec![Modifier::RightTruncation];
@@ -106,6 +110,8 @@ pub fn okapi(id: &str) -> SourceConfig {
         thesaurus: Thesaurus::computer_science(),
         shards: 0,
         prune: PruneMode::Auto,
+        positions: PositionsMode::All,
+        shard_policy: ShardPolicy::Adaptive,
     };
     c.supported_fields = all_optional_fields();
     // Okapi is the research engine: it also honours the two STARTS-new
@@ -144,6 +150,8 @@ pub fn glimpse(id: &str) -> SourceConfig {
         thesaurus: Thesaurus::empty(),
         shards: 0,
         prune: PruneMode::Auto,
+        positions: PositionsMode::All,
+        shard_policy: ShardPolicy::Adaptive,
     };
     c.query_parts = QueryParts::Filter;
     c.supported_fields = all_optional_fields();
@@ -173,6 +181,11 @@ pub fn rankonly(id: &str) -> SourceConfig {
         thesaurus: Thesaurus::empty(),
         shards: 0,
         prune: PruneMode::Auto,
+        // Ranking-only and flattens operators to `list`: no `prox` ever
+        // consults positions, so the positional store is dropped and
+        // search runs entirely off the block postings.
+        positions: PositionsMode::None,
+        shard_policy: ShardPolicy::Adaptive,
     };
     c.query_parts = QueryParts::Ranking;
     c.supported_fields = vec![Field::BodyOfText];

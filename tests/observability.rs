@@ -229,6 +229,9 @@ fn sharded_source_records_fanout_span_and_shard_metrics() {
     let net = SimNet::new();
     let mut cfg = SourceConfig::new("Sharded");
     cfg.engine.shards = 2;
+    // The test observes per-shard metrics, so it needs a physically
+    // 2-shard layout regardless of the machine's core count.
+    cfg.engine.shard_policy = starts::index::ShardPolicy::Exact;
     let docs: Vec<Document> = (0..10)
         .map(|i| {
             Document::new()
